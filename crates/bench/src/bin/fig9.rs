@@ -1,0 +1,99 @@
+//! Regenerate **Figure 9** of the paper: reconfiguration speed.
+//!
+//! * 9a/9b — replace a single server under CP ∈ {5k, 50k}: throughput per
+//!   window, worst drop, degraded period, peak leader IO.
+//! * 9c — replace a majority of servers.
+//!
+//! Also runs the `MigrationScheme::LeaderOnly` ablation of §6.1 (the
+//! design-choice comparison DESIGN.md calls out): Omni-Paxos restricted to
+//! leader-driven migration, isolating the benefit of parallel migration
+//! from the rest of the system.
+//!
+//! Usage:
+//!   `cargo run -p bench --bin fig9 --release [-- single|majority] [--quick]`
+
+use bench::{fmt_secs, print_header, quick_mode, row};
+use cluster::protocol::ProtocolKind;
+use cluster::scenarios::{reconfig_run, ReconfigOutcome};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    let modes: Vec<bool> = match which.as_str() {
+        "single" => vec![false],
+        "majority" => vec![true],
+        _ => vec![false, true],
+    };
+    let cps: Vec<usize> = if quick_mode() {
+        vec![5_000]
+    } else {
+        vec![5_000, 50_000]
+    };
+    println!("# Figure 9 — reconfiguration (5 servers, 120 MB history to migrate)\n");
+    for replace_majority in modes {
+        println!(
+            "## Replace {} (Fig. 9{})\n",
+            if replace_majority {
+                "a majority (3 of 5)"
+            } else {
+                "one server"
+            },
+            if replace_majority { "c" } else { "a/b" }
+        );
+        for &cp in &cps {
+            println!("### CP = {cp}\n");
+            print_header(&[
+                "Protocol                          ",
+                "worst tput (rel.)",
+                "degraded for",
+                "down-time",
+                "reconfig done in",
+                "peak IO / 5s-window",
+            ]);
+            for protocol in [
+                ProtocolKind::OmniPaxos,
+                ProtocolKind::OmniPaxosLeaderMigration,
+                ProtocolKind::Raft,
+            ] {
+                let o = reconfig_run(protocol, replace_majority, cp, 11);
+                println!("{}", row(&fmt_outcome(&o)));
+                print_windows(&o);
+            }
+            println!();
+        }
+    }
+    println!(
+        "Paper's claims (C3): replacing one server costs Raft up to a 90% \
+         throughput drop over 55 s vs 20% over 15 s for Omni-Paxos; replacing \
+         a majority leaves Raft fully down for up to 40 s (120 s to recover) \
+         while Omni-Paxos recovers after ~15 s; leader peak IO is several \
+         times lower with parallel migration (109 MB vs 30 MB per 5 s window, \
+         46% less total leader IO)."
+    );
+}
+
+fn fmt_outcome(o: &ReconfigOutcome) -> Vec<String> {
+    vec![
+        o.protocol.clone(),
+        format!("{:5.1} %", o.worst_relative_tput * 100.0),
+        fmt_secs(o.degraded_for_us),
+        fmt_secs(o.downtime_us),
+        o.completed_at
+            .map(|t| fmt_secs(t.saturating_sub(o.submitted_at)))
+            .unwrap_or_else(|| "NOT COMPLETED".into()),
+        format!("{:6.1} MB", o.peak_io_bytes as f64 / 1e6),
+    ]
+}
+
+fn print_windows(o: &ReconfigOutcome) {
+    let per_sec = 1e6 / o.window_us as f64;
+    let series: Vec<String> = o
+        .windows
+        .iter()
+        .map(|w| format!("{:.0}k", *w as f64 * per_sec / 1e3))
+        .collect();
+    println!(
+        "  throughput per {}s window (k/s): [{}]",
+        o.window_us / 1_000_000,
+        series.join(", ")
+    );
+}

@@ -1,0 +1,72 @@
+//! Shared helpers for the figure/table generator binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§7); see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+use simulator::{mean_and_ci95, SimTime, Summary};
+
+/// Repetitions per data point (the paper uses 10 testbed runs; simulated
+/// runs vary by seed instead). Override with `--quick` for a single seed.
+pub const SEEDS: [u64; 3] = [11, 23, 42];
+
+/// Parse a `--quick` flag from the CLI (single seed, shorter runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The seeds to use given the mode.
+pub fn seeds() -> Vec<u64> {
+    if quick_mode() {
+        vec![SEEDS[0]]
+    } else {
+        SEEDS.to_vec()
+    }
+}
+
+/// Format a throughput summary as `mean ± ci` in kilo-ops/s.
+pub fn fmt_kops(s: &Summary) -> String {
+    format!("{:7.1} ± {:5.1} k/s", s.mean / 1e3, s.ci95 / 1e3)
+}
+
+/// Summarize a set of per-seed samples.
+pub fn summarize(samples: &[f64]) -> Summary {
+    mean_and_ci95(samples)
+}
+
+/// Format a duration in seconds with millisecond resolution.
+pub fn fmt_secs(t: SimTime) -> String {
+    format!("{:.3}s", t as f64 / 1e6)
+}
+
+/// Render a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Print a header line followed by a separator of the same arity.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kops_formatting() {
+        let s = summarize(&[250_000.0, 260_000.0, 240_000.0]);
+        let out = fmt_kops(&s);
+        assert!(out.contains("250.0"), "{out}");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(1_500_000), "1.500s");
+        assert_eq!(fmt_secs(0), "0.000s");
+    }
+}

@@ -1,0 +1,313 @@
+//! Experiment metrics: the decide-reply timeline and the per-run report.
+
+use crate::NodeId;
+use simulator::{SimTime, WindowSeries};
+
+/// The timeline of decided replies seen by the client: windowed counts for
+/// throughput plots (Figs. 7, 8c, 9) and gaps for down-time (Figs. 8a/8b).
+#[derive(Debug, Clone)]
+pub struct DecideLog {
+    series: WindowSeries,
+    total: u64,
+    last_at: Option<SimTime>,
+    first_at: Option<SimTime>,
+    /// Gaps between consecutive decided replies that exceeded the
+    /// threshold: `(from, to)` pairs.
+    gaps: Vec<(SimTime, SimTime)>,
+    gap_threshold: SimTime,
+}
+
+impl DecideLog {
+    /// Record into windows of `window` µs; keep gaps above `gap_threshold`.
+    pub fn new(window: SimTime, gap_threshold: SimTime) -> Self {
+        DecideLog {
+            series: WindowSeries::new(window.max(1)),
+            total: 0,
+            last_at: None,
+            first_at: None,
+            gaps: Vec::new(),
+            gap_threshold: gap_threshold.max(1),
+        }
+    }
+
+    /// Record one decided reply at `now`.
+    pub fn record(&mut self, now: SimTime) {
+        if let Some(last) = self.last_at {
+            if now.saturating_sub(last) >= self.gap_threshold {
+                self.gaps.push((last, now));
+            }
+        } else {
+            self.first_at = Some(now);
+        }
+        self.last_at = Some(now);
+        self.total += 1;
+        self.series.add(now, 1);
+    }
+
+    /// Close the timeline at simulation end so a trailing silent period
+    /// counts as a gap.
+    pub fn finalize(&mut self, end: SimTime) {
+        if let Some(last) = self.last_at {
+            if end.saturating_sub(last) >= self.gap_threshold {
+                self.gaps.push((last, end));
+            }
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn series(&self) -> &WindowSeries {
+        &self.series
+    }
+
+    pub fn gaps(&self) -> &[(SimTime, SimTime)] {
+        &self.gaps
+    }
+
+    /// Total decided replies within `[from, to)` (whole windows).
+    pub fn decided_in(&self, from: SimTime, to: SimTime) -> u64 {
+        let w = self.series.window();
+        self.series
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let start = *i as u64 * w;
+                start >= from && start < to
+            })
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// The longest interval without decided replies overlapping
+    /// `[from, to)` — the paper's down-time metric (§7.2: "the duration for
+    /// when the client received no decided replies").
+    pub fn downtime_in(&self, from: SimTime, to: SimTime) -> SimTime {
+        self.gaps
+            .iter()
+            .map(|&(a, b)| {
+                let lo = a.max(from);
+                let hi = b.min(to);
+                hi.saturating_sub(lo)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Everything one simulation run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Display name of the protocol.
+    pub protocol: String,
+    /// Total commands completed by the client.
+    pub total_decided: u64,
+    /// The decide timeline.
+    pub decides: DecideLog,
+    /// Max leader changes observed by any server.
+    pub leader_changes: u64,
+    /// Max leadership rank (ballot n / term / view) reached — the paper
+    /// reports term inflation under partitions (§7.2).
+    pub final_rank: u64,
+    /// Total bytes sent per server.
+    pub bytes_sent: Vec<(NodeId, u64)>,
+    /// Peak outgoing bytes per server over one IO window (§7.3).
+    pub peak_window_bytes: Vec<(NodeId, u64)>,
+    /// When the last requested reconfiguration completed cluster-wide.
+    pub reconfig_done_at: Option<SimTime>,
+    /// Propose-to-decide latency distribution (client-observed).
+    pub latency: LatencyHistogram,
+    /// Simulated run length.
+    pub duration: SimTime,
+}
+
+impl RunReport {
+    /// Mean decided replies per second over `[from, to)`.
+    pub fn throughput_in(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.decides.decided_in(from, to) as f64 / ((to - from) as f64 / 1e6)
+    }
+
+    /// Peak leader IO in bytes per window.
+    pub fn max_peak_io(&self) -> u64 {
+        self.peak_window_bytes
+            .iter()
+            .map(|(_, b)| *b)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_capture_silent_periods() {
+        let mut log = DecideLog::new(1_000_000, 500_000);
+        log.record(100);
+        log.record(200);
+        log.record(900_000); // ~0.9 s silence
+        log.record(950_000);
+        log.finalize(5_000_000); // trailing silence
+        assert_eq!(log.gaps().len(), 2);
+        assert_eq!(log.downtime_in(0, 10_000_000), 5_000_000 - 950_000);
+        assert_eq!(log.downtime_in(0, 900_000), 900_000 - 200);
+    }
+
+    #[test]
+    fn decided_in_sums_whole_windows() {
+        let mut log = DecideLog::new(1_000_000, u64::MAX);
+        for t in [0, 100, 1_500_000, 2_100_000] {
+            log.record(t);
+        }
+        assert_eq!(log.decided_in(0, 1_000_000), 2);
+        assert_eq!(log.decided_in(1_000_000, 3_000_000), 2);
+        assert_eq!(log.total(), 4);
+    }
+
+    #[test]
+    fn downtime_clamps_to_query_interval() {
+        let mut log = DecideLog::new(1_000_000, 100);
+        log.record(0);
+        log.record(10_000_000);
+        assert_eq!(log.downtime_in(2_000_000, 5_000_000), 3_000_000);
+    }
+
+    #[test]
+    fn no_events_means_no_gaps_but_finalize_is_safe() {
+        let mut log = DecideLog::new(1_000_000, 100);
+        log.finalize(1_000_000);
+        assert!(log.gaps().is_empty());
+        assert_eq!(log.downtime_in(0, 1_000_000), 0);
+    }
+}
+
+/// A log-bucketed latency histogram (microseconds). Buckets grow by ~25 %
+/// per step, giving <13 % quantile error over nanoseconds-to-minutes with a
+/// few hundred buckets — plenty for simulation reporting.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u128,
+    max_us: SimTime,
+}
+
+impl LatencyHistogram {
+    const GROWTH: f64 = 1.25;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 128],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    fn index(us: SimTime) -> usize {
+        if us <= 1 {
+            return 0;
+        }
+        let idx = (us as f64).ln() / Self::GROWTH.ln();
+        (idx as usize).min(127)
+    }
+
+    fn bucket_value(idx: usize) -> SimTime {
+        Self::GROWTH.powi(idx as i32) as SimTime
+    }
+
+    /// Record one latency sample in microseconds.
+    pub fn record(&mut self, us: SimTime) {
+        self.buckets[Self::index(us)] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max_us(&self) -> SimTime {
+        self.max_us
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in microseconds.
+    pub fn quantile_us(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max_us
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for us in [100u64, 200, 300, 400, 500, 10_000] {
+            h.record(us);
+        }
+        let (p50, p99) = (h.quantile_us(0.5), h.quantile_us(0.99));
+        assert!(p50 <= p99);
+        assert!((100..=500).contains(&p50), "p50 = {p50}");
+        assert!(h.max_us() == 10_000);
+        assert!((h.mean_us() - 1_916.66).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_growth() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..10_000u64 {
+            h.record(us);
+        }
+        let p50 = h.quantile_us(0.5) as f64;
+        assert!(
+            (p50 / 5_000.0) > 0.75 && (p50 / 5_000.0) < 1.3,
+            "p50 = {p50} should be ~5000 within bucket error"
+        );
+    }
+}

@@ -1,0 +1,533 @@
+//! The uniform replica interface and one adapter per evaluated protocol.
+//!
+//! Experiments run against [`Replica`] so the same workload, partition
+//! schedule and metrics apply identically to every protocol — the paper's
+//! apples-to-apples setup (all protocols ran on the same Kompact/TCP
+//! harness; here, on the same simulator).
+
+use crate::cmd::Cmd;
+use crate::NodeId;
+use multipaxos::{MpConfig, MpMsg, MpNode};
+use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
+use omnipaxos::MigrationScheme;
+use raft::{RaftConfig, RaftMsg, RaftNode};
+use vr::{VrConfig, VrMsg, VrNode};
+
+/// Which protocol an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    OmniPaxos,
+    /// Omni-Paxos restricted to leader-only log migration (ablation of the
+    /// §6.1 parallel-migration design choice).
+    OmniPaxosLeaderMigration,
+    Raft,
+    /// Raft with PreVote + CheckQuorum (the paper's "Raft PV+CQ").
+    RaftPvCq,
+    MultiPaxos,
+    Vr,
+}
+
+impl ProtocolKind {
+    /// All protocols of the §7.2 partial-connectivity comparison.
+    pub fn partition_lineup() -> Vec<ProtocolKind> {
+        vec![
+            ProtocolKind::OmniPaxos,
+            ProtocolKind::Raft,
+            ProtocolKind::RaftPvCq,
+            ProtocolKind::MultiPaxos,
+            ProtocolKind::Vr,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::OmniPaxos => "Omni-Paxos",
+            ProtocolKind::OmniPaxosLeaderMigration => "Omni-Paxos (leader-only migration)",
+            ProtocolKind::Raft => "Raft",
+            ProtocolKind::RaftPvCq => "Raft PV+CQ",
+            ProtocolKind::MultiPaxos => "Multi-Paxos",
+            ProtocolKind::Vr => "VR",
+        }
+    }
+}
+
+/// A protocol message of whichever protocol the experiment runs.
+#[derive(Debug, Clone)]
+pub enum ProtoMsg {
+    Omni(Box<ServiceMsg<Cmd>>),
+    Raft(RaftMsg<Cmd>),
+    Mp(MpMsg<Cmd>),
+    Vr(Box<VrMsg<Cmd>>),
+}
+
+impl ProtoMsg {
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ProtoMsg::Omni(m) => m.size_bytes(),
+            ProtoMsg::Raft(m) => m.size_bytes(),
+            ProtoMsg::Mp(m) => m.size_bytes(),
+            ProtoMsg::Vr(m) => m.size_bytes(),
+        }
+    }
+}
+
+/// The uniform replica interface the harness drives.
+pub trait Replica {
+    fn pid(&self) -> NodeId;
+    /// Advance logical time by one tick.
+    fn tick(&mut self);
+    /// Feed one incoming message.
+    fn handle(&mut self, from: NodeId, msg: ProtoMsg);
+    /// Drain outgoing messages.
+    fn outgoing(&mut self) -> Vec<(NodeId, ProtoMsg)>;
+    /// Propose a command (only succeeds where the protocol accepts it).
+    fn propose(&mut self, cmd: Cmd) -> bool;
+    /// Ids of commands newly decided at this server.
+    fn poll_decided(&mut self) -> Vec<u64>;
+    /// Does this server believe it is the leader?
+    fn is_leader(&self) -> bool;
+    /// A monotone rank of this server's leadership claim (ballot number,
+    /// term, or view) — clients prefer the freshest claimant.
+    fn leader_rank(&self) -> u64;
+    /// Number of leader changes observed by this server.
+    fn leader_changes(&self) -> u64;
+    /// Notification that the link to `pid` healed (session-drop protocol).
+    fn reconnected(&mut self, _pid: NodeId) {}
+    /// Rebuild volatile state from persistent storage after a crash
+    /// (fail-recovery model, §3). Protocols without modelled persistence
+    /// restart from scratch.
+    fn fail_recovery(&mut self) {}
+    /// Start a reconfiguration to `new_nodes`; `false` if unsupported here.
+    fn reconfigure(&mut self, _new_nodes: Vec<NodeId>) -> bool {
+        false
+    }
+    /// Has this server completed all requested reconfigurations?
+    fn reconfig_done(&self) -> bool {
+        true
+    }
+    /// Is this server operating in a configuration with exactly
+    /// `new_nodes` as members?
+    fn reconfigured_to(&self, _new_nodes: &[NodeId]) -> bool {
+        false
+    }
+}
+
+// ----------------------------------------------------------------------
+// Omni-Paxos
+// ----------------------------------------------------------------------
+
+/// Adapter around [`OmniPaxosServer`].
+pub struct OmniReplica {
+    server: OmniPaxosServer<Cmd>,
+    leader_changes: u64,
+    last_leader: Option<omnipaxos::Ballot>,
+    reconfigs_requested: u32,
+}
+
+impl OmniReplica {
+    /// A member of the initial configuration, optionally pre-loaded.
+    pub fn new(
+        pid: NodeId,
+        nodes: Vec<NodeId>,
+        scheme: MigrationScheme,
+        hb_timeout_ticks: u64,
+        initial_log: Vec<Cmd>,
+    ) -> Self {
+        let mut cfg = ServerConfig::with(pid);
+        cfg.scheme = scheme;
+        cfg.hb_timeout_ticks = hb_timeout_ticks;
+        cfg.resend_ticks = (hb_timeout_ticks * 10).max(20);
+        cfg.retry_ticks = (hb_timeout_ticks * 20).max(40);
+        let mut server = if initial_log.is_empty() {
+            OmniPaxosServer::new(cfg, nodes)
+        } else {
+            let storage = omnipaxos::MemoryStorage::with_decided_log(initial_log);
+            OmniPaxosServer::with_storage(cfg, nodes, storage)
+        };
+        // Absorb the pre-loaded history so it is not reported as new.
+        server.tick();
+        let _ = server.poll_applied();
+        OmniReplica {
+            server,
+            leader_changes: 0,
+            last_leader: None,
+            reconfigs_requested: 0,
+        }
+    }
+
+    /// A fresh joiner outside the initial configuration.
+    pub fn joiner(pid: NodeId, scheme: MigrationScheme, hb_timeout_ticks: u64) -> Self {
+        let mut cfg = ServerConfig::with(pid);
+        cfg.scheme = scheme;
+        cfg.hb_timeout_ticks = hb_timeout_ticks;
+        cfg.resend_ticks = (hb_timeout_ticks * 10).max(20);
+        cfg.retry_ticks = (hb_timeout_ticks * 20).max(40);
+        OmniReplica {
+            server: OmniPaxosServer::new_joiner(cfg),
+            leader_changes: 0,
+            last_leader: None,
+            reconfigs_requested: 0,
+        }
+    }
+
+    /// Access the wrapped server (tests, invariant checks).
+    pub fn server(&mut self) -> &mut OmniPaxosServer<Cmd> {
+        &mut self.server
+    }
+}
+
+impl Replica for OmniReplica {
+    fn pid(&self) -> NodeId {
+        self.server.pid()
+    }
+
+    fn tick(&mut self) {
+        self.server.tick();
+        let leader = self.server.leader();
+        if leader != self.last_leader && leader.is_some() {
+            self.leader_changes += 1;
+            self.last_leader = leader;
+        }
+    }
+
+    fn handle(&mut self, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Omni(m) => self.server.handle(from, *m),
+            other => panic!("Omni replica got {other:?}"),
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(NodeId, ProtoMsg)> {
+        self.server
+            .outgoing()
+            .into_iter()
+            .map(|(to, m)| (to, ProtoMsg::Omni(Box::new(m))))
+            .collect()
+    }
+
+    fn propose(&mut self, cmd: Cmd) -> bool {
+        self.server.is_leader() && self.server.propose(cmd).is_ok()
+    }
+
+    fn poll_decided(&mut self) -> Vec<u64> {
+        self.server
+            .poll_applied()
+            .into_iter()
+            .map(|c| c.id)
+            .collect()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.server.is_leader()
+    }
+
+    fn leader_rank(&self) -> u64 {
+        self.server.leader().map(|b| b.n).unwrap_or(0)
+    }
+
+    fn leader_changes(&self) -> u64 {
+        self.leader_changes
+    }
+
+    fn reconnected(&mut self, pid: NodeId) {
+        self.server.reconnected(pid);
+    }
+
+    fn fail_recovery(&mut self) {
+        self.server.fail_recovery();
+    }
+
+    fn reconfigure(&mut self, new_nodes: Vec<NodeId>) -> bool {
+        // The harness retries reconfiguration requests; reject duplicates
+        // of the membership we already run (the library itself allows
+        // same-membership changes for software upgrades, §6.1).
+        if self.reconfigured_to(&new_nodes) {
+            return false;
+        }
+        let ok = self.server.reconfigure(new_nodes).is_ok();
+        if ok {
+            self.reconfigs_requested += 1;
+        }
+        ok
+    }
+
+    fn reconfig_done(&self) -> bool {
+        self.server.reconfigurations() >= self.reconfigs_requested
+    }
+
+    fn reconfigured_to(&self, new_nodes: &[NodeId]) -> bool {
+        let mut mine: Vec<NodeId> = self.server.nodes().to_vec();
+        let mut want: Vec<NodeId> = new_nodes.to_vec();
+        mine.sort_unstable();
+        want.sort_unstable();
+        self.server.role() == omnipaxos::ServerRole::Active && mine == want
+    }
+}
+
+// ----------------------------------------------------------------------
+// Raft (plain and PV+CQ)
+// ----------------------------------------------------------------------
+
+/// Adapter around [`RaftNode`].
+pub struct RaftReplica {
+    node: RaftNode<Cmd>,
+    reconfigs_requested: u32,
+    reconfigs_done: u32,
+    was_reconfiguring: bool,
+}
+
+impl RaftReplica {
+    /// A member (or learner-to-be, if outside `voters`) of the cluster.
+    pub fn new(
+        pid: NodeId,
+        voters: Vec<NodeId>,
+        pv_cq: bool,
+        election_ticks: u64,
+        seed: u64,
+        initial_log: Vec<Cmd>,
+    ) -> Self {
+        let mut cfg = if pv_cq {
+            RaftConfig::with_pv_cq(pid, voters)
+        } else {
+            RaftConfig::with(pid, voters)
+        };
+        cfg.election_ticks = election_ticks;
+        cfg.heartbeat_ticks = (election_ticks / 4).max(1);
+        cfg.seed = seed ^ pid;
+        let node = if initial_log.is_empty() {
+            RaftNode::new(cfg)
+        } else {
+            let mut n = RaftNode::with_initial_log(cfg, initial_log);
+            let _ = n.poll_decided();
+            n
+        };
+        RaftReplica {
+            node,
+            reconfigs_requested: 0,
+            reconfigs_done: 0,
+            was_reconfiguring: false,
+        }
+    }
+
+    /// Access the wrapped node.
+    pub fn node(&mut self) -> &mut RaftNode<Cmd> {
+        &mut self.node
+    }
+}
+
+impl Replica for RaftReplica {
+    fn pid(&self) -> NodeId {
+        self.node.pid()
+    }
+
+    fn tick(&mut self) {
+        self.node.tick();
+        if self.was_reconfiguring && !self.node.reconfiguring() {
+            self.reconfigs_done += 1;
+        }
+        self.was_reconfiguring = self.node.reconfiguring();
+    }
+
+    fn handle(&mut self, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Raft(m) => self.node.handle(from, m),
+            other => panic!("Raft replica got {other:?}"),
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(NodeId, ProtoMsg)> {
+        self.node
+            .outgoing_messages()
+            .into_iter()
+            .map(|(to, m)| (to, ProtoMsg::Raft(m)))
+            .collect()
+    }
+
+    fn propose(&mut self, cmd: Cmd) -> bool {
+        self.node.propose(cmd)
+    }
+
+    fn poll_decided(&mut self) -> Vec<u64> {
+        self.node.poll_decided().into_iter().map(|c| c.id).collect()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.node.is_leader()
+    }
+
+    fn leader_rank(&self) -> u64 {
+        self.node.term()
+    }
+
+    fn leader_changes(&self) -> u64 {
+        self.node.leader_changes()
+    }
+
+    fn reconfigure(&mut self, new_nodes: Vec<NodeId>) -> bool {
+        let ok = self.node.propose_membership(new_nodes);
+        if ok {
+            self.reconfigs_requested += 1;
+            self.was_reconfiguring = true;
+        }
+        ok
+    }
+
+    fn reconfig_done(&self) -> bool {
+        self.reconfigs_done >= self.reconfigs_requested
+    }
+
+    fn reconfigured_to(&self, new_nodes: &[NodeId]) -> bool {
+        let mut mine: Vec<NodeId> = self.node.voters().to_vec();
+        let mut want: Vec<NodeId> = new_nodes.to_vec();
+        mine.sort_unstable();
+        want.sort_unstable();
+        mine == want && !self.node.reconfiguring()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Multi-Paxos
+// ----------------------------------------------------------------------
+
+/// Adapter around [`MpNode`].
+pub struct MpReplica {
+    node: MpNode<Cmd>,
+}
+
+impl MpReplica {
+    pub fn new(pid: NodeId, nodes: Vec<NodeId>, fd_timeout_ticks: u64) -> Self {
+        let mut cfg = MpConfig::with(pid, nodes);
+        cfg.fd_timeout_ticks = fd_timeout_ticks;
+        cfg.ping_ticks = (fd_timeout_ticks / 4).max(1);
+        MpReplica {
+            node: MpNode::new(cfg),
+        }
+    }
+
+    /// Access the wrapped node.
+    pub fn node(&mut self) -> &mut MpNode<Cmd> {
+        &mut self.node
+    }
+}
+
+impl Replica for MpReplica {
+    fn pid(&self) -> NodeId {
+        self.node.pid()
+    }
+
+    fn tick(&mut self) {
+        self.node.tick();
+    }
+
+    fn handle(&mut self, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Mp(m) => self.node.handle(from, m),
+            other => panic!("Multi-Paxos replica got {other:?}"),
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(NodeId, ProtoMsg)> {
+        self.node
+            .outgoing_messages()
+            .into_iter()
+            .map(|(to, m)| (to, ProtoMsg::Mp(m)))
+            .collect()
+    }
+
+    fn propose(&mut self, cmd: Cmd) -> bool {
+        self.node.propose(cmd)
+    }
+
+    fn poll_decided(&mut self) -> Vec<u64> {
+        self.node.poll_decided().into_iter().map(|c| c.id).collect()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.node.is_leader()
+    }
+
+    fn leader_rank(&self) -> u64 {
+        // The believed ballot's round number.
+        self.node.leader_changes() // monotone enough for client preference
+    }
+
+    fn leader_changes(&self) -> u64 {
+        self.node.leader_changes()
+    }
+}
+
+// ----------------------------------------------------------------------
+// VR
+// ----------------------------------------------------------------------
+
+/// Adapter around [`VrNode`].
+pub struct VrReplica {
+    node: VrNode<Cmd>,
+}
+
+impl VrReplica {
+    pub fn new(pid: NodeId, nodes: Vec<NodeId>, timeout_ticks: u64) -> Self {
+        let mut cfg = VrConfig::with(pid, nodes);
+        cfg.timeout_ticks = timeout_ticks;
+        cfg.ping_ticks = (timeout_ticks / 4).max(1);
+        VrReplica {
+            node: VrNode::new(cfg),
+        }
+    }
+
+    /// Access the wrapped node.
+    pub fn node(&mut self) -> &mut VrNode<Cmd> {
+        &mut self.node
+    }
+}
+
+impl Replica for VrReplica {
+    fn pid(&self) -> NodeId {
+        self.node.pid()
+    }
+
+    fn tick(&mut self) {
+        self.node.tick();
+    }
+
+    fn handle(&mut self, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Vr(m) => self.node.handle(from, *m),
+            other => panic!("VR replica got {other:?}"),
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(NodeId, ProtoMsg)> {
+        self.node
+            .outgoing_messages()
+            .into_iter()
+            .map(|(to, m)| (to, ProtoMsg::Vr(Box::new(m))))
+            .collect()
+    }
+
+    fn propose(&mut self, cmd: Cmd) -> bool {
+        self.node.is_leader() && self.node.propose(cmd)
+    }
+
+    fn poll_decided(&mut self) -> Vec<u64> {
+        self.node.poll_decided().into_iter().map(|c| c.id).collect()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.node.is_leader()
+    }
+
+    fn leader_rank(&self) -> u64 {
+        self.node.view()
+    }
+
+    fn leader_changes(&self) -> u64 {
+        self.node.view_changes()
+    }
+
+    fn reconnected(&mut self, pid: NodeId) {
+        self.node.reconnected(pid);
+    }
+}

@@ -1,0 +1,519 @@
+//! The simulation loop: replicas over the simulated network, with the
+//! client workload, a partition/reconfiguration schedule, and metrics.
+//!
+//! Time advances in fixed ticks (default 1 ms). Each tick: due messages are
+//! delivered, replicas and the client take a step, scheduled actions fire,
+//! and outgoing messages are sent through the (possibly partitioned,
+//! bandwidth-limited) network.
+
+use crate::client::{Client, ClientConfig};
+use crate::metrics::RunReport;
+use crate::protocol::{
+    MpReplica, OmniReplica, ProtoMsg, ProtocolKind, RaftReplica, Replica, VrReplica,
+};
+use crate::{Cmd, NodeId};
+use omnipaxos::MigrationScheme;
+use simulator::{ms, sec, Network, NetworkConfig, SimTime};
+use std::collections::HashSet;
+
+/// A scheduled event. Partition shapes that depend on who currently leads
+/// (all of §2's scenarios do) are resolved against the live leader when the
+/// action fires, as the paper's testbed scripts did.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Cut both directions between two servers.
+    CutLink(NodeId, NodeId),
+    /// Heal both directions (runs the session-drop protocol).
+    HealLink(NodeId, NodeId),
+    /// Heal every link.
+    HealAll,
+    /// §2a: every server stays connected to one non-leader hub; all other
+    /// links (including the leader's, except to the hub) are cut. The old
+    /// leader stays alive and reachable from the hub.
+    QuorumLoss,
+    /// §2b stage 1: disconnect the designated hub from the leader so the
+    /// hub's log goes stale.
+    ConstrainedStage1,
+    /// §2b stage 2: fully partition the old leader; everyone else connects
+    /// only to the hub.
+    ConstrainedStage2,
+    /// §2c: in a 3-server chain, cut the leader from one follower, leaving
+    /// the third server connected to both.
+    Chained,
+    /// §2c general case: connect the servers in a line (each only to its
+    /// pid-neighbours). With 5 servers no fully-connected server exists,
+    /// which is the configuration the paper argues livelocks Raft and VR
+    /// permanently (Table 1's chained column).
+    ChainedLine,
+    /// Submit a reconfiguration to the current leader (retries until a
+    /// leader accepts it).
+    Reconfigure(Vec<NodeId>),
+    /// Crash the current (effective) leader: its volatile state is lost,
+    /// its in-flight messages vanish, and it stays down until recovered.
+    CrashLeader,
+    /// Crash a specific server.
+    Crash(NodeId),
+    /// Recover a crashed server from its (simulated) persistent storage.
+    Recover(NodeId),
+    /// Recover every crashed server.
+    RecoverAll,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub protocol: ProtocolKind,
+    /// Members of the initial configuration: pids `1..=n`.
+    pub n: usize,
+    /// Extra servers outside the initial configuration (pids `n+1..`),
+    /// available as reconfiguration targets.
+    pub joiners: usize,
+    /// Client workload.
+    pub client: ClientConfig,
+    /// Simulation tick (timer granularity), µs.
+    pub tick_us: SimTime,
+    /// Election timeout (BLE heartbeat round / Raft election base / FD
+    /// timeout), µs.
+    pub election_timeout_us: SimTime,
+    /// Default one-way link latency, µs (LAN: 100 ⇒ RTT 0.2 ms).
+    pub latency_us: SimTime,
+    /// Per-pair one-way latency overrides (for the WAN settings).
+    pub latency_overrides: Vec<(NodeId, NodeId, SimTime)>,
+    /// Outgoing NIC bandwidth per server (bytes/s); `None` = unconstrained.
+    pub nic_bytes_per_sec: Option<u64>,
+    /// Simulated run length, µs.
+    pub duration: SimTime,
+    /// Number of pre-loaded history entries (reconfiguration experiments).
+    pub initial_log: usize,
+    /// Declared size of each pre-loaded entry, bytes.
+    pub initial_entry_size: u32,
+    /// Throughput window length (5 s in the paper's Fig. 9), µs.
+    pub window_us: SimTime,
+    /// Gaps in decided replies at least this long count as down-time, µs.
+    pub gap_threshold_us: SimTime,
+    /// Scheduled actions (fired in time order at tick boundaries).
+    pub schedule: Vec<(SimTime, Action)>,
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            protocol: ProtocolKind::OmniPaxos,
+            n: 3,
+            joiners: 0,
+            client: ClientConfig::default(),
+            tick_us: ms(1),
+            election_timeout_us: ms(5),
+            latency_us: 100,
+            latency_overrides: Vec::new(),
+            nic_bytes_per_sec: None,
+            duration: sec(10),
+            initial_log: 0,
+            initial_entry_size: 8,
+            window_us: sec(5),
+            gap_threshold_us: ms(100),
+            schedule: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+/// One simulation run in progress.
+pub struct Runner {
+    config: RunConfig,
+    replicas: Vec<Box<dyn Replica>>,
+    net: Network<ProtoMsg>,
+    client: Client,
+    /// Directed links we have cut (for reconnect notifications on heal).
+    cut: HashSet<(NodeId, NodeId)>,
+    schedule: Vec<(SimTime, Action)>,
+    /// A reconfigure action waiting for a leader to accept it.
+    pending_reconfig: Option<Vec<NodeId>>,
+    reconfig_target: Option<Vec<NodeId>>,
+    reconfig_done_at: Option<SimTime>,
+    last_resubmit: SimTime,
+    /// Remembered by `ConstrainedStage1` for stage 2.
+    constrained: Option<(NodeId, NodeId)>, // (hub, old_leader)
+    /// Servers currently crashed (fail-recovery model).
+    crashed: HashSet<NodeId>,
+    /// Servers shut down by the operator after leaving the configuration.
+    /// A removed-but-uninformed Raft server otherwise disrupts the cluster
+    /// with ever-higher terms (Raft §6's disruptive-server problem); real
+    /// deployments (e.g. TiKV) destroy the removed peer at the application
+    /// layer once the change is through.
+    decommissioned: HashSet<NodeId>,
+}
+
+impl Runner {
+    /// Build a run: replicas, network, client.
+    pub fn new(config: RunConfig) -> Self {
+        let n = config.n;
+        let all: Vec<NodeId> = (1..=n as NodeId).collect();
+        let total = n + config.joiners;
+        let ticks_per_election = (config.election_timeout_us / config.tick_us).max(1);
+        let initial_log: Vec<Cmd> = (0..config.initial_log as u64)
+            .map(|i| Cmd::sized(i, config.initial_entry_size))
+            .collect();
+        let mut replicas: Vec<Box<dyn Replica>> = Vec::with_capacity(total);
+        for pid in 1..=total as NodeId {
+            let member = pid <= n as NodeId;
+            let r: Box<dyn Replica> = match config.protocol {
+                ProtocolKind::OmniPaxos | ProtocolKind::OmniPaxosLeaderMigration => {
+                    let scheme = if config.protocol == ProtocolKind::OmniPaxos {
+                        MigrationScheme::Parallel
+                    } else {
+                        MigrationScheme::LeaderOnly
+                    };
+                    if member {
+                        Box::new(OmniReplica::new(
+                            pid,
+                            all.clone(),
+                            scheme,
+                            ticks_per_election,
+                            initial_log.clone(),
+                        ))
+                    } else {
+                        Box::new(OmniReplica::joiner(pid, scheme, ticks_per_election))
+                    }
+                }
+                ProtocolKind::Raft | ProtocolKind::RaftPvCq => {
+                    let pv_cq = config.protocol == ProtocolKind::RaftPvCq;
+                    let log = if member {
+                        initial_log.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    Box::new(RaftReplica::new(
+                        pid,
+                        all.clone(),
+                        pv_cq,
+                        ticks_per_election,
+                        config.seed,
+                        log,
+                    ))
+                }
+                ProtocolKind::MultiPaxos => {
+                    assert!(config.joiners == 0, "Multi-Paxos: no reconfiguration");
+                    Box::new(MpReplica::new(pid, all.clone(), ticks_per_election * 4))
+                }
+                ProtocolKind::Vr => {
+                    assert!(config.joiners == 0, "VR baseline: no reconfiguration");
+                    Box::new(VrReplica::new(pid, all.clone(), ticks_per_election * 4))
+                }
+            };
+            replicas.push(r);
+        }
+        let net = Network::new(NetworkConfig {
+            nodes: (1..=total as NodeId).collect(),
+            default_latency_us: config.latency_us,
+            jitter_us: 0,
+            nic_bytes_per_sec: config.nic_bytes_per_sec,
+            priority_bytes: 256,
+            seed: config.seed,
+        });
+        let client = Client::new(
+            config.client.clone(),
+            config.window_us,
+            config.gap_threshold_us,
+        );
+        let mut schedule = config.schedule.clone();
+        schedule.sort_by_key(|(t, _)| *t);
+        schedule.reverse(); // pop() yields earliest
+        let mut runner = Runner {
+            replicas,
+            net,
+            client,
+            cut: HashSet::new(),
+            schedule,
+            pending_reconfig: None,
+            reconfig_target: None,
+            reconfig_done_at: None,
+            last_resubmit: 0,
+            constrained: None,
+            crashed: HashSet::new(),
+            decommissioned: HashSet::new(),
+            config,
+        };
+        // Per-pair latency overrides (WAN settings).
+        for (a, b, lat) in runner.config.latency_overrides.clone() {
+            runner.net.links_mut().set_config_sym(
+                a,
+                b,
+                simulator::LinkConfig {
+                    latency_us: lat,
+                    loss: 0.0,
+                },
+            );
+        }
+        if runner.config.window_us > 0 {
+            // Per-node IO windows for the Fig. 9 peak-IO metric.
+            // (Enabled on the stats side lazily; see simulator::NetStats.)
+        }
+        runner
+    }
+
+    /// Execute the run to completion and report.
+    pub fn run(mut self) -> RunReport {
+        // Enable IO windowing before any traffic.
+        self.enable_io_windows();
+        let total = self.replicas.len();
+        let mut now: SimTime = 0;
+        while now < self.config.duration {
+            let next_tick = now + self.config.tick_us;
+            // Deliver everything due in this tick.
+            while let Some(d) = self.net.pop_next_before(next_tick) {
+                let idx = (d.dst - 1) as usize;
+                if idx < total
+                    && !self.decommissioned.contains(&d.dst)
+                    && !self.crashed.contains(&d.dst)
+                {
+                    self.replicas[idx].handle(d.src, d.msg);
+                }
+            }
+            now = next_tick;
+            self.net.advance_to(now);
+            // Scheduled actions.
+            while self.schedule.last().is_some_and(|(t, _)| *t <= now) {
+                let (_, action) = self.schedule.pop().expect("checked");
+                self.apply_action(action);
+            }
+            // Retry a pending reconfiguration until a leader accepts it,
+            // and periodically re-submit until the target configuration is
+            // live: a leader change can strand an in-flight change (the
+            // paper observed Raft needing multiple attempts, §7.3).
+            if let Some(target) = self.pending_reconfig.clone() {
+                if self.submit_reconfig(&target) {
+                    self.pending_reconfig = None;
+                    self.last_resubmit = now;
+                }
+            } else if self.reconfig_done_at.is_none() {
+                if let Some(target) = self.reconfig_target.clone() {
+                    if now.saturating_sub(self.last_resubmit) >= sec(2) {
+                        self.last_resubmit = now;
+                        let _ = self.submit_reconfig(&target);
+                    }
+                }
+            }
+            // Replica timers and the client step.
+            for r in self.replicas.iter_mut() {
+                if !self.decommissioned.contains(&r.pid()) && !self.crashed.contains(&r.pid()) {
+                    r.tick();
+                }
+            }
+            self.client.step(now, &mut self.replicas);
+            // Send outgoing traffic.
+            for i in 0..total {
+                let from = (i + 1) as NodeId;
+                if self.decommissioned.contains(&from) || self.crashed.contains(&from) {
+                    let _ = self.replicas[i].outgoing();
+                    continue;
+                }
+                for (to, msg) in self.replicas[i].outgoing() {
+                    if to == 0 || to as usize > total {
+                        continue;
+                    }
+                    let bytes = msg.size_bytes();
+                    self.net.send(from, to, bytes, msg);
+                }
+            }
+            // Reconfiguration completion check.
+            if self.reconfig_done_at.is_none() {
+                if let Some(target) = self.reconfig_target.clone() {
+                    if self.pending_reconfig.is_none()
+                        && target
+                            .iter()
+                            .all(|&p| self.replicas[(p - 1) as usize].reconfigured_to(&target))
+                    {
+                        self.reconfig_done_at = Some(now);
+                        // Operator shuts down the servers that left.
+                        for p in 1..=self.config.n as NodeId {
+                            if !target.contains(&p) {
+                                self.decommissioned.insert(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.finish(now)
+    }
+
+    fn enable_io_windows(&mut self) {
+        // NetStats windowing is configured through the network's stats; the
+        // Network exposes it via links()/stats() — add windows equal to the
+        // report window.
+        let w = self.config.window_us;
+        self.net.stats_mut().enable_io_windows(w);
+    }
+
+    fn finish(mut self, end: SimTime) -> RunReport {
+        self.client.decides.finalize(end);
+        let leader_changes = self
+            .replicas
+            .iter()
+            .map(|r| r.leader_changes())
+            .max()
+            .unwrap_or(0);
+        let final_rank = self
+            .replicas
+            .iter()
+            .map(|r| r.leader_rank())
+            .max()
+            .unwrap_or(0);
+        let bytes_sent: Vec<(NodeId, u64)> = (1..=self.replicas.len() as NodeId)
+            .map(|p| (p, self.net.stats().bytes_sent(p)))
+            .collect();
+        let peak_window_bytes: Vec<(NodeId, u64)> = (1..=self.replicas.len() as NodeId)
+            .map(|p| (p, self.net.stats().peak_window_bytes(p)))
+            .collect();
+        RunReport {
+            protocol: self.config.protocol.name().to_string(),
+            total_decided: self.client.completed(),
+            decides: self.client.decides.clone(),
+            leader_changes,
+            final_rank,
+            bytes_sent,
+            peak_window_bytes,
+            reconfig_done_at: self.reconfig_done_at,
+            latency: self.client.latencies.clone(),
+            duration: end,
+        }
+    }
+
+    /// The pid of the freshest leader claimant (0 if none).
+    fn effective_leader(&self) -> NodeId {
+        self.replicas
+            .iter()
+            .filter(|r| r.is_leader())
+            .max_by_key(|r| r.leader_rank())
+            .map(|r| r.pid())
+            .unwrap_or(0)
+    }
+
+    fn members(&self) -> Vec<NodeId> {
+        (1..=self.config.n as NodeId).collect()
+    }
+
+    fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        self.net.links_mut().set_link(a, b, false);
+        self.cut.insert((a, b));
+        self.cut.insert((b, a));
+    }
+
+    fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        if self.net.links_mut().set_link(a, b, true) {
+            self.replicas[(a - 1) as usize].reconnected(b);
+            self.replicas[(b - 1) as usize].reconnected(a);
+        }
+        self.cut.remove(&(a, b));
+        self.cut.remove(&(b, a));
+    }
+
+    fn apply_action(&mut self, action: Action) {
+        match action {
+            Action::CutLink(a, b) => self.cut_link(a, b),
+            Action::HealLink(a, b) => self.heal_link(a, b),
+            Action::HealAll => {
+                let pairs: Vec<(NodeId, NodeId)> = self.cut.iter().copied().collect();
+                for (a, b) in pairs {
+                    self.heal_link(a, b);
+                }
+            }
+            Action::QuorumLoss => {
+                let members = self.members();
+                let leader = self.effective_leader();
+                let hub = members
+                    .iter()
+                    .copied()
+                    .find(|&p| p != leader)
+                    .expect("a non-leader exists");
+                for &a in &members {
+                    for &b in &members {
+                        if a < b && a != hub && b != hub {
+                            self.cut_link(a, b);
+                        }
+                    }
+                }
+            }
+            Action::ConstrainedStage1 => {
+                let leader = self.effective_leader();
+                let hub = self
+                    .members()
+                    .into_iter()
+                    .find(|&p| p != leader)
+                    .expect("a non-leader exists");
+                self.constrained = Some((hub, leader));
+                self.cut_link(hub, leader);
+            }
+            Action::ConstrainedStage2 => {
+                let (hub, old_leader) = self.constrained.expect("ConstrainedStage1 must run first");
+                let members = self.members();
+                // Old leader fully partitioned; everyone else only sees the
+                // hub (Fig. 1b).
+                for &a in &members {
+                    for &b in &members {
+                        if a < b {
+                            let keeps =
+                                (a == hub || b == hub) && a != old_leader && b != old_leader;
+                            if !keeps {
+                                self.cut_link(a, b);
+                            }
+                        }
+                    }
+                }
+            }
+            Action::Chained => {
+                let members = self.members();
+                assert_eq!(members.len(), 3, "chained scenario runs on 3 servers");
+                let leader = self.effective_leader();
+                let others: Vec<NodeId> = members.into_iter().filter(|&p| p != leader).collect();
+                // Cut leader <-> others[1]; others[0] is the middle server.
+                self.cut_link(leader, others[1]);
+            }
+            Action::ChainedLine => {
+                let members = self.members();
+                for (i, &a) in members.iter().enumerate() {
+                    for &b in members.iter().skip(i + 2) {
+                        self.cut_link(a, b);
+                    }
+                }
+            }
+            Action::CrashLeader => {
+                let leader = self.effective_leader();
+                if leader != 0 {
+                    self.apply_action(Action::Crash(leader));
+                }
+            }
+            Action::Crash(pid) => {
+                self.crashed.insert(pid);
+                self.net.drop_in_flight_for(pid);
+            }
+            Action::Recover(pid) => {
+                if self.crashed.remove(&pid) {
+                    self.replicas[(pid - 1) as usize].fail_recovery();
+                }
+            }
+            Action::RecoverAll => {
+                let crashed: Vec<NodeId> = self.crashed.iter().copied().collect();
+                for pid in crashed {
+                    self.apply_action(Action::Recover(pid));
+                }
+            }
+            Action::Reconfigure(new_nodes) => {
+                self.reconfig_target = Some(new_nodes.clone());
+                if !self.submit_reconfig(&new_nodes) {
+                    self.pending_reconfig = Some(new_nodes);
+                }
+            }
+        }
+    }
+
+    fn submit_reconfig(&mut self, new_nodes: &[NodeId]) -> bool {
+        let leader = self.effective_leader();
+        if leader == 0 {
+            return false;
+        }
+        self.replicas[(leader - 1) as usize].reconfigure(new_nodes.to_vec())
+    }
+}

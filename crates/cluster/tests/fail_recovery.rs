@@ -1,0 +1,105 @@
+//! Fail-recovery experiments through the full harness (§3's failure model):
+//! servers crash (volatile state lost, storage kept), stay down, and
+//! recover — availability and safety must behave as the model promises.
+
+use cluster::client::ClientConfig;
+use cluster::protocol::ProtocolKind;
+use cluster::runner::{Action, RunConfig, Runner};
+use simulator::{ms, sec};
+
+fn base_config(schedule: Vec<(u64, Action)>) -> RunConfig {
+    RunConfig {
+        protocol: ProtocolKind::OmniPaxos,
+        n: 3,
+        client: ClientConfig {
+            cp: 50,
+            entry_size: 8,
+            max_inject_per_tick: 50,
+            retry_ticks: 100,
+        },
+        election_timeout_us: ms(20),
+        duration: sec(12),
+        window_us: sec(1),
+        gap_threshold_us: ms(40),
+        schedule,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn follower_crash_does_not_interrupt_service() {
+    // Crash a follower at 3 s, recover it at 6 s: a majority remains, so
+    // the client harvest must show no down-time at all.
+    let config = base_config(vec![
+        (sec(3), Action::Crash(1)),
+        (sec(6), Action::Recover(1)),
+    ]);
+    // Pid 3 wins the initial election (max ballot), so pid 1 is a follower.
+    let report = Runner::new(config).run();
+    assert_eq!(
+        report.decides.downtime_in(sec(2), sec(11)),
+        0,
+        "a follower crash must be invisible to clients"
+    );
+    assert!(report.total_decided > 100_000);
+}
+
+#[test]
+fn leader_crash_recovers_within_bounded_downtime() {
+    let config = base_config(vec![
+        (sec(3), Action::CrashLeader),
+        (sec(7), Action::RecoverAll),
+    ]);
+    let report = Runner::new(config).run();
+    let downtime = report.decides.downtime_in(sec(3), sec(11));
+    assert!(downtime > 0, "a leader crash must be visible");
+    assert!(
+        downtime <= ms(200),
+        "fail-over took {downtime}us, expected a few election timeouts"
+    );
+    // Service resumed long before (and independent of) the recovery.
+    assert!(report.decides.decided_in(sec(4), sec(7)) > 0);
+}
+
+#[test]
+fn repeated_rolling_crashes_never_lose_decided_entries() {
+    // Roll a crash through every server, one at a time, with recovery in
+    // between; total decided keeps growing and the run ends healthy.
+    let schedule = vec![
+        (sec(2), Action::Crash(1)),
+        (sec(3), Action::Recover(1)),
+        (sec(4), Action::Crash(2)),
+        (sec(5), Action::Recover(2)),
+        (sec(6), Action::Crash(3)),
+        (sec(7), Action::Recover(3)),
+        (sec(8), Action::CrashLeader),
+        (sec(9), Action::RecoverAll),
+    ];
+    let report = Runner::new(base_config(schedule)).run();
+    // Progress in the last second proves the cluster is healthy again.
+    assert!(
+        report.decides.decided_in(sec(11), sec(12)) > 10_000,
+        "cluster must be at full speed after the rolling restarts: {:?}",
+        report.decides.series().values()
+    );
+}
+
+#[test]
+fn crash_during_partition_still_recovers_after_heal() {
+    // Combine the failure modes: partition the cluster, crash a server
+    // inside the majority side, recover and heal.
+    let schedule = vec![
+        (sec(2), Action::CutLink(1, 2)),
+        (sec(2), Action::CutLink(1, 3)),
+        (sec(4), Action::Crash(2)),
+        (sec(5), Action::Recover(2)),
+        (sec(8), Action::HealAll),
+    ];
+    let report = Runner::new(base_config(schedule)).run();
+    assert!(
+        report.decides.decided_in(sec(10), sec(12)) > 10_000,
+        "cluster must recover after heal: {:?}",
+        report.decides.series().values()
+    );
+}

@@ -1,0 +1,78 @@
+//! Ballots: the totally-ordered rounds of Sequence Paxos and BLE.
+//!
+//! A ballot `b = (n, priority, pid)` uniquely identifies a round (paper
+//! §5.2, property LE3). `n` is the monotonically increasing round counter,
+//! `pid` the unique server id that makes ballots globally unique, and
+//! `priority` the optional custom tie-breaking field described in §5.2/§8:
+//! it orders candidates *within* the same `n` (e.g. to prefer a particular
+//! data centre) but never affects liveness — an elected candidate must still
+//! be quorum-connected.
+
+/// Unique identifier of a server. `0` is reserved as "no server".
+pub type NodeId = u64;
+
+/// A totally-ordered ballot. Ordering is lexicographic over
+/// `(n, priority, pid)`, so ballots are unique whenever `pid`s are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ballot {
+    /// Monotonically increasing round number.
+    pub n: u64,
+    /// Custom tie-breaking priority (paper §8). Zero when unused.
+    pub priority: u64,
+    /// Owning server; makes the ballot unique.
+    pub pid: NodeId,
+}
+
+impl Ballot {
+    /// Create a ballot.
+    pub fn new(n: u64, priority: u64, pid: NodeId) -> Self {
+        Ballot { n, priority, pid }
+    }
+
+    /// The "bottom" ballot: smaller than every ballot of a real server.
+    /// Used as the initial promise so that any leader's first Prepare is
+    /// accepted.
+    pub fn bottom() -> Self {
+        Ballot::default()
+    }
+}
+
+impl std::fmt::Display for Ballot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b({},{},{})", self.n, self.priority, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic_n_priority_pid() {
+        let low = Ballot::new(1, 9, 9);
+        let high = Ballot::new(2, 0, 1);
+        assert!(low < high, "n dominates");
+
+        let a = Ballot::new(2, 1, 9);
+        let b = Ballot::new(2, 2, 1);
+        assert!(a < b, "priority breaks ties within n");
+
+        let c = Ballot::new(2, 2, 2);
+        assert!(b < c, "pid breaks ties within (n, priority)");
+    }
+
+    #[test]
+    fn bottom_is_minimal() {
+        assert!(Ballot::bottom() < Ballot::new(0, 0, 1));
+        assert!(Ballot::bottom() < Ballot::new(1, 0, 0));
+        assert_eq!(Ballot::bottom(), Ballot::default());
+    }
+
+    #[test]
+    fn ballots_with_distinct_pids_are_unique() {
+        let a = Ballot::new(3, 0, 1);
+        let b = Ballot::new(3, 0, 2);
+        assert_ne!(a, b);
+        assert!(a < b || b < a, "total order");
+    }
+}

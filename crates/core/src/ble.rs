@@ -1,0 +1,468 @@
+//! Ballot Leader Election (BLE) — quorum-connected leader election (§5).
+//!
+//! BLE elects a server that is **quorum-connected** (QC): directly linked to
+//! a majority of correct servers, including itself. Unlike failure-detector
+//! style election, connectivity — not mere liveness of the current leader —
+//! is the election criterion, which is what makes Omni-Paxos resilient to
+//! the quorum-loss, constrained-election and chained partial partitions of
+//! §2.
+//!
+//! Servers exchange heartbeats in rounds. A heartbeat reply carries the
+//! responder's ballot and a flag saying whether the responder was
+//! quorum-connected in its previous round. At the end of a round a server
+//! knows (1) whether it is itself QC (it received a majority of replies) and
+//! (2) which peers are alive and QC. Only a QC server runs `check_leader`,
+//! and only QC ballots are candidates, which yields the properties:
+//!
+//! * **LE1 (QC-Completeness)** — eventually every QC server elects some QC
+//!   server, if one exists.
+//! * **LE2 (QC-Eventual Agreement)** — eventually no two QC servers in some
+//!   majority elect differently.
+//! * **LE3 (Monotonic Unique Ballots)** — elected ballots increase
+//!   monotonically and are unique.
+//!
+//! Deliberately, heartbeats do **not** gossip who the current leader is —
+//! the paper shows (chained scenario, §2c) that gossiping leader identity is
+//! what livelocks Multi-Paxos/Raft/Zab under partial connectivity.
+//!
+//! BLE is driven by a logical timer: the owner calls
+//! [`BallotLeaderElection::tick`] at a fixed interval; every
+//! `hb_timeout_ticks` ticks a heartbeat round closes and a new one starts.
+
+use crate::ballot::{Ballot, NodeId};
+use crate::messages::{BleMessage, BleMsg};
+use crate::util::majority;
+
+/// Static configuration for BLE.
+#[derive(Debug, Clone)]
+pub struct BleConfig {
+    /// This server.
+    pub pid: NodeId,
+    /// The other servers of the configuration.
+    pub peers: Vec<NodeId>,
+    /// Ticks per heartbeat round (the election timeout granularity).
+    pub hb_timeout_ticks: u64,
+    /// Custom ballot priority for tie-breaking (§8); zero when unused.
+    pub priority: u64,
+    /// §8's proposed optimization: stamp the ballot's priority with this
+    /// server's *connectivity* (number of reachable peers) whenever it
+    /// raises its ballot to take over. Among simultaneous takeover
+    /// candidates the best-connected one then wins the tie. Only applied at
+    /// takeover time — an established ballot never changes — so liveness
+    /// and LE3 are unaffected, exactly as §8 argues.
+    pub connectivity_priority: bool,
+    /// Starting round number of this server's ballot (zero for a fresh
+    /// server).
+    pub initial_n: u64,
+    /// Election floor: ballots not exceeding this are never (re-)elected.
+    /// A *recovering* server restarts with its persisted promise here —
+    /// the promise is proof of the highest election it ever followed, and
+    /// electing anything at or below it would wedge Sequence Paxos (it
+    /// only accepts elections above the promise). The normal takeover
+    /// increments then raise candidate ballots past the floor.
+    pub initial_leader: Ballot,
+}
+
+impl BleConfig {
+    /// Configuration for server `pid` among `nodes`.
+    pub fn with(pid: NodeId, nodes: &[NodeId], hb_timeout_ticks: u64) -> Self {
+        assert!(nodes.contains(&pid), "pid {pid} not in nodes {nodes:?}");
+        assert!(hb_timeout_ticks > 0, "hb_timeout_ticks must be positive");
+        BleConfig {
+            pid,
+            peers: nodes.iter().copied().filter(|&p| p != pid).collect(),
+            hb_timeout_ticks,
+            priority: 0,
+            connectivity_priority: false,
+            initial_n: 0,
+            initial_leader: Ballot::bottom(),
+        }
+    }
+}
+
+/// The Ballot Leader Election component (Fig. 4). One instance accompanies
+/// each Sequence Paxos instance (Fig. 2).
+#[derive(Debug)]
+pub struct BallotLeaderElection {
+    config: BleConfig,
+    /// Our ballot; incremented when we attempt to take over leadership.
+    current_ballot: Ballot,
+    /// Were we quorum-connected in the round that just ended? Carried in
+    /// our heartbeat replies during the current round.
+    quorum_connected: bool,
+    /// Ballot of the last elected leader ([`Ballot::bottom`] if none).
+    leader: Ballot,
+    /// Current heartbeat round number.
+    hb_round: u64,
+    /// `(ballot, quorum_connected)` replies received this round.
+    ballots: Vec<(Ballot, bool)>,
+    /// Peers heard from in the last completed round, including self
+    /// (the connectivity measure of the §8 ballot extension).
+    last_connectivity: u64,
+    /// Is this server currently a viable leader candidate? False while the
+    /// owning replica recovers from a crash (§4.1.3): like a leader that
+    /// lost quorum-connectivity, it gives up candidacy by flagging
+    /// `quorum_connected = false` until it has resynchronized.
+    viable: bool,
+    ticks_elapsed: u64,
+    outgoing: Vec<BleMessage>,
+}
+
+impl BallotLeaderElection {
+    /// Create a BLE instance and send the first round of heartbeat
+    /// requests.
+    pub fn new(config: BleConfig) -> Self {
+        let current_ballot = Ballot::new(config.initial_n, config.priority, config.pid);
+        let initial_leader = config.initial_leader;
+        let mut ble = BallotLeaderElection {
+            config,
+            current_ballot,
+            quorum_connected: true,
+            leader: initial_leader,
+            hb_round: 0,
+            ballots: Vec::new(),
+            last_connectivity: 1,
+            viable: true,
+            ticks_elapsed: 0,
+            outgoing: Vec::new(),
+        };
+        ble.new_round();
+        ble
+    }
+
+    /// Our current ballot.
+    pub fn current_ballot(&self) -> Ballot {
+        self.current_ballot
+    }
+
+    /// The ballot we consider elected ([`Ballot::bottom`] if none).
+    pub fn leader(&self) -> Ballot {
+        self.leader
+    }
+
+    /// Were we quorum-connected at the end of the last round?
+    pub fn is_quorum_connected(&self) -> bool {
+        self.quorum_connected
+    }
+
+    /// Mark this server (non-)viable as a leader candidate. A recovering
+    /// replica sets this to `false` so peers elect someone else instead of
+    /// trusting the ghost of its pre-crash ballot; reusing a crashed
+    /// leader's ballot with `qc = true` would deadlock the election.
+    pub fn set_viable(&mut self, viable: bool) {
+        self.viable = viable;
+    }
+
+    /// Drain queued outgoing heartbeat messages.
+    pub fn outgoing_messages(&mut self) -> Vec<BleMessage> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Advance the logical clock by one tick. Returns `Some(ballot)` when
+    /// this round elected a (new) leader; the owner forwards it to
+    /// `SequencePaxos::handle_leader`.
+    pub fn tick(&mut self) -> Option<Ballot> {
+        self.ticks_elapsed += 1;
+        if self.ticks_elapsed >= self.config.hb_timeout_ticks {
+            self.ticks_elapsed = 0;
+            self.hb_timeout()
+        } else {
+            None
+        }
+    }
+
+    /// Feed one incoming heartbeat message.
+    pub fn handle_message(&mut self, m: BleMessage) {
+        match m.msg {
+            BleMsg::HeartbeatRequest { round } => {
+                self.outgoing.push(BleMessage {
+                    from: self.config.pid,
+                    to: m.from,
+                    msg: BleMsg::HeartbeatReply {
+                        round,
+                        ballot: self.current_ballot,
+                        quorum_connected: self.quorum_connected,
+                    },
+                });
+            }
+            BleMsg::HeartbeatReply {
+                round,
+                ballot,
+                quorum_connected,
+            } => {
+                // Late replies from earlier rounds are ignored (§5.2,
+                // correctness): they carry stale connectivity information.
+                if round == self.hb_round {
+                    self.ballots.push((ballot, quorum_connected));
+                }
+            }
+        }
+    }
+
+    /// Close the current heartbeat round: determine our own
+    /// quorum-connectivity, run `check_leader` if we may, and open the next
+    /// round (Fig. 4).
+    fn hb_timeout(&mut self) -> Option<Ballot> {
+        let replies = self.ballots.len();
+        self.last_connectivity = replies as u64 + 1;
+        // A server is QC when it heard from a majority (counting itself).
+        let connected = replies + 1 >= majority(self.config.peers.len() + 1);
+        // Candidacy additionally requires viability (not mid-recovery).
+        let qc = connected && self.viable;
+        self.ballots.push((self.current_ballot, qc));
+        self.quorum_connected = qc;
+        // Only a quorum-connected server may elect (LE1): electing from a
+        // minority view could pick a server that cannot make progress. A
+        // recovering server still *elects* (it must learn the leader), it
+        // just cannot be a candidate itself.
+        let elected = if connected { self.check_leader() } else { None };
+        self.ballots.clear();
+        self.new_round();
+        elected
+    }
+
+    /// Elect the maximum quorum-connected ballot, or start a takeover if
+    /// the current leader is no longer a QC candidate (Fig. 4 ①).
+    fn check_leader(&mut self) -> Option<Ballot> {
+        let top = self
+            .ballots
+            .iter()
+            .filter(|(_, qc)| *qc)
+            .map(|(b, _)| *b)
+            .max()
+            .unwrap_or_default();
+        if top < self.leader {
+            // The elected leader has lost quorum-connectivity (its replies
+            // say so, or it is unreachable). Raise our ballot above it and
+            // compete next round; LE3 keeps elected ballots monotonic.
+            self.current_ballot.n = self.current_ballot.n.max(self.leader.n) + 1;
+            if self.config.connectivity_priority {
+                // §8: stamp the fresh ballot with our current connectivity
+                // so the best-connected takeover candidate wins the tie.
+                self.current_ballot.priority = self.last_connectivity;
+            }
+            self.leader = Ballot::bottom();
+            None
+        } else if top > self.leader {
+            self.leader = top;
+            Some(top)
+        } else {
+            None // stable leader
+        }
+    }
+
+    fn new_round(&mut self) {
+        self.hb_round += 1;
+        for &peer in &self.config.peers {
+            self.outgoing.push(BleMessage {
+                from: self.config.pid,
+                to: peer,
+                msg: BleMsg::HeartbeatRequest {
+                    round: self.hb_round,
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a full heartbeat round for one BLE given replies from `peers`.
+    fn run_round(ble: &mut BallotLeaderElection, replies: &[(Ballot, bool)]) -> Option<Ballot> {
+        let round = ble.hb_round;
+        for (i, &(ballot, qc)) in replies.iter().enumerate() {
+            ble.handle_message(BleMessage {
+                from: 100 + i as NodeId,
+                to: ble.config.pid,
+                msg: BleMsg::HeartbeatReply {
+                    round,
+                    ballot,
+                    quorum_connected: qc,
+                },
+            });
+        }
+        let mut out = None;
+        for _ in 0..ble.config.hb_timeout_ticks {
+            if let Some(b) = ble.tick() {
+                out = Some(b);
+            }
+        }
+        out
+    }
+
+    fn ble(pid: NodeId, n: usize) -> BallotLeaderElection {
+        let nodes: Vec<NodeId> = (1..=n as NodeId).collect();
+        BallotLeaderElection::new(BleConfig::with(pid, &nodes, 4))
+    }
+
+    #[test]
+    fn elects_max_qc_ballot() {
+        let mut b = ble(1, 3);
+        let other = Ballot::new(0, 0, 3);
+        let elected = run_round(&mut b, &[(other, true)]);
+        assert_eq!(elected, Some(other), "highest QC ballot (pid 3) wins");
+    }
+
+    #[test]
+    fn non_qc_ballots_are_not_candidates() {
+        let mut b = ble(2, 3);
+        let high_but_not_qc = Ballot::new(5, 0, 3);
+        let elected = run_round(&mut b, &[(high_but_not_qc, false)]);
+        // Only our own ballot is a candidate; it is the top and gets elected.
+        assert_eq!(elected, Some(b.current_ballot()));
+    }
+
+    #[test]
+    fn minority_view_does_not_elect() {
+        // 5 servers, zero replies: not QC, no election possible.
+        let mut b = ble(1, 5);
+        let elected = run_round(&mut b, &[]);
+        assert_eq!(elected, None);
+        assert!(!b.is_quorum_connected());
+    }
+
+    #[test]
+    fn leader_loss_triggers_ballot_increment_then_takeover() {
+        let mut b = ble(1, 3);
+        let leader = Ballot::new(3, 0, 2);
+        assert_eq!(run_round(&mut b, &[(leader, true)]), Some(leader));
+        // Leader stops being QC: its reply now carries qc = false.
+        assert_eq!(run_round(&mut b, &[(leader, false)]), None);
+        assert!(b.current_ballot().n > leader.n, "raised above leader");
+        // Next round we are the top QC candidate and get elected.
+        let elected = run_round(&mut b, &[(leader, false)]);
+        assert_eq!(elected, Some(b.current_ballot()));
+        assert_eq!(b.leader(), b.current_ballot());
+    }
+
+    #[test]
+    fn stable_leader_is_not_reelected() {
+        let mut b = ble(1, 3);
+        let leader = Ballot::new(3, 0, 2);
+        assert_eq!(run_round(&mut b, &[(leader, true)]), Some(leader));
+        assert_eq!(run_round(&mut b, &[(leader, true)]), None);
+        assert_eq!(run_round(&mut b, &[(leader, true)]), None);
+    }
+
+    #[test]
+    fn late_replies_are_ignored() {
+        let mut b = ble(1, 5);
+        let stale = Ballot::new(9, 0, 4);
+        b.handle_message(BleMessage {
+            from: 4,
+            to: 1,
+            msg: BleMsg::HeartbeatReply {
+                round: b.hb_round.wrapping_sub(1),
+                ballot: stale,
+                quorum_connected: true,
+            },
+        });
+        assert!(b.ballots.is_empty(), "stale round reply must be dropped");
+    }
+
+    #[test]
+    fn heartbeat_request_gets_reply_with_current_flag() {
+        let mut b = ble(1, 3);
+        b.handle_message(BleMessage {
+            from: 2,
+            to: 1,
+            msg: BleMsg::HeartbeatRequest { round: 7 },
+        });
+        let out = ble_replies(&mut b);
+        assert_eq!(out.len(), 1);
+        match out[0].msg {
+            BleMsg::HeartbeatReply {
+                round,
+                ballot,
+                quorum_connected,
+            } => {
+                assert_eq!(round, 7);
+                assert_eq!(ballot, b.current_ballot());
+                assert!(quorum_connected, "initially assumed QC");
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    fn ble_replies(b: &mut BallotLeaderElection) -> Vec<BleMessage> {
+        b.outgoing_messages()
+            .into_iter()
+            .filter(|m| matches!(m.msg, BleMsg::HeartbeatReply { .. }))
+            .collect()
+    }
+
+    #[test]
+    fn priority_breaks_ties() {
+        let nodes = vec![1, 2, 3];
+        let mut cfg = BleConfig::with(1, &nodes, 4);
+        cfg.priority = 10;
+        let mut b = BallotLeaderElection::new(cfg);
+        // Peer ballot with same n, lower priority but higher pid.
+        let peer = Ballot::new(0, 0, 3);
+        let elected = run_round(&mut b, &[(peer, true)]);
+        assert_eq!(
+            elected,
+            Some(b.current_ballot()),
+            "our priority 10 beats pid 3's priority 0"
+        );
+    }
+
+    #[test]
+    fn takeover_raises_above_both_leader_and_own_ballot() {
+        let mut b = ble(1, 3);
+        // Elect a leader with high n.
+        let leader = Ballot::new(10, 0, 2);
+        run_round(&mut b, &[(leader, true)]);
+        // Lose it.
+        run_round(&mut b, &[]);
+        run_round(&mut b, &[(Ballot::new(0, 0, 3), true)]);
+        assert!(b.current_ballot().n >= 11);
+    }
+
+    #[test]
+    fn connectivity_priority_prefers_better_connected_takeover() {
+        // Two QC servers race to take over after losing the leader; the
+        // one that heard more peers must win the ballot tie (§8).
+        let nodes: Vec<NodeId> = (1..=5).collect();
+        let mut well = BleConfig::with(1, &nodes, 4);
+        well.connectivity_priority = true;
+        let mut poorly = BleConfig::with(5, &nodes, 4);
+        poorly.connectivity_priority = true;
+        let mut a = BallotLeaderElection::new(well); // hears 4 peers
+        let mut b = BallotLeaderElection::new(poorly); // hears 2 peers
+        let leader = Ballot::new(3, 0, 2);
+        run_round(
+            &mut a,
+            &[
+                (leader, true),
+                (Ballot::default(), false),
+                (Ballot::default(), false),
+                (Ballot::default(), false),
+            ],
+        );
+        run_round(&mut b, &[(leader, true), (Ballot::default(), false)]);
+        // Leader disappears: both take over.
+        run_round(&mut a, &[(Ballot::default(), false); 4]);
+        run_round(&mut b, &[(Ballot::default(), false); 2]);
+        let (ba, bb) = (a.current_ballot(), b.current_ballot());
+        assert_eq!(ba.n, bb.n, "both took over to leader.n + 1");
+        assert_eq!(ba.priority, 5, "a heard 4 peers + self");
+        assert_eq!(bb.priority, 3, "b heard 2 peers + self");
+        assert!(ba > bb, "better-connected candidate wins the tie");
+        // Despite the higher pid of b (5 > 1), a's connectivity dominates.
+    }
+
+    #[test]
+    fn quorum_connected_flag_tracks_received_majority() {
+        let mut b = ble(1, 5);
+        assert!(b.is_quorum_connected());
+        run_round(&mut b, &[]); // 1 of 5: minority
+        assert!(!b.is_quorum_connected());
+        let p = Ballot::new(0, 0, 2);
+        let q = Ballot::new(0, 0, 3);
+        run_round(&mut b, &[(p, false), (q, false)]); // 3 of 5: majority
+        assert!(b.is_quorum_connected());
+    }
+}

@@ -1,0 +1,82 @@
+//! # omnipaxos — a from-scratch reproduction of Omni-Paxos
+//!
+//! This crate implements the complete system of *Omni-Paxos: Breaking the
+//! Barriers of Partial Connectivity* (Ng, Haridi, Carbone — EuroSys 2023):
+//!
+//! * [`sequence_paxos`] — **Sequence Paxos** (§4), the log replication
+//!   protocol satisfying the Sequence Consensus properties (validity,
+//!   uniform agreement, integrity) with a Prepare phase that synchronizes a
+//!   possibly-lagging new leader and an Accept phase that pipelines entries
+//!   in FIFO order.
+//! * [`ble`] — **Ballot Leader Election** (§5), which elects a
+//!   *quorum-connected* server and guarantees progress as long as a single
+//!   quorum-connected server exists, under any partial network partition.
+//! * [`service`] — the **service layer** (§6): reconfiguration with
+//!   stop-signs and decentralized, parallel log migration.
+//!
+//! The crate is **sans-IO**: replicas are passive state machines that are
+//! fed messages, leader events and timer ticks, and queue outgoing
+//! messages. The same code therefore runs under the deterministic simulator
+//! used by the evaluation harness, in unit tests, or behind real sockets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use omnipaxos::{OmniPaxos, OmniPaxosConfig, MemoryStorage, LogEntry};
+//!
+//! // Three replicas of configuration 1.
+//! let nodes = vec![1, 2, 3];
+//! let mut replicas: Vec<OmniPaxos<u64, MemoryStorage<u64>>> = nodes
+//!     .iter()
+//!     .map(|&pid| {
+//!         OmniPaxos::new(
+//!             OmniPaxosConfig::with(1, pid, nodes.clone()),
+//!             MemoryStorage::new(),
+//!         )
+//!     })
+//!     .collect();
+//!
+//! // Deliver every queued message to its destination until quiescent,
+//! // ticking the logical clocks (drives BLE elections).
+//! let mut deliver = |replicas: &mut Vec<OmniPaxos<u64, MemoryStorage<u64>>>| {
+//!     for _ in 0..100 {
+//!         for i in 0..replicas.len() {
+//!             replicas[i].tick();
+//!             for m in replicas[i].outgoing_messages() {
+//!                 let to = m.to() as usize - 1;
+//!                 replicas[to].handle_message(m);
+//!             }
+//!         }
+//!     }
+//! };
+//! deliver(&mut replicas);
+//!
+//! // A leader has been elected; propose through it.
+//! let leader = replicas.iter_mut().position(|r| r.is_leader()).unwrap();
+//! replicas[leader].append(42).unwrap();
+//! deliver(&mut replicas);
+//!
+//! for r in &replicas {
+//!     assert_eq!(r.read_decided(0), vec![LogEntry::Normal(42)]);
+//! }
+//! ```
+
+pub mod ballot;
+pub mod ble;
+pub mod messages;
+pub mod omni;
+pub mod sequence_paxos;
+pub mod service;
+pub mod storage;
+pub mod util;
+pub mod wal;
+
+pub use ballot::{Ballot, NodeId};
+pub use ble::{BallotLeaderElection, BleConfig};
+pub use messages::{BleMessage, BleMsg, Message, PaxosMsg};
+pub use omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
+pub use sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
+pub use service::{MigrationScheme, OmniPaxosServer, ServerConfig, ServerRole, ServiceMsg};
+pub use storage::{MemoryStorage, Storage, TrimError};
+pub use util::{majority, Entry, LogEntry, StopSign};
+pub use wal::{WalEncode, WalStorage};

@@ -1,0 +1,262 @@
+//! Wire messages of Sequence Paxos (Fig. 3) and Ballot Leader Election
+//! (Fig. 4).
+//!
+//! Every message carries the sender's current ballot so that obsolete
+//! messages from lower rounds are detected and ignored (§4.1). Messages also
+//! expose an approximate wire size so the simulation harness can account for
+//! IO, which the paper measures during reconfiguration (§7.3).
+
+use crate::ballot::{Ballot, NodeId};
+use crate::util::{Entry, LogEntry};
+
+/// Fixed per-message framing overhead we charge in the size model: message
+/// tag, ballot, and a couple of indices. The exact constant only needs to be
+/// plausible — experiments compare protocols under the *same* model.
+pub const HEADER_BYTES: usize = 32;
+
+/// `⟨Prepare⟩` — sent by a new leader to start log synchronization (§4.1.1).
+/// Carries the leader's state so followers can compute which suffix to send
+/// back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prepare {
+    /// The leader's round.
+    pub n: Ballot,
+    /// The leader's decided index.
+    pub decided_idx: u64,
+    /// The round in which the leader last accepted entries.
+    pub accepted_rnd: Ballot,
+    /// The leader's log length.
+    pub log_idx: u64,
+}
+
+/// `⟨Promise⟩` — a follower's reply to `Prepare`: it promises not to accept
+/// entries from lower rounds, and ships any log suffix the leader is missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Promise<T> {
+    /// The promised round.
+    pub n: Ballot,
+    /// The follower's accepted round.
+    pub accepted_rnd: Ballot,
+    /// The follower's log length.
+    pub log_idx: u64,
+    /// The follower's decided index.
+    pub decided_idx: u64,
+    /// Entries the leader might be missing. Starts at the leader's
+    /// `decided_idx` if the follower's accepted round is higher than the
+    /// leader's, at the leader's `log_idx` if rounds are equal and the
+    /// follower's log is longer, and is empty otherwise.
+    pub suffix: Vec<LogEntry<T>>,
+}
+
+/// `⟨AcceptSync⟩` — the leader's synchronizing write: truncate the
+/// follower's log at `sync_idx` and append `suffix` (§4.1.1). After handling
+/// it, the follower's log is a prefix of the leader's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptSync<T> {
+    /// The leader's round.
+    pub n: Ballot,
+    /// Absolute index at which `suffix` starts.
+    pub sync_idx: u64,
+    /// The leader's current decided index (piggybacked).
+    pub decided_idx: u64,
+    /// The leader's log from `sync_idx` onward.
+    pub suffix: Vec<LogEntry<T>>,
+}
+
+/// `⟨AcceptDecide⟩` — pipelined replication in the Accept phase (§4.1.2):
+/// new entries plus the leader's latest decided index in one message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptDecide<T> {
+    /// The leader's round.
+    pub n: Ballot,
+    /// Absolute log index of `entries[0]`. The paper assumes session-based
+    /// FIFO *perfect* links; across a link-down period messages are lost,
+    /// so the follower must be able to detect that a predecessor batch
+    /// never arrived (a real TCP stack would have torn the session down).
+    /// A mismatch triggers resynchronization instead of misplacing entries.
+    pub start_idx: u64,
+    /// The leader's current decided index (piggybacked decide).
+    pub decided_idx: u64,
+    /// New entries, in log order.
+    pub entries: Vec<LogEntry<T>>,
+}
+
+/// `⟨Accepted⟩` — a follower acknowledges that its log is accepted up to
+/// `log_idx` in round `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accepted {
+    /// The follower's promised round.
+    pub n: Ballot,
+    /// The follower's log length after the append.
+    pub log_idx: u64,
+}
+
+/// `⟨Decide⟩` — the leader announces that the log is chosen up to
+/// `decided_idx`. Usually piggybacked on [`AcceptDecide`]; sent standalone
+/// when there is no new entry to carry it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decide {
+    /// The leader's round.
+    pub n: Ballot,
+    /// Index up to which the log is decided (exclusive).
+    pub decided_idx: u64,
+}
+
+/// The Sequence Paxos message alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaxosMsg<T> {
+    /// Sent by a recovering or reconnecting server to find the current
+    /// leader (§4.1.3); the leader answers with `Prepare`.
+    PrepareReq,
+    Prepare(Prepare),
+    Promise(Promise<T>),
+    AcceptSync(AcceptSync<T>),
+    AcceptDecide(AcceptDecide<T>),
+    Accepted(Accepted),
+    Decide(Decide),
+    /// Client proposals forwarded from a follower to the leader.
+    ProposalForward(Vec<LogEntry<T>>),
+}
+
+impl<T: Entry> PaxosMsg<T> {
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let payload = match self {
+            PaxosMsg::PrepareReq => 0,
+            PaxosMsg::Prepare(_) => 0,
+            PaxosMsg::Promise(p) => p.suffix.iter().map(LogEntry::size_bytes).sum(),
+            PaxosMsg::AcceptSync(a) => a.suffix.iter().map(LogEntry::size_bytes).sum(),
+            PaxosMsg::AcceptDecide(a) => a.entries.iter().map(LogEntry::size_bytes).sum(),
+            PaxosMsg::Accepted(_) => 0,
+            PaxosMsg::Decide(_) => 0,
+            PaxosMsg::ProposalForward(es) => es.iter().map(LogEntry::size_bytes).sum(),
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// Short tag for tracing.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PaxosMsg::PrepareReq => "PrepareReq",
+            PaxosMsg::Prepare(_) => "Prepare",
+            PaxosMsg::Promise(_) => "Promise",
+            PaxosMsg::AcceptSync(_) => "AcceptSync",
+            PaxosMsg::AcceptDecide(_) => "AcceptDecide",
+            PaxosMsg::Accepted(_) => "Accepted",
+            PaxosMsg::Decide(_) => "Decide",
+            PaxosMsg::ProposalForward(_) => "ProposalForward",
+        }
+    }
+}
+
+/// An addressed Sequence Paxos message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message<T> {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: PaxosMsg<T>,
+}
+
+impl<T: Entry> Message<T> {
+    /// Construct an addressed message.
+    pub fn with(from: NodeId, to: NodeId, msg: PaxosMsg<T>) -> Self {
+        Message { from, to, msg }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.msg.size_bytes()
+    }
+}
+
+/// Ballot Leader Election messages (Fig. 4). Heartbeats are request/reply so
+/// that a leader is only considered connected over *full-duplex* links (§8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BleMsg {
+    /// Start-of-round probe.
+    HeartbeatRequest {
+        /// The sender's heartbeat round.
+        round: u64,
+    },
+    /// Reply carrying the responder's ballot and quorum-connectivity flag.
+    HeartbeatReply {
+        /// Echoes the request's round; late replies are ignored.
+        round: u64,
+        /// The responder's current ballot.
+        ballot: Ballot,
+        /// Whether the responder was quorum-connected in its last round.
+        quorum_connected: bool,
+    },
+}
+
+impl BleMsg {
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        HEADER_BYTES
+    }
+}
+
+/// An addressed BLE message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BleMessage {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: BleMsg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small: PaxosMsg<u64> = PaxosMsg::AcceptDecide(AcceptDecide {
+            n: Ballot::new(1, 0, 1),
+            start_idx: 0,
+            decided_idx: 0,
+            entries: vec![LogEntry::Normal(1)],
+        });
+        let big: PaxosMsg<u64> = PaxosMsg::AcceptDecide(AcceptDecide {
+            n: Ballot::new(1, 0, 1),
+            start_idx: 1,
+            decided_idx: 0,
+            entries: (0..100).map(LogEntry::Normal).collect(),
+        });
+        assert_eq!(small.size_bytes(), HEADER_BYTES + 8);
+        assert_eq!(big.size_bytes(), HEADER_BYTES + 800);
+    }
+
+    #[test]
+    fn control_messages_are_header_sized() {
+        let m: PaxosMsg<u64> = PaxosMsg::PrepareReq;
+        assert_eq!(m.size_bytes(), HEADER_BYTES);
+        let d: PaxosMsg<u64> = PaxosMsg::Decide(Decide {
+            n: Ballot::bottom(),
+            decided_idx: 9,
+        });
+        assert_eq!(d.size_bytes(), HEADER_BYTES);
+        assert_eq!(
+            BleMsg::HeartbeatRequest { round: 1 }.size_bytes(),
+            HEADER_BYTES
+        );
+    }
+
+    #[test]
+    fn tags_cover_alphabet() {
+        let msgs: Vec<PaxosMsg<u64>> = vec![
+            PaxosMsg::PrepareReq,
+            PaxosMsg::Prepare(Prepare {
+                n: Ballot::bottom(),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+            PaxosMsg::Accepted(Accepted {
+                n: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ];
+        let tags: Vec<_> = msgs.iter().map(|m| m.tag()).collect();
+        assert_eq!(tags, vec!["PrepareReq", "Prepare", "Accepted"]);
+    }
+}

@@ -1,0 +1,406 @@
+//! The combined Omni-Paxos node of one configuration: a [`SequencePaxos`]
+//! replica plus its accompanying [`BallotLeaderElection`] (Fig. 2).
+//!
+//! The two components run concurrently and in isolation (§3): BLE elects a
+//! quorum-connected ballot and its output is fed into Sequence Paxos as a
+//! leader event; nothing else is shared. [`OmniPaxos`] is the glue that
+//! multiplexes their messages and timers behind one interface.
+
+use crate::ballot::{Ballot, NodeId};
+use crate::ble::{BallotLeaderElection, BleConfig};
+use crate::messages::{BleMessage, Message};
+use crate::sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
+use crate::storage::Storage;
+use crate::util::{Entry, LogEntry, StopSign};
+
+/// A message of either component, addressed between servers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OmniMessage<T> {
+    Paxos(Message<T>),
+    Ble(BleMessage),
+}
+
+impl<T: Entry> OmniMessage<T> {
+    /// The destination server.
+    pub fn to(&self) -> NodeId {
+        match self {
+            OmniMessage::Paxos(m) => m.to,
+            OmniMessage::Ble(m) => m.to,
+        }
+    }
+
+    /// The source server.
+    pub fn from(&self) -> NodeId {
+        match self {
+            OmniMessage::Paxos(m) => m.from,
+            OmniMessage::Ble(m) => m.from,
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            OmniMessage::Paxos(m) => m.size_bytes(),
+            OmniMessage::Ble(m) => m.msg.size_bytes(),
+        }
+    }
+}
+
+/// Configuration of an [`OmniPaxos`] node.
+#[derive(Debug, Clone)]
+pub struct OmniPaxosConfig {
+    /// Configuration (log segment) id.
+    pub config_id: u32,
+    /// This server.
+    pub pid: NodeId,
+    /// All servers of the configuration (including `pid`).
+    pub nodes: Vec<NodeId>,
+    /// Ticks per BLE heartbeat round; one tick is the owner's timer
+    /// granularity. The paper's election timeout corresponds to
+    /// `hb_timeout_ticks` × tick-interval.
+    pub hb_timeout_ticks: u64,
+    /// Ticks between retransmission sweeps (lost `Prepare`s etc.).
+    pub resend_ticks: u64,
+    /// Ballot priority for tie-breaking (§8).
+    pub priority: u64,
+    /// Stamp takeover ballots with connectivity so better-connected
+    /// candidates win ties (§8's proposed optimization).
+    pub connectivity_priority: bool,
+    /// Proposal buffer size while no leader is known.
+    pub buffer_size: usize,
+}
+
+impl OmniPaxosConfig {
+    /// Sensible defaults: 5-tick heartbeat rounds, resend every 50 ticks.
+    pub fn with(config_id: u32, pid: NodeId, nodes: Vec<NodeId>) -> Self {
+        OmniPaxosConfig {
+            config_id,
+            pid,
+            nodes,
+            hb_timeout_ticks: 5,
+            resend_ticks: 50,
+            priority: 0,
+            connectivity_priority: false,
+            buffer_size: 1_000_000,
+        }
+    }
+}
+
+/// One Omni-Paxos node: Sequence Paxos + BLE for a single configuration.
+pub struct OmniPaxos<T: Entry, S: Storage<T>> {
+    sp: SequencePaxos<T, S>,
+    ble: BallotLeaderElection,
+    config: OmniPaxosConfig,
+    ticks_since_resend: u64,
+    /// Ticks spent in the Recover phase (see `tick` for the viability
+    /// timeout).
+    recover_ticks: u64,
+}
+
+impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
+    /// Create a node from its configuration and (possibly pre-existing)
+    /// storage.
+    pub fn new(config: OmniPaxosConfig, storage: S) -> Self {
+        let mut sp_config = SequencePaxosConfig::with(config.config_id, config.pid, &config.nodes);
+        sp_config.buffer_size = config.buffer_size;
+        let mut ble_config = BleConfig::with(config.pid, &config.nodes, config.hb_timeout_ticks);
+        ble_config.priority = config.priority;
+        ble_config.connectivity_priority = config.connectivity_priority;
+        OmniPaxos {
+            sp: SequencePaxos::new(sp_config, storage),
+            ble: BallotLeaderElection::new(ble_config),
+            config,
+            ticks_since_resend: 0,
+            recover_ticks: 0,
+        }
+    }
+
+    /// This server's id.
+    pub fn pid(&self) -> NodeId {
+        self.config.pid
+    }
+
+    /// The configuration id.
+    pub fn config_id(&self) -> u32 {
+        self.config.config_id
+    }
+
+    /// Propose a client command.
+    pub fn append(&mut self, entry: T) -> Result<(), ProposeErr> {
+        self.sp.append(entry)
+    }
+
+    /// Propose a reconfiguration (stop-sign).
+    pub fn reconfigure(&mut self, ss: StopSign) -> Result<(), ProposeErr> {
+        self.sp.reconfigure(ss)
+    }
+
+    /// Advance logical time by one tick: drives BLE rounds and periodic
+    /// retransmission. Call at a fixed interval.
+    pub fn tick(&mut self) {
+        // A replica that is still resynchronizing after a crash should not
+        // be a leader candidate: if the current leader is healthy it will
+        // re-sync us shortly, and candidacy would only churn leadership.
+        // But if *no* leader above our persisted promise exists (e.g. the
+        // high-ballot servers all crashed), waiting would deadlock — so
+        // viability times out and the recovering server competes with its
+        // above-promise ballot; winning is safe because the Prepare phase
+        // synchronizes the leader's log (§5.2).
+        if self.sp.state().1 == Phase::Recover {
+            self.recover_ticks += 1;
+            let patience = self.config.hb_timeout_ticks * 4;
+            self.ble.set_viable(self.recover_ticks > patience);
+        } else {
+            self.recover_ticks = 0;
+            self.ble.set_viable(true);
+        }
+        if let Some(elected) = self.ble.tick() {
+            self.sp.handle_leader(elected);
+        }
+        self.ticks_since_resend += 1;
+        if self.ticks_since_resend >= self.config.resend_ticks {
+            self.ticks_since_resend = 0;
+            self.sp.resend_timeout();
+        }
+    }
+
+    /// Feed one incoming message.
+    pub fn handle_message(&mut self, msg: OmniMessage<T>) {
+        match msg {
+            OmniMessage::Paxos(m) => self.sp.handle_message(m),
+            OmniMessage::Ble(m) => self.ble.handle_message(m),
+        }
+    }
+
+    /// Drain all queued outgoing messages of both components.
+    pub fn outgoing_messages(&mut self) -> Vec<OmniMessage<T>> {
+        let mut out: Vec<OmniMessage<T>> = self
+            .sp
+            .outgoing_messages()
+            .into_iter()
+            .map(OmniMessage::Paxos)
+            .collect();
+        out.extend(
+            self.ble
+                .outgoing_messages()
+                .into_iter()
+                .map(OmniMessage::Ble),
+        );
+        out
+    }
+
+    /// Index up to which the log is decided.
+    pub fn decided_idx(&self) -> u64 {
+        self.sp.decided_idx()
+    }
+
+    /// Read decided entries from `from`.
+    pub fn read_decided(&self, from: u64) -> Vec<LogEntry<T>> {
+        self.sp.read_decided(from)
+    }
+
+    /// Absolute log length (accepted, not necessarily decided).
+    pub fn log_len(&self) -> u64 {
+        self.sp.log_len()
+    }
+
+    /// The ballot this node believes is the current leader.
+    pub fn leader(&self) -> Ballot {
+        self.sp.leader()
+    }
+
+    /// Is this node the elected leader in the Accept phase?
+    pub fn is_leader(&self) -> bool {
+        self.sp.state() == (Role::Leader, Phase::Accept)
+            || self.sp.state() == (Role::Leader, Phase::Prepare)
+    }
+
+    /// `(role, phase)` of the replication component.
+    pub fn state(&self) -> (Role, Phase) {
+        self.sp.state()
+    }
+
+    /// Was this node quorum-connected at the end of the last BLE round?
+    pub fn is_quorum_connected(&self) -> bool {
+        self.ble.is_quorum_connected()
+    }
+
+    /// The decided stop-sign, if this configuration is finished.
+    pub fn decided_stopsign(&self) -> Option<StopSign> {
+        self.sp.decided_stopsign()
+    }
+
+    /// Recover after a crash: volatile protocol state is rebuilt from
+    /// storage and peers are asked for the current leader (§4.1.3). The
+    /// fresh BLE instance starts with its election floor at the persisted
+    /// promise: a healthy leader at that ballot keeps leading undisturbed,
+    /// while anything lower is treated as lost leadership and taken over
+    /// with a higher ballot — so a stale pre-crash ballot can neither
+    /// masquerade as the current leader nor block re-election.
+    pub fn fail_recovery(&mut self) {
+        self.sp.fail_recovery();
+        let promise = self.sp.promised();
+        let mut ble_config = BleConfig::with(
+            self.config.pid,
+            &self.config.nodes,
+            self.config.hb_timeout_ticks,
+        );
+        ble_config.priority = self.config.priority;
+        ble_config.connectivity_priority = self.config.connectivity_priority;
+        ble_config.initial_leader = promise;
+        self.ble = BallotLeaderElection::new(ble_config);
+        self.ticks_since_resend = 0;
+        self.recover_ticks = 0;
+    }
+
+    /// Notify that the session to `pid` was re-established (§4.1.3).
+    pub fn reconnected(&mut self, pid: NodeId) {
+        self.sp.reconnected(pid);
+    }
+
+    /// Access the replication component (for tests and invariants).
+    pub fn sequence_paxos(&mut self) -> &mut SequencePaxos<T, S> {
+        &mut self.sp
+    }
+
+    /// Access the election component (for tests and invariants).
+    pub fn ble(&mut self) -> &mut BallotLeaderElection {
+        &mut self.ble
+    }
+}
+
+impl<T: Entry, S: Storage<T>> std::fmt::Debug for OmniPaxos<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmniPaxos")
+            .field("pid", &self.config.pid)
+            .field("config_id", &self.config.config_id)
+            .field("sp", &self.sp)
+            .field("ble_leader", &self.ble.leader())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+
+    type Node = OmniPaxos<u64, MemoryStorage<u64>>;
+
+    fn cluster(n: usize) -> Vec<Node> {
+        let nodes: Vec<NodeId> = (1..=n as NodeId).collect();
+        nodes
+            .iter()
+            .map(|&pid| {
+                OmniPaxos::new(
+                    OmniPaxosConfig::with(1, pid, nodes.clone()),
+                    MemoryStorage::new(),
+                )
+            })
+            .collect()
+    }
+
+    fn settle(nodes: &mut Vec<Node>, rounds: usize) {
+        for _ in 0..rounds {
+            for i in 0..nodes.len() {
+                nodes[i].tick();
+                for m in nodes[i].outgoing_messages() {
+                    let to = m.to() as usize - 1;
+                    nodes[to].handle_message(m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ticks_drive_election_and_replication() {
+        let mut nodes = cluster(3);
+        settle(&mut nodes, 40);
+        let leaders: Vec<NodeId> = nodes
+            .iter()
+            .filter(|n| n.is_leader())
+            .map(|n| n.pid())
+            .collect();
+        assert_eq!(leaders.len(), 1);
+        // The highest pid wins the first election (max initial ballot).
+        assert_eq!(leaders[0], 3);
+        let li = 2;
+        nodes[li].append(9).unwrap();
+        settle(&mut nodes, 40);
+        for n in &nodes {
+            assert_eq!(n.read_decided(0), vec![LogEntry::Normal(9)]);
+        }
+    }
+
+    #[test]
+    fn recovered_node_rejoins_without_stealing_leadership() {
+        let mut nodes = cluster(3);
+        settle(&mut nodes, 40);
+        let leader_ballot = nodes[0].leader();
+        // A *follower* crash-recovers while the leader stays healthy: it
+        // must re-sync without a leader change (viability gating).
+        nodes[0].fail_recovery();
+        settle(&mut nodes, 60);
+        assert_eq!(nodes[0].state().1, Phase::Accept, "resynced");
+        assert_eq!(
+            nodes[2].leader(),
+            leader_ballot,
+            "no leadership churn on follower recovery"
+        );
+    }
+
+    #[test]
+    fn recovery_viability_times_out_when_no_leader_exists() {
+        // Everyone crashes: promises exceed every live ballot, so only the
+        // viability timeout can restore the cluster.
+        let mut nodes = cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        nodes[li].append(1).unwrap();
+        settle(&mut nodes, 40);
+        for n in nodes.iter_mut() {
+            n.fail_recovery();
+        }
+        settle(&mut nodes, 200);
+        let leader = nodes.iter().position(|n| n.is_leader());
+        assert!(leader.is_some(), "a leader re-emerges: {nodes:?}");
+        let li = leader.unwrap();
+        nodes[li].append(2).unwrap();
+        settle(&mut nodes, 60);
+        for n in &nodes {
+            assert_eq!(
+                n.read_decided(0),
+                vec![LogEntry::Normal(1), LogEntry::Normal(2)],
+                "decided history survives a full-cluster restart"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_connectivity_flag_is_exposed() {
+        let mut nodes = cluster(3);
+        settle(&mut nodes, 40);
+        assert!(nodes.iter_mut().all(|n| n.is_quorum_connected()));
+        // A node ticked in isolation loses quorum connectivity.
+        let mut lone = OmniPaxos::<u64, MemoryStorage<u64>>::new(
+            OmniPaxosConfig::with(1, 1, vec![1, 2, 3]),
+            MemoryStorage::new(),
+        );
+        for _ in 0..20 {
+            lone.tick();
+            let _ = lone.outgoing_messages();
+        }
+        assert!(!lone.is_quorum_connected());
+    }
+
+    #[test]
+    fn message_metadata_is_consistent() {
+        let mut nodes = cluster(3);
+        nodes[0].tick();
+        for m in nodes[0].outgoing_messages() {
+            assert_eq!(m.from(), 1);
+            assert!(m.to() >= 2 && m.to() <= 3);
+            assert!(m.size_bytes() >= 32);
+        }
+    }
+}

@@ -1,0 +1,1242 @@
+//! Sequence Paxos — the log replication protocol of Omni-Paxos (§4).
+//!
+//! A replica is a passive state machine: the owner feeds it incoming
+//! [`Message`]s with [`SequencePaxos::handle_message`], leader events from
+//! BLE with [`SequencePaxos::handle_leader`], and client proposals with
+//! [`SequencePaxos::append`]; it queues outgoing messages which the owner
+//! drains with [`SequencePaxos::outgoing_messages`]. There is no internal
+//! clock or IO, which is what lets the same implementation run in the
+//! deterministic simulator and in tests.
+//!
+//! # Protocol summary
+//!
+//! Replication proceeds in rounds identified by [`Ballot`]s. A round has a
+//! *Prepare* phase — log synchronization, so a newly elected (possibly
+//! lagging, §5.2) leader adopts the most updated log among a majority — and
+//! an *Accept* phase, where entries are pipelined to promised followers in
+//! FIFO order and decided once a majority has accepted them. Recovery and
+//! link-session drops are handled with `PrepareReq` (§4.1.3).
+//!
+//! Outgoing `AcceptDecide` messages are batched per drain of
+//! [`SequencePaxos::outgoing_messages`]: all entries appended since the last
+//! drain travel in one message per follower, with the newest decided index
+//! piggybacked.
+
+use crate::ballot::{Ballot, NodeId};
+use crate::messages::{
+    AcceptDecide, AcceptSync, Accepted, Decide, Message, PaxosMsg, Prepare, Promise,
+};
+use crate::storage::Storage;
+use crate::util::{majority, Entry, LogEntry, StopSign};
+use std::collections::HashMap;
+
+/// Replica role. A server acts as follower until BLE elects it (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Follower,
+    Leader,
+}
+
+/// Progress within the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Log synchronization in progress (leader: collecting promises;
+    /// follower: promised, awaiting `AcceptSync`).
+    Prepare,
+    /// Synchronized; entries are being replicated.
+    Accept,
+    /// Recovering from a crash: only `Prepare` messages and leader events
+    /// are handled until the log is re-synchronized (§4.1.3).
+    Recover,
+}
+
+/// Why a proposal was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposeErr {
+    /// A stop-sign has been accepted: the configuration is ending and no
+    /// further entries may be proposed in it (§6).
+    PendingReconfig,
+    /// A reconfiguration was already proposed.
+    AlreadyReconfiguring,
+    /// The internal proposal buffer is full (no elected leader for too
+    /// long); retry later.
+    BufferFull,
+}
+
+impl std::fmt::Display for ProposeErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeErr::PendingReconfig => write!(f, "configuration is being stopped"),
+            ProposeErr::AlreadyReconfiguring => write!(f, "reconfiguration already in progress"),
+            ProposeErr::BufferFull => write!(f, "proposal buffer full"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeErr {}
+
+/// Static configuration of a replica.
+#[derive(Debug, Clone)]
+pub struct SequencePaxosConfig {
+    /// Configuration (segment) id this instance belongs to.
+    pub config_id: u32,
+    /// This server.
+    pub pid: NodeId,
+    /// All other servers of the configuration.
+    pub peers: Vec<NodeId>,
+    /// Max buffered proposals while no leader is elected.
+    pub buffer_size: usize,
+}
+
+impl SequencePaxosConfig {
+    /// Configuration for server `pid` among `nodes` (which must contain
+    /// `pid`).
+    pub fn with(config_id: u32, pid: NodeId, nodes: &[NodeId]) -> Self {
+        assert!(nodes.contains(&pid), "pid {pid} not in nodes {nodes:?}");
+        assert!(pid != 0, "pid 0 is reserved");
+        SequencePaxosConfig {
+            config_id,
+            pid,
+            peers: nodes.iter().copied().filter(|&p| p != pid).collect(),
+            buffer_size: 1_000_000,
+        }
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.peers.len() + 1
+    }
+}
+
+/// What a follower promised: the state it reported in its `Promise`.
+#[derive(Debug, Clone, Copy)]
+struct PromiseMeta {
+    acc_rnd: Ballot,
+    log_idx: u64,
+    decided_idx: u64,
+}
+
+/// Volatile state a leader keeps about its round.
+#[derive(Debug)]
+struct LeaderState<T> {
+    n: Ballot,
+    /// Promise metadata per server (including self).
+    promises: HashMap<NodeId, PromiseMeta>,
+    /// Suffix of the best promise (empty if the leader's own log is best).
+    max_suffix: Vec<LogEntry<T>>,
+    /// `(acc_rnd, log_idx, pid)` of the best promise seen.
+    max_meta: (Ballot, u64, NodeId),
+    /// Highest log index each promised server has accepted in round `n`.
+    accepted: HashMap<NodeId, u64>,
+    /// Log index up to which each follower has been sent entries.
+    sent_idx: HashMap<NodeId, u64>,
+    /// Decided index already announced to each follower.
+    sent_decided: HashMap<NodeId, u64>,
+    /// Did we already complete the Prepare phase (reached Accept)?
+    synced: bool,
+}
+
+impl<T> LeaderState<T> {
+    fn new(n: Ballot) -> Self {
+        LeaderState {
+            n,
+            promises: HashMap::new(),
+            max_suffix: Vec::new(),
+            max_meta: (Ballot::bottom(), 0, 0),
+            accepted: HashMap::new(),
+            sent_idx: HashMap::new(),
+            sent_decided: HashMap::new(),
+            synced: false,
+        }
+    }
+}
+
+/// A Sequence Paxos replica. See the [module docs](self).
+pub struct SequencePaxos<T: Entry, S: Storage<T>> {
+    config: SequencePaxosConfig,
+    storage: S,
+    state: (Role, Phase),
+    /// Highest ballot this server believes is elected (from BLE or
+    /// `Prepare` messages). Used to address forwarded proposals.
+    leader: Ballot,
+    /// Client proposals buffered while there is no usable leader.
+    pending: Vec<LogEntry<T>>,
+    /// Log index of an accepted stop-sign, if any.
+    stopsign_idx: Option<u64>,
+    leader_state: LeaderState<T>,
+    /// Leader state snapshot when `Prepare` was sent: (accepted_rnd,
+    /// log_idx, decided_idx). Promise suffixes are relative to these.
+    prep_snapshot: (Ballot, u64, u64),
+    outgoing: Vec<Message<T>>,
+}
+
+impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
+    /// Create a replica. If `storage` contains state from a previous
+    /// incarnation, the caller should follow up with
+    /// [`SequencePaxos::fail_recovery`].
+    pub fn new(config: SequencePaxosConfig, storage: S) -> Self {
+        SequencePaxos {
+            config,
+            storage,
+            state: (Role::Follower, Phase::Accept),
+            leader: Ballot::bottom(),
+            pending: Vec::new(),
+            stopsign_idx: None,
+            leader_state: LeaderState::new(Ballot::bottom()),
+            prep_snapshot: (Ballot::bottom(), 0, 0),
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// This server's id.
+    pub fn pid(&self) -> NodeId {
+        self.config.pid
+    }
+
+    /// The configuration id of this instance.
+    pub fn config_id(&self) -> u32 {
+        self.config.config_id
+    }
+
+    /// Current `(role, phase)`.
+    pub fn state(&self) -> (Role, Phase) {
+        self.state
+    }
+
+    /// The ballot of the current leader as known to this server
+    /// ([`Ballot::bottom`] if none yet).
+    pub fn leader(&self) -> Ballot {
+        self.leader
+    }
+
+    /// The highest round this replica has promised (persisted).
+    pub fn promised(&self) -> Ballot {
+        self.storage.get_promise()
+    }
+
+    /// Index up to which the log is decided (exclusive).
+    pub fn decided_idx(&self) -> u64 {
+        self.storage.get_decided_idx()
+    }
+
+    /// Read decided entries in `[from, decided_idx)`.
+    pub fn read_decided(&self, from: u64) -> Vec<LogEntry<T>> {
+        let to = self.storage.get_decided_idx();
+        if from >= to {
+            return Vec::new();
+        }
+        self.storage.get_entries(from, to)
+    }
+
+    /// Read raw log entries (decided or not); for tests and invariants.
+    pub fn read_log(&self, from: u64, to: u64) -> Vec<LogEntry<T>> {
+        self.storage.get_entries(from, to)
+    }
+
+    /// Absolute log length.
+    pub fn log_len(&self) -> u64 {
+        self.storage.get_log_len()
+    }
+
+    /// Access to the underlying storage (e.g. to trim after applying).
+    pub fn storage(&mut self) -> &mut S {
+        &mut self.storage
+    }
+
+    /// The decided stop-sign, if this configuration has been stopped (§6).
+    pub fn decided_stopsign(&self) -> Option<StopSign> {
+        let idx = self.stopsign_idx?;
+        if self.storage.get_decided_idx() > idx {
+            match self.storage.get_entries(idx, idx + 1).into_iter().next() {
+                Some(LogEntry::StopSign(ss)) => Some(ss),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Drain queued outgoing messages. Entries appended since the previous
+    /// drain are flushed (batched) here.
+    pub fn outgoing_messages(&mut self) -> Vec<Message<T>> {
+        self.flush_accepts();
+        self.flush_forwards();
+        std::mem::take(&mut self.outgoing)
+    }
+
+    // ------------------------------------------------------------------
+    // Client API
+    // ------------------------------------------------------------------
+
+    /// Propose a client command for replication.
+    pub fn append(&mut self, entry: T) -> Result<(), ProposeErr> {
+        self.propose_entry(LogEntry::Normal(entry))
+    }
+
+    /// Propose stopping this configuration and starting `ss.next_nodes`
+    /// (§6). Decided like any other entry.
+    pub fn reconfigure(&mut self, ss: StopSign) -> Result<(), ProposeErr> {
+        if self.stopsign_idx.is_some() || self.pending.iter().any(LogEntry::is_stopsign) {
+            return Err(ProposeErr::AlreadyReconfiguring);
+        }
+        self.propose_entry(LogEntry::StopSign(ss))
+    }
+
+    fn propose_entry(&mut self, entry: LogEntry<T>) -> Result<(), ProposeErr> {
+        if self.stopsign_idx.is_some() {
+            return Err(ProposeErr::PendingReconfig);
+        }
+        match self.state {
+            (Role::Leader, Phase::Accept) => {
+                if entry.is_stopsign() {
+                    self.stopsign_idx = Some(self.storage.get_log_len());
+                }
+                let len = self.storage.append_entry(entry);
+                self.leader_state.accepted.insert(self.config.pid, len);
+                self.maybe_decide();
+                Ok(())
+            }
+            _ => {
+                // Buffer; flushed to the leader (or appended when this
+                // server completes its own Prepare phase).
+                if self.pending.len() >= self.config.buffer_size {
+                    return Err(ProposeErr::BufferFull);
+                }
+                self.pending.push(entry);
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // BLE integration and recovery
+    // ------------------------------------------------------------------
+
+    /// Notify this replica that `ballot` has been elected (BLE output,
+    /// Fig. 2). If the ballot is our own, start the Prepare phase.
+    pub fn handle_leader(&mut self, ballot: Ballot) {
+        if ballot <= self.leader && self.state != (Role::Follower, Phase::Recover) {
+            return; // stale election
+        }
+        self.leader = self.leader.max(ballot);
+        if ballot.pid == self.config.pid {
+            if ballot > self.storage.get_promise() {
+                self.become_leader(ballot);
+            }
+        } else if self.state.0 == Role::Leader {
+            // A higher ballot is elected elsewhere: step down. The new
+            // leader's Prepare will re-synchronize us.
+            self.state = (Role::Follower, Phase::Accept);
+        }
+    }
+
+    fn become_leader(&mut self, n: Ballot) {
+        self.storage.set_promise(n);
+        self.state = (Role::Leader, Phase::Prepare);
+        self.leader_state = LeaderState::new(n);
+        let acc_rnd = self.storage.get_accepted_round();
+        let log_idx = self.storage.get_log_len();
+        let decided_idx = self.storage.get_decided_idx();
+        self.prep_snapshot = (acc_rnd, log_idx, decided_idx);
+        // Self-promise.
+        self.leader_state.promises.insert(
+            self.config.pid,
+            PromiseMeta {
+                acc_rnd,
+                log_idx,
+                decided_idx,
+            },
+        );
+        self.leader_state.max_meta = (acc_rnd, log_idx, self.config.pid);
+        let prep = Prepare {
+            n,
+            decided_idx,
+            accepted_rnd: acc_rnd,
+            log_idx,
+        };
+        let peers = self.config.peers.clone();
+        for peer in peers {
+            self.send(peer, PaxosMsg::Prepare(prep.clone()));
+        }
+        self.maybe_majority_promised();
+    }
+
+    /// Rebuild volatile state after a crash (§4.1.3). The persistent state
+    /// in storage is kept; the replica asks its peers who the leader is and
+    /// re-synchronizes before participating again.
+    pub fn fail_recovery(&mut self) {
+        self.state = (Role::Follower, Phase::Recover);
+        self.leader = Ballot::bottom();
+        self.pending.clear();
+        self.leader_state = LeaderState::new(Ballot::bottom());
+        self.outgoing.clear();
+        self.rescan_stopsign();
+        let peers = self.config.peers.clone();
+        for peer in peers {
+            self.send(peer, PaxosMsg::PrepareReq);
+        }
+    }
+
+    /// Notify that the link to `pid` was re-established after a session
+    /// drop (§4.1.3): either side might have missed a leader change, so ask.
+    pub fn reconnected(&mut self, pid: NodeId) {
+        if pid != self.config.pid {
+            self.send(pid, PaxosMsg::PrepareReq);
+        }
+    }
+
+    /// Periodic retransmission driver, called on a coarse timer. Re-sends
+    /// `Prepare` to peers that have not promised (their copy may have been
+    /// lost to a dead link) and `PrepareReq` while recovering.
+    pub fn resend_timeout(&mut self) {
+        match self.state {
+            (Role::Leader, _) => {
+                let n = self.leader_state.n;
+                let (acc_rnd, log_idx, decided_idx) = self.prep_snapshot;
+                let unpromised: Vec<NodeId> = self
+                    .config
+                    .peers
+                    .iter()
+                    .copied()
+                    .filter(|p| !self.leader_state.promises.contains_key(p))
+                    .collect();
+                for peer in unpromised {
+                    self.send(
+                        peer,
+                        PaxosMsg::Prepare(Prepare {
+                            n,
+                            decided_idx,
+                            accepted_rnd: acc_rnd,
+                            log_idx,
+                        }),
+                    );
+                }
+            }
+            (Role::Follower, Phase::Recover) => {
+                let peers = self.config.peers.clone();
+                for peer in peers {
+                    self.send(peer, PaxosMsg::PrepareReq);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Feed one incoming message.
+    pub fn handle_message(&mut self, m: Message<T>) {
+        let from = m.from;
+        if self.state == (Role::Follower, Phase::Recover) {
+            // While recovering only Prepare leads to resynchronization.
+            if let PaxosMsg::Prepare(p) = m.msg {
+                self.handle_prepare(p, from);
+            }
+            return;
+        }
+        match m.msg {
+            PaxosMsg::PrepareReq => self.handle_prepare_req(from),
+            PaxosMsg::Prepare(p) => self.handle_prepare(p, from),
+            PaxosMsg::Promise(p) => self.handle_promise(p, from),
+            PaxosMsg::AcceptSync(a) => self.handle_accept_sync(a, from),
+            PaxosMsg::AcceptDecide(a) => self.handle_accept_decide(a, from),
+            PaxosMsg::Accepted(a) => self.handle_accepted(a, from),
+            PaxosMsg::Decide(d) => self.handle_decide(d),
+            PaxosMsg::ProposalForward(entries) => self.handle_forwarded(entries),
+        }
+    }
+
+    fn handle_prepare_req(&mut self, from: NodeId) {
+        if self.state.0 == Role::Leader {
+            let n = self.leader_state.n;
+            let (acc_rnd, log_idx, decided_idx) = self.prep_snapshot;
+            // Re-start the follower from scratch in this round.
+            self.leader_state.promises.remove(&from);
+            self.leader_state.accepted.remove(&from);
+            self.send(
+                from,
+                PaxosMsg::Prepare(Prepare {
+                    n,
+                    decided_idx,
+                    accepted_rnd: acc_rnd,
+                    log_idx,
+                }),
+            );
+        }
+    }
+
+    fn handle_prepare(&mut self, prep: Prepare, from: NodeId) {
+        if self.storage.get_promise() > prep.n {
+            return; // stale round
+        }
+        self.storage.set_promise(prep.n);
+        self.leader = self.leader.max(prep.n);
+        self.state = (Role::Follower, Phase::Prepare);
+        let acc_rnd = self.storage.get_accepted_round();
+        let log_idx = self.storage.get_log_len();
+        let decided_idx = self.storage.get_decided_idx();
+        // Which part of our log might the leader be missing? (§4.1.1)
+        let suffix = if acc_rnd > prep.accepted_rnd {
+            // We are more updated: send everything above the leader's
+            // decided index (its non-chosen tail may be overwritten).
+            self.storage.get_suffix(prep.decided_idx.min(log_idx))
+        } else if acc_rnd == prep.accepted_rnd && log_idx > prep.log_idx {
+            self.storage.get_suffix(prep.log_idx)
+        } else {
+            Vec::new()
+        };
+        self.send(
+            from,
+            PaxosMsg::Promise(Promise {
+                n: prep.n,
+                accepted_rnd: acc_rnd,
+                log_idx,
+                decided_idx,
+                suffix,
+            }),
+        );
+    }
+
+    fn handle_promise(&mut self, prom: Promise<T>, from: NodeId) {
+        if self.state.0 != Role::Leader || prom.n != self.leader_state.n {
+            return; // stale or not ours
+        }
+        let meta = PromiseMeta {
+            acc_rnd: prom.accepted_rnd,
+            log_idx: prom.log_idx,
+            decided_idx: prom.decided_idx,
+        };
+        let first_promise = self.leader_state.promises.insert(from, meta).is_none();
+        match self.state.1 {
+            Phase::Prepare => {
+                // Track the best (most updated) promise (§4.1.1).
+                let key = (prom.accepted_rnd, prom.log_idx);
+                let (max_rnd, max_idx, _) = self.leader_state.max_meta;
+                if key > (max_rnd, max_idx) {
+                    self.leader_state.max_meta = (prom.accepted_rnd, prom.log_idx, from);
+                    self.leader_state.max_suffix = prom.suffix;
+                }
+                if first_promise {
+                    self.maybe_majority_promised();
+                }
+            }
+            Phase::Accept => {
+                // Straggler promising after the Prepare phase (§4.1.2), or a
+                // follower re-promising after a PrepareReq.
+                self.sync_follower(from, meta);
+            }
+            Phase::Recover => {}
+        }
+    }
+
+    fn maybe_majority_promised(&mut self) {
+        let maj = majority(self.config.cluster_size());
+        if self.leader_state.promises.len() < maj || self.leader_state.synced {
+            return;
+        }
+        // Adopt the most updated log among the majority (P2c, §4.2).
+        let (max_rnd, max_idx, max_pid) = self.leader_state.max_meta;
+        let (my_prep_rnd, my_prep_log_idx, my_prep_decided_idx) = self.prep_snapshot;
+        if max_pid != self.config.pid {
+            // The suffix offset mirrors the follower's choice in
+            // handle_prepare.
+            let start = if max_rnd > my_prep_rnd {
+                my_prep_decided_idx.min(my_prep_log_idx)
+            } else {
+                debug_assert!(max_rnd == my_prep_rnd && max_idx > my_prep_log_idx);
+                my_prep_log_idx
+            };
+            let suffix = std::mem::take(&mut self.leader_state.max_suffix);
+            self.storage.append_on_prefix(start, suffix);
+            self.rescan_stopsign();
+        }
+        let n = self.leader_state.n;
+        self.storage.set_accepted_round(n);
+        // Append proposals buffered during the Prepare phase.
+        let pending = std::mem::take(&mut self.pending);
+        for entry in pending {
+            if self.stopsign_idx.is_some() {
+                break; // drop proposals behind a stop-sign
+            }
+            if entry.is_stopsign() {
+                self.stopsign_idx = Some(self.storage.get_log_len());
+            }
+            self.storage.append_entry(entry);
+        }
+        let log_len = self.storage.get_log_len();
+        self.leader_state.accepted.insert(self.config.pid, log_len);
+        self.leader_state.synced = true;
+        self.state = (Role::Leader, Phase::Accept);
+        // Synchronize every promised follower.
+        let followers: Vec<(NodeId, PromiseMeta)> = self
+            .leader_state
+            .promises
+            .iter()
+            .filter(|(&p, _)| p != self.config.pid)
+            .map(|(&p, &m)| (p, m))
+            .collect();
+        for (pid, meta) in followers {
+            self.sync_follower(pid, meta);
+        }
+        self.maybe_decide();
+    }
+
+    /// Send `AcceptSync` bringing `pid` in line with the leader's log.
+    fn sync_follower(&mut self, pid: NodeId, meta: PromiseMeta) {
+        debug_assert_eq!(self.state, (Role::Leader, Phase::Accept));
+        let (max_rnd, max_idx, _) = self.leader_state.max_meta;
+        let log_len = self.storage.get_log_len();
+        // If the follower accepted in the same round as the adopted maximum
+        // and within its length, its log is a *prefix* of ours (FIFO), so we
+        // can sync from its end. Otherwise its non-chosen tail may conflict
+        // and we overwrite from its decided index (§4.1.2, e.g. server C in
+        // Fig. 3a).
+        let sync_idx = if meta.acc_rnd == max_rnd && meta.log_idx <= max_idx {
+            meta.log_idx
+        } else if meta.acc_rnd == self.leader_state.n {
+            // Re-promise within our own round (after PrepareReq): already
+            // consistent up to its length.
+            meta.log_idx.min(log_len)
+        } else {
+            meta.decided_idx
+        };
+        debug_assert!(sync_idx <= log_len, "sync_idx {sync_idx} > log {log_len}");
+        let sync_idx = sync_idx.min(log_len);
+        let decided_idx = self.storage.get_decided_idx();
+        let suffix = self.storage.get_suffix(sync_idx);
+        self.leader_state.sent_idx.insert(pid, log_len);
+        self.leader_state.sent_decided.insert(pid, decided_idx);
+        self.send(
+            pid,
+            PaxosMsg::AcceptSync(AcceptSync {
+                n: self.leader_state.n,
+                sync_idx,
+                decided_idx,
+                suffix,
+            }),
+        );
+    }
+
+    fn handle_accept_sync(&mut self, acc: AcceptSync<T>, from: NodeId) {
+        if self.storage.get_promise() != acc.n || self.state != (Role::Follower, Phase::Prepare) {
+            return;
+        }
+        self.storage.set_accepted_round(acc.n);
+        self.storage.append_on_prefix(acc.sync_idx, acc.suffix);
+        self.rescan_stopsign();
+        let log_len = self.storage.get_log_len();
+        let decided = acc.decided_idx.min(log_len);
+        if decided > self.storage.get_decided_idx() {
+            self.storage.set_decided_idx(decided);
+        }
+        self.state = (Role::Follower, Phase::Accept);
+        self.send(
+            from,
+            PaxosMsg::Accepted(Accepted {
+                n: acc.n,
+                log_idx: log_len,
+            }),
+        );
+    }
+
+    fn handle_accept_decide(&mut self, acc: AcceptDecide<T>, from: NodeId) {
+        if self.storage.get_promise() != acc.n || self.state != (Role::Follower, Phase::Accept) {
+            return;
+        }
+        if !acc.entries.is_empty() {
+            let log_len = self.storage.get_log_len();
+            if acc.start_idx > log_len {
+                // A predecessor batch was lost to a dead link: the session
+                // FIFO assumption no longer holds for this stream. Ask the
+                // leader to re-synchronize (§4.1.3) instead of misplacing
+                // the entries.
+                self.send(from, PaxosMsg::PrepareReq);
+                return;
+            }
+            // Overlapping retransmissions carry identical entries (same
+            // round, same positions); skip what we already hold — but never
+            // rewrite the decided prefix.
+            let decided_idx = self.storage.get_decided_idx();
+            let effective_start = acc.start_idx.max(decided_idx);
+            let skip = (effective_start - acc.start_idx) as usize;
+            if skip < acc.entries.len() {
+                let entries: Vec<LogEntry<T>> = acc.entries.into_iter().skip(skip).collect();
+                for (i, e) in entries.iter().enumerate() {
+                    if e.is_stopsign() {
+                        self.stopsign_idx = Some(effective_start + i as u64);
+                    }
+                }
+                self.storage.append_on_prefix(effective_start, entries);
+            }
+            let log_len = self.storage.get_log_len();
+            self.send(
+                from,
+                PaxosMsg::Accepted(Accepted {
+                    n: acc.n,
+                    log_idx: log_len,
+                }),
+            );
+        }
+        let log_len = self.storage.get_log_len();
+        let decided = acc.decided_idx.min(log_len);
+        if decided > self.storage.get_decided_idx() {
+            self.storage.set_decided_idx(decided);
+        }
+    }
+
+    fn handle_accepted(&mut self, acc: Accepted, from: NodeId) {
+        if self.state != (Role::Leader, Phase::Accept) || acc.n != self.leader_state.n {
+            return;
+        }
+        let e = self.leader_state.accepted.entry(from).or_insert(0);
+        *e = (*e).max(acc.log_idx);
+        self.maybe_decide();
+    }
+
+    /// An index accepted by a majority in the current round is chosen
+    /// (§4.1.2); advance the decided index accordingly.
+    fn maybe_decide(&mut self) {
+        if self.state != (Role::Leader, Phase::Accept) {
+            return;
+        }
+        let maj = majority(self.config.cluster_size());
+        let mut acks: Vec<u64> = self.leader_state.accepted.values().copied().collect();
+        if acks.len() < maj {
+            return;
+        }
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        let chosen = acks[maj - 1];
+        if chosen > self.storage.get_decided_idx() {
+            self.storage.set_decided_idx(chosen);
+            // Propagation to followers is piggybacked by flush_accepts(), or
+            // sent standalone there when no entries are pending.
+        }
+    }
+
+    fn handle_decide(&mut self, d: Decide) {
+        if self.storage.get_promise() != d.n || self.state != (Role::Follower, Phase::Accept) {
+            return;
+        }
+        let decided = d.decided_idx.min(self.storage.get_log_len());
+        if decided > self.storage.get_decided_idx() {
+            self.storage.set_decided_idx(decided);
+        }
+    }
+
+    fn handle_forwarded(&mut self, entries: Vec<LogEntry<T>>) {
+        for e in entries {
+            // Failed proposals are dropped; clients retry (at-least-once is
+            // the service layer's concern).
+            let _ = self.propose_entry(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing batching
+    // ------------------------------------------------------------------
+
+    /// Send all unsent entries (and the newest decided index) to each
+    /// promised follower. Called when the owner drains messages, so all
+    /// appends between drains batch into one `AcceptDecide` per follower.
+    fn flush_accepts(&mut self) {
+        if self.state != (Role::Leader, Phase::Accept) {
+            return;
+        }
+        let n = self.leader_state.n;
+        let log_len = self.storage.get_log_len();
+        let decided_idx = self.storage.get_decided_idx();
+        let followers: Vec<NodeId> = self
+            .leader_state
+            .promises
+            .keys()
+            .copied()
+            .filter(|&p| p != self.config.pid)
+            .collect();
+        for pid in followers {
+            // Only stream to followers that have completed AcceptSync
+            // (sent_idx is set by sync_follower).
+            let Some(&sent) = self.leader_state.sent_idx.get(&pid) else {
+                continue;
+            };
+            let sent_dec = self
+                .leader_state
+                .sent_decided
+                .get(&pid)
+                .copied()
+                .unwrap_or(0);
+            if log_len > sent {
+                let entries = self.storage.get_entries(sent, log_len);
+                self.leader_state.sent_idx.insert(pid, log_len);
+                self.leader_state.sent_decided.insert(pid, decided_idx);
+                self.send(
+                    pid,
+                    PaxosMsg::AcceptDecide(AcceptDecide {
+                        n,
+                        start_idx: sent,
+                        decided_idx,
+                        entries,
+                    }),
+                );
+            } else if decided_idx > sent_dec {
+                self.leader_state.sent_decided.insert(pid, decided_idx);
+                self.send(pid, PaxosMsg::Decide(Decide { n, decided_idx }));
+            }
+        }
+    }
+
+    /// Forward buffered proposals to the current leader (if we are a
+    /// follower and know one).
+    fn flush_forwards(&mut self) {
+        if self.pending.is_empty() || self.state.0 == Role::Leader || self.state.1 == Phase::Recover
+        {
+            return;
+        }
+        let leader_pid = self.leader.pid;
+        if leader_pid == 0 || leader_pid == self.config.pid {
+            return;
+        }
+        let entries = std::mem::take(&mut self.pending);
+        self.send(leader_pid, PaxosMsg::ProposalForward(entries));
+    }
+
+    fn rescan_stopsign(&mut self) {
+        self.stopsign_idx = None;
+        let from = self.storage.get_compacted_idx();
+        let log_len = self.storage.get_log_len();
+        for (i, e) in self.storage.get_entries(from, log_len).iter().enumerate() {
+            if e.is_stopsign() {
+                self.stopsign_idx = Some(from + i as u64);
+                break;
+            }
+        }
+    }
+
+    fn send(&mut self, to: NodeId, msg: PaxosMsg<T>) {
+        self.outgoing.push(Message {
+            from: self.config.pid,
+            to,
+            msg,
+        });
+    }
+}
+
+impl<T: Entry, S: Storage<T>> std::fmt::Debug for SequencePaxos<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequencePaxos")
+            .field("pid", &self.config.pid)
+            .field("state", &self.state)
+            .field("leader", &self.leader)
+            .field("promised", &self.storage.get_promise())
+            .field("log_len", &self.storage.get_log_len())
+            .field("decided_idx", &self.storage.get_decided_idx())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStorage;
+
+    type Sp = SequencePaxos<u64, MemoryStorage<u64>>;
+
+    fn replica(pid: NodeId) -> Sp {
+        SequencePaxos::new(
+            SequencePaxosConfig::with(1, pid, &[1, 2, 3]),
+            MemoryStorage::new(),
+        )
+    }
+
+    fn ballot(n: u64, pid: NodeId) -> Ballot {
+        Ballot::new(n, 0, pid)
+    }
+
+    /// Collect the tags of queued messages per destination.
+    fn drain(sp: &mut Sp) -> Vec<(NodeId, &'static str)> {
+        sp.outgoing_messages()
+            .iter()
+            .map(|m| (m.to, m.msg.tag()))
+            .collect()
+    }
+
+    fn deliver(from: &mut Sp, to: &mut Sp) {
+        let to_pid = to.pid();
+        for m in from.outgoing_messages() {
+            if m.to == to_pid {
+                to.handle_message(m);
+            }
+        }
+    }
+
+    #[test]
+    fn becoming_leader_sends_prepare_to_all_peers() {
+        let mut sp = replica(1);
+        sp.handle_leader(ballot(1, 1));
+        assert_eq!(sp.state(), (Role::Leader, Phase::Prepare));
+        let out = drain(&mut sp);
+        assert!(out.contains(&(2, "Prepare")));
+        assert!(out.contains(&(3, "Prepare")));
+    }
+
+    #[test]
+    fn election_not_exceeding_promise_is_ignored() {
+        let mut sp = replica(1);
+        sp.handle_message(Message::with(
+            2,
+            1,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(5, 2),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        // Stale own election (<= promised) must not seize leadership.
+        sp.handle_leader(ballot(3, 1));
+        assert_eq!(sp.state().0, Role::Follower);
+        // A higher own election does.
+        sp.handle_leader(ballot(6, 1));
+        assert_eq!(sp.state().0, Role::Leader);
+    }
+
+    #[test]
+    fn majority_promises_move_leader_to_accept_phase() {
+        let mut leader = replica(1);
+        let mut f2 = replica(2);
+        leader.handle_leader(ballot(1, 1));
+        deliver(&mut leader, &mut f2);
+        assert_eq!(f2.state(), (Role::Follower, Phase::Prepare));
+        deliver(&mut f2, &mut leader);
+        // 2 of 3 promised (leader + f2): Accept phase begins.
+        assert_eq!(leader.state(), (Role::Leader, Phase::Accept));
+        // f2 receives AcceptSync and completes.
+        deliver(&mut leader, &mut f2);
+        assert_eq!(f2.state(), (Role::Follower, Phase::Accept));
+    }
+
+    #[test]
+    fn leader_adopts_the_most_updated_promise() {
+        // Follower 2 holds entries accepted in an older round; the new
+        // leader (with an empty log) must adopt them (P2c).
+        let mut leader = replica(1);
+        let mut f2 = replica(2);
+        f2.storage().set_accepted_round(ballot(1, 3));
+        f2.storage()
+            .append_entries(vec![LogEntry::Normal(7), LogEntry::Normal(8)]);
+        leader.handle_leader(ballot(2, 1));
+        deliver(&mut leader, &mut f2);
+        deliver(&mut f2, &mut leader);
+        assert_eq!(leader.log_len(), 2);
+        assert_eq!(
+            leader.read_log(0, 2),
+            vec![LogEntry::Normal(7), LogEntry::Normal(8)]
+        );
+    }
+
+    #[test]
+    fn non_chosen_suffix_is_overwritten_by_sync() {
+        // Fig. 3a: follower C has [4,5,6] beyond its decided prefix; the
+        // leader's adopted log wins.
+        let mut leader = replica(1);
+        let mut f2 = replica(2);
+        let mut f3 = replica(3);
+        // f3 has stale accepted entries from an old round.
+        f3.storage().set_accepted_round(ballot(1, 3));
+        f3.storage().append_entries(vec![
+            LogEntry::Normal(4),
+            LogEntry::Normal(5),
+            LogEntry::Normal(6),
+        ]);
+        // f2 has newer chosen entries.
+        f2.storage().set_accepted_round(ballot(2, 2));
+        f2.storage()
+            .append_entries(vec![LogEntry::Normal(1), LogEntry::Normal(2)]);
+        leader.handle_leader(ballot(3, 1));
+        deliver(&mut leader, &mut f2);
+        deliver(&mut f2, &mut leader); // majority: adopt f2's log
+                                       // The straggler's original Prepare was dropped by the test's
+                                       // point-to-point delivery; the retransmission sweep re-sends it,
+                                       // as it would after a real link outage.
+        leader.resend_timeout();
+        deliver(&mut leader, &mut f3); // Prepare reaches the straggler
+        deliver(&mut f3, &mut leader); // late promise
+        deliver(&mut leader, &mut f3); // AcceptSync overwrites
+        assert_eq!(
+            f3.read_log(0, 10),
+            vec![LogEntry::Normal(1), LogEntry::Normal(2)],
+            "f3's non-chosen [4,5,6] must be overwritten"
+        );
+    }
+
+    #[test]
+    fn accept_decide_with_gap_triggers_resync_not_misplacement() {
+        // Regression for the safety bug found by the chaos suite: an
+        // AcceptDecide whose predecessor was lost must not append at the
+        // wrong index.
+        let mut f = replica(2);
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        let _ = f.outgoing_messages();
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptSync(AcceptSync {
+                n: ballot(1, 1),
+                sync_idx: 0,
+                decided_idx: 0,
+                suffix: vec![],
+            }),
+        ));
+        let _ = f.outgoing_messages();
+        // Batch starting at index 1 while the log has 0 entries: a batch
+        // was lost.
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptDecide(AcceptDecide {
+                n: ballot(1, 1),
+                start_idx: 1,
+                decided_idx: 2,
+                entries: vec![LogEntry::Normal(99)],
+            }),
+        ));
+        assert_eq!(f.log_len(), 0, "gapped batch must be rejected");
+        assert_eq!(f.decided_idx(), 0);
+        let out = drain(&mut f);
+        assert!(
+            out.contains(&(1, "PrepareReq")),
+            "must ask the leader to resynchronize: {out:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_accept_decide_is_idempotent() {
+        let mut f = replica(2);
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptSync(AcceptSync {
+                n: ballot(1, 1),
+                sync_idx: 0,
+                decided_idx: 0,
+                suffix: vec![LogEntry::Normal(1), LogEntry::Normal(2)],
+            }),
+        ));
+        // Retransmission overlapping the existing prefix.
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptDecide(AcceptDecide {
+                n: ballot(1, 1),
+                start_idx: 1,
+                decided_idx: 0,
+                entries: vec![LogEntry::Normal(2), LogEntry::Normal(3)],
+            }),
+        ));
+        assert_eq!(
+            f.read_log(0, 10),
+            vec![
+                LogEntry::Normal(1),
+                LogEntry::Normal(2),
+                LogEntry::Normal(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn follower_buffers_and_forwards_proposals() {
+        let mut f = replica(2);
+        f.append(42).expect("buffered");
+        assert!(drain(&mut f).is_empty(), "no leader known yet: buffered");
+        // Learn a leader via Prepare.
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        let out = drain(&mut f);
+        assert!(
+            out.contains(&(1, "ProposalForward")),
+            "buffered proposal flushed to the leader: {out:?}"
+        );
+    }
+
+    #[test]
+    fn stopsign_blocks_append_until_overwritten() {
+        let mut leader = replica(1);
+        let mut f2 = replica(2);
+        leader.handle_leader(ballot(1, 1));
+        deliver(&mut leader, &mut f2);
+        deliver(&mut f2, &mut leader);
+        leader.append(1).unwrap();
+        leader.reconfigure(StopSign::new(2, vec![4, 5, 6])).unwrap();
+        assert_eq!(leader.append(2), Err(ProposeErr::PendingReconfig));
+        assert_eq!(
+            leader.reconfigure(StopSign::new(2, vec![7])),
+            Err(ProposeErr::AlreadyReconfiguring)
+        );
+    }
+
+    #[test]
+    fn stopsign_decides_through_normal_protocol() {
+        let mut leader = replica(1);
+        let mut f2 = replica(2);
+        leader.handle_leader(ballot(1, 1));
+        deliver(&mut leader, &mut f2);
+        deliver(&mut f2, &mut leader);
+        deliver(&mut leader, &mut f2); // AcceptSync
+        deliver(&mut f2, &mut leader); // Accepted
+        leader.reconfigure(StopSign::new(2, vec![1, 2, 4])).unwrap();
+        deliver(&mut leader, &mut f2); // AcceptDecide with the stop-sign
+        deliver(&mut f2, &mut leader); // Accepted -> chosen
+        assert_eq!(leader.decided_stopsign().map(|ss| ss.config_id), Some(2));
+        // Propagate the decide to the follower.
+        deliver(&mut leader, &mut f2);
+        assert_eq!(f2.decided_stopsign().map(|ss| ss.config_id), Some(2));
+    }
+
+    #[test]
+    fn recovering_replica_only_listens_to_prepare() {
+        let mut f = replica(2);
+        f.fail_recovery();
+        assert_eq!(f.state(), (Role::Follower, Phase::Recover));
+        // AcceptDecide in recover state is ignored entirely.
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptDecide(AcceptDecide {
+                n: ballot(1, 1),
+                start_idx: 0,
+                decided_idx: 1,
+                entries: vec![LogEntry::Normal(1)],
+            }),
+        ));
+        assert_eq!(f.log_len(), 0);
+        // Prepare resynchronizes and exits recovery (via AcceptSync).
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        assert_eq!(f.state(), (Role::Follower, Phase::Prepare));
+    }
+
+    #[test]
+    fn stale_round_messages_are_ignored() {
+        let mut f = replica(2);
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(5, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        let _ = f.outgoing_messages();
+        // Prepare from a lower round: no promise may be sent.
+        f.handle_message(Message::with(
+            3,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(4, 3),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        assert!(drain(&mut f).is_empty(), "stale Prepare must be ignored");
+        assert_eq!(f.promised(), ballot(5, 1));
+    }
+
+    #[test]
+    fn prepare_req_makes_leader_restart_the_follower() {
+        let mut leader = replica(1);
+        let mut f2 = replica(2);
+        leader.handle_leader(ballot(1, 1));
+        deliver(&mut leader, &mut f2);
+        deliver(&mut f2, &mut leader);
+        leader.append(1).unwrap();
+        let _ = leader.outgoing_messages();
+        // Session drop: follower asks who leads.
+        leader.handle_message(Message::with(2, 1, PaxosMsg::PrepareReq));
+        let out = drain(&mut leader);
+        assert!(out.contains(&(2, "Prepare")), "leader re-prepares: {out:?}");
+    }
+
+    #[test]
+    fn resend_timeout_reissues_prepare_to_unpromised_peers() {
+        let mut leader = replica(1);
+        leader.handle_leader(ballot(1, 1));
+        let _ = leader.outgoing_messages(); // initial prepares lost
+        leader.resend_timeout();
+        let out = drain(&mut leader);
+        assert!(out.contains(&(2, "Prepare")));
+        assert!(out.contains(&(3, "Prepare")));
+    }
+
+    #[test]
+    fn decide_is_clamped_to_local_log_length() {
+        let mut f = replica(2);
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptSync(AcceptSync {
+                n: ballot(1, 1),
+                sync_idx: 0,
+                decided_idx: 0,
+                suffix: vec![LogEntry::Normal(1)],
+            }),
+        ));
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Decide(Decide {
+                n: ballot(1, 1),
+                decided_idx: 10,
+            }),
+        ));
+        assert_eq!(f.decided_idx(), 1, "cannot decide beyond the local log");
+    }
+}

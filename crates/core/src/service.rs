@@ -1,0 +1,980 @@
+//! The service layer: cross-configuration log, reconfiguration, and log
+//! migration (§6).
+//!
+//! A configuration `c_i` is a fixed set of servers running one
+//! [`OmniPaxos`] instance. To reconfigure, a stop-sign is decided in `c_i`
+//! through normal Sequence Paxos; the service layer then starts `c_{i+1}`:
+//! servers in both configurations switch over immediately (they already hold
+//! the whole log), while **new** servers first *migrate* the decided log and
+//! only then start their BLE and Sequence Paxos components — that is the
+//! safety rule of §6.
+//!
+//! Migration runs entirely in the service layer, decoupled from log
+//! replication, which enables the paper's headline reconfiguration results
+//! (§6.1, §7.3):
+//!
+//! * **Parallel migration** ([`MigrationScheme::Parallel`]): the missing log
+//!   range is split across *all* reachable donors, so no single server — in
+//!   particular not the leader — becomes an IO bottleneck.
+//! * **Leader-only migration** ([`MigrationScheme::LeaderOnly`]): the scheme
+//!   used by Raft-like protocols, provided for ablation; the notifying
+//!   server transfers the whole log alone.
+//!
+//! Donors serve decided entries even if they have not reached the stop-sign
+//! themselves — decided entries can never be retracted (§6.1, Fig. 6b).
+
+use crate::ballot::{Ballot, NodeId};
+use crate::omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
+use crate::sequence_paxos::ProposeErr;
+use crate::storage::MemoryStorage;
+use crate::util::{Entry, LogEntry, StopSign};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// How a new server sources the log during reconfiguration (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationScheme {
+    /// Split the missing range across all donors (Omni-Paxos default).
+    Parallel,
+    /// Fetch everything from the server that announced the configuration
+    /// (models leader-driven migration; ablation baseline).
+    LeaderOnly,
+}
+
+/// Service-layer message alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceMsg<T> {
+    /// A protocol message of configuration `config_id`.
+    Omni { config_id: u32, msg: OmniMessage<T> },
+    /// Tell a new server that `ss.config_id` is starting and it must first
+    /// migrate `log_len` entries of history.
+    StartConfig {
+        ss: StopSign,
+        old_nodes: Vec<NodeId>,
+        log_len: u64,
+    },
+    /// Ack: the new server has started (stop re-notifying it).
+    ConfigStarted { config_id: u32 },
+    /// Request decided entries `[from, to)` of the service-layer log.
+    SegmentReq { from: u64, to: u64 },
+    /// A chunk of decided entries starting at `start`. `served_to` reports
+    /// how far the donor could serve of the `requested_to` range, so the
+    /// requester can re-plan a shortfall onto another donor.
+    SegmentResp {
+        start: u64,
+        entries: Vec<T>,
+        served_to: u64,
+        requested_to: u64,
+    },
+}
+
+impl<T: Entry> ServiceMsg<T> {
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        use crate::messages::HEADER_BYTES;
+        match self {
+            ServiceMsg::Omni { msg, .. } => msg.size_bytes(),
+            ServiceMsg::StartConfig { ss, old_nodes, .. } => {
+                HEADER_BYTES + ss.size_bytes() + old_nodes.len() * 8
+            }
+            ServiceMsg::ConfigStarted { .. } => HEADER_BYTES,
+            ServiceMsg::SegmentReq { .. } => HEADER_BYTES,
+            ServiceMsg::SegmentResp { entries, .. } => {
+                HEADER_BYTES + entries.iter().map(Entry::size_bytes).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Configuration of an [`OmniPaxosServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This server.
+    pub pid: NodeId,
+    /// BLE heartbeat round length in ticks.
+    pub hb_timeout_ticks: u64,
+    /// Retransmission sweep period in ticks.
+    pub resend_ticks: u64,
+    /// Migration scheme (§6.1).
+    pub scheme: MigrationScheme,
+    /// Max entries per migration chunk message.
+    pub chunk_entries: u64,
+    /// Max bytes per migration chunk message (whichever bound hits first).
+    pub chunk_bytes: usize,
+    /// Stripe length for assigning migration ranges to donors. Striping
+    /// balances donors by *position* in the log, so a history with mixed
+    /// entry sizes still spreads bytes roughly evenly.
+    pub stripe_entries: u64,
+    /// Ticks between migration/notification retries.
+    pub retry_ticks: u64,
+    /// Ballot priority for tie-breaking (§8).
+    pub priority: u64,
+    /// Stamp takeover ballots with connectivity (§8's optimization).
+    pub connectivity_priority: bool,
+}
+
+impl ServerConfig {
+    /// Defaults matching the evaluation harness.
+    pub fn with(pid: NodeId) -> Self {
+        ServerConfig {
+            pid,
+            hb_timeout_ticks: 5,
+            resend_ticks: 50,
+            scheme: MigrationScheme::Parallel,
+            chunk_entries: 64 * 1024,
+            chunk_bytes: 2 * 1024 * 1024,
+            stripe_entries: 64 * 1024,
+            retry_ticks: 100,
+            priority: 0,
+            connectivity_priority: false,
+        }
+    }
+}
+
+/// What this server is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRole {
+    /// Waiting to be told about a configuration (fresh joiner).
+    Idle,
+    /// Running an active configuration.
+    Active,
+    /// Migrating the log before joining a configuration.
+    Migrating,
+    /// Was in an old configuration and is not part of the new one; keeps
+    /// donating log segments.
+    Retired,
+}
+
+struct ActiveConfig<T: Entry> {
+    nodes: Vec<NodeId>,
+    omni: OmniPaxos<T, MemoryStorage<T>>,
+    /// How many entries of this instance's decided log have been applied to
+    /// the service-layer log.
+    applied_idx: u64,
+    /// Handled the decided stop-sign already?
+    stopped: bool,
+}
+
+struct MigrationState<T> {
+    ss: StopSign,
+    donors: Vec<NodeId>,
+    target_len: u64,
+    /// Out-of-order received chunks, keyed by absolute start index.
+    chunks: BTreeMap<u64, Vec<T>>,
+    next_donor: usize,
+    /// Ranges assigned to each donor, fetched front to back.
+    assigned: HashMap<NodeId, VecDeque<(u64, u64)>>,
+    /// Progress marker at the last retry sweep; a stalled migration (no
+    /// growth between sweeps) re-requests its missing ranges.
+    last_progress: u64,
+}
+
+/// A complete Omni-Paxos server: the service layer plus the per-
+/// configuration protocol components (Fig. 2).
+pub struct OmniPaxosServer<T: Entry> {
+    config: ServerConfig,
+    /// The replicated log across all configurations (decided entries only).
+    log: Vec<T>,
+    /// Cursor for [`OmniPaxosServer::poll_applied`].
+    polled_idx: u64,
+    config_id: u32,
+    role: ServerRole,
+    active: Option<ActiveConfig<T>>,
+    migration: Option<MigrationState<T>>,
+    /// New servers we must keep notifying until they ack.
+    notify_pending: Vec<(NodeId, StopSign, Vec<NodeId>, u64)>,
+    /// Proposals buffered while the configuration is switching (§7.3: they
+    /// are proposed in a batch when the new configuration starts).
+    pending: Vec<T>,
+    ticks_since_retry: u64,
+    outgoing: Vec<(NodeId, ServiceMsg<T>)>,
+    /// Number of reconfigurations completed at this server.
+    reconfigurations: u32,
+}
+
+impl<T: Entry> OmniPaxosServer<T> {
+    /// Start a server of the initial configuration (`config_id` 1) with
+    /// membership `nodes`.
+    pub fn new(config: ServerConfig, nodes: Vec<NodeId>) -> Self {
+        Self::with_storage(config, nodes, MemoryStorage::new())
+    }
+
+    /// Start an initial-configuration server whose replication log is
+    /// pre-loaded (used by experiments that begin with a long history).
+    pub fn with_storage(
+        config: ServerConfig,
+        nodes: Vec<NodeId>,
+        storage: MemoryStorage<T>,
+    ) -> Self {
+        assert!(nodes.contains(&config.pid));
+        let mut server = OmniPaxosServer::empty(config);
+        server.config_id = 1;
+        server.role = ServerRole::Active;
+        let omni_config = server.omni_config(1, nodes.clone());
+        let omni = OmniPaxos::new(omni_config, storage);
+        server.active = Some(ActiveConfig {
+            nodes,
+            omni,
+            applied_idx: 0,
+            stopped: false,
+        });
+        server
+    }
+
+    /// Create a fresh joiner: it stays [`ServerRole::Idle`] until an
+    /// existing server announces a configuration that includes it.
+    pub fn new_joiner(config: ServerConfig) -> Self {
+        OmniPaxosServer::empty(config)
+    }
+
+    fn empty(config: ServerConfig) -> Self {
+        OmniPaxosServer {
+            config,
+            log: Vec::new(),
+            polled_idx: 0,
+            config_id: 0,
+            role: ServerRole::Idle,
+            active: None,
+            migration: None,
+            notify_pending: Vec::new(),
+            pending: Vec::new(),
+            ticks_since_retry: 0,
+            outgoing: Vec::new(),
+            reconfigurations: 0,
+        }
+    }
+
+    fn omni_config(&self, config_id: u32, nodes: Vec<NodeId>) -> OmniPaxosConfig {
+        OmniPaxosConfig {
+            config_id,
+            pid: self.config.pid,
+            nodes,
+            hb_timeout_ticks: self.config.hb_timeout_ticks,
+            resend_ticks: self.config.resend_ticks,
+            priority: self.config.priority,
+            connectivity_priority: self.config.connectivity_priority,
+            buffer_size: 1_000_000,
+        }
+    }
+
+    /// This server's id.
+    pub fn pid(&self) -> NodeId {
+        self.config.pid
+    }
+
+    /// The current configuration id (0 while idle).
+    pub fn config_id(&self) -> u32 {
+        self.config_id
+    }
+
+    /// Current role in the system.
+    pub fn role(&self) -> ServerRole {
+        self.role
+    }
+
+    /// The decided service-layer log.
+    pub fn log(&self) -> &[T] {
+        &self.log
+    }
+
+    /// Entries applied since the last call (client notifications).
+    pub fn poll_applied(&mut self) -> Vec<T> {
+        let from = self.polled_idx as usize;
+        self.polled_idx = self.log.len() as u64;
+        self.log[from..].to_vec()
+    }
+
+    /// How many reconfigurations this server has completed.
+    pub fn reconfigurations(&self) -> u32 {
+        self.reconfigurations
+    }
+
+    /// Is this server the leader of the active configuration?
+    pub fn is_leader(&self) -> bool {
+        self.active.as_ref().is_some_and(|a| a.omni.is_leader())
+    }
+
+    /// The leader ballot of the active configuration, if known.
+    pub fn leader(&self) -> Option<Ballot> {
+        let b = self.active.as_ref()?.omni.leader();
+        (b != Ballot::bottom()).then_some(b)
+    }
+
+    /// Members of the active configuration.
+    pub fn nodes(&self) -> &[NodeId] {
+        self.active
+            .as_ref()
+            .map(|a| a.nodes.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Propose a client command. While the configuration is switching the
+    /// proposal is buffered and flushed as a batch into the next
+    /// configuration (§7.3).
+    pub fn propose(&mut self, entry: T) -> Result<(), ProposeErr> {
+        match &mut self.active {
+            Some(active) => match active.omni.append(entry.clone()) {
+                Err(ProposeErr::PendingReconfig) => {
+                    self.pending.push(entry);
+                    Ok(())
+                }
+                other => other,
+            },
+            None => {
+                self.pending.push(entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// Propose replacing the membership with `new_nodes` (§6). Proposing
+    /// the *same* membership is allowed: a new configuration with unchanged
+    /// members is how in-place software upgrades roll out (§6.1).
+    pub fn reconfigure(&mut self, new_nodes: Vec<NodeId>) -> Result<(), ProposeErr> {
+        let active = self.active.as_mut().ok_or(ProposeErr::PendingReconfig)?;
+        let ss = StopSign::new(self.config_id + 1, new_nodes);
+        active.omni.reconfigure(ss)
+    }
+
+    /// Feed one incoming service-layer message.
+    pub fn handle(&mut self, from: NodeId, msg: ServiceMsg<T>) {
+        match msg {
+            ServiceMsg::Omni { config_id, msg } => {
+                if let Some(active) = &mut self.active {
+                    if config_id == self.config_id {
+                        active.omni.handle_message(msg);
+                        self.pump_active();
+                    }
+                }
+                // Messages for other configurations are dropped: their
+                // senders retransmit (heartbeats are periodic, Prepare is
+                // re-sent) so no buffering is needed.
+            }
+            ServiceMsg::StartConfig {
+                ss,
+                old_nodes,
+                log_len,
+            } => self.handle_start_config(from, ss, old_nodes, log_len),
+            ServiceMsg::ConfigStarted { config_id } => {
+                self.notify_pending
+                    .retain(|(pid, ss, _, _)| !(*pid == from && ss.config_id <= config_id));
+            }
+            ServiceMsg::SegmentReq { from: lo, to } => self.handle_segment_req(from, lo, to),
+            ServiceMsg::SegmentResp {
+                start,
+                entries,
+                served_to,
+                requested_to,
+            } => self.handle_segment_resp(from, start, entries, served_to, requested_to),
+        }
+    }
+
+    /// Advance logical time by one tick.
+    pub fn tick(&mut self) {
+        if let Some(active) = &mut self.active {
+            active.omni.tick();
+        }
+        self.pump_active();
+        self.ticks_since_retry += 1;
+        if self.ticks_since_retry >= self.config.retry_ticks {
+            self.ticks_since_retry = 0;
+            self.retry_migration();
+            self.retry_notifications();
+        }
+    }
+
+    /// Drain queued outgoing messages.
+    pub fn outgoing(&mut self) -> Vec<(NodeId, ServiceMsg<T>)> {
+        self.drain_omni();
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Crash-recover this server: protocol state is rebuilt from the
+    /// (simulated) persistent storage; the service-layer log survives.
+    pub fn fail_recovery(&mut self) {
+        self.outgoing.clear();
+        if let Some(active) = &mut self.active {
+            active.omni.fail_recovery();
+        }
+        // A migrating server restarts its migration from what it has.
+        if self.migration.is_some() {
+            self.retry_migration();
+        }
+    }
+
+    /// Notify that the link to `pid` has been re-established (§4.1.3).
+    pub fn reconnected(&mut self, pid: NodeId) {
+        if let Some(active) = &mut self.active {
+            active.omni.reconnected(pid);
+        }
+    }
+
+    /// Direct access to the active protocol instance (tests, invariants).
+    pub fn omni(&mut self) -> Option<&mut OmniPaxos<T, MemoryStorage<T>>> {
+        self.active.as_mut().map(|a| &mut a.omni)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Apply newly decided entries of the active instance to the service
+    /// log, and run the reconfiguration handover when a stop-sign decides.
+    fn pump_active(&mut self) {
+        let Some(active) = &mut self.active else {
+            return;
+        };
+        let decided = active.omni.read_decided(active.applied_idx);
+        if decided.is_empty() {
+            return;
+        }
+        active.applied_idx += decided.len() as u64;
+        let mut stopsign = None;
+        for entry in decided {
+            match entry {
+                LogEntry::Normal(t) => self.log.push(t),
+                LogEntry::StopSign(ss) => stopsign = Some(ss),
+            }
+        }
+        if let Some(ss) = stopsign {
+            if !active.stopped {
+                active.stopped = true;
+                self.handover(ss);
+            }
+        }
+    }
+
+    /// The stop-sign has been decided in the current configuration (§6):
+    /// start the next configuration and notify new servers.
+    fn handover(&mut self, ss: StopSign) {
+        let old_nodes = self
+            .active
+            .as_ref()
+            .map(|a| a.nodes.clone())
+            .unwrap_or_default();
+        let log_len = self.log.len() as u64;
+        // Notify every other server involved in the switch: new servers of
+        // c_{i+1} missed the stop-sign entirely, and old servers may not
+        // have seen it *decided* before this server tore c_i down (the
+        // leader switches as soon as the stop-sign is chosen, so a lagging
+        // follower can no longer learn it from the replication protocol).
+        let mut targets: Vec<NodeId> = ss.next_nodes.clone();
+        for &p in &old_nodes {
+            if !targets.contains(&p) {
+                targets.push(p);
+            }
+        }
+        targets.retain(|&p| p != self.config.pid);
+        for pid in targets {
+            self.notify_pending
+                .push((pid, ss.clone(), old_nodes.clone(), log_len));
+            self.outgoing.push((
+                pid,
+                ServiceMsg::StartConfig {
+                    ss: ss.clone(),
+                    old_nodes: old_nodes.clone(),
+                    log_len,
+                },
+            ));
+        }
+        if ss.next_nodes.contains(&self.config.pid) {
+            // We hold the complete log: start the next configuration
+            // directly (§6).
+            self.start_config(ss);
+        } else {
+            self.role = ServerRole::Retired;
+            self.active = None;
+        }
+    }
+
+    fn handle_start_config(
+        &mut self,
+        from: NodeId,
+        ss: StopSign,
+        old_nodes: Vec<NodeId>,
+        log_len: u64,
+    ) {
+        if self.config_id >= ss.config_id {
+            // Already there (duplicate notification): just ack.
+            self.outgoing.push((
+                from,
+                ServiceMsg::ConfigStarted {
+                    config_id: self.config_id,
+                },
+            ));
+            return;
+        }
+        if !ss.next_nodes.contains(&self.config.pid) {
+            // We are being told our configuration ended and we are not part
+            // of the next one: retire (keep donating segments).
+            if self.config_id == ss.config_id - 1 {
+                self.role = ServerRole::Retired;
+                self.active = None;
+                self.outgoing.push((
+                    from,
+                    ServiceMsg::ConfigStarted {
+                        config_id: self.config_id,
+                    },
+                ));
+            }
+            return;
+        }
+        if self.migration.is_some() {
+            return; // already migrating this configuration
+        }
+        if (self.log.len() as u64) >= log_len {
+            // Nothing to migrate (fresh system or we somehow have it all).
+            self.start_config(ss);
+            self.ack_started(&old_nodes);
+            return;
+        }
+        // Safety rule of §6: do not start BLE/Sequence Paxos until the
+        // complete log has been fetched. A continuing-but-lagging old
+        // server also takes this path for its missing suffix; its old
+        // instance is stopped (c_i can decide nothing after the stop-sign).
+        self.active = None;
+        self.role = ServerRole::Migrating;
+        let donors = match self.config.scheme {
+            MigrationScheme::Parallel => old_nodes.clone(),
+            MigrationScheme::LeaderOnly => vec![from],
+        };
+        self.migration = Some(MigrationState {
+            ss,
+            donors,
+            target_len: log_len,
+            chunks: BTreeMap::new(),
+            next_donor: 0,
+            assigned: HashMap::new(),
+            last_progress: u64::MAX,
+        });
+        self.request_missing();
+    }
+
+    /// Compute the ranges still missing, stripe them round-robin over the
+    /// donors, and start one pull stream per donor. Striping spreads byte
+    /// volume evenly even when entry sizes vary across the log.
+    fn request_missing(&mut self) {
+        let stripe = self.config.stripe_entries.max(1);
+        let Some(mig) = &mut self.migration else {
+            return;
+        };
+        let mut missing: Vec<(u64, u64)> = Vec::new();
+        let mut cursor = self.log.len() as u64;
+        for (&start, chunk) in &mig.chunks {
+            let end = start + chunk.len() as u64;
+            if start > cursor {
+                missing.push((cursor, start));
+            }
+            cursor = cursor.max(end);
+        }
+        if cursor < mig.target_len {
+            missing.push((cursor, mig.target_len));
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let n_donors = mig.donors.len().max(1);
+        mig.assigned.clear();
+        for (mut lo, hi) in missing {
+            while lo < hi {
+                let take = stripe.min(hi - lo);
+                // Rotate the starting donor across sweeps so retries move
+                // away from a dead donor.
+                let donor = mig.donors[mig.next_donor % n_donors];
+                mig.next_donor += 1;
+                mig.assigned
+                    .entry(donor)
+                    .or_insert_with(VecDeque::new)
+                    .push_back((lo, lo + take));
+                lo += take;
+            }
+        }
+        let firsts: Vec<(NodeId, u64, u64)> = mig
+            .assigned
+            .iter()
+            .filter_map(|(&d, q)| q.front().map(|&(lo, hi)| (d, lo, hi)))
+            .collect();
+        for (donor, lo, hi) in firsts {
+            self.outgoing
+                .push((donor, ServiceMsg::SegmentReq { from: lo, to: hi }));
+        }
+    }
+
+    fn handle_segment_req(&mut self, from: NodeId, lo: u64, to: u64) {
+        // Serve what we have decided; decided entries cannot be retracted
+        // (§6.1) so this is safe even mid-configuration. Only ONE chunk is
+        // sent per request: the requester pulls the next chunk when this
+        // one arrives, so the transfer is self-clocked at the path rate and
+        // bulk migration cannot monopolize the donor's NIC (the flow
+        // control a TCP stream would provide).
+        let have = self.log.len() as u64;
+        let served_to = to.min(have);
+        if lo >= served_to {
+            // Nothing to serve: report the shortfall immediately.
+            self.outgoing.push((
+                from,
+                ServiceMsg::SegmentResp {
+                    start: lo,
+                    entries: Vec::new(),
+                    served_to: lo.min(have),
+                    requested_to: to,
+                },
+            ));
+            return;
+        }
+        let mut end = lo;
+        let mut bytes = 0usize;
+        while end < served_to
+            && end - lo < self.config.chunk_entries
+            && bytes < self.config.chunk_bytes
+        {
+            bytes += self.log[end as usize].size_bytes();
+            end += 1;
+        }
+        let entries = self.log[lo as usize..end as usize].to_vec();
+        self.outgoing.push((
+            from,
+            ServiceMsg::SegmentResp {
+                start: lo,
+                entries,
+                served_to,
+                requested_to: to,
+            },
+        ));
+    }
+
+    fn handle_segment_resp(
+        &mut self,
+        from: NodeId,
+        start: u64,
+        entries: Vec<T>,
+        _served_to: u64,
+        requested_to: u64,
+    ) {
+        let Some(mig) = &mut self.migration else {
+            return;
+        };
+        let chunk_end = start + entries.len() as u64;
+        if !entries.is_empty() && chunk_end > self.log.len() as u64 {
+            mig.chunks.insert(start, entries);
+        }
+        if chunk_end > start && chunk_end < requested_to {
+            // Pull the next chunk of this donor's current range.
+            self.outgoing.push((
+                from,
+                ServiceMsg::SegmentReq {
+                    from: chunk_end,
+                    to: requested_to,
+                },
+            ));
+        } else if chunk_end >= requested_to && requested_to > 0 {
+            // Range complete: move to the donor's next assigned range.
+            if let Some(queue) = mig.assigned.get_mut(&from) {
+                if queue.front().is_some_and(|&(_, hi)| hi == requested_to) {
+                    queue.pop_front();
+                }
+                if let Some(&(lo, hi)) = queue.front() {
+                    self.outgoing
+                        .push((from, ServiceMsg::SegmentReq { from: lo, to: hi }));
+                }
+            }
+        }
+        // Fold contiguous chunks into the log.
+        loop {
+            let cursor = self.log.len() as u64;
+            let Some((&start, _)) = mig.chunks.range(..=cursor).next_back() else {
+                break;
+            };
+            let chunk = mig.chunks.remove(&start).expect("key exists");
+            let end = start + chunk.len() as u64;
+            if end <= cursor {
+                continue; // fully duplicate
+            }
+            let skip = (cursor - start) as usize;
+            self.log.extend(chunk.into_iter().skip(skip));
+        }
+        let done = self.log.len() as u64 >= mig.target_len;
+        if done {
+            let mig = self.migration.take().expect("checked above");
+            let donors = mig.donors.clone();
+            self.start_config(mig.ss);
+            self.ack_started(&donors);
+        }
+        // Shortfalls (served_to < requested_to) are re-planned by the
+        // periodic retry, which recomputes all missing ranges.
+    }
+
+    fn ack_started(&mut self, peers: &[NodeId]) {
+        for &pid in peers {
+            if pid != self.config.pid {
+                self.outgoing.push((
+                    pid,
+                    ServiceMsg::ConfigStarted {
+                        config_id: self.config_id,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Start the protocol components of configuration `ss.config_id` (§6).
+    fn start_config(&mut self, ss: StopSign) {
+        debug_assert!(ss.next_nodes.contains(&self.config.pid));
+        self.config_id = ss.config_id;
+        self.role = ServerRole::Active;
+        self.migration = None;
+        let omni_config = self.omni_config(ss.config_id, ss.next_nodes.clone());
+        let mut omni = OmniPaxos::new(omni_config, MemoryStorage::new());
+        // Flush proposals buffered during the switch as one batch (§7.3).
+        for entry in std::mem::take(&mut self.pending) {
+            let _ = omni.append(entry);
+        }
+        self.active = Some(ActiveConfig {
+            nodes: ss.next_nodes,
+            omni,
+            applied_idx: 0,
+            stopped: false,
+        });
+        self.reconfigurations += 1;
+    }
+
+    fn retry_migration(&mut self) {
+        let progress =
+            self.log.len() as u64 + self.migration.as_ref().map_or(0, |m| m.chunks.len() as u64);
+        let Some(mig) = &mut self.migration else {
+            return;
+        };
+        let stalled = mig.last_progress == progress;
+        mig.last_progress = progress;
+        if stalled {
+            // No chunk arrived since the last sweep: a donor died or a
+            // request was lost — re-plan the missing ranges.
+            self.request_missing();
+        }
+    }
+
+    fn retry_notifications(&mut self) {
+        let pending = self.notify_pending.clone();
+        for (pid, ss, old_nodes, log_len) in pending {
+            self.outgoing.push((
+                pid,
+                ServiceMsg::StartConfig {
+                    ss,
+                    old_nodes,
+                    log_len,
+                },
+            ));
+        }
+    }
+
+    fn drain_omni(&mut self) {
+        let config_id = self.config_id;
+        if let Some(active) = &mut self.active {
+            for msg in active.omni.outgoing_messages() {
+                let to = msg.to();
+                self.outgoing
+                    .push((to, ServiceMsg::Omni { config_id, msg }));
+            }
+        }
+    }
+}
+
+impl<T: Entry> std::fmt::Debug for OmniPaxosServer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmniPaxosServer")
+            .field("pid", &self.config.pid)
+            .field("config_id", &self.config_id)
+            .field("role", &self.role)
+            .field("log_len", &self.log.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(pid: NodeId) -> OmniPaxosServer<u64> {
+        OmniPaxosServer::new(ServerConfig::with(pid), vec![1, 2, 3])
+    }
+
+    #[test]
+    fn initial_server_is_active_in_config_one() {
+        let s = server(1);
+        assert_eq!(s.config_id(), 1);
+        assert_eq!(s.role(), ServerRole::Active);
+        assert_eq!(s.nodes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn joiner_is_idle_and_buffers_proposals() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(9));
+        assert_eq!(j.role(), ServerRole::Idle);
+        assert_eq!(j.config_id(), 0);
+        // Proposals while idle are parked, not lost or errored.
+        j.propose(5).expect("buffered");
+        assert!(j.log().is_empty());
+    }
+
+    #[test]
+    fn start_config_not_addressed_to_us_is_ignored_by_joiner() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(9));
+        j.handle(
+            1,
+            ServiceMsg::StartConfig {
+                ss: StopSign::new(2, vec![4, 5, 6]),
+                old_nodes: vec![1, 2, 3],
+                log_len: 10,
+            },
+        );
+        assert_eq!(j.role(), ServerRole::Idle, "not in next_nodes: ignore");
+    }
+
+    #[test]
+    fn start_config_with_empty_history_starts_immediately() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(4));
+        j.handle(
+            1,
+            ServiceMsg::StartConfig {
+                ss: StopSign::new(2, vec![1, 2, 4]),
+                old_nodes: vec![1, 2, 3],
+                log_len: 0,
+            },
+        );
+        assert_eq!(j.role(), ServerRole::Active);
+        assert_eq!(j.config_id(), 2);
+        // It also acked the donors so they stop re-notifying.
+        let acks: Vec<NodeId> = j
+            .outgoing()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, ServiceMsg::ConfigStarted { .. }))
+            .map(|(to, _)| to)
+            .collect();
+        assert!(acks.contains(&1));
+    }
+
+    #[test]
+    fn start_config_with_history_enters_migration_and_requests_stripes() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(4));
+        j.handle(
+            2,
+            ServiceMsg::StartConfig {
+                ss: StopSign::new(2, vec![1, 2, 4]),
+                old_nodes: vec![1, 2, 3],
+                log_len: 100,
+            },
+        );
+        assert_eq!(j.role(), ServerRole::Migrating);
+        let reqs: Vec<(NodeId, u64, u64)> = j
+            .outgoing()
+            .into_iter()
+            .filter_map(|(to, m)| match m {
+                ServiceMsg::SegmentReq { from, to: hi } => Some((to, from, hi)),
+                _ => None,
+            })
+            .collect();
+        assert!(!reqs.is_empty(), "must request the missing history");
+        // Ranges jointly start at 0.
+        assert!(reqs.iter().any(|&(_, lo, _)| lo == 0));
+    }
+
+    #[test]
+    fn duplicate_start_config_is_acked_not_restarted() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(4));
+        let ss = StopSign::new(2, vec![1, 2, 4]);
+        j.handle(
+            1,
+            ServiceMsg::StartConfig {
+                ss: ss.clone(),
+                old_nodes: vec![1, 2, 3],
+                log_len: 0,
+            },
+        );
+        assert_eq!(j.config_id(), 2);
+        let _ = j.outgoing();
+        j.handle(
+            3,
+            ServiceMsg::StartConfig {
+                ss,
+                old_nodes: vec![1, 2, 3],
+                log_len: 0,
+            },
+        );
+        assert_eq!(j.config_id(), 2, "no restart");
+        let out = j.outgoing();
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == 3 && matches!(m, ServiceMsg::ConfigStarted { .. })),
+            "duplicate notifier gets an ack: {out:?}"
+        );
+    }
+
+    #[test]
+    fn segment_req_serves_one_bounded_chunk() {
+        let mut cfg = ServerConfig::with(1);
+        cfg.chunk_entries = 4;
+        let mut s = OmniPaxosServer::with_storage(
+            cfg,
+            vec![1, 2, 3],
+            crate::storage::MemoryStorage::with_decided_log((0..20u64).collect()),
+        );
+        s.tick(); // absorb the pre-loaded history into the service log
+        let _ = s.outgoing();
+        s.handle(9, ServiceMsg::SegmentReq { from: 0, to: 20 });
+        let resps: Vec<(u64, usize, u64)> = s
+            .outgoing()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                ServiceMsg::SegmentResp {
+                    start,
+                    entries,
+                    served_to,
+                    ..
+                } => Some((start, entries.len(), served_to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resps.len(), 1, "one chunk per request (pull streaming)");
+        assert_eq!(resps[0], (0, 4, 20), "chunk bounded by chunk_entries");
+    }
+
+    #[test]
+    fn segment_req_beyond_decided_reports_shortfall() {
+        let mut s = server(1);
+        s.handle(9, ServiceMsg::SegmentReq { from: 5, to: 10 });
+        let out = s.outgoing();
+        let resp = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                ServiceMsg::SegmentResp {
+                    entries, served_to, ..
+                } => Some((entries.len(), *served_to)),
+                _ => None,
+            })
+            .expect("shortfall response");
+        assert_eq!(resp, (0, 0), "nothing served, shortfall reported");
+    }
+
+    #[test]
+    fn reconfigure_requires_an_active_configuration() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(4));
+        assert!(j.reconfigure(vec![4, 5, 6]).is_err());
+    }
+
+    #[test]
+    fn service_msg_sizes_scale_with_content() {
+        let small: ServiceMsg<u64> = ServiceMsg::SegmentReq { from: 0, to: 10 };
+        let big: ServiceMsg<u64> = ServiceMsg::SegmentResp {
+            start: 0,
+            entries: vec![1; 100],
+            served_to: 100,
+            requested_to: 100,
+        };
+        assert!(big.size_bytes() > small.size_bytes() + 700);
+        let sc: ServiceMsg<u64> = ServiceMsg::StartConfig {
+            ss: StopSign::new(2, vec![1, 2, 3]),
+            old_nodes: vec![1, 2, 3],
+            log_len: 10,
+        };
+        assert!(sc.size_bytes() > 32);
+    }
+}

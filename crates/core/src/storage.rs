@@ -1,0 +1,353 @@
+//! Log storage abstraction and the in-memory reference implementation.
+//!
+//! The paper assumes the fail-recovery model (§3): state written to
+//! non-volatile storage survives crashes. A [`Storage`] holds everything a
+//! Sequence Paxos replica must persist — the promised round, the accepted
+//! round, the decided index and the log itself — so that
+//! `SequencePaxos::fail_recovery` can rebuild a correct replica from it.
+//!
+//! The log stores [`LogEntry`] values: either a client command or the
+//! *stop-sign* that ends a configuration (§6). Storage additionally supports
+//! **trimming** (compaction): a decided prefix that has been applied and,
+//! where relevant, migrated, can be discarded while absolute log indices
+//! remain stable.
+
+use crate::ballot::Ballot;
+use crate::util::{Entry, LogEntry};
+
+/// Error returned by [`Storage::trim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrimError {
+    /// Tried to trim beyond the decided index; undecided entries may still
+    /// be overwritten by a future leader and must be kept.
+    BeyondDecided { decided_idx: u64, requested: u64 },
+    /// Tried to trim below the already-compacted index.
+    AlreadyTrimmed { compacted_idx: u64, requested: u64 },
+}
+
+impl std::fmt::Display for TrimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrimError::BeyondDecided {
+                decided_idx,
+                requested,
+            } => write!(
+                f,
+                "cannot trim to {requested}: only {decided_idx} entries are decided"
+            ),
+            TrimError::AlreadyTrimmed {
+                compacted_idx,
+                requested,
+            } => write!(
+                f,
+                "cannot trim to {requested}: already compacted to {compacted_idx}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrimError {}
+
+/// Persistent state of one Sequence Paxos replica.
+///
+/// All indices are *absolute*: they keep counting across trims. `get_entries`
+/// and `get_suffix` panic if asked for compacted entries — callers are
+/// responsible for never needing entries below the decided index of every
+/// peer before trimming (the service layer enforces this).
+pub trait Storage<T: Entry> {
+    /// Append one entry; returns the new log length (absolute).
+    fn append_entry(&mut self, entry: LogEntry<T>) -> u64;
+
+    /// Append many entries; returns the new log length (absolute).
+    fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> u64;
+
+    /// Truncate the log to `from_idx` (absolute) and append `entries` there.
+    /// Used by log synchronization (`AcceptSync`, §4.1.1) where a follower's
+    /// non-chosen suffix may be overwritten. Returns the new log length.
+    fn append_on_prefix(&mut self, from_idx: u64, entries: Vec<LogEntry<T>>) -> u64;
+
+    /// Persist the highest promised round.
+    fn set_promise(&mut self, b: Ballot);
+
+    /// The highest promised round ([`Ballot::bottom`] initially).
+    fn get_promise(&self) -> Ballot;
+
+    /// Persist the round in which entries were last accepted.
+    fn set_accepted_round(&mut self, b: Ballot);
+
+    /// The round in which entries were last accepted.
+    fn get_accepted_round(&self) -> Ballot;
+
+    /// Persist the decided index.
+    fn set_decided_idx(&mut self, idx: u64);
+
+    /// Index up to which the log is decided (exclusive).
+    fn get_decided_idx(&self) -> u64;
+
+    /// Entries in `[from, to)` (absolute indices). Panics if the range is
+    /// invalid or reaches into the compacted prefix.
+    fn get_entries(&self, from: u64, to: u64) -> Vec<LogEntry<T>>;
+
+    /// Entries in `[from, log_len)`.
+    fn get_suffix(&self, from: u64) -> Vec<LogEntry<T>> {
+        self.get_entries(from, self.get_log_len())
+    }
+
+    /// Absolute length of the log, including the compacted prefix.
+    fn get_log_len(&self) -> u64;
+
+    /// Index below which entries have been compacted away.
+    fn get_compacted_idx(&self) -> u64;
+
+    /// Discard entries below `idx` (absolute). Only decided entries may be
+    /// trimmed.
+    fn trim(&mut self, idx: u64) -> Result<(), TrimError>;
+}
+
+/// The in-memory reference [`Storage`].
+///
+/// "Persistence" here means surviving a *simulated* crash: the harness keeps
+/// the `MemoryStorage` alive across `fail_recovery`, mirroring how a real
+/// deployment would reload the on-disk state.
+#[derive(Debug, Clone)]
+pub struct MemoryStorage<T: Entry> {
+    log: Vec<LogEntry<T>>,
+    compacted_idx: u64,
+    promise: Ballot,
+    accepted_round: Ballot,
+    decided_idx: u64,
+}
+
+impl<T: Entry> Default for MemoryStorage<T> {
+    fn default() -> Self {
+        MemoryStorage {
+            log: Vec::new(),
+            compacted_idx: 0,
+            promise: Ballot::bottom(),
+            accepted_round: Ballot::bottom(),
+            decided_idx: 0,
+        }
+    }
+}
+
+impl<T: Entry> MemoryStorage<T> {
+    /// Empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Storage pre-loaded with decided entries — used by experiments that
+    /// start from a long history (§7.3 initializes 5 million entries).
+    pub fn with_decided_log(entries: Vec<T>) -> Self {
+        let log: Vec<LogEntry<T>> = entries.into_iter().map(LogEntry::Normal).collect();
+        let decided_idx = log.len() as u64;
+        MemoryStorage {
+            log,
+            compacted_idx: 0,
+            promise: Ballot::bottom(),
+            accepted_round: Ballot::bottom(),
+            decided_idx,
+        }
+    }
+
+    fn rel(&self, abs: u64) -> usize {
+        assert!(
+            abs >= self.compacted_idx,
+            "index {abs} reaches into compacted prefix (compacted to {})",
+            self.compacted_idx
+        );
+        (abs - self.compacted_idx) as usize
+    }
+}
+
+impl<T: Entry> Storage<T> for MemoryStorage<T> {
+    fn append_entry(&mut self, entry: LogEntry<T>) -> u64 {
+        self.log.push(entry);
+        self.get_log_len()
+    }
+
+    fn append_entries(&mut self, mut entries: Vec<LogEntry<T>>) -> u64 {
+        self.log.append(&mut entries);
+        self.get_log_len()
+    }
+
+    fn append_on_prefix(&mut self, from_idx: u64, entries: Vec<LogEntry<T>>) -> u64 {
+        let rel = self.rel(from_idx);
+        self.log.truncate(rel);
+        self.append_entries(entries)
+    }
+
+    fn set_promise(&mut self, b: Ballot) {
+        self.promise = b;
+    }
+
+    fn get_promise(&self) -> Ballot {
+        self.promise
+    }
+
+    fn set_accepted_round(&mut self, b: Ballot) {
+        self.accepted_round = b;
+    }
+
+    fn get_accepted_round(&self) -> Ballot {
+        self.accepted_round
+    }
+
+    fn set_decided_idx(&mut self, idx: u64) {
+        self.decided_idx = idx;
+    }
+
+    fn get_decided_idx(&self) -> u64 {
+        self.decided_idx
+    }
+
+    fn get_entries(&self, from: u64, to: u64) -> Vec<LogEntry<T>> {
+        let to = to.min(self.get_log_len());
+        if from >= to {
+            return Vec::new();
+        }
+        let (f, t) = (self.rel(from), self.rel(to));
+        self.log[f..t].to_vec()
+    }
+
+    fn get_log_len(&self) -> u64 {
+        self.compacted_idx + self.log.len() as u64
+    }
+
+    fn get_compacted_idx(&self) -> u64 {
+        self.compacted_idx
+    }
+
+    fn trim(&mut self, idx: u64) -> Result<(), TrimError> {
+        if idx > self.decided_idx {
+            return Err(TrimError::BeyondDecided {
+                decided_idx: self.decided_idx,
+                requested: idx,
+            });
+        }
+        if idx < self.compacted_idx {
+            return Err(TrimError::AlreadyTrimmed {
+                compacted_idx: self.compacted_idx,
+                requested: idx,
+            });
+        }
+        let rel = self.rel(idx);
+        self.log.drain(..rel);
+        self.compacted_idx = idx;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(v: u64) -> LogEntry<u64> {
+        LogEntry::Normal(v)
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut s = MemoryStorage::new();
+        assert_eq!(s.append_entry(norm(1)), 1);
+        assert_eq!(s.append_entries(vec![norm(2), norm(3)]), 3);
+        assert_eq!(s.get_entries(0, 3), vec![norm(1), norm(2), norm(3)]);
+        assert_eq!(s.get_suffix(1), vec![norm(2), norm(3)]);
+        assert_eq!(s.get_log_len(), 3);
+    }
+
+    #[test]
+    fn append_on_prefix_overwrites_suffix() {
+        let mut s = MemoryStorage::new();
+        s.append_entries(vec![norm(1), norm(2), norm(4), norm(5)]);
+        // A new leader syncs [3] at index 2: [4, 5] were never chosen.
+        assert_eq!(s.append_on_prefix(2, vec![norm(3)]), 3);
+        assert_eq!(s.get_suffix(0), vec![norm(1), norm(2), norm(3)]);
+    }
+
+    #[test]
+    fn rounds_and_decided_idx_persist() {
+        let mut s: MemoryStorage<u64> = MemoryStorage::new();
+        assert_eq!(s.get_promise(), Ballot::bottom());
+        let b = Ballot::new(3, 0, 2);
+        s.set_promise(b);
+        s.set_accepted_round(b);
+        s.set_decided_idx(7);
+        assert_eq!(s.get_promise(), b);
+        assert_eq!(s.get_accepted_round(), b);
+        assert_eq!(s.get_decided_idx(), 7);
+    }
+
+    #[test]
+    fn get_entries_clamps_to_log_len() {
+        let mut s = MemoryStorage::new();
+        s.append_entries(vec![norm(1), norm(2)]);
+        assert_eq!(s.get_entries(1, 100), vec![norm(2)]);
+        assert_eq!(s.get_entries(2, 2), vec![]);
+        assert_eq!(s.get_suffix(5), vec![]);
+    }
+
+    #[test]
+    fn trim_discards_prefix_but_keeps_absolute_indices() {
+        let mut s = MemoryStorage::new();
+        s.append_entries((1..=10).map(norm).collect());
+        s.set_decided_idx(8);
+        s.trim(5).expect("trim decided prefix");
+        assert_eq!(s.get_compacted_idx(), 5);
+        assert_eq!(s.get_log_len(), 10);
+        assert_eq!(s.get_entries(5, 7), vec![norm(6), norm(7)]);
+        assert_eq!(s.get_suffix(8), vec![norm(9), norm(10)]);
+    }
+
+    #[test]
+    fn trim_rejects_undecided_and_double_trim() {
+        let mut s = MemoryStorage::new();
+        s.append_entries((1..=10).map(norm).collect());
+        s.set_decided_idx(4);
+        assert_eq!(
+            s.trim(6),
+            Err(TrimError::BeyondDecided {
+                decided_idx: 4,
+                requested: 6
+            })
+        );
+        s.trim(4).unwrap();
+        assert_eq!(
+            s.trim(2),
+            Err(TrimError::AlreadyTrimmed {
+                compacted_idx: 4,
+                requested: 2
+            })
+        );
+        // Trimming to the same index is a no-op, not an error.
+        assert_eq!(s.trim(4), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted prefix")]
+    fn reading_compacted_entries_panics() {
+        let mut s = MemoryStorage::new();
+        s.append_entries((1..=4).map(norm).collect());
+        s.set_decided_idx(4);
+        s.trim(3).unwrap();
+        let _ = s.get_entries(1, 4);
+    }
+
+    #[test]
+    fn with_decided_log_initializes_history() {
+        let s = MemoryStorage::with_decided_log((0..100u64).collect());
+        assert_eq!(s.get_log_len(), 100);
+        assert_eq!(s.get_decided_idx(), 100);
+        assert_eq!(s.get_promise(), Ballot::bottom());
+    }
+
+    #[test]
+    fn append_on_prefix_at_compaction_boundary() {
+        let mut s = MemoryStorage::new();
+        s.append_entries((1..=6).map(norm).collect());
+        s.set_decided_idx(6);
+        s.trim(6).unwrap();
+        assert_eq!(s.append_on_prefix(6, vec![norm(7)]), 7);
+        assert_eq!(s.get_suffix(6), vec![norm(7)]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # kvstore — a replicated key-value store on Omni-Paxos
+//!
+//! The paper motivates RSMs with coordination and data services (§1); this
+//! crate is the canonical such service built on the reproduction: a
+//! partition-tolerant, linearizable key-value store.
+//!
+//! Each server embeds an [`omnipaxos::OmniPaxosServer`] replicating
+//! [`KvCommand`]s; the store state machine applies decided commands in log
+//! order, so every replica converges to the same map. Writes go through the
+//! log; reads are served either **eventually consistent** (local state) or
+//! **linearizable** by appending a no-op read marker and waiting for it to
+//! decide (the classic read-through-log technique).
+//!
+//! Client sessions carry sequence numbers so command retries (needed under
+//! partitions — see the paper's §7.2) are deduplicated: the state machine
+//! applies each `(client, seq)` at most once.
+
+pub mod store;
+
+pub use store::{KvCommand, KvNode, KvOp, KvResult};
+
+/// Server identifier, shared with the `omnipaxos` crate.
+pub type NodeId = omnipaxos::NodeId;

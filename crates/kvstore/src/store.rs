@@ -1,0 +1,431 @@
+//! The replicated key-value state machine and its server node.
+
+use omnipaxos::sequence_paxos::ProposeErr;
+use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
+use omnipaxos::{Entry, NodeId};
+use std::collections::HashMap;
+
+/// A key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Set `key` to `value`.
+    Put { key: String, value: i64 },
+    /// Remove `key`.
+    Delete { key: String },
+    /// Add `delta` to `key` (missing keys count as 0). Conditional logic in
+    /// the state machine (rather than read-modify-write at the client) is
+    /// what makes concurrent increments linearizable.
+    Add { key: String, delta: i64 },
+    /// Atomically move `amount` from `from` to `to` iff `from` has at least
+    /// `amount` (the bank-transfer example of `examples/kv_bank.rs`).
+    Transfer {
+        from: String,
+        to: String,
+        amount: i64,
+    },
+    /// A read marker: deciding it linearizes the read at its log position.
+    Read { key: String },
+}
+
+/// A client command: the operation plus its session identity for exactly-
+/// once application under retries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCommand {
+    /// Issuing client.
+    pub client: u64,
+    /// Per-client sequence number; commands apply at most once per
+    /// `(client, seq)`.
+    pub seq: u64,
+    pub op: KvOp,
+}
+
+impl Entry for KvCommand {
+    fn size_bytes(&self) -> usize {
+        let op = match &self.op {
+            KvOp::Put { key, .. } => key.len() + 8,
+            KvOp::Delete { key } => key.len(),
+            KvOp::Add { key, .. } => key.len() + 8,
+            KvOp::Transfer { from, to, .. } => from.len() + to.len() + 8,
+            KvOp::Read { key } => key.len(),
+        };
+        16 + op
+    }
+}
+
+/// Result of an applied command, delivered to the issuing client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvResult {
+    pub client: u64,
+    pub seq: u64,
+    /// The value read (for `Read`), the value after the update (for
+    /// `Put`/`Add`), `None` for `Delete`, and `None` for a `Transfer` that
+    /// was rejected for insufficient funds.
+    pub value: Option<i64>,
+    /// Did the operation take effect? (`false` only for rejected
+    /// transfers and duplicate retries.)
+    pub applied: bool,
+}
+
+/// One key-value server: an Omni-Paxos replica plus the applied state.
+pub struct KvNode {
+    server: OmniPaxosServer<KvCommand>,
+    state: HashMap<String, i64>,
+    /// Highest applied sequence number per client (session dedup).
+    sessions: HashMap<u64, u64>,
+    results: Vec<KvResult>,
+}
+
+impl KvNode {
+    /// A server of the initial configuration `nodes`.
+    pub fn new(pid: NodeId, nodes: Vec<NodeId>) -> Self {
+        KvNode {
+            server: OmniPaxosServer::new(ServerConfig::with(pid), nodes),
+            state: HashMap::new(),
+            sessions: HashMap::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// This server's id.
+    pub fn pid(&self) -> NodeId {
+        self.server.pid()
+    }
+
+    /// Is this server the current leader?
+    pub fn is_leader(&self) -> bool {
+        self.server.is_leader()
+    }
+
+    /// Submit a command for replication.
+    pub fn submit(&mut self, cmd: KvCommand) -> Result<(), ProposeErr> {
+        self.server.propose(cmd)
+    }
+
+    /// Eventually-consistent local read (no log round-trip).
+    pub fn read_local(&self, key: &str) -> Option<i64> {
+        self.state.get(key).copied()
+    }
+
+    /// Linearizable read: replicate a read marker; the result arrives via
+    /// [`KvNode::take_results`] once the marker decides.
+    pub fn read_linearizable(
+        &mut self,
+        client: u64,
+        seq: u64,
+        key: impl Into<String>,
+    ) -> Result<(), ProposeErr> {
+        self.submit(KvCommand {
+            client,
+            seq,
+            op: KvOp::Read { key: key.into() },
+        })
+    }
+
+    /// Advance timers, apply newly decided commands.
+    pub fn tick(&mut self) {
+        self.server.tick();
+        for cmd in self.server.poll_applied() {
+            self.apply(cmd);
+        }
+    }
+
+    /// Feed one incoming message.
+    pub fn handle(&mut self, from: NodeId, msg: ServiceMsg<KvCommand>) {
+        self.server.handle(from, msg);
+        for cmd in self.server.poll_applied() {
+            self.apply(cmd);
+        }
+    }
+
+    /// Drain outgoing messages.
+    pub fn outgoing(&mut self) -> Vec<(NodeId, ServiceMsg<KvCommand>)> {
+        self.server.outgoing()
+    }
+
+    /// Results of commands applied since the last call.
+    pub fn take_results(&mut self) -> Vec<KvResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// The applied state (for inspection and tests).
+    pub fn state(&self) -> &HashMap<String, i64> {
+        &self.state
+    }
+
+    /// Access the underlying replication server (partitions, recovery).
+    pub fn server(&mut self) -> &mut OmniPaxosServer<KvCommand> {
+        &mut self.server
+    }
+
+    fn apply(&mut self, cmd: KvCommand) {
+        // Session dedup: at-most-once per (client, seq). Reads are also
+        // markers, so they participate in the same numbering.
+        let last = self.sessions.entry(cmd.client).or_insert(0);
+        if cmd.seq <= *last {
+            self.results.push(KvResult {
+                client: cmd.client,
+                seq: cmd.seq,
+                value: None,
+                applied: false,
+            });
+            return;
+        }
+        *last = cmd.seq;
+        let (value, applied) = match cmd.op {
+            KvOp::Put { key, value } => {
+                self.state.insert(key, value);
+                (Some(value), true)
+            }
+            KvOp::Delete { key } => {
+                self.state.remove(&key);
+                (None, true)
+            }
+            KvOp::Add { key, delta } => {
+                let v = self.state.entry(key).or_insert(0);
+                *v += delta;
+                (Some(*v), true)
+            }
+            KvOp::Transfer { from, to, amount } => {
+                let balance = self.state.get(&from).copied().unwrap_or(0);
+                if balance >= amount {
+                    *self.state.entry(from).or_insert(0) -= amount;
+                    *self.state.entry(to).or_insert(0) += amount;
+                    (Some(amount), true)
+                } else {
+                    (None, false)
+                }
+            }
+            KvOp::Read { key } => (self.state.get(&key).copied(), true),
+        };
+        self.results.push(KvResult {
+            client: cmd.client,
+            seq: cmd.seq,
+            value,
+            applied,
+        });
+    }
+}
+
+impl std::fmt::Debug for KvNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvNode")
+            .field("server", &self.server)
+            .field("keys", &self.state.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run a fully connected in-memory cluster until quiescent.
+    fn run(nodes: &mut [KvNode], steps: usize) {
+        for _ in 0..steps {
+            for n in nodes.iter_mut() {
+                n.tick();
+            }
+            let mut inbox = Vec::new();
+            for n in nodes.iter_mut() {
+                let from = n.pid();
+                for (to, m) in n.outgoing() {
+                    inbox.push((from, to, m));
+                }
+            }
+            for (from, to, m) in inbox {
+                if let Some(n) = nodes.iter_mut().find(|n| n.pid() == to) {
+                    n.handle(from, m);
+                }
+            }
+        }
+    }
+
+    fn cluster(n: usize) -> Vec<KvNode> {
+        let ids: Vec<NodeId> = (1..=n as NodeId).collect();
+        ids.iter().map(|&p| KvNode::new(p, ids.clone())).collect()
+    }
+
+    fn leader_idx(nodes: &[KvNode]) -> usize {
+        nodes.iter().position(|n| n.is_leader()).expect("leader")
+    }
+
+    #[test]
+    fn puts_replicate_to_all_servers() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "x".into(),
+                    value: 7,
+                },
+            })
+            .unwrap();
+        run(&mut nodes, 100);
+        for n in &nodes {
+            assert_eq!(n.read_local("x"), Some(7));
+        }
+    }
+
+    #[test]
+    fn adds_are_linearized_not_lost() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        for seq in 1..=10 {
+            nodes[li]
+                .submit(KvCommand {
+                    client: 1,
+                    seq,
+                    op: KvOp::Add {
+                        key: "ctr".into(),
+                        delta: 1,
+                    },
+                })
+                .unwrap();
+        }
+        run(&mut nodes, 100);
+        for n in &nodes {
+            assert_eq!(n.read_local("ctr"), Some(10));
+        }
+    }
+
+    #[test]
+    fn duplicate_retries_apply_once() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        let cmd = KvCommand {
+            client: 9,
+            seq: 1,
+            op: KvOp::Add {
+                key: "k".into(),
+                delta: 5,
+            },
+        };
+        nodes[li].submit(cmd.clone()).unwrap();
+        nodes[li].submit(cmd.clone()).unwrap(); // client retry
+        run(&mut nodes, 100);
+        for n in &nodes {
+            assert_eq!(n.read_local("k"), Some(5), "retry must not double-apply");
+        }
+    }
+
+    #[test]
+    fn transfer_rejected_on_insufficient_funds() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "alice".into(),
+                    value: 30,
+                },
+            })
+            .unwrap();
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 2,
+                op: KvOp::Transfer {
+                    from: "alice".into(),
+                    to: "bob".into(),
+                    amount: 50,
+                },
+            })
+            .unwrap();
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        let results = nodes[li].take_results();
+        let xfer = results.iter().find(|r| r.seq == 2).unwrap();
+        assert!(!xfer.applied);
+        for n in &nodes {
+            assert_eq!(n.read_local("alice"), Some(30));
+            assert_eq!(n.read_local("bob"), None);
+        }
+    }
+
+    #[test]
+    fn linearizable_read_returns_value_through_log() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "x".into(),
+                    value: 42,
+                },
+            })
+            .unwrap();
+        nodes[li].read_linearizable(1, 2, "x").unwrap();
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        let results = nodes[li].take_results();
+        let read = results.iter().find(|r| r.seq == 2).unwrap();
+        assert_eq!(read.value, Some(42));
+    }
+
+    #[test]
+    fn follower_submissions_are_forwarded() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        let fi = (li + 1) % 3;
+        nodes[fi]
+            .submit(KvCommand {
+                client: 2,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "f".into(),
+                    value: 1,
+                },
+            })
+            .unwrap();
+        run(&mut nodes, 200);
+        for n in &nodes {
+            assert_eq!(n.read_local("f"), Some(1));
+        }
+    }
+
+    #[test]
+    fn state_machines_converge_identically() {
+        let mut nodes = cluster(5);
+        run(&mut nodes, 150);
+        let li = leader_idx(&nodes);
+        for seq in 1..=50u64 {
+            let op = match seq % 4 {
+                0 => KvOp::Put {
+                    key: format!("k{}", seq % 7),
+                    value: seq as i64,
+                },
+                1 => KvOp::Add {
+                    key: format!("k{}", seq % 5),
+                    delta: 2,
+                },
+                2 => KvOp::Delete {
+                    key: format!("k{}", seq % 3),
+                },
+                _ => KvOp::Transfer {
+                    from: format!("k{}", seq % 5),
+                    to: format!("k{}", seq % 7),
+                    amount: 1,
+                },
+            };
+            nodes[li].submit(KvCommand { client: 3, seq, op }).unwrap();
+        }
+        run(&mut nodes, 200);
+        let reference = nodes[0].state().clone();
+        for n in &nodes[1..] {
+            assert_eq!(n.state(), &reference, "replicas must converge");
+        }
+    }
+}

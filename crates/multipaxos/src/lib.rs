@@ -1,0 +1,70 @@
+//! # multipaxos — the Multi-Paxos comparator for the Omni-Paxos reproduction
+//!
+//! A from-scratch Multi-Paxos in the style the paper compares against (a
+//! Rust port of frankenpaxos' Multi-Paxos; see also *Paxos Made Moderately
+//! Complex*): per-slot consensus with a leader that first establishes its
+//! ballot through Phase 1 (a majority of `P1b` promises), then streams
+//! `P2a` accepts.
+//!
+//! The two design traits that the Omni-Paxos paper's §2 analysis turns on
+//! are modelled faithfully:
+//!
+//! * **Failure-detector-driven takeover**: every node monitors *node
+//!   liveness* of the believed leader with heartbeats; a follower that
+//!   suspects the leader increments its ballot and starts Phase 1 (Table 1:
+//!   candidate requirement is QC only — there is no log requirement, which
+//!   is why Multi-Paxos survives the constrained-election scenario).
+//! * **Leader-vote gossiping via preemption**: acceptors reply `Nack` with
+//!   their higher promise, deposing stale leaders through intermediaries —
+//!   the mechanism that livelocks the chained scenario (§2c).
+//!
+//! In the quorum-loss scenario the system deadlocks exactly as the paper
+//! describes: the only quorum-connected server keeps receiving heartbeats
+//! from the stale leader, never suspects it, and never campaigns.
+
+pub mod node;
+
+pub use node::{MpConfig, MpMsg, MpNode, Payload};
+
+/// Unique identifier of a server. `0` is reserved.
+pub type NodeId = u64;
+
+/// A Multi-Paxos ballot: `(n, pid)`, ordered lexicographically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bal {
+    pub n: u64,
+    pub pid: NodeId,
+}
+
+impl Bal {
+    pub fn new(n: u64, pid: NodeId) -> Self {
+        Bal { n, pid }
+    }
+
+    /// The bottom ballot (smaller than any real proposal).
+    pub fn bottom() -> Self {
+        Bal::default()
+    }
+}
+
+/// A client command replicated by Multi-Paxos (mirrors `omnipaxos::Entry`).
+pub trait Command: Clone + std::fmt::Debug {
+    /// Approximate encoded size in bytes.
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Command for u64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballots_order_by_n_then_pid() {
+        assert!(Bal::new(1, 9) < Bal::new(2, 1));
+        assert!(Bal::new(2, 1) < Bal::new(2, 2));
+        assert!(Bal::bottom() < Bal::new(0, 1));
+    }
+}

@@ -1,0 +1,37 @@
+//! # raft — the Raft comparator for the Omni-Paxos reproduction
+//!
+//! A from-scratch implementation of Raft (Ongaro & Ousterhout, USENIX ATC
+//! 2014) in the style the Omni-Paxos paper compares against (TiKV's
+//! `raft-rs`), including the **PreVote** and **CheckQuorum** mechanisms whose
+//! combination is the "Raft PV+CQ" row of the paper's Table 1 (Jensen,
+//! Howard, Mortier — HAOC 2021).
+//!
+//! The node is a sans-IO state machine with the same driving interface as
+//! the `omnipaxos` crate: feed messages and ticks, drain outgoing messages.
+//! Reconfiguration is **leader-driven** (the property the paper's §7.3
+//! measures): new servers are added as learners and caught up by the leader
+//! alone via `AppendEntries` streaming, after which a membership entry
+//! switches the voter set.
+//!
+//! The deliberate differences from Omni-Paxos that the paper's analysis
+//! (§2, Table 1) turns on are all present:
+//!
+//! * the elected leader must hold the **max log** (vote check on
+//!   `last_log_term`/`last_log_idx`), so there is no synchronization phase;
+//! * **term gossiping**: any message with a higher term deposes the current
+//!   leader;
+//! * **randomized election timers** instead of connectivity-aware election.
+
+pub mod config;
+pub mod messages;
+pub mod node;
+
+pub use config::{Command, RaftConfig};
+pub use messages::{RaftEntry, RaftMsg, RaftPayload};
+pub use node::{RaftNode, RaftRole};
+
+/// Unique identifier of a server. `0` is reserved.
+pub type NodeId = u64;
+
+/// A Raft term.
+pub type Term = u64;

@@ -1,0 +1,178 @@
+//! Raft wire messages and log entries.
+
+use crate::config::Command;
+use crate::{NodeId, Term};
+
+/// Fixed framing overhead per message, matching the size model used across
+/// the harness (`omnipaxos::messages::HEADER_BYTES`).
+pub const HEADER_BYTES: usize = 32;
+
+/// Payload of one log slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaftPayload<C> {
+    /// A no-op the leader commits at the start of its term (the classic
+    /// trick to learn the commit index of previous terms).
+    Noop,
+    /// A client command.
+    Cmd(C),
+    /// A membership change: the new voter set.
+    Conf(Vec<NodeId>),
+    /// Announce an intended membership change: the named servers join as
+    /// learners and are caught up by the leader. Replicated in the log (as
+    /// raft-rs does) so that a *successor* leader can finish the change —
+    /// the paper observed exactly this under reconfiguration overload
+    /// (§7.3: "it was not the initial leader who committed the
+    /// reconfiguration").
+    ConfPrep(Vec<NodeId>),
+}
+
+/// One slot of the Raft log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaftEntry<C> {
+    pub term: Term,
+    pub payload: RaftPayload<C>,
+}
+
+impl<C: Command> RaftEntry<C> {
+    /// Approximate encoded size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        8 + match &self.payload {
+            RaftPayload::Noop => 0,
+            RaftPayload::Cmd(c) => c.size_bytes(),
+            RaftPayload::Conf(v) => v.len() * 8,
+            RaftPayload::ConfPrep(v) => v.len() * 8,
+        }
+    }
+}
+
+/// The Raft message alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaftMsg<C> {
+    /// Vote solicitation; `pre_vote` distinguishes the PreVote probe, which
+    /// does not bump terms.
+    RequestVote {
+        term: Term,
+        last_log_idx: u64,
+        last_log_term: Term,
+        pre_vote: bool,
+    },
+    /// Vote response. `term` echoes the election term (or reports a higher
+    /// one, deposing the candidate).
+    VoteResp {
+        term: Term,
+        granted: bool,
+        pre_vote: bool,
+    },
+    /// Log replication / heartbeat.
+    AppendEntries {
+        term: Term,
+        prev_idx: u64,
+        prev_term: Term,
+        entries: Vec<RaftEntry<C>>,
+        commit: u64,
+    },
+    /// Replication acknowledgement. On rejection `conflict_idx` hints where
+    /// the leader should back up to (accelerated log backtracking).
+    AppendResp {
+        term: Term,
+        success: bool,
+        match_idx: u64,
+        conflict_idx: u64,
+    },
+}
+
+impl<C: Command> RaftMsg<C> {
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let payload = match self {
+            RaftMsg::AppendEntries { entries, .. } => {
+                entries.iter().map(RaftEntry::size_bytes).sum()
+            }
+            _ => 0,
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// The term carried by this message.
+    pub fn term(&self) -> Term {
+        match self {
+            RaftMsg::RequestVote { term, .. }
+            | RaftMsg::VoteResp { term, .. }
+            | RaftMsg::AppendEntries { term, .. }
+            | RaftMsg::AppendResp { term, .. } => *term,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_sizes_include_term_and_payload() {
+        let noop: RaftEntry<u64> = RaftEntry {
+            term: 1,
+            payload: RaftPayload::Noop,
+        };
+        let cmd: RaftEntry<u64> = RaftEntry {
+            term: 1,
+            payload: RaftPayload::Cmd(7),
+        };
+        let conf: RaftEntry<u64> = RaftEntry {
+            term: 1,
+            payload: RaftPayload::Conf(vec![1, 2, 3]),
+        };
+        assert_eq!(noop.size_bytes(), 8);
+        assert_eq!(cmd.size_bytes(), 16);
+        assert_eq!(conf.size_bytes(), 32);
+    }
+
+    #[test]
+    fn append_entries_size_scales_with_batch() {
+        let batch: RaftMsg<u64> = RaftMsg::AppendEntries {
+            term: 3,
+            prev_idx: 0,
+            prev_term: 0,
+            entries: (0..10)
+                .map(|i| RaftEntry {
+                    term: 3,
+                    payload: RaftPayload::Cmd(i),
+                })
+                .collect(),
+            commit: 0,
+        };
+        assert_eq!(batch.size_bytes(), HEADER_BYTES + 160);
+        let hb: RaftMsg<u64> = RaftMsg::AppendEntries {
+            term: 3,
+            prev_idx: 0,
+            prev_term: 0,
+            entries: vec![],
+            commit: 0,
+        };
+        assert_eq!(hb.size_bytes(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn term_accessor_covers_all_variants() {
+        let msgs: Vec<RaftMsg<u64>> = vec![
+            RaftMsg::RequestVote {
+                term: 5,
+                last_log_idx: 0,
+                last_log_term: 0,
+                pre_vote: false,
+            },
+            RaftMsg::VoteResp {
+                term: 5,
+                granted: true,
+                pre_vote: false,
+            },
+            RaftMsg::AppendResp {
+                term: 5,
+                success: true,
+                match_idx: 1,
+                conflict_idx: 0,
+            },
+        ];
+        assert!(msgs.iter().all(|m| m.term() == 5));
+    }
+}

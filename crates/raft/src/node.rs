@@ -1,0 +1,1199 @@
+//! The Raft replica state machine.
+//!
+//! Follows the Raft paper (§5 of Ongaro & Ousterhout) with the extensions
+//! the Omni-Paxos evaluation compares against:
+//!
+//! * **PreVote** — a candidate first probes with a non-disruptive round at
+//!   `term + 1`; peers grant it only if they have not heard from a live
+//!   leader within an election timeout (leader stickiness).
+//! * **CheckQuorum** — a leader steps down if it has not heard from a
+//!   majority of voters within an election timeout.
+//! * **Leader-driven membership change** — new servers are caught up by the
+//!   leader (learners), then a `Conf` entry switches the voter set. This is
+//!   the coupling of reconfiguration and log replication whose cost §7.3 of
+//!   the Omni-Paxos paper measures.
+//!
+//! Log indices are 1-based: index 0 means "before the first entry".
+
+use crate::config::{Command, RaftConfig};
+use crate::messages::{RaftEntry, RaftMsg, RaftPayload};
+use crate::{NodeId, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// The role of a Raft node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaftRole {
+    Follower,
+    /// Running a PreVote probe (PreVote only).
+    PreCandidate,
+    Candidate,
+    Leader,
+}
+
+/// Majority of `n` voters.
+fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// A Raft replica. Drive it with [`RaftNode::tick`], [`RaftNode::handle`],
+/// and [`RaftNode::outgoing_messages`].
+pub struct RaftNode<C: Command> {
+    config: RaftConfig,
+    term: Term,
+    voted_for: Option<NodeId>,
+    log: Vec<RaftEntry<C>>,
+    commit_idx: u64,
+    /// Cursor for [`RaftNode::poll_decided`].
+    applied_idx: u64,
+    role: RaftRole,
+    leader_id: Option<NodeId>,
+    voters: Vec<NodeId>,
+    learners: Vec<NodeId>,
+    /// Index of the last membership entry in the log (0 = none).
+    last_conf_idx: u64,
+    // Candidate state.
+    votes: HashSet<NodeId>,
+    pre_votes: HashSet<NodeId>,
+    // Leader state.
+    next_idx: HashMap<NodeId, u64>,
+    match_idx: HashMap<NodeId, u64>,
+    /// Highest index optimistically streamed to each peer.
+    sent_idx: HashMap<NodeId, u64>,
+    /// Peers heard from since the last CheckQuorum sweep.
+    recent_active: HashSet<NodeId>,
+    check_elapsed: u64,
+    /// Target membership awaiting learner catch-up.
+    pending_conf: Option<Vec<NodeId>>,
+    /// Index of an appended-but-uncommitted membership entry.
+    conf_change_idx: Option<u64>,
+    // Timers.
+    election_elapsed: u64,
+    randomized_timeout: u64,
+    heartbeat_elapsed: u64,
+    rng: StdRng,
+    outgoing: Vec<(NodeId, RaftMsg<C>)>,
+    /// Number of leader changes observed (metrics).
+    leader_changes: u64,
+}
+
+impl<C: Command> RaftNode<C> {
+    /// Create a node. If `config.voters` does not contain `pid` the node is
+    /// a learner: it accepts replication but never campaigns.
+    pub fn new(config: RaftConfig) -> Self {
+        let voters = config.voters.clone();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let randomized_timeout =
+            config.election_ticks + rng.gen_range(0..config.election_ticks.max(1));
+        RaftNode {
+            term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            commit_idx: 0,
+            applied_idx: 0,
+            role: RaftRole::Follower,
+            leader_id: None,
+            voters,
+            learners: Vec::new(),
+            last_conf_idx: 0,
+            votes: HashSet::new(),
+            pre_votes: HashSet::new(),
+            next_idx: HashMap::new(),
+            match_idx: HashMap::new(),
+            sent_idx: HashMap::new(),
+            recent_active: HashSet::new(),
+            check_elapsed: 0,
+            pending_conf: None,
+            conf_change_idx: None,
+            election_elapsed: 0,
+            randomized_timeout,
+            heartbeat_elapsed: 0,
+            rng,
+            outgoing: Vec::new(),
+            leader_changes: 0,
+            config,
+        }
+    }
+
+    /// Create a node whose log is pre-loaded with `cmds`, all committed and
+    /// already applied (used by experiments that start from a long history,
+    /// §7.3 of the Omni-Paxos paper). The node starts at term 1 so the
+    /// entries satisfy the commit rule.
+    pub fn with_initial_log(config: RaftConfig, cmds: Vec<C>) -> Self {
+        let mut node = Self::new(config);
+        node.term = 1;
+        node.log = cmds
+            .into_iter()
+            .map(|c| RaftEntry {
+                term: 1,
+                payload: RaftPayload::Cmd(c),
+            })
+            .collect();
+        node.commit_idx = node.log.len() as u64;
+        node.applied_idx = node.commit_idx;
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn pid(&self) -> NodeId {
+        self.config.pid
+    }
+
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    pub fn role(&self) -> RaftRole {
+        self.role
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.role == RaftRole::Leader
+    }
+
+    pub fn leader_id(&self) -> Option<NodeId> {
+        self.leader_id
+    }
+
+    pub fn commit_idx(&self) -> u64 {
+        self.commit_idx
+    }
+
+    pub fn log_len(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The current voter set.
+    pub fn voters(&self) -> &[NodeId] {
+        &self.voters
+    }
+
+    /// Number of leader changes this node has observed.
+    pub fn leader_changes(&self) -> u64 {
+        self.leader_changes
+    }
+
+    /// Is a membership change still in flight (learners catching up or the
+    /// `Conf` entry uncommitted)?
+    pub fn reconfiguring(&self) -> bool {
+        self.pending_conf.is_some() || self.conf_change_idx.is_some()
+    }
+
+    /// Newly committed client commands since the last call.
+    pub fn poll_decided(&mut self) -> Vec<C> {
+        let mut out = Vec::new();
+        while self.applied_idx < self.commit_idx {
+            self.applied_idx += 1;
+            if let RaftPayload::Cmd(c) = &self.log[(self.applied_idx - 1) as usize].payload {
+                out.push(c.clone());
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Client API
+    // ------------------------------------------------------------------
+
+    /// Propose a command; fails unless this node is the leader.
+    pub fn propose(&mut self, cmd: C) -> bool {
+        if self.role != RaftRole::Leader {
+            return false;
+        }
+        self.append_to_log(RaftPayload::Cmd(cmd));
+        true
+    }
+
+    /// Start a leader-driven membership change to `new_voters`: added
+    /// servers are caught up by this leader alone, after which a `Conf`
+    /// entry switches the voter set. Fails if not leader or a change is
+    /// already pending.
+    pub fn propose_membership(&mut self, new_voters: Vec<NodeId>) -> bool {
+        if self.role != RaftRole::Leader || self.reconfiguring() {
+            return false;
+        }
+        let mut want = new_voters.clone();
+        want.sort_unstable();
+        let mut have = self.voters.clone();
+        have.sort_unstable();
+        if want == have {
+            return false; // already in this configuration
+        }
+        // Replicate the *intent* so a successor leader can finish the
+        // change if this one is deposed mid-catch-up.
+        self.append_to_log(RaftPayload::ConfPrep(new_voters));
+        self.maybe_commit_conf_progress();
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Advance logical time by one tick.
+    pub fn tick(&mut self) {
+        if self.role == RaftRole::Leader {
+            self.heartbeat_elapsed += 1;
+            if self.heartbeat_elapsed >= self.config.heartbeat_ticks {
+                self.heartbeat_elapsed = 0;
+                self.broadcast_heartbeat();
+            }
+            if self.config.check_quorum {
+                self.check_elapsed += 1;
+                if self.check_elapsed >= self.config.election_ticks {
+                    self.check_elapsed = 0;
+                    let active = self.recent_active.len() + 1; // + self
+                    self.recent_active.clear();
+                    if active < majority(self.voters.len()) && self.voters.len() > 1 {
+                        // CheckQuorum: cannot reach a majority; step down.
+                        self.become_follower(self.term, None);
+                        return;
+                    }
+                }
+            }
+            self.maybe_commit_conf_progress();
+        } else {
+            self.election_elapsed += 1;
+            if self.election_elapsed >= self.randomized_timeout
+                && self.voters.contains(&self.config.pid)
+            {
+                if self.config.pre_vote {
+                    self.pre_campaign();
+                } else {
+                    self.campaign();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elections
+    // ------------------------------------------------------------------
+
+    fn reset_election_timer(&mut self) {
+        self.election_elapsed = 0;
+        self.randomized_timeout =
+            self.config.election_ticks + self.rng.gen_range(0..self.config.election_ticks.max(1));
+    }
+
+    fn last_log(&self) -> (u64, Term) {
+        let idx = self.log.len() as u64;
+        let term = self.log.last().map(|e| e.term).unwrap_or(0);
+        (idx, term)
+    }
+
+    fn log_up_to_date(&self, last_idx: u64, last_term: Term) -> bool {
+        let (my_idx, my_term) = self.last_log();
+        last_term > my_term || (last_term == my_term && last_idx >= my_idx)
+    }
+
+    fn pre_campaign(&mut self) {
+        self.role = RaftRole::PreCandidate;
+        self.pre_votes.clear();
+        self.pre_votes.insert(self.config.pid);
+        self.reset_election_timer();
+        if self.pre_votes.len() >= majority(self.voters.len()) {
+            self.campaign();
+            return;
+        }
+        let (last_log_idx, last_log_term) = self.last_log();
+        let term = self.term + 1;
+        for &peer in &self.voters.clone() {
+            if peer != self.config.pid {
+                self.outgoing.push((
+                    peer,
+                    RaftMsg::RequestVote {
+                        term,
+                        last_log_idx,
+                        last_log_term,
+                        pre_vote: true,
+                    },
+                ));
+            }
+        }
+    }
+
+    fn campaign(&mut self) {
+        self.term += 1;
+        self.role = RaftRole::Candidate;
+        self.voted_for = Some(self.config.pid);
+        self.leader_id = None;
+        self.votes.clear();
+        self.votes.insert(self.config.pid);
+        self.reset_election_timer();
+        if self.votes.len() >= majority(self.voters.len()) {
+            self.become_leader();
+            return;
+        }
+        let (last_log_idx, last_log_term) = self.last_log();
+        let term = self.term;
+        for &peer in &self.voters.clone() {
+            if peer != self.config.pid {
+                self.outgoing.push((
+                    peer,
+                    RaftMsg::RequestVote {
+                        term,
+                        last_log_idx,
+                        last_log_term,
+                        pre_vote: false,
+                    },
+                ));
+            }
+        }
+    }
+
+    fn become_leader(&mut self) {
+        self.role = RaftRole::Leader;
+        self.leader_id = Some(self.config.pid);
+        self.leader_changes += 1;
+        self.heartbeat_elapsed = 0;
+        self.check_elapsed = 0;
+        self.recent_active.clear();
+        let len = self.log.len() as u64;
+        for &p in self.peers().iter() {
+            self.next_idx.insert(p, len + 1);
+            self.match_idx.insert(p, 0);
+            // Optimistically assume peers are near the tip; heartbeat
+            // probes walk lagging peers (e.g. mid-catch-up learners) back
+            // via the conflict hint, *resuming* rather than restarting a
+            // predecessor's transfer.
+            self.sent_idx.insert(p, len);
+        }
+        // Commit-index discovery no-op (Raft §5.4.2 / §8).
+        self.append_to_log(RaftPayload::Noop);
+    }
+
+    fn become_follower(&mut self, term: Term, leader: Option<NodeId>) {
+        if term > self.term {
+            self.term = term;
+            self.voted_for = None;
+        }
+        if leader != self.leader_id && leader.is_some() {
+            self.leader_changes += 1;
+        }
+        self.role = RaftRole::Follower;
+        self.leader_id = leader;
+        self.reset_election_timer();
+    }
+
+    /// All replication targets: voters and learners, except self.
+    fn peers(&self) -> Vec<NodeId> {
+        let mut p: Vec<NodeId> = self
+            .voters
+            .iter()
+            .chain(self.learners.iter())
+            .copied()
+            .filter(|&x| x != self.config.pid)
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Log replication
+    // ------------------------------------------------------------------
+
+    fn append_to_log(&mut self, payload: RaftPayload<C>) {
+        self.apply_conf_payload(&payload);
+        self.log.push(RaftEntry {
+            term: self.term,
+            payload,
+        });
+        if self.role == RaftRole::Leader {
+            self.maybe_commit();
+        }
+    }
+
+    /// Apply the configuration effect of an entry as it enters the log
+    /// (Raft applies membership entries on *append*, not commit).
+    fn apply_conf_payload(&mut self, payload: &RaftPayload<C>) {
+        match payload {
+            RaftPayload::Conf(v) => {
+                self.voters = v.clone();
+                self.last_conf_idx = self.log.len() as u64 + 1;
+                self.pending_conf = None;
+                self.learners.retain(|p| self.voters.contains(p));
+            }
+            RaftPayload::ConfPrep(target) => {
+                for &p in target {
+                    if !self.voters.contains(&p) && !self.learners.contains(&p) {
+                        self.learners.push(p);
+                        if self.role == RaftRole::Leader {
+                            self.next_idx.insert(p, 1);
+                            self.match_idx.insert(p, 0);
+                            self.sent_idx.insert(p, 0);
+                        }
+                    }
+                }
+                self.pending_conf = Some(target.clone());
+            }
+            RaftPayload::Noop | RaftPayload::Cmd(_) => {}
+        }
+    }
+
+    /// Empty (or probing) `AppendEntries` to everyone: the heartbeat.
+    fn broadcast_heartbeat(&mut self) {
+        for peer in self.peers() {
+            // Probe from the optimistically sent position; a reject walks
+            // `next_idx` back, re-triggering retransmission after loss.
+            let probe_idx = self.sent_idx.get(&peer).copied().unwrap_or(0);
+            let prev_term = self.term_at(probe_idx);
+            self.outgoing.push((
+                peer,
+                RaftMsg::AppendEntries {
+                    term: self.term,
+                    prev_idx: probe_idx,
+                    prev_term,
+                    entries: Vec::new(),
+                    commit: self.commit_idx,
+                },
+            ));
+        }
+    }
+
+    fn term_at(&self, idx: u64) -> Term {
+        if idx == 0 {
+            0
+        } else {
+            self.log
+                .get((idx - 1) as usize)
+                .map(|e| e.term)
+                .unwrap_or(0)
+        }
+    }
+
+    /// Stream unsent entries to every peer; called on message drain so
+    /// appends batch naturally (same policy as the Omni-Paxos node).
+    fn flush_entries(&mut self) {
+        if self.role != RaftRole::Leader {
+            return;
+        }
+        let len = self.log.len() as u64;
+        for peer in self.peers() {
+            let sent = self.sent_idx.get(&peer).copied().unwrap_or(0);
+            if sent >= len {
+                continue;
+            }
+            // Flow control: cap unacknowledged entries per follower so a
+            // bulk catch-up is paced by acks instead of flooding the NIC
+            // (the window a TCP stream would impose).
+            let acked = self.match_idx.get(&peer).copied().unwrap_or(0);
+            let window = (self.config.max_batch as u64) * 4;
+            if sent.saturating_sub(acked) >= window {
+                continue;
+            }
+            let from = sent + 1;
+            let to = len.min(sent + self.config.max_batch as u64);
+            let entries = self.log[(from - 1) as usize..to as usize].to_vec();
+            let prev_idx = from - 1;
+            let prev_term = self.term_at(prev_idx);
+            self.sent_idx.insert(peer, to);
+            self.outgoing.push((
+                peer,
+                RaftMsg::AppendEntries {
+                    term: self.term,
+                    prev_idx,
+                    prev_term,
+                    entries,
+                    commit: self.commit_idx,
+                },
+            ));
+        }
+    }
+
+    fn maybe_commit(&mut self) {
+        let mut matches: Vec<u64> = self
+            .voters
+            .iter()
+            .map(|&p| {
+                if p == self.config.pid {
+                    self.log.len() as u64
+                } else {
+                    self.match_idx.get(&p).copied().unwrap_or(0)
+                }
+            })
+            .collect();
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let maj = majority(self.voters.len());
+        if matches.len() < maj {
+            return;
+        }
+        let candidate = matches[maj - 1];
+        // Raft §5.4.2: only entries of the current term commit by counting.
+        if candidate > self.commit_idx && self.term_at(candidate) == self.term {
+            self.commit_idx = candidate;
+            self.after_commit();
+        }
+    }
+
+    fn after_commit(&mut self) {
+        if let Some(conf_idx) = self.conf_change_idx {
+            if self.commit_idx >= conf_idx {
+                self.conf_change_idx = None;
+                self.pending_conf = None;
+                self.learners.retain(|p| self.voters.contains(p));
+                if self.role == RaftRole::Leader && !self.voters.contains(&self.config.pid) {
+                    // Removed by the change: step down once it is durable.
+                    self.become_follower(self.term, None);
+                }
+            }
+        }
+    }
+
+    /// If all incoming voters have caught up, append the `Conf` entry.
+    fn maybe_commit_conf_progress(&mut self) {
+        let Some(target) = self.pending_conf.clone() else {
+            return;
+        };
+        if self.conf_change_idx.is_some() {
+            return;
+        }
+        let len = self.log.len() as u64;
+        let caught_up = target.iter().all(|&p| {
+            p == self.config.pid
+                || self.voters.contains(&p)
+                || self.match_idx.get(&p).copied().unwrap_or(0) + 4 * self.config.max_batch as u64
+                    >= len
+        });
+        if caught_up {
+            self.append_to_log(RaftPayload::Conf(target));
+            self.conf_change_idx = Some(self.log.len() as u64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Drain outgoing messages, flushing any unsent log entries first.
+    pub fn outgoing_messages(&mut self) -> Vec<(NodeId, RaftMsg<C>)> {
+        self.flush_entries();
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Feed one incoming message.
+    pub fn handle(&mut self, from: NodeId, msg: RaftMsg<C>) {
+        // Term gossip: any non-PreVote message with a higher term deposes us
+        // (this is precisely the mechanism the Omni-Paxos paper blames for
+        // chained-scenario livelock, §2c).
+        let msg_term = msg.term();
+        let is_pre_probe = matches!(msg, RaftMsg::RequestVote { pre_vote: true, .. })
+            || matches!(msg, RaftMsg::VoteResp { pre_vote: true, .. });
+        if msg_term > self.term && !is_pre_probe {
+            let leader = match msg {
+                RaftMsg::AppendEntries { .. } => Some(from),
+                _ => None,
+            };
+            self.become_follower(msg_term, leader);
+        }
+        match msg {
+            RaftMsg::RequestVote {
+                term,
+                last_log_idx,
+                last_log_term,
+                pre_vote,
+            } => self.handle_request_vote(from, term, last_log_idx, last_log_term, pre_vote),
+            RaftMsg::VoteResp {
+                term,
+                granted,
+                pre_vote,
+            } => self.handle_vote_resp(from, term, granted, pre_vote),
+            RaftMsg::AppendEntries {
+                term,
+                prev_idx,
+                prev_term,
+                entries,
+                commit,
+            } => self.handle_append(from, term, prev_idx, prev_term, entries, commit),
+            RaftMsg::AppendResp {
+                term,
+                success,
+                match_idx,
+                conflict_idx,
+            } => self.handle_append_resp(from, term, success, match_idx, conflict_idx),
+        }
+    }
+
+    fn handle_request_vote(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        last_log_idx: u64,
+        last_log_term: Term,
+        pre_vote: bool,
+    ) {
+        let granted = if pre_vote {
+            // PreVote leader stickiness: deny while our leader is live.
+            let leader_live =
+                self.leader_id.is_some() && self.election_elapsed < self.config.election_ticks;
+            term > self.term && !leader_live && self.log_up_to_date(last_log_idx, last_log_term)
+        } else {
+            term == self.term
+                && self.voted_for.is_none_or(|v| v == from)
+                && self.log_up_to_date(last_log_idx, last_log_term)
+        };
+        if granted && !pre_vote {
+            self.voted_for = Some(from);
+            self.reset_election_timer();
+        }
+        self.outgoing.push((
+            from,
+            RaftMsg::VoteResp {
+                term: if pre_vote { term } else { self.term },
+                granted,
+                pre_vote,
+            },
+        ));
+    }
+
+    fn handle_vote_resp(&mut self, from: NodeId, term: Term, granted: bool, pre_vote: bool) {
+        if pre_vote {
+            if self.role == RaftRole::PreCandidate && term == self.term + 1 && granted {
+                self.pre_votes.insert(from);
+                if self.pre_votes.len() >= majority(self.voters.len()) {
+                    self.campaign();
+                }
+            }
+        } else if self.role == RaftRole::Candidate && term == self.term && granted {
+            self.votes.insert(from);
+            if self.votes.len() >= majority(self.voters.len()) {
+                self.become_leader();
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_append(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        prev_idx: u64,
+        prev_term: Term,
+        entries: Vec<RaftEntry<C>>,
+        commit: u64,
+    ) {
+        if term < self.term {
+            // Stale leader: tell it the news (this reply is the gossip that
+            // deposes it).
+            self.outgoing.push((
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_idx: 0,
+                    conflict_idx: 0,
+                },
+            ));
+            return;
+        }
+        // Valid leader contact.
+        if self.role != RaftRole::Follower || self.leader_id != Some(from) {
+            self.become_follower(term, Some(from));
+        } else {
+            self.reset_election_timer();
+        }
+        let len = self.log.len() as u64;
+        let prev_ok = prev_idx == 0 || (prev_idx <= len && self.term_at(prev_idx) == prev_term);
+        if !prev_ok {
+            // Accelerated backtracking hint.
+            let conflict_idx = if prev_idx > len {
+                len + 1
+            } else {
+                let bad_term = self.term_at(prev_idx);
+                let mut i = prev_idx;
+                while i > 1 && self.term_at(i - 1) == bad_term {
+                    i -= 1;
+                }
+                i
+            };
+            self.outgoing.push((
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_idx: 0,
+                    conflict_idx,
+                },
+            ));
+            return;
+        }
+        // Append, truncating conflicts.
+        let mut idx = prev_idx;
+        let mut truncated = false;
+        for e in entries {
+            idx += 1;
+            if idx <= self.log.len() as u64 {
+                if self.term_at(idx) != e.term {
+                    self.log.truncate((idx - 1) as usize);
+                    truncated = true;
+                    self.push_entry(e);
+                }
+                // else: already have it (duplicate delivery) — keep ours.
+            } else {
+                self.push_entry(e);
+            }
+        }
+        if truncated {
+            self.refresh_conf_from_log();
+        }
+        let match_idx = idx.max(prev_idx);
+        let new_commit = commit.min(match_idx).min(self.log.len() as u64);
+        if new_commit > self.commit_idx {
+            self.commit_idx = new_commit;
+        }
+        self.outgoing.push((
+            from,
+            RaftMsg::AppendResp {
+                term: self.term,
+                success: true,
+                match_idx,
+                conflict_idx: 0,
+            },
+        ));
+    }
+
+    fn push_entry(&mut self, e: RaftEntry<C>) {
+        self.apply_conf_payload(&e.payload);
+        self.log.push(e);
+    }
+
+    /// After truncation, the active membership state is recomputed from the
+    /// surviving `Conf`/`ConfPrep` entries (or the initial voters).
+    fn refresh_conf_from_log(&mut self) {
+        if self.last_conf_idx <= self.log.len() as u64 && self.pending_conf.is_none() {
+            return; // surviving conf entry still in place, nothing pending
+        }
+        self.last_conf_idx = 0;
+        self.voters = self.config.voters.clone();
+        self.pending_conf = None;
+        self.learners.clear();
+        let entries: Vec<RaftPayload<C>> = self.log.iter().map(|e| e.payload.clone()).collect();
+        for (i, payload) in entries.iter().enumerate() {
+            match payload {
+                RaftPayload::Conf(v) => {
+                    self.voters = v.clone();
+                    self.last_conf_idx = i as u64 + 1;
+                    self.pending_conf = None;
+                    self.learners.retain(|p| self.voters.contains(p));
+                }
+                RaftPayload::ConfPrep(target) => {
+                    for &p in target {
+                        if !self.voters.contains(&p) && !self.learners.contains(&p) {
+                            self.learners.push(p);
+                        }
+                    }
+                    self.pending_conf = Some(target.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn handle_append_resp(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        success: bool,
+        match_idx: u64,
+        conflict_idx: u64,
+    ) {
+        if self.role != RaftRole::Leader || term != self.term {
+            return;
+        }
+        self.recent_active.insert(from);
+        if success {
+            let m = self.match_idx.entry(from).or_insert(0);
+            *m = (*m).max(match_idx);
+            let m = *m;
+            self.next_idx.insert(from, m + 1);
+            let s = self.sent_idx.entry(from).or_insert(0);
+            *s = (*s).max(m);
+            self.maybe_commit();
+            self.maybe_commit_conf_progress();
+        } else {
+            // Back up and retransmit from the conflict hint.
+            let nxt = conflict_idx.max(1);
+            self.next_idx.insert(from, nxt);
+            self.sent_idx.insert(from, nxt - 1);
+        }
+    }
+}
+
+impl<C: Command> std::fmt::Debug for RaftNode<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaftNode")
+            .field("pid", &self.config.pid)
+            .field("term", &self.term)
+            .field("role", &self.role)
+            .field("log_len", &self.log.len())
+            .field("commit_idx", &self.commit_idx)
+            .field("voters", &self.voters)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deliver all queued messages between nodes until quiescent, ticking
+    /// `ticks` times first.
+    fn run(nodes: &mut [RaftNode<u64>], steps: usize) {
+        for _ in 0..steps {
+            for n in nodes.iter_mut() {
+                n.tick();
+            }
+            let mut inbox: Vec<(NodeId, NodeId, RaftMsg<u64>)> = Vec::new();
+            for n in nodes.iter_mut() {
+                let from = n.pid();
+                for (to, m) in n.outgoing_messages() {
+                    inbox.push((from, to, m));
+                }
+            }
+            for (from, to, m) in inbox {
+                if let Some(n) = nodes.iter_mut().find(|n| n.pid() == to) {
+                    n.handle(from, m);
+                }
+            }
+        }
+    }
+
+    fn cluster(n: usize) -> Vec<RaftNode<u64>> {
+        let voters: Vec<NodeId> = (1..=n as NodeId).collect();
+        voters
+            .iter()
+            .map(|&p| RaftNode::new(RaftConfig::with(p, voters.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn elects_a_single_leader() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let leaders: Vec<NodeId> = nodes
+            .iter()
+            .filter(|n| n.is_leader())
+            .map(|n| n.pid())
+            .collect();
+        assert_eq!(leaders.len(), 1, "exactly one leader: {nodes:?}");
+    }
+
+    #[test]
+    fn replicates_and_commits() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        for v in 1..=10 {
+            assert!(nodes[li].propose(v));
+        }
+        run(&mut nodes, 50);
+        for n in &mut nodes {
+            assert_eq!(n.commit_idx(), 11, "10 cmds + leader noop");
+        }
+        let mut follower_decided: Vec<u64> = nodes[(li + 1) % 3].poll_decided();
+        follower_decided.sort_unstable();
+        assert_eq!(follower_decided, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn vote_denied_to_outdated_log() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        nodes[li].propose(1);
+        run(&mut nodes, 50);
+        let term = nodes[li].term();
+        // A candidate with an empty log must not win votes.
+        let (follower_idx, _) = nodes
+            .iter()
+            .enumerate()
+            .find(|(i, n)| *i != li && !n.is_leader())
+            .unwrap();
+        let follower_pid = nodes[follower_idx].pid();
+        nodes[follower_idx].handle(
+            98,
+            RaftMsg::RequestVote {
+                term: term + 10,
+                last_log_idx: 0,
+                last_log_term: 0,
+                pre_vote: false,
+            },
+        );
+        let out = nodes[follower_idx].outgoing_messages();
+        let vote = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                RaftMsg::VoteResp { granted, .. } if *to == 98 => Some(*granted),
+                _ => None,
+            })
+            .expect("vote response sent");
+        assert!(!vote, "follower {follower_pid} must deny vote to empty log");
+    }
+
+    #[test]
+    fn pre_vote_denied_while_leader_is_live() {
+        let voters: Vec<NodeId> = vec![1, 2, 3];
+        let mut nodes: Vec<RaftNode<u64>> = voters
+            .iter()
+            .map(|&p| RaftNode::new(RaftConfig::with_pv_cq(p, voters.clone())))
+            .collect();
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        let fi = (li + 1) % 3;
+        let term = nodes[fi].term();
+        nodes[fi].handle(
+            99,
+            RaftMsg::RequestVote {
+                term: term + 1,
+                last_log_idx: 100,
+                last_log_term: term + 1,
+                pre_vote: true,
+            },
+        );
+        let out = nodes[fi].outgoing_messages();
+        let granted = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                RaftMsg::VoteResp {
+                    granted,
+                    pre_vote: true,
+                    ..
+                } if *to == 99 => Some(*granted),
+                _ => None,
+            })
+            .expect("pre-vote response");
+        assert!(!granted, "sticky follower must deny pre-vote");
+    }
+
+    #[test]
+    fn check_quorum_leader_steps_down_when_isolated() {
+        let voters: Vec<NodeId> = vec![1, 2, 3];
+        let mut nodes: Vec<RaftNode<u64>> = voters
+            .iter()
+            .map(|&p| RaftNode::new(RaftConfig::with_pv_cq(p, voters.clone())))
+            .collect();
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        // Starve the leader of responses: tick it alone.
+        for _ in 0..3 * nodes[li].config.election_ticks {
+            nodes[li].tick();
+            let _ = nodes[li].outgoing_messages();
+        }
+        assert!(
+            !nodes[li].is_leader(),
+            "CheckQuorum must demote an isolated leader"
+        );
+    }
+
+    #[test]
+    fn leader_overwrites_conflicting_follower_entries() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        // Manually give a follower an uncommitted tail from a *lower* term,
+        // as a deposed leader would have left behind (a same-term conflict
+        // is impossible in Raft: one leader writes one entry per index).
+        let fi = (li + 1) % 3;
+        let bogus_term = nodes[fi].term().saturating_sub(1);
+        nodes[fi].log.push(RaftEntry {
+            term: bogus_term,
+            payload: RaftPayload::Cmd(666),
+        });
+        // New proposals replicate and the bogus tail must be resolved into a
+        // consistent committed prefix everywhere.
+        nodes[li].propose(1);
+        run(&mut nodes, 80);
+        let commit = nodes[li].commit_idx();
+        for n in &nodes {
+            assert!(n.commit_idx() >= commit - 1);
+        }
+        // Committed prefixes agree.
+        let reference: Vec<_> = nodes[li].log[..commit as usize]
+            .iter()
+            .map(|e| format!("{:?}", e.payload))
+            .collect();
+        for n in &nodes {
+            let c = n.commit_idx().min(commit) as usize;
+            let got: Vec<_> = n.log[..c]
+                .iter()
+                .map(|e| format!("{:?}", e.payload))
+                .collect();
+            assert_eq!(got[..], reference[..c]);
+        }
+    }
+
+    #[test]
+    fn membership_change_adds_and_removes_servers() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        for v in 1..=20 {
+            nodes[li].propose(v);
+        }
+        run(&mut nodes, 50);
+        // Add server 4 (starts as empty learner), drop one follower.
+        let leader_pid = nodes[li].pid();
+        let dropped = (1..=3).find(|&p| p != leader_pid).unwrap();
+        let new_voters: Vec<NodeId> = (1..=4).filter(|&p| p != dropped).collect();
+        nodes.push(RaftNode::new(RaftConfig::with(4, vec![1, 2, 3])));
+        assert!(nodes[li].propose_membership(new_voters.clone()));
+        run(&mut nodes, 200);
+        let four = nodes.iter_mut().find(|n| n.pid() == 4).unwrap();
+        assert_eq!(four.voters(), &new_voters[..], "4 learned the new config");
+        assert!(four.commit_idx() >= 21, "4 caught up the full log");
+        let leader = nodes.iter().find(|n| n.pid() == leader_pid).unwrap();
+        assert!(!leader.reconfiguring(), "change completed");
+        assert_eq!(leader.voters(), &new_voters[..]);
+    }
+
+    #[test]
+    fn commit_requires_current_term_entry() {
+        // A leader must not commit old-term entries by counting alone.
+        let voters = vec![1, 2, 3];
+        let mut n: RaftNode<u64> = RaftNode::new(RaftConfig::with(1, voters));
+        n.term = 5;
+        n.log.push(RaftEntry {
+            term: 3,
+            payload: RaftPayload::Cmd(1),
+        });
+        n.role = RaftRole::Leader;
+        n.match_idx.insert(2, 1);
+        n.match_idx.insert(3, 1);
+        n.maybe_commit();
+        assert_eq!(n.commit_idx(), 0, "old-term entry not counted");
+        n.append_to_log(RaftPayload::Noop); // term-5 entry
+        n.match_idx.insert(2, 2);
+        n.maybe_commit();
+        assert_eq!(n.commit_idx(), 2, "commits once current-term entry acked");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn run(nodes: &mut [RaftNode<u64>], steps: usize) {
+        for _ in 0..steps {
+            for n in nodes.iter_mut() {
+                n.tick();
+            }
+            let mut inbox: Vec<(NodeId, NodeId, RaftMsg<u64>)> = Vec::new();
+            for n in nodes.iter_mut() {
+                let from = n.pid();
+                for (to, m) in n.outgoing_messages() {
+                    inbox.push((from, to, m));
+                }
+            }
+            for (from, to, m) in inbox {
+                if let Some(n) = nodes.iter_mut().find(|n| n.pid() == to) {
+                    n.handle(from, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn learner_outside_voters_never_campaigns() {
+        let mut learner: RaftNode<u64> = RaftNode::new(RaftConfig::with(9, vec![1, 2, 3]));
+        for _ in 0..1_000 {
+            learner.tick();
+            let _ = learner.outgoing_messages();
+        }
+        assert_eq!(learner.role(), RaftRole::Follower);
+        assert_eq!(learner.term(), 0, "no futile campaigns");
+    }
+
+    #[test]
+    fn pre_vote_probe_does_not_bump_terms() {
+        let voters: Vec<NodeId> = vec![1, 2, 3];
+        let mut nodes: Vec<RaftNode<u64>> = voters
+            .iter()
+            .map(|&p| RaftNode::new(RaftConfig::with_pv_cq(p, voters.clone())))
+            .collect();
+        run(&mut nodes, 100);
+        let term = nodes[0].term();
+        // A lone pre-candidate probing a live cluster must not disturb it.
+        let mut lone: RaftNode<u64> = RaftNode::new(RaftConfig::with_pv_cq(3, voters.clone()));
+        lone.term = term;
+        for _ in 0..50 {
+            lone.tick();
+            for (to, m) in lone.outgoing_messages() {
+                if let Some(n) = nodes.iter_mut().find(|n| n.pid() == to) {
+                    n.handle(3, m);
+                }
+            }
+            // Replies are dropped: the probe gets nowhere.
+        }
+        assert_eq!(lone.term(), term, "PreVote never increments the term");
+        for n in &nodes {
+            assert_eq!(n.term(), term, "peers undisturbed by pre-vote probes");
+        }
+    }
+
+    #[test]
+    fn conflict_hint_backtracks_in_one_round_trip() {
+        let mut nodes: Vec<RaftNode<u64>> = {
+            let voters: Vec<NodeId> = vec![1, 2, 3];
+            voters
+                .iter()
+                .map(|&p| RaftNode::new(RaftConfig::with(p, voters.clone())))
+                .collect()
+        };
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        for v in 1..=100 {
+            nodes[li].propose(v);
+        }
+        run(&mut nodes, 50);
+        // Manually regress a follower far behind (as if it had slept).
+        let fi = (li + 1) % 3;
+        nodes[fi].log.truncate(2);
+        nodes[fi].commit_idx = 2;
+        nodes[fi].applied_idx = 2;
+        // The very next heartbeats and conflict hints must restore it.
+        run(&mut nodes, 30);
+        assert_eq!(
+            nodes[fi].log_len(),
+            nodes[li].log_len(),
+            "fast backtracking restores the follower"
+        );
+    }
+
+    #[test]
+    fn membership_intent_survives_leader_change() {
+        // ConfPrep is in the log, so a successor leader finishes the change
+        // (the paper's §7.3 observation).
+        let voters: Vec<NodeId> = vec![1, 2, 3];
+        let mut nodes: Vec<RaftNode<u64>> = voters
+            .iter()
+            .map(|&p| RaftNode::new(RaftConfig::with(p, voters.clone())))
+            .collect();
+        nodes.push(RaftNode::new(RaftConfig::with(4, voters.clone())));
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        let old_leader = nodes[li].pid();
+        assert!(nodes[li].propose_membership(vec![1, 2, 3, 4]));
+        run(&mut nodes, 10);
+        // Depose the initiating leader before the change commits.
+        let term = nodes.iter().map(|n| n.term()).max().unwrap();
+        for n in nodes.iter_mut() {
+            if n.pid() != old_leader && voters.contains(&n.pid()) {
+                n.term = term;
+                n.campaign();
+                break;
+            }
+        }
+        run(&mut nodes, 300);
+        let four = nodes.iter().find(|n| n.pid() == 4).unwrap();
+        assert_eq!(
+            four.voters(),
+            &[1, 2, 3, 4],
+            "the successor completed the membership change"
+        );
+    }
+}

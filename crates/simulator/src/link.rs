@@ -1,0 +1,235 @@
+//! Directed link state: connectivity, latency and loss.
+//!
+//! Partial network partitions (§2 of the paper) are link-level failures:
+//! two servers lose their mutual link while both remain reachable through a
+//! third. The [`LinkTable`] therefore tracks every *directed* pair
+//! independently, so experiments can express full-duplex cuts (both
+//! directions), half-duplex cuts (§8 discussion), node isolation and
+//! arbitrary partition shapes such as the chained scenario.
+
+use crate::{NodeId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Static configuration of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay in microseconds.
+    pub latency_us: SimTime,
+    /// Probability in `[0, 1]` that a message on a *live* link is dropped.
+    /// The paper assumes perfect links during stable periods; loss is only
+    /// used by fault-injection tests.
+    pub loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_us: 100, // 0.2 ms RTT: the paper's LAN setting
+            loss: 0.0,
+        }
+    }
+}
+
+/// Tracks connectivity, latency and session epochs for every directed link.
+///
+/// Links start *up*. Cutting and healing a link bumps its *session epoch*,
+/// which models a TCP session drop: the harness uses epoch changes to tell
+/// protocols to run their reconnect logic (`PrepareReq` in Sequence Paxos,
+/// §4.1.3).
+#[derive(Debug, Default, Clone)]
+pub struct LinkTable {
+    default: LinkConfig,
+    overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// Directed links that are currently cut.
+    down: HashSet<(NodeId, NodeId)>,
+    /// Incremented every time a directed link transitions down -> up.
+    epochs: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl LinkTable {
+    /// Create a table where every link uses `default`.
+    pub fn new(default: LinkConfig) -> Self {
+        LinkTable {
+            default,
+            ..Default::default()
+        }
+    }
+
+    /// Effective configuration of the directed link `src -> dst`.
+    pub fn config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Override the configuration of the directed link `src -> dst`.
+    pub fn set_config(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        self.overrides.insert((src, dst), cfg);
+    }
+
+    /// Override both directions between `a` and `b` (symmetric latency).
+    pub fn set_config_sym(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.set_config(a, b, cfg);
+        self.set_config(b, a, cfg);
+    }
+
+    /// Is the directed link `src -> dst` currently up? A node can always
+    /// talk to itself.
+    pub fn is_up(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || !self.down.contains(&(src, dst))
+    }
+
+    /// Cut or heal the *directed* link `src -> dst`. Healing a previously
+    /// cut link bumps its session epoch. Returns `true` if the state changed.
+    pub fn set_directed(&mut self, src: NodeId, dst: NodeId, up: bool) -> bool {
+        if up {
+            let changed = self.down.remove(&(src, dst));
+            if changed {
+                *self.epochs.entry((src, dst)).or_insert(0) += 1;
+            }
+            changed
+        } else {
+            self.down.insert((src, dst))
+        }
+    }
+
+    /// Cut or heal both directions between `a` and `b`.
+    /// Returns `true` if either direction changed state.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        let c1 = self.set_directed(a, b, up);
+        let c2 = self.set_directed(b, a, up);
+        c1 || c2
+    }
+
+    /// Cut every link of `node` except those to the nodes in `keep`
+    /// (bidirectionally). Used to build the partial-partition scenarios.
+    pub fn isolate_except(&mut self, node: NodeId, all: &[NodeId], keep: &[NodeId]) {
+        for &other in all {
+            if other == node {
+                continue;
+            }
+            let up = keep.contains(&other);
+            self.set_link(node, other, up);
+        }
+    }
+
+    /// Heal every link among `all` nodes.
+    pub fn heal_all(&mut self, all: &[NodeId]) {
+        for &a in all {
+            for &b in all {
+                if a != b {
+                    self.set_directed(a, b, true);
+                }
+            }
+        }
+    }
+
+    /// The current session epoch of `src -> dst`. Starts at 0; bumps on every
+    /// heal.
+    pub fn epoch(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.epochs.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Number of directed links currently down.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_start_up_and_self_link_is_always_up() {
+        let t = LinkTable::default();
+        assert!(t.is_up(1, 2));
+        assert!(t.is_up(7, 7));
+    }
+
+    #[test]
+    fn directed_cut_is_one_way() {
+        let mut t = LinkTable::default();
+        t.set_directed(1, 2, false);
+        assert!(!t.is_up(1, 2));
+        assert!(t.is_up(2, 1));
+    }
+
+    #[test]
+    fn symmetric_cut_and_heal() {
+        let mut t = LinkTable::default();
+        assert!(t.set_link(1, 2, false));
+        assert!(!t.is_up(1, 2));
+        assert!(!t.is_up(2, 1));
+        assert!(t.set_link(1, 2, true));
+        assert!(t.is_up(1, 2) && t.is_up(2, 1));
+    }
+
+    #[test]
+    fn heal_bumps_session_epoch_once_per_transition() {
+        let mut t = LinkTable::default();
+        assert_eq!(t.epoch(1, 2), 0);
+        t.set_link(1, 2, false);
+        t.set_link(1, 2, true);
+        assert_eq!(t.epoch(1, 2), 1);
+        // Healing an already-up link is a no-op.
+        t.set_link(1, 2, true);
+        assert_eq!(t.epoch(1, 2), 1);
+        t.set_link(1, 2, false);
+        t.set_link(1, 2, true);
+        assert_eq!(t.epoch(1, 2), 2);
+    }
+
+    #[test]
+    fn isolate_except_builds_quorum_loss_shape() {
+        // Five servers; after the cut, everyone is connected to 1 only:
+        // the quorum-loss scenario of Fig. 1a with A = 1.
+        let all = [1, 2, 3, 4, 5];
+        let mut t = LinkTable::default();
+        for &n in &all[1..] {
+            t.isolate_except(n, &all, &[1]);
+        }
+        for &n in &all[1..] {
+            assert!(t.is_up(1, n) && t.is_up(n, 1), "hub link to {n} must stay");
+            for &m in &all[1..] {
+                if m != n {
+                    assert!(!t.is_up(n, m), "{n}->{m} must be cut");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heal_all_restores_full_connectivity() {
+        let all = [1, 2, 3];
+        let mut t = LinkTable::default();
+        t.set_link(1, 2, false);
+        t.set_link(2, 3, false);
+        t.heal_all(&all);
+        for &a in &all {
+            for &b in &all {
+                assert!(t.is_up(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_config_overrides_default() {
+        let mut t = LinkTable::new(LinkConfig {
+            latency_us: 100,
+            loss: 0.0,
+        });
+        t.set_config_sym(
+            1,
+            2,
+            LinkConfig {
+                latency_us: 52_500, // 105 ms RTT: the paper's WAN eu-west1 setting
+                loss: 0.0,
+            },
+        );
+        assert_eq!(t.config(1, 2).latency_us, 52_500);
+        assert_eq!(t.config(2, 1).latency_us, 52_500);
+        assert_eq!(t.config(1, 3).latency_us, 100);
+    }
+}

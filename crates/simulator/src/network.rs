@@ -1,0 +1,461 @@
+//! The discrete-event message transport.
+//!
+//! [`Network`] owns an event queue of in-flight messages. Senders call
+//! [`Network::send`]; the harness repeatedly pops deliveries in timestamp
+//! order with [`Network::pop_next_before`], interleaving protocol timer ticks
+//! at fixed intervals. Determinism is guaranteed by (time, sequence-number)
+//! ordering: ties in delivery time are broken by send order.
+//!
+//! Two transport properties matter for fidelity to the paper:
+//!
+//! * **Per-link FIFO** (§3: session-based FIFO perfect links). Delivery
+//!   times are forced to be strictly monotonic per directed link, so a later
+//!   message can never overtake an earlier one even with jitter.
+//! * **NIC serialization** (§7.3). Every node drains its outgoing bytes
+//!   through a rate-limited NIC; a 120 MB log migration from a single leader
+//!   therefore takes real (simulated) time and delays that leader's protocol
+//!   messages — the mechanism behind Raft's reconfiguration throughput
+//!   collapse in Fig. 9.
+
+use crate::link::{LinkConfig, LinkTable};
+use crate::stats::NetStats;
+use crate::{NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// All node ids that may send or receive (servers and clients).
+    pub nodes: Vec<NodeId>,
+    /// Default one-way latency for every link, in microseconds.
+    pub default_latency_us: SimTime,
+    /// Uniform jitter added to each delivery, in microseconds (0 = none).
+    /// Jitter never violates per-link FIFO ordering.
+    pub jitter_us: SimTime,
+    /// Outgoing NIC bandwidth per node in bytes per second. `None` models an
+    /// unconstrained NIC (appropriate for small-message protocol traffic).
+    pub nic_bytes_per_sec: Option<u64>,
+    /// Messages of at most this many bytes bypass the NIC queue (their
+    /// serialization time is negligible). Real NICs transmit packet by
+    /// packet, so a heartbeat never waits behind a whole 10 MB bulk
+    /// transfer — it interleaves after at most one MTU. Without this,
+    /// control traffic starves behind log-migration bursts in ways TCP
+    /// would not allow.
+    pub priority_bytes: usize,
+    /// RNG seed; two networks with equal seeds and call sequences behave
+    /// identically.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nodes: Vec::new(),
+            default_latency_us: 100,
+            jitter_us: 0,
+            nic_bytes_per_sec: None,
+            priority_bytes: 256,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A message handed back to the harness for delivery to `dst`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<M> {
+    pub at: SimTime,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub msg: M,
+    pub bytes: usize,
+}
+
+#[derive(Debug)]
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    src: NodeId,
+    dst: NodeId,
+    msg: M,
+    bytes: usize,
+}
+
+// Order by (time, seq) only; seq is unique so this is a total order and we
+// never need to compare `M`.
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic simulated network. See the [module docs](self).
+#[derive(Debug)]
+pub struct Network<M> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    seq: u64,
+    links: LinkTable,
+    jitter_us: SimTime,
+    nic_rate: Option<u64>,
+    priority_bytes: usize,
+    nic_busy_until: HashMap<NodeId, SimTime>,
+    last_arrival: HashMap<(NodeId, NodeId), SimTime>,
+    rng: StdRng,
+    stats: NetStats,
+}
+
+impl<M> Network<M> {
+    /// Create a network; all links between `config.nodes` start up.
+    pub fn new(config: NetworkConfig) -> Self {
+        let links = LinkTable::new(LinkConfig {
+            latency_us: config.default_latency_us,
+            loss: 0.0,
+        });
+        Network {
+            now: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            links,
+            jitter_us: config.jitter_us,
+            nic_rate: config.nic_bytes_per_sec,
+            priority_bytes: config.priority_bytes,
+            nic_busy_until: HashMap::new(),
+            last_arrival: HashMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock without delivering anything. Panics if `t` would
+    /// move time backwards — that indicates a harness bug.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time must be monotonic: {t} < {}", self.now);
+        self.now = t;
+    }
+
+    /// Mutable access to the link table, for partition scheduling.
+    pub fn links_mut(&mut self) -> &mut LinkTable {
+        &mut self.links
+    }
+
+    /// Shared access to the link table.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// Transfer statistics (bytes/messages sent per node, drops).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (e.g. to enable IO windowing before the
+    /// traffic of interest).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// Enqueue `msg` of `bytes` on the directed link `src -> dst`.
+    ///
+    /// If the link is down the message is silently dropped (and counted),
+    /// which models the systematic loss during a partition (§3). Bytes are
+    /// charged to `src` *before* the link check — a partitioned sender still
+    /// burns its NIC budget, like a real TCP stack retransmitting into a
+    /// black hole, and more importantly the IO accounting of Fig. 9 counts
+    /// attempted leader output.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, msg: M) {
+        if !self.links.is_up(src, dst) {
+            self.stats.record_send(src, dst, bytes, self.now);
+            self.stats.record_drop(src, dst);
+            return;
+        }
+        let cfg = self.links.config(src, dst);
+        if cfg.loss > 0.0 && self.rng.gen::<f64>() < cfg.loss {
+            self.stats.record_send(src, dst, bytes, self.now);
+            self.stats.record_drop(src, dst);
+            return;
+        }
+        // NIC serialization: outgoing bytes queue behind earlier sends.
+        // Small control messages (heartbeats, votes, acks) interleave at
+        // packet granularity and effectively bypass the queue.
+        let depart = match self.nic_rate {
+            Some(rate) if rate > 0 && bytes > self.priority_bytes => {
+                let busy = self.nic_busy_until.entry(src).or_insert(0);
+                let start = (*busy).max(self.now);
+                let ser_us = (bytes as u128 * 1_000_000 / rate as u128) as SimTime;
+                *busy = start + ser_us;
+                *busy
+            }
+            _ => self.now,
+        };
+        // IO accounting happens at *departure*: peak-IO windows (§7.3)
+        // measure what actually left the NIC in a window, not what was
+        // enqueued in a burst.
+        self.stats.record_send(src, dst, bytes, depart);
+        let mut arrival = depart + cfg.latency_us;
+        if self.jitter_us > 0 {
+            arrival += self.rng.gen_range(0..=self.jitter_us);
+        }
+        // Enforce per-link FIFO: never deliver before an earlier message on
+        // the same directed link.
+        let last = self.last_arrival.entry((src, dst)).or_insert(0);
+        arrival = arrival.max(*last + 1);
+        *last = arrival;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued {
+            at: arrival,
+            seq: self.seq,
+            src,
+            dst,
+            msg,
+            bytes,
+        }));
+    }
+
+    /// Timestamp of the earliest queued delivery, if any.
+    pub fn next_delivery_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(q)| q.at)
+    }
+
+    /// Pop the earliest delivery with timestamp `<= deadline`, advancing the
+    /// clock to its timestamp. Returns `None` when nothing is due, leaving
+    /// the clock unchanged.
+    ///
+    /// A message whose link was cut *after* it was sent is still delivered:
+    /// it was already "on the wire". Cut-in-flight semantics can matter for
+    /// TCP realism but none of the paper's scenarios depend on dropping
+    /// in-flight traffic, and keeping it makes the model simpler to reason
+    /// about.
+    pub fn pop_next_before(&mut self, deadline: SimTime) -> Option<Delivery<M>> {
+        match self.queue.peek() {
+            Some(Reverse(q)) if q.at <= deadline => {
+                let Reverse(q) = self.queue.pop().expect("peeked");
+                self.now = self.now.max(q.at);
+                self.stats.record_deliver(q.src, q.dst, q.bytes);
+                Some(Delivery {
+                    at: q.at,
+                    src: q.src,
+                    dst: q.dst,
+                    msg: q.msg,
+                    bytes: q.bytes,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of in-flight messages.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drop every queued message destined to *or* originating from `node`.
+    /// Models a crash: the process's sockets vanish along with it.
+    pub fn drop_in_flight_for(&mut self, node: NodeId) {
+        let drained = std::mem::take(&mut self.queue);
+        for Reverse(q) in drained {
+            if q.src == node || q.dst == node {
+                self.stats.record_drop(q.src, q.dst);
+            } else {
+                self.queue.push(Reverse(q));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(latency: SimTime) -> Network<u32> {
+        Network::new(NetworkConfig {
+            nodes: vec![1, 2, 3],
+            default_latency_us: latency,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn delivers_in_timestamp_order() {
+        let mut n = net(100);
+        n.send(1, 2, 8, 10);
+        n.advance_to(50);
+        n.send(1, 3, 8, 20);
+        let d1 = n.pop_next_before(u64::MAX).unwrap();
+        let d2 = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!((d1.msg, d1.at), (10, 100));
+        assert_eq!((d2.msg, d2.at), (20, 150));
+        assert!(n.pop_next_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn respects_deadline() {
+        let mut n = net(100);
+        n.send(1, 2, 8, 1);
+        assert!(n.pop_next_before(99).is_none());
+        assert!(n.pop_next_before(100).is_some());
+    }
+
+    #[test]
+    fn per_link_fifo_is_preserved_under_jitter() {
+        let mut n: Network<u32> = Network::new(NetworkConfig {
+            nodes: vec![1, 2],
+            default_latency_us: 100,
+            jitter_us: 1_000,
+            seed: 7,
+            ..Default::default()
+        });
+        for i in 0..100 {
+            n.send(1, 2, 8, i);
+        }
+        let mut prev = None;
+        while let Some(d) = n.pop_next_before(u64::MAX) {
+            if let Some(p) = prev {
+                assert!(d.msg > p, "FIFO violated: {} after {}", d.msg, p);
+            }
+            prev = Some(d.msg);
+        }
+        assert_eq!(prev, Some(99));
+    }
+
+    #[test]
+    fn cut_link_drops_messages() {
+        let mut n = net(100);
+        n.links_mut().set_link(1, 2, false);
+        n.send(1, 2, 8, 1);
+        assert!(n.pop_next_before(u64::MAX).is_none());
+        assert_eq!(n.stats().dropped(), 1);
+        // Directed: 2 -> 1 also cut by set_link.
+        n.send(2, 1, 8, 2);
+        assert!(n.pop_next_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn directed_cut_only_affects_one_direction() {
+        let mut n = net(100);
+        n.links_mut().set_directed(1, 2, false);
+        n.send(1, 2, 8, 1);
+        n.send(2, 1, 8, 2);
+        let d = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!(d.msg, 2);
+        assert!(n.pop_next_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn nic_bandwidth_serializes_large_transfers() {
+        // 1 MB/s NIC: a 1 MB message takes 1 simulated second to serialize.
+        // A small control message to a *different* destination bypasses the
+        // bulk queue (packet-level interleaving; see `priority_bytes`),
+        // while a second bulk message queues behind the first.
+        let mut n: Network<u32> = Network::new(NetworkConfig {
+            nodes: vec![1, 2, 3],
+            default_latency_us: 100,
+            nic_bytes_per_sec: Some(1_000_000),
+            ..Default::default()
+        });
+        n.send(1, 2, 1_000_000, 1);
+        n.send(1, 3, 8, 2); // control: bypasses
+        n.send(1, 3, 500_000, 3); // bulk: queues behind message 1
+        let d = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!((d.msg, d.at), (2, 100), "control bypasses the bulk queue");
+        let d1 = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!((d1.msg, d1.at), (1, 1_000_000 + 100));
+        let d3 = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!(d3.msg, 3);
+        assert_eq!(d3.at, 1_500_000 + 100, "bulk serialized after bulk");
+    }
+
+    #[test]
+    fn priority_bypass_respects_per_link_fifo() {
+        // On the SAME link, a later control message must still not overtake
+        // earlier bulk (session FIFO).
+        let mut n: Network<u32> = Network::new(NetworkConfig {
+            nodes: vec![1, 2],
+            default_latency_us: 100,
+            nic_bytes_per_sec: Some(1_000_000),
+            ..Default::default()
+        });
+        n.send(1, 2, 1_000_000, 1);
+        n.send(1, 2, 8, 2);
+        let d1 = n.pop_next_before(u64::MAX).unwrap();
+        let d2 = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!(d1.msg, 1);
+        assert_eq!(d2.msg, 2);
+        assert!(d2.at > d1.at);
+    }
+
+    #[test]
+    fn nic_budget_is_per_node() {
+        let mut n: Network<u32> = Network::new(NetworkConfig {
+            nodes: vec![1, 2, 3],
+            default_latency_us: 100,
+            nic_bytes_per_sec: Some(1_000_000),
+            ..Default::default()
+        });
+        n.send(1, 3, 1_000_000, 1);
+        n.send(2, 3, 8, 2); // different sender: not delayed
+        let first = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!(first.msg, 2);
+        assert!(first.at < 1_000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut n: Network<u32> = Network::new(NetworkConfig {
+                nodes: vec![1, 2],
+                default_latency_us: 100,
+                jitter_us: 500,
+                seed,
+                ..Default::default()
+            });
+            for i in 0..50 {
+                n.send(1, 2, 8, i);
+            }
+            let mut times = Vec::new();
+            while let Some(d) = n.pop_next_before(u64::MAX) {
+                times.push(d.at);
+            }
+            times
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn drop_in_flight_for_crashed_node() {
+        let mut n = net(100);
+        n.send(1, 2, 8, 1);
+        n.send(3, 2, 8, 2);
+        n.send(2, 3, 8, 3);
+        n.drop_in_flight_for(2);
+        assert!(n.pop_next_before(u64::MAX).is_none());
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn time_cannot_go_backwards() {
+        let mut n = net(100);
+        n.advance_to(1_000);
+        n.advance_to(999);
+    }
+}

@@ -1,0 +1,238 @@
+//! Transfer statistics and small statistical helpers for reporting.
+//!
+//! The paper reports throughput means with 95% confidence intervals using
+//! the *t*-distribution (Figs. 7–9) and per-node outgoing IO over 5-second
+//! windows (§7.3). [`NetStats`] provides the raw byte accounting;
+//! [`WindowSeries`] buckets a counter into fixed windows; [`mean_and_ci95`]
+//! computes the interval.
+
+use crate::{NodeId, SimTime};
+use std::collections::HashMap;
+
+/// Byte and message accounting for a [`crate::Network`].
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    sent_bytes: HashMap<NodeId, u64>,
+    sent_msgs: HashMap<NodeId, u64>,
+    delivered_msgs: u64,
+    dropped_msgs: u64,
+    /// (node, window-aligned timestamps) -> bytes, filled lazily by callers
+    /// sampling `sent_bytes`; kept here so windows survive network reuse.
+    io_series: HashMap<NodeId, WindowSeries>,
+    io_window: SimTime,
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&mut self, src: NodeId, _dst: NodeId, bytes: usize, now: SimTime) {
+        *self.sent_bytes.entry(src).or_insert(0) += bytes as u64;
+        *self.sent_msgs.entry(src).or_insert(0) += 1;
+        if self.io_window > 0 {
+            self.io_series
+                .entry(src)
+                .or_insert_with(|| WindowSeries::new(self.io_window))
+                .add(now, bytes as u64);
+        }
+    }
+
+    pub(crate) fn record_deliver(&mut self, _src: NodeId, _dst: NodeId, _bytes: usize) {
+        self.delivered_msgs += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self, _src: NodeId, _dst: NodeId) {
+        self.dropped_msgs += 1;
+    }
+
+    /// Enable per-node outgoing-IO windowing with the given window length.
+    /// Must be called before traffic of interest is sent.
+    pub fn enable_io_windows(&mut self, window: SimTime) {
+        self.io_window = window;
+    }
+
+    /// Total bytes sent by `node` since simulation start.
+    pub fn bytes_sent(&self, node: NodeId) -> u64 {
+        self.sent_bytes.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent by `node`.
+    pub fn msgs_sent(&self, node: NodeId) -> u64 {
+        self.sent_msgs.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total messages delivered across all links.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_msgs
+    }
+
+    /// Total messages dropped (down links, loss, crashes).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_msgs
+    }
+
+    /// Peak outgoing bytes of `node` over any single IO window (Fig. 9's
+    /// "peak IO over a 5 s window"). Zero when windowing is disabled.
+    pub fn peak_window_bytes(&self, node: NodeId) -> u64 {
+        self.io_series
+            .get(&node)
+            .map(|s| s.values().iter().copied().max().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// The full windowed IO series of `node`.
+    pub fn io_series(&self, node: NodeId) -> Option<&WindowSeries> {
+        self.io_series.get(&node)
+    }
+}
+
+/// A counter bucketed into fixed-length windows of simulated time.
+#[derive(Debug, Clone)]
+pub struct WindowSeries {
+    window: SimTime,
+    values: Vec<u64>,
+}
+
+impl WindowSeries {
+    /// Create a series with the given window length (must be non-zero).
+    pub fn new(window: SimTime) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        WindowSeries {
+            window,
+            values: Vec::new(),
+        }
+    }
+
+    /// Add `amount` at time `t`.
+    pub fn add(&mut self, t: SimTime, amount: u64) {
+        let idx = (t / self.window) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, 0);
+        }
+        self.values[idx] += amount;
+    }
+
+    /// Window length.
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// The per-window totals, ordered by time. Trailing windows with no
+    /// samples are absent.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Value of the window containing `t` (0 if never written).
+    pub fn at(&self, t: SimTime) -> u64 {
+        self.values
+            .get((t / self.window) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Mean plus half-width of a 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub mean: f64,
+    pub ci95: f64,
+    pub n: usize,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1}", self.mean, self.ci95)
+    }
+}
+
+/// Two-sided 97.5% quantiles of Student's t-distribution for n-1 degrees of
+/// freedom, n = 2..=30. The paper repeats each experiment 10 times; we index
+/// by sample count.
+const T_975: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// Mean and 95% confidence half-width of `samples` using the
+/// *t*-distribution (as the paper's error bars do). With fewer than two
+/// samples the interval is zero.
+pub fn mean_and_ci95(samples: &[f64]) -> Summary {
+    let n = samples.len();
+    if n == 0 {
+        return Summary {
+            mean: 0.0,
+            ci95: 0.0,
+            n,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return Summary { mean, ci95: 0.0, n };
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let se = (var / n as f64).sqrt();
+    let t = if n - 2 < T_975.len() {
+        T_975[n - 2]
+    } else {
+        1.96 // normal approximation for large n
+    };
+    Summary {
+        mean,
+        ci95: t * se,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_series_buckets_by_time() {
+        let mut s = WindowSeries::new(5_000_000); // 5 s windows
+        s.add(1_000_000, 10);
+        s.add(4_999_999, 5);
+        s.add(5_000_000, 7);
+        assert_eq!(s.values(), &[15, 7]);
+        assert_eq!(s.at(2_000_000), 15);
+        assert_eq!(s.at(9_000_000), 7);
+        assert_eq!(s.at(50_000_000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn window_series_rejects_zero_window() {
+        let _ = WindowSeries::new(0);
+    }
+
+    #[test]
+    fn ci_of_constant_samples_is_zero() {
+        let s = mean_and_ci95(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn ci_matches_hand_computed_value() {
+        // samples 1..=10: mean 5.5, sd ~3.0277, se ~0.9574, t(9)=2.262
+        let samples: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let s = mean_and_ci95(&samples);
+        assert!((s.mean - 5.5).abs() < 1e-9);
+        assert!((s.ci95 - 2.262 * 0.957_427).abs() < 1e-3, "got {}", s.ci95);
+    }
+
+    #[test]
+    fn ci_degenerate_inputs() {
+        assert_eq!(mean_and_ci95(&[]).mean, 0.0);
+        let one = mean_and_ci95(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn large_n_uses_normal_approximation() {
+        let samples: Vec<f64> = (0..100).map(|x| (x % 10) as f64).collect();
+        let s = mean_and_ci95(&samples);
+        assert_eq!(s.n, 100);
+        assert!(s.ci95 > 0.0);
+    }
+}

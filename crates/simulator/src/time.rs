@@ -1,0 +1,59 @@
+//! Simulated-time representation and helpers.
+//!
+//! Time is a `u64` count of **microseconds** since the start of the
+//! simulation. Microsecond resolution is fine enough to model sub-millisecond
+//! LAN latencies (the paper's LAN RTT is 0.2 ms) while a `u64` still covers
+//! ~584,000 years of simulated time, so overflow is not a practical concern.
+
+/// A point in simulated time, in microseconds since simulation start.
+pub type SimTime = u64;
+
+/// Construct a [`SimTime`] duration from microseconds (identity, for symmetry).
+#[inline]
+pub const fn us(v: u64) -> SimTime {
+    v
+}
+
+/// Construct a [`SimTime`] duration from milliseconds.
+#[inline]
+pub const fn ms(v: u64) -> SimTime {
+    v * 1_000
+}
+
+/// Construct a [`SimTime`] duration from seconds.
+#[inline]
+pub const fn sec(v: u64) -> SimTime {
+    v * 1_000_000
+}
+
+/// Convert a simulated time to whole milliseconds (truncating).
+#[inline]
+pub const fn as_ms(t: SimTime) -> u64 {
+    t / 1_000
+}
+
+/// Convert a simulated time to seconds as a float (for reporting).
+#[inline]
+pub fn as_secs_f64(t: SimTime) -> f64 {
+    t as f64 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_compose() {
+        assert_eq!(us(250), 250);
+        assert_eq!(ms(3), 3_000);
+        assert_eq!(sec(2), 2_000_000);
+        assert_eq!(ms(1) + us(500), 1_500);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(as_ms(ms(42)), 42);
+        assert_eq!(as_ms(us(999)), 0);
+        assert!((as_secs_f64(sec(5)) - 5.0).abs() < 1e-12);
+    }
+}

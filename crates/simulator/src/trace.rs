@@ -1,0 +1,125 @@
+//! Lightweight, allocation-bounded event tracing.
+//!
+//! Experiments over simulated minutes generate millions of events; a trace
+//! that stores everything would dominate memory. [`Trace`] keeps a bounded
+//! ring of the most recent entries, which is what you want when a test
+//! assertion fails: the tail of history leading up to the failure.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    pub at: SimTime,
+    pub what: String,
+}
+
+/// A bounded ring buffer of trace entries.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    total: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` recent entries.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            total: 0,
+        }
+    }
+
+    /// A disabled trace: `record` becomes a no-op. Useful as a default.
+    pub fn disabled() -> Self {
+        let mut t = Trace::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Record an event. The closure is only evaluated when tracing is
+    /// enabled, so callers can format lazily.
+    pub fn record(&mut self, at: SimTime, what: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { at, what: what() });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Total number of events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Render the retained tail as a multi-line string for test failures.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("[{:>12}us] {}\n", e.at, e.what));
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_only_the_tail() {
+        let mut t = Trace::new(3);
+        for i in 0..10u64 {
+            t.record(i, || format!("e{i}"));
+        }
+        let got: Vec<_> = t.entries().map(|e| e.what.clone()).collect();
+        assert_eq!(got, vec!["e7", "e8", "e9"]);
+        assert_eq!(t.total_recorded(), 10);
+    }
+
+    #[test]
+    fn disabled_trace_skips_formatting() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record(0, || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+        assert_eq!(t.total_recorded(), 0);
+    }
+
+    #[test]
+    fn dump_is_ordered_and_timestamped() {
+        let mut t = Trace::new(8);
+        t.record(5, || "first".into());
+        t.record(9, || "second".into());
+        let d = t.dump();
+        let first = d.find("first").unwrap();
+        let second = d.find("second").unwrap();
+        assert!(first < second);
+        assert!(d.contains("5us]"));
+    }
+}

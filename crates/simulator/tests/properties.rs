@@ -1,0 +1,147 @@
+//! Property-based tests of the network simulator: the transport guarantees
+//! the protocols rely on (§3 of the paper) must hold for arbitrary traffic.
+
+use proptest::prelude::*;
+use simulator::{Network, NetworkConfig, NodeId, SimTime};
+
+#[derive(Debug, Clone)]
+enum NetOp {
+    Send { src: u8, dst: u8, bytes: u16 },
+    Advance { by: u16 },
+    Cut { a: u8, b: u8 },
+    Heal { a: u8, b: u8 },
+}
+
+fn net_op() -> impl Strategy<Value = NetOp> {
+    prop_oneof![
+        (0u8..4, 0u8..4, 1u16..2048).prop_map(|(src, dst, bytes)| NetOp::Send { src, dst, bytes }),
+        (1u16..500).prop_map(|by| NetOp::Advance { by }),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| NetOp::Cut { a, b }),
+        (0u8..4, 0u8..4).prop_map(|(a, b)| NetOp::Heal { a, b }),
+    ]
+}
+
+fn build(seed: u64, jitter: SimTime, nic: Option<u64>) -> Network<u64> {
+    Network::new(NetworkConfig {
+        nodes: (1..=4).collect(),
+        default_latency_us: 150,
+        jitter_us: jitter,
+        nic_bytes_per_sec: nic,
+        priority_bytes: 256,
+        seed,
+    })
+}
+
+/// Execute ops, collecting every delivery as `(src, dst, id, at)` in
+/// delivery order (including a final drain of in-flight messages).
+fn run(
+    ops: &[NetOp],
+    seed: u64,
+    jitter: SimTime,
+    nic: Option<u64>,
+) -> Vec<(NodeId, NodeId, u64, SimTime)> {
+    let mut net = build(seed, jitter, nic);
+    let mut next_id = 0u64;
+    let mut out = Vec::new();
+    let collect = |net: &mut Network<u64>, upto: SimTime, out: &mut Vec<_>| {
+        while let Some(d) = net.pop_next_before(upto) {
+            out.push((d.src, d.dst, d.msg, d.at));
+        }
+    };
+    for op in ops {
+        match op {
+            NetOp::Send { src, dst, bytes } => {
+                net.send(
+                    *src as NodeId + 1,
+                    *dst as NodeId + 1,
+                    *bytes as usize,
+                    next_id,
+                );
+                next_id += 1;
+            }
+            NetOp::Advance { by } => {
+                let t = net.now() + *by as SimTime;
+                collect(&mut net, t, &mut out);
+                net.advance_to(t);
+            }
+            NetOp::Cut { a, b } => {
+                net.links_mut()
+                    .set_link(*a as NodeId + 1, *b as NodeId + 1, false);
+            }
+            NetOp::Heal { a, b } => {
+                net.links_mut()
+                    .set_link(*a as NodeId + 1, *b as NodeId + 1, true);
+            }
+        }
+    }
+    collect(&mut net, SimTime::MAX, &mut out);
+    out
+}
+
+proptest! {
+    /// Per-link FIFO: on every directed link, message ids are delivered in
+    /// send order regardless of jitter, NIC queuing and partitions.
+    #[test]
+    fn per_link_fifo_holds(
+        ops in prop::collection::vec(net_op(), 1..80),
+        seed in 1u64..1000,
+    ) {
+        let deliveries = run(&ops, seed, 300, Some(1_000_000));
+        let mut last_id: std::collections::HashMap<(NodeId, NodeId), u64> =
+            std::collections::HashMap::new();
+        for (src, dst, id, _) in deliveries {
+            if let Some(prev) = last_id.insert((src, dst), id) {
+                prop_assert!(
+                    id > prev,
+                    "link {src}->{dst} delivered {id} after {prev}"
+                );
+            }
+        }
+    }
+
+    /// Delivery timestamps are globally non-decreasing (the event queue is
+    /// a proper discrete-event scheduler).
+    #[test]
+    fn delivery_times_are_monotone(
+        ops in prop::collection::vec(net_op(), 1..80),
+        seed in 1u64..1000,
+    ) {
+        let deliveries = run(&ops, seed, 300, None);
+        let mut last = 0;
+        for (_, _, _, at) in deliveries {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    /// Determinism: identical seeds and op sequences produce identical
+    /// delivery schedules; different seeds may differ (with jitter).
+    #[test]
+    fn same_seed_same_schedule(
+        ops in prop::collection::vec(net_op(), 1..60),
+        seed in 1u64..1000,
+    ) {
+        let a = run(&ops, seed, 500, Some(2_000_000));
+        let b = run(&ops, seed, 500, Some(2_000_000));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Conservation: every sent message is either delivered exactly once or
+    /// dropped (counted), never duplicated or invented.
+    #[test]
+    fn messages_conserved(
+        ops in prop::collection::vec(net_op(), 1..80),
+        seed in 1u64..1000,
+    ) {
+        let deliveries = run(&ops, seed, 0, None);
+        let sent = ops
+            .iter()
+            .filter(|o| matches!(o, NetOp::Send { .. }))
+            .count() as u64;
+        let mut seen = std::collections::HashSet::new();
+        for (_, _, id, _) in &deliveries {
+            prop_assert!(seen.insert(*id), "duplicate delivery of {id}");
+            prop_assert!(*id < sent, "invented message {id}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # vr — Viewstamped Replication leader election for the reproduction
+//!
+//! The Omni-Paxos paper's VR comparator is "an implementation of VR's
+//! leader election [Liskov & Cowling 2012] with Omni-Paxos' log
+//! replication" (§7, *Protocols*). This crate does exactly that: the view
+//! change protocol (`StartViewChange` / `DoViewChange` / `StartView`) with
+//! round-robin view ownership drives a `omnipaxos::SequencePaxos` instance
+//! by mapping view `v` to ballot `(n = v, pid = leader(v))`.
+//!
+//! The properties Table 1 attributes to VR are structural here:
+//!
+//! * **EQC** — a server only sends `DoViewChange` after it has received
+//!   `StartViewChange` for the view from a majority, so the new leader must
+//!   be elected by quorum-connected servers. This is what deadlocks VR in
+//!   the quorum-loss and constrained-election scenarios (§7.2).
+//! * **Leader-vote gossiping** — a server that learns of a higher view
+//!   joins and re-broadcasts it, propagating the view change through
+//!   intermediaries (the chained-scenario churn of §2c).
+//! * **Pre-determined leader order** — `leader(v) = nodes[v mod n]`, which
+//!   is why the chained scenario may need several view changes before the
+//!   fully-connected middle server's turn comes up.
+
+pub mod node;
+
+pub use node::{VrConfig, VrMsg, VrNode, VrStatus};
+
+pub use omnipaxos::NodeId;

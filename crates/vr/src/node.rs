@@ -1,0 +1,549 @@
+//! The VR node: view-change leader election driving Sequence Paxos.
+
+use omnipaxos::ballot::Ballot;
+use omnipaxos::messages::Message;
+use omnipaxos::sequence_paxos::{SequencePaxos, SequencePaxosConfig};
+use omnipaxos::storage::MemoryStorage;
+use omnipaxos::util::{Entry, LogEntry};
+use omnipaxos::NodeId;
+use std::collections::HashSet;
+
+/// View-change status (Liskov & Cowling 2012, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VrStatus {
+    /// Following the leader of `view`.
+    Normal,
+    /// A view change towards `view` is in progress.
+    ViewChange,
+}
+
+/// VR control messages plus the wrapped replication traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VrMsg<T> {
+    /// "I suspect the leader of the previous view; change to `view`."
+    /// Re-broadcast by every receiver that joins (vote gossiping).
+    StartViewChange { view: u64 },
+    /// Vote sent to `leader(view)` once a majority of `StartViewChange`
+    /// has been observed (the EQC requirement).
+    DoViewChange { view: u64 },
+    /// The new leader announces the view is operational.
+    StartView { view: u64 },
+    /// Leader liveness heartbeat.
+    Ping { view: u64 },
+    /// Sequence Paxos replication traffic.
+    Paxos(Message<T>),
+}
+
+impl<T: Entry> VrMsg<T> {
+    /// Approximate wire size in bytes (same model as the other crates).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            VrMsg::Paxos(m) => m.size_bytes(),
+            _ => 32,
+        }
+    }
+}
+
+/// Static configuration of a VR node.
+#[derive(Debug, Clone)]
+pub struct VrConfig {
+    /// This server.
+    pub pid: NodeId,
+    /// All servers in a fixed, shared order — view ownership rotates over
+    /// this list.
+    pub nodes: Vec<NodeId>,
+    /// Heartbeat period in ticks.
+    pub ping_ticks: u64,
+    /// Suspect the leader (or a stalled view change) after this many ticks.
+    pub timeout_ticks: u64,
+}
+
+impl VrConfig {
+    /// Defaults comparable to the other protocols' timing.
+    pub fn with(pid: NodeId, nodes: Vec<NodeId>) -> Self {
+        assert!(nodes.contains(&pid));
+        VrConfig {
+            pid,
+            nodes,
+            ping_ticks: 5,
+            timeout_ticks: 20,
+        }
+    }
+}
+
+fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// A VR replica: view-change election over Sequence Paxos replication.
+pub struct VrNode<T: Entry> {
+    config: VrConfig,
+    view: u64,
+    status: VrStatus,
+    sp: SequencePaxos<T, MemoryStorage<T>>,
+    /// Peers (incl. self) whose `StartViewChange{view}` we have seen.
+    svc_acks: HashSet<NodeId>,
+    /// `DoViewChange{view}` votes received (when we own `view`).
+    dvc_votes: HashSet<NodeId>,
+    sent_dvc: bool,
+    ticks_since_leader: u64,
+    ping_elapsed: u64,
+    resend_elapsed: u64,
+    /// Cursor for `poll_decided`.
+    polled_idx: u64,
+    outgoing: Vec<(NodeId, VrMsg<T>)>,
+    view_changes: u64,
+}
+
+impl<T: Entry> VrNode<T> {
+    pub fn new(config: VrConfig) -> Self {
+        let sp_config = SequencePaxosConfig::with(1, config.pid, &config.nodes);
+        let sp = SequencePaxos::new(sp_config, MemoryStorage::new());
+        let mut node = VrNode {
+            view: 0,
+            status: VrStatus::ViewChange,
+            sp,
+            svc_acks: HashSet::new(),
+            dvc_votes: HashSet::new(),
+            sent_dvc: false,
+            ticks_since_leader: 0,
+            ping_elapsed: 0,
+            resend_elapsed: 0,
+            polled_idx: 0,
+            outgoing: Vec::new(),
+            view_changes: 0,
+            config,
+        };
+        // Bootstrap: elect view 1 through the normal protocol.
+        node.start_view_change(1);
+        node
+    }
+
+    /// The pre-determined owner of `view` (round-robin).
+    pub fn leader_of(&self, view: u64) -> NodeId {
+        self.config.nodes[(view as usize) % self.config.nodes.len()]
+    }
+
+    pub fn pid(&self) -> NodeId {
+        self.config.pid
+    }
+
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    pub fn status(&self) -> VrStatus {
+        self.status
+    }
+
+    /// Is this node the operational leader of the current view?
+    pub fn is_leader(&self) -> bool {
+        self.status == VrStatus::Normal && self.leader_of(self.view) == self.config.pid
+    }
+
+    /// Number of view changes this node has gone through.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
+    /// Newly decided client commands since the last call.
+    pub fn poll_decided(&mut self) -> Vec<T> {
+        let decided = self.sp.read_decided(self.polled_idx);
+        self.polled_idx += decided.len() as u64;
+        decided
+            .into_iter()
+            .filter_map(|e| match e {
+                LogEntry::Normal(t) => Some(t),
+                LogEntry::StopSign(_) => None,
+            })
+            .collect()
+    }
+
+    /// Propose a command (leader appends; followers forward via Sequence
+    /// Paxos' built-in proposal forwarding).
+    pub fn propose(&mut self, entry: T) -> bool {
+        self.sp.append(entry).is_ok()
+    }
+
+    /// Advance logical time by one tick.
+    pub fn tick(&mut self) {
+        // Periodic retransmission sweep of the replication layer (lost
+        // Prepare messages after link drops).
+        self.resend_elapsed += 1;
+        if self.resend_elapsed >= self.config.timeout_ticks * 2 {
+            self.resend_elapsed = 0;
+            self.sp.resend_timeout();
+        }
+        // Leader heartbeats.
+        if self.is_leader() {
+            self.ping_elapsed += 1;
+            if self.ping_elapsed >= self.config.ping_ticks {
+                self.ping_elapsed = 0;
+                let view = self.view;
+                for &peer in &self.config.nodes.clone() {
+                    if peer != self.config.pid {
+                        self.outgoing.push((peer, VrMsg::Ping { view }));
+                    }
+                }
+            }
+            return;
+        }
+        // Follower / view-change timeout.
+        self.ticks_since_leader += 1;
+        if self.ticks_since_leader >= self.config.timeout_ticks {
+            self.start_view_change(self.view + 1);
+        }
+    }
+
+    fn start_view_change(&mut self, view: u64) {
+        self.view = view;
+        self.status = VrStatus::ViewChange;
+        self.view_changes += 1;
+        self.svc_acks.clear();
+        self.dvc_votes.clear();
+        self.sent_dvc = false;
+        self.ticks_since_leader = 0;
+        self.svc_acks.insert(self.config.pid);
+        for &peer in &self.config.nodes.clone() {
+            if peer != self.config.pid {
+                self.outgoing.push((peer, VrMsg::StartViewChange { view }));
+            }
+        }
+        self.maybe_do_view_change();
+    }
+
+    /// EQC gate: only a server that saw a majority of `StartViewChange`
+    /// may vote for the new leader.
+    fn maybe_do_view_change(&mut self) {
+        if self.sent_dvc
+            || self.status != VrStatus::ViewChange
+            || self.svc_acks.len() < majority(self.config.nodes.len())
+        {
+            return;
+        }
+        self.sent_dvc = true;
+        let view = self.view;
+        let leader = self.leader_of(view);
+        if leader == self.config.pid {
+            self.dvc_votes.insert(self.config.pid);
+            self.maybe_become_leader();
+        } else {
+            self.outgoing.push((leader, VrMsg::DoViewChange { view }));
+        }
+    }
+
+    fn maybe_become_leader(&mut self) {
+        if self.status != VrStatus::ViewChange
+            || self.leader_of(self.view) != self.config.pid
+            || self.dvc_votes.len() < majority(self.config.nodes.len())
+        {
+            return;
+        }
+        self.status = VrStatus::Normal;
+        self.ticks_since_leader = 0;
+        let view = self.view;
+        for &peer in &self.config.nodes.clone() {
+            if peer != self.config.pid {
+                self.outgoing.push((peer, VrMsg::StartView { view }));
+            }
+        }
+        // Map the view onto a Sequence Paxos ballot and let its Prepare
+        // phase synchronize the logs (the paper's construction).
+        let ballot = Ballot::new(view, 0, self.config.pid);
+        self.sp.handle_leader(ballot);
+    }
+
+    /// Feed one incoming message.
+    pub fn handle(&mut self, from: NodeId, msg: VrMsg<T>) {
+        match msg {
+            VrMsg::StartViewChange { view } => {
+                if view > self.view || (view == self.view && self.status == VrStatus::ViewChange) {
+                    if view > self.view {
+                        // Join and re-broadcast (gossip).
+                        self.start_view_change(view);
+                    }
+                    self.svc_acks.insert(from);
+                    self.maybe_do_view_change();
+                }
+            }
+            VrMsg::DoViewChange { view } => {
+                if view > self.view {
+                    self.start_view_change(view);
+                }
+                if view == self.view && self.leader_of(view) == self.config.pid {
+                    self.dvc_votes.insert(from);
+                    // Our own vote counts once we pass the EQC gate.
+                    self.maybe_do_view_change();
+                    self.maybe_become_leader();
+                }
+            }
+            VrMsg::StartView { view } => {
+                if view >= self.view && from == self.leader_of(view) {
+                    self.view = view;
+                    self.status = VrStatus::Normal;
+                    self.ticks_since_leader = 0;
+                    // The leader's Sequence Paxos Prepare follows; electing
+                    // the ballot locally lets forwarding target it.
+                    self.sp.handle_leader(Ballot::new(view, 0, from));
+                }
+            }
+            VrMsg::Ping { view } => {
+                if view == self.view && from == self.leader_of(view) {
+                    self.ticks_since_leader = 0;
+                    if self.status == VrStatus::ViewChange {
+                        // The leader of our view is operational (e.g. we
+                        // rejoined after a partition).
+                        self.status = VrStatus::Normal;
+                    }
+                } else if view > self.view {
+                    // A later view is operational: adopt it.
+                    self.view = view;
+                    self.status = VrStatus::Normal;
+                    self.ticks_since_leader = 0;
+                    self.view_changes += 1;
+                    self.sp.handle_leader(Ballot::new(view, 0, from));
+                }
+            }
+            VrMsg::Paxos(m) => self.sp.handle_message(m),
+        }
+    }
+
+    /// Drain all outgoing messages (election + replication).
+    pub fn outgoing_messages(&mut self) -> Vec<(NodeId, VrMsg<T>)> {
+        let mut out = std::mem::take(&mut self.outgoing);
+        for m in self.sp.outgoing_messages() {
+            out.push((m.to, VrMsg::Paxos(m)));
+        }
+        out
+    }
+
+    /// Notify that the link to `pid` was re-established after a session
+    /// drop; the replication layer asks for the current state.
+    pub fn reconnected(&mut self, pid: NodeId) {
+        self.sp.reconnected(pid);
+    }
+
+    /// Direct access to the replication component (tests, invariants).
+    pub fn sequence_paxos(&mut self) -> &mut SequencePaxos<T, MemoryStorage<T>> {
+        &mut self.sp
+    }
+}
+
+impl<T: Entry> std::fmt::Debug for VrNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VrNode")
+            .field("pid", &self.config.pid)
+            .field("view", &self.view)
+            .field("status", &self.status)
+            .field("sp", &self.sp)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(nodes: &mut [VrNode<u64>], steps: usize) {
+        for _ in 0..steps {
+            for n in nodes.iter_mut() {
+                n.tick();
+            }
+            let mut inbox = Vec::new();
+            for n in nodes.iter_mut() {
+                let from = n.pid();
+                for (to, m) in n.outgoing_messages() {
+                    inbox.push((from, to, m));
+                }
+            }
+            for (from, to, m) in inbox {
+                if let Some(n) = nodes.iter_mut().find(|n| n.pid() == to) {
+                    n.handle(from, m);
+                }
+            }
+        }
+    }
+
+    fn cluster(n: usize) -> Vec<VrNode<u64>> {
+        let nodes: Vec<NodeId> = (1..=n as NodeId).collect();
+        nodes
+            .iter()
+            .map(|&p| VrNode::new(VrConfig::with(p, nodes.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn elects_the_round_robin_owner_of_view_one() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let leaders: Vec<NodeId> = nodes
+            .iter()
+            .filter(|n| n.is_leader())
+            .map(|n| n.pid())
+            .collect();
+        assert_eq!(leaders.len(), 1);
+        // view 1 of nodes [1,2,3] belongs to nodes[1 % 3] = 2.
+        assert_eq!(leaders[0], 2);
+    }
+
+    #[test]
+    fn replicates_through_sequence_paxos() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        for v in 1..=10 {
+            assert!(nodes[li].propose(v));
+        }
+        run(&mut nodes, 100);
+        for n in nodes.iter_mut() {
+            assert_eq!(n.poll_decided(), (1..=10).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn view_change_on_leader_silence() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        let before = nodes[li].view();
+        // Remove the leader from the network entirely.
+        let dead = nodes.remove(li);
+        run(&mut nodes, 300);
+        let new_leader = nodes.iter().find(|n| n.is_leader());
+        assert!(
+            new_leader.is_some(),
+            "remaining majority elects the next view: {nodes:?}"
+        );
+        assert!(nodes[0].view() > before);
+        drop(dead);
+    }
+
+    #[test]
+    fn decided_entries_survive_view_change() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        for v in 1..=5 {
+            nodes[li].propose(v);
+        }
+        run(&mut nodes, 100);
+        let dead = nodes.remove(li);
+        run(&mut nodes, 300);
+        let new_li = nodes
+            .iter()
+            .position(|n| n.is_leader())
+            .expect("new leader");
+        nodes[new_li].propose(6);
+        run(&mut nodes, 100);
+        for n in nodes.iter_mut() {
+            let all = n.sequence_paxos().read_decided(0);
+            let vals: Vec<u64> = all
+                .into_iter()
+                .filter_map(|e| e.as_normal().copied())
+                .collect();
+            assert_eq!(vals, vec![1, 2, 3, 4, 5, 6]);
+        }
+        drop(dead);
+    }
+
+    #[test]
+    fn minority_cannot_complete_view_change() {
+        // EQC in action: a single isolated node must never become leader.
+        let nodes: Vec<NodeId> = vec![1, 2, 3];
+        let mut lone: VrNode<u64> = VrNode::new(VrConfig::with(1, nodes));
+        for _ in 0..500 {
+            lone.tick();
+            let _ = lone.outgoing_messages();
+        }
+        assert!(!lone.is_leader());
+        assert_eq!(lone.status(), VrStatus::ViewChange);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Vec<VrNode<u64>> {
+        let nodes: Vec<NodeId> = (1..=n as NodeId).collect();
+        nodes
+            .iter()
+            .map(|&p| VrNode::new(VrConfig::with(p, nodes.clone())))
+            .collect()
+    }
+
+    fn run_filtered(nodes: &mut [VrNode<u64>], steps: usize, blocked: &[(NodeId, NodeId)]) {
+        for _ in 0..steps {
+            for n in nodes.iter_mut() {
+                n.tick();
+            }
+            let mut inbox = Vec::new();
+            for n in nodes.iter_mut() {
+                let from = n.pid();
+                for (to, m) in n.outgoing_messages() {
+                    inbox.push((from, to, m));
+                }
+            }
+            for (from, to, m) in inbox {
+                if blocked.contains(&(from, to)) || blocked.contains(&(to, from)) {
+                    continue;
+                }
+                if let Some(n) = nodes.iter_mut().find(|n| n.pid() == to) {
+                    n.handle(from, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eqc_blocks_view_change_with_single_qc_server() {
+        // §2b at the unit level: only the hub is quorum-connected; no
+        // server can collect a majority of StartViewChange except the hub,
+        // and the round-robin leader usually is not the hub — deadlock.
+        let mut nodes = cluster(5);
+        run_filtered(&mut nodes, 200, &[]);
+        let leader = nodes.iter().find(|n| n.is_leader()).unwrap().pid();
+        let hub = (1..=5).find(|&p| p != leader).unwrap();
+        // Full partition of the old leader; everyone else only sees the hub.
+        let mut blocked = Vec::new();
+        for a in 1..=5u64 {
+            for b in (a + 1)..=5u64 {
+                let keeps = (a == hub || b == hub) && a != leader && b != leader;
+                if !keeps {
+                    blocked.push((a, b));
+                }
+            }
+        }
+        run_filtered(&mut nodes, 2_000, &blocked);
+        assert!(
+            nodes.iter().all(|n| !n.is_leader() || n.pid() == leader),
+            "no new leader can emerge under EQC with one QC server: {nodes:?}"
+        );
+        // Views keep churning fruitlessly at the hub.
+        let hub_i = nodes.iter().position(|n| n.pid() == hub).unwrap();
+        assert!(nodes[hub_i].view_changes() > 5);
+    }
+
+    #[test]
+    fn round_robin_skips_unreachable_view_owners() {
+        // 3 servers; kill the next-in-line view owner: the change must
+        // roll over to the following view and succeed.
+        let mut nodes = cluster(3);
+        run_filtered(&mut nodes, 200, &[]);
+        let leader = nodes.iter().find(|n| n.is_leader()).unwrap().pid();
+        // Block the current leader entirely (it "fails").
+        let blocked: Vec<(NodeId, NodeId)> = (1..=3)
+            .filter(|&p| p != leader)
+            .map(|p| (leader, p))
+            .collect();
+        run_filtered(&mut nodes, 2_000, &blocked);
+        let new_leader = nodes
+            .iter()
+            .find(|n| n.is_leader() && n.pid() != leader)
+            .map(|n| n.pid());
+        assert!(
+            new_leader.is_some(),
+            "a later view with a reachable owner must succeed: {nodes:?}"
+        );
+    }
+}

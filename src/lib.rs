@@ -1,0 +1,14 @@
+//! Workspace root crate for the Omni-Paxos reproduction.
+//!
+//! This crate re-exports the member crates so that the repository-level
+//! examples (`examples/`) and integration tests (`tests/`) can exercise the
+//! whole system through a single dependency. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use cluster;
+pub use kvstore;
+pub use multipaxos;
+pub use omnipaxos;
+pub use raft;
+pub use simulator;
+pub use vr;

@@ -1,0 +1,255 @@
+//! Property-based chaos tests: Sequence Consensus safety under arbitrary
+//! partial partitions, heals, crashes and proposals.
+//!
+//! For any randomly generated schedule of faults, the paper's safety
+//! properties (§4) must hold:
+//!
+//! * **SC1 Validity** — decided logs contain only proposed commands;
+//! * **SC2 Uniform Agreement** — decided logs are prefixes of one another;
+//! * **SC3 Integrity** — a server's decided log only grows by extension.
+//!
+//! Liveness is *not* asserted here (an adversarial schedule may legally
+//! prevent progress); only that nothing decided is ever wrong or lost.
+
+use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
+use omnipaxos::NodeId;
+use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
+
+/// One chaos event in the generated schedule.
+#[derive(Debug, Clone)]
+enum Chaos {
+    /// Propose `count` commands at server `pid`.
+    Propose { pid: NodeId, count: u8 },
+    /// Cut the link between two servers.
+    Cut(NodeId, NodeId),
+    /// Heal the link between two servers.
+    Heal(NodeId, NodeId),
+    /// Crash-recover a server (volatile state lost, storage kept).
+    CrashRecover(NodeId),
+    /// Heal everything.
+    HealAll,
+    /// Let the cluster run for `steps` steps.
+    Run { steps: u8 },
+}
+
+fn chaos_strategy(n: NodeId) -> impl Strategy<Value = Chaos> {
+    let pid = 1..=n;
+    prop_oneof![
+        (pid.clone(), 1u8..20).prop_map(|(pid, count)| Chaos::Propose { pid, count }),
+        (1..=n, 1..=n).prop_map(|(a, b)| Chaos::Cut(a, b)),
+        (1..=n, 1..=n).prop_map(|(a, b)| Chaos::Heal(a, b)),
+        pid.prop_map(Chaos::CrashRecover),
+        Just(Chaos::HealAll),
+        (5u8..60).prop_map(|steps| Chaos::Run { steps }),
+    ]
+}
+
+/// A lossy in-memory cluster with link control, mirroring the harness used
+/// by the core crate's tests but tracking safety invariants continuously.
+struct ChaosCluster {
+    servers: Vec<OmniPaxosServer<u64>>,
+    cut: HashSet<(NodeId, NodeId)>,
+    wire: VecDeque<(NodeId, NodeId, ServiceMsg<u64>)>,
+    proposed: HashSet<u64>,
+    next_value: u64,
+    /// Longest decided log seen so far per server (for SC3).
+    decided_history: Vec<Vec<u64>>,
+}
+
+impl ChaosCluster {
+    fn new(n: usize) -> Self {
+        let nodes: Vec<NodeId> = (1..=n as NodeId).collect();
+        ChaosCluster {
+            servers: nodes
+                .iter()
+                .map(|&p| OmniPaxosServer::new(ServerConfig::with(p), nodes.clone()))
+                .collect(),
+            cut: HashSet::new(),
+            wire: VecDeque::new(),
+            proposed: HashSet::new(),
+            next_value: 0,
+            decided_history: vec![Vec::new(); n],
+        }
+    }
+
+    fn step(&mut self) {
+        for s in &mut self.servers {
+            s.tick();
+        }
+        let n = self.servers.len();
+        for i in 0..n {
+            let from = (i + 1) as NodeId;
+            for (to, msg) in self.servers[i].outgoing() {
+                if to >= 1 && to as usize <= n {
+                    self.wire.push_back((from, to, msg));
+                }
+            }
+        }
+        let inflight = std::mem::take(&mut self.wire);
+        for (from, to, msg) in inflight {
+            if !self.cut.contains(&(from, to)) {
+                self.servers[to as usize - 1].handle(from, msg);
+            }
+        }
+        self.check_safety();
+    }
+
+    fn apply(&mut self, event: &Chaos) {
+        match event {
+            Chaos::Propose { pid, count } => {
+                for _ in 0..*count {
+                    let v = self.next_value;
+                    self.next_value += 1;
+                    // Proposals may fail (no leader): only count accepted
+                    // submissions for SC1.
+                    if self.servers[(*pid - 1) as usize].propose(v).is_ok() {
+                        self.proposed.insert(v);
+                    }
+                }
+            }
+            Chaos::Cut(a, b) => {
+                if a != b {
+                    self.cut.insert((*a, *b));
+                    self.cut.insert((*b, *a));
+                }
+            }
+            Chaos::Heal(a, b) => {
+                if a != b {
+                    let was = self.cut.remove(&(*a, *b)) | self.cut.remove(&(*b, *a));
+                    if was {
+                        self.servers[(*a - 1) as usize].reconnected(*b);
+                        self.servers[(*b - 1) as usize].reconnected(*a);
+                    }
+                }
+            }
+            Chaos::CrashRecover(pid) => {
+                let i = (*pid - 1) as usize;
+                // In-flight messages to/from the crashed server vanish.
+                self.wire.retain(|(f, t, _)| *f != *pid && *t != *pid);
+                self.servers[i].fail_recovery();
+            }
+            Chaos::HealAll => {
+                let pairs: Vec<(NodeId, NodeId)> = self.cut.iter().copied().collect();
+                for (a, b) in pairs {
+                    self.apply(&Chaos::Heal(a, b));
+                }
+            }
+            Chaos::Run { steps } => {
+                for _ in 0..*steps {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// SC1 + SC2 + SC3 on the current state.
+    fn check_safety(&mut self) {
+        // SC1: decided values were proposed.
+        for s in &self.servers {
+            for v in s.log() {
+                assert!(
+                    self.proposed.contains(v),
+                    "decided unproposed value {v} at server {}",
+                    s.pid()
+                );
+            }
+        }
+        // SC3: each server's decided log only ever grows by extension.
+        for (i, s) in self.servers.iter().enumerate() {
+            let prev = &self.decided_history[i];
+            let cur = s.log();
+            assert!(
+                cur.len() >= prev.len() && &cur[..prev.len()] == prev.as_slice(),
+                "server {} decided log shrank or diverged from its past:\nprev={prev:?}\ncur={cur:?}",
+                s.pid()
+            );
+            self.decided_history[i] = cur.to_vec();
+        }
+        // SC2: pairwise prefix property.
+        for a in &self.servers {
+            for b in &self.servers {
+                let (la, lb) = (a.log(), b.log());
+                let n = la.len().min(lb.len());
+                assert_eq!(
+                    &la[..n],
+                    &lb[..n],
+                    "uniform agreement violated between {} and {}",
+                    a.pid(),
+                    b.pid()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, // each case simulates thousands of steps
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Safety holds for any chaos schedule on a 3-server cluster.
+    #[test]
+    fn sequence_consensus_safety_3(events in prop::collection::vec(chaos_strategy(3), 1..40)) {
+        let mut cluster = ChaosCluster::new(3);
+        cluster.apply(&Chaos::Run { steps: 50 });
+        for e in &events {
+            cluster.apply(e);
+        }
+        // Always end with a heal + settle so liveness bugs surface as
+        // failed convergence in the dedicated test below, not here.
+        cluster.apply(&Chaos::HealAll);
+        cluster.apply(&Chaos::Run { steps: 150 });
+    }
+
+    /// Safety holds for any chaos schedule on a 5-server cluster.
+    #[test]
+    fn sequence_consensus_safety_5(events in prop::collection::vec(chaos_strategy(5), 1..40)) {
+        let mut cluster = ChaosCluster::new(5);
+        cluster.apply(&Chaos::Run { steps: 50 });
+        for e in &events {
+            cluster.apply(e);
+        }
+        cluster.apply(&Chaos::HealAll);
+        cluster.apply(&Chaos::Run { steps: 150 });
+    }
+
+    /// Liveness after healing: once fully connected (and nobody crashed
+    /// mid-run), the cluster converges and can decide new proposals.
+    #[test]
+    fn converges_after_healing(
+        events in prop::collection::vec(chaos_strategy(3), 1..25),
+        final_values in 1u8..10,
+    ) {
+        let mut cluster = ChaosCluster::new(3);
+        cluster.apply(&Chaos::Run { steps: 80 });
+        for e in &events {
+            cluster.apply(e);
+        }
+        cluster.apply(&Chaos::HealAll);
+        cluster.apply(&Chaos::Run { steps: 250 });
+        // Propose through whichever server now leads.
+        let leader = cluster
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_leader())
+            .max_by_key(|(_, s)| s.leader())
+            .map(|(i, _)| i);
+        prop_assert!(leader.is_some(), "a leader must emerge after healing");
+        let li = leader.unwrap();
+        let base = cluster.next_value;
+        cluster.apply(&Chaos::Propose { pid: (li + 1) as NodeId, count: final_values });
+        cluster.apply(&Chaos::Run { steps: 250 });
+        let decided = cluster.servers[li].log().to_vec();
+        for v in base..base + final_values as u64 {
+            prop_assert!(
+                decided.contains(&v),
+                "value {v} proposed after healing must decide; log tail: {:?}",
+                &decided[decided.len().saturating_sub(10)..]
+            );
+        }
+    }
+}
