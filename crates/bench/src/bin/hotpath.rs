@@ -1,0 +1,228 @@
+//! `hotpath` — offline benchmark of the replication hot path.
+//!
+//! Two scenarios, both driven directly (no simulated network), so the
+//! measured wall-clock is dominated by the engine's own copying and
+//! allocation behaviour rather than by scheduling:
+//!
+//! * **replication** — a 5-server cluster decides a stream of entries.
+//!   The leader fans each drained batch out to four followers; this is
+//!   the `AcceptDecide` path whose per-follower deep copies the
+//!   zero-copy refactor removes.
+//! * **migration** — a reconfiguration that replaces a majority of a
+//!   5-server cluster (Fig. 9 shape): three joiners each pull the full
+//!   multi-million-entry log from the five donors in parallel stripes.
+//!
+//! Run with `cargo run --release --bin hotpath` (add `-- --quick` for a
+//! fast smoke run). Results are printed and written to `BENCH_PR1.json`;
+//! pass `-- --baseline <repl_eps>,<mig_eps>` to embed previously
+//! recorded pre-change numbers so the file carries both sides of the
+//! comparison.
+
+use std::time::Instant;
+
+use omnipaxos::{
+    MemoryStorage, NodeId, OmniPaxos, OmniPaxosConfig, OmniPaxosServer, ServerConfig, ServerRole,
+};
+
+type Replica = OmniPaxos<u64, MemoryStorage<u64>>;
+
+/// Deliver queued messages directly until the wire is quiet.
+fn pump(replicas: &mut [Replica], rounds: usize) {
+    for _ in 0..rounds {
+        for i in 0..replicas.len() {
+            for m in replicas[i].outgoing_messages() {
+                let to = m.to() as usize - 1;
+                replicas[to].handle_message(m);
+            }
+        }
+    }
+}
+
+/// Scenario (a): 5-server replication throughput, decided entries/sec.
+fn bench_replication(total: u64, batch: u64) -> (f64, f64) {
+    let nodes: Vec<NodeId> = (1..=5).collect();
+    let mut replicas: Vec<Replica> = nodes
+        .iter()
+        .map(|&pid| {
+            OmniPaxos::new(
+                OmniPaxosConfig::with(1, pid, nodes.clone()),
+                MemoryStorage::new(),
+            )
+        })
+        .collect();
+    // Elect a leader: tick + deliver until someone claims leadership.
+    for _ in 0..100 {
+        for r in replicas.iter_mut() {
+            r.tick();
+        }
+        pump(&mut replicas, 1);
+        if replicas.iter().any(|r| r.is_leader()) {
+            break;
+        }
+    }
+    let leader = replicas.iter().position(|r| r.is_leader()).expect("leader");
+
+    let start = Instant::now();
+    let mut appended = 0u64;
+    while appended < total {
+        let n = batch.min(total - appended);
+        for v in 0..n {
+            replicas[leader].append(appended + v).expect("append");
+        }
+        appended += n;
+        // One batch round-trip: AcceptDecide out, Accepted back, Decide out.
+        pump(&mut replicas, 3);
+    }
+    let mut guard = 0;
+    while replicas.iter().any(|r| r.decided_idx() < total) {
+        pump(&mut replicas, 3);
+        guard += 1;
+        assert!(guard < 1_000, "replication failed to settle");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, total as f64 / elapsed)
+}
+
+type Server = OmniPaxosServer<u64>;
+
+/// Tick every server once, then deliver messages until the wire is quiet.
+fn step(servers: &mut [Server]) {
+    for s in servers.iter_mut() {
+        s.tick();
+    }
+    loop {
+        let mut wire = Vec::new();
+        for s in servers.iter_mut() {
+            let from = s.pid();
+            for (to, msg) in s.outgoing() {
+                wire.push((from, to, msg));
+            }
+        }
+        if wire.is_empty() {
+            break;
+        }
+        for (from, to, msg) in wire {
+            servers[to as usize - 1].handle(from, msg);
+        }
+    }
+}
+
+/// Scenario (b): majority-replacement reconfiguration over a large log.
+/// Servers 1-5 hold `size` decided entries; the new configuration is
+/// {4,5,6,7,8}, so joiners 6-8 each migrate the full log from 5 donors.
+fn bench_migration(size: u64) -> (f64, f64) {
+    let old_nodes: Vec<NodeId> = (1..=5).collect();
+    let new_nodes: Vec<NodeId> = (4..=8).collect();
+    let mut servers: Vec<Server> = Vec::new();
+    for pid in 1..=8u64 {
+        if pid <= 5 {
+            servers.push(OmniPaxosServer::with_storage(
+                ServerConfig::with(pid),
+                old_nodes.clone(),
+                MemoryStorage::with_decided_log((0..size).collect()),
+            ));
+        } else {
+            servers.push(OmniPaxosServer::new_joiner(ServerConfig::with(pid)));
+        }
+    }
+    // Settle: initial history applied everywhere, a leader elected.
+    let mut guard = 0;
+    while !(servers[..5].iter().all(|s| s.log().len() as u64 == size)
+        && servers[..5].iter().any(|s| s.is_leader()))
+    {
+        step(&mut servers);
+        guard += 1;
+        assert!(guard < 500, "initial configuration failed to settle");
+    }
+    let leader = servers[..5]
+        .iter()
+        .position(|s| s.is_leader())
+        .expect("leader");
+
+    let start = Instant::now();
+    servers[leader]
+        .reconfigure(new_nodes.clone())
+        .expect("reconfigure");
+    let done = |servers: &[Server]| {
+        new_nodes.iter().all(|&pid| {
+            let s = &servers[pid as usize - 1];
+            s.config_id() == 2 && s.role() == ServerRole::Active && s.log().len() as u64 >= size
+        })
+    };
+    let mut guard = 0;
+    while !done(&servers) {
+        step(&mut servers);
+        guard += 1;
+        assert!(guard < 5_000, "migration failed to complete");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, size as f64 / elapsed)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline: Option<(f64, f64)> = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| {
+            let (a, b) = s.split_once(',')?;
+            Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+        });
+
+    let (repl_total, repl_batch) = if quick {
+        (100_000, 4_096)
+    } else {
+        (2_000_000, 4_096)
+    };
+    let mig_size: u64 = if quick { 500_000 } else { 5_000_000 };
+    let reps = if quick { 1 } else { 5 };
+
+    // Best-of-N: the machine hosting the benchmark may be noisy; the
+    // fastest run is the least-perturbed measurement of the code itself.
+    let best = |label: &str, runs: &mut dyn FnMut() -> (f64, f64)| -> (f64, f64) {
+        let mut best = (f64::INFINITY, 0.0);
+        for i in 0..reps {
+            let (s, eps) = runs();
+            println!("  {label} run {i}: {s:.3}s  {eps:.0} entries/sec");
+            if s < best.0 {
+                best = (s, eps);
+            }
+        }
+        best
+    };
+
+    println!("hotpath: replication ({repl_total} entries, 5 servers, batch {repl_batch})");
+    let (repl_s, repl_eps) = best("replication", &mut || {
+        bench_replication(repl_total, repl_batch)
+    });
+
+    println!("hotpath: migration ({mig_size} entries, replace-majority, 3 joiners)");
+    let (mig_s, mig_eps) = best("migration", &mut || bench_migration(mig_size));
+
+    let (speedup_repl, speedup_mig) = match baseline {
+        Some((br, bm)) => (repl_eps / br, mig_eps / bm),
+        None => (f64::NAN, f64::NAN),
+    };
+    let (base_repl, base_mig) = baseline.unwrap_or((f64::NAN, f64::NAN));
+    let out = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n  \"replication_5servers\": {{\n    \"entries\": {repl_total},\n    \"elapsed_s\": {repl_s:.3},\n    \"entries_per_sec\": {},\n    \"baseline_entries_per_sec\": {},\n    \"speedup\": {}\n  }},\n  \"migration_replace_majority\": {{\n    \"log_entries\": {mig_size},\n    \"joiners\": 3,\n    \"donors\": 5,\n    \"elapsed_s\": {mig_s:.3},\n    \"entries_per_sec\": {},\n    \"baseline_entries_per_sec\": {},\n    \"speedup\": {}\n  }}\n}}\n",
+        json_num(repl_eps),
+        json_num(base_repl),
+        if speedup_repl.is_finite() { format!("{speedup_repl:.2}") } else { "null".into() },
+        json_num(mig_eps),
+        json_num(base_mig),
+        if speedup_mig.is_finite() { format!("{speedup_mig:.2}") } else { "null".into() },
+    );
+    std::fs::write("BENCH_PR1.json", &out).expect("write BENCH_PR1.json");
+    print!("{out}");
+}

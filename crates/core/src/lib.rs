@@ -77,6 +77,6 @@ pub use messages::{BleMessage, BleMsg, Message, PaxosMsg};
 pub use omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
 pub use sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
 pub use service::{MigrationScheme, OmniPaxosServer, ServerConfig, ServerRole, ServiceMsg};
-pub use storage::{MemoryStorage, Storage, TrimError};
+pub use storage::{EntryBatch, MemoryStorage, Storage, TrimError};
 pub use util::{majority, Entry, LogEntry, StopSign};
 pub use wal::{WalEncode, WalStorage};

@@ -7,6 +7,7 @@
 //! IO, which the paper measures during reconfiguration (§7.3).
 
 use crate::ballot::{Ballot, NodeId};
+use crate::storage::EntryBatch;
 use crate::util::{Entry, LogEntry};
 
 /// Fixed per-message framing overhead we charge in the size model: message
@@ -51,6 +52,10 @@ pub struct Promise<T> {
 /// `⟨AcceptSync⟩` — the leader's synchronizing write: truncate the
 /// follower's log at `sync_idx` and append `suffix` (§4.1.1). After handling
 /// it, the follower's log is a prefix of the leader's.
+///
+/// The suffix is a shared [`EntryBatch`]: when several followers promised at
+/// the same index (the common case after an election among up-to-date
+/// servers), they all receive clones of one refcounted batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AcceptSync<T> {
     /// The leader's round.
@@ -60,7 +65,7 @@ pub struct AcceptSync<T> {
     /// The leader's current decided index (piggybacked).
     pub decided_idx: u64,
     /// The leader's log from `sync_idx` onward.
-    pub suffix: Vec<LogEntry<T>>,
+    pub suffix: EntryBatch<T>,
 }
 
 /// `⟨AcceptDecide⟩` — pipelined replication in the Accept phase (§4.1.2):
@@ -77,8 +82,10 @@ pub struct AcceptDecide<T> {
     pub start_idx: u64,
     /// The leader's current decided index (piggybacked decide).
     pub decided_idx: u64,
-    /// New entries, in log order.
-    pub entries: Vec<LogEntry<T>>,
+    /// New entries, in log order. A shared [`EntryBatch`]: the leader
+    /// materializes each drained batch once and fans it out to all
+    /// followers by refcount.
+    pub entries: EntryBatch<T>,
 }
 
 /// `⟨Accepted⟩` — a follower acknowledges that its log is accepted up to
@@ -214,13 +221,13 @@ mod tests {
             n: Ballot::new(1, 0, 1),
             start_idx: 0,
             decided_idx: 0,
-            entries: vec![LogEntry::Normal(1)],
+            entries: vec![LogEntry::Normal(1)].into(),
         });
         let big: PaxosMsg<u64> = PaxosMsg::AcceptDecide(AcceptDecide {
             n: Ballot::new(1, 0, 1),
             start_idx: 1,
             decided_idx: 0,
-            entries: (0..100).map(LogEntry::Normal).collect(),
+            entries: (0..100).map(LogEntry::Normal).collect::<Vec<_>>().into(),
         });
         assert_eq!(small.size_bytes(), HEADER_BYTES + 8);
         assert_eq!(big.size_bytes(), HEADER_BYTES + 800);

@@ -199,6 +199,12 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
         self.sp.read_decided(from)
     }
 
+    /// Borrow decided entries from `from` without copying. The hot path for
+    /// applying decided entries: callers iterate the slice in place.
+    pub fn decided_ref(&self, from: u64) -> &[LogEntry<T>] {
+        self.sp.decided_ref(from)
+    }
+
     /// Absolute log length (accepted, not necessarily decided).
     pub fn log_len(&self) -> u64 {
         self.sp.log_len()
@@ -300,7 +306,7 @@ mod tests {
             .collect()
     }
 
-    fn settle(nodes: &mut Vec<Node>, rounds: usize) {
+    fn settle(nodes: &mut [Node], rounds: usize) {
         for _ in 0..rounds {
             for i in 0..nodes.len() {
                 nodes[i].tick();

@@ -26,7 +26,7 @@ use crate::ballot::{Ballot, NodeId};
 use crate::messages::{
     AcceptDecide, AcceptSync, Accepted, Decide, Message, PaxosMsg, Prepare, Promise,
 };
-use crate::storage::Storage;
+use crate::storage::{EntryBatch, Storage};
 use crate::util::{majority, Entry, LogEntry, StopSign};
 use std::collections::HashMap;
 
@@ -134,6 +134,13 @@ struct LeaderState<T> {
     sent_decided: HashMap<NodeId, u64>,
     /// Did we already complete the Prepare phase (reached Accept)?
     synced: bool,
+    /// Shared suffix batches materialized this drain, keyed by start
+    /// index. Fanning a batch out to N followers costs one allocation
+    /// plus N refcount bumps. Invalidated whenever the log length
+    /// changes and cleared at the end of every drain.
+    batch_cache: HashMap<u64, EntryBatch<T>>,
+    /// Log length the cached batches were cut at.
+    batch_cache_len: u64,
 }
 
 impl<T> LeaderState<T> {
@@ -147,6 +154,8 @@ impl<T> LeaderState<T> {
             sent_idx: HashMap::new(),
             sent_decided: HashMap::new(),
             synced: false,
+            batch_cache: HashMap::new(),
+            batch_cache_len: 0,
         }
     }
 }
@@ -221,11 +230,17 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
 
     /// Read decided entries in `[from, decided_idx)`.
     pub fn read_decided(&self, from: u64) -> Vec<LogEntry<T>> {
+        self.decided_ref(from).to_vec()
+    }
+
+    /// Borrowed view of the decided entries in `[from, decided_idx)`; the
+    /// zero-copy read used by the service layer's apply loop.
+    pub fn decided_ref(&self, from: u64) -> &[LogEntry<T>] {
         let to = self.storage.get_decided_idx();
         if from >= to {
-            return Vec::new();
+            return &[];
         }
-        self.storage.get_entries(from, to)
+        self.storage.entries_ref(from, to)
     }
 
     /// Read raw log entries (decided or not); for tests and invariants.
@@ -248,7 +263,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         let idx = self.stopsign_idx?;
         if self.storage.get_decided_idx() > idx {
             match self.storage.get_entries(idx, idx + 1).into_iter().next() {
-                Some(LogEntry::StopSign(ss)) => Some(ss),
+                Some(LogEntry::StopSign(ss)) => Some(*ss),
                 _ => None,
             }
         } else {
@@ -258,9 +273,18 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
 
     /// Drain queued outgoing messages. Entries appended since the previous
     /// drain are flushed (batched) here.
+    ///
+    /// This is also the group-commit point: [`Storage::flush`] runs before
+    /// any message leaves, so acknowledgements (`Promise`, `Accepted`) and
+    /// the entries that outgoing batches refer to are durable by the time
+    /// a peer can observe them.
     pub fn outgoing_messages(&mut self) -> Vec<Message<T>> {
         self.flush_accepts();
         self.flush_forwards();
+        self.storage.flush();
+        // Outgoing messages keep their own clones of shared batches; the
+        // cache itself must not pin large suffixes past the drain.
+        self.leader_state.batch_cache.clear();
         std::mem::take(&mut self.outgoing)
     }
 
@@ -279,7 +303,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         if self.stopsign_idx.is_some() || self.pending.iter().any(LogEntry::is_stopsign) {
             return Err(ProposeErr::AlreadyReconfiguring);
         }
-        self.propose_entry(LogEntry::StopSign(ss))
+        self.propose_entry(LogEntry::stopsign(ss))
     }
 
     fn propose_entry(&mut self, entry: LogEntry<T>) -> Result<(), ProposeErr> {
@@ -549,8 +573,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                 my_prep_log_idx
             };
             let suffix = std::mem::take(&mut self.leader_state.max_suffix);
+            self.update_stopsign_after_overwrite(start, &suffix);
             self.storage.append_on_prefix(start, suffix);
-            self.rescan_stopsign();
         }
         let n = self.leader_state.n;
         self.storage.set_accepted_round(n);
@@ -605,7 +629,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         debug_assert!(sync_idx <= log_len, "sync_idx {sync_idx} > log {log_len}");
         let sync_idx = sync_idx.min(log_len);
         let decided_idx = self.storage.get_decided_idx();
-        let suffix = self.storage.get_suffix(sync_idx);
+        // Followers that promised at the same index (the common case when
+        // the cluster was in sync before the election) share one batch.
+        let suffix = self.shared_suffix_cached(sync_idx);
         self.leader_state.sent_idx.insert(pid, log_len);
         self.leader_state.sent_decided.insert(pid, decided_idx);
         self.send(
@@ -624,8 +650,12 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             return;
         }
         self.storage.set_accepted_round(acc.n);
-        self.storage.append_on_prefix(acc.sync_idx, acc.suffix);
-        self.rescan_stopsign();
+        // Everything from `sync_idx` on is replaced by `suffix`, so the
+        // stop-sign scan only needs to cover the new suffix — not the
+        // whole log as a full rescan would.
+        self.update_stopsign_after_overwrite(acc.sync_idx, &acc.suffix);
+        self.storage
+            .append_on_prefix(acc.sync_idx, acc.suffix.to_vec());
         let log_len = self.storage.get_log_len();
         let decided = acc.decided_idx.min(log_len);
         if decided > self.storage.get_decided_idx() {
@@ -662,14 +692,15 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             let effective_start = acc.start_idx.max(decided_idx);
             let skip = (effective_start - acc.start_idx) as usize;
             if skip < acc.entries.len() {
-                let entries: Vec<LogEntry<T>> = acc.entries.into_iter().skip(skip).collect();
-                for (i, e) in entries.iter().enumerate() {
-                    if e.is_stopsign() {
-                        self.stopsign_idx = Some(effective_start + i as u64);
-                    }
-                }
-                self.storage.append_on_prefix(effective_start, entries);
+                let fresh = &acc.entries[skip..];
+                self.update_stopsign_after_overwrite(effective_start, fresh);
+                self.storage
+                    .append_on_prefix(effective_start, fresh.to_vec());
             }
+            // Acknowledge unconditionally — even a batch lying entirely
+            // below our decided index (skip >= entries.len()) must produce
+            // an `Accepted` with the current log length, or the leader's
+            // view of this follower would stall.
             let log_len = self.storage.get_log_len();
             self.send(
                 from,
@@ -767,7 +798,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                 .copied()
                 .unwrap_or(0);
             if log_len > sent {
-                let entries = self.storage.get_entries(sent, log_len);
+                // One shared batch per distinct start index; all followers
+                // at the same position share the allocation.
+                let entries = self.shared_suffix_cached(sent);
                 self.leader_state.sent_idx.insert(pid, log_len);
                 self.leader_state.sent_decided.insert(pid, decided_idx);
                 self.send(
@@ -801,11 +834,47 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         self.send(leader_pid, PaxosMsg::ProposalForward(entries));
     }
 
+    /// Shared suffix `[from, log_len)`, memoized per drain in the leader's
+    /// batch cache so fan-out to N followers performs one allocation.
+    fn shared_suffix_cached(&mut self, from: u64) -> EntryBatch<T> {
+        let log_len = self.storage.get_log_len();
+        if self.leader_state.batch_cache_len != log_len {
+            self.leader_state.batch_cache.clear();
+            self.leader_state.batch_cache_len = log_len;
+        }
+        if let Some(batch) = self.leader_state.batch_cache.get(&from) {
+            return batch.clone();
+        }
+        let batch = self.storage.shared_suffix(from);
+        self.leader_state.batch_cache.insert(from, batch.clone());
+        batch
+    }
+
+    /// Re-derive `stopsign_idx` after the log was truncated at `start` and
+    /// `appended` written there: an O(|appended|) scan of only the new
+    /// suffix. A stop-sign strictly below `start` is untouched; anything at
+    /// or above it was overwritten.
+    fn update_stopsign_after_overwrite(&mut self, start: u64, appended: &[LogEntry<T>]) {
+        if self.stopsign_idx.is_some_and(|i| i >= start) {
+            self.stopsign_idx = None;
+        }
+        if self.stopsign_idx.is_none() {
+            for (i, e) in appended.iter().enumerate() {
+                if e.is_stopsign() {
+                    self.stopsign_idx = Some(start + i as u64);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Full-log stop-sign scan; only needed after a crash, when no prior
+    /// `stopsign_idx` is available to update incrementally.
     fn rescan_stopsign(&mut self) {
         self.stopsign_idx = None;
         let from = self.storage.get_compacted_idx();
         let log_len = self.storage.get_log_len();
-        for (i, e) in self.storage.get_entries(from, log_len).iter().enumerate() {
+        for (i, e) in self.storage.entries_ref(from, log_len).iter().enumerate() {
             if e.is_stopsign() {
                 self.stopsign_idx = Some(from + i as u64);
                 break;
@@ -994,7 +1063,7 @@ mod tests {
                 n: ballot(1, 1),
                 sync_idx: 0,
                 decided_idx: 0,
-                suffix: vec![],
+                suffix: vec![].into(),
             }),
         ));
         let _ = f.outgoing_messages();
@@ -1007,7 +1076,7 @@ mod tests {
                 n: ballot(1, 1),
                 start_idx: 1,
                 decided_idx: 2,
-                entries: vec![LogEntry::Normal(99)],
+                entries: vec![LogEntry::Normal(99)].into(),
             }),
         ));
         assert_eq!(f.log_len(), 0, "gapped batch must be rejected");
@@ -1039,7 +1108,7 @@ mod tests {
                 n: ballot(1, 1),
                 sync_idx: 0,
                 decided_idx: 0,
-                suffix: vec![LogEntry::Normal(1), LogEntry::Normal(2)],
+                suffix: vec![LogEntry::Normal(1), LogEntry::Normal(2)].into(),
             }),
         ));
         // Retransmission overlapping the existing prefix.
@@ -1050,7 +1119,7 @@ mod tests {
                 n: ballot(1, 1),
                 start_idx: 1,
                 decided_idx: 0,
-                entries: vec![LogEntry::Normal(2), LogEntry::Normal(3)],
+                entries: vec![LogEntry::Normal(2), LogEntry::Normal(3)].into(),
             }),
         ));
         assert_eq!(
@@ -1133,7 +1202,7 @@ mod tests {
                 n: ballot(1, 1),
                 start_idx: 0,
                 decided_idx: 1,
-                entries: vec![LogEntry::Normal(1)],
+                entries: vec![LogEntry::Normal(1)].into(),
             }),
         ));
         assert_eq!(f.log_len(), 0);
@@ -1226,7 +1295,7 @@ mod tests {
                 n: ballot(1, 1),
                 sync_idx: 0,
                 decided_idx: 0,
-                suffix: vec![LogEntry::Normal(1)],
+                suffix: vec![LogEntry::Normal(1)].into(),
             }),
         ));
         f.handle_message(Message::with(

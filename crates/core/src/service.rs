@@ -29,6 +29,7 @@ use crate::sequence_paxos::ProposeErr;
 use crate::storage::MemoryStorage;
 use crate::util::{Entry, LogEntry, StopSign};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// How a new server sources the log during reconfiguration (§6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,10 +59,13 @@ pub enum ServiceMsg<T> {
     SegmentReq { from: u64, to: u64 },
     /// A chunk of decided entries starting at `start`. `served_to` reports
     /// how far the donor could serve of the `requested_to` range, so the
-    /// requester can re-plan a shortfall onto another donor.
+    /// requester can re-plan a shortfall onto another donor. The chunk is a
+    /// shared `Arc<[T]>`: when several joiners pull the same stripe-aligned
+    /// range (replace-majority reconfigurations), the donor materializes it
+    /// once and every response is a refcount bump.
     SegmentResp {
         start: u64,
-        entries: Vec<T>,
+        entries: Arc<[T]>,
         served_to: u64,
         requested_to: u64,
     },
@@ -159,7 +163,7 @@ struct MigrationState<T> {
     donors: Vec<NodeId>,
     target_len: u64,
     /// Out-of-order received chunks, keyed by absolute start index.
-    chunks: BTreeMap<u64, Vec<T>>,
+    chunks: BTreeMap<u64, Arc<[T]>>,
     next_donor: usize,
     /// Ranges assigned to each donor, fetched front to back.
     assigned: HashMap<NodeId, VecDeque<(u64, u64)>>,
@@ -189,7 +193,18 @@ pub struct OmniPaxosServer<T: Entry> {
     outgoing: Vec<(NodeId, ServiceMsg<T>)>,
     /// Number of reconfigurations completed at this server.
     reconfigurations: u32,
+    /// Donor-side cache of recently served segments, keyed by start index.
+    /// Decided entries are immutable, so a cached chunk never goes stale;
+    /// joiners issue stripe-aligned requests, so during a reconfiguration
+    /// with several joiners each chunk is materialized once and every
+    /// further response to the same range is a refcount bump.
+    segment_cache: HashMap<u64, (u64, Arc<[T]>)>,
 }
+
+/// Bound on [`OmniPaxosServer::segment_cache`]: enough for the in-flight
+/// window of every concurrent joiner, small enough that the cache never
+/// holds more than a few chunks' worth of memory after migration ends.
+const SEGMENT_CACHE_MAX: usize = 64;
 
 impl<T: Entry> OmniPaxosServer<T> {
     /// Start a server of the initial configuration (`config_id` 1) with
@@ -240,6 +255,7 @@ impl<T: Entry> OmniPaxosServer<T> {
             ticks_since_retry: 0,
             outgoing: Vec::new(),
             reconfigurations: 0,
+            segment_cache: HashMap::new(),
         }
     }
 
@@ -423,22 +439,27 @@ impl<T: Entry> OmniPaxosServer<T> {
         let Some(active) = &mut self.active else {
             return;
         };
-        let decided = active.omni.read_decided(active.applied_idx);
+        // Borrow the decided suffix in place (disjoint field borrows:
+        // `active.omni` is read, `self.log` is extended) — applying a large
+        // decided batch allocates nothing beyond the log's own growth.
+        let log = &mut self.log;
+        let decided = active.omni.decided_ref(active.applied_idx);
         if decided.is_empty() {
             return;
         }
         active.applied_idx += decided.len() as u64;
         let mut stopsign = None;
+        log.reserve(decided.len());
         for entry in decided {
             match entry {
-                LogEntry::Normal(t) => self.log.push(t),
-                LogEntry::StopSign(ss) => stopsign = Some(ss),
+                LogEntry::Normal(t) => log.push(t.clone()),
+                LogEntry::StopSign(ss) => stopsign = Some(ss.clone()),
             }
         }
         if let Some(ss) = stopsign {
             if !active.stopped {
                 active.stopped = true;
-                self.handover(ss);
+                self.handover(*ss);
             }
         }
     }
@@ -537,6 +558,11 @@ impl<T: Entry> OmniPaxosServer<T> {
             MigrationScheme::Parallel => old_nodes.clone(),
             MigrationScheme::LeaderOnly => vec![from],
         };
+        // The migration's end state is known up front: reserve the log once
+        // instead of re-copying it through capacity doublings as 'chunks
+        // fold in.
+        self.log
+            .reserve((log_len as usize).saturating_sub(self.log.len()));
         self.migration = Some(MigrationState {
             ss,
             donors,
@@ -614,23 +640,40 @@ impl<T: Entry> OmniPaxosServer<T> {
                 from,
                 ServiceMsg::SegmentResp {
                     start: lo,
-                    entries: Vec::new(),
+                    entries: Vec::new().into(),
                     served_to: lo.min(have),
                     requested_to: to,
                 },
             ));
             return;
         }
-        let mut end = lo;
-        let mut bytes = 0usize;
-        while end < served_to
-            && end - lo < self.config.chunk_entries
-            && bytes < self.config.chunk_bytes
-        {
-            bytes += self.log[end as usize].size_bytes();
-            end += 1;
-        }
-        let entries = self.log[lo as usize..end as usize].to_vec();
+        // Decided entries are immutable, so a chunk computed once can be
+        // handed to every joiner asking for the same range (requests are
+        // stripe-aligned, so concurrent joiners ask for identical ranges):
+        // a hit skips both the byte-bounding scan and the copy, and the
+        // response is a refcount bump. The hit is only valid if the cached
+        // chunk does not overshoot what this request may be served
+        // (`served_to` can be smaller if the requester asked for less).
+        let entries = match self.segment_cache.get(&lo) {
+            Some((cached_end, batch)) if *cached_end <= served_to => Arc::clone(batch),
+            _ => {
+                let mut end = lo;
+                let mut bytes = 0usize;
+                while end < served_to
+                    && end - lo < self.config.chunk_entries
+                    && bytes < self.config.chunk_bytes
+                {
+                    bytes += self.log[end as usize].size_bytes();
+                    end += 1;
+                }
+                let batch: Arc<[T]> = self.log[lo as usize..end as usize].into();
+                if self.segment_cache.len() >= SEGMENT_CACHE_MAX {
+                    self.segment_cache.clear();
+                }
+                self.segment_cache.insert(lo, (end, Arc::clone(&batch)));
+                batch
+            }
+        };
         self.outgoing.push((
             from,
             ServiceMsg::SegmentResp {
@@ -646,7 +689,7 @@ impl<T: Entry> OmniPaxosServer<T> {
         &mut self,
         from: NodeId,
         start: u64,
-        entries: Vec<T>,
+        entries: Arc<[T]>,
         _served_to: u64,
         requested_to: u64,
     ) {
@@ -654,8 +697,16 @@ impl<T: Entry> OmniPaxosServer<T> {
             return;
         };
         let chunk_end = start + entries.len() as u64;
-        if !entries.is_empty() && chunk_end > self.log.len() as u64 {
-            mig.chunks.insert(start, entries);
+        let cursor = self.log.len() as u64;
+        if !entries.is_empty() && chunk_end > cursor {
+            if start <= cursor {
+                // In-order arrival (the common case of a healthy donor
+                // stream): fold directly, skipping the out-of-order map.
+                self.log
+                    .extend_from_slice(&entries[(cursor - start) as usize..]);
+            } else {
+                mig.chunks.insert(start, entries);
+            }
         }
         if chunk_end > start && chunk_end < requested_to {
             // Pull the next chunk of this donor's current range.
@@ -690,7 +741,7 @@ impl<T: Entry> OmniPaxosServer<T> {
                 continue; // fully duplicate
             }
             let skip = (cursor - start) as usize;
-            self.log.extend(chunk.into_iter().skip(skip));
+            self.log.extend_from_slice(&chunk[skip..]);
         }
         let done = self.log.len() as u64 >= mig.target_len;
         if done {
@@ -965,7 +1016,7 @@ mod tests {
         let small: ServiceMsg<u64> = ServiceMsg::SegmentReq { from: 0, to: 10 };
         let big: ServiceMsg<u64> = ServiceMsg::SegmentResp {
             start: 0,
-            entries: vec![1; 100],
+            entries: vec![1; 100].into(),
             served_to: 100,
             requested_to: 100,
         };

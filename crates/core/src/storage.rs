@@ -14,6 +14,14 @@
 
 use crate::ballot::Ballot;
 use crate::util::{Entry, LogEntry};
+use std::sync::Arc;
+
+/// A reference-counted, immutable batch of log entries.
+///
+/// This is the unit of zero-copy replication: the leader materializes a
+/// suffix once and fans it out to every follower (and every retransmission)
+/// by bumping a refcount instead of deep-copying the entries.
+pub type EntryBatch<T> = Arc<[LogEntry<T>]>;
 
 /// Error returned by [`Storage::trim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,14 +92,37 @@ pub trait Storage<T: Entry> {
     /// Index up to which the log is decided (exclusive).
     fn get_decided_idx(&self) -> u64;
 
-    /// Entries in `[from, to)` (absolute indices). Panics if the range is
-    /// invalid or reaches into the compacted prefix.
-    fn get_entries(&self, from: u64, to: u64) -> Vec<LogEntry<T>>;
+    /// Borrowed view of the entries in `[from, to)` (absolute indices,
+    /// `to` clamped to the log length). Panics if the range reaches into
+    /// the compacted prefix. This is the primitive read: every other read
+    /// method is a wrapper that copies out of it.
+    fn entries_ref(&self, from: u64, to: u64) -> &[LogEntry<T>];
+
+    /// Entries in `[from, to)` as an owned `Vec` (thin wrapper over
+    /// [`Storage::entries_ref`]).
+    fn get_entries(&self, from: u64, to: u64) -> Vec<LogEntry<T>> {
+        self.entries_ref(from, to).to_vec()
+    }
 
     /// Entries in `[from, log_len)`.
     fn get_suffix(&self, from: u64) -> Vec<LogEntry<T>> {
         self.get_entries(from, self.get_log_len())
     }
+
+    /// Entries in `[from, log_len)` as a shared batch: one allocation,
+    /// arbitrarily many cheap clones. The default copies out of
+    /// [`Storage::entries_ref`]; implementations that already hold shared
+    /// batches may return them directly.
+    fn shared_suffix(&self, from: u64) -> EntryBatch<T> {
+        self.entries_ref(from, self.get_log_len()).into()
+    }
+
+    /// Make every mutation issued so far durable. Called by the replica
+    /// right before a batch of outgoing messages is released (group
+    /// commit): acknowledgements must not leave the server ahead of the
+    /// state they acknowledge. In-memory implementations need not do
+    /// anything.
+    fn flush(&mut self) {}
 
     /// Absolute length of the log, including the compacted prefix.
     fn get_log_len(&self) -> u64;
@@ -201,13 +232,13 @@ impl<T: Entry> Storage<T> for MemoryStorage<T> {
         self.decided_idx
     }
 
-    fn get_entries(&self, from: u64, to: u64) -> Vec<LogEntry<T>> {
+    fn entries_ref(&self, from: u64, to: u64) -> &[LogEntry<T>] {
         let to = to.min(self.get_log_len());
         if from >= to {
-            return Vec::new();
+            return &[];
         }
         let (f, t) = (self.rel(from), self.rel(to));
-        self.log[f..t].to_vec()
+        &self.log[f..t]
     }
 
     fn get_log_len(&self) -> u64 {

@@ -71,11 +71,20 @@ impl StopSign {
 pub enum LogEntry<T> {
     /// A client command.
     Normal(T),
-    /// The configuration-ending stop-sign.
-    StopSign(StopSign),
+    /// The configuration-ending stop-sign. Boxed: at most one stop-sign
+    /// exists per configuration while `Normal` fills multi-million-entry
+    /// logs, so the inline variant would cost every slot the stop-sign's
+    /// footprint (for `u64` commands, 64 bytes instead of 16) — tripling
+    /// the memory traffic of every batch copy, storage scan, and log drop
+    /// on the replication hot path.
+    StopSign(Box<StopSign>),
 }
 
 impl<T: Entry> LogEntry<T> {
+    /// Wrap a stop-sign as a log slot.
+    pub fn stopsign(ss: StopSign) -> Self {
+        LogEntry::StopSign(Box::new(ss))
+    }
     /// Approximate encoded size in bytes.
     pub fn size_bytes(&self) -> usize {
         match self {
@@ -131,7 +140,7 @@ mod tests {
     #[test]
     fn log_entry_accessors() {
         let n: LogEntry<u64> = LogEntry::Normal(7);
-        let ss: LogEntry<u64> = LogEntry::StopSign(StopSign::new(2, vec![3, 4, 5]));
+        let ss: LogEntry<u64> = LogEntry::stopsign(StopSign::new(2, vec![3, 4, 5]));
         assert_eq!(n.as_normal(), Some(&7));
         assert!(ss.as_normal().is_none());
         assert!(ss.is_stopsign());

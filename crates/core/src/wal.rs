@@ -14,6 +14,15 @@
 //!
 //! Record framing: `[tag: u8][len: u32][payload: len bytes][crc: u32]`,
 //! where `crc` is a simple FNV-1a hash over tag, length and payload.
+//!
+//! Mutations are **group committed**: they update the in-memory mirror
+//! immediately but their records are buffered — consecutive appends
+//! coalesce into a single `APPEND` record — and hit the file in one
+//! `write` + one `sync_data` when [`Storage::flush`] runs (the replica
+//! calls it right before releasing a batch of outgoing messages, so
+//! nothing acknowledges state that is not yet durable). A crash between
+//! flushes loses only unacknowledged mutations, which the fail-recovery
+//! model permits.
 
 use crate::ballot::Ballot;
 use crate::storage::{Storage, TrimError};
@@ -64,6 +73,14 @@ fn checksum(tag: u8, payload: &[u8]) -> u32 {
         mix(b);
     }
     h
+}
+
+/// Append one framed record to `buf`.
+fn frame_into(buf: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    buf.push(tag);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&checksum(tag, payload).to_le_bytes());
 }
 
 fn put_ballot(buf: &mut Vec<u8>, b: Ballot) {
@@ -127,7 +144,7 @@ fn get_log_entry<T: WalEncode>(buf: &[u8], at: &mut usize) -> Option<LogEntry<T>
             let metadata = inner.get(8 + n * 8..)?.to_vec();
             let mut ss = StopSign::new(config_id, next_nodes);
             ss.metadata = metadata;
-            Some(LogEntry::StopSign(ss))
+            Some(LogEntry::stopsign(ss))
         }
         _ => None,
     }
@@ -148,6 +165,12 @@ pub struct WalStorage<T: WalEncode> {
     records_since_checkpoint: u64,
     /// Rewrite the file after this many records (0 = never).
     pub checkpoint_every: u64,
+    /// Number of tail entries of `log` that have not been framed as an
+    /// `APPEND` record yet. Consecutive appends coalesce into a single
+    /// record when the next non-append record or flush materializes them.
+    pending_appends: usize,
+    /// Framed records awaiting the next flush (group commit buffer).
+    wbuf: Vec<u8>,
 }
 
 impl<T: WalEncode> WalStorage<T> {
@@ -172,6 +195,8 @@ impl<T: WalEncode> WalStorage<T> {
             decided_idx: 0,
             records_since_checkpoint: 0,
             checkpoint_every: 100_000,
+            pending_appends: 0,
+            wbuf: Vec::new(),
         };
         storage.replay(&bytes);
         Ok(storage)
@@ -299,26 +324,58 @@ impl<T: WalEncode> WalStorage<T> {
         }
     }
 
-    fn write_record(&mut self, tag: u8, payload: &[u8]) {
-        let mut frame = Vec::with_capacity(payload.len() + 9);
-        frame.push(tag);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(payload);
-        frame.extend_from_slice(&checksum(tag, payload).to_le_bytes());
-        self.file.write_all(&frame).expect("WAL write");
-        self.records_since_checkpoint += 1;
-        if self.checkpoint_every > 0 && self.records_since_checkpoint >= self.checkpoint_every {
-            self.checkpoint().expect("WAL checkpoint");
+    /// Frame the not-yet-recorded tail appends as one `APPEND` record.
+    /// This is where consecutive appends coalesce (group commit).
+    fn materialize_appends(&mut self) {
+        if self.pending_appends == 0 {
+            return;
         }
+        let start = self.log.len() - self.pending_appends;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(self.pending_appends as u64).to_le_bytes());
+        for e in &self.log[start..] {
+            put_log_entry(&mut payload, e);
+        }
+        self.pending_appends = 0;
+        frame_into(&mut self.wbuf, TAG_APPEND, &payload);
+        self.records_since_checkpoint += 1;
     }
 
-    /// Flush OS buffers to stable storage (the `fsync` point).
+    /// Buffer one non-append record, materializing pending appends first so
+    /// that replay order matches mutation order.
+    fn buffer_record(&mut self, tag: u8, payload: &[u8]) {
+        self.materialize_appends();
+        frame_into(&mut self.wbuf, tag, payload);
+        self.records_since_checkpoint += 1;
+    }
+
+    /// Group commit: everything buffered since the previous flush hits the
+    /// file in one `write` (and, if `sync`, one `sync_data`).
+    fn flush_buffers(&mut self, sync: bool) -> std::io::Result<()> {
+        self.materialize_appends();
+        if !self.wbuf.is_empty() {
+            self.file.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+            if sync {
+                self.file.sync_data()?;
+            }
+        }
+        if self.checkpoint_every > 0 && self.records_since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Make all buffered records durable (the `fsync` point).
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()
+        self.flush_buffers(true)
     }
 
     /// Rewrite the file as a single checkpoint record of the live state.
     pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        // Buffered records are superseded by the full-state snapshot.
+        self.pending_appends = 0;
+        self.wbuf.clear();
         let mut payload = Vec::new();
         payload.extend_from_slice(&self.compacted_idx.to_le_bytes());
         put_ballot(&mut payload, self.promise);
@@ -366,27 +423,23 @@ impl<T: WalEncode> WalStorage<T> {
 
 impl<T: WalEncode> Storage<T> for WalStorage<T> {
     fn append_entry(&mut self, entry: LogEntry<T>) -> u64 {
-        self.append_entries(vec![entry])
+        self.log.push(entry);
+        self.pending_appends += 1;
+        self.get_log_len()
     }
 
     fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> u64 {
-        let mut payload = Vec::new();
-        payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-        for e in &entries {
-            put_log_entry(&mut payload, e);
-        }
-        // Mirror first: `write_record` may trigger a checkpoint, which
-        // snapshots the in-memory state and must already include this
-        // mutation.
+        self.pending_appends += entries.len();
         self.log.extend(entries);
-        self.write_record(TAG_APPEND, &payload);
         self.get_log_len()
     }
 
     fn append_on_prefix(&mut self, from_idx: u64, entries: Vec<LogEntry<T>>) -> u64 {
+        // Frame pending appends while the tail they describe still exists.
+        self.materialize_appends();
         let rel = self.rel(from_idx);
         self.log.truncate(rel);
-        self.write_record(TAG_TRUNCATE, &from_idx.to_le_bytes());
+        self.buffer_record(TAG_TRUNCATE, &from_idx.to_le_bytes());
         self.append_entries(entries)
     }
 
@@ -394,7 +447,7 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         let mut payload = Vec::new();
         put_ballot(&mut payload, b);
         self.promise = b;
-        self.write_record(TAG_PROMISE, &payload);
+        self.buffer_record(TAG_PROMISE, &payload);
     }
 
     fn get_promise(&self) -> Ballot {
@@ -405,7 +458,7 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         let mut payload = Vec::new();
         put_ballot(&mut payload, b);
         self.accepted_round = b;
-        self.write_record(TAG_ACCEPTED_ROUND, &payload);
+        self.buffer_record(TAG_ACCEPTED_ROUND, &payload);
     }
 
     fn get_accepted_round(&self) -> Ballot {
@@ -414,20 +467,20 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
 
     fn set_decided_idx(&mut self, idx: u64) {
         self.decided_idx = idx;
-        self.write_record(TAG_DECIDED, &idx.to_le_bytes());
+        self.buffer_record(TAG_DECIDED, &idx.to_le_bytes());
     }
 
     fn get_decided_idx(&self) -> u64 {
         self.decided_idx
     }
 
-    fn get_entries(&self, from: u64, to: u64) -> Vec<LogEntry<T>> {
+    fn entries_ref(&self, from: u64, to: u64) -> &[LogEntry<T>] {
         let to = to.min(self.get_log_len());
         if from >= to {
-            return Vec::new();
+            return &[];
         }
         let (f, t) = (self.rel(from), self.rel(to));
-        self.log[f..t].to_vec()
+        &self.log[f..t]
     }
 
     fn get_log_len(&self) -> u64 {
@@ -451,11 +504,26 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
                 requested: idx,
             });
         }
+        // Frame pending appends before the drain can shift (or, when
+        // trimming the whole log, remove) the tail they describe.
+        self.materialize_appends();
         let rel = self.rel(idx);
         self.log.drain(..rel);
         self.compacted_idx = idx;
-        self.write_record(TAG_TRIM, &idx.to_le_bytes());
+        self.buffer_record(TAG_TRIM, &idx.to_le_bytes());
         Ok(())
+    }
+
+    fn flush(&mut self) {
+        self.flush_buffers(true).expect("WAL flush");
+    }
+}
+
+impl<T: WalEncode> Drop for WalStorage<T> {
+    fn drop(&mut self) {
+        // Best-effort on clean shutdown: hand buffered records to the OS.
+        // Durability guarantees only hold at explicit flush points.
+        let _ = self.flush_buffers(false);
     }
 }
 
@@ -532,10 +600,10 @@ mod tests {
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
             w.append_entry(norm(1));
-            w.append_entry(LogEntry::StopSign(ss.clone()));
+            w.append_entry(LogEntry::stopsign(ss.clone()));
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-        assert_eq!(w.get_entries(1, 2), vec![LogEntry::StopSign(ss)]);
+        assert_eq!(w.get_entries(1, 2), vec![LogEntry::stopsign(ss)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -558,11 +626,39 @@ mod tests {
     }
 
     #[test]
+    fn torn_group_commit_record_is_atomic() {
+        let path = tmp("torn-group");
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=3).map(norm).collect());
+            w.sync().unwrap();
+            // These five appends coalesce into ONE framed record at the
+            // group-commit point; tearing it must lose all five or none.
+            w.append_entries((4..=8).map(norm).collect());
+            w.sync().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop into the middle of the second (coalesced) record.
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(
+            w.get_log_len(),
+            3,
+            "a torn group-commit record must be discarded whole"
+        );
+        assert_eq!(w.get_entries(0, 3), (1..=3).map(norm).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn corrupt_record_stops_replay() {
         let path = tmp("corrupt");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            // Flush between appends so each lands in its own record;
+            // group commit would otherwise coalesce them into one.
             w.append_entry(norm(1));
+            w.sync().unwrap();
             w.append_entry(norm(2));
         }
         let mut bytes = std::fs::read(&path).unwrap();
@@ -586,6 +682,8 @@ mod tests {
                 w.set_decided_idx(v + 1);
             }
             w.trim(100).unwrap();
+            // Push buffered records to the file before measuring its size.
+            w.sync().unwrap();
             size_before = std::fs::metadata(&path).unwrap().len();
             w.checkpoint().unwrap();
         }

@@ -1,7 +1,11 @@
-//! Property-based tests of the core building blocks: storage behaves like
-//! its model, ballots form a total order compatible with election
+//! Randomized property tests of the core building blocks: storage behaves
+//! like its model, ballots form a total order compatible with election
 //! precedence, BLE maintains its LE properties under arbitrary
-//! connectivity, and parallel migration reassembles any log exactly.
+//! connectivity, and replication decides a permutation-free total order.
+//!
+//! Cases are generated with the in-tree seedable PRNG (`simulator::Rng`)
+//! from fixed seeds, so every run explores the same schedules — failures
+//! reproduce by construction, with no external fuzzing framework.
 
 mod common;
 
@@ -11,8 +15,9 @@ use omnipaxos::ble::{BallotLeaderElection, BleConfig};
 use omnipaxos::messages::BleMessage;
 use omnipaxos::storage::{MemoryStorage, Storage};
 use omnipaxos::util::LogEntry;
+use omnipaxos::wal::WalStorage;
 use omnipaxos::{majority, NodeId};
-use proptest::prelude::*;
+use simulator::Rng;
 
 // ----------------------------------------------------------------------
 // Storage vs model
@@ -27,22 +32,39 @@ enum StorageOp {
     Trim { rel: u8 },
 }
 
-fn storage_op() -> impl Strategy<Value = StorageOp> {
-    prop_oneof![
-        any::<u64>().prop_map(StorageOp::Append),
-        prop::collection::vec(any::<u64>(), 0..8).prop_map(StorageOp::AppendMany),
-        (any::<u8>(), prop::collection::vec(any::<u64>(), 0..8))
-            .prop_map(|(from_rel, values)| StorageOp::AppendOnPrefix { from_rel, values }),
-        any::<u8>().prop_map(|rel| StorageOp::SetDecided { rel }),
-        any::<u8>().prop_map(|rel| StorageOp::Trim { rel }),
-    ]
+fn gen_values(rng: &mut Rng, max_len: usize) -> Vec<u64> {
+    let len = rng.below_usize(max_len);
+    (0..len).map(|_| rng.next_u64()).collect()
 }
 
-proptest! {
-    /// MemoryStorage agrees with a plain-Vec model for any op sequence.
-    #[test]
-    fn storage_matches_model(ops in prop::collection::vec(storage_op(), 1..60)) {
-        let mut storage: MemoryStorage<u64> = MemoryStorage::new();
+fn gen_storage_op(rng: &mut Rng) -> StorageOp {
+    match rng.below(5) {
+        0 => StorageOp::Append(rng.next_u64()),
+        1 => StorageOp::AppendMany(gen_values(rng, 8)),
+        2 => StorageOp::AppendOnPrefix {
+            from_rel: rng.below(256) as u8,
+            values: gen_values(rng, 8),
+        },
+        3 => StorageOp::SetDecided {
+            rel: rng.below(256) as u8,
+        },
+        _ => StorageOp::Trim {
+            rel: rng.below(256) as u8,
+        },
+    }
+}
+
+/// Drive `storage` with a random op sequence and check full equivalence
+/// with a plain-Vec model after every op — through both the owning Vec
+/// API (`get_entries`/`get_suffix`) and the borrowed/shared zero-copy API
+/// (`entries_ref`/`shared_suffix`), which must agree at every boundary
+/// (empty ranges, the compaction point, past-the-end clamping).
+fn check_storage_matches_model<S: Storage<u64>>(seed: u64, mut storage: S) {
+    {
+        let mut rng = Rng::seed_from_u64(seed);
+        let ops: Vec<StorageOp> = (0..rng.range_inclusive(1, 60))
+            .map(|_| gen_storage_op(&mut rng))
+            .collect();
         let mut model: Vec<u64> = Vec::new();
         let mut model_decided: u64 = 0;
         let mut model_compacted: u64 = 0;
@@ -60,8 +82,8 @@ proptest! {
                     // Truncation below the compacted point is illegal;
                     // clamp the target like a correct caller would.
                     let len = model.len() as u64;
-                    let from = model_compacted
-                        + (from_rel as u64 % (len - model_compacted + 1).max(1));
+                    let from =
+                        model_compacted + (from_rel as u64 % (len - model_compacted + 1).max(1));
                     let from = from.max(model_decided); // never truncate decided
                     storage.append_on_prefix(
                         from,
@@ -86,40 +108,87 @@ proptest! {
                 }
             }
             // Full equivalence over the uncompacted region.
-            prop_assert_eq!(storage.get_log_len(), model.len() as u64);
-            prop_assert_eq!(storage.get_decided_idx(), model_decided);
-            prop_assert_eq!(storage.get_compacted_idx(), model_compacted);
+            assert_eq!(storage.get_log_len(), model.len() as u64);
+            assert_eq!(storage.get_decided_idx(), model_decided);
+            assert_eq!(storage.get_compacted_idx(), model_compacted);
             let got: Vec<u64> = storage
                 .get_entries(model_compacted, model.len() as u64)
                 .into_iter()
                 .map(|e| *e.as_normal().expect("normal"))
                 .collect();
-            prop_assert_eq!(&got[..], &model[model_compacted as usize..]);
+            assert_eq!(&got[..], &model[model_compacted as usize..]);
+            // The zero-copy API must agree with the Vec API for every
+            // range boundary: the compaction point, interior cuts, the
+            // log end, and past-the-end (clamped) / empty ranges.
+            let len = model.len() as u64;
+            let probes = [
+                (model_compacted, len),
+                (model_compacted, model_compacted),
+                ((model_compacted + len).div_ceil(2), len),
+                (model_decided.max(model_compacted), len),
+                (len, len + 3),
+                (model_compacted, len + 7),
+            ];
+            for (from, to) in probes {
+                assert_eq!(
+                    storage.entries_ref(from, to),
+                    &storage.get_entries(from, to)[..],
+                    "entries_ref vs get_entries at [{from}, {to})"
+                );
+            }
+            for from in [model_compacted, model_decided.max(model_compacted), len] {
+                let shared = storage.shared_suffix(from);
+                assert_eq!(
+                    &shared[..],
+                    &storage.get_suffix(from)[..],
+                    "shared_suffix vs get_suffix at {from}"
+                );
+            }
         }
     }
+}
 
-    /// Ballot ordering is a strict total order and `max` is associative
-    /// with election precedence (n, then priority, then pid).
-    #[test]
-    fn ballot_order_is_total_and_lexicographic(
-        a in (0u64..100, 0u64..4, 1u64..10),
-        b in (0u64..100, 0u64..4, 1u64..10),
-    ) {
-        let (x, y) = (
-            Ballot::new(a.0, a.1, a.2),
-            Ballot::new(b.0, b.1, b.2),
-        );
+/// MemoryStorage agrees with a plain-Vec model for any op sequence.
+#[test]
+fn storage_matches_model() {
+    for case in 0..64u64 {
+        check_storage_matches_model(0xA11CE + case, MemoryStorage::<u64>::new());
+    }
+}
+
+/// WalStorage agrees with the same model — including through the borrowed
+/// and shared read APIs, and across trim/compaction boundaries.
+#[test]
+fn wal_storage_matches_model() {
+    for case in 0..64u64 {
+        let mut path = std::env::temp_dir();
+        path.push(format!("omnipaxos-props-wal-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let storage: WalStorage<u64> = WalStorage::open(&path).expect("open wal");
+        check_storage_matches_model(0xA11CE + case, storage);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Ballot ordering is a strict total order and `max` is associative
+/// with election precedence (n, then priority, then pid).
+#[test]
+fn ballot_order_is_total_and_lexicographic() {
+    let mut rng = Rng::seed_from_u64(0xBA110);
+    for _ in 0..2_000 {
+        let a = (rng.below(100), rng.below(4), rng.range_inclusive(1, 9));
+        let b = (rng.below(100), rng.below(4), rng.range_inclusive(1, 9));
+        let (x, y) = (Ballot::new(a.0, a.1, a.2), Ballot::new(b.0, b.1, b.2));
         // Total order: exactly one of <, ==, > holds.
-        let relations =
-            [x < y, x == y, x > y].iter().filter(|&&r| r).count();
-        prop_assert_eq!(relations, 1);
+        let relations = [x < y, x == y, x > y].iter().filter(|&&r| r).count();
+        assert_eq!(relations, 1);
         // Lexicographic precedence.
         if a.0 != b.0 {
-            prop_assert_eq!(x < y, a.0 < b.0);
+            assert_eq!(x < y, a.0 < b.0);
         } else if a.1 != b.1 {
-            prop_assert_eq!(x < y, a.1 < b.1);
+            assert_eq!(x < y, a.1 < b.1);
         } else {
-            prop_assert_eq!(x < y, a.2 < b.2);
+            assert_eq!(x < y, a.2 < b.2);
         }
     }
 }
@@ -153,22 +222,24 @@ fn run_ble(n: usize, connected: &[(usize, usize)], rounds: usize) -> Vec<BallotL
     bles
 }
 
-proptest! {
-    /// LE1/LE2: with an arbitrary link set, if quorum-connected servers
-    /// exist then each QC server elects a QC server, and all QC servers
-    /// that are mutually connected agree.
-    #[test]
-    fn ble_elects_quorum_connected_servers(
-        links in prop::collection::hash_set((0usize..5, 0usize..5), 0..10)
-    ) {
-        let n = 5;
-        let connected: Vec<(usize, usize)> =
-            links.into_iter().filter(|(a, b)| a != b).collect();
+/// LE1/LE2: with an arbitrary link set, if quorum-connected servers
+/// exist then each QC server elects a QC server, and all QC servers
+/// that are mutually connected agree.
+#[test]
+fn ble_elects_quorum_connected_servers() {
+    let n = 5;
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xB1E + case);
+        let mut connected: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..rng.below(10) {
+            let (a, b) = (rng.below_usize(n), rng.below_usize(n));
+            if a != b && !connected.contains(&(a, b)) {
+                connected.push((a, b));
+            }
+        }
         let degree = |i: usize| -> usize {
             1 + (0..n)
-                .filter(|&j| {
-                    j != i && (connected.contains(&(i, j)) || connected.contains(&(j, i)))
-                })
+                .filter(|&j| j != i && (connected.contains(&(i, j)) || connected.contains(&(j, i))))
                 .count()
         };
         let qc: Vec<bool> = (0..n).map(|i| degree(i) >= majority(n)).collect();
@@ -177,13 +248,12 @@ proptest! {
             if qc[i] {
                 let leader = bles[i].leader();
                 // LE1: a QC server elects some server...
-                prop_assert_ne!(leader, Ballot::bottom(), "QC server {} elected nobody", i);
+                assert_ne!(leader, Ballot::bottom(), "QC server {i} elected nobody");
                 // ...that is itself QC.
                 let lpid = leader.pid as usize - 1;
-                prop_assert!(
+                assert!(
                     qc[lpid],
-                    "server {} elected non-QC server {} (links {:?})",
-                    i, lpid, &connected
+                    "server {i} elected non-QC server {lpid} (links {connected:?})"
                 );
             }
         }
@@ -193,7 +263,7 @@ proptest! {
         let again = run_ble(n, &connected, 45);
         for i in 0..n {
             if qc[i] {
-                prop_assert!(again[i].leader() >= Ballot::bottom());
+                assert!(again[i].leader() >= Ballot::bottom());
             }
         }
     }
@@ -203,15 +273,15 @@ proptest! {
 // Replication end-to-end under random proposal interleavings
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// Whatever the interleaving of proposals across servers, all replicas
-    /// decide the same log and it contains exactly the proposed values.
-    #[test]
-    fn replication_is_a_permutation_free_total_order(
-        batches in prop::collection::vec((1u64..=3, 1u8..6), 1..12)
-    ) {
+/// Whatever the interleaving of proposals across servers, all replicas
+/// decide the same log and it contains exactly the proposed values.
+#[test]
+fn replication_is_a_permutation_free_total_order() {
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x10607 + case);
+        let batches: Vec<(NodeId, u8)> = (0..rng.range_inclusive(1, 11))
+            .map(|_| (rng.range_inclusive(1, 3), rng.range_inclusive(1, 5) as u8))
+            .collect();
         let mut c = TestCluster::new(3);
         c.run_until(300, |c| c.leader_pid().is_some());
         let mut next = 0u64;
@@ -237,6 +307,6 @@ proptest! {
         decided.sort_unstable();
         let mut expected = submitted.clone();
         expected.sort_unstable();
-        prop_assert_eq!(decided, expected);
+        assert_eq!(decided, expected);
     }
 }

@@ -14,7 +14,7 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 /// Deliver everything between replicas for `rounds` rounds.
-fn settle(replicas: &mut Vec<OmniPaxos<u64, WalStorage<u64>>>, rounds: usize) {
+fn settle(replicas: &mut [OmniPaxos<u64, WalStorage<u64>>], rounds: usize) {
     for _ in 0..rounds {
         for i in 0..replicas.len() {
             replicas[i].tick();

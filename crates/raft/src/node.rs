@@ -18,8 +18,7 @@
 use crate::config::{Command, RaftConfig};
 use crate::messages::{RaftEntry, RaftMsg, RaftPayload};
 use crate::{NodeId, Term};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simulator::rng::Rng;
 use std::collections::{HashMap, HashSet};
 
 /// The role of a Raft node.
@@ -72,7 +71,7 @@ pub struct RaftNode<C: Command> {
     election_elapsed: u64,
     randomized_timeout: u64,
     heartbeat_elapsed: u64,
-    rng: StdRng,
+    rng: Rng,
     outgoing: Vec<(NodeId, RaftMsg<C>)>,
     /// Number of leader changes observed (metrics).
     leader_changes: u64,
@@ -83,9 +82,8 @@ impl<C: Command> RaftNode<C> {
     /// a learner: it accepts replication but never campaigns.
     pub fn new(config: RaftConfig) -> Self {
         let voters = config.voters.clone();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let randomized_timeout =
-            config.election_ticks + rng.gen_range(0..config.election_ticks.max(1));
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let randomized_timeout = config.election_ticks + rng.below(config.election_ticks.max(1));
         RaftNode {
             term: 0,
             voted_for: None,
@@ -277,7 +275,7 @@ impl<C: Command> RaftNode<C> {
     fn reset_election_timer(&mut self) {
         self.election_elapsed = 0;
         self.randomized_timeout =
-            self.config.election_ticks + self.rng.gen_range(0..self.config.election_ticks.max(1));
+            self.config.election_ticks + self.rng.below(self.config.election_ticks.max(1));
     }
 
     fn last_log(&self) -> (u64, Term) {

@@ -39,12 +39,14 @@
 
 pub mod link;
 pub mod network;
+pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use link::{LinkConfig, LinkTable};
 pub use network::{Delivery, Network, NetworkConfig};
+pub use rng::Rng;
 pub use stats::{mean_and_ci95, Summary, WindowSeries};
 pub use time::{ms, sec, us, SimTime};
 

@@ -18,10 +18,9 @@
 //!   collapse in Fig. 9.
 
 use crate::link::{LinkConfig, LinkTable};
+use crate::rng::Rng;
 use crate::stats::NetStats;
 use crate::{NodeId, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -114,7 +113,7 @@ pub struct Network<M> {
     priority_bytes: usize,
     nic_busy_until: HashMap<NodeId, SimTime>,
     last_arrival: HashMap<(NodeId, NodeId), SimTime>,
-    rng: StdRng,
+    rng: Rng,
     stats: NetStats,
 }
 
@@ -135,7 +134,7 @@ impl<M> Network<M> {
             priority_bytes: config.priority_bytes,
             nic_busy_until: HashMap::new(),
             last_arrival: HashMap::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             stats: NetStats::default(),
         }
     }
@@ -188,7 +187,7 @@ impl<M> Network<M> {
             return;
         }
         let cfg = self.links.config(src, dst);
-        if cfg.loss > 0.0 && self.rng.gen::<f64>() < cfg.loss {
+        if cfg.loss > 0.0 && self.rng.next_f64() < cfg.loss {
             self.stats.record_send(src, dst, bytes, self.now);
             self.stats.record_drop(src, dst);
             return;
@@ -212,7 +211,7 @@ impl<M> Network<M> {
         self.stats.record_send(src, dst, bytes, depart);
         let mut arrival = depart + cfg.latency_us;
         if self.jitter_us > 0 {
-            arrival += self.rng.gen_range(0..=self.jitter_us);
+            arrival += self.rng.range_inclusive(0, self.jitter_us);
         }
         // Enforce per-link FIFO: never deliver before an earlier message on
         // the same directed link.

@@ -1,8 +1,9 @@
-//! Property-based tests of the network simulator: the transport guarantees
-//! the protocols rely on (§3 of the paper) must hold for arbitrary traffic.
+//! Randomized property tests of the network simulator: the transport
+//! guarantees the protocols rely on (§3 of the paper) must hold for
+//! arbitrary traffic. Schedules are generated from fixed seeds with the
+//! in-tree PRNG, so failures reproduce deterministically.
 
-use proptest::prelude::*;
-use simulator::{Network, NetworkConfig, NodeId, SimTime};
+use simulator::{Network, NetworkConfig, NodeId, Rng, SimTime};
 
 #[derive(Debug, Clone)]
 enum NetOp {
@@ -12,13 +13,33 @@ enum NetOp {
     Heal { a: u8, b: u8 },
 }
 
-fn net_op() -> impl Strategy<Value = NetOp> {
-    prop_oneof![
-        (0u8..4, 0u8..4, 1u16..2048).prop_map(|(src, dst, bytes)| NetOp::Send { src, dst, bytes }),
-        (1u16..500).prop_map(|by| NetOp::Advance { by }),
-        (0u8..4, 0u8..4).prop_map(|(a, b)| NetOp::Cut { a, b }),
-        (0u8..4, 0u8..4).prop_map(|(a, b)| NetOp::Heal { a, b }),
-    ]
+fn gen_op(rng: &mut Rng) -> NetOp {
+    match rng.below(4) {
+        0 => NetOp::Send {
+            src: rng.below(4) as u8,
+            dst: rng.below(4) as u8,
+            bytes: rng.range_inclusive(1, 2047) as u16,
+        },
+        1 => NetOp::Advance {
+            by: rng.range_inclusive(1, 499) as u16,
+        },
+        2 => NetOp::Cut {
+            a: rng.below(4) as u8,
+            b: rng.below(4) as u8,
+        },
+        _ => NetOp::Heal {
+            a: rng.below(4) as u8,
+            b: rng.below(4) as u8,
+        },
+    }
+}
+
+fn gen_ops(seed: u64, max_len: u64) -> (Vec<NetOp>, u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let len = rng.range_inclusive(1, max_len);
+    let ops = (0..len).map(|_| gen_op(&mut rng)).collect();
+    // A derived seed for the network under test.
+    (ops, rng.range_inclusive(1, 999))
 }
 
 fn build(seed: u64, jitter: SimTime, nic: Option<u64>) -> Network<u64> {
@@ -78,61 +99,56 @@ fn run(
     out
 }
 
-proptest! {
-    /// Per-link FIFO: on every directed link, message ids are delivered in
-    /// send order regardless of jitter, NIC queuing and partitions.
-    #[test]
-    fn per_link_fifo_holds(
-        ops in prop::collection::vec(net_op(), 1..80),
-        seed in 1u64..1000,
-    ) {
+/// Per-link FIFO: on every directed link, message ids are delivered in
+/// send order regardless of jitter, NIC queuing and partitions.
+#[test]
+fn per_link_fifo_holds() {
+    for case in 0..96u64 {
+        let (ops, seed) = gen_ops(0xF1F0 + case, 80);
         let deliveries = run(&ops, seed, 300, Some(1_000_000));
         let mut last_id: std::collections::HashMap<(NodeId, NodeId), u64> =
             std::collections::HashMap::new();
         for (src, dst, id, _) in deliveries {
             if let Some(prev) = last_id.insert((src, dst), id) {
-                prop_assert!(
-                    id > prev,
-                    "link {src}->{dst} delivered {id} after {prev}"
-                );
+                assert!(id > prev, "link {src}->{dst} delivered {id} after {prev}");
             }
         }
     }
+}
 
-    /// Delivery timestamps are globally non-decreasing (the event queue is
-    /// a proper discrete-event scheduler).
-    #[test]
-    fn delivery_times_are_monotone(
-        ops in prop::collection::vec(net_op(), 1..80),
-        seed in 1u64..1000,
-    ) {
+/// Delivery timestamps are globally non-decreasing (the event queue is
+/// a proper discrete-event scheduler).
+#[test]
+fn delivery_times_are_monotone() {
+    for case in 0..96u64 {
+        let (ops, seed) = gen_ops(0x2041 + case, 80);
         let deliveries = run(&ops, seed, 300, None);
         let mut last = 0;
         for (_, _, _, at) in deliveries {
-            prop_assert!(at >= last);
+            assert!(at >= last);
             last = at;
         }
     }
+}
 
-    /// Determinism: identical seeds and op sequences produce identical
-    /// delivery schedules; different seeds may differ (with jitter).
-    #[test]
-    fn same_seed_same_schedule(
-        ops in prop::collection::vec(net_op(), 1..60),
-        seed in 1u64..1000,
-    ) {
+/// Determinism: identical seeds and op sequences produce identical
+/// delivery schedules; different seeds may differ (with jitter).
+#[test]
+fn same_seed_same_schedule() {
+    for case in 0..64u64 {
+        let (ops, seed) = gen_ops(0xDE7 + case, 60);
         let a = run(&ops, seed, 500, Some(2_000_000));
         let b = run(&ops, seed, 500, Some(2_000_000));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Conservation: every sent message is either delivered exactly once or
-    /// dropped (counted), never duplicated or invented.
-    #[test]
-    fn messages_conserved(
-        ops in prop::collection::vec(net_op(), 1..80),
-        seed in 1u64..1000,
-    ) {
+/// Conservation: every sent message is either delivered exactly once or
+/// dropped (counted), never duplicated or invented.
+#[test]
+fn messages_conserved() {
+    for case in 0..96u64 {
+        let (ops, seed) = gen_ops(0xC045 + case, 80);
         let deliveries = run(&ops, seed, 0, None);
         let sent = ops
             .iter()
@@ -140,8 +156,8 @@ proptest! {
             .count() as u64;
         let mut seen = std::collections::HashSet::new();
         for (_, _, id, _) in &deliveries {
-            prop_assert!(seen.insert(*id), "duplicate delivery of {id}");
-            prop_assert!(*id < sent, "invented message {id}");
+            assert!(seen.insert(*id), "duplicate delivery of {id}");
+            assert!(*id < sent, "invented message {id}");
         }
     }
 }

@@ -34,9 +34,9 @@ fn main() {
         for s in servers.iter_mut() {
             s.tick();
         }
-        for i in 0..servers.len() {
+        for (i, server) in servers.iter_mut().enumerate() {
             let from = (i + 1) as NodeId;
-            for (to, msg) in servers[i].outgoing() {
+            for (to, msg) in server.outgoing() {
                 if (1..=4).contains(&to) {
                     let bytes = msg.size_bytes();
                     net.send(from, to, bytes, msg);

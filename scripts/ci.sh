@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Offline CI gate: format, lint, build, test. Run from the repo root.
+# Everything works without network access (no external dependencies).
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

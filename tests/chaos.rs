@@ -13,7 +13,7 @@
 
 use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
 use omnipaxos::NodeId;
-use proptest::prelude::*;
+use simulator::Rng;
 use std::collections::{HashSet, VecDeque};
 
 /// One chaos event in the generated schedule.
@@ -33,16 +33,25 @@ enum Chaos {
     Run { steps: u8 },
 }
 
-fn chaos_strategy(n: NodeId) -> impl Strategy<Value = Chaos> {
-    let pid = 1..=n;
-    prop_oneof![
-        (pid.clone(), 1u8..20).prop_map(|(pid, count)| Chaos::Propose { pid, count }),
-        (1..=n, 1..=n).prop_map(|(a, b)| Chaos::Cut(a, b)),
-        (1..=n, 1..=n).prop_map(|(a, b)| Chaos::Heal(a, b)),
-        pid.prop_map(Chaos::CrashRecover),
-        Just(Chaos::HealAll),
-        (5u8..60).prop_map(|steps| Chaos::Run { steps }),
-    ]
+fn gen_chaos(rng: &mut Rng, n: NodeId) -> Chaos {
+    match rng.below(6) {
+        0 => Chaos::Propose {
+            pid: rng.range_inclusive(1, n),
+            count: rng.range_inclusive(1, 19) as u8,
+        },
+        1 => Chaos::Cut(rng.range_inclusive(1, n), rng.range_inclusive(1, n)),
+        2 => Chaos::Heal(rng.range_inclusive(1, n), rng.range_inclusive(1, n)),
+        3 => Chaos::CrashRecover(rng.range_inclusive(1, n)),
+        4 => Chaos::HealAll,
+        _ => Chaos::Run {
+            steps: rng.range_inclusive(5, 59) as u8,
+        },
+    }
+}
+
+fn gen_schedule(rng: &mut Rng, n: NodeId, max_events: u64) -> Vec<Chaos> {
+    let len = rng.range_inclusive(1, max_events);
+    (0..len).map(|_| gen_chaos(rng, n)).collect()
 }
 
 /// A lossy in-memory cluster with link control, mirroring the harness used
@@ -183,16 +192,12 @@ impl ChaosCluster {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48, // each case simulates thousands of steps
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    /// Safety holds for any chaos schedule on a 3-server cluster.
-    #[test]
-    fn sequence_consensus_safety_3(events in prop::collection::vec(chaos_strategy(3), 1..40)) {
+/// Safety holds for any chaos schedule on a 3-server cluster.
+#[test]
+fn sequence_consensus_safety_3() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x5AFE3 + case);
+        let events = gen_schedule(&mut rng, 3, 39);
         let mut cluster = ChaosCluster::new(3);
         cluster.apply(&Chaos::Run { steps: 50 });
         for e in &events {
@@ -203,10 +208,14 @@ proptest! {
         cluster.apply(&Chaos::HealAll);
         cluster.apply(&Chaos::Run { steps: 150 });
     }
+}
 
-    /// Safety holds for any chaos schedule on a 5-server cluster.
-    #[test]
-    fn sequence_consensus_safety_5(events in prop::collection::vec(chaos_strategy(5), 1..40)) {
+/// Safety holds for any chaos schedule on a 5-server cluster.
+#[test]
+fn sequence_consensus_safety_5() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x5AFE5 + case);
+        let events = gen_schedule(&mut rng, 5, 39);
         let mut cluster = ChaosCluster::new(5);
         cluster.apply(&Chaos::Run { steps: 50 });
         for e in &events {
@@ -215,14 +224,16 @@ proptest! {
         cluster.apply(&Chaos::HealAll);
         cluster.apply(&Chaos::Run { steps: 150 });
     }
+}
 
-    /// Liveness after healing: once fully connected (and nobody crashed
-    /// mid-run), the cluster converges and can decide new proposals.
-    #[test]
-    fn converges_after_healing(
-        events in prop::collection::vec(chaos_strategy(3), 1..25),
-        final_values in 1u8..10,
-    ) {
+/// Liveness after healing: once fully connected (and nobody crashed
+/// mid-run), the cluster converges and can decide new proposals.
+#[test]
+fn converges_after_healing() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xC0471 + case);
+        let events = gen_schedule(&mut rng, 3, 24);
+        let final_values = rng.range_inclusive(1, 9) as u8;
         let mut cluster = ChaosCluster::new(3);
         cluster.apply(&Chaos::Run { steps: 80 });
         for e in &events {
@@ -238,14 +249,17 @@ proptest! {
             .filter(|(_, s)| s.is_leader())
             .max_by_key(|(_, s)| s.leader())
             .map(|(i, _)| i);
-        prop_assert!(leader.is_some(), "a leader must emerge after healing");
+        assert!(leader.is_some(), "a leader must emerge after healing");
         let li = leader.unwrap();
         let base = cluster.next_value;
-        cluster.apply(&Chaos::Propose { pid: (li + 1) as NodeId, count: final_values });
+        cluster.apply(&Chaos::Propose {
+            pid: (li + 1) as NodeId,
+            count: final_values,
+        });
         cluster.apply(&Chaos::Run { steps: 250 });
         let decided = cluster.servers[li].log().to_vec();
         for v in base..base + final_values as u64 {
-            prop_assert!(
+            assert!(
                 decided.contains(&v),
                 "value {v} proposed after healing must decide; log tail: {:?}",
                 &decided[decided.len().saturating_sub(10)..]
