@@ -11,6 +11,11 @@
 //! * **migration** — a reconfiguration that replaces a majority of a
 //!   5-server cluster (Fig. 9 shape): three joiners each pull the full
 //!   multi-million-entry log from the five donors in parallel stripes.
+//! * **catchup** (`-- --catchup`) — a follower partitioned long enough to
+//!   miss a large decided log heals and re-syncs, once via full log
+//!   replay and once snapshot-first after the leader compacted: the
+//!   state-machine snapshot ([`CounterSm`]) plus the tail replaces
+//!   replaying the whole log. Writes `BENCH_PR2.json`.
 //!
 //! Run with `cargo run --release --bin hotpath` (add `-- --quick` for a
 //! fast smoke run). Results are printed and written to `BENCH_PR1.json`;
@@ -20,8 +25,10 @@
 
 use std::time::Instant;
 
+use omnipaxos::snapshot::Snapshottable;
 use omnipaxos::{
-    MemoryStorage, NodeId, OmniPaxos, OmniPaxosConfig, OmniPaxosServer, ServerConfig, ServerRole,
+    CounterSm, LogEntry, MemoryStorage, NodeId, OmniPaxos, OmniPaxosConfig, OmniPaxosServer,
+    ServerConfig, ServerRole,
 };
 
 type Replica = OmniPaxos<u64, MemoryStorage<u64>>;
@@ -159,6 +166,122 @@ fn bench_migration(size: u64) -> (f64, f64) {
     (elapsed, size as f64 / elapsed)
 }
 
+/// Deliver queued messages for `rounds` rounds with ticks, dropping
+/// anything to or from the nodes in `cut` (a network partition).
+fn pump_cut(replicas: &mut [Replica], rounds: usize, cut: &[u64]) {
+    for _ in 0..rounds {
+        for i in 0..replicas.len() {
+            replicas[i].tick();
+            let from = replicas[i].pid();
+            for m in replicas[i].outgoing_messages() {
+                let to = m.to();
+                if cut.contains(&from) || cut.contains(&to) {
+                    continue;
+                }
+                replicas[(to - 1) as usize].handle_message(m);
+            }
+        }
+    }
+}
+
+/// Scenario (c): a follower partitioned while `size` entries were decided
+/// heals and catches up. With `compacted == false` the leader still holds
+/// the full log and the follower replays it; with `compacted == true` the
+/// connected servers compacted the whole log into a [`CounterSm`] snapshot,
+/// so the follower receives O(state) bytes plus an empty tail instead of
+/// `size` entries. Timed region: heal → follower's state machine caught up.
+/// Returns (elapsed, catch-up entries/sec equivalent).
+fn bench_catchup(size: u64, compacted: bool) -> (f64, f64) {
+    let nodes: Vec<NodeId> = (1..=3).collect();
+    let mut replicas: Vec<Replica> = nodes
+        .iter()
+        .map(|&pid| {
+            OmniPaxos::new(
+                OmniPaxosConfig::with(1, pid, nodes.clone()),
+                MemoryStorage::new(),
+            )
+        })
+        .collect();
+    pump_cut(&mut replicas, 60, &[]);
+    let leader = replicas.iter().position(|r| r.is_leader()).expect("leader");
+    let follower = (leader + 1) % 3;
+    let follower_pid = (follower + 1) as u64;
+
+    // Decide `size` entries behind the follower's back.
+    let cut = [follower_pid];
+    let mut appended = 0u64;
+    while appended < size {
+        let n = 4_096.min(size - appended);
+        for v in 1..=n {
+            replicas[leader].append(appended + v).expect("append");
+        }
+        appended += n;
+        pump_cut(&mut replicas, 3, &cut);
+    }
+    let mut guard = 0;
+    while replicas[leader].decided_idx() < size {
+        pump_cut(&mut replicas, 3, &cut);
+        guard += 1;
+        assert!(guard < 1_000, "majority failed to settle");
+    }
+    let expected_sum = (1..=size).fold(0u64, u64::wrapping_add);
+    if compacted {
+        // The application checkpointed its state machine and trimmed the
+        // whole log: the prefix only exists as a 16-byte snapshot now.
+        let mut sm = CounterSm::default();
+        for v in 1..=size {
+            sm.apply(v);
+        }
+        let snap = sm.snapshot();
+        for (i, r) in replicas.iter_mut().enumerate() {
+            if i != follower {
+                r.compact(size, snap.clone()).expect("compact");
+            }
+        }
+        pump_cut(&mut replicas, 10, &cut);
+    }
+    assert_eq!(replicas[follower].decided_idx(), 0, "follower is cut off");
+
+    // Timed: heal the partition and run until the follower's state
+    // machine has caught up (replay or snapshot restore + tail).
+    let start = Instant::now();
+    for r in replicas.iter_mut() {
+        for &p in &nodes {
+            if p != r.pid() {
+                r.reconnected(p);
+            }
+        }
+    }
+    let mut guard = 0;
+    while replicas[follower].decided_idx() < size {
+        pump_cut(&mut replicas, 1, &[]);
+        guard += 1;
+        assert!(guard < 10_000, "follower failed to catch up");
+    }
+    let mut sm = CounterSm::default();
+    let from = match replicas[follower].take_installed_snapshot() {
+        Some((idx, data)) => {
+            sm.restore(&data);
+            idx
+        }
+        None => 0,
+    };
+    for e in replicas[follower].read_decided(from) {
+        if let LogEntry::Normal(v) = e {
+            sm.apply(v);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(sm.applied, size, "state machine caught up");
+    assert_eq!(sm.sum, expected_sum, "state machine checksum");
+    assert_eq!(
+        compacted,
+        replicas[follower].compacted_idx() == size,
+        "snapshot path taken exactly when the log was trimmed"
+    );
+    (elapsed, size as f64 / elapsed)
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -167,9 +290,46 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// `--catchup`: snapshot-first catch-up vs full-log replay, written to
+/// `BENCH_PR2.json`. Separate from the default run so the PR 1 numbers in
+/// `BENCH_PR1.json` stay reproducible with the same invocation.
+fn run_catchup(quick: bool) {
+    let size: u64 = if quick { 20_000 } else { 100_000 };
+    let reps = if quick { 1 } else { 5 };
+    let best = |label: &str, runs: &mut dyn FnMut() -> (f64, f64)| -> (f64, f64) {
+        let mut best = (f64::INFINITY, 0.0);
+        for i in 0..reps {
+            let (s, eps) = runs();
+            println!("  {label} run {i}: {:.3}ms  {eps:.0} entries/sec", s * 1e3);
+            if s < best.0 {
+                best = (s, eps);
+            }
+        }
+        best
+    };
+
+    println!("hotpath: catchup via full log replay ({size} entries, 3 servers)");
+    let (replay_s, replay_eps) = best("replay", &mut || bench_catchup(size, false));
+    println!("hotpath: catchup snapshot-first (trimmed {size}-entry log)");
+    let (snap_s, snap_eps) = best("snapshot", &mut || bench_catchup(size, true));
+
+    let speedup = replay_s / snap_s;
+    let out = format!(
+        "{{\n  \"bench\": \"catchup\",\n  \"quick\": {quick},\n  \"log_entries\": {size},\n  \"full_log_replay\": {{\n    \"elapsed_s\": {replay_s:.6},\n    \"entries_per_sec\": {}\n  }},\n  \"snapshot_first\": {{\n    \"elapsed_s\": {snap_s:.6},\n    \"entries_per_sec\": {},\n    \"snapshot_bytes\": 16,\n    \"tail_entries\": 0\n  }},\n  \"speedup\": {speedup:.2}\n}}\n",
+        json_num(replay_eps),
+        json_num(snap_eps),
+    );
+    std::fs::write("BENCH_PR2.json", &out).expect("write BENCH_PR2.json");
+    print!("{out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--catchup") {
+        run_catchup(quick);
+        return;
+    }
     let baseline: Option<(f64, f64)> = args
         .iter()
         .position(|a| a == "--baseline")

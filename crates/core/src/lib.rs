@@ -67,6 +67,7 @@ pub mod messages;
 pub mod omni;
 pub mod sequence_paxos;
 pub mod service;
+pub mod snapshot;
 pub mod storage;
 pub mod util;
 pub mod wal;
@@ -77,6 +78,7 @@ pub use messages::{BleMessage, BleMsg, Message, PaxosMsg};
 pub use omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
 pub use sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
 pub use service::{MigrationScheme, OmniPaxosServer, ServerConfig, ServerRole, ServiceMsg};
+pub use snapshot::{CounterSm, SnapshotData, SnapshotRef, Snapshottable};
 pub use storage::{EntryBatch, MemoryStorage, Storage, TrimError};
 pub use util::{majority, Entry, LogEntry, StopSign};
 pub use wal::{WalEncode, WalStorage};

@@ -7,6 +7,7 @@
 //! IO, which the paper measures during reconfiguration (§7.3).
 
 use crate::ballot::{Ballot, NodeId};
+use crate::snapshot::SnapshotData;
 use crate::storage::EntryBatch;
 use crate::util::{Entry, LogEntry};
 
@@ -42,11 +43,20 @@ pub struct Promise<T> {
     pub log_idx: u64,
     /// The follower's decided index.
     pub decided_idx: u64,
-    /// Entries the leader might be missing. Starts at the leader's
-    /// `decided_idx` if the follower's accepted round is higher than the
-    /// leader's, at the leader's `log_idx` if rounds are equal and the
-    /// follower's log is longer, and is empty otherwise.
+    /// Absolute log index at which `suffix` starts. Normally the leader's
+    /// `decided_idx` (if the follower's accepted round is higher) or the
+    /// leader's `log_idx` (same round, longer log); when the follower has
+    /// compacted above that point it is the follower's compacted index and
+    /// `snapshot` fills the gap below.
+    pub suffix_start: u64,
+    /// Entries the leader might be missing, starting at `suffix_start`
+    /// (empty if the leader is at least as updated).
     pub suffix: Vec<LogEntry<T>>,
+    /// The follower's snapshot, included only when its log no longer
+    /// reaches down to where the leader would need `suffix` to start
+    /// (compaction): applying the snapshot reproduces the state up to
+    /// `suffix_start`, and `suffix` continues from there.
+    pub snapshot: Option<(u64, SnapshotData)>,
 }
 
 /// `⟨AcceptSync⟩` — the leader's synchronizing write: truncate the
@@ -98,6 +108,56 @@ pub struct Accepted {
     pub log_idx: u64,
 }
 
+/// `⟨SnapshotMeta⟩` — the leader's announcement that a follower will be
+/// synchronized by **snapshot transfer** instead of log replay: the
+/// follower's log ends below the leader's compacted prefix, so no log
+/// suffix can reach it. Announces the snapshot's identity; the follower
+/// answers with a [`SnapshotAck`] carrying how many bytes it already holds
+/// (zero normally, more when resuming an interrupted transfer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotMeta {
+    /// The leader's round.
+    pub n: Ballot,
+    /// The log index the snapshot covers (exclusive): applying the
+    /// snapshot reproduces the state after entries `[0, snapshot_idx)`.
+    pub snapshot_idx: u64,
+    /// Total size of the serialized snapshot.
+    pub total_bytes: u64,
+}
+
+/// `⟨SnapshotChunk⟩` — one window of the snapshot byte stream. Chunks are
+/// cut from one refcounted [`SnapshotData`] per transfer, so concurrent
+/// transfers to several lagging followers share the bytes (the same
+/// zero-copy idiom as [`EntryBatch`] on the replication path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotChunk {
+    /// The leader's round.
+    pub n: Ballot,
+    /// Which snapshot this chunk belongs to.
+    pub snapshot_idx: u64,
+    /// Byte offset of `data[0]` within the snapshot.
+    pub offset: u64,
+    /// Total size of the snapshot (repeated so a chunk is self-describing).
+    pub total_bytes: u64,
+    /// The chunk bytes.
+    pub data: SnapshotData,
+}
+
+/// `⟨SnapshotAck⟩` — the follower's cumulative progress report: it holds
+/// the first `received` bytes of snapshot `snapshot_idx`. Doubles as the
+/// pull request for the next chunk, which makes the transfer self-clocked
+/// and resumable: after a reconnect the follower re-acks its buffered
+/// length and the leader continues from there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotAck {
+    /// The follower's promised round.
+    pub n: Ballot,
+    /// Which snapshot is being acknowledged.
+    pub snapshot_idx: u64,
+    /// Bytes received so far (cumulative prefix).
+    pub received: u64,
+}
+
 /// `⟨Decide⟩` — the leader announces that the log is chosen up to
 /// `decided_idx`. Usually piggybacked on [`AcceptDecide`]; sent standalone
 /// when there is no new entry to carry it.
@@ -121,6 +181,9 @@ pub enum PaxosMsg<T> {
     AcceptDecide(AcceptDecide<T>),
     Accepted(Accepted),
     Decide(Decide),
+    SnapshotMeta(SnapshotMeta),
+    SnapshotChunk(SnapshotChunk),
+    SnapshotAck(SnapshotAck),
     /// Client proposals forwarded from a follower to the leader.
     ProposalForward(Vec<LogEntry<T>>),
 }
@@ -131,11 +194,17 @@ impl<T: Entry> PaxosMsg<T> {
         let payload = match self {
             PaxosMsg::PrepareReq => 0,
             PaxosMsg::Prepare(_) => 0,
-            PaxosMsg::Promise(p) => p.suffix.iter().map(LogEntry::size_bytes).sum(),
+            PaxosMsg::Promise(p) => {
+                p.suffix.iter().map(LogEntry::size_bytes).sum::<usize>()
+                    + p.snapshot.as_ref().map_or(0, |(_, d)| d.len())
+            }
             PaxosMsg::AcceptSync(a) => a.suffix.iter().map(LogEntry::size_bytes).sum(),
             PaxosMsg::AcceptDecide(a) => a.entries.iter().map(LogEntry::size_bytes).sum(),
             PaxosMsg::Accepted(_) => 0,
             PaxosMsg::Decide(_) => 0,
+            PaxosMsg::SnapshotMeta(_) => 0,
+            PaxosMsg::SnapshotChunk(c) => c.data.len(),
+            PaxosMsg::SnapshotAck(_) => 0,
             PaxosMsg::ProposalForward(es) => es.iter().map(LogEntry::size_bytes).sum(),
         };
         HEADER_BYTES + payload
@@ -151,6 +220,9 @@ impl<T: Entry> PaxosMsg<T> {
             PaxosMsg::AcceptDecide(_) => "AcceptDecide",
             PaxosMsg::Accepted(_) => "Accepted",
             PaxosMsg::Decide(_) => "Decide",
+            PaxosMsg::SnapshotMeta(_) => "SnapshotMeta",
+            PaxosMsg::SnapshotChunk(_) => "SnapshotChunk",
+            PaxosMsg::SnapshotAck(_) => "SnapshotAck",
             PaxosMsg::ProposalForward(_) => "ProposalForward",
         }
     }

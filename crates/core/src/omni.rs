@@ -10,7 +10,8 @@ use crate::ballot::{Ballot, NodeId};
 use crate::ble::{BallotLeaderElection, BleConfig};
 use crate::messages::{BleMessage, Message};
 use crate::sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
-use crate::storage::Storage;
+use crate::snapshot::SnapshotData;
+use crate::storage::{Storage, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
 
 /// A message of either component, addressed between servers.
@@ -68,6 +69,8 @@ pub struct OmniPaxosConfig {
     pub connectivity_priority: bool,
     /// Proposal buffer size while no leader is known.
     pub buffer_size: usize,
+    /// Max bytes per chunk of a snapshot transfer to a lagging follower.
+    pub snapshot_chunk_bytes: usize,
 }
 
 impl OmniPaxosConfig {
@@ -82,6 +85,7 @@ impl OmniPaxosConfig {
             priority: 0,
             connectivity_priority: false,
             buffer_size: 1_000_000,
+            snapshot_chunk_bytes: 256 * 1024,
         }
     }
 }
@@ -103,6 +107,7 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     pub fn new(config: OmniPaxosConfig, storage: S) -> Self {
         let mut sp_config = SequencePaxosConfig::with(config.config_id, config.pid, &config.nodes);
         sp_config.buffer_size = config.buffer_size;
+        sp_config.snapshot_chunk_bytes = config.snapshot_chunk_bytes;
         let mut ble_config = BleConfig::with(config.pid, &config.nodes, config.hb_timeout_ticks);
         ble_config.priority = config.priority;
         ble_config.connectivity_priority = config.connectivity_priority;
@@ -208,6 +213,28 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     /// Absolute log length (accepted, not necessarily decided).
     pub fn log_len(&self) -> u64 {
         self.sp.log_len()
+    }
+
+    /// Index below which the log has been compacted away (snapshot/trim).
+    pub fn compacted_idx(&self) -> u64 {
+        self.sp.compacted_idx()
+    }
+
+    /// Compact the log at `idx` in one safe operation: record `data` as the
+    /// state-machine snapshot covering `[0, idx)`, trim the superseded
+    /// prefix, and checkpoint durable storage so recovery restarts from the
+    /// snapshot plus the log tail. Fails with [`TrimError`] if `idx` exceeds
+    /// the decided index or does not advance the compaction frontier.
+    pub fn compact(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError> {
+        self.sp.compact(idx, data)
+    }
+
+    /// Take the snapshot this replica installed from a leader transfer (or
+    /// Prepare-phase sync) since the last call. The owner must restore its
+    /// state machine from it before applying entries above the snapshot
+    /// index.
+    pub fn take_installed_snapshot(&mut self) -> Option<(u64, SnapshotData)> {
+        self.sp.take_installed_snapshot()
     }
 
     /// The ballot this node believes is the current leader.
@@ -397,6 +424,39 @@ mod tests {
             let _ = lone.outgoing_messages();
         }
         assert!(!lone.is_quorum_connected());
+    }
+
+    #[test]
+    fn compact_trims_checkpoints_and_surfaces_trim_errors() {
+        use crate::storage::TrimError;
+        let mut nodes = cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        for v in 1..=5 {
+            nodes[li].append(v).unwrap();
+        }
+        settle(&mut nodes, 40);
+        let snap: crate::snapshot::SnapshotData = vec![7u8; 4].into();
+        nodes[li].compact(3, snap.clone()).unwrap();
+        assert_eq!(nodes[li].compacted_idx(), 3);
+        assert_eq!(
+            nodes[li].read_decided(3),
+            vec![LogEntry::Normal(4), LogEntry::Normal(5)]
+        );
+        assert_eq!(
+            nodes[li].compact(99, snap.clone()),
+            Err(TrimError::BeyondDecided {
+                decided_idx: 5,
+                requested: 99
+            })
+        );
+        assert_eq!(
+            nodes[li].compact(2, snap),
+            Err(TrimError::AlreadyTrimmed {
+                compacted_idx: 3,
+                requested: 2
+            })
+        );
     }
 
     #[test]

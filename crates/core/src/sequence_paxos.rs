@@ -24,9 +24,11 @@
 
 use crate::ballot::{Ballot, NodeId};
 use crate::messages::{
-    AcceptDecide, AcceptSync, Accepted, Decide, Message, PaxosMsg, Prepare, Promise,
+    AcceptDecide, AcceptSync, Accepted, Decide, Message, PaxosMsg, Prepare, Promise, SnapshotAck,
+    SnapshotChunk, SnapshotMeta,
 };
-use crate::storage::{EntryBatch, Storage};
+use crate::snapshot::SnapshotData;
+use crate::storage::{EntryBatch, Storage, TrimError};
 use crate::util::{majority, Entry, LogEntry, StopSign};
 use std::collections::HashMap;
 
@@ -86,6 +88,10 @@ pub struct SequencePaxosConfig {
     pub peers: Vec<NodeId>,
     /// Max buffered proposals while no leader is elected.
     pub buffer_size: usize,
+    /// Window size for chunked snapshot transfer: a lagging follower whose
+    /// log was compacted away receives the snapshot in chunks of this many
+    /// bytes, one per acknowledgement (self-clocked).
+    pub snapshot_chunk_bytes: usize,
 }
 
 impl SequencePaxosConfig {
@@ -99,6 +105,7 @@ impl SequencePaxosConfig {
             pid,
             peers: nodes.iter().copied().filter(|&p| p != pid).collect(),
             buffer_size: 1_000_000,
+            snapshot_chunk_bytes: 256 * 1024,
         }
     }
 
@@ -116,6 +123,34 @@ struct PromiseMeta {
     decided_idx: u64,
 }
 
+/// One in-flight chunked snapshot transfer to a lagging follower. The
+/// `data` Arc *pins* the snapshot for the duration of the transfer: a
+/// newer `compact()` on the leader may replace the storage's snapshot
+/// record, but the bytes this follower is receiving stay alive and
+/// consistent (the compaction safety invariant — never invalidate an
+/// in-flight transfer's base).
+#[derive(Debug, Clone)]
+struct SnapshotXfer {
+    /// Log index the snapshot covers (exclusive).
+    idx: u64,
+    /// The pinned snapshot bytes.
+    data: SnapshotData,
+}
+
+/// Follower-side reassembly buffer of an incoming snapshot transfer.
+#[derive(Debug)]
+struct IncomingSnapshot {
+    /// Round the transfer belongs to; a new leader restarts the transfer.
+    n: Ballot,
+    /// Log index the snapshot covers.
+    idx: u64,
+    /// Total expected size.
+    total: u64,
+    /// Bytes received so far (always a prefix — chunks arrive in order,
+    /// out-of-order chunks are dropped and re-requested by cumulative ack).
+    buf: Vec<u8>,
+}
+
 /// Volatile state a leader keeps about its round.
 #[derive(Debug)]
 struct LeaderState<T> {
@@ -124,6 +159,11 @@ struct LeaderState<T> {
     promises: HashMap<NodeId, PromiseMeta>,
     /// Suffix of the best promise (empty if the leader's own log is best).
     max_suffix: Vec<LogEntry<T>>,
+    /// Absolute index at which `max_suffix` starts (from the promise).
+    max_suffix_start: u64,
+    /// Snapshot shipped with the best promise when that follower's log was
+    /// compacted above where the leader's suffix would need to start.
+    max_snapshot: Option<(u64, SnapshotData)>,
     /// `(acc_rnd, log_idx, pid)` of the best promise seen.
     max_meta: (Ballot, u64, NodeId),
     /// Highest log index each promised server has accepted in round `n`.
@@ -141,6 +181,11 @@ struct LeaderState<T> {
     batch_cache: HashMap<u64, EntryBatch<T>>,
     /// Log length the cached batches were cut at.
     batch_cache_len: u64,
+    /// In-flight chunked snapshot transfers, per lagging follower.
+    snap_xfers: HashMap<NodeId, SnapshotXfer>,
+    /// Chunk windows cut this drain, keyed by `(snapshot_idx, offset)`:
+    /// several followers at the same offset share one allocation.
+    chunk_cache: HashMap<(u64, u64), SnapshotData>,
 }
 
 impl<T> LeaderState<T> {
@@ -149,6 +194,8 @@ impl<T> LeaderState<T> {
             n,
             promises: HashMap::new(),
             max_suffix: Vec::new(),
+            max_suffix_start: 0,
+            max_snapshot: None,
             max_meta: (Ballot::bottom(), 0, 0),
             accepted: HashMap::new(),
             sent_idx: HashMap::new(),
@@ -156,6 +203,8 @@ impl<T> LeaderState<T> {
             synced: false,
             batch_cache: HashMap::new(),
             batch_cache_len: 0,
+            snap_xfers: HashMap::new(),
+            chunk_cache: HashMap::new(),
         }
     }
 }
@@ -176,6 +225,12 @@ pub struct SequencePaxos<T: Entry, S: Storage<T>> {
     /// Leader state snapshot when `Prepare` was sent: (accepted_rnd,
     /// log_idx, decided_idx). Promise suffixes are relative to these.
     prep_snapshot: (Ballot, u64, u64),
+    /// Reassembly buffer of a snapshot transfer in progress (follower).
+    incoming_snap: Option<IncomingSnapshot>,
+    /// A snapshot installed from a peer, waiting for the owner to restore
+    /// it into the application state machine
+    /// ([`SequencePaxos::take_installed_snapshot`]).
+    installed_snapshot: Option<(u64, SnapshotData)>,
     outgoing: Vec<Message<T>>,
 }
 
@@ -193,6 +248,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             stopsign_idx: None,
             leader_state: LeaderState::new(Ballot::bottom()),
             prep_snapshot: (Ballot::bottom(), 0, 0),
+            incoming_snap: None,
+            installed_snapshot: None,
             outgoing: Vec::new(),
         }
     }
@@ -258,6 +315,33 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         &mut self.storage
     }
 
+    /// Index below which the log has been compacted away (superseded by a
+    /// snapshot or a plain trim).
+    pub fn compacted_idx(&self) -> u64 {
+        self.storage.get_compacted_idx()
+    }
+
+    /// Compact the log up to `idx`: record `data` as the snapshot covering
+    /// `[0, idx)`, trim that prefix, and checkpoint the storage, in one
+    /// safe operation. Fails with [`TrimError`] if `idx` exceeds the
+    /// decided index (undecided entries may still be overwritten) or falls
+    /// below an earlier compaction point. In-flight snapshot transfers to
+    /// lagging followers are unaffected: they hold their own pin on the
+    /// snapshot they started with.
+    pub fn compact(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError> {
+        self.storage.set_snapshot(idx, data)?;
+        self.storage.checkpoint();
+        Ok(())
+    }
+
+    /// Take the snapshot this replica installed from a peer, if any: the
+    /// owner must restore it into the application state machine before
+    /// applying further decided entries. Returns `(idx, data)` where the
+    /// snapshot reproduces the state after entries `[0, idx)`.
+    pub fn take_installed_snapshot(&mut self) -> Option<(u64, SnapshotData)> {
+        self.installed_snapshot.take()
+    }
+
     /// The decided stop-sign, if this configuration has been stopped (§6).
     pub fn decided_stopsign(&self) -> Option<StopSign> {
         let idx = self.stopsign_idx?;
@@ -283,8 +367,10 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         self.flush_forwards();
         self.storage.flush();
         // Outgoing messages keep their own clones of shared batches; the
-        // cache itself must not pin large suffixes past the drain.
+        // caches themselves must not pin large suffixes (or snapshot
+        // windows) past the drain.
         self.leader_state.batch_cache.clear();
+        self.leader_state.chunk_cache.clear();
         std::mem::take(&mut self.outgoing)
     }
 
@@ -393,6 +479,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         self.leader = Ballot::bottom();
         self.pending.clear();
         self.leader_state = LeaderState::new(Ballot::bottom());
+        self.incoming_snap = None;
+        self.installed_snapshot = None;
         self.outgoing.clear();
         self.rescan_stopsign();
         let peers = self.config.peers.clone();
@@ -435,6 +523,25 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                         }),
                     );
                 }
+                // Re-announce in-flight snapshot transfers: a lost chunk or
+                // ack stalls the self-clocked stream; the meta makes the
+                // follower re-ack its progress and resume from there.
+                let xfers: Vec<(NodeId, u64, u64)> = self
+                    .leader_state
+                    .snap_xfers
+                    .iter()
+                    .map(|(&p, x)| (p, x.idx, x.data.len() as u64))
+                    .collect();
+                for (pid, idx, total_bytes) in xfers {
+                    self.send(
+                        pid,
+                        PaxosMsg::SnapshotMeta(SnapshotMeta {
+                            n,
+                            snapshot_idx: idx,
+                            total_bytes,
+                        }),
+                    );
+                }
             }
             (Role::Follower, Phase::Recover) => {
                 let peers = self.config.peers.clone();
@@ -468,6 +575,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             PaxosMsg::AcceptDecide(a) => self.handle_accept_decide(a, from),
             PaxosMsg::Accepted(a) => self.handle_accepted(a, from),
             PaxosMsg::Decide(d) => self.handle_decide(d),
+            PaxosMsg::SnapshotMeta(m) => self.handle_snapshot_meta(m, from),
+            PaxosMsg::SnapshotChunk(c) => self.handle_snapshot_chunk(c, from),
+            PaxosMsg::SnapshotAck(a) => self.handle_snapshot_ack(a, from),
             PaxosMsg::ProposalForward(entries) => self.handle_forwarded(entries),
         }
     }
@@ -479,6 +589,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             // Re-start the follower from scratch in this round.
             self.leader_state.promises.remove(&from);
             self.leader_state.accepted.remove(&from);
+            self.leader_state.snap_xfers.remove(&from);
             self.send(
                 from,
                 PaxosMsg::Prepare(Prepare {
@@ -502,14 +613,33 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         let log_idx = self.storage.get_log_len();
         let decided_idx = self.storage.get_decided_idx();
         // Which part of our log might the leader be missing? (§4.1.1)
-        let suffix = if acc_rnd > prep.accepted_rnd {
+        let wanted_start = if acc_rnd > prep.accepted_rnd {
             // We are more updated: send everything above the leader's
             // decided index (its non-chosen tail may be overwritten).
-            self.storage.get_suffix(prep.decided_idx.min(log_idx))
+            Some(prep.decided_idx.min(log_idx))
         } else if acc_rnd == prep.accepted_rnd && log_idx > prep.log_idx {
-            self.storage.get_suffix(prep.log_idx)
+            Some(prep.log_idx)
         } else {
-            Vec::new()
+            None
+        };
+        let (suffix_start, suffix, snapshot) = match wanted_start {
+            Some(start) => {
+                let compacted = self.storage.get_compacted_idx();
+                if start < compacted {
+                    // Our log no longer reaches down to `start`: ship the
+                    // snapshot that supersedes the compacted prefix and the
+                    // suffix from the compaction point.
+                    let snap = self
+                        .storage
+                        .get_snapshot()
+                        .map(|s| (s.idx, s.data))
+                        .filter(|&(idx, _)| idx == compacted);
+                    (compacted, self.storage.get_suffix(compacted), snap)
+                } else {
+                    (start, self.storage.get_suffix(start), None)
+                }
+            }
+            None => (log_idx, Vec::new(), None),
         };
         self.send(
             from,
@@ -518,7 +648,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                 accepted_rnd: acc_rnd,
                 log_idx,
                 decided_idx,
+                suffix_start,
                 suffix,
+                snapshot,
             }),
         );
     }
@@ -541,6 +673,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                 if key > (max_rnd, max_idx) {
                     self.leader_state.max_meta = (prom.accepted_rnd, prom.log_idx, from);
                     self.leader_state.max_suffix = prom.suffix;
+                    self.leader_state.max_suffix_start = prom.suffix_start;
+                    self.leader_state.max_snapshot = prom.snapshot;
                 }
                 if first_promise {
                     self.maybe_majority_promised();
@@ -562,19 +696,33 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         }
         // Adopt the most updated log among the majority (P2c, §4.2).
         let (max_rnd, max_idx, max_pid) = self.leader_state.max_meta;
-        let (my_prep_rnd, my_prep_log_idx, my_prep_decided_idx) = self.prep_snapshot;
+        let (my_prep_rnd, my_prep_log_idx, _) = self.prep_snapshot;
         if max_pid != self.config.pid {
-            // The suffix offset mirrors the follower's choice in
-            // handle_prepare.
-            let start = if max_rnd > my_prep_rnd {
-                my_prep_decided_idx.min(my_prep_log_idx)
-            } else {
-                debug_assert!(max_rnd == my_prep_rnd && max_idx > my_prep_log_idx);
-                my_prep_log_idx
-            };
+            debug_assert!(
+                max_rnd > my_prep_rnd || (max_rnd == my_prep_rnd && max_idx > my_prep_log_idx)
+            );
+            // The promise states where its suffix starts (the follower's
+            // mirror of our Prepare, or its compaction point).
+            let start = self.leader_state.max_suffix_start;
             let suffix = std::mem::take(&mut self.leader_state.max_suffix);
-            self.update_stopsign_after_overwrite(start, &suffix);
-            self.storage.append_on_prefix(start, suffix);
+            if let Some((snap_idx, snap_data)) = self.leader_state.max_snapshot.take() {
+                // The best promise's log was compacted above where our log
+                // ends: adopt its snapshot (superseding everything we
+                // hold), then its suffix on top. The owner must restore the
+                // snapshot into the state machine before applying further.
+                debug_assert_eq!(snap_idx, start);
+                self.storage.install_snapshot(snap_idx, snap_data.clone());
+                self.installed_snapshot = Some((snap_idx, snap_data));
+                self.stopsign_idx = None;
+                self.update_stopsign_after_overwrite(start, &suffix);
+                self.storage.append_on_prefix(start, suffix);
+            } else {
+                // Clamp for the unreachable-in-practice case of a gap with
+                // no snapshot (a peer trimmed without snapshotting).
+                let start = start.min(self.storage.get_log_len());
+                self.update_stopsign_after_overwrite(start, &suffix);
+                self.storage.append_on_prefix(start, suffix);
+            }
         }
         let n = self.leader_state.n;
         self.storage.set_accepted_round(n);
@@ -628,10 +776,35 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         };
         debug_assert!(sync_idx <= log_len, "sync_idx {sync_idx} > log {log_len}");
         let sync_idx = sync_idx.min(log_len);
+        self.sync_from(pid, sync_idx);
+    }
+
+    /// Synchronize `pid` from absolute index `sync_idx`: an `AcceptSync`
+    /// with the log suffix when our log still reaches that far down, or a
+    /// chunked snapshot transfer when `sync_idx` lies inside the compacted
+    /// prefix (the follower's log is older than anything we still hold).
+    fn sync_from(&mut self, pid: NodeId, sync_idx: u64) {
+        let compacted = self.storage.get_compacted_idx();
+        if sync_idx < compacted {
+            // The snapshot can only bridge the gap if it covers the whole
+            // compacted prefix (it always does when compaction goes through
+            // `compact()`; a later plain `trim` could outrun it).
+            if let Some(snap) = self.storage.get_snapshot().filter(|s| s.idx == compacted) {
+                self.start_snapshot_xfer(pid, snap.idx, snap.data);
+                return;
+            }
+            // No snapshot covers the gap (a plain trim): the best we can
+            // do is sync from the compaction point; the follower rewrites
+            // its tail from there. This only arises if the owner trimmed
+            // without snapshotting while a peer still needed the prefix.
+            return self.sync_from(pid, compacted);
+        }
+        let log_len = self.storage.get_log_len();
         let decided_idx = self.storage.get_decided_idx();
         // Followers that promised at the same index (the common case when
         // the cluster was in sync before the election) share one batch.
         let suffix = self.shared_suffix_cached(sync_idx);
+        self.leader_state.snap_xfers.remove(&pid);
         self.leader_state.sent_idx.insert(pid, log_len);
         self.leader_state.sent_decided.insert(pid, decided_idx);
         self.send(
@@ -645,11 +818,36 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         );
     }
 
+    /// Begin (or restart) a chunked snapshot transfer to `pid`. The
+    /// follower answers the meta with a cumulative [`SnapshotAck`] — zero
+    /// normally, its buffered prefix when resuming — and each ack clocks
+    /// out the next chunk.
+    fn start_snapshot_xfer(&mut self, pid: NodeId, idx: u64, data: SnapshotData) {
+        let total_bytes = data.len() as u64;
+        // Streaming entries to this follower is suspended until the
+        // transfer completes and `sync_from` runs for the tail.
+        self.leader_state.sent_idx.remove(&pid);
+        self.leader_state.sent_decided.remove(&pid);
+        self.leader_state
+            .snap_xfers
+            .insert(pid, SnapshotXfer { idx, data });
+        self.send(
+            pid,
+            PaxosMsg::SnapshotMeta(SnapshotMeta {
+                n: self.leader_state.n,
+                snapshot_idx: idx,
+                total_bytes,
+            }),
+        );
+    }
+
     fn handle_accept_sync(&mut self, acc: AcceptSync<T>, from: NodeId) {
         if self.storage.get_promise() != acc.n || self.state != (Role::Follower, Phase::Prepare) {
             return;
         }
         self.storage.set_accepted_round(acc.n);
+        // A log sync supersedes any half-finished snapshot transfer.
+        self.incoming_snap = None;
         // Everything from `sync_idx` on is replaced by `suffix`, so the
         // stop-sign scan only needs to cover the new suffix — not the
         // whole log as a full rescan would.
@@ -667,6 +865,138 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             PaxosMsg::Accepted(Accepted {
                 n: acc.n,
                 log_idx: log_len,
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Chunked snapshot transfer
+    // ------------------------------------------------------------------
+
+    /// Follower: the leader announced that we will be synchronized by
+    /// snapshot. Open (or resume) the reassembly buffer and report how far
+    /// we already are — the ack clocks the first/next chunk out.
+    fn handle_snapshot_meta(&mut self, meta: SnapshotMeta, from: NodeId) {
+        if self.storage.get_promise() != meta.n || self.state.0 != Role::Follower {
+            return;
+        }
+        // The transfer takes the place of log synchronization: stay in the
+        // Prepare phase until the tail arrives via AcceptSync.
+        self.state = (Role::Follower, Phase::Prepare);
+        let resume = self.incoming_snap.as_ref().is_some_and(|s| {
+            s.n == meta.n && s.idx == meta.snapshot_idx && s.total == meta.total_bytes
+        });
+        if !resume {
+            self.incoming_snap = Some(IncomingSnapshot {
+                n: meta.n,
+                idx: meta.snapshot_idx,
+                total: meta.total_bytes,
+                buf: Vec::new(),
+            });
+        }
+        self.snapshot_progress(from);
+    }
+
+    /// Follower: one in-order window of the snapshot byte stream.
+    fn handle_snapshot_chunk(&mut self, chunk: SnapshotChunk, from: NodeId) {
+        if self.storage.get_promise() != chunk.n || self.state != (Role::Follower, Phase::Prepare) {
+            return;
+        }
+        let Some(snap) = self.incoming_snap.as_mut() else {
+            return; // meta lost; the leader's resend sweep re-announces
+        };
+        if snap.n != chunk.n || snap.idx != chunk.snapshot_idx {
+            return; // a stale transfer's chunk
+        }
+        if chunk.offset == snap.buf.len() as u64 {
+            snap.buf.extend_from_slice(&chunk.data);
+        }
+        // Duplicates and out-of-order chunks fall through to a cumulative
+        // ack, which tells the leader where to continue.
+        self.snapshot_progress(from);
+    }
+
+    /// Follower: install the snapshot if complete, then ack progress.
+    fn snapshot_progress(&mut self, from: NodeId) {
+        let Some(snap) = self.incoming_snap.as_ref() else {
+            return;
+        };
+        let (n, idx, received) = (snap.n, snap.idx, snap.buf.len() as u64);
+        if received >= snap.total {
+            let snap = self.incoming_snap.take().expect("checked above");
+            let data: SnapshotData = snap.buf.into();
+            // The snapshot supersedes our whole log (it only travels when
+            // our log ended below the leader's compaction point).
+            self.storage.install_snapshot(idx, data.clone());
+            self.storage.set_accepted_round(n);
+            self.installed_snapshot = Some((idx, data));
+            self.stopsign_idx = None;
+            // Remain in (Follower, Prepare): the final ack makes the
+            // leader ship the tail above `idx` as a normal AcceptSync.
+        }
+        self.send(
+            from,
+            PaxosMsg::SnapshotAck(SnapshotAck {
+                n,
+                snapshot_idx: idx,
+                received,
+            }),
+        );
+    }
+
+    /// Leader: a follower's cumulative progress report — completion makes
+    /// us ship the log tail; anything else clocks out the next chunk.
+    fn handle_snapshot_ack(&mut self, ack: SnapshotAck, from: NodeId) {
+        if self.state != (Role::Leader, Phase::Accept) || ack.n != self.leader_state.n {
+            return;
+        }
+        let Some(xfer) = self.leader_state.snap_xfers.get(&from).cloned() else {
+            return; // superseded; a fresh Promise will restart the sync
+        };
+        let total = xfer.data.len() as u64;
+        if ack.snapshot_idx != xfer.idx {
+            // Ack of an older transfer (we compacted again and restarted
+            // with a newer snapshot): re-announce the current one.
+            self.send(
+                from,
+                PaxosMsg::SnapshotMeta(SnapshotMeta {
+                    n: ack.n,
+                    snapshot_idx: xfer.idx,
+                    total_bytes: total,
+                }),
+            );
+            return;
+        }
+        if ack.received >= total {
+            // Transfer complete: the follower's log now starts at the
+            // snapshot index; everything above travels as a normal
+            // AcceptSync. If we compacted past `xfer.idx` in the meantime,
+            // sync_from starts a fresh transfer of the newer snapshot.
+            self.leader_state.snap_xfers.remove(&from);
+            self.sync_from(from, xfer.idx);
+            return;
+        }
+        let offset = ack.received;
+        let end = total.min(offset + self.config.snapshot_chunk_bytes as u64);
+        // Chunk windows are cut once and shared: several lagging followers
+        // at the same offset (or retransmissions) reuse the allocation.
+        let key = (xfer.idx, offset);
+        let data = match self.leader_state.chunk_cache.get(&key) {
+            Some(d) => d.clone(),
+            None => {
+                let d: SnapshotData = xfer.data[offset as usize..end as usize].into();
+                self.leader_state.chunk_cache.insert(key, d.clone());
+                d
+            }
+        };
+        self.send(
+            from,
+            PaxosMsg::SnapshotChunk(SnapshotChunk {
+                n: ack.n,
+                snapshot_idx: xfer.idx,
+                offset,
+                total_bytes: total,
+                data,
             }),
         );
     }

@@ -26,7 +26,8 @@
 use crate::ballot::{Ballot, NodeId};
 use crate::omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
 use crate::sequence_paxos::ProposeErr;
-use crate::storage::MemoryStorage;
+use crate::snapshot::SnapshotData;
+use crate::storage::{MemoryStorage, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -47,11 +48,15 @@ pub enum ServiceMsg<T> {
     /// A protocol message of configuration `config_id`.
     Omni { config_id: u32, msg: OmniMessage<T> },
     /// Tell a new server that `ss.config_id` is starting and it must first
-    /// migrate `log_len` entries of history.
+    /// migrate `log_len` entries of history. `snap_idx` is the notifier's
+    /// compaction point: entries below it are no longer available as log
+    /// segments and must be sourced as a state-machine snapshot (0 = the
+    /// notifier holds the full log).
     StartConfig {
         ss: StopSign,
         old_nodes: Vec<NodeId>,
         log_len: u64,
+        snap_idx: u64,
     },
     /// Ack: the new server has started (stop re-notifying it).
     ConfigStarted { config_id: u32 },
@@ -69,6 +74,21 @@ pub enum ServiceMsg<T> {
         served_to: u64,
         requested_to: u64,
     },
+    /// Request the donor's state-machine snapshot from byte `offset`
+    /// (snapshot-first migration; the transfer is pull-based and resumable
+    /// like segment migration).
+    SnapReq { offset: u64 },
+    /// A chunk of the snapshot covering service-log entries `[0, idx)`,
+    /// `total` bytes overall. `total == 0` means the donor has no snapshot
+    /// and the requester must fall back to full log migration. The chunk is
+    /// a shared `Arc<[u8]>` so fan-out to several joiners is a refcount
+    /// bump per response.
+    SnapResp {
+        idx: u64,
+        offset: u64,
+        chunk: Arc<[u8]>,
+        total: u64,
+    },
 }
 
 impl<T: Entry> ServiceMsg<T> {
@@ -85,6 +105,8 @@ impl<T: Entry> ServiceMsg<T> {
             ServiceMsg::SegmentResp { entries, .. } => {
                 HEADER_BYTES + entries.iter().map(Entry::size_bytes).sum::<usize>()
             }
+            ServiceMsg::SnapReq { .. } => HEADER_BYTES,
+            ServiceMsg::SnapResp { chunk, .. } => HEADER_BYTES + chunk.len(),
         }
     }
 }
@@ -154,8 +176,24 @@ struct ActiveConfig<T: Entry> {
     /// How many entries of this instance's decided log have been applied to
     /// the service-layer log.
     applied_idx: u64,
+    /// Absolute service-log index where this configuration's own log
+    /// begins: entry `i` of the instance is service entry `base + i` (until
+    /// the stop-sign). Maps instance-level snapshots to service indices.
+    base: u64,
     /// Handled the decided stop-sign already?
     stopped: bool,
+}
+
+/// An in-flight snapshot pull during migration (snapshot-first catch-up):
+/// one donor streams the state-machine snapshot while the log tail above
+/// `idx` is striped across the other donors in parallel.
+struct SnapPull {
+    donor: NodeId,
+    /// The snapshot covers service-log entries `[0, idx)`.
+    idx: u64,
+    /// Total snapshot bytes; 0 until the first response arrives.
+    total: u64,
+    buf: Vec<u8>,
 }
 
 struct MigrationState<T> {
@@ -170,6 +208,9 @@ struct MigrationState<T> {
     /// Progress marker at the last retry sweep; a stalled migration (no
     /// growth between sweeps) re-requests its missing ranges.
     last_progress: u64,
+    /// Snapshot transfer replacing the compacted log prefix, if the
+    /// notifier's log no longer reaches back to what we are missing.
+    snap: Option<SnapPull>,
 }
 
 /// A complete Omni-Paxos server: the service layer plus the per-
@@ -177,8 +218,19 @@ struct MigrationState<T> {
 pub struct OmniPaxosServer<T: Entry> {
     config: ServerConfig,
     /// The replicated log across all configurations (decided entries only).
+    /// `log[0]` is service entry `log_start`: the prefix below it has been
+    /// compacted away and is superseded by `snapshot`.
     log: Vec<T>,
-    /// Cursor for [`OmniPaxosServer::poll_applied`].
+    /// Absolute index of `log[0]` (0 until the owner compacts).
+    log_start: u64,
+    /// State-machine snapshot covering entries `[0, idx)` where
+    /// `idx == log_start`; served to joiners instead of the trimmed prefix.
+    snapshot: Option<(u64, SnapshotData)>,
+    /// A snapshot adopted from a peer (migration or replication-layer
+    /// transfer) that the owner has not yet restored; see
+    /// [`OmniPaxosServer::take_snapshot_event`].
+    snapshot_event: Option<(u64, SnapshotData)>,
+    /// Cursor for [`OmniPaxosServer::poll_applied`] (absolute index).
     polled_idx: u64,
     config_id: u32,
     role: ServerRole,
@@ -230,6 +282,7 @@ impl<T: Entry> OmniPaxosServer<T> {
             nodes,
             omni,
             applied_idx: 0,
+            base: 0,
             stopped: false,
         });
         server
@@ -245,6 +298,9 @@ impl<T: Entry> OmniPaxosServer<T> {
         OmniPaxosServer {
             config,
             log: Vec::new(),
+            log_start: 0,
+            snapshot: None,
+            snapshot_event: None,
             polled_idx: 0,
             config_id: 0,
             role: ServerRole::Idle,
@@ -269,6 +325,9 @@ impl<T: Entry> OmniPaxosServer<T> {
             priority: self.config.priority,
             connectivity_priority: self.config.connectivity_priority,
             buffer_size: 1_000_000,
+            // One knob sizes both bulk transfers: migration segments and
+            // replication-layer snapshot chunks.
+            snapshot_chunk_bytes: self.config.chunk_bytes,
         }
     }
 
@@ -287,15 +346,84 @@ impl<T: Entry> OmniPaxosServer<T> {
         self.role
     }
 
-    /// The decided service-layer log.
+    /// The decided service-layer log above the compaction point: entry `i`
+    /// of the slice is service entry `log_start() + i`.
     pub fn log(&self) -> &[T] {
         &self.log
     }
 
+    /// Absolute index of the first retained log entry (0 until the owner
+    /// compacts via [`OmniPaxosServer::provide_snapshot`]).
+    pub fn log_start(&self) -> u64 {
+        self.log_start
+    }
+
+    /// Total decided service-log length, counting the compacted prefix.
+    pub fn decided_len(&self) -> u64 {
+        self.log_start + self.log.len() as u64
+    }
+
+    /// The state-machine snapshot superseding the compacted prefix, if any:
+    /// `(idx, data)` where `data` reproduces the state after entries
+    /// `[0, idx)`.
+    pub fn snapshot(&self) -> Option<(u64, SnapshotData)> {
+        self.snapshot.clone()
+    }
+
+    /// Compact the service log: `data` must be the owner's state-machine
+    /// snapshot covering entries `[0, upto)`. The prefix below `upto` is
+    /// dropped from the service log (joiners migrating it receive the
+    /// snapshot instead), and the active replication instance compacts and
+    /// checkpoints its own log up to the same point. Fails with
+    /// [`TrimError`] if `upto` exceeds the decided length or does not
+    /// advance the compaction point.
+    pub fn provide_snapshot(&mut self, upto: u64, data: SnapshotData) -> Result<(), TrimError> {
+        let len = self.decided_len();
+        if upto > len {
+            return Err(TrimError::BeyondDecided {
+                decided_idx: len,
+                requested: upto,
+            });
+        }
+        if upto <= self.log_start {
+            return Err(TrimError::AlreadyTrimmed {
+                compacted_idx: self.log_start,
+                requested: upto,
+            });
+        }
+        // Compact the replication instance first so its validation (and its
+        // durable checkpoint) runs before the service log forgets the
+        // prefix; any error surfaces with nothing mutated.
+        if let Some(active) = &mut self.active {
+            if upto > active.base {
+                let omni_idx = upto - active.base;
+                if omni_idx > active.omni.compacted_idx() {
+                    active.omni.compact(omni_idx, data.clone())?;
+                }
+            }
+        }
+        self.log.drain(..(upto - self.log_start) as usize);
+        self.log_start = upto;
+        self.polled_idx = self.polled_idx.max(upto);
+        self.segment_cache.clear();
+        self.snapshot = Some((upto, data));
+        Ok(())
+    }
+
+    /// A snapshot adopted from a peer since the last call (snapshot-first
+    /// migration, or a replication-layer transfer after this server's
+    /// prefix was compacted away cluster-wide). The owner must restore its
+    /// state machine from it before applying further
+    /// [`OmniPaxosServer::poll_applied`] entries; those entries resume
+    /// above the snapshot index.
+    pub fn take_snapshot_event(&mut self) -> Option<(u64, SnapshotData)> {
+        self.snapshot_event.take()
+    }
+
     /// Entries applied since the last call (client notifications).
     pub fn poll_applied(&mut self) -> Vec<T> {
-        let from = self.polled_idx as usize;
-        self.polled_idx = self.log.len() as u64;
+        let from = (self.polled_idx.max(self.log_start) - self.log_start) as usize;
+        self.polled_idx = self.decided_len();
         self.log[from..].to_vec()
     }
 
@@ -369,7 +497,8 @@ impl<T: Entry> OmniPaxosServer<T> {
                 ss,
                 old_nodes,
                 log_len,
-            } => self.handle_start_config(from, ss, old_nodes, log_len),
+                snap_idx,
+            } => self.handle_start_config(from, ss, old_nodes, log_len, snap_idx),
             ServiceMsg::ConfigStarted { config_id } => {
                 self.notify_pending
                     .retain(|(pid, ss, _, _)| !(*pid == from && ss.config_id <= config_id));
@@ -381,6 +510,13 @@ impl<T: Entry> OmniPaxosServer<T> {
                 served_to,
                 requested_to,
             } => self.handle_segment_resp(from, start, entries, served_to, requested_to),
+            ServiceMsg::SnapReq { offset } => self.handle_snap_req(from, offset),
+            ServiceMsg::SnapResp {
+                idx,
+                offset,
+                chunk,
+                total,
+            } => self.handle_snap_resp(from, idx, offset, chunk, total),
         }
     }
 
@@ -436,6 +572,19 @@ impl<T: Entry> OmniPaxosServer<T> {
     /// Apply newly decided entries of the active instance to the service
     /// log, and run the reconfiguration handover when a stop-sign decides.
     fn pump_active(&mut self) {
+        // A snapshot installed by the replication layer (chunked transfer
+        // from the leader after this follower's missing prefix was
+        // compacted away) supersedes the service log below its index:
+        // adopt it before applying entries, and skip the apply cursor past
+        // it — the owner restores the state machine from the snapshot.
+        let installed = self.active.as_mut().and_then(|a| {
+            let (omni_idx, data) = a.omni.take_installed_snapshot()?;
+            a.applied_idx = a.applied_idx.max(omni_idx);
+            Some((a.base + omni_idx, data))
+        });
+        if let Some((abs, data)) = installed {
+            self.adopt_snapshot(abs, data);
+        }
         let Some(active) = &mut self.active else {
             return;
         };
@@ -464,6 +613,25 @@ impl<T: Entry> OmniPaxosServer<T> {
         }
     }
 
+    /// Adopt a peer's snapshot as the new service-log prefix: entries below
+    /// `idx` are superseded, the owner is handed the snapshot to restore
+    /// from, and applied/polled cursors jump past it.
+    fn adopt_snapshot(&mut self, idx: u64, data: SnapshotData) {
+        if idx <= self.log_start {
+            return; // stale: already compacted at least this far
+        }
+        if idx >= self.decided_len() {
+            self.log.clear();
+        } else {
+            self.log.drain(..(idx - self.log_start) as usize);
+        }
+        self.log_start = idx;
+        self.polled_idx = self.polled_idx.max(idx);
+        self.segment_cache.clear();
+        self.snapshot = Some((idx, data.clone()));
+        self.snapshot_event = Some((idx, data));
+    }
+
     /// The stop-sign has been decided in the current configuration (§6):
     /// start the next configuration and notify new servers.
     fn handover(&mut self, ss: StopSign) {
@@ -472,7 +640,7 @@ impl<T: Entry> OmniPaxosServer<T> {
             .as_ref()
             .map(|a| a.nodes.clone())
             .unwrap_or_default();
-        let log_len = self.log.len() as u64;
+        let log_len = self.decided_len();
         // Notify every other server involved in the switch: new servers of
         // c_{i+1} missed the stop-sign entirely, and old servers may not
         // have seen it *decided* before this server tore c_i down (the
@@ -494,6 +662,7 @@ impl<T: Entry> OmniPaxosServer<T> {
                     ss: ss.clone(),
                     old_nodes: old_nodes.clone(),
                     log_len,
+                    snap_idx: self.log_start,
                 },
             ));
         }
@@ -513,6 +682,7 @@ impl<T: Entry> OmniPaxosServer<T> {
         ss: StopSign,
         old_nodes: Vec<NodeId>,
         log_len: u64,
+        snap_idx: u64,
     ) {
         if self.config_id >= ss.config_id {
             // Already there (duplicate notification): just ack.
@@ -542,7 +712,7 @@ impl<T: Entry> OmniPaxosServer<T> {
         if self.migration.is_some() {
             return; // already migrating this configuration
         }
-        if (self.log.len() as u64) >= log_len {
+        if self.decided_len() >= log_len {
             // Nothing to migrate (fresh system or we somehow have it all).
             self.start_config(ss);
             self.ack_started(&old_nodes);
@@ -558,11 +728,29 @@ impl<T: Entry> OmniPaxosServer<T> {
             MigrationScheme::Parallel => old_nodes.clone(),
             MigrationScheme::LeaderOnly => vec![from],
         };
+        // Snapshot-first catch-up (the tentpole of the snapshot subsystem):
+        // if the notifier compacted past what we are missing, the prefix
+        // below its `snap_idx` no longer exists as log entries anywhere we
+        // can rely on — pull the state-machine snapshot from the notifier
+        // while the tail above `snap_idx` is striped across the other
+        // donors in parallel. The local log is only rewritten once the
+        // snapshot actually arrives (a donor without one answers
+        // `total == 0` and we fall back to full log migration).
+        let snap = (snap_idx > self.decided_len() && snap_idx > self.log_start).then(|| {
+            self.outgoing
+                .push((from, ServiceMsg::SnapReq { offset: 0 }));
+            SnapPull {
+                donor: from,
+                idx: snap_idx,
+                total: 0,
+                buf: Vec::new(),
+            }
+        });
         // The migration's end state is known up front: reserve the log once
-        // instead of re-copying it through capacity doublings as 'chunks
+        // instead of re-copying it through capacity doublings as chunks
         // fold in.
-        self.log
-            .reserve((log_len as usize).saturating_sub(self.log.len()));
+        let floor = snap.as_ref().map_or(self.decided_len(), |s| s.idx);
+        self.log.reserve(log_len.saturating_sub(floor) as usize);
         self.migration = Some(MigrationState {
             ss,
             donors,
@@ -571,6 +759,7 @@ impl<T: Entry> OmniPaxosServer<T> {
             next_donor: 0,
             assigned: HashMap::new(),
             last_progress: u64::MAX,
+            snap,
         });
         self.request_missing();
     }
@@ -580,11 +769,14 @@ impl<T: Entry> OmniPaxosServer<T> {
     /// volume evenly even when entry sizes vary across the log.
     fn request_missing(&mut self) {
         let stripe = self.config.stripe_entries.max(1);
+        let have = self.decided_len();
         let Some(mig) = &mut self.migration else {
             return;
         };
         let mut missing: Vec<(u64, u64)> = Vec::new();
-        let mut cursor = self.log.len() as u64;
+        // Entries below an in-flight snapshot pull arrive as the snapshot,
+        // not as log segments: stripe only the tail above it.
+        let mut cursor = have.max(mig.snap.as_ref().map_or(0, |s| s.idx));
         for (&start, chunk) in &mig.chunks {
             let end = start + chunk.len() as u64;
             if start > cursor {
@@ -632,10 +824,13 @@ impl<T: Entry> OmniPaxosServer<T> {
         // one arrives, so the transfer is self-clocked at the path rate and
         // bulk migration cannot monopolize the donor's NIC (the flow
         // control a TCP stream would provide).
-        let have = self.log.len() as u64;
+        let have = self.decided_len();
         let served_to = to.min(have);
-        if lo >= served_to {
-            // Nothing to serve: report the shortfall immediately.
+        if lo < self.log_start || lo >= served_to {
+            // Nothing to serve: the range is beyond what we have decided,
+            // or below our compaction point (those entries only exist as
+            // the snapshot now — the requester must pull that instead).
+            // Report the shortfall immediately.
             self.outgoing.push((
                 from,
                 ServiceMsg::SegmentResp {
@@ -663,10 +858,12 @@ impl<T: Entry> OmniPaxosServer<T> {
                     && end - lo < self.config.chunk_entries
                     && bytes < self.config.chunk_bytes
                 {
-                    bytes += self.log[end as usize].size_bytes();
+                    bytes += self.log[(end - self.log_start) as usize].size_bytes();
                     end += 1;
                 }
-                let batch: Arc<[T]> = self.log[lo as usize..end as usize].into();
+                let batch: Arc<[T]> = self.log
+                    [(lo - self.log_start) as usize..(end - self.log_start) as usize]
+                    .into();
                 if self.segment_cache.len() >= SEGMENT_CACHE_MAX {
                     self.segment_cache.clear();
                 }
@@ -693,11 +890,12 @@ impl<T: Entry> OmniPaxosServer<T> {
         _served_to: u64,
         requested_to: u64,
     ) {
+        let log_start = self.log_start;
         let Some(mig) = &mut self.migration else {
             return;
         };
         let chunk_end = start + entries.len() as u64;
-        let cursor = self.log.len() as u64;
+        let cursor = log_start + self.log.len() as u64;
         if !entries.is_empty() && chunk_end > cursor {
             if start <= cursor {
                 // In-order arrival (the common case of a healthy donor
@@ -729,29 +927,137 @@ impl<T: Entry> OmniPaxosServer<T> {
                 }
             }
         }
-        // Fold contiguous chunks into the log.
+        self.fold_chunks();
+        self.maybe_finish_migration();
+        // Shortfalls (served_to < requested_to) are re-planned by the
+        // periodic retry, which recomputes all missing ranges.
+    }
+
+    /// Fold out-of-order chunks that have become contiguous with the log.
+    fn fold_chunks(&mut self) {
+        let Some(mig) = &mut self.migration else {
+            return;
+        };
         loop {
-            let cursor = self.log.len() as u64;
+            let cursor = self.log_start + self.log.len() as u64;
             let Some((&start, _)) = mig.chunks.range(..=cursor).next_back() else {
                 break;
             };
             let chunk = mig.chunks.remove(&start).expect("key exists");
             let end = start + chunk.len() as u64;
             if end <= cursor {
-                continue; // fully duplicate
+                continue; // fully duplicate (or superseded by a snapshot)
             }
             let skip = (cursor - start) as usize;
             self.log.extend_from_slice(&chunk[skip..]);
         }
-        let done = self.log.len() as u64 >= mig.target_len;
+    }
+
+    /// Start the configuration once the log is complete: both the snapshot
+    /// (if one is being pulled) and every entry up to the target length
+    /// must have arrived.
+    fn maybe_finish_migration(&mut self) {
+        let done = self.migration.as_ref().is_some_and(|mig| {
+            mig.snap.is_none() && self.log_start + self.log.len() as u64 >= mig.target_len
+        });
         if done {
             let mig = self.migration.take().expect("checked above");
             let donors = mig.donors.clone();
             self.start_config(mig.ss);
             self.ack_started(&donors);
         }
-        // Shortfalls (served_to < requested_to) are re-planned by the
-        // periodic retry, which recomputes all missing ranges.
+    }
+
+    /// Donor side of the snapshot transfer: serve one bounded chunk of our
+    /// snapshot from `offset`; the requester pulls the next chunk when this
+    /// one arrives (self-clocked, like segment migration).
+    fn handle_snap_req(&mut self, from: NodeId, offset: u64) {
+        let Some((idx, data)) = &self.snapshot else {
+            // No snapshot here: tell the requester to fall back to full
+            // log migration.
+            self.outgoing.push((
+                from,
+                ServiceMsg::SnapResp {
+                    idx: 0,
+                    offset,
+                    chunk: Vec::new().into(),
+                    total: 0,
+                },
+            ));
+            return;
+        };
+        let total = data.len() as u64;
+        let lo = offset.min(total);
+        let hi = total.min(lo + self.config.chunk_bytes as u64);
+        let chunk: Arc<[u8]> = data[lo as usize..hi as usize].into();
+        self.outgoing.push((
+            from,
+            ServiceMsg::SnapResp {
+                idx: *idx,
+                offset: lo,
+                chunk,
+                total,
+            },
+        ));
+    }
+
+    /// Joiner side of the snapshot transfer.
+    fn handle_snap_resp(
+        &mut self,
+        from: NodeId,
+        idx: u64,
+        offset: u64,
+        chunk: Arc<[u8]>,
+        total: u64,
+    ) {
+        let Some(mig) = &mut self.migration else {
+            return;
+        };
+        let Some(snap) = &mut mig.snap else {
+            return;
+        };
+        if snap.donor != from {
+            return;
+        }
+        if total == 0 {
+            // The donor has no snapshot after all: fall back to migrating
+            // the full missing range as log segments.
+            mig.snap = None;
+            self.request_missing();
+            return;
+        }
+        if idx != snap.idx {
+            // The donor compacted further while we were pulling: its
+            // snapshot now covers more of the log. Restart the pull at the
+            // new index and re-plan the tail stripes (fetched segments
+            // below the new index are dropped when folding).
+            snap.idx = idx;
+            snap.total = total;
+            snap.buf.clear();
+            self.outgoing
+                .push((from, ServiceMsg::SnapReq { offset: 0 }));
+            self.request_missing();
+            return;
+        }
+        snap.total = total;
+        if offset == snap.buf.len() as u64 && !chunk.is_empty() {
+            snap.buf.extend_from_slice(&chunk);
+        }
+        if (snap.buf.len() as u64) < total {
+            let next = snap.buf.len() as u64;
+            self.outgoing
+                .push((from, ServiceMsg::SnapReq { offset: next }));
+            return;
+        }
+        // Complete: adopt it as the service-log prefix, hand it to the
+        // owner to restore from, and fold any tail chunks that became
+        // contiguous with the new start.
+        let data: SnapshotData = std::mem::take(&mut snap.buf).into();
+        let snap_idx = snap.idx;
+        mig.snap = None;
+        self.adopt_snapshot(snap_idx, data);
+        self.fold_chunks();
+        self.maybe_finish_migration();
     }
 
     fn ack_started(&mut self, peers: &[NodeId]) {
@@ -783,28 +1089,37 @@ impl<T: Entry> OmniPaxosServer<T> {
             nodes: ss.next_nodes,
             omni,
             applied_idx: 0,
+            base: self.decided_len(),
             stopped: false,
         });
         self.reconfigurations += 1;
     }
 
     fn retry_migration(&mut self) {
-        let progress =
-            self.log.len() as u64 + self.migration.as_ref().map_or(0, |m| m.chunks.len() as u64);
+        let progress = self.decided_len()
+            + self.migration.as_ref().map_or(0, |m| {
+                m.chunks.len() as u64 + m.snap.as_ref().map_or(0, |s| s.buf.len() as u64)
+            });
         let Some(mig) = &mut self.migration else {
             return;
         };
         let stalled = mig.last_progress == progress;
         mig.last_progress = progress;
         if stalled {
-            // No chunk arrived since the last sweep: a donor died or a
-            // request was lost — re-plan the missing ranges.
+            // Nothing arrived since the last sweep: a donor died or a
+            // request was lost — re-plan the missing ranges and resume the
+            // snapshot pull from where it stopped.
+            if let Some(snap) = &mig.snap {
+                let (donor, offset) = (snap.donor, snap.buf.len() as u64);
+                self.outgoing.push((donor, ServiceMsg::SnapReq { offset }));
+            }
             self.request_missing();
         }
     }
 
     fn retry_notifications(&mut self) {
         let pending = self.notify_pending.clone();
+        let snap_idx = self.log_start;
         for (pid, ss, old_nodes, log_len) in pending {
             self.outgoing.push((
                 pid,
@@ -812,6 +1127,7 @@ impl<T: Entry> OmniPaxosServer<T> {
                     ss,
                     old_nodes,
                     log_len,
+                    snap_idx,
                 },
             ));
         }
@@ -875,6 +1191,7 @@ mod tests {
                 ss: StopSign::new(2, vec![4, 5, 6]),
                 old_nodes: vec![1, 2, 3],
                 log_len: 10,
+                snap_idx: 0,
             },
         );
         assert_eq!(j.role(), ServerRole::Idle, "not in next_nodes: ignore");
@@ -889,6 +1206,7 @@ mod tests {
                 ss: StopSign::new(2, vec![1, 2, 4]),
                 old_nodes: vec![1, 2, 3],
                 log_len: 0,
+                snap_idx: 0,
             },
         );
         assert_eq!(j.role(), ServerRole::Active);
@@ -912,6 +1230,7 @@ mod tests {
                 ss: StopSign::new(2, vec![1, 2, 4]),
                 old_nodes: vec![1, 2, 3],
                 log_len: 100,
+                snap_idx: 0,
             },
         );
         assert_eq!(j.role(), ServerRole::Migrating);
@@ -938,6 +1257,7 @@ mod tests {
                 ss: ss.clone(),
                 old_nodes: vec![1, 2, 3],
                 log_len: 0,
+                snap_idx: 0,
             },
         );
         assert_eq!(j.config_id(), 2);
@@ -948,6 +1268,7 @@ mod tests {
                 ss,
                 old_nodes: vec![1, 2, 3],
                 log_len: 0,
+                snap_idx: 0,
             },
         );
         assert_eq!(j.config_id(), 2, "no restart");
@@ -1025,7 +1346,201 @@ mod tests {
             ss: StopSign::new(2, vec![1, 2, 3]),
             old_nodes: vec![1, 2, 3],
             log_len: 10,
+            snap_idx: 0,
         };
         assert!(sc.size_bytes() > 32);
+    }
+
+    /// A donor of configuration 1 with entries `0..20` applied and the
+    /// prefix below 15 compacted into a snapshot.
+    fn compacted_donor(pid: NodeId) -> (OmniPaxosServer<u64>, SnapshotData) {
+        let mut s = OmniPaxosServer::with_storage(
+            ServerConfig::with(pid),
+            vec![1, 2, 3],
+            crate::storage::MemoryStorage::with_decided_log((0..20u64).collect()),
+        );
+        s.tick(); // absorb the pre-loaded history into the service log
+        let _ = s.outgoing();
+        let snap: SnapshotData = vec![0xAB; 64].into();
+        s.provide_snapshot(15, snap.clone()).expect("compact");
+        (s, snap)
+    }
+
+    #[test]
+    fn provide_snapshot_compacts_log_and_replication_instance() {
+        let (mut s, snap) = compacted_donor(1);
+        assert_eq!(s.log_start(), 15);
+        assert_eq!(s.decided_len(), 20);
+        assert_eq!(s.log(), &[15, 16, 17, 18, 19]);
+        assert_eq!(s.snapshot(), Some((15, snap.clone())));
+        assert_eq!(s.omni().unwrap().compacted_idx(), 15);
+        // Errors surface instead of silently trimming.
+        assert_eq!(
+            s.provide_snapshot(25, snap.clone()),
+            Err(TrimError::BeyondDecided {
+                decided_idx: 20,
+                requested: 25
+            })
+        );
+        assert_eq!(
+            s.provide_snapshot(10, snap),
+            Err(TrimError::AlreadyTrimmed {
+                compacted_idx: 15,
+                requested: 10
+            })
+        );
+    }
+
+    #[test]
+    fn segment_req_below_the_compaction_point_reports_shortfall() {
+        let (mut s, _) = compacted_donor(1);
+        s.handle(9, ServiceMsg::SegmentReq { from: 5, to: 20 });
+        let out = s.outgoing();
+        let resp = out
+            .iter()
+            .find_map(|(_, m)| match m {
+                ServiceMsg::SegmentResp {
+                    entries, served_to, ..
+                } => Some((entries.len(), *served_to)),
+                _ => None,
+            })
+            .expect("shortfall response");
+        assert_eq!(resp, (0, 5), "compacted prefix is not served as entries");
+    }
+
+    #[test]
+    fn snap_req_serves_the_snapshot_in_bounded_chunks() {
+        let (mut s, snap) = compacted_donor(1);
+        s.handle(9, ServiceMsg::SnapReq { offset: 0 });
+        let out = s.outgoing();
+        let (idx, offset, chunk, total) = out
+            .iter()
+            .find_map(|(to, m)| match m {
+                ServiceMsg::SnapResp {
+                    idx,
+                    offset,
+                    chunk,
+                    total,
+                } if *to == 9 => Some((*idx, *offset, chunk.clone(), *total)),
+                _ => None,
+            })
+            .expect("snapshot chunk");
+        assert_eq!((idx, offset, total), (15, 0, 64));
+        assert_eq!(chunk[..], snap[..]);
+    }
+
+    #[test]
+    fn snap_req_without_a_snapshot_signals_fallback() {
+        let mut s = server(1);
+        s.handle(9, ServiceMsg::SnapReq { offset: 0 });
+        let out = s.outgoing();
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == 9 && matches!(m, ServiceMsg::SnapResp { total: 0, .. })),
+            "no snapshot: fallback signal: {out:?}"
+        );
+    }
+
+    #[test]
+    fn joiner_migrates_snapshot_first_with_parallel_tail() {
+        let (mut donor, snap) = compacted_donor(1);
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(4));
+        j.handle(
+            1,
+            ServiceMsg::StartConfig {
+                ss: StopSign::new(2, vec![1, 2, 4]),
+                old_nodes: vec![1, 2, 3],
+                log_len: 20,
+                snap_idx: 15,
+            },
+        );
+        assert_eq!(j.role(), ServerRole::Migrating);
+        let out = j.outgoing();
+        // The snapshot is pulled from the notifier...
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == 1 && matches!(m, ServiceMsg::SnapReq { offset: 0 })),
+            "snapshot requested from the notifier: {out:?}"
+        );
+        // ...while the tail above the snapshot is requested as segments (in
+        // parallel, from the donor set).
+        let seg_reqs: Vec<(NodeId, u64, u64)> = out
+            .iter()
+            .filter_map(|(to, m)| match m {
+                ServiceMsg::SegmentReq { from, to: hi } => Some((*to, *from, *hi)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seg_reqs.iter().map(|&(_, lo, _)| lo).min(), Some(15));
+        assert!(seg_reqs.iter().all(|&(_, lo, _)| lo >= 15));
+        // Deliver the tail segment FIRST (out of order w.r.t. the
+        // snapshot): it must be buffered, not applied at position 0.
+        let (seg_donor, lo, hi) = seg_reqs[0];
+        donor.handle(4, ServiceMsg::SegmentReq { from: lo, to: hi });
+        let seg_resp = donor
+            .outgoing()
+            .into_iter()
+            .find_map(|(to, m)| (to == 4).then_some(m))
+            .expect("segment response");
+        assert_eq!(seg_donor, 1, "single-donor test setup");
+        j.handle(1, seg_resp);
+        assert_eq!(j.role(), ServerRole::Migrating, "snapshot still missing");
+        // Now the snapshot chunk arrives and completes the migration.
+        donor.handle(4, ServiceMsg::SnapReq { offset: 0 });
+        let snap_resp = donor
+            .outgoing()
+            .into_iter()
+            .find_map(|(to, m)| (to == 4 && matches!(m, ServiceMsg::SnapResp { .. })).then_some(m))
+            .expect("snapshot response");
+        j.handle(1, snap_resp);
+        assert_eq!(j.role(), ServerRole::Active);
+        assert_eq!(j.config_id(), 2);
+        assert_eq!(j.log_start(), 15);
+        assert_eq!(j.decided_len(), 20);
+        assert_eq!(j.log(), &[15, 16, 17, 18, 19]);
+        assert_eq!(
+            j.take_snapshot_event(),
+            Some((15, snap)),
+            "owner is handed the snapshot to restore from"
+        );
+    }
+
+    #[test]
+    fn joiner_falls_back_to_log_migration_when_donor_lost_its_snapshot() {
+        let mut j: OmniPaxosServer<u64> = OmniPaxosServer::new_joiner(ServerConfig::with(4));
+        j.handle(
+            1,
+            ServiceMsg::StartConfig {
+                ss: StopSign::new(2, vec![1, 2, 4]),
+                old_nodes: vec![1, 2, 3],
+                log_len: 20,
+                snap_idx: 15,
+            },
+        );
+        let _ = j.outgoing();
+        // The supposed snapshot donor answers `total == 0`: re-plan the
+        // whole range as log segments.
+        j.handle(
+            1,
+            ServiceMsg::SnapResp {
+                idx: 0,
+                offset: 0,
+                chunk: Vec::new().into(),
+                total: 0,
+            },
+        );
+        let reqs: Vec<u64> = j
+            .outgoing()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                ServiceMsg::SegmentReq { from, .. } => Some(from),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reqs.iter().min(),
+            Some(&0),
+            "full range re-planned: {reqs:?}"
+        );
     }
 }

@@ -13,6 +13,7 @@
 //! remain stable.
 
 use crate::ballot::Ballot;
+use crate::snapshot::{SnapshotData, SnapshotRef};
 use crate::util::{Entry, LogEntry};
 use std::sync::Arc;
 
@@ -133,6 +134,32 @@ pub trait Storage<T: Entry> {
     /// Discard entries below `idx` (absolute). Only decided entries may be
     /// trimmed.
     fn trim(&mut self, idx: u64) -> Result<(), TrimError>;
+
+    /// Record a snapshot covering `[0, idx)` and trim the prefix it
+    /// supersedes, as one operation. The snapshot replaces the trimmed
+    /// entries as the recoverable representation of that prefix, so the
+    /// same safety rules as [`Storage::trim`] apply: `idx` must not exceed
+    /// the decided index and must not fall below an older compaction
+    /// point. On success the log keeps only `[idx, log_len)` and
+    /// [`Storage::get_snapshot`] returns the new record.
+    fn set_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError>;
+
+    /// Install a snapshot received from a peer, discarding the local log
+    /// entirely: after this call the log is empty, `compacted_idx ==
+    /// decided_idx == idx`, and the snapshot record is `data`. Volatile
+    /// promise state is kept (the caller persists the accepted round of
+    /// the leader that shipped the snapshot). Used by the follower side of
+    /// the chunked snapshot transfer, where the local log is strictly
+    /// older than the snapshot.
+    fn install_snapshot(&mut self, idx: u64, data: SnapshotData);
+
+    /// The most recent snapshot record, if any.
+    fn get_snapshot(&self) -> Option<SnapshotRef>;
+
+    /// Rewrite persistent state into its most compact durable form (for a
+    /// WAL: one checkpoint record — embedding the latest snapshot — plus
+    /// the live tail). In-memory implementations need not do anything.
+    fn checkpoint(&mut self) {}
 }
 
 /// The in-memory reference [`Storage`].
@@ -147,6 +174,7 @@ pub struct MemoryStorage<T: Entry> {
     promise: Ballot,
     accepted_round: Ballot,
     decided_idx: u64,
+    snapshot: Option<SnapshotRef>,
 }
 
 impl<T: Entry> Default for MemoryStorage<T> {
@@ -157,6 +185,7 @@ impl<T: Entry> Default for MemoryStorage<T> {
             promise: Ballot::bottom(),
             accepted_round: Ballot::bottom(),
             decided_idx: 0,
+            snapshot: None,
         }
     }
 }
@@ -178,6 +207,7 @@ impl<T: Entry> MemoryStorage<T> {
             promise: Ballot::bottom(),
             accepted_round: Ballot::bottom(),
             decided_idx,
+            snapshot: None,
         }
     }
 
@@ -266,6 +296,23 @@ impl<T: Entry> Storage<T> for MemoryStorage<T> {
         self.log.drain(..rel);
         self.compacted_idx = idx;
         Ok(())
+    }
+
+    fn set_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError> {
+        self.trim(idx)?;
+        self.snapshot = Some(SnapshotRef { idx, data });
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) {
+        self.log.clear();
+        self.compacted_idx = idx;
+        self.decided_idx = idx;
+        self.snapshot = Some(SnapshotRef { idx, data });
+    }
+
+    fn get_snapshot(&self) -> Option<SnapshotRef> {
+        self.snapshot.clone()
     }
 }
 
@@ -370,6 +417,51 @@ mod tests {
         assert_eq!(s.get_log_len(), 100);
         assert_eq!(s.get_decided_idx(), 100);
         assert_eq!(s.get_promise(), Ballot::bottom());
+    }
+
+    #[test]
+    fn set_snapshot_supersedes_the_trimmed_prefix() {
+        let mut s = MemoryStorage::new();
+        s.append_entries((1..=10).map(norm).collect());
+        s.set_decided_idx(8);
+        let snap: crate::snapshot::SnapshotData = vec![1u8, 2, 3].into();
+        // Beyond decided: rejected, nothing changes.
+        assert!(matches!(
+            s.set_snapshot(9, snap.clone()),
+            Err(TrimError::BeyondDecided { .. })
+        ));
+        assert_eq!(s.get_snapshot(), None);
+        s.set_snapshot(6, snap.clone())
+            .expect("snapshot decided prefix");
+        assert_eq!(s.get_compacted_idx(), 6);
+        assert_eq!(s.get_log_len(), 10);
+        let r = s.get_snapshot().expect("snapshot recorded");
+        assert_eq!(r.idx, 6);
+        assert_eq!(&r.data[..], &[1, 2, 3]);
+        // Regressing below the compaction point is rejected.
+        assert!(matches!(
+            s.set_snapshot(4, snap),
+            Err(TrimError::AlreadyTrimmed { .. })
+        ));
+    }
+
+    #[test]
+    fn install_snapshot_resets_the_log() {
+        let mut s = MemoryStorage::new();
+        s.append_entries((1..=5).map(norm).collect());
+        s.set_decided_idx(3);
+        s.set_promise(Ballot::new(2, 0, 1));
+        let snap: crate::snapshot::SnapshotData = vec![9u8; 4].into();
+        s.install_snapshot(100, snap);
+        assert_eq!(s.get_log_len(), 100);
+        assert_eq!(s.get_compacted_idx(), 100);
+        assert_eq!(s.get_decided_idx(), 100);
+        assert_eq!(s.get_snapshot().expect("installed").idx, 100);
+        // Promise survives: the install is log state, not ballot state.
+        assert_eq!(s.get_promise(), Ballot::new(2, 0, 1));
+        // The log continues above the snapshot.
+        assert_eq!(s.append_entry(norm(7)), 101);
+        assert_eq!(s.get_suffix(100), vec![norm(7)]);
     }
 
     #[test]

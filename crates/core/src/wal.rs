@@ -25,6 +25,7 @@
 //! model permits.
 
 use crate::ballot::Ballot;
+use crate::snapshot::{SnapshotData, SnapshotRef};
 use crate::storage::{Storage, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
 use std::fs::{File, OpenOptions};
@@ -56,6 +57,12 @@ const TAG_ACCEPTED_ROUND: u8 = 4;
 const TAG_DECIDED: u8 = 5;
 const TAG_TRIM: u8 = 6;
 const TAG_CHECKPOINT: u8 = 7;
+/// A snapshot record: `[idx: u64][snapshot bytes]`. Trims the covered
+/// prefix like `TRIM`, and the bytes supersede it as the recoverable form.
+const TAG_SNAPSHOT: u8 = 8;
+/// A snapshot *install* (received from a peer): same payload, but resets
+/// the whole log — after replay `compacted_idx == decided_idx == idx`.
+const TAG_SNAPSHOT_INSTALL: u8 = 9;
 
 /// FNV-1a over the framed bytes; cheap and sufficient to detect torn
 /// writes (we are not defending against bit rot here).
@@ -161,6 +168,7 @@ pub struct WalStorage<T: WalEncode> {
     promise: Ballot,
     accepted_round: Ballot,
     decided_idx: u64,
+    snapshot: Option<SnapshotRef>,
     /// Records appended since the last checkpoint.
     records_since_checkpoint: u64,
     /// Rewrite the file after this many records (0 = never).
@@ -193,6 +201,7 @@ impl<T: WalEncode> WalStorage<T> {
             promise: Ballot::bottom(),
             accepted_round: Ballot::bottom(),
             decided_idx: 0,
+            snapshot: None,
             records_since_checkpoint: 0,
             checkpoint_every: 100_000,
             pending_appends: 0,
@@ -288,6 +297,39 @@ impl<T: WalEncode> WalStorage<T> {
                 }
                 None => false,
             },
+            TAG_SNAPSHOT => {
+                // Compaction by snapshot: trim semantics plus the record.
+                let Some(idx) = get_u64(payload, 0) else {
+                    return false;
+                };
+                if idx < self.compacted_idx {
+                    return false;
+                }
+                let rel = (idx - self.compacted_idx) as usize;
+                if rel > self.log.len() {
+                    return false;
+                }
+                self.log.drain(..rel);
+                self.compacted_idx = idx;
+                self.snapshot = Some(SnapshotRef {
+                    idx,
+                    data: payload[8..].into(),
+                });
+                true
+            }
+            TAG_SNAPSHOT_INSTALL => {
+                let Some(idx) = get_u64(payload, 0) else {
+                    return false;
+                };
+                self.log.clear();
+                self.compacted_idx = idx;
+                self.decided_idx = idx;
+                self.snapshot = Some(SnapshotRef {
+                    idx,
+                    data: payload[8..].into(),
+                });
+                true
+            }
             TAG_CHECKPOINT => {
                 // Full-state record: everything before it is superseded.
                 let Some(compacted) = get_u64(payload, 0) else {
@@ -313,11 +355,35 @@ impl<T: WalEncode> WalStorage<T> {
                     };
                     log.push(e);
                 }
+                // Embedded snapshot (recovery = snapshot + tail replay):
+                // `[has: u8]` then, if 1, `[idx: u64][len: u64][bytes]`.
+                let snapshot = match payload.get(at) {
+                    Some(1) => {
+                        let Some(idx) = get_u64(payload, at + 1) else {
+                            return false;
+                        };
+                        let Some(len) = get_u64(payload, at + 9) else {
+                            return false;
+                        };
+                        let Some(data) = payload.get(at + 17..at + 17 + len as usize) else {
+                            return false;
+                        };
+                        Some(SnapshotRef {
+                            idx,
+                            data: data.into(),
+                        })
+                    }
+                    Some(0) => None,
+                    // A pre-snapshot checkpoint record ends at the log.
+                    None => None,
+                    _ => return false,
+                };
                 self.compacted_idx = compacted;
                 self.promise = promise;
                 self.accepted_round = acc;
                 self.decided_idx = decided;
                 self.log = log;
+                self.snapshot = snapshot;
                 true
             }
             _ => false,
@@ -371,11 +437,18 @@ impl<T: WalEncode> WalStorage<T> {
         self.flush_buffers(true)
     }
 
-    /// Rewrite the file as a single checkpoint record of the live state.
+    /// Rewrite the file as a single checkpoint record of the live state
+    /// (embedding the latest snapshot, so recovery is snapshot + tail
+    /// replay).
     pub fn checkpoint(&mut self) -> std::io::Result<()> {
-        // Buffered records are superseded by the full-state snapshot.
-        self.pending_appends = 0;
-        self.wbuf.clear();
+        // Drain the group-commit buffer into the checkpoint: frame pending
+        // appends so the mirror and `wbuf` agree, build the full-state
+        // payload from the mirror (which therefore includes every buffered
+        // mutation), and only discard the buffered records once the rename
+        // has actually made the checkpoint durable. If the tmp-file write
+        // or the rename fails, `wbuf` still holds the records and the next
+        // flush appends them to the (intact) old file — nothing is lost.
+        self.materialize_appends();
         let mut payload = Vec::new();
         payload.extend_from_slice(&self.compacted_idx.to_le_bytes());
         put_ballot(&mut payload, self.promise);
@@ -384,6 +457,15 @@ impl<T: WalEncode> WalStorage<T> {
         payload.extend_from_slice(&(self.log.len() as u64).to_le_bytes());
         for e in &self.log {
             put_log_entry(&mut payload, e);
+        }
+        match &self.snapshot {
+            Some(s) => {
+                payload.push(1);
+                payload.extend_from_slice(&s.idx.to_le_bytes());
+                payload.extend_from_slice(&(s.data.len() as u64).to_le_bytes());
+                payload.extend_from_slice(&s.data);
+            }
+            None => payload.push(0),
         }
         let mut frame = Vec::with_capacity(payload.len() + 9);
         frame.push(TAG_CHECKPOINT);
@@ -398,6 +480,8 @@ impl<T: WalEncode> WalStorage<T> {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        // The checkpoint now supersedes everything buffered.
+        self.wbuf.clear();
         self.file = OpenOptions::new()
             .read(true)
             .append(true)
@@ -516,6 +600,59 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
 
     fn flush(&mut self) {
         self.flush_buffers(true).expect("WAL flush");
+    }
+
+    fn set_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError> {
+        if idx > self.decided_idx {
+            return Err(TrimError::BeyondDecided {
+                decided_idx: self.decided_idx,
+                requested: idx,
+            });
+        }
+        if idx < self.compacted_idx {
+            return Err(TrimError::AlreadyTrimmed {
+                compacted_idx: self.compacted_idx,
+                requested: idx,
+            });
+        }
+        // Frame pending appends before the drain shifts the tail.
+        self.materialize_appends();
+        let rel = self.rel(idx);
+        self.log.drain(..rel);
+        self.compacted_idx = idx;
+        self.snapshot = Some(SnapshotRef {
+            idx,
+            data: data.clone(),
+        });
+        let mut payload = Vec::with_capacity(8 + data.len());
+        payload.extend_from_slice(&idx.to_le_bytes());
+        payload.extend_from_slice(&data);
+        self.buffer_record(TAG_SNAPSHOT, &payload);
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) {
+        // The whole local log is superseded; drop any pending appends of it.
+        self.pending_appends = 0;
+        self.log.clear();
+        self.compacted_idx = idx;
+        self.decided_idx = idx;
+        self.snapshot = Some(SnapshotRef {
+            idx,
+            data: data.clone(),
+        });
+        let mut payload = Vec::with_capacity(8 + data.len());
+        payload.extend_from_slice(&idx.to_le_bytes());
+        payload.extend_from_slice(&data);
+        self.buffer_record(TAG_SNAPSHOT_INSTALL, &payload);
+    }
+
+    fn get_snapshot(&self) -> Option<SnapshotRef> {
+        self.snapshot.clone()
+    }
+
+    fn checkpoint(&mut self) {
+        WalStorage::checkpoint(self).expect("WAL checkpoint");
     }
 }
 
@@ -712,6 +849,132 @@ mod tests {
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
         assert_eq!(w.get_log_len(), 500);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn buffered_appends_survive_a_checkpoint_then_reopen() {
+        // Regression: `checkpoint()` must drain the group-commit append
+        // buffer into the checkpoint record. Appends here are buffered but
+        // never explicitly flushed; the process "crashes" right after the
+        // checkpoint (mem::forget skips the Drop flush), so the checkpoint
+        // itself is the only thing that can have made them durable.
+        let path = tmp("ckpt-drain");
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=20).map(norm).collect());
+            w.set_decided_idx(20);
+            w.checkpoint().unwrap();
+            std::mem::forget(w); // crash: no Drop, no flush
+        }
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(w.get_log_len(), 20, "buffered appends lost by checkpoint");
+        assert_eq!(w.get_decided_idx(), 20);
+        assert_eq!(w.get_entries(0, 20), (1..=20).map(norm).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_record_survives_reopen() {
+        let path = tmp("snap");
+        let snap: SnapshotData = (0u8..100).collect::<Vec<u8>>().into();
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=10).map(norm).collect());
+            w.set_decided_idx(10);
+            w.set_snapshot(6, snap.clone()).unwrap();
+            w.sync().unwrap();
+        }
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(w.get_compacted_idx(), 6);
+        assert_eq!(w.get_log_len(), 10);
+        let r = w.get_snapshot().expect("snapshot replayed");
+        assert_eq!(r.idx, 6);
+        assert_eq!(r.data, snap);
+        assert_eq!(w.get_entries(6, 8), vec![norm(7), norm(8)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn installed_snapshot_survives_reopen() {
+        let path = tmp("snap-install");
+        let snap: SnapshotData = vec![7u8; 64].into();
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=5).map(norm).collect());
+            w.install_snapshot(1000, snap.clone());
+            w.append_entry(norm(42)); // the tail continues above it
+            w.sync().unwrap();
+        }
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(w.get_compacted_idx(), 1000);
+        assert_eq!(w.get_decided_idx(), 1000);
+        assert_eq!(w.get_log_len(), 1001);
+        assert_eq!(w.get_snapshot().expect("installed").data, snap);
+        assert_eq!(w.get_entries(1000, 1001), vec![norm(42)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_embeds_the_snapshot() {
+        let path = tmp("snap-ckpt");
+        let snap: SnapshotData = vec![3u8; 32].into();
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=10).map(norm).collect());
+            w.set_decided_idx(10);
+            w.set_snapshot(8, snap.clone()).unwrap();
+            w.checkpoint().unwrap();
+            std::mem::forget(w); // only the checkpoint record exists
+        }
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        let r = w.get_snapshot().expect("snapshot embedded in checkpoint");
+        assert_eq!(r.idx, 8);
+        assert_eq!(r.data, snap);
+        assert_eq!(w.get_compacted_idx(), 8);
+        assert_eq!(w.get_suffix(8), vec![norm(9), norm(10)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_snapshot_record_replays_to_pre_snapshot_state() {
+        // Property: truncating the file anywhere inside the snapshot
+        // record must replay to exactly the pre-snapshot state — never a
+        // corrupt or partially-applied snapshot. We cut at every offset
+        // within the record (its payload carries a recognizable pattern).
+        let path = tmp("snap-torn");
+        let snap: SnapshotData = (0u8..=255).collect::<Vec<u8>>().into();
+        let pre_len;
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=10).map(norm).collect());
+            w.set_decided_idx(10);
+            w.sync().unwrap();
+            pre_len = std::fs::metadata(&path).unwrap().len();
+            w.set_snapshot(7, snap).unwrap();
+            w.sync().unwrap();
+            std::mem::forget(w);
+        }
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() > pre_len as usize, "snapshot record appended");
+        for cut in pre_len as usize..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            assert_eq!(
+                w.get_snapshot(),
+                None,
+                "torn snapshot (cut at {cut}) must not apply"
+            );
+            assert_eq!(w.get_compacted_idx(), 0, "torn snapshot must not trim");
+            assert_eq!(w.get_log_len(), 10);
+            assert_eq!(w.get_decided_idx(), 10);
+            assert_eq!(w.get_entries(0, 10), (1..=10).map(norm).collect::<Vec<_>>());
+        }
+        // And the complete record applies.
+        std::fs::write(&path, &full).unwrap();
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(w.get_snapshot().expect("whole record applies").idx, 7);
+        assert_eq!(w.get_compacted_idx(), 7);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,213 @@
+//! Acceptance tests for the snapshot subsystem: a follower that was
+//! partitioned long enough for the leader to compact past its log must
+//! catch up via the chunked snapshot transfer and converge — in both
+//! memory-backed and WAL-backed clusters.
+
+use omnipaxos::snapshot::SnapshotData;
+use omnipaxos::storage::Storage;
+use omnipaxos::wal::WalStorage;
+use omnipaxos::{LogEntry, MemoryStorage, OmniPaxos, OmniPaxosConfig};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("omnipaxos-snap-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Deliver all messages for `rounds` rounds, dropping anything to or from
+/// the nodes in `cut` (a network partition).
+fn settle_cut<S: Storage<u64>>(replicas: &mut [OmniPaxos<u64, S>], rounds: usize, cut: &[u64]) {
+    for _ in 0..rounds {
+        for i in 0..replicas.len() {
+            replicas[i].tick();
+            let from = replicas[i].pid();
+            for m in replicas[i].outgoing_messages() {
+                let to = m.to();
+                if cut.contains(&from) || cut.contains(&to) {
+                    continue;
+                }
+                replicas[(to - 1) as usize].handle_message(m);
+            }
+        }
+    }
+}
+
+/// The scenario, generic over storage: decide 30 entries while one
+/// follower is partitioned, compact the connected majority past its log,
+/// heal, and require convergence via snapshot transfer (the trimmed prefix
+/// cannot be replayed as log entries any more).
+fn partitioned_follower_converges_via_snapshot<S, F>(mut make: F)
+where
+    S: Storage<u64>,
+    F: FnMut(u64) -> S,
+{
+    let nodes = vec![1u64, 2, 3];
+    let mut replicas: Vec<OmniPaxos<u64, S>> = nodes
+        .iter()
+        .map(|&pid| {
+            let mut cfg = OmniPaxosConfig::with(1, pid, nodes.clone());
+            // Force a genuinely chunked transfer: the 1000-byte snapshot
+            // below crosses several 256-byte chunks and acks.
+            cfg.snapshot_chunk_bytes = 256;
+            OmniPaxos::new(cfg, make(pid))
+        })
+        .collect();
+    settle_cut(&mut replicas, 60, &[]);
+    let leader = replicas.iter().position(|r| r.is_leader()).expect("leader");
+    let follower = (leader + 1) % 3;
+    let follower_pid = (follower + 1) as u64;
+
+    // Partition the follower; the connected majority keeps deciding.
+    for v in 1..=30u64 {
+        replicas[leader].append(v).expect("append");
+    }
+    settle_cut(&mut replicas, 60, &[follower_pid]);
+    assert_eq!(replicas[leader].decided_idx(), 30);
+    assert_eq!(replicas[follower].decided_idx(), 0, "follower is cut off");
+
+    // The application compacts the connected servers at 25: the prefix the
+    // follower is missing no longer exists as log entries.
+    let snap: SnapshotData = (0..1000u32).map(|i| i as u8).collect::<Vec<u8>>().into();
+    for (i, r) in replicas.iter_mut().enumerate() {
+        if i != follower {
+            r.compact(25, snap.clone()).expect("compact");
+            assert_eq!(r.compacted_idx(), 25);
+        }
+    }
+    settle_cut(&mut replicas, 30, &[follower_pid]);
+
+    // Heal. Sessions re-establish (§4.1.3), the follower asks the leader
+    // to re-sync, and the leader must bridge the compacted gap with a
+    // chunked snapshot transfer before streaming the tail.
+    for r in replicas.iter_mut() {
+        for &p in &nodes {
+            if p != r.pid() {
+                r.reconnected(p);
+            }
+        }
+    }
+    settle_cut(&mut replicas, 200, &[]);
+
+    assert_eq!(
+        replicas[follower].compacted_idx(),
+        25,
+        "follower adopted the snapshot's compaction point"
+    );
+    assert_eq!(replicas[follower].decided_idx(), 30);
+    assert_eq!(
+        replicas[follower].take_installed_snapshot(),
+        Some((25, snap)),
+        "the installed snapshot surfaces to the owner exactly once"
+    );
+    assert_eq!(
+        replicas[follower].take_installed_snapshot(),
+        None,
+        "event is consumed"
+    );
+    let tail: Vec<u64> = replicas[follower]
+        .read_decided(25)
+        .into_iter()
+        .filter_map(|e| match e {
+            LogEntry::Normal(v) => Some(v),
+            LogEntry::StopSign(_) => None,
+        })
+        .collect();
+    assert_eq!(
+        tail,
+        vec![26, 27, 28, 29, 30],
+        "tail above snapshot replays"
+    );
+
+    // The healed cluster keeps making progress.
+    let leader = replicas.iter().position(|r| r.is_leader()).expect("leader");
+    replicas[leader].append(31).expect("append");
+    settle_cut(&mut replicas, 60, &[]);
+    for r in &replicas {
+        assert_eq!(r.decided_idx(), 31, "replica {} lags", r.pid());
+    }
+}
+
+#[test]
+fn memory_cluster_converges_via_snapshot_transfer() {
+    partitioned_follower_converges_via_snapshot(|_| MemoryStorage::<u64>::new());
+}
+
+#[test]
+fn wal_cluster_converges_via_snapshot_transfer() {
+    let paths: Vec<PathBuf> = (1..=3).map(|i| tmp(&format!("xfer{i}"))).collect();
+    {
+        let p = paths.clone();
+        partitioned_follower_converges_via_snapshot(move |pid| {
+            WalStorage::open(&p[(pid - 1) as usize]).expect("open wal")
+        });
+    }
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn wal_follower_recovers_snapshot_and_tail_from_disk() {
+    // After converging via snapshot transfer, a crash + reopen of the
+    // follower's WAL must reproduce snapshot + tail (recovery is snapshot
+    // plus tail replay, not full-log replay).
+    let nodes = vec![1u64, 2, 3];
+    let paths: Vec<PathBuf> = (1..=3).map(|i| tmp(&format!("reco{i}"))).collect();
+    let mut replicas: Vec<OmniPaxos<u64, WalStorage<u64>>> = nodes
+        .iter()
+        .zip(&paths)
+        .map(|(&pid, path)| {
+            OmniPaxos::new(
+                OmniPaxosConfig::with(1, pid, nodes.clone()),
+                WalStorage::open(path).expect("open"),
+            )
+        })
+        .collect();
+    settle_cut(&mut replicas, 60, &[]);
+    let leader = replicas.iter().position(|r| r.is_leader()).expect("leader");
+    let follower = (leader + 1) % 3;
+    let follower_pid = (follower + 1) as u64;
+    for v in 1..=20u64 {
+        replicas[leader].append(v).expect("append");
+    }
+    settle_cut(&mut replicas, 60, &[follower_pid]);
+    let snap: SnapshotData = vec![0x5A; 128].into();
+    for (i, r) in replicas.iter_mut().enumerate() {
+        if i != follower {
+            r.compact(20, snap.clone()).expect("compact");
+        }
+    }
+    for r in replicas.iter_mut() {
+        for &p in &nodes {
+            if p != r.pid() {
+                r.reconnected(p);
+            }
+        }
+    }
+    settle_cut(&mut replicas, 200, &[]);
+    assert_eq!(replicas[follower].compacted_idx(), 20);
+
+    // Crash the follower and reopen its WAL: the snapshot and compaction
+    // point must come back from disk.
+    drop(std::mem::replace(
+        &mut replicas[follower],
+        OmniPaxos::new(
+            OmniPaxosConfig::with(1, follower_pid, nodes.clone()),
+            WalStorage::open(&paths[follower]).expect("reopen"),
+        ),
+    ));
+    assert_eq!(replicas[follower].compacted_idx(), 20);
+    assert_eq!(replicas[follower].decided_idx(), 20);
+    let disk_snap = replicas[follower]
+        .sequence_paxos()
+        .storage()
+        .get_snapshot()
+        .expect("snapshot persisted");
+    assert_eq!(disk_snap.idx, 20);
+    assert_eq!(disk_snap.data[..], snap[..]);
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+}

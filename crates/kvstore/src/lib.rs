@@ -17,7 +17,7 @@
 
 pub mod store;
 
-pub use store::{KvCommand, KvNode, KvOp, KvResult};
+pub use store::{KvCommand, KvNode, KvOp, KvResult, KvStateMachine};
 
 /// Server identifier, shared with the `omnipaxos` crate.
 pub type NodeId = omnipaxos::NodeId;

@@ -2,6 +2,8 @@
 
 use omnipaxos::sequence_paxos::ProposeErr;
 use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
+use omnipaxos::snapshot::{SnapshotData, Snapshottable};
+use omnipaxos::storage::TrimError;
 use omnipaxos::{Entry, NodeId};
 use std::collections::HashMap;
 
@@ -66,109 +68,36 @@ pub struct KvResult {
     pub applied: bool,
 }
 
-/// One key-value server: an Omni-Paxos replica plus the applied state.
-pub struct KvNode {
-    server: OmniPaxosServer<KvCommand>,
+/// The bare key-value state machine: the applied map plus the client
+/// session table (the session table is part of the state — a snapshot that
+/// forgot it would re-apply retried commands after a restore).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStateMachine {
     state: HashMap<String, i64>,
     /// Highest applied sequence number per client (session dedup).
     sessions: HashMap<u64, u64>,
-    results: Vec<KvResult>,
 }
 
-impl KvNode {
-    /// A server of the initial configuration `nodes`.
-    pub fn new(pid: NodeId, nodes: Vec<NodeId>) -> Self {
-        KvNode {
-            server: OmniPaxosServer::new(ServerConfig::with(pid), nodes),
-            state: HashMap::new(),
-            sessions: HashMap::new(),
-            results: Vec::new(),
-        }
-    }
-
-    /// This server's id.
-    pub fn pid(&self) -> NodeId {
-        self.server.pid()
-    }
-
-    /// Is this server the current leader?
-    pub fn is_leader(&self) -> bool {
-        self.server.is_leader()
-    }
-
-    /// Submit a command for replication.
-    pub fn submit(&mut self, cmd: KvCommand) -> Result<(), ProposeErr> {
-        self.server.propose(cmd)
-    }
-
-    /// Eventually-consistent local read (no log round-trip).
-    pub fn read_local(&self, key: &str) -> Option<i64> {
-        self.state.get(key).copied()
-    }
-
-    /// Linearizable read: replicate a read marker; the result arrives via
-    /// [`KvNode::take_results`] once the marker decides.
-    pub fn read_linearizable(
-        &mut self,
-        client: u64,
-        seq: u64,
-        key: impl Into<String>,
-    ) -> Result<(), ProposeErr> {
-        self.submit(KvCommand {
-            client,
-            seq,
-            op: KvOp::Read { key: key.into() },
-        })
-    }
-
-    /// Advance timers, apply newly decided commands.
-    pub fn tick(&mut self) {
-        self.server.tick();
-        for cmd in self.server.poll_applied() {
-            self.apply(cmd);
-        }
-    }
-
-    /// Feed one incoming message.
-    pub fn handle(&mut self, from: NodeId, msg: ServiceMsg<KvCommand>) {
-        self.server.handle(from, msg);
-        for cmd in self.server.poll_applied() {
-            self.apply(cmd);
-        }
-    }
-
-    /// Drain outgoing messages.
-    pub fn outgoing(&mut self) -> Vec<(NodeId, ServiceMsg<KvCommand>)> {
-        self.server.outgoing()
-    }
-
-    /// Results of commands applied since the last call.
-    pub fn take_results(&mut self) -> Vec<KvResult> {
-        std::mem::take(&mut self.results)
-    }
-
-    /// The applied state (for inspection and tests).
+impl KvStateMachine {
+    /// The applied key-value map.
     pub fn state(&self) -> &HashMap<String, i64> {
         &self.state
     }
 
-    /// Access the underlying replication server (partitions, recovery).
-    pub fn server(&mut self) -> &mut OmniPaxosServer<KvCommand> {
-        &mut self.server
-    }
-
-    fn apply(&mut self, cmd: KvCommand) {
+    /// Apply one decided command, returning its client-visible result.
+    /// Exactly-once: duplicate `(client, seq)` pairs report
+    /// `applied: false` and leave the state untouched.
+    pub fn apply(&mut self, cmd: KvCommand) -> KvResult {
         // Session dedup: at-most-once per (client, seq). Reads are also
         // markers, so they participate in the same numbering.
         let last = self.sessions.entry(cmd.client).or_insert(0);
         if cmd.seq <= *last {
-            self.results.push(KvResult {
+            return KvResult {
                 client: cmd.client,
                 seq: cmd.seq,
                 value: None,
                 applied: false,
-            });
-            return;
+            };
         }
         *last = cmd.seq;
         let (value, applied) = match cmd.op {
@@ -197,12 +126,182 @@ impl KvNode {
             }
             KvOp::Read { key } => (self.state.get(&key).copied(), true),
         };
-        self.results.push(KvResult {
+        KvResult {
             client: cmd.client,
             seq: cmd.seq,
             value,
             applied,
-        });
+        }
+    }
+}
+
+/// Snapshot wire format (deterministic: maps are emitted in sorted order,
+/// so equal states produce byte-identical snapshots):
+///
+/// ```text
+/// [n_state: u64] ([klen: u32][key bytes][value: i64])*   sorted by key
+/// [n_sessions: u64] ([client: u64][seq: u64])*           sorted by client
+/// ```
+impl Snapshottable for KvStateMachine {
+    fn snapshot(&self) -> SnapshotData {
+        let mut buf = Vec::new();
+        let mut keys: Vec<&String> = self.state.keys().collect();
+        keys.sort();
+        buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        for k in keys {
+            buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            buf.extend_from_slice(k.as_bytes());
+            buf.extend_from_slice(&self.state[k].to_le_bytes());
+        }
+        let mut clients: Vec<u64> = self.sessions.keys().copied().collect();
+        clients.sort_unstable();
+        buf.extend_from_slice(&(clients.len() as u64).to_le_bytes());
+        for c in clients {
+            buf.extend_from_slice(&c.to_le_bytes());
+            buf.extend_from_slice(&self.sessions[&c].to_le_bytes());
+        }
+        buf.into()
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        fn take<const N: usize>(data: &[u8], at: &mut usize) -> [u8; N] {
+            let out: [u8; N] = data[*at..*at + N].try_into().expect("truncated snapshot");
+            *at += N;
+            out
+        }
+        let mut at = 0usize;
+        let mut state = HashMap::new();
+        let n_state = u64::from_le_bytes(take(data, &mut at));
+        for _ in 0..n_state {
+            let klen = u32::from_le_bytes(take(data, &mut at)) as usize;
+            let key = String::from_utf8(data[at..at + klen].to_vec()).expect("utf8 key");
+            at += klen;
+            let value = i64::from_le_bytes(take(data, &mut at));
+            state.insert(key, value);
+        }
+        let mut sessions = HashMap::new();
+        let n_sessions = u64::from_le_bytes(take(data, &mut at));
+        for _ in 0..n_sessions {
+            let client = u64::from_le_bytes(take(data, &mut at));
+            let seq = u64::from_le_bytes(take(data, &mut at));
+            sessions.insert(client, seq);
+        }
+        self.state = state;
+        self.sessions = sessions;
+    }
+}
+
+/// One key-value server: an Omni-Paxos replica plus the applied state.
+pub struct KvNode {
+    server: OmniPaxosServer<KvCommand>,
+    sm: KvStateMachine,
+    results: Vec<KvResult>,
+}
+
+impl KvNode {
+    /// A server of the initial configuration `nodes`.
+    pub fn new(pid: NodeId, nodes: Vec<NodeId>) -> Self {
+        KvNode {
+            server: OmniPaxosServer::new(ServerConfig::with(pid), nodes),
+            sm: KvStateMachine::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// This server's id.
+    pub fn pid(&self) -> NodeId {
+        self.server.pid()
+    }
+
+    /// Is this server the current leader?
+    pub fn is_leader(&self) -> bool {
+        self.server.is_leader()
+    }
+
+    /// Submit a command for replication.
+    pub fn submit(&mut self, cmd: KvCommand) -> Result<(), ProposeErr> {
+        self.server.propose(cmd)
+    }
+
+    /// Eventually-consistent local read (no log round-trip).
+    pub fn read_local(&self, key: &str) -> Option<i64> {
+        self.sm.state.get(key).copied()
+    }
+
+    /// Linearizable read: replicate a read marker; the result arrives via
+    /// [`KvNode::take_results`] once the marker decides.
+    pub fn read_linearizable(
+        &mut self,
+        client: u64,
+        seq: u64,
+        key: impl Into<String>,
+    ) -> Result<(), ProposeErr> {
+        self.submit(KvCommand {
+            client,
+            seq,
+            op: KvOp::Read { key: key.into() },
+        })
+    }
+
+    /// Advance timers, apply newly decided commands.
+    pub fn tick(&mut self) {
+        self.server.tick();
+        self.pump();
+    }
+
+    /// Feed one incoming message.
+    pub fn handle(&mut self, from: NodeId, msg: ServiceMsg<KvCommand>) {
+        self.server.handle(from, msg);
+        self.pump();
+    }
+
+    /// Restore a snapshot adopted from a peer (snapshot-first catch-up),
+    /// then apply the decided tail above it.
+    fn pump(&mut self) {
+        if let Some((_, data)) = self.server.take_snapshot_event() {
+            self.sm.restore(&data);
+        }
+        for cmd in self.server.poll_applied() {
+            let result = self.sm.apply(cmd);
+            self.results.push(result);
+        }
+    }
+
+    /// Compact this server's log: snapshot the state machine at everything
+    /// applied so far, drop the superseded log prefix, and checkpoint the
+    /// replication instance. Returns the compaction index. Errors (e.g.
+    /// nothing new to compact) surface instead of being swallowed.
+    pub fn compact(&mut self) -> Result<u64, TrimError> {
+        self.pump(); // the snapshot must cover everything decided
+        let upto = self.server.decided_len();
+        let data = self.sm.snapshot();
+        self.server.provide_snapshot(upto, data)?;
+        Ok(upto)
+    }
+
+    /// Drain outgoing messages.
+    pub fn outgoing(&mut self) -> Vec<(NodeId, ServiceMsg<KvCommand>)> {
+        self.server.outgoing()
+    }
+
+    /// Results of commands applied since the last call.
+    pub fn take_results(&mut self) -> Vec<KvResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// The applied state (for inspection and tests).
+    pub fn state(&self) -> &HashMap<String, i64> {
+        &self.sm.state
+    }
+
+    /// The full state machine, sessions included (for convergence checks).
+    pub fn state_machine(&self) -> &KvStateMachine {
+        &self.sm
+    }
+
+    /// Access the underlying replication server (partitions, recovery).
+    pub fn server(&mut self) -> &mut OmniPaxosServer<KvCommand> {
+        &mut self.server
     }
 }
 
@@ -210,7 +309,7 @@ impl std::fmt::Debug for KvNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvNode")
             .field("server", &self.server)
-            .field("keys", &self.state.len())
+            .field("keys", &self.sm.state.len())
             .finish()
     }
 }
@@ -221,6 +320,12 @@ mod tests {
 
     /// Run a fully connected in-memory cluster until quiescent.
     fn run(nodes: &mut [KvNode], steps: usize) {
+        run_cut(nodes, steps, &[]);
+    }
+
+    /// Like [`run`], but messages to or from the nodes in `cut` are
+    /// dropped (a network partition).
+    fn run_cut(nodes: &mut [KvNode], steps: usize, cut: &[NodeId]) {
         for _ in 0..steps {
             for n in nodes.iter_mut() {
                 n.tick();
@@ -229,6 +334,9 @@ mod tests {
             for n in nodes.iter_mut() {
                 let from = n.pid();
                 for (to, m) in n.outgoing() {
+                    if cut.contains(&from) || cut.contains(&to) {
+                        continue;
+                    }
                     inbox.push((from, to, m));
                 }
             }
@@ -396,36 +504,130 @@ mod tests {
         }
     }
 
+    fn mixed_op(seq: u64) -> KvOp {
+        match seq % 4 {
+            0 => KvOp::Put {
+                key: format!("k{}", seq % 7),
+                value: seq as i64,
+            },
+            1 => KvOp::Add {
+                key: format!("k{}", seq % 5),
+                delta: 2,
+            },
+            2 => KvOp::Delete {
+                key: format!("k{}", seq % 3),
+            },
+            _ => KvOp::Transfer {
+                from: format!("k{}", seq % 5),
+                to: format!("k{}", seq % 7),
+                amount: 1,
+            },
+        }
+    }
+
     #[test]
     fn state_machines_converge_identically() {
         let mut nodes = cluster(5);
         run(&mut nodes, 150);
         let li = leader_idx(&nodes);
         for seq in 1..=50u64 {
-            let op = match seq % 4 {
-                0 => KvOp::Put {
-                    key: format!("k{}", seq % 7),
-                    value: seq as i64,
-                },
-                1 => KvOp::Add {
-                    key: format!("k{}", seq % 5),
-                    delta: 2,
-                },
-                2 => KvOp::Delete {
-                    key: format!("k{}", seq % 3),
-                },
-                _ => KvOp::Transfer {
-                    from: format!("k{}", seq % 5),
-                    to: format!("k{}", seq % 7),
-                    amount: 1,
-                },
-            };
+            let op = mixed_op(seq);
             nodes[li].submit(KvCommand { client: 3, seq, op }).unwrap();
         }
         run(&mut nodes, 200);
-        let reference = nodes[0].state().clone();
+        // Mid-stream compaction on every server must not disturb
+        // convergence: the log prefix is superseded by the snapshot.
+        for n in nodes.iter_mut() {
+            n.compact().expect("compact");
+        }
+        let li = leader_idx(&nodes);
+        for seq in 51..=80u64 {
+            let op = mixed_op(seq);
+            nodes[li].submit(KvCommand { client: 3, seq, op }).unwrap();
+        }
+        run(&mut nodes, 200);
+        let reference = nodes[0].state_machine().clone();
         for n in &nodes[1..] {
-            assert_eq!(n.state(), &reference, "replicas must converge");
+            assert_eq!(
+                n.state_machine(),
+                &reference,
+                "replicas must converge (sessions included)"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reproduces_the_state_machine() {
+        use omnipaxos::snapshot::Snapshottable;
+        let mut sm = KvStateMachine::default();
+        for seq in 1..=40u64 {
+            sm.apply(KvCommand {
+                client: seq % 3,
+                seq,
+                op: mixed_op(seq),
+            });
+        }
+        let snap = sm.snapshot();
+        let mut restored = KvStateMachine::default();
+        restored.restore(&snap);
+        assert_eq!(restored, sm);
+        // Deterministic: equal states encode to identical bytes.
+        assert_eq!(restored.snapshot()[..], snap[..]);
+        // The session table is part of the snapshot: a retried command is
+        // still deduplicated after restore.
+        let dup = restored.apply(KvCommand {
+            client: 1,
+            seq: 1,
+            op: KvOp::Add {
+                key: "k1".into(),
+                delta: 100,
+            },
+        });
+        assert!(!dup.applied, "retry after restore must not re-apply");
+    }
+
+    /// The satellite scenario: a follower is partitioned long enough for
+    /// the rest of the cluster to compact past its log; on heal it must
+    /// recover via snapshot transfer (the prefix no longer exists as log
+    /// entries) and converge to the identical state machine.
+    #[test]
+    fn partitioned_follower_recovers_via_snapshot_after_compaction() {
+        let mut nodes = cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        let cut_pid = nodes[(li + 1) % 3].pid();
+        for seq in 1..=30u64 {
+            let op = mixed_op(seq);
+            nodes[li].submit(KvCommand { client: 3, seq, op }).unwrap();
+        }
+        run_cut(&mut nodes, 150, &[cut_pid]);
+        // The connected majority compacts everything it decided: the
+        // partitioned follower's missing prefix is gone from every log.
+        let mut compacted_at = 0;
+        for n in nodes.iter_mut() {
+            if n.pid() != cut_pid {
+                compacted_at = n.compact().expect("compact");
+            }
+        }
+        assert_eq!(compacted_at, 30);
+        run_cut(&mut nodes, 50, &[cut_pid]);
+        // Heal: the follower re-syncs via chunked snapshot transfer, then
+        // fresh traffic replicates to everyone.
+        run(&mut nodes, 300);
+        let li = leader_idx(&nodes);
+        for seq in 31..=35u64 {
+            let op = mixed_op(seq);
+            nodes[li].submit(KvCommand { client: 3, seq, op }).unwrap();
+        }
+        run(&mut nodes, 300);
+        let reference = nodes[0].state_machine().clone();
+        for n in nodes.iter_mut() {
+            assert_eq!(n.state_machine(), &reference, "identical state machines");
+            assert!(
+                n.server().log_start() >= 30,
+                "prefix was never re-migrated as entries (pid {})",
+                n.pid()
+            );
         }
     }
 }

@@ -15,4 +15,12 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> snapshot property tests"
+cargo test -q -p omnipaxos --test snapshot_transfer
+cargo test -q -p omnipaxos torn_snapshot_record_replays_to_pre_snapshot_state
+cargo test -q -p kvstore snapshot
+
+echo "==> catchup bench (quick): snapshot-first vs full-log replay"
+cargo run --release -q -p bench --bin hotpath -- --catchup --quick
+
 echo "CI OK"
