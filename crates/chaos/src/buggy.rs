@@ -1,0 +1,134 @@
+//! An intentionally broken replica for harness regression tests.
+//!
+//! [`BuggyOmniReplica`] models the classic **ack-before-persist** bug: the
+//! server acknowledges (and delivers) decided entries before they are
+//! actually durable, so a crash loses the tail of its decided log. On
+//! recovery it rebuilds from a decided log missing the last few entries —
+//! exactly what a write-behind storage layer without fsync-before-ack
+//! produces.
+//!
+//! The chaos harness must catch this through its durability invariants
+//! (delivery cursor / decided-log length never move backwards across
+//! recovery); a harness change that stops catching it is a regression.
+
+use cluster::protocol::{OmniReplica, ProtoMsg, Replica};
+use cluster::{Cmd, NodeId};
+use omnipaxos::MigrationScheme;
+
+/// How many tail entries the fake non-durable storage loses per crash.
+const LOST_TAIL: usize = 2;
+
+/// An [`OmniReplica`] whose recovery path drops the tail of its decided
+/// log, simulating ack-before-persist.
+pub struct BuggyOmniReplica {
+    inner: OmniReplica,
+    nodes: Vec<NodeId>,
+    hb_timeout_ticks: u64,
+}
+
+impl BuggyOmniReplica {
+    pub fn new(pid: NodeId, nodes: Vec<NodeId>, hb_timeout_ticks: u64) -> Self {
+        BuggyOmniReplica {
+            inner: OmniReplica::new(
+                pid,
+                nodes.clone(),
+                MigrationScheme::Parallel,
+                hb_timeout_ticks,
+                Vec::new(),
+            ),
+            nodes,
+            hb_timeout_ticks,
+        }
+    }
+}
+
+impl Replica for BuggyOmniReplica {
+    fn pid(&self) -> NodeId {
+        self.inner.pid()
+    }
+
+    fn tick(&mut self) {
+        self.inner.tick();
+    }
+
+    fn handle(&mut self, from: NodeId, msg: ProtoMsg) {
+        self.inner.handle(from, msg);
+    }
+
+    fn outgoing(&mut self) -> Vec<(NodeId, ProtoMsg)> {
+        self.inner.outgoing()
+    }
+
+    fn propose(&mut self, cmd: Cmd) -> bool {
+        self.inner.propose(cmd)
+    }
+
+    fn poll_decided(&mut self) -> Vec<u64> {
+        self.inner.poll_decided()
+    }
+
+    fn is_leader(&self) -> bool {
+        self.inner.is_leader()
+    }
+
+    fn leader_rank(&self) -> u64 {
+        self.inner.leader_rank()
+    }
+
+    fn leader_changes(&self) -> u64 {
+        self.inner.leader_changes()
+    }
+
+    fn reconnected(&mut self, pid: NodeId) {
+        self.inner.reconnected(pid);
+    }
+
+    fn fail_recovery(&mut self) {
+        let srv = self.inner.server_ref();
+        if srv.log_start() == 0 {
+            // The bug: rebuild from a decided log missing its tail. Only
+            // reproducible while the full log is retained — after
+            // compaction the lost prefix could not be re-seeded, so fall
+            // back to the correct recovery there.
+            let log: Vec<Cmd> = srv.log().to_vec();
+            let keep = log.len().saturating_sub(LOST_TAIL);
+            self.inner = OmniReplica::new(
+                self.inner.pid(),
+                self.nodes.clone(),
+                MigrationScheme::Parallel,
+                self.hb_timeout_ticks,
+                log[..keep].to_vec(),
+            );
+        } else {
+            self.inner.fail_recovery();
+        }
+    }
+
+    fn reconfigure(&mut self, new_nodes: Vec<NodeId>) -> bool {
+        self.inner.reconfigure(new_nodes)
+    }
+
+    fn reconfig_done(&self) -> bool {
+        self.inner.reconfig_done()
+    }
+
+    fn reconfigured_to(&self, new_nodes: &[NodeId]) -> bool {
+        self.inner.reconfigured_to(new_nodes)
+    }
+
+    fn decided_base(&self) -> u64 {
+        self.inner.decided_base()
+    }
+
+    fn decided_log_ids(&self) -> (u64, Vec<u64>) {
+        self.inner.decided_log_ids()
+    }
+
+    fn leader_epoch(&self) -> Option<(u64, NodeId)> {
+        self.inner.leader_epoch()
+    }
+
+    fn audit_elections(&self) -> Vec<(u64, u64, u64)> {
+        self.inner.audit_elections()
+    }
+}

@@ -1,0 +1,682 @@
+//! The chaos simulation loop: replicas over the simulated network under a
+//! fault schedule, with continuous invariant checking and trace capture.
+
+use crate::buggy::BuggyOmniReplica;
+use crate::monitor::{Breach, Monitor};
+use crate::schedule::{generate, Fault, ScheduledFault};
+use crate::trace::{fingerprint, TraceEvent};
+use crate::NodeId;
+use cluster::protocol::{
+    MpReplica, OmniReplica, ProtoMsg, ProtocolKind, RaftReplica, Replica, VrReplica,
+};
+use cluster::scenarios::{chained_line_cuts, constrained_stage2_cuts, quorum_loss_cuts};
+use cluster::Cmd;
+use omnipaxos::{MigrationScheme, SnapshotData};
+use simulator::{Network, NetworkConfig};
+use std::collections::BTreeSet;
+
+/// Simulated microseconds per tick (timer granularity).
+const TICK_US: u64 = 1_000;
+/// Default one-way link latency, µs.
+const LATENCY_US: u64 = 100;
+/// Election timeout in ticks (BLE round / Raft election base; the failure
+/// detectors of Multi-Paxos and VR run at 4× this, as in the runner).
+const ELECTION_TICKS: u64 = 5;
+/// How often the retained decided logs are fully re-scanned, in ticks.
+/// Delivered batches, cursors and leadership are checked every tick.
+const SCAN_EVERY: u64 = 8;
+/// Liveness probe commands proposed after the forced heal.
+const PROBES: u64 = 4;
+
+/// An intentionally injected bug, for harness regression tests: the
+/// harness must *fail* runs under these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bug {
+    /// Servers acknowledge decided entries before persisting them; a
+    /// crash loses the decided tail (see [`BuggyOmniReplica`]).
+    AckBeforePersist,
+}
+
+/// Configuration of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    pub protocol: ProtocolKind,
+    /// Cluster size (pids `1..=n`).
+    pub n: usize,
+    /// Seed for both schedule generation and the network.
+    pub seed: u64,
+    /// Number of faults to generate.
+    pub fault_events: usize,
+    /// Ticks of the fault phase.
+    pub horizon_ticks: u64,
+    /// Bounded-recovery window after the forced heal, in ticks.
+    pub liveness_ticks: u64,
+    /// Maximum commands proposed during the fault phase.
+    pub propose_cap: u64,
+    /// Injected bug (Omni-Paxos only), for regression tests.
+    pub bug: Option<Bug>,
+}
+
+impl ChaosConfig {
+    /// Default-sized run for `protocol` under `seed`.
+    pub fn new(protocol: ProtocolKind, seed: u64) -> Self {
+        ChaosConfig {
+            protocol,
+            n: 5,
+            seed,
+            fault_events: 14,
+            horizon_ticks: 1_200,
+            liveness_ticks: 6_000,
+            propose_cap: 200,
+            bug: None,
+        }
+    }
+}
+
+/// A detected violation: the failing invariant plus evidence, stamped with
+/// the simulation tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub tick: u64,
+    pub invariant: String,
+    pub detail: String,
+}
+
+/// Everything one run produced: for passing runs a trace and statistics,
+/// for failing runs additionally the violation. Same config ⇒ bit-identical
+/// report (asserted by the determinism tests).
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    pub protocol: ProtocolKind,
+    pub seed: u64,
+    pub n: usize,
+    pub schedule: Vec<ScheduledFault>,
+    pub trace: Vec<TraceEvent>,
+    pub fingerprint: u64,
+    pub violation: Option<Violation>,
+    /// Distinct decided log positions observed cluster-wide.
+    pub decided_positions: u64,
+    /// Ticks from the forced heal until every server had every probe.
+    pub converged_in: Option<u64>,
+}
+
+/// One replica with chaos-specific side doors (compaction, forced
+/// same-membership reconfiguration) that the uniform trait keeps closed.
+enum ChaosNode {
+    Omni(OmniReplica),
+    Buggy(BuggyOmniReplica),
+    Raft(RaftReplica),
+    Mp(MpReplica),
+    Vr(VrReplica),
+}
+
+impl ChaosNode {
+    fn replica(&self) -> &dyn Replica {
+        match self {
+            ChaosNode::Omni(r) => r,
+            ChaosNode::Buggy(r) => r,
+            ChaosNode::Raft(r) => r,
+            ChaosNode::Mp(r) => r,
+            ChaosNode::Vr(r) => r,
+        }
+    }
+
+    fn replica_mut(&mut self) -> &mut dyn Replica {
+        match self {
+            ChaosNode::Omni(r) => r,
+            ChaosNode::Buggy(r) => r,
+            ChaosNode::Raft(r) => r,
+            ChaosNode::Mp(r) => r,
+            ChaosNode::Vr(r) => r,
+        }
+    }
+
+    /// Snapshot-compact at everything applied (Omni-Paxos only). The
+    /// snapshot payload is an opaque marker: the harness replicates plain
+    /// commands, so there is no state machine to serialize — what matters
+    /// is that the log prefix is gone and lagging peers must adopt the
+    /// snapshot instead of fetching entries.
+    fn compact(&mut self) -> Option<u64> {
+        match self {
+            ChaosNode::Omni(r) => {
+                let upto = r.server_ref().applied_cursor();
+                if upto <= r.server_ref().log_start() {
+                    return None;
+                }
+                let data: SnapshotData = std::sync::Arc::from(&b"chaos-snapshot"[..]);
+                r.server().provide_snapshot(upto, data).ok()?;
+                Some(upto)
+            }
+            _ => None,
+        }
+    }
+
+    /// Submit a same-membership reconfiguration (software-upgrade style,
+    /// §6.1). Bypasses the adapter's duplicate-membership guard, which
+    /// exists for the runner's retry loop, not for chaos injection.
+    fn start_reconfigure(&mut self, members: Vec<NodeId>) -> bool {
+        match self {
+            ChaosNode::Omni(r) => r.server().reconfigure(members).is_ok(),
+            ChaosNode::Raft(r) => r.reconfigure(members),
+            _ => false,
+        }
+    }
+}
+
+fn build_nodes(cfg: &ChaosConfig) -> Vec<ChaosNode> {
+    let members: Vec<NodeId> = (1..=cfg.n as NodeId).collect();
+    if cfg.bug.is_some() {
+        assert_eq!(
+            cfg.protocol,
+            ProtocolKind::OmniPaxos,
+            "bug injection wraps the Omni-Paxos adapter"
+        );
+    }
+    members
+        .iter()
+        .map(|&pid| match cfg.protocol {
+            ProtocolKind::OmniPaxos | ProtocolKind::OmniPaxosLeaderMigration => {
+                if cfg.bug == Some(Bug::AckBeforePersist) {
+                    ChaosNode::Buggy(BuggyOmniReplica::new(pid, members.clone(), ELECTION_TICKS))
+                } else {
+                    let scheme = if cfg.protocol == ProtocolKind::OmniPaxos {
+                        MigrationScheme::Parallel
+                    } else {
+                        MigrationScheme::LeaderOnly
+                    };
+                    ChaosNode::Omni(OmniReplica::new(
+                        pid,
+                        members.clone(),
+                        scheme,
+                        ELECTION_TICKS,
+                        Vec::new(),
+                    ))
+                }
+            }
+            ProtocolKind::Raft | ProtocolKind::RaftPvCq => ChaosNode::Raft(RaftReplica::new(
+                pid,
+                members.clone(),
+                cfg.protocol == ProtocolKind::RaftPvCq,
+                ELECTION_TICKS,
+                cfg.seed,
+                Vec::new(),
+            )),
+            ProtocolKind::MultiPaxos => {
+                ChaosNode::Mp(MpReplica::new(pid, members.clone(), ELECTION_TICKS * 4))
+            }
+            ProtocolKind::Vr => {
+                ChaosNode::Vr(VrReplica::new(pid, members.clone(), ELECTION_TICKS * 4))
+            }
+        })
+        .collect()
+}
+
+/// The live simulation state of one chaos run.
+struct Sim {
+    members: Vec<NodeId>,
+    nodes: Vec<ChaosNode>,
+    net: Network<ProtoMsg>,
+    crashed: BTreeSet<NodeId>,
+    /// Cut pairs, normalized `(min, max)`; ordered so `HealAll` heals in a
+    /// deterministic order.
+    cut: BTreeSet<(NodeId, NodeId)>,
+    /// Remembered by `ConstrainedStage1` for stage 2: `(hub, old_leader)`.
+    constrained: Option<(NodeId, NodeId)>,
+    monitor: Monitor,
+    trace: Vec<TraceEvent>,
+    last_epoch: Vec<Option<(u64, NodeId)>>,
+    next_id: u64,
+    proposed_count: u64,
+    violation: Option<Violation>,
+}
+
+impl Sim {
+    fn new(cfg: &ChaosConfig) -> Self {
+        let members: Vec<NodeId> = (1..=cfg.n as NodeId).collect();
+        let net = Network::new(NetworkConfig {
+            nodes: members.clone(),
+            default_latency_us: LATENCY_US,
+            jitter_us: 0,
+            nic_bytes_per_sec: None,
+            priority_bytes: 256,
+            seed: cfg.seed,
+        });
+        Sim {
+            nodes: build_nodes(cfg),
+            net,
+            crashed: BTreeSet::new(),
+            cut: BTreeSet::new(),
+            constrained: None,
+            monitor: Monitor::new(cfg.n),
+            trace: Vec::new(),
+            last_epoch: vec![None; cfg.n],
+            next_id: 0,
+            proposed_count: 0,
+            violation: None,
+            members,
+        }
+    }
+
+    fn live(&self, pid: NodeId) -> bool {
+        !self.crashed.contains(&pid)
+    }
+
+    /// Index of the freshest live leadership claimant.
+    fn leader_idx(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| self.live(n.replica().pid()) && n.replica().is_leader())
+            .max_by_key(|(_, n)| n.replica().leader_rank())
+            .map(|(i, _)| i)
+    }
+
+    fn breach_at(&mut self, tick: u64, b: Breach) {
+        let desc = format!("[{}] {}", b.invariant, b.detail);
+        self.trace.push(TraceEvent::Violation { tick, desc });
+        self.violation = Some(Violation {
+            tick,
+            invariant: b.invariant.to_string(),
+            detail: b.detail,
+        });
+    }
+
+    /// Deliver everything due in the tick ending at `t`.
+    fn deliver(&mut self, t: u64) {
+        let deadline = t * TICK_US;
+        while let Some(d) = self.net.pop_next_before(deadline) {
+            if self.live(d.dst) {
+                self.nodes[(d.dst - 1) as usize]
+                    .replica_mut()
+                    .handle(d.src, d.msg);
+            }
+        }
+        self.net.advance_to(deadline);
+    }
+
+    fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        self.net.links_mut().set_link(a, b, false);
+        self.cut.insert((a.min(b), a.max(b)));
+    }
+
+    fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        if self.net.links_mut().set_link(a, b, true) {
+            // Session-drop protocol: both ends resynchronize, provided
+            // they are up to notice.
+            if self.live(a) {
+                self.nodes[(a - 1) as usize].replica_mut().reconnected(b);
+            }
+            if self.live(b) {
+                self.nodes[(b - 1) as usize].replica_mut().reconnected(a);
+            }
+        }
+        self.cut.remove(&(a.min(b), a.max(b)));
+    }
+
+    fn crash(&mut self, pid: NodeId) -> bool {
+        if !self.crashed.insert(pid) {
+            return false;
+        }
+        self.net.drop_in_flight_for(pid);
+        true
+    }
+
+    /// Fire one fault, resolving leader-relative patterns, and record the
+    /// resolved form in the trace.
+    fn fire(&mut self, t: u64, fault: &Fault) {
+        let leader = self.leader_idx().map(|i| self.members[i]).unwrap_or(0);
+        // Partition patterns need a concrete pivot node even while no
+        // leader is elected; fall back to the lowest member then.
+        let pivot = if leader != 0 { leader } else { self.members[0] };
+        let first_non = |l: NodeId, members: &[NodeId]| {
+            members.iter().copied().find(|&p| p != l).expect("n >= 2")
+        };
+        let desc = match fault {
+            Fault::CutLink(a, b) => {
+                self.cut_link(*a, *b);
+                format!("cut {a}<->{b}")
+            }
+            Fault::HealLink(a, b) => {
+                self.heal_link(*a, *b);
+                format!("heal {a}<->{b}")
+            }
+            Fault::HealAll => {
+                let pairs: Vec<(NodeId, NodeId)> = self.cut.iter().copied().collect();
+                for (a, b) in &pairs {
+                    self.heal_link(*a, *b);
+                }
+                format!("heal-all ({} links)", pairs.len())
+            }
+            Fault::SessionDrop(a, b) => {
+                self.cut_link(*a, *b);
+                self.net.drop_in_flight_between(*a, *b);
+                format!("session-drop {a}<->{b}")
+            }
+            Fault::QuorumLoss => {
+                let hub = first_non(pivot, &self.members);
+                for (a, b) in quorum_loss_cuts(&self.members.clone(), hub) {
+                    self.cut_link(a, b);
+                }
+                format!("quorum-loss hub={hub} leader={pivot}")
+            }
+            Fault::ConstrainedStage1 => {
+                let hub = first_non(pivot, &self.members);
+                self.constrained = Some((hub, pivot));
+                self.cut_link(hub, pivot);
+                format!("constrained-1 hub={hub} leader={pivot}")
+            }
+            Fault::ConstrainedStage2 => {
+                let (hub, old) = self
+                    .constrained
+                    .unwrap_or_else(|| (first_non(pivot, &self.members), pivot));
+                for (a, b) in constrained_stage2_cuts(&self.members.clone(), hub, old) {
+                    self.cut_link(a, b);
+                }
+                format!("constrained-2 hub={hub} old-leader={old}")
+            }
+            Fault::ChainedLine => {
+                for (a, b) in chained_line_cuts(&self.members.clone()) {
+                    self.cut_link(a, b);
+                }
+                "chained-line".to_string()
+            }
+            Fault::Crash(p) => {
+                let did = self.crash(*p);
+                format!("crash {p}{}", if did { "" } else { " (already down)" })
+            }
+            Fault::CrashLeader => {
+                if leader != 0 {
+                    self.crash(leader);
+                    format!("crash-leader {leader}")
+                } else {
+                    "crash-leader (no leader)".to_string()
+                }
+            }
+            Fault::Recover(p) => {
+                if self.crashed.remove(p) {
+                    self.nodes[(*p - 1) as usize].replica_mut().fail_recovery();
+                    format!("recover {p}")
+                } else {
+                    format!("recover {p} (not down)")
+                }
+            }
+            Fault::RecoverAll => {
+                let down: Vec<NodeId> = self.crashed.iter().copied().collect();
+                for p in &down {
+                    self.crashed.remove(p);
+                    self.nodes[(*p - 1) as usize].replica_mut().fail_recovery();
+                }
+                format!("recover-all ({} servers)", down.len())
+            }
+            Fault::DelaySpike(j) => {
+                self.net.set_jitter_us(*j);
+                format!("delay-spike jitter={j}us")
+            }
+            Fault::DelayCalm => {
+                self.net.set_jitter_us(0);
+                "delay-calm".to_string()
+            }
+            Fault::Compact(p) => {
+                if self.live(*p) {
+                    match self.nodes[(*p - 1) as usize].compact() {
+                        Some(upto) => format!("compact {p} upto={upto}"),
+                        None => format!("compact {p} (nothing to trim)"),
+                    }
+                } else {
+                    format!("compact {p} (down)")
+                }
+            }
+            Fault::Reconfigure => {
+                if leader != 0 {
+                    let members = self.members.clone();
+                    let ok = self.nodes[(leader - 1) as usize].start_reconfigure(members);
+                    format!("reconfigure via {leader} accepted={ok}")
+                } else {
+                    "reconfigure (no leader)".to_string()
+                }
+            }
+        };
+        self.trace.push(TraceEvent::Fault { tick: t, desc });
+    }
+
+    /// Propose one command at the current leader; id is re-used until some
+    /// leader accepts it.
+    fn propose_next(&mut self) -> bool {
+        let Some(li) = self.leader_idx() else {
+            return false;
+        };
+        let id = self.next_id;
+        if self.nodes[li].replica_mut().propose(Cmd::noop(id)) {
+            self.monitor.on_proposed(id);
+            self.next_id += 1;
+            self.proposed_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Timers, outgoing traffic, decided drains and per-tick checks.
+    fn step_rest(&mut self, t: u64) {
+        for i in 0..self.nodes.len() {
+            let pid = self.members[i];
+            if self.live(pid) {
+                self.nodes[i].replica_mut().tick();
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let from = self.members[i];
+            let out = self.nodes[i].replica_mut().outgoing();
+            if !self.live(from) {
+                continue; // a down server sends nothing; backlog discarded
+            }
+            for (to, msg) in out {
+                if to >= 1 && to <= self.members.len() as NodeId {
+                    let bytes = msg.size_bytes();
+                    self.net.send(from, to, bytes, msg);
+                }
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let pid = self.members[i];
+            if !self.live(pid) {
+                continue;
+            }
+            let base = self.nodes[i].replica().decided_base();
+            let ids = self.nodes[i].replica_mut().poll_decided();
+            if !ids.is_empty() {
+                self.trace.push(TraceEvent::Decide {
+                    tick: t,
+                    pid,
+                    base,
+                    ids: ids.clone(),
+                });
+            }
+            if let Err(b) = self.monitor.on_decided(pid, base, &ids) {
+                self.breach_at(t, b);
+                return;
+            }
+            if let Err(b) = self.monitor.check_leadership(self.nodes[i].replica()) {
+                self.breach_at(t, b);
+                return;
+            }
+            let epoch = self.nodes[i].replica().leader_epoch();
+            if epoch != self.last_epoch[i] {
+                if let Some((e, o)) = epoch {
+                    self.trace.push(TraceEvent::Leader {
+                        tick: t,
+                        pid,
+                        epoch: e,
+                        owner: o,
+                    });
+                }
+                self.last_epoch[i] = epoch;
+            }
+        }
+        if t.is_multiple_of(SCAN_EVERY) {
+            self.scan_all(t);
+        }
+    }
+
+    /// Full retained-log cross-check of every live server.
+    fn scan_all(&mut self, t: u64) {
+        if std::env::var_os("CHAOS_DEBUG").is_some() {
+            for (i, node) in self.nodes.iter().enumerate() {
+                if let ChaosNode::Omni(r) = node {
+                    let s = r.server_ref();
+                    eprintln!(
+                        "DBG @{t} pid={} live={} role={:?} cfg={} decided={} log_start={} applied={} leader={:?} is_leader={}",
+                        self.members[i],
+                        self.live(self.members[i]),
+                        s.role(),
+                        s.config_id(),
+                        s.decided_len(),
+                        s.log_start(),
+                        s.applied_cursor(),
+                        s.leader(),
+                        s.is_leader(),
+                    );
+                    if let Some((target, have, snap)) = s.migration_status() {
+                        eprintln!(
+                            "DBG @{t} pid={} migration target={target} have={have} snap_pending={snap}",
+                            self.members[i],
+                        );
+                    }
+                }
+            }
+        }
+        for i in 0..self.nodes.len() {
+            if !self.live(self.members[i]) {
+                continue;
+            }
+            if let Err(b) = self.monitor.scan_retained(self.nodes[i].replica()) {
+                self.breach_at(t, b);
+                return;
+            }
+        }
+    }
+}
+
+/// Generate the schedule for `cfg` and run it.
+pub fn run(cfg: &ChaosConfig) -> ChaosReport {
+    let schedule = generate(cfg.seed, cfg.n, cfg.fault_events, cfg.horizon_ticks);
+    run_schedule(cfg, &schedule)
+}
+
+/// Run one specific schedule (replay and minimization entry point).
+pub fn run_schedule(cfg: &ChaosConfig, schedule: &[ScheduledFault]) -> ChaosReport {
+    let mut sim = Sim::new(cfg);
+    sim.trace.push(TraceEvent::Phase {
+        tick: 0,
+        desc: format!(
+            "start protocol={} n={} seed={}",
+            cfg.protocol.name(),
+            cfg.n,
+            cfg.seed
+        ),
+    });
+    let mut si = 0;
+    for t in 1..=cfg.horizon_ticks {
+        sim.deliver(t);
+        while si < schedule.len() && schedule[si].at_tick <= t {
+            let fault = schedule[si].fault.clone();
+            si += 1;
+            sim.fire(t, &fault);
+        }
+        if sim.proposed_count < cfg.propose_cap && t % 3 == 0 {
+            sim.propose_next();
+        }
+        sim.step_rest(t);
+        if sim.violation.is_some() {
+            break;
+        }
+    }
+
+    // Bounded-recovery liveness: heal everything, recover everyone, then
+    // freshly proposed probes must decide at *every* server in time.
+    let mut converged_in = None;
+    if sim.violation.is_none() {
+        let t0 = cfg.horizon_ticks;
+        sim.fire(t0, &Fault::DelayCalm);
+        sim.fire(t0, &Fault::RecoverAll);
+        sim.fire(t0, &Fault::HealAll);
+        sim.trace.push(TraceEvent::Phase {
+            tick: t0,
+            desc: "forced heal; liveness probes".to_string(),
+        });
+        let probes: Vec<u64> = (0..PROBES).map(|k| sim.next_id + k).collect();
+        sim.next_id += PROBES;
+        let mut last_submit = 0u64;
+        for t in t0 + 1..=t0 + cfg.liveness_ticks {
+            sim.deliver(t);
+            // (Re-)propose probes that not everyone has yet; duplicate
+            // decides of the same id are legal (client-level retries).
+            if last_submit == 0 || t - last_submit >= 200 {
+                if let Some(li) = sim.leader_idx() {
+                    let mut submitted = false;
+                    for &id in &probes {
+                        let everyone = sim
+                            .members
+                            .iter()
+                            .all(|&p| sim.monitor.has_delivered(p, id));
+                        if !everyone && sim.nodes[li].replica_mut().propose(Cmd::noop(id)) {
+                            sim.monitor.on_proposed(id);
+                            submitted = true;
+                        }
+                    }
+                    if submitted {
+                        last_submit = t;
+                    }
+                }
+            }
+            sim.step_rest(t);
+            if sim.violation.is_some() {
+                break;
+            }
+            let done = probes.iter().all(|&id| {
+                sim.members
+                    .iter()
+                    .all(|&p| sim.monitor.has_delivered(p, id))
+            });
+            if done {
+                converged_in = Some(t - t0);
+                sim.trace.push(TraceEvent::Phase {
+                    tick: t,
+                    desc: format!("liveness converged in {} ticks", t - t0),
+                });
+                break;
+            }
+        }
+        if sim.violation.is_none() && converged_in.is_none() {
+            let tick = t0 + cfg.liveness_ticks;
+            sim.breach_at(
+                tick,
+                Breach {
+                    invariant: "liveness",
+                    detail: format!(
+                        "probes {probes:?} were not decided at every server within \
+                         {} ticks after the full heal",
+                        cfg.liveness_ticks
+                    ),
+                },
+            );
+        }
+    }
+
+    if sim.violation.is_none() {
+        sim.scan_all(cfg.horizon_ticks + cfg.liveness_ticks);
+    }
+
+    let fp = fingerprint(&sim.trace);
+    ChaosReport {
+        protocol: cfg.protocol,
+        seed: cfg.seed,
+        n: cfg.n,
+        schedule: schedule.to_vec(),
+        trace: sim.trace,
+        fingerprint: fp,
+        violation: sim.violation,
+        decided_positions: sim.monitor.decided_positions(),
+        converged_in,
+    }
+}

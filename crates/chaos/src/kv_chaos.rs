@@ -1,0 +1,222 @@
+//! Chaos over the replicated key-value store: session dedup under faults.
+//!
+//! The cluster-level harness checks log safety; this module checks the
+//! *application* contract on top of it. Clients submit commands with
+//! per-client sequence numbers and deliberately retry some of them —
+//! exactly once per `(client, seq)` must take effect, across link cuts,
+//! crash + recovery, and snapshot compaction (the session table is part of
+//! the snapshot; a snapshot that forgot it would re-apply retries after a
+//! transfer, which is the bug this run would catch).
+
+use kvstore::{KvCommand, KvNode, KvOp, NodeId};
+use omnipaxos::service::ServiceMsg;
+use simulator::{Network, NetworkConfig, Rng};
+use std::collections::{HashMap, HashSet};
+
+const TICK_US: u64 = 1_000;
+const N: usize = 3;
+
+/// Statistics of a passing key-value chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvChaosStats {
+    pub submitted: u64,
+    pub duplicates: u64,
+    pub applied: u64,
+    pub converge_ticks: u64,
+}
+
+/// Run one seeded kv chaos schedule; `Err` describes the violated
+/// invariant.
+pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
+    let members: Vec<NodeId> = (1..=N as NodeId).collect();
+    let mut nodes: Vec<KvNode> = members
+        .iter()
+        .map(|&p| KvNode::new(p, members.clone()))
+        .collect();
+    let mut net: Network<ServiceMsg<KvCommand>> = Network::new(NetworkConfig {
+        nodes: members.clone(),
+        default_latency_us: 100,
+        jitter_us: 0,
+        nic_bytes_per_sec: None,
+        priority_bytes: 256,
+        seed,
+    });
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5E55_10D5);
+    let mut crashed: HashSet<NodeId> = HashSet::new();
+    let mut cut: Vec<(NodeId, NodeId)> = Vec::new();
+    // Per-client next sequence number, and the last command per client for
+    // retries.
+    let mut next_seq: HashMap<u64, u64> = HashMap::new();
+    let mut last_cmd: HashMap<u64, KvCommand> = HashMap::new();
+    // Per node: (client, seq) pairs reported applied — each at most once.
+    let mut applied_seen: Vec<HashSet<(u64, u64)>> = vec![HashSet::new(); N];
+    let mut stats = KvChaosStats {
+        submitted: 0,
+        duplicates: 0,
+        applied: 0,
+        converge_ticks: 0,
+    };
+
+    let step = |t: u64,
+                nodes: &mut Vec<KvNode>,
+                net: &mut Network<ServiceMsg<KvCommand>>,
+                crashed: &HashSet<NodeId>,
+                applied_seen: &mut Vec<HashSet<(u64, u64)>>,
+                stats: &mut KvChaosStats|
+     -> Result<(), String> {
+        let deadline = t * TICK_US;
+        while let Some(d) = net.pop_next_before(deadline) {
+            if !crashed.contains(&d.dst) {
+                nodes[(d.dst - 1) as usize].handle(d.src, d.msg);
+            }
+        }
+        net.advance_to(deadline);
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let pid = (i + 1) as NodeId;
+            let out = node.outgoing();
+            if crashed.contains(&pid) {
+                continue;
+            }
+            node.tick();
+            for (to, msg) in out {
+                let bytes = msg.size_bytes();
+                net.send(pid, to, bytes, msg);
+            }
+            for r in node.take_results() {
+                if r.applied {
+                    stats.applied += 1;
+                    if !applied_seen[i].insert((r.client, r.seq)) {
+                        return Err(format!(
+                            "session dedup broken: node {pid} applied ({}, {}) twice",
+                            r.client, r.seq
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+
+    // Fault + workload phase.
+    for t in 1..=1_500u64 {
+        // Faults, low-rate.
+        if rng.chance(0.01) {
+            let a = rng.range_inclusive(1, N as u64);
+            let b = 1 + (a % N as u64);
+            match rng.below(4) {
+                0 => {
+                    net.links_mut().set_link(a, b, false);
+                    cut.push((a, b));
+                }
+                1 => {
+                    if let Some((x, y)) = cut.pop() {
+                        if net.links_mut().set_link(x, y, true) {
+                            nodes[(x - 1) as usize].server().reconnected(y);
+                            nodes[(y - 1) as usize].server().reconnected(x);
+                        }
+                    }
+                }
+                2 => {
+                    if crashed.insert(a) {
+                        net.drop_in_flight_for(a);
+                    }
+                }
+                _ => {
+                    if crashed.remove(&a) {
+                        nodes[(a - 1) as usize].server().fail_recovery();
+                    } else if !crashed.contains(&a) {
+                        let _ = nodes[(a - 1) as usize].compact();
+                    }
+                }
+            }
+        }
+        // Workload: fresh commands, with deliberate retries.
+        if t % 5 == 0 {
+            let client = rng.range_inclusive(1, 2);
+            let leader =
+                (0..N).find(|&i| !crashed.contains(&((i + 1) as NodeId)) && nodes[i].is_leader());
+            if let Some(li) = leader {
+                let retry = rng.chance(0.3) && last_cmd.contains_key(&client);
+                let cmd = if retry {
+                    last_cmd.get(&client).cloned()
+                } else {
+                    None
+                };
+                let cmd = cmd.unwrap_or_else(|| {
+                    let seq = next_seq.entry(client).or_insert(1);
+                    let s = *seq;
+                    *seq += 1;
+                    let c = KvCommand {
+                        client,
+                        seq: s,
+                        op: KvOp::Add {
+                            key: format!("k{}", rng.below(4)),
+                            delta: rng.range_inclusive(1, 9) as i64,
+                        },
+                    };
+                    last_cmd.insert(client, c.clone());
+                    c
+                });
+                if retry {
+                    stats.duplicates += 1;
+                }
+                if nodes[li].submit(cmd).is_ok() {
+                    stats.submitted += 1;
+                }
+            }
+        }
+        step(
+            t,
+            &mut nodes,
+            &mut net,
+            &crashed,
+            &mut applied_seen,
+            &mut stats,
+        )?;
+    }
+
+    // Heal, recover, and require convergence: same map, same sessions.
+    for (x, y) in cut.drain(..) {
+        if net.links_mut().set_link(x, y, true) {
+            nodes[(x - 1) as usize].server().reconnected(y);
+            nodes[(y - 1) as usize].server().reconnected(x);
+        }
+    }
+    let down: Vec<NodeId> = crashed.drain().collect();
+    for p in down {
+        nodes[(p - 1) as usize].server().fail_recovery();
+    }
+    for t in 1_501..=6_000u64 {
+        step(
+            t,
+            &mut nodes,
+            &mut net,
+            &crashed,
+            &mut applied_seen,
+            &mut stats,
+        )?;
+        if t % 16 == 0 {
+            let sm0 = nodes[0].state_machine();
+            if nodes[1..].iter().all(|n| n.state_machine() == sm0) {
+                stats.converge_ticks = t - 1_500;
+                // Sessions must never exceed what clients actually issued.
+                for (client, &max_seq) in sm0.sessions() {
+                    let issued = next_seq.get(client).map(|s| s - 1).unwrap_or(0);
+                    if max_seq > issued {
+                        return Err(format!(
+                            "session table ahead of reality: client {client} at seq \
+                             {max_seq}, only {issued} issued"
+                        ));
+                    }
+                }
+                return Ok(stats);
+            }
+        }
+    }
+    Err(format!(
+        "kv replicas did not converge after heal: states {:?} / {:?} / {:?} keys",
+        nodes[0].state().len(),
+        nodes[1].state().len(),
+        nodes[2].state().len()
+    ))
+}

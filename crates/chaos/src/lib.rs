@@ -1,0 +1,65 @@
+//! # chaos — deterministic fault-injection harness
+//!
+//! Drives randomized fault schedules over the deterministic simulator and
+//! checks the paper's safety properties (§4) after every step, across
+//! Omni-Paxos and every baseline of the §7.2 comparison (Raft, Raft
+//! PV+CQ, Multi-Paxos, VR).
+//!
+//! The fault model covers what the paper's analysis (§2–§3) identifies as
+//! the hard cases:
+//!
+//! * **partial partitions** — arbitrary link cuts plus the three named
+//!   patterns (quorum-loss, constrained election, chained), resolved
+//!   against the live leader at injection time via the shared cut-set
+//!   functions in [`cluster::scenarios`];
+//! * **session drops** — a link cut that also loses the bytes on the
+//!   wire, exercising the session-reset protocol (§4.1.3);
+//! * **crash + recover** — fail-recovery (§3) through each protocol's
+//!   persistent state, with in-flight messages to the crashed server
+//!   vanishing;
+//! * **delay spikes** — raised delivery jitter, reordering messages
+//!   across links while per-link FIFO stays intact;
+//! * **mid-run compaction and reconfiguration** — snapshot-based log
+//!   trimming and same-membership configuration changes while faults are
+//!   active.
+//!
+//! After every simulation tick the [`monitor::Monitor`] checks:
+//!
+//! * **prefix agreement** — any two servers' decided entries agree at
+//!   every position both know (SC2), across both the entries delivered to
+//!   the application and the log each server retains;
+//! * **durability** — no server's decided log ever shrinks, and its
+//!   delivery cursor never moves backwards, across crash + recovery;
+//! * **validity** — decided entries were actually proposed (SC1);
+//! * **leader-epoch uniqueness** — at most one server claims leadership
+//!   per epoch (term for Raft, view for VR, full ballot for the Paxos
+//!   family, where ballots themselves carry the owner);
+//! * **election audit (LE3)** — ballots elected by a server's BLE
+//!   strictly increase.
+//!
+//! After the schedule ends every fault is healed and a bounded-recovery
+//! **liveness** probe runs: freshly proposed commands must decide at every
+//! server within a generous bound, or the run fails.
+//!
+//! A failing run reports its seed, a replayable event trace with a
+//! fingerprint (same seed ⇒ bit-identical trace), and — via
+//! [`minimize::minimize`] — a greedily reduced fault schedule that still
+//! reproduces the failure.
+
+pub mod buggy;
+pub mod harness;
+pub mod kv_chaos;
+pub mod minimize;
+pub mod monitor;
+pub mod schedule;
+pub mod trace;
+
+pub use buggy::BuggyOmniReplica;
+pub use harness::{run, run_schedule, Bug, ChaosConfig, ChaosReport, Violation};
+pub use kv_chaos::{run_kv_chaos, KvChaosStats};
+pub use minimize::minimize;
+pub use schedule::{generate, Fault, ScheduledFault};
+pub use trace::{fingerprint, render_report, TraceEvent};
+
+/// Server identifier, shared with the rest of the workspace.
+pub type NodeId = cluster::NodeId;

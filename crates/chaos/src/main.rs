@@ -1,0 +1,239 @@
+//! Chaos harness CLI.
+//!
+//! ```text
+//! chaos --quick                     # CI gate: small sweep across all protocols
+//! chaos --seeds 2000                # nightly sweep
+//! chaos --seed 42 --protocol raft   # replay one run (bit-identical trace)
+//! chaos --seed 42 --minimize        # shrink a failing schedule before printing
+//! chaos --out chaos-failures        # also write failing traces to files
+//! ```
+//!
+//! Exit status is 0 iff no run violated an invariant.
+
+use chaos::{minimize, render_report, run, run_kv_chaos, Bug, ChaosConfig};
+use cluster::ProtocolKind;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const ALL_PROTOCOLS: [ProtocolKind; 5] = [
+    ProtocolKind::OmniPaxos,
+    ProtocolKind::Raft,
+    ProtocolKind::RaftPvCq,
+    ProtocolKind::MultiPaxos,
+    ProtocolKind::Vr,
+];
+
+struct Opts {
+    quick: bool,
+    seeds: u64,
+    base_seed: u64,
+    single_seed: Option<u64>,
+    protocol: Option<ProtocolKind>,
+    nodes: usize,
+    minimize: bool,
+    out: Option<PathBuf>,
+    bug: bool,
+    kv_seeds: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--quick] [--seeds N] [--base-seed S] [--seed S] \
+         [--protocol omni|omni-lm|raft|raft-pvcq|multipaxos|vr] [--nodes N] \
+         [--minimize] [--out DIR] [--bug] [--kv-seeds N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_protocol(s: &str) -> ProtocolKind {
+    match s {
+        "omni" | "omnipaxos" | "omni-paxos" => ProtocolKind::OmniPaxos,
+        "omni-lm" => ProtocolKind::OmniPaxosLeaderMigration,
+        "raft" => ProtocolKind::Raft,
+        "raft-pvcq" | "raftpvcq" => ProtocolKind::RaftPvCq,
+        "multipaxos" | "multi-paxos" | "mp" => ProtocolKind::MultiPaxos,
+        "vr" => ProtocolKind::Vr,
+        other => {
+            eprintln!("unknown protocol: {other}");
+            usage();
+        }
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        seeds: 0,
+        base_seed: 1,
+        single_seed: None,
+        protocol: None,
+        nodes: 5,
+        minimize: false,
+        out: None,
+        bug: false,
+        kv_seeds: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a numeric argument");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seeds" => opts.seeds = next_num(&mut args, "--seeds"),
+            "--base-seed" => opts.base_seed = next_num(&mut args, "--base-seed"),
+            "--seed" => opts.single_seed = Some(next_num(&mut args, "--seed")),
+            "--protocol" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.protocol = Some(parse_protocol(&v));
+            }
+            "--nodes" => opts.nodes = next_num(&mut args, "--nodes") as usize,
+            "--minimize" => opts.minimize = true,
+            "--out" => opts.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--bug" => opts.bug = true,
+            "--kv-seeds" => opts.kv_seeds = next_num(&mut args, "--kv-seeds"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if opts.quick {
+        // The CI gate: a small sweep across every protocol plus a few
+        // kv-store session runs, sized to finish well under a minute.
+        if opts.seeds == 0 {
+            opts.seeds = 20;
+        }
+        if opts.kv_seeds == 0 {
+            opts.kv_seeds = 4;
+        }
+    }
+    if opts.seeds == 0 && opts.single_seed.is_none() && opts.kv_seeds == 0 {
+        opts.seeds = 100;
+    }
+    opts
+}
+
+fn slug(p: ProtocolKind) -> &'static str {
+    match p {
+        ProtocolKind::OmniPaxos => "omni",
+        ProtocolKind::OmniPaxosLeaderMigration => "omni-lm",
+        ProtocolKind::Raft => "raft",
+        ProtocolKind::RaftPvCq => "raft-pvcq",
+        ProtocolKind::MultiPaxos => "multipaxos",
+        ProtocolKind::Vr => "vr",
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let protocols: Vec<ProtocolKind> = match opts.protocol {
+        Some(p) => vec![p],
+        None => ALL_PROTOCOLS.to_vec(),
+    };
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --out dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+
+    let started = Instant::now();
+    let mut failures = 0u64;
+    let mut total_runs = 0u64;
+
+    for &protocol in &protocols {
+        let seeds: Vec<u64> = match opts.single_seed {
+            Some(s) => vec![s],
+            None => (opts.base_seed..opts.base_seed + opts.seeds).collect(),
+        };
+        let t0 = Instant::now();
+        let mut proto_failures = 0u64;
+        let mut decided_total = 0u64;
+        for seed in seeds.iter().copied() {
+            let mut cfg = ChaosConfig::new(protocol, seed);
+            cfg.n = opts.nodes;
+            if opts.bug {
+                cfg.bug = Some(Bug::AckBeforePersist);
+            }
+            let report = run(&cfg);
+            total_runs += 1;
+            decided_total += report.decided_positions;
+            if report.violation.is_some() {
+                failures += 1;
+                proto_failures += 1;
+                let mut rendered = render_report(&report);
+                if opts.minimize {
+                    let reduced = minimize(&cfg, &report.schedule);
+                    let replay = chaos::run_schedule(&cfg, &reduced);
+                    rendered.push_str("\n--- minimized schedule ---\n");
+                    rendered.push_str(&render_report(&replay));
+                }
+                eprintln!("{rendered}");
+                if let Some(dir) = &opts.out {
+                    let path = dir.join(format!("{}-seed{}.txt", slug(protocol), seed));
+                    if let Err(e) = std::fs::write(&path, &rendered) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    } else {
+                        eprintln!("trace written to {}", path.display());
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<34} {:>5} runs  {:>3} failed  {:>8} decided positions  {:>6.1}s",
+            protocol.name(),
+            seeds.len(),
+            proto_failures,
+            decided_total,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    if opts.kv_seeds > 0 {
+        let t0 = Instant::now();
+        let mut kv_failures = 0u64;
+        for seed in opts.base_seed..opts.base_seed + opts.kv_seeds {
+            total_runs += 1;
+            match run_kv_chaos(seed) {
+                Ok(stats) => {
+                    println!(
+                        "kv chaos seed {seed}: ok ({} submitted, {} retries, {} applied, \
+                         converged in {} ticks)",
+                        stats.submitted, stats.duplicates, stats.applied, stats.converge_ticks
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    kv_failures += 1;
+                    let rendered = format!("kv chaos seed {seed} FAILED: {e}");
+                    eprintln!("{rendered}");
+                    if let Some(dir) = &opts.out {
+                        let path = dir.join(format!("kv-seed{seed}.txt"));
+                        let _ = std::fs::write(&path, &rendered);
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<34} {:>5} runs  {:>3} failed  {:>27} {:>6.1}s",
+            "kv store (sessions)",
+            opts.kv_seeds,
+            kv_failures,
+            "",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    println!(
+        "chaos: {total_runs} runs, {failures} failed, {:.1}s total",
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

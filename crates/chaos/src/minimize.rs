@@ -1,0 +1,69 @@
+//! Greedy fault-schedule minimization (delta debugging).
+//!
+//! Given a failing `(config, schedule)` pair, repeatedly re-run with
+//! subsets of the schedule and keep any subset that still fails. Chunked
+//! passes (drop half, then quarters, …) shrink fast; a final
+//! one-at-a-time pass removes every individually unnecessary event. The
+//! result is 1-minimal: removing any single remaining fault makes the
+//! failure disappear — which is usually the difference between staring at
+//! fourteen faults and staring at the two that matter.
+
+use crate::harness::{run_schedule, ChaosConfig};
+use crate::schedule::ScheduledFault;
+
+fn fails(cfg: &ChaosConfig, schedule: &[ScheduledFault]) -> bool {
+    run_schedule(cfg, schedule).violation.is_some()
+}
+
+/// Minimize a failing schedule. Returns the reduced schedule, which still
+/// fails under `cfg`. Panics if the input does not fail (nothing to
+/// minimize — a caller bug).
+pub fn minimize(cfg: &ChaosConfig, schedule: &[ScheduledFault]) -> Vec<ScheduledFault> {
+    assert!(
+        fails(cfg, schedule),
+        "minimize() needs a failing schedule to start from"
+    );
+    let mut cur: Vec<ScheduledFault> = schedule.to_vec();
+
+    // Chunked passes: try dropping progressively smaller windows.
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            if fails(cfg, &cand) {
+                cur = cand; // window was irrelevant; don't advance start
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Final 1-minimal pass (chunk == 1 above already is one, but chunked
+    // removals can re-enable single removals — iterate to fixpoint).
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if fails(cfg, &cand) {
+                cur = cand;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    cur
+}

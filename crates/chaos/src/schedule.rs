@@ -1,0 +1,146 @@
+//! Fault schedules: the event vocabulary and their seeded generation.
+
+use crate::NodeId;
+use simulator::Rng;
+
+/// One injectable fault. Leader-relative patterns (`QuorumLoss`,
+/// `ConstrainedStage*`, `CrashLeader`) are resolved against the live
+/// leader when they fire, as the paper's testbed scripts did — the same
+/// schedule therefore means the same *shape*, not the same pids, across
+/// protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Cut both directions between two servers.
+    CutLink(NodeId, NodeId),
+    /// Heal both directions (runs the session-drop/reconnect protocol).
+    HealLink(NodeId, NodeId),
+    /// Heal every cut link.
+    HealAll,
+    /// Cut the link *and* lose the bytes already on the wire — a TCP
+    /// session teardown rather than a silent blackhole.
+    SessionDrop(NodeId, NodeId),
+    /// §2a: everyone keeps only their link to a non-leader hub.
+    QuorumLoss,
+    /// §2b stage 1: disconnect a designated hub from the leader so the
+    /// hub's log goes stale.
+    ConstrainedStage1,
+    /// §2b stage 2: fully partition the old leader; everyone else keeps
+    /// only the (stale) hub.
+    ConstrainedStage2,
+    /// §2c: connect the servers in a pid-line; with ≥4 servers no
+    /// quorum-connected server exists.
+    ChainedLine,
+    /// Crash a specific server (volatile state lost, storage kept).
+    Crash(NodeId),
+    /// Crash whoever currently leads.
+    CrashLeader,
+    /// Recover a crashed server from its persistent state.
+    Recover(NodeId),
+    /// Recover every crashed server.
+    RecoverAll,
+    /// Raise delivery jitter to `µs`, reordering across links (never
+    /// within one — per-link FIFO is part of the link model, §3).
+    DelaySpike(u64),
+    /// Jitter back to zero.
+    DelayCalm,
+    /// Snapshot-compact one server's log at everything it has applied
+    /// (Omni-Paxos only; a no-op for protocols without compaction).
+    Compact(NodeId),
+    /// Submit a same-membership reconfiguration to the current leader
+    /// (Omni-Paxos stop-sign handover / Raft joint change; no-op for
+    /// Multi-Paxos and VR).
+    Reconfigure,
+}
+
+/// A fault bound to the simulation tick at which it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    pub at_tick: u64,
+    pub fault: Fault,
+}
+
+fn pair(rng: &mut Rng, n: u64) -> (NodeId, NodeId) {
+    let a = rng.range_inclusive(1, n);
+    let mut b = rng.range_inclusive(1, n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+/// Generate a schedule of `events` faults over `[warmup, horizon)` ticks
+/// for an `n`-server cluster. Same `(seed, n, events, horizon)` ⇒ same
+/// schedule.
+pub fn generate(seed: u64, n: usize, events: usize, horizon_ticks: u64) -> Vec<ScheduledFault> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xC4A0_5EED);
+    let n = n as u64;
+    let warmup = (horizon_ticks / 10).max(1);
+    let mut out: Vec<ScheduledFault> = (0..events)
+        .map(|_| {
+            let at_tick = rng.range_inclusive(warmup, horizon_ticks.saturating_sub(1));
+            let fault = match rng.below(18) {
+                0..=2 => {
+                    let (a, b) = pair(&mut rng, n);
+                    Fault::CutLink(a, b)
+                }
+                3 | 4 => {
+                    let (a, b) = pair(&mut rng, n);
+                    Fault::HealLink(a, b)
+                }
+                5 => {
+                    let (a, b) = pair(&mut rng, n);
+                    Fault::SessionDrop(a, b)
+                }
+                6 => Fault::QuorumLoss,
+                7 => Fault::ConstrainedStage1,
+                8 => Fault::ConstrainedStage2,
+                9 => Fault::ChainedLine,
+                10 => Fault::HealAll,
+                11 => Fault::Crash(rng.range_inclusive(1, n)),
+                12 => Fault::CrashLeader,
+                13 => Fault::Recover(rng.range_inclusive(1, n)),
+                14 => Fault::RecoverAll,
+                15 => Fault::DelaySpike(rng.range_inclusive(300, 2_500)),
+                16 => Fault::DelayCalm,
+                17 => {
+                    if rng.chance(0.5) {
+                        Fault::Compact(rng.range_inclusive(1, n))
+                    } else {
+                        Fault::Reconfigure
+                    }
+                }
+                _ => unreachable!(),
+            };
+            ScheduledFault { at_tick, fault }
+        })
+        .collect();
+    out.sort_by_key(|f| f.at_tick);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        assert_eq!(generate(7, 5, 20, 1000), generate(7, 5, 20, 1000));
+        assert_ne!(generate(7, 5, 20, 1000), generate(8, 5, 20, 1000));
+    }
+
+    #[test]
+    fn pairs_are_distinct_and_in_range() {
+        for s in 0..32 {
+            for f in generate(s, 3, 30, 500) {
+                match f.fault {
+                    Fault::CutLink(a, b) | Fault::HealLink(a, b) | Fault::SessionDrop(a, b) => {
+                        assert_ne!(a, b);
+                        assert!((1..=3).contains(&a) && (1..=3).contains(&b));
+                    }
+                    _ => {}
+                }
+                assert!(f.at_tick < 500);
+            }
+        }
+    }
+}

@@ -112,6 +112,34 @@ pub trait Replica {
     fn reconfigured_to(&self, _new_nodes: &[NodeId]) -> bool {
         false
     }
+
+    // ---- Chaos-harness observation hooks ------------------------------
+
+    /// Absolute log position of the next command `poll_decided` will
+    /// deliver. Jumps forward past undelivered history when a snapshot is
+    /// adopted wholesale (Omni-Paxos snapshot-first catch-up).
+    fn decided_base(&self) -> u64;
+
+    /// The decided command ids still retained in the log, together with
+    /// the absolute position of the first retained entry (non-zero once
+    /// compaction trimmed a prefix).
+    fn decided_log_ids(&self) -> (u64, Vec<u64>);
+
+    /// The epoch `(number, owner)` under which this server currently
+    /// claims leadership, if it claims one. Raft/VR encode only the
+    /// term/view with owner 0 — at most one leader may exist per epoch.
+    /// Omni-Paxos and Multi-Paxos encode the full ballot including the
+    /// owning pid, because two leaders with equal round numbers but
+    /// different pids can legitimately coexist under partial
+    /// connectivity; their uniqueness invariant lives in the ballot.
+    fn leader_epoch(&self) -> Option<(u64, NodeId)>;
+
+    /// Every ballot `(n, priority, pid)` this server elected since it
+    /// last recovered, in election order — the BLE LE3 audit (elected
+    /// ballots strictly increase). Empty for protocols without a BLE.
+    fn audit_elections(&self) -> Vec<(u64, u64, u64)> {
+        Vec::new()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -175,6 +203,11 @@ impl OmniReplica {
     /// Access the wrapped server (tests, invariant checks).
     pub fn server(&mut self) -> &mut OmniPaxosServer<Cmd> {
         &mut self.server
+    }
+
+    /// Shared access to the wrapped server (invariant observation).
+    pub fn server_ref(&self) -> &OmniPaxosServer<Cmd> {
+        &self.server
     }
 }
 
@@ -264,6 +297,32 @@ impl Replica for OmniReplica {
         want.sort_unstable();
         self.server.role() == omnipaxos::ServerRole::Active && mine == want
     }
+
+    fn decided_base(&self) -> u64 {
+        self.server.applied_cursor()
+    }
+
+    fn decided_log_ids(&self) -> (u64, Vec<u64>) {
+        (
+            self.server.log_start(),
+            self.server.log().iter().map(|c| c.id).collect(),
+        )
+    }
+
+    fn leader_epoch(&self) -> Option<(u64, NodeId)> {
+        if !self.server.is_leader() {
+            return None;
+        }
+        self.server.leader().map(|b| (b.n, b.pid))
+    }
+
+    fn audit_elections(&self) -> Vec<(u64, u64, u64)> {
+        self.server
+            .ballot_audit()
+            .iter()
+            .map(|b| (b.n, b.priority, b.pid))
+            .collect()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -276,6 +335,9 @@ pub struct RaftReplica {
     reconfigs_requested: u32,
     reconfigs_done: u32,
     was_reconfiguring: bool,
+    /// Commands delivered via `poll_decided` so far (absolute cursor in
+    /// command positions, noops/config entries excluded).
+    delivered: u64,
 }
 
 impl RaftReplica {
@@ -296,11 +358,12 @@ impl RaftReplica {
         cfg.election_ticks = election_ticks;
         cfg.heartbeat_ticks = (election_ticks / 4).max(1);
         cfg.seed = seed ^ pid;
+        let mut delivered = 0;
         let node = if initial_log.is_empty() {
             RaftNode::new(cfg)
         } else {
             let mut n = RaftNode::with_initial_log(cfg, initial_log);
-            let _ = n.poll_decided();
+            delivered = n.poll_decided().len() as u64;
             n
         };
         RaftReplica {
@@ -308,6 +371,7 @@ impl RaftReplica {
             reconfigs_requested: 0,
             reconfigs_done: 0,
             was_reconfiguring: false,
+            delivered,
         }
     }
 
@@ -350,7 +414,9 @@ impl Replica for RaftReplica {
     }
 
     fn poll_decided(&mut self) -> Vec<u64> {
-        self.node.poll_decided().into_iter().map(|c| c.id).collect()
+        let ids: Vec<u64> = self.node.poll_decided().into_iter().map(|c| c.id).collect();
+        self.delivered += ids.len() as u64;
+        ids
     }
 
     fn is_leader(&self) -> bool {
@@ -385,6 +451,18 @@ impl Replica for RaftReplica {
         want.sort_unstable();
         mine == want && !self.node.reconfiguring()
     }
+
+    fn decided_base(&self) -> u64 {
+        self.delivered
+    }
+
+    fn decided_log_ids(&self) -> (u64, Vec<u64>) {
+        (0, self.node.committed_log().map(|c| c.id).collect())
+    }
+
+    fn leader_epoch(&self) -> Option<(u64, NodeId)> {
+        self.node.is_leader().then(|| (self.node.term(), 0))
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -394,6 +472,7 @@ impl Replica for RaftReplica {
 /// Adapter around [`MpNode`].
 pub struct MpReplica {
     node: MpNode<Cmd>,
+    delivered: u64,
 }
 
 impl MpReplica {
@@ -403,6 +482,7 @@ impl MpReplica {
         cfg.ping_ticks = (fd_timeout_ticks / 4).max(1);
         MpReplica {
             node: MpNode::new(cfg),
+            delivered: 0,
         }
     }
 
@@ -441,7 +521,9 @@ impl Replica for MpReplica {
     }
 
     fn poll_decided(&mut self) -> Vec<u64> {
-        self.node.poll_decided().into_iter().map(|c| c.id).collect()
+        let ids: Vec<u64> = self.node.poll_decided().into_iter().map(|c| c.id).collect();
+        self.delivered += ids.len() as u64;
+        ids
     }
 
     fn is_leader(&self) -> bool {
@@ -456,6 +538,22 @@ impl Replica for MpReplica {
     fn leader_changes(&self) -> u64 {
         self.node.leader_changes()
     }
+
+    fn decided_base(&self) -> u64 {
+        self.delivered
+    }
+
+    fn decided_log_ids(&self) -> (u64, Vec<u64>) {
+        (0, self.node.decided_log().map(|c| c.id).collect())
+    }
+
+    fn leader_epoch(&self) -> Option<(u64, NodeId)> {
+        if !self.node.is_leader() {
+            return None;
+        }
+        let b = self.node.current_ballot();
+        Some((b.n, b.pid))
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -465,6 +563,7 @@ impl Replica for MpReplica {
 /// Adapter around [`VrNode`].
 pub struct VrReplica {
     node: VrNode<Cmd>,
+    delivered: u64,
 }
 
 impl VrReplica {
@@ -474,6 +573,7 @@ impl VrReplica {
         cfg.ping_ticks = (timeout_ticks / 4).max(1);
         VrReplica {
             node: VrNode::new(cfg),
+            delivered: 0,
         }
     }
 
@@ -512,7 +612,9 @@ impl Replica for VrReplica {
     }
 
     fn poll_decided(&mut self) -> Vec<u64> {
-        self.node.poll_decided().into_iter().map(|c| c.id).collect()
+        let ids: Vec<u64> = self.node.poll_decided().into_iter().map(|c| c.id).collect();
+        self.delivered += ids.len() as u64;
+        ids
     }
 
     fn is_leader(&self) -> bool {
@@ -529,5 +631,20 @@ impl Replica for VrReplica {
 
     fn reconnected(&mut self, pid: NodeId) {
         self.node.reconnected(pid);
+    }
+
+    fn decided_base(&self) -> u64 {
+        self.delivered
+    }
+
+    fn decided_log_ids(&self) -> (u64, Vec<u64>) {
+        (
+            0,
+            self.node.decided_log().into_iter().map(|c| c.id).collect(),
+        )
+    }
+
+    fn leader_epoch(&self) -> Option<(u64, NodeId)> {
+        self.node.is_leader().then(|| (self.node.view(), 0))
     }
 }

@@ -428,12 +428,8 @@ impl Runner {
                     .copied()
                     .find(|&p| p != leader)
                     .expect("a non-leader exists");
-                for &a in &members {
-                    for &b in &members {
-                        if a < b && a != hub && b != hub {
-                            self.cut_link(a, b);
-                        }
-                    }
+                for (a, b) in crate::scenarios::quorum_loss_cuts(&members, hub) {
+                    self.cut_link(a, b);
                 }
             }
             Action::ConstrainedStage1 => {
@@ -449,18 +445,8 @@ impl Runner {
             Action::ConstrainedStage2 => {
                 let (hub, old_leader) = self.constrained.expect("ConstrainedStage1 must run first");
                 let members = self.members();
-                // Old leader fully partitioned; everyone else only sees the
-                // hub (Fig. 1b).
-                for &a in &members {
-                    for &b in &members {
-                        if a < b {
-                            let keeps =
-                                (a == hub || b == hub) && a != old_leader && b != old_leader;
-                            if !keeps {
-                                self.cut_link(a, b);
-                            }
-                        }
-                    }
+                for (a, b) in crate::scenarios::constrained_stage2_cuts(&members, hub, old_leader) {
+                    self.cut_link(a, b);
                 }
             }
             Action::Chained => {
@@ -473,10 +459,8 @@ impl Runner {
             }
             Action::ChainedLine => {
                 let members = self.members();
-                for (i, &a) in members.iter().enumerate() {
-                    for &b in members.iter().skip(i + 2) {
-                        self.cut_link(a, b);
-                    }
+                for (a, b) in crate::scenarios::chained_line_cuts(&members) {
+                    self.cut_link(a, b);
                 }
             }
             Action::CrashLeader => {

@@ -65,6 +65,65 @@ pub struct ReconfigOutcome {
 pub const TICK_US: SimTime = ms(1);
 
 // ----------------------------------------------------------------------
+// §2 partial-partition patterns as pure cut-set computations
+// ----------------------------------------------------------------------
+//
+// Each function maps a membership (and the pattern's distinguished servers,
+// resolved against the live leader at injection time) to the symmetric link
+// pairs to cut. The [`Runner`] and the chaos harness share these, so a
+// randomized fault schedule exercises exactly the topologies of the paper's
+// §2 analysis.
+
+/// §2a quorum-loss: every server keeps only its link to the `hub`; all
+/// other pairs are cut. No server is quorum-connected except the hub, so
+/// only a quorum-connected-election protocol recovers (Fig. 1a).
+pub fn quorum_loss_cuts(members: &[NodeId], hub: NodeId) -> Vec<(NodeId, NodeId)> {
+    let mut cuts = Vec::new();
+    for (i, &a) in members.iter().enumerate() {
+        for &b in members.iter().skip(i + 1) {
+            if a != hub && b != hub {
+                cuts.push((a, b));
+            }
+        }
+    }
+    cuts
+}
+
+/// §2b constrained election, stage 2: the `old_leader` is fully
+/// partitioned and everyone else keeps only their link to the (stale-log)
+/// `hub` (Fig. 1b). Stage 1 is the single cut `(hub, old_leader)`.
+pub fn constrained_stage2_cuts(
+    members: &[NodeId],
+    hub: NodeId,
+    old_leader: NodeId,
+) -> Vec<(NodeId, NodeId)> {
+    let mut cuts = Vec::new();
+    for (i, &a) in members.iter().enumerate() {
+        for &b in members.iter().skip(i + 1) {
+            let keeps = (a == hub || b == hub) && a != old_leader && b != old_leader;
+            if !keeps {
+                cuts.push((a, b));
+            }
+        }
+    }
+    cuts
+}
+
+/// §2c chained: connect the servers in a line (each only to its
+/// pid-neighbours) by cutting every non-adjacent pair. With ≥4 servers no
+/// fully-connected server exists — the configuration Table 1 argues
+/// livelocks Raft and VR permanently.
+pub fn chained_line_cuts(members: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let mut cuts = Vec::new();
+    for (i, &a) in members.iter().enumerate() {
+        for &b in members.iter().skip(i + 2) {
+            cuts.push((a, b));
+        }
+    }
+    cuts
+}
+
+// ----------------------------------------------------------------------
 // §7.1 — regular execution (Fig. 7)
 // ----------------------------------------------------------------------
 

@@ -99,6 +99,12 @@ pub struct OmniPaxos<T: Entry, S: Storage<T>> {
     /// Ticks spent in the Recover phase (see `tick` for the viability
     /// timeout).
     recover_ticks: u64,
+    /// Audit log of every ballot this node elected, in election order — the
+    /// observation hook behind the chaos harness's LE3 check (elected
+    /// ballots must increase strictly within one BLE lifetime). Volatile:
+    /// cleared on [`OmniPaxos::fail_recovery`], like the BLE state it
+    /// observes.
+    ballot_audit: Vec<Ballot>,
 }
 
 impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
@@ -117,6 +123,7 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
             config,
             ticks_since_resend: 0,
             recover_ticks: 0,
+            ballot_audit: Vec::new(),
         }
     }
 
@@ -160,6 +167,7 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
             self.ble.set_viable(true);
         }
         if let Some(elected) = self.ble.tick() {
+            self.ballot_audit.push(elected);
             self.sp.handle_leader(elected);
         }
         self.ticks_since_resend += 1;
@@ -284,6 +292,10 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
         self.ble = BallotLeaderElection::new(ble_config);
         self.ticks_since_resend = 0;
         self.recover_ticks = 0;
+        // The audit observes one BLE lifetime; the fresh instance starts a
+        // new (empty) history, so a post-recovery election that re-learns a
+        // pre-crash leader is not misread as a monotonicity violation.
+        self.ballot_audit.clear();
     }
 
     /// Notify that the session to `pid` was re-established (§4.1.3).
@@ -299,6 +311,14 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     /// Access the election component (for tests and invariants).
     pub fn ble(&mut self) -> &mut BallotLeaderElection {
         &mut self.ble
+    }
+
+    /// Every ballot this node elected since creation (or since the last
+    /// [`OmniPaxos::fail_recovery`]), in election order. LE3 requires the
+    /// sequence to be strictly increasing; the chaos harness asserts exactly
+    /// that after every step.
+    pub fn ballot_audit(&self) -> &[Ballot] {
+        &self.ballot_audit
     }
 }
 

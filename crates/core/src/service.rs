@@ -427,9 +427,41 @@ impl<T: Entry> OmniPaxosServer<T> {
         self.log[from..].to_vec()
     }
 
+    /// Absolute service-log index of the first entry the next
+    /// [`OmniPaxosServer::poll_applied`] call will return. Jumps forward
+    /// when a snapshot is adopted (the covered prefix is never delivered as
+    /// entries); the chaos harness uses it to position drained entries in
+    /// the cluster-wide decided history.
+    pub fn applied_cursor(&self) -> u64 {
+        self.polled_idx.max(self.log_start)
+    }
+
+    /// The active instance's ballot audit log (every ballot this server
+    /// elected in its current BLE lifetime, strictly increasing under LE3).
+    /// Empty while no configuration is active.
+    pub fn ballot_audit(&self) -> &[Ballot] {
+        self.active
+            .as_ref()
+            .map(|a| a.omni.ballot_audit())
+            .unwrap_or(&[])
+    }
+
     /// How many reconfigurations this server has completed.
     pub fn reconfigurations(&self) -> u32 {
         self.reconfigurations
+    }
+
+    /// Progress of an in-flight log migration, if one is running:
+    /// `(target_len, have, snapshot_pull_pending)`. `None` while not
+    /// migrating. For observability (metrics, the chaos harness debug dump).
+    pub fn migration_status(&self) -> Option<(u64, u64, bool)> {
+        self.migration.as_ref().map(|m| {
+            (
+                m.target_len,
+                self.log_start + self.log.len() as u64,
+                m.snap.is_some(),
+            )
+        })
     }
 
     /// Is this server the leader of the active configuration?
@@ -669,7 +701,7 @@ impl<T: Entry> OmniPaxosServer<T> {
         if ss.next_nodes.contains(&self.config.pid) {
             // We hold the complete log: start the next configuration
             // directly (§6).
-            self.start_config(ss);
+            self.start_config(ss, log_len);
         } else {
             self.role = ServerRole::Retired;
             self.active = None;
@@ -710,11 +742,42 @@ impl<T: Entry> OmniPaxosServer<T> {
             return;
         }
         if self.migration.is_some() {
-            return; // already migrating this configuration
+            // Already migrating this configuration. The notifier retries
+            // `StartConfig` until we ack, and each retry carries its
+            // *current* compaction point: if the donor compacted past what
+            // we hold since the migration started, the entries we are
+            // striping no longer exist anywhere as segments — upgrade the
+            // in-flight migration with a snapshot pull or it deadlocks
+            // (segment requests below the donor's `log_start` report a
+            // shortfall forever).
+            let have = self.decided_len();
+            let needs_snap = self.migration.as_ref().is_some_and(|m| {
+                m.ss.config_id == ss.config_id
+                    && m.snap.is_none()
+                    && snap_idx > have
+                    && snap_idx > self.log_start
+            });
+            if needs_snap {
+                self.outgoing
+                    .push((from, ServiceMsg::SnapReq { offset: 0 }));
+                if let Some(mig) = &mut self.migration {
+                    mig.snap = Some(SnapPull {
+                        donor: from,
+                        idx: snap_idx,
+                        total: 0,
+                        buf: Vec::new(),
+                    });
+                    // Chunks below the snapshot are superseded.
+                    mig.chunks
+                        .retain(|&start, c| start + c.len() as u64 > snap_idx);
+                }
+                self.request_missing();
+            }
+            return;
         }
         if self.decided_len() >= log_len {
             // Nothing to migrate (fresh system or we somehow have it all).
-            self.start_config(ss);
+            self.start_config(ss, log_len);
             self.ack_started(&old_nodes);
             return;
         }
@@ -963,7 +1026,8 @@ impl<T: Entry> OmniPaxosServer<T> {
         if done {
             let mig = self.migration.take().expect("checked above");
             let donors = mig.donors.clone();
-            self.start_config(mig.ss);
+            let base = mig.target_len;
+            self.start_config(mig.ss, base);
             self.ack_started(&donors);
         }
     }
@@ -1074,7 +1138,18 @@ impl<T: Entry> OmniPaxosServer<T> {
     }
 
     /// Start the protocol components of configuration `ss.config_id` (§6).
-    fn start_config(&mut self, ss: StopSign) {
+    ///
+    /// `base` is the absolute service-log index where the new
+    /// configuration's log begins — the total length of the old
+    /// configuration's log. It must come from the stop-sign handover, not
+    /// from `self.decided_len()`: a joiner that caught up via
+    /// snapshot-first catch-up may hold a snapshot extending *past* the
+    /// boundary (the donor had compacted into the new configuration's
+    /// entries), in which case its decided length already includes a
+    /// prefix of the new instance's log. That prefix is recorded in
+    /// `applied_idx` so it is not delivered a second time at shifted
+    /// positions.
+    fn start_config(&mut self, ss: StopSign, base: u64) {
         debug_assert!(ss.next_nodes.contains(&self.config.pid));
         self.config_id = ss.config_id;
         self.role = ServerRole::Active;
@@ -1088,8 +1163,8 @@ impl<T: Entry> OmniPaxosServer<T> {
         self.active = Some(ActiveConfig {
             nodes: ss.next_nodes,
             omni,
-            applied_idx: 0,
-            base: self.decided_len(),
+            applied_idx: self.decided_len().saturating_sub(base),
+            base,
             stopped: false,
         });
         self.reconfigurations += 1;

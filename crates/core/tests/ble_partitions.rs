@@ -1,0 +1,158 @@
+//! Property test: BLE elects a quorum-connected leader under *generated*
+//! partial partitions.
+//!
+//! For many seeded random symmetric connectivity graphs over five servers,
+//! drive a full BLE cluster (messages delivered only along up links) and
+//! assert the paper's central election guarantee: whenever at least one
+//! server is quorum-connected — it can reach a majority counting itself —
+//! then within a bounded number of heartbeat rounds some quorum-connected
+//! server considers itself elected. Graphs with no quorum-connected server
+//! (e.g. the quorum-loss scenario of §2a) are exempt from the liveness
+//! claim and are instead checked for the converse: nobody gets elected.
+
+use omnipaxos::ble::{BallotLeaderElection, BleConfig};
+use omnipaxos::messages::BleMessage;
+use omnipaxos::NodeId;
+
+const N: usize = 5;
+const HB_TICKS: u64 = 4;
+/// Bound on the recovery time, in ticks: generous but finite (the runs
+/// below settle in far fewer; the property only needs *bounded*).
+const BOUND_TICKS: u64 = 400;
+
+/// Deterministic xorshift64* — the test must not depend on external
+/// randomness sources.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A random symmetric connectivity graph: `links[a][b]` is true iff the
+/// (bidirectional) link between servers `a+1` and `b+1` is up.
+fn random_links(rng: &mut XorShift) -> [[bool; N]; N] {
+    let mut links = [[false; N]; N];
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..N {
+        for b in (a + 1)..N {
+            // Biased toward connected-but-degraded graphs: roughly one
+            // third of the links are down.
+            let up = !rng.next().is_multiple_of(3);
+            links[a][b] = up;
+            links[b][a] = up;
+        }
+    }
+    links
+}
+
+/// Servers that can reach a majority, counting themselves (the paper's
+/// quorum-connected predicate over direct links).
+fn quorum_connected(links: &[[bool; N]; N]) -> Vec<usize> {
+    (0..N)
+        .filter(|&a| 1 + (0..N).filter(|&b| links[a][b]).count() > N / 2)
+        .collect()
+}
+
+fn cluster() -> Vec<BallotLeaderElection> {
+    let nodes: Vec<NodeId> = (1..=N as NodeId).collect();
+    nodes
+        .iter()
+        .map(|&p| BallotLeaderElection::new(BleConfig::with(p, &nodes, HB_TICKS)))
+        .collect()
+}
+
+/// Advance the cluster one tick, delivering messages along up links only.
+fn step(cluster: &mut [BallotLeaderElection], links: &[[bool; N]; N]) {
+    for b in cluster.iter_mut() {
+        b.tick();
+    }
+    let mut inbox: Vec<BleMessage> = Vec::new();
+    for b in cluster.iter_mut() {
+        inbox.extend(b.outgoing_messages());
+    }
+    for m in inbox {
+        if links[(m.from - 1) as usize][(m.to - 1) as usize] {
+            cluster[(m.to - 1) as usize].handle_message(m);
+        }
+    }
+}
+
+#[test]
+fn a_quorum_connected_server_is_elected_whenever_one_exists() {
+    let mut rng = XorShift(0x0B5E55ED);
+    let mut graphs_with_qc = 0;
+    for _case in 0..60 {
+        let links = random_links(&mut rng);
+        let qc = quorum_connected(&links);
+        if qc.is_empty() {
+            continue;
+        }
+        graphs_with_qc += 1;
+        let mut nodes = cluster();
+        let mut elected_at = None;
+        for t in 1..=BOUND_TICKS {
+            step(&mut nodes, &links);
+            // The guarantee: some quorum-connected server is elected (its
+            // own ballot won) and knows it is quorum-connected.
+            let done = qc.iter().any(|&i| {
+                let b = &nodes[i];
+                b.is_quorum_connected() && b.leader().pid == (i + 1) as NodeId
+            });
+            if done {
+                elected_at = Some(t);
+                break;
+            }
+        }
+        let t = elected_at.unwrap_or_else(|| {
+            let views: Vec<_> = nodes.iter().map(|b| b.leader()).collect();
+            panic!(
+                "no quorum-connected server elected within {BOUND_TICKS} ticks; \
+                 qc={qc:?} links={links:?} leader views={views:?}"
+            )
+        });
+        assert!(t <= BOUND_TICKS);
+    }
+    assert!(
+        graphs_with_qc >= 30,
+        "the generator must mostly produce graphs with a quorum-connected \
+         server, got {graphs_with_qc}/60"
+    );
+}
+
+#[test]
+fn nobody_is_elected_without_a_quorum_connected_server() {
+    let mut rng = XorShift(0xDEAD_10CC);
+    let mut checked = 0;
+    // Build graphs with no quorum-connected server by only allowing each
+    // server at most one up link (max reachability 2 of 5).
+    while checked < 10 {
+        let mut links = [[false; N]; N];
+        let a = (rng.next() % N as u64) as usize;
+        let b = (rng.next() % N as u64) as usize;
+        if a != b {
+            links[a][b] = true;
+            links[b][a] = true;
+        }
+        assert!(quorum_connected(&links).is_empty());
+        checked += 1;
+        let mut nodes = cluster();
+        for _ in 0..BOUND_TICKS {
+            step(&mut nodes, &links);
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            assert_ne!(
+                node.leader().pid,
+                (i + 1) as NodeId,
+                "server {} considers itself elected without quorum connectivity",
+                i + 1
+            );
+        }
+    }
+}

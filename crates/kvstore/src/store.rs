@@ -84,6 +84,14 @@ impl KvStateMachine {
         &self.state
     }
 
+    /// The client session table: highest applied sequence number per
+    /// client. Part of the replicated state (snapshots include it); the
+    /// chaos harness asserts it survives crash-restore and snapshot
+    /// transfer so retried commands stay deduplicated.
+    pub fn sessions(&self) -> &HashMap<u64, u64> {
+        &self.sessions
+    }
+
     /// Apply one decided command, returning its client-visible result.
     /// Exactly-once: duplicate `(client, seq)` pairs report
     /// `applied: false` and leave the state untouched.
@@ -302,6 +310,11 @@ impl KvNode {
     /// Access the underlying replication server (partitions, recovery).
     pub fn server(&mut self) -> &mut OmniPaxosServer<KvCommand> {
         &mut self.server
+    }
+
+    /// Shared access to the replication server (invariant observation).
+    pub fn server_ref(&self) -> &OmniPaxosServer<KvCommand> {
+        &self.server
     }
 }
 

@@ -209,6 +209,27 @@ impl<C: Command> MpNode<C> {
         self.leader_changes
     }
 
+    /// The *delivered* decided client commands, in slot order (noop fillers
+    /// are skipped, and slots past the first hole are excluded, exactly
+    /// like delivery). External invariant checkers compare this against the
+    /// history accumulated from [`MpNode::poll_decided`] to detect a
+    /// silently rewritten decided prefix.
+    pub fn decided_log(&self) -> impl Iterator<Item = &C> {
+        self.accepted[..self.delivered as usize]
+            .iter()
+            .filter_map(|slot| match slot {
+                Some((_, Payload::Cmd(c))) => Some(c),
+                _ => None,
+            })
+    }
+
+    /// Our current proposer ballot; when [`MpNode::is_leader`] it is the
+    /// ballot this leader's accepts carry (epoch for leader-uniqueness
+    /// audits).
+    pub fn current_ballot(&self) -> crate::Bal {
+        self.ballot
+    }
+
     /// Newly decided client commands, in slot order. Noops are skipped. A
     /// hole (undelivered slot) blocks delivery until repaired — commands
     /// must be executed in order.
@@ -230,6 +251,13 @@ impl<C: Command> MpNode<C> {
         if !self.active {
             return false;
         }
+        // A stale claimant's slot counter can trail what this node has
+        // since accepted or delivered (a recovered ex-leader that caught
+        // up via CatchupResp before learning of its successor): chosen
+        // slots are immutable, so proposals only ever append past the
+        // local log — never overwrite below it.
+        let floor = (self.accepted.len() as u64).max(self.decided_upto);
+        self.next_slot = self.next_slot.max(floor);
         let slot = self.next_slot;
         self.next_slot += 1;
         self.set_accepted(slot, self.ballot, Payload::Cmd(cmd));
@@ -278,17 +306,17 @@ impl<C: Command> MpNode<C> {
         if !self.active {
             let leader = self.max_seen.pid;
             let suspect = if leader == 0 || leader == self.config.pid {
-                // No leader established yet: compete after a grace period.
-                self.now_ticks > self.config.fd_timeout_ticks && !self.phase1
+                // No leader established (or we believe our own stalled
+                // campaign): compete, or retry a stalled Phase 1 with a
+                // fresh ballot, after a grace period. The retry matters
+                // after a heal — peers follow the highest ballot they
+                // hear, which may be ours, so nobody else will campaign.
+                self.now_ticks > self.config.fd_timeout_ticks
             } else {
                 let heard = self.last_heard.get(&leader).copied().unwrap_or(0);
                 self.now_ticks.saturating_sub(heard) > self.config.fd_timeout_ticks
             };
-            if suspect && !self.phase1 {
-                self.takeover();
-            } else if suspect && self.phase1 {
-                // Phase 1 stalled (no majority reachable): retry with a
-                // fresh ballot so a later heal wins promptly.
+            if suspect {
                 self.takeover();
             }
         }
@@ -326,6 +354,23 @@ impl<C: Command> MpNode<C> {
                 ));
             }
         }
+    }
+
+    /// Longest prefix this node can cumulatively acknowledge under
+    /// `ballot`: decided slots are immutable, but above the decision
+    /// watermark only slots accepted at exactly `ballot` count. A prefix
+    /// accepted under an older leader may diverge from the current
+    /// leader's log, so acking it would let the leader declare slots
+    /// chosen that a majority never accepted with its values.
+    fn acked_contig(&self, ballot: Bal) -> u64 {
+        let mut s = self.decided_upto;
+        while let Some(Some((b, _))) = self.accepted.get(s as usize) {
+            if *b != ballot {
+                break;
+            }
+            s += 1;
+        }
+        s
     }
 
     fn accepted_suffix(&self, from_slot: u64) -> Vec<(u64, Bal, Payload<C>)> {
@@ -370,7 +415,7 @@ impl<C: Command> MpNode<C> {
             } => {
                 self.observe(ballot);
                 if decided_upto > self.decided_upto && ballot >= self.max_seen {
-                    self.advance_decided(decided_upto, from);
+                    self.advance_decided(decided_upto, ballot, from);
                 }
             }
             MpMsg::CatchupReq { from_slot } => self.handle_catchup_req(from, from_slot),
@@ -528,40 +573,55 @@ impl<C: Command> MpNode<C> {
             self.active = false;
             self.phase1 = false;
         }
-        // Detect a gap: entries that start above our contiguous prefix mean
-        // we missed traffic (e.g. during a partition) — repair via catch-up.
+        // Detect a gap: entries that start above our ballot-verified prefix
+        // mean we missed traffic (e.g. during a partition) — repair via
+        // catch-up from the decision watermark, so stale slots accepted
+        // under an older leader get overwritten too, not just holes.
         if let Some((first_slot, _)) = entries.first() {
-            if *first_slot > self.contig {
+            if *first_slot > self.acked_contig(ballot) {
                 self.outgoing.push((
                     from,
                     MpMsg::CatchupReq {
-                        from_slot: self.contig,
+                        from_slot: self.decided_upto,
                     },
                 ));
             }
         }
         for (slot, v) in entries {
+            // Slots below the decision watermark hold chosen values:
+            // immutable. A stale claimant that paused before losing its
+            // ballot can still stream never-chosen proposals at old slots
+            // (its ballot equals what we promised long ago) — accepting
+            // them would overwrite delivered history.
+            if slot < self.decided_upto {
+                continue;
+            }
             self.set_accepted(slot, ballot, v);
         }
-        self.advance_decided(decided_upto, from);
+        self.advance_decided(decided_upto, ballot, from);
         self.outgoing.push((
             from,
             MpMsg::P2b {
                 ballot,
-                contig: self.contig,
+                contig: self.acked_contig(ballot),
             },
         ));
     }
 
-    fn advance_decided(&mut self, upto: u64, from: NodeId) {
+    fn advance_decided(&mut self, upto: u64, ballot: Bal, from: NodeId) {
         if upto > self.decided_upto {
-            self.decided_upto = upto.min(self.contig.max(self.decided_upto));
-            if upto > self.contig {
-                // We are told more is decided than we hold: catch up.
+            // Only slots verified under the announcing leader's ballot may
+            // be delivered: a prefix accepted under an older leader can
+            // hold values that were never chosen.
+            let verified = self.acked_contig(ballot);
+            self.decided_upto = upto.min(verified.max(self.decided_upto));
+            if upto > self.decided_upto {
+                // We are told more is decided than we hold verified: fetch
+                // the chosen values (overwriting any stale ones).
                 self.outgoing.push((
                     from,
                     MpMsg::CatchupReq {
-                        from_slot: self.contig,
+                        from_slot: self.decided_upto,
                     },
                 ));
             }
@@ -574,10 +634,34 @@ impl<C: Command> MpNode<C> {
         }
         let e = self.p2_contig.entry(from).or_insert(0);
         *e = (*e).max(contig);
+        let acked = *e;
+        // A follower acking below our streamed window diverged or missed
+        // traffic (partition, stale-leader prefix): the regular stream
+        // only covers `unsent_from..`, so resync it from its ack point —
+        // re-accepting under our ballot both repairs stale slots and lets
+        // its cumulative ack advance.
+        if acked < self.unsent_from {
+            let entries: Vec<(u64, Payload<C>)> = (acked..self.unsent_from)
+                .map(|s| {
+                    let (_, v) = self.accepted[s as usize]
+                        .as_ref()
+                        .expect("leader log has no holes");
+                    (s, v.clone())
+                })
+                .collect();
+            self.outgoing.push((
+                from,
+                MpMsg::P2a {
+                    ballot: self.ballot,
+                    entries,
+                    decided_upto: self.decided_upto,
+                },
+            ));
+        }
         // Chosen = the majority-th largest cumulative ack (self counts with
-        // its full contiguous prefix).
+        // its own ballot-verified prefix).
         let mut acks: Vec<u64> = self.p2_contig.values().copied().collect();
-        acks.push(self.contig);
+        acks.push(self.acked_contig(self.ballot));
         acks.sort_unstable_by(|a, b| b.cmp(a));
         let maj = majority(self.config.nodes.len());
         if acks.len() >= maj {
@@ -623,15 +707,25 @@ impl<C: Command> MpNode<C> {
     }
 
     fn handle_catchup_resp(&mut self, from_slot: u64, entries: Vec<Payload<C>>, decided_upto: u64) {
+        let fetched_upto = from_slot + entries.len() as u64;
         for (i, v) in entries.into_iter().enumerate() {
             let slot = from_slot + i as u64;
-            if self.accepted.get(slot as usize).is_none_or(|s| s.is_none()) {
-                // Decided values are safe to adopt at any ballot.
-                self.set_accepted(slot, self.promised, v);
+            if slot < self.decided_upto {
+                // Already delivered here: immutable (and identical, since
+                // both copies are chosen values).
+                continue;
             }
+            // The responder only ships values below its decision watermark,
+            // so they are chosen: adopt them even over a locally accepted
+            // value — ours may be a stale leader's never-chosen proposal.
+            self.set_accepted(slot, self.promised, v);
         }
         if decided_upto > self.decided_upto {
-            self.decided_upto = decided_upto.min(self.contig);
+            // Everything fetched is chosen; beyond that our own prefix is
+            // unverified, so don't outrun what the responder sent.
+            self.decided_upto = decided_upto
+                .min(self.contig)
+                .min(fetched_upto.max(self.decided_upto));
         }
     }
 }

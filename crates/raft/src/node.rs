@@ -181,6 +181,21 @@ impl<C: Command> RaftNode<C> {
         self.pending_conf.is_some() || self.conf_change_idx.is_some()
     }
 
+    /// The committed client commands, in log order (noops and membership
+    /// entries carry no client command and are skipped). An external
+    /// invariant checker compares this against the history it accumulated
+    /// from [`RaftNode::poll_decided`]: any divergence means the committed
+    /// log was silently rewritten — e.g. an ack-before-persist bug losing
+    /// entries across a crash.
+    pub fn committed_log(&self) -> impl Iterator<Item = &C> {
+        self.log[..self.commit_idx as usize]
+            .iter()
+            .filter_map(|e| match &e.payload {
+                RaftPayload::Cmd(c) => Some(c),
+                _ => None,
+            })
+    }
+
     /// Newly committed client commands since the last call.
     pub fn poll_decided(&mut self) -> Vec<C> {
         let mut out = Vec::new();

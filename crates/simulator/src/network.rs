@@ -278,6 +278,33 @@ impl<M> Network<M> {
             }
         }
     }
+
+    /// Drop every queued message between `a` and `b`, in both directions.
+    /// Models a TCP session teardown on link failure: bytes on the wire of
+    /// the broken connection are lost, not delivered after the heal. The
+    /// chaos harness pairs this with a link cut for session-drop faults.
+    pub fn drop_in_flight_between(&mut self, a: NodeId, b: NodeId) {
+        let drained = std::mem::take(&mut self.queue);
+        for Reverse(q) in drained {
+            if (q.src == a && q.dst == b) || (q.src == b && q.dst == a) {
+                self.stats.record_drop(q.src, q.dst);
+            } else {
+                self.queue.push(Reverse(q));
+            }
+        }
+    }
+
+    /// Change the uniform delivery jitter. Per-link FIFO stays enforced, so
+    /// raising jitter mid-run reorders messages across links but never
+    /// within one (the paper's session-based FIFO perfect link model, §3).
+    pub fn set_jitter_us(&mut self, jitter_us: SimTime) {
+        self.jitter_us = jitter_us;
+    }
+
+    /// Current uniform delivery jitter in microseconds.
+    pub fn jitter_us(&self) -> SimTime {
+        self.jitter_us
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +475,28 @@ mod tests {
         n.drop_in_flight_for(2);
         assert!(n.pop_next_before(u64::MAX).is_none());
         assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn drop_in_flight_between_is_pairwise_and_bidirectional() {
+        let mut n = net(100);
+        n.send(1, 2, 8, 1);
+        n.send(2, 1, 8, 2);
+        n.send(1, 3, 8, 3); // unrelated pair: survives
+        n.drop_in_flight_between(1, 2);
+        let d = n.pop_next_before(u64::MAX).unwrap();
+        assert_eq!(d.msg, 3);
+        assert!(n.pop_next_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn jitter_can_change_mid_run() {
+        let mut n = net(100);
+        n.set_jitter_us(1_000);
+        assert_eq!(n.jitter_us(), 1_000);
+        n.send(1, 2, 8, 1);
+        let d = n.pop_next_before(u64::MAX).unwrap();
+        assert!(d.at >= 100 && d.at <= 1_100);
     }
 
     #[test]

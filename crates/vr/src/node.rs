@@ -146,6 +146,21 @@ impl<T: Entry> VrNode<T> {
         self.view_changes
     }
 
+    /// The full decided client-command log, in log order (stop-signs are
+    /// skipped; VR never reconfigures here). External invariant checkers
+    /// compare this against the history accumulated from
+    /// [`VrNode::poll_decided`] to detect a silently rewritten prefix.
+    pub fn decided_log(&self) -> Vec<T> {
+        self.sp
+            .read_decided(0)
+            .into_iter()
+            .filter_map(|e| match e {
+                LogEntry::Normal(t) => Some(t),
+                LogEntry::StopSign(_) => None,
+            })
+            .collect()
+    }
+
     /// Newly decided client commands since the last call.
     pub fn poll_decided(&mut self) -> Vec<T> {
         let decided = self.sp.read_decided(self.polled_idx);

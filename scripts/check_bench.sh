@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Validate the shape of the committed BENCH_*.json result files: each must
+# be a JSON object naming its bench, and every metrics section must hold
+# finite, non-negative numbers (a NaN/Infinity or a negative rate means a
+# broken measurement, not a slow one). Run from the repo root.
+set -eu
+
+python3 - "$@" <<'PY'
+import glob
+import json
+import math
+import sys
+
+files = sys.argv[1:] or sorted(glob.glob("BENCH_*.json"))
+if not files:
+    print("check_bench: no BENCH_*.json files found", file=sys.stderr)
+    sys.exit(1)
+
+errors = []
+
+
+def check_numbers(path, prefix, obj):
+    """Every numeric leaf must be finite and non-negative."""
+    for key, value in obj.items():
+        where = f"{path}: {prefix}{key}"
+        if isinstance(value, dict):
+            check_numbers(path, f"{prefix}{key}.", value)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            if not math.isfinite(value):
+                errors.append(f"{where} is not finite: {value}")
+            elif value < 0:
+                errors.append(f"{where} is negative: {value}")
+        elif isinstance(value, str):
+            continue
+        else:
+            errors.append(f"{where} has unexpected type {type(value).__name__}")
+
+
+for path in files:
+    errors_before = len(errors)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        continue
+    if not isinstance(data, dict):
+        errors.append(f"{path}: top level must be a JSON object")
+        continue
+    if not isinstance(data.get("bench"), str) or not data["bench"]:
+        errors.append(f'{path}: missing or empty "bench" name')
+    sections = {k: v for k, v in data.items() if isinstance(v, dict)}
+    if not sections:
+        errors.append(f"{path}: no metrics sections (nested objects) found")
+    for name, section in sections.items():
+        numeric = [v for v in section.values() if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if not numeric:
+            errors.append(f"{path}: section {name!r} has no numeric fields")
+    check_numbers(path, "", data)
+    if len(errors) == errors_before:
+        print(f"check_bench: {path} ok ({data.get('bench')}, {len(sections)} sections)")
+
+if errors:
+    for e in errors:
+        print(f"check_bench: {e}", file=sys.stderr)
+    sys.exit(1)
+PY

@@ -1,26 +1,103 @@
 #!/usr/bin/env sh
-# Offline CI gate: format, lint, build, test. Run from the repo root.
+# Offline CI pipeline, split into named stages. Run from the repo root.
 # Everything works without network access (no external dependencies).
+#
+# Usage:
+#   scripts/ci.sh              # all stages
+#   scripts/ci.sh all          # same
+#   scripts/ci.sh fmt          # one stage
+#   scripts/ci.sh clippy build # several stages, in the given order
+#
+# Stages: fmt clippy build test chaos bench
+# Each stage is timed; a summary table prints at the end.
 set -eu
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+SUMMARY=""
+FAILED=0
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_fmt() {
+    echo "==> [fmt] cargo fmt --check"
+    cargo fmt --all -- --check
+}
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+stage_clippy() {
+    echo "==> [clippy] cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "==> cargo test"
-cargo test --workspace -q
+stage_build() {
+    echo "==> [build] cargo build --release"
+    cargo build --workspace --release
+}
 
-echo "==> snapshot property tests"
-cargo test -q -p omnipaxos --test snapshot_transfer
-cargo test -q -p omnipaxos torn_snapshot_record_replays_to_pre_snapshot_state
-cargo test -q -p kvstore snapshot
+stage_test() {
+    echo "==> [test] cargo test"
+    cargo test --workspace -q
+    echo "==> [test] snapshot property tests"
+    cargo test -q -p omnipaxos --test snapshot_transfer
+    cargo test -q -p omnipaxos torn_snapshot_record_replays_to_pre_snapshot_state
+    cargo test -q -p kvstore snapshot
+    echo "==> [test] BLE election property under generated partial partitions"
+    cargo test -q -p omnipaxos --test ble_partitions
+}
 
-echo "==> catchup bench (quick): snapshot-first vs full-log replay"
-cargo run --release -q -p bench --bin hotpath -- --catchup --quick
+stage_chaos() {
+    echo "==> [chaos] quick deterministic chaos gate (all protocols + kv store)"
+    cargo run --release -q -p chaos -- --quick
+}
 
-echo "CI OK"
+stage_bench() {
+    echo "==> [bench] catchup bench (quick): snapshot-first vs full-log replay"
+    cargo run --release -q -p bench --bin hotpath -- --catchup --quick
+    echo "==> [bench] validate BENCH_*.json result shape"
+    sh scripts/check_bench.sh
+}
+
+run_stage() {
+    name="$1"
+    start=$(date +%s)
+    rc=0
+    "stage_$name" || rc=$?
+    end=$(date +%s)
+    if [ "$rc" -eq 0 ]; then
+        status=ok
+    else
+        status=FAIL
+        FAILED=1
+    fi
+    SUMMARY="${SUMMARY}$(printf '%-8s %-5s %4ss' "$name" "$status" "$((end - start))")
+"
+    return "$rc"
+}
+
+STAGES="$*"
+if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
+    STAGES="fmt clippy build test chaos bench"
+fi
+
+for s in $STAGES; do
+    case "$s" in
+        fmt|clippy|build|test|chaos|bench)
+            # Fail fast, but still print the summary table below.
+            if ! run_stage "$s"; then
+                break
+            fi
+            ;;
+        *)
+            echo "unknown stage: $s (stages: fmt clippy build test chaos bench)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo ""
+echo "stage    status  time"
+echo "---------------------"
+printf '%s' "$SUMMARY"
+echo "---------------------"
+if [ "$FAILED" -eq 0 ]; then
+    echo "CI OK"
+else
+    echo "CI FAILED"
+    exit 1
+fi
