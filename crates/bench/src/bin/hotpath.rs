@@ -16,6 +16,10 @@
 //!   replay and once snapshot-first after the leader compacted: the
 //!   state-machine snapshot ([`CounterSm`]) plus the tail replaces
 //!   replaying the whole log. Writes `BENCH_PR2.json`.
+//! * **net-loopback** (`-- --net-loopback`) — a real 3-replica kv
+//!   cluster over the `crates/net` TCP transport on 127.0.0.1, measured
+//!   from a closed-loop client: put/read throughput and p50/p99 latency
+//!   over actual sockets. Writes `BENCH_PR4.json`.
 //!
 //! Run with `cargo run --release --bin hotpath` (add `-- --quick` for a
 //! fast smoke run). Results are printed and written to `BENCH_PR1.json`;
@@ -282,6 +286,140 @@ fn bench_catchup(size: u64, compacted: bool) -> (f64, f64) {
     (elapsed, size as f64 / elapsed)
 }
 
+/// Nearest-rank percentile over an already-sorted latency sample.
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+/// `--net-loopback`: a real 3-replica kv cluster over TCP on 127.0.0.1
+/// (the `crates/net` transport, not the simulator), measured from a
+/// closed-loop client: put and linearizable-read throughput plus p50/p99
+/// latency over actual sockets. Written to `BENCH_PR4.json`.
+fn run_net_loopback(quick: bool) {
+    use kvstore::{KvCommand, KvNode};
+    use net::server::{ClientGateway, KvServer};
+    use net::tcp::{TcpConfig, TcpTransport};
+    use net::{KvClient, NetworkLink};
+    use omnipaxos::ServiceMsg;
+    use std::collections::HashMap;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    type Transport = TcpTransport<ServiceMsg<KvCommand>>;
+
+    let puts: u64 = if quick { 300 } else { 2_000 };
+    let reads: u64 = puts / 4;
+    println!("hotpath: net-loopback (3 replicas over TCP, {puts} puts + {reads} reads)");
+
+    // Boot: ephemeral replication + gateway ports, one drive thread per node.
+    let mut listeners = HashMap::new();
+    let mut repl_addrs = HashMap::new();
+    for pid in 1..=3u64 {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind replication port");
+        repl_addrs.insert(pid, l.local_addr().unwrap());
+        listeners.insert(pid, l);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    let mut client_addrs = Vec::new();
+    for pid in 1..=3u64 {
+        let transport = Transport::with_listener(
+            pid,
+            listeners.remove(&pid).unwrap(),
+            repl_addrs.clone(),
+            TcpConfig::default(),
+        )
+        .expect("transport");
+        let gateway =
+            ClientGateway::bind(TcpListener::bind("127.0.0.1:0").unwrap()).expect("gateway");
+        client_addrs.push((pid, gateway.local_addr()));
+        let server =
+            KvServer::new(KvNode::new(pid, vec![1, 2, 3]), transport).with_gateway(gateway);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            server.run(Duration::from_millis(3), stop)
+        }));
+    }
+
+    let mut client = KvClient::new(0xBE9C4, client_addrs);
+    // Warmup: rides out leader election and fills the session caches.
+    for i in 0..50u64 {
+        client.put("warm", i as i64).expect("warmup put");
+    }
+
+    let mut put_lat: Vec<f64> = Vec::with_capacity(puts as usize);
+    let start = Instant::now();
+    for i in 0..puts {
+        let t = Instant::now();
+        let r = client.put(&format!("k{}", i % 64), i as i64).expect("put");
+        assert!(r.applied, "fresh put must apply");
+        put_lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let put_elapsed = start.elapsed().as_secs_f64();
+
+    let mut read_lat: Vec<f64> = Vec::with_capacity(reads as usize);
+    let start = Instant::now();
+    for i in 0..reads {
+        let t = Instant::now();
+        let v = client.read(&format!("k{}", i % 64)).expect("read");
+        assert!(v.is_some(), "read must see a written key");
+        read_lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let read_elapsed = start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::SeqCst);
+    let servers: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node"))
+        .collect();
+    let (mut msgs_sent, mut bytes_sent, mut sessions) = (0u64, 0u64, 0u64);
+    for s in &servers {
+        if let Some(link) = s.link() {
+            let c = link.counters();
+            msgs_sent += c.msgs_sent;
+            bytes_sent += c.bytes_sent;
+            sessions += c.sessions_established;
+        }
+    }
+
+    put_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    read_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let put_mean = put_lat.iter().sum::<f64>() / put_lat.len() as f64;
+    let read_mean = read_lat.iter().sum::<f64>() / read_lat.len() as f64;
+    let put_ops = puts as f64 / put_elapsed;
+    let read_ops = reads as f64 / read_elapsed;
+    println!(
+        "  put:  {put_ops:.0} ops/sec  p50 {:.0}us  p99 {:.0}us",
+        percentile(&put_lat, 0.50),
+        percentile(&put_lat, 0.99)
+    );
+    println!(
+        "  read: {read_ops:.0} ops/sec  p50 {:.0}us  p99 {:.0}us",
+        percentile(&read_lat, 0.50),
+        percentile(&read_lat, 0.99)
+    );
+
+    let out = format!(
+        "{{\n  \"bench\": \"net-loopback\",\n  \"quick\": {quick},\n  \"replicas\": 3,\n  \"put_closed_loop\": {{\n    \"ops\": {puts},\n    \"elapsed_s\": {put_elapsed:.3},\n    \"ops_per_sec\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {}\n  }},\n  \"read_linearizable\": {{\n    \"ops\": {reads},\n    \"elapsed_s\": {read_elapsed:.3},\n    \"ops_per_sec\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {}\n  }},\n  \"transport\": {{\n    \"replication_msgs_sent\": {msgs_sent},\n    \"replication_bytes_sent\": {bytes_sent},\n    \"sessions_established\": {sessions}\n  }}\n}}\n",
+        json_num(put_ops),
+        json_num(percentile(&put_lat, 0.50)),
+        json_num(percentile(&put_lat, 0.99)),
+        json_num(put_mean),
+        json_num(read_ops),
+        json_num(percentile(&read_lat, 0.50)),
+        json_num(percentile(&read_lat, 0.99)),
+        json_num(read_mean),
+    );
+    std::fs::write("BENCH_PR4.json", &out).expect("write BENCH_PR4.json");
+    print!("{out}");
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -328,6 +466,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--catchup") {
         run_catchup(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "--net-loopback") {
+        run_net_loopback(quick);
         return;
     }
     let baseline: Option<(f64, f64)> = args

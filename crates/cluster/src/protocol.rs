@@ -73,6 +73,12 @@ impl ProtoMsg {
     }
 }
 
+impl net::MsgSize for ProtoMsg {
+    fn size_bytes(&self) -> usize {
+        ProtoMsg::size_bytes(self)
+    }
+}
+
 /// The uniform replica interface the harness drives.
 pub trait Replica {
     fn pid(&self) -> NodeId;

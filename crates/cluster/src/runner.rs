@@ -5,6 +5,13 @@
 //! delivered, replicas and the client take a step, scheduled actions fire,
 //! and outgoing messages are sent through the (possibly partitioned,
 //! bandwidth-limited) network.
+//!
+//! Replicas talk to the network exclusively through the
+//! [`net::NetworkLink`] abstraction — one [`net::SimLink`] per node on a
+//! shared [`net::SimHub`]. Cut/heal surface as session events on the
+//! links (the same events the TCP transport emits from real sockets), so
+//! the reconnect → `PrepareReq` re-sync path is driven identically under
+//! simulation and deployment.
 
 use crate::client::{Client, ClientConfig};
 use crate::metrics::RunReport;
@@ -12,8 +19,9 @@ use crate::protocol::{
     MpReplica, OmniReplica, ProtoMsg, ProtocolKind, RaftReplica, Replica, VrReplica,
 };
 use crate::{Cmd, NodeId};
+use net::{LinkEvent, NetworkLink, SimHub, SimLink};
 use omnipaxos::MigrationScheme;
-use simulator::{ms, sec, Network, NetworkConfig, SimTime};
+use simulator::{ms, sec, NetworkConfig, SimTime};
 use std::collections::HashSet;
 
 /// A scheduled event. Partition shapes that depend on who currently leads
@@ -123,7 +131,8 @@ impl Default for RunConfig {
 pub struct Runner {
     config: RunConfig,
     replicas: Vec<Box<dyn Replica>>,
-    net: Network<ProtoMsg>,
+    hub: SimHub<ProtoMsg>,
+    links: Vec<SimLink<ProtoMsg>>,
     client: Client,
     /// Directed links we have cut (for reconnect notifications on heal).
     cut: HashSet<(NodeId, NodeId)>,
@@ -204,7 +213,7 @@ impl Runner {
             };
             replicas.push(r);
         }
-        let net = Network::new(NetworkConfig {
+        let hub = SimHub::new(NetworkConfig {
             nodes: (1..=total as NodeId).collect(),
             default_latency_us: config.latency_us,
             jitter_us: 0,
@@ -212,6 +221,7 @@ impl Runner {
             priority_bytes: 256,
             seed: config.seed,
         });
+        let links = (1..=total as NodeId).map(|p| hub.link(p)).collect();
         let client = Client::new(
             config.client.clone(),
             config.window_us,
@@ -220,9 +230,10 @@ impl Runner {
         let mut schedule = config.schedule.clone();
         schedule.sort_by_key(|(t, _)| *t);
         schedule.reverse(); // pop() yields earliest
-        let mut runner = Runner {
+        let runner = Runner {
             replicas,
-            net,
+            hub,
+            links,
             client,
             cut: HashSet::new(),
             schedule,
@@ -237,14 +248,16 @@ impl Runner {
         };
         // Per-pair latency overrides (WAN settings).
         for (a, b, lat) in runner.config.latency_overrides.clone() {
-            runner.net.links_mut().set_config_sym(
-                a,
-                b,
-                simulator::LinkConfig {
-                    latency_us: lat,
-                    loss: 0.0,
-                },
-            );
+            runner.hub.with_net(|n| {
+                n.links_mut().set_config_sym(
+                    a,
+                    b,
+                    simulator::LinkConfig {
+                        latency_us: lat,
+                        loss: 0.0,
+                    },
+                )
+            });
         }
         if runner.config.window_us > 0 {
             // Per-node IO windows for the Fig. 9 peak-IO metric.
@@ -261,18 +274,31 @@ impl Runner {
         let mut now: SimTime = 0;
         while now < self.config.duration {
             let next_tick = now + self.config.tick_us;
-            // Deliver everything due in this tick.
-            while let Some(d) = self.net.pop_next_before(next_tick) {
-                let idx = (d.dst - 1) as usize;
-                if idx < total
-                    && !self.decommissioned.contains(&d.dst)
-                    && !self.crashed.contains(&d.dst)
-                {
-                    self.replicas[idx].handle(d.src, d.msg);
+            // Deliver everything due in this tick: the hub stages due
+            // deliveries (and session events) on each node's link; every
+            // live node drains its link. Handling a message only touches
+            // the receiving replica, so per-node draining preserves the
+            // global delivery order's effect exactly.
+            self.hub.drain_due(next_tick);
+            for i in 0..total {
+                let pid = (i + 1) as NodeId;
+                let events = self.links[i].poll();
+                if self.decommissioned.contains(&pid) || self.crashed.contains(&pid) {
+                    continue; // a dead node's inbox drains to the floor
+                }
+                for ev in events {
+                    match ev {
+                        LinkEvent::Message { from, msg } => self.replicas[i].handle(from, msg),
+                        // A fresh session means messages may have been
+                        // lost: re-sync (PrepareReq on the Omni side).
+                        LinkEvent::SessionEstablished { peer, .. } => {
+                            self.replicas[i].reconnected(peer)
+                        }
+                        LinkEvent::SessionDropped { .. } => {}
+                    }
                 }
             }
             now = next_tick;
-            self.net.advance_to(now);
             // Scheduled actions.
             while self.schedule.last().is_some_and(|(t, _)| *t <= now) {
                 let (_, action) = self.schedule.pop().expect("checked");
@@ -313,8 +339,7 @@ impl Runner {
                     if to == 0 || to as usize > total {
                         continue;
                     }
-                    let bytes = msg.size_bytes();
-                    self.net.send(from, to, bytes, msg);
+                    self.links[i].send(to, msg);
                 }
             }
             // Reconfiguration completion check.
@@ -344,7 +369,7 @@ impl Runner {
         // Network exposes it via links()/stats() — add windows equal to the
         // report window.
         let w = self.config.window_us;
-        self.net.stats_mut().enable_io_windows(w);
+        self.hub.with_net(|n| n.stats_mut().enable_io_windows(w));
     }
 
     fn finish(mut self, end: SimTime) -> RunReport {
@@ -361,12 +386,15 @@ impl Runner {
             .map(|r| r.leader_rank())
             .max()
             .unwrap_or(0);
-        let bytes_sent: Vec<(NodeId, u64)> = (1..=self.replicas.len() as NodeId)
-            .map(|p| (p, self.net.stats().bytes_sent(p)))
-            .collect();
-        let peak_window_bytes: Vec<(NodeId, u64)> = (1..=self.replicas.len() as NodeId)
-            .map(|p| (p, self.net.stats().peak_window_bytes(p)))
-            .collect();
+        let n = self.replicas.len() as NodeId;
+        let (bytes_sent, peak_window_bytes) = self.hub.with_net(|net| {
+            let bytes: Vec<(NodeId, u64)> =
+                (1..=n).map(|p| (p, net.stats().bytes_sent(p))).collect();
+            let peak: Vec<(NodeId, u64)> = (1..=n)
+                .map(|p| (p, net.stats().peak_window_bytes(p)))
+                .collect();
+            (bytes, peak)
+        });
         RunReport {
             protocol: self.config.protocol.name().to_string(),
             total_decided: self.client.completed(),
@@ -396,16 +424,16 @@ impl Runner {
     }
 
     fn cut_link(&mut self, a: NodeId, b: NodeId) {
-        self.net.links_mut().set_link(a, b, false);
+        self.hub.cut(a, b);
         self.cut.insert((a, b));
         self.cut.insert((b, a));
     }
 
+    /// Healing establishes a new session; the `SessionEstablished` events
+    /// the hub emits drive `reconnected()` on both ends at the next
+    /// delivery phase — the same path the TCP transport takes.
     fn heal_link(&mut self, a: NodeId, b: NodeId) {
-        if self.net.links_mut().set_link(a, b, true) {
-            self.replicas[(a - 1) as usize].reconnected(b);
-            self.replicas[(b - 1) as usize].reconnected(a);
-        }
+        self.hub.heal(a, b);
         self.cut.remove(&(a, b));
         self.cut.remove(&(b, a));
     }
@@ -471,7 +499,7 @@ impl Runner {
             }
             Action::Crash(pid) => {
                 self.crashed.insert(pid);
-                self.net.drop_in_flight_for(pid);
+                self.hub.crash(pid);
             }
             Action::Recover(pid) => {
                 if self.crashed.remove(&pid) {

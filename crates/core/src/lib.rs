@@ -71,6 +71,7 @@ pub mod snapshot;
 pub mod storage;
 pub mod util;
 pub mod wal;
+pub mod wire;
 
 pub use ballot::{Ballot, NodeId};
 pub use ble::{BallotLeaderElection, BleConfig};
@@ -82,3 +83,4 @@ pub use snapshot::{CounterSm, SnapshotData, SnapshotRef, Snapshottable};
 pub use storage::{EntryBatch, MemoryStorage, Storage, TrimError};
 pub use util::{majority, Entry, LogEntry, StopSign};
 pub use wal::{WalEncode, WalStorage};
+pub use wire::{BatchCache, Wire, WireError, WIRE_VERSION};

@@ -170,6 +170,30 @@ pub struct Decide {
 }
 
 /// The Sequence Paxos message alphabet.
+///
+/// ## Stable wire discriminants and forward compatibility
+///
+/// Every message enum in this module (and [`ServiceMsg`] in the service
+/// layer) has a **stable discriminant byte**, returned by its
+/// `discriminant()` method and used verbatim by the wire codec
+/// ([`crate::wire`]). The rules that keep mixed-version clusters talking:
+///
+/// * Discriminant values are **append-only**: a variant's byte never
+///   changes and is never reused once retired. New variants take the next
+///   free value.
+/// * Frames carry a codec version byte ([`crate::wire::WIRE_VERSION`]).
+///   A frame whose envelope is intact (magic + checksum verify) but whose
+///   payload carries an **unknown discriminant or unsupported version**
+///   MUST be dropped and counted by the transport — *never* answered with
+///   a disconnect. Tearing the session down would turn a soft decode skew
+///   into a connectivity fault and re-trigger the `PrepareReq` reconnect
+///   protocol in a loop; dropping the frame merely looks like loss, which
+///   Sequence Paxos already tolerates on its session-FIFO links (§3).
+/// * Only an **unverifiable envelope** (bad magic, bad checksum, torn
+///   length) may kill the connection: framing sync is lost, and a session
+///   re-establishment is the defined way to re-synchronize (§4.1.3).
+///
+/// [`ServiceMsg`]: crate::service::ServiceMsg
 #[derive(Debug, Clone, PartialEq)]
 pub enum PaxosMsg<T> {
     /// Sent by a recovering or reconnecting server to find the current
@@ -228,6 +252,25 @@ impl<T: Entry> PaxosMsg<T> {
     }
 }
 
+impl<T> PaxosMsg<T> {
+    /// Stable wire discriminant (append-only; see the enum docs).
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            PaxosMsg::PrepareReq => 0,
+            PaxosMsg::Prepare(_) => 1,
+            PaxosMsg::Promise(_) => 2,
+            PaxosMsg::AcceptSync(_) => 3,
+            PaxosMsg::AcceptDecide(_) => 4,
+            PaxosMsg::Accepted(_) => 5,
+            PaxosMsg::Decide(_) => 6,
+            PaxosMsg::SnapshotMeta(_) => 7,
+            PaxosMsg::SnapshotChunk(_) => 8,
+            PaxosMsg::SnapshotAck(_) => 9,
+            PaxosMsg::ProposalForward(_) => 10,
+        }
+    }
+}
+
 /// An addressed Sequence Paxos message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message<T> {
@@ -273,6 +316,14 @@ impl BleMsg {
     pub fn size_bytes(&self) -> usize {
         HEADER_BYTES
     }
+
+    /// Stable wire discriminant (append-only; see [`PaxosMsg`] docs).
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            BleMsg::HeartbeatRequest { .. } => 0,
+            BleMsg::HeartbeatReply { .. } => 1,
+        }
+    }
 }
 
 /// An addressed BLE message.
@@ -317,6 +368,47 @@ mod tests {
         assert_eq!(
             BleMsg::HeartbeatRequest { round: 1 }.size_bytes(),
             HEADER_BYTES
+        );
+    }
+
+    #[test]
+    fn discriminants_are_stable() {
+        // These values are on the wire; changing any of them is a protocol
+        // break. Append new variants, never renumber.
+        let b = Ballot::bottom();
+        let cases: Vec<(PaxosMsg<u64>, u8)> = vec![
+            (PaxosMsg::PrepareReq, 0),
+            (
+                PaxosMsg::Prepare(Prepare {
+                    n: b,
+                    decided_idx: 0,
+                    accepted_rnd: b,
+                    log_idx: 0,
+                }),
+                1,
+            ),
+            (PaxosMsg::Accepted(Accepted { n: b, log_idx: 0 }), 5),
+            (
+                PaxosMsg::Decide(Decide {
+                    n: b,
+                    decided_idx: 0,
+                }),
+                6,
+            ),
+            (PaxosMsg::ProposalForward(Vec::new()), 10),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(msg.discriminant(), want, "discriminant of {}", msg.tag());
+        }
+        assert_eq!(BleMsg::HeartbeatRequest { round: 0 }.discriminant(), 0);
+        assert_eq!(
+            BleMsg::HeartbeatReply {
+                round: 0,
+                ballot: b,
+                quorum_connected: true,
+            }
+            .discriminant(),
+            1
         );
     }
 

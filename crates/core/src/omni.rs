@@ -47,6 +47,17 @@ impl<T: Entry> OmniMessage<T> {
     }
 }
 
+impl<T> OmniMessage<T> {
+    /// Stable wire discriminant (append-only; forward-compatibility rules
+    /// in [`crate::messages::PaxosMsg`] docs).
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            OmniMessage::Paxos(_) => 0,
+            OmniMessage::Ble(_) => 1,
+        }
+    }
+}
+
 /// Configuration of an [`OmniPaxos`] node.
 #[derive(Debug, Clone)]
 pub struct OmniPaxosConfig {

@@ -91,6 +91,22 @@ pub enum ServiceMsg<T> {
     },
 }
 
+impl<T> ServiceMsg<T> {
+    /// Stable wire discriminant (append-only; forward-compatibility rules
+    /// in [`crate::messages::PaxosMsg`] docs).
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            ServiceMsg::Omni { .. } => 0,
+            ServiceMsg::StartConfig { .. } => 1,
+            ServiceMsg::ConfigStarted { .. } => 2,
+            ServiceMsg::SegmentReq { .. } => 3,
+            ServiceMsg::SegmentResp { .. } => 4,
+            ServiceMsg::SnapReq { .. } => 5,
+            ServiceMsg::SnapResp { .. } => 6,
+        }
+    }
+}
+
 impl<T: Entry> ServiceMsg<T> {
     /// Approximate wire size in bytes.
     pub fn size_bytes(&self) -> usize {

@@ -16,8 +16,10 @@
 //! applies each `(client, seq)` at most once.
 
 pub mod store;
+pub mod wire;
 
 pub use store::{KvCommand, KvNode, KvOp, KvResult, KvStateMachine};
+pub use wire::KvWire;
 
 /// Server identifier, shared with the `omnipaxos` crate.
 pub type NodeId = omnipaxos::NodeId;

@@ -216,6 +216,17 @@ impl KvNode {
         }
     }
 
+    /// A server outside every configuration, waiting to be added by a
+    /// reconfiguration (it activates when a `StartConfig` notification
+    /// arrives; see the service layer).
+    pub fn joiner(pid: NodeId) -> Self {
+        KvNode {
+            server: OmniPaxosServer::new_joiner(ServerConfig::with(pid)),
+            sm: KvStateMachine::default(),
+            results: Vec::new(),
+        }
+    }
+
     /// This server's id.
     pub fn pid(&self) -> NodeId {
         self.server.pid()

@@ -1,0 +1,269 @@
+//! Byte encodings for the kv layer: commands for the WAL and the wire,
+//! plus the client-facing request/reply protocol.
+//!
+//! [`KvCommand`] implements [`WalEncode`], which serves double duty: it
+//! makes `WalStorage<KvCommand>` possible (durable kv logs) and it is the
+//! entry-type bound the wire codec (`omnipaxos::wire`) needs to ship
+//! `ServiceMsg<KvCommand>` between real servers.
+//!
+//! [`KvWire`] is the client protocol spoken on a server's client port:
+//! a request carries a full [`KvCommand`] (the client owns its session
+//! numbering, so retries dedup server-side), and the server answers with
+//! the applied result, a leader redirect, or a transient retry hint.
+//! Discriminants are stable and append-only, like every enum on the wire
+//! (see `omnipaxos::messages` for the forward-compatibility rules).
+
+use crate::store::{KvCommand, KvOp, KvResult};
+use omnipaxos::wire::{put_str, BatchCache, Reader, Wire, WireError};
+use omnipaxos::{NodeId, WalEncode};
+
+impl WalEncode for KvCommand {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.client.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        match &self.op {
+            KvOp::Put { key, value } => {
+                buf.push(0);
+                put_str(buf, key);
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+            KvOp::Delete { key } => {
+                buf.push(1);
+                put_str(buf, key);
+            }
+            KvOp::Add { key, delta } => {
+                buf.push(2);
+                put_str(buf, key);
+                buf.extend_from_slice(&delta.to_le_bytes());
+            }
+            KvOp::Transfer { from, to, amount } => {
+                buf.push(3);
+                put_str(buf, from);
+                put_str(buf, to);
+                buf.extend_from_slice(&amount.to_le_bytes());
+            }
+            KvOp::Read { key } => {
+                buf.push(4);
+                put_str(buf, key);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let cmd = decode_command(&mut r).ok()?;
+        r.is_empty().then_some(cmd)
+    }
+}
+
+fn decode_command(r: &mut Reader) -> Result<KvCommand, WireError> {
+    let client = r.u64("KvCommand.client")?;
+    let seq = r.u64("KvCommand.seq")?;
+    let op = match r.u8("KvOp discriminant")? {
+        0 => KvOp::Put {
+            key: r.str("Put.key")?,
+            value: r.i64("Put.value")?,
+        },
+        1 => KvOp::Delete {
+            key: r.str("Delete.key")?,
+        },
+        2 => KvOp::Add {
+            key: r.str("Add.key")?,
+            delta: r.i64("Add.delta")?,
+        },
+        3 => KvOp::Transfer {
+            from: r.str("Transfer.from")?,
+            to: r.str("Transfer.to")?,
+            amount: r.i64("Transfer.amount")?,
+        },
+        4 => KvOp::Read {
+            key: r.str("Read.key")?,
+        },
+        v => {
+            return Err(WireError::UnknownDiscriminant {
+                what: "KvOp",
+                value: v,
+            })
+        }
+    };
+    Ok(KvCommand { client, seq, op })
+}
+
+/// The client protocol: one enum for both directions of a client
+/// connection, framed like every other wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvWire {
+    /// Client → server: apply this command. The command's `(client, seq)`
+    /// identity makes retries after redirects or reconnects exactly-once.
+    Request(KvCommand),
+    /// Server → client: the command decided and applied; here is its
+    /// result.
+    Reply(KvResult),
+    /// Server → client: this server is not the leader; try `leader`
+    /// (0 = currently unknown, pick another server).
+    Redirect { leader: NodeId },
+    /// Server → client: the leader could not take the proposal right now
+    /// (e.g. mid-reconfiguration); retry the same command shortly.
+    Retry { seq: u64 },
+}
+
+impl KvWire {
+    /// Stable wire discriminant (append-only).
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            KvWire::Request(_) => 0,
+            KvWire::Reply(_) => 1,
+            KvWire::Redirect { .. } => 2,
+            KvWire::Retry { .. } => 3,
+        }
+    }
+}
+
+impl Wire for KvWire {
+    fn encode(&self, buf: &mut Vec<u8>, _cache: &mut BatchCache) {
+        buf.push(self.discriminant());
+        match self {
+            KvWire::Request(cmd) => WalEncode::encode(cmd, buf),
+            KvWire::Reply(res) => {
+                buf.extend_from_slice(&res.client.to_le_bytes());
+                buf.extend_from_slice(&res.seq.to_le_bytes());
+                match res.value {
+                    Some(v) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+                buf.push(res.applied as u8);
+            }
+            KvWire::Redirect { leader } => buf.extend_from_slice(&leader.to_le_bytes()),
+            KvWire::Retry { seq } => buf.extend_from_slice(&seq.to_le_bytes()),
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.u8("KvWire discriminant")? {
+            0 => KvWire::Request(decode_command(r)?),
+            1 => {
+                let client = r.u64("KvResult.client")?;
+                let seq = r.u64("KvResult.seq")?;
+                let value = match r.u8("KvResult.value flag")? {
+                    0 => None,
+                    1 => Some(r.i64("KvResult.value")?),
+                    v => {
+                        return Err(WireError::UnknownDiscriminant {
+                            what: "KvResult.value flag",
+                            value: v,
+                        })
+                    }
+                };
+                KvWire::Reply(KvResult {
+                    client,
+                    seq,
+                    value,
+                    applied: r.bool("KvResult.applied")?,
+                })
+            }
+            2 => KvWire::Redirect {
+                leader: r.u64("Redirect.leader")?,
+            },
+            3 => KvWire::Retry {
+                seq: r.u64("Retry.seq")?,
+            },
+            v => {
+                return Err(WireError::UnknownDiscriminant {
+                    what: "KvWire",
+                    value: v,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(seq: u64, op: KvOp) -> KvCommand {
+        KvCommand { client: 7, seq, op }
+    }
+
+    #[test]
+    fn commands_roundtrip_via_wal_encode() {
+        let ops = vec![
+            KvOp::Put {
+                key: "k".into(),
+                value: -3,
+            },
+            KvOp::Delete { key: "gone".into() },
+            KvOp::Add {
+                key: "ctr".into(),
+                delta: 41,
+            },
+            KvOp::Transfer {
+                from: "a".into(),
+                to: "b".into(),
+                amount: 100,
+            },
+            KvOp::Read { key: "k".into() },
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let c = cmd(i as u64, op);
+            let mut buf = Vec::new();
+            WalEncode::encode(&c, &mut buf);
+            assert_eq!(KvCommand::decode(&buf), Some(c));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let c = cmd(1, KvOp::Read { key: "x".into() });
+        let mut buf = Vec::new();
+        WalEncode::encode(&c, &mut buf);
+        buf.push(0);
+        assert_eq!(KvCommand::decode(&buf), None);
+    }
+
+    #[test]
+    fn non_utf8_key_is_typed_error() {
+        let c = cmd(1, KvOp::Read { key: "xy".into() });
+        let mut buf = Vec::new();
+        WalEncode::encode(&c, &mut buf);
+        // Corrupt the key bytes (trailing 2 bytes of the string).
+        let n = buf.len();
+        buf[n - 2] = 0xFF;
+        buf[n - 1] = 0xFE;
+        assert_eq!(KvCommand::decode(&buf), None);
+    }
+
+    #[test]
+    fn client_protocol_roundtrips() {
+        let msgs = vec![
+            KvWire::Request(cmd(
+                9,
+                KvOp::Put {
+                    key: "x".into(),
+                    value: 5,
+                },
+            )),
+            KvWire::Reply(KvResult {
+                client: 7,
+                seq: 9,
+                value: Some(5),
+                applied: true,
+            }),
+            KvWire::Reply(KvResult {
+                client: 7,
+                seq: 10,
+                value: None,
+                applied: false,
+            }),
+            KvWire::Redirect { leader: 3 },
+            KvWire::Retry { seq: 9 },
+        ];
+        for m in &msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(&KvWire::from_bytes(&bytes).unwrap(), m);
+        }
+    }
+}

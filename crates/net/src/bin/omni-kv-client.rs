@@ -1,0 +1,99 @@
+//! Command-line client for a running omni-kv cluster.
+//!
+//! ```text
+//! omni-kv-client --servers 1=127.0.0.1:7201,2=127.0.0.1:7202 put balance 100
+//! omni-kv-client --servers ... read balance        # linearizable
+//! omni-kv-client --servers ... add balance -25
+//! omni-kv-client --servers ... delete balance
+//! omni-kv-client --servers ... bench 1000          # sequential puts
+//! ```
+
+use kvstore::NodeId;
+use net::client::KvClient;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: omni-kv-client --servers <pid=addr,...> \
+         (put <k> <v> | read <k> | add <k> <d> | delete <k> | bench <n>)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_servers(spec: &str) -> Option<Vec<(NodeId, SocketAddr)>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (pid, addr) = part.split_once('=')?;
+        out.push((
+            pid.trim().parse().ok()?,
+            addr.trim().parse::<SocketAddr>().ok()?,
+        ));
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut servers = None;
+    let mut rest: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--servers" => servers = it.next().and_then(|v| parse_servers(v)),
+            other => rest.push(other),
+        }
+    }
+    let Some(servers) = servers else { usage() };
+    // Client id from pid + time so concurrent clients get distinct
+    // sessions without coordination.
+    let client_id = (std::process::id() as u64) << 32
+        | std::time::UNIX_EPOCH
+            .elapsed()
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(1);
+    let mut client = KvClient::new(client_id, servers);
+
+    let result = match rest.as_slice() {
+        ["put", k, v] => {
+            let v: i64 = v.parse().unwrap_or_else(|_| usage());
+            client
+                .put(k, v)
+                .map(|r| println!("ok applied={}", r.applied))
+        }
+        ["read", k] => client.read(k).map(|v| match v {
+            Some(v) => println!("{v}"),
+            None => println!("(nil)"),
+        }),
+        ["add", k, d] => {
+            let d: i64 = d.parse().unwrap_or_else(|_| usage());
+            client
+                .add(k, d)
+                .map(|r| println!("{}", r.value.map_or("(nil)".into(), |v| v.to_string())))
+        }
+        ["delete", k] => client
+            .delete(k)
+            .map(|r| println!("ok applied={}", r.applied)),
+        ["bench", n] => {
+            let n: u64 = n.parse().unwrap_or_else(|_| usage());
+            let start = Instant::now();
+            let mut done = 0u64;
+            for i in 0..n {
+                if client.put("bench-key", i as i64).is_ok() {
+                    done += 1;
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "{done}/{n} ops in {secs:.3}s  ({:.0} ops/s)",
+                done as f64 / secs.max(1e-9)
+            );
+            Ok(())
+        }
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

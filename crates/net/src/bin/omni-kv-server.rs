@@ -1,0 +1,99 @@
+//! A deployable Omni-Paxos kv server.
+//!
+//! ```text
+//! omni-kv-server --pid 1 \
+//!     --peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 \
+//!     --client-addr 127.0.0.1:7201
+//! ```
+//!
+//! `--peers` lists every replica's replication address (own pid
+//! included); `--client-addr` is where clients connect. Run one process
+//! per pid in `--peers` and the cluster elects a leader and serves
+//! traffic; kill any minority and it keeps going.
+
+use kvstore::{KvCommand, KvNode, NodeId};
+use net::server::{ClientGateway, KvServer};
+use net::tcp::{TcpConfig, TcpTransport};
+use omnipaxos::ServiceMsg;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: omni-kv-server --pid <n> --peers <pid=addr,...> --client-addr <addr> \
+         [--tick-ms <ms>] [--joiner]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_peers(spec: &str) -> Option<HashMap<NodeId, SocketAddr>> {
+    let mut out = HashMap::new();
+    for part in spec.split(',') {
+        let (pid, addr) = part.split_once('=')?;
+        out.insert(pid.trim().parse().ok()?, addr.trim().parse().ok()?);
+    }
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pid: Option<NodeId> = None;
+    let mut peers: Option<HashMap<NodeId, SocketAddr>> = None;
+    let mut client_addr: Option<SocketAddr> = None;
+    let mut tick_ms: u64 = 10;
+    let mut joiner = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pid" => pid = it.next().and_then(|v| v.parse().ok()),
+            "--peers" => peers = it.next().and_then(|v| parse_peers(v)),
+            "--client-addr" => client_addr = it.next().and_then(|v| v.parse().ok()),
+            "--tick-ms" => tick_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
+            "--joiner" => joiner = true,
+            _ => usage(),
+        }
+    }
+    let (Some(pid), Some(peers), Some(client_addr)) = (pid, peers, client_addr) else {
+        usage()
+    };
+    if !peers.contains_key(&pid) {
+        eprintln!("error: own pid {pid} missing from --peers");
+        std::process::exit(2);
+    }
+
+    let mut nodes: Vec<NodeId> = peers.keys().copied().collect();
+    nodes.sort_unstable();
+    let node = if joiner {
+        KvNode::joiner(pid)
+    } else {
+        KvNode::new(pid, nodes)
+    };
+
+    let transport: TcpTransport<ServiceMsg<KvCommand>> =
+        TcpTransport::bind(pid, peers, TcpConfig::default()).unwrap_or_else(|e| {
+            eprintln!("error: replication bind failed: {e}");
+            std::process::exit(1);
+        });
+    let gateway = TcpListener::bind(client_addr)
+        .and_then(ClientGateway::bind)
+        .unwrap_or_else(|e| {
+            eprintln!("error: client bind failed: {e}");
+            std::process::exit(1);
+        });
+
+    eprintln!(
+        "omni-kv-server pid={pid} replication={} clients={}",
+        transport.local_addr(),
+        gateway.local_addr()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Run until killed; a SIGINT handler would need a dependency, so the
+    // process relies on the OS to tear sockets down.
+    let server = KvServer::new(node, transport).with_gateway(gateway);
+    let _ = stop.load(Ordering::SeqCst);
+    server.run(Duration::from_millis(tick_ms), stop);
+}

@@ -1,0 +1,164 @@
+//! A kv client that survives redirects, restarts, and partitions.
+//!
+//! One synchronous request at a time: send `Request`, wait for the
+//! matching `Reply`. On `Redirect` it re-targets the named leader; on
+//! `Retry` or any socket trouble it backs off, rotates servers, and
+//! resends the *same* `(client, seq)` — the server-side session table
+//! dedups, so writes stay exactly-once no matter how many times the
+//! client retries (paper §7.2's client behavior under partitions).
+//!
+//! Reads need one extra rule: a deduplicated `Read` comes back with
+//! `applied: false` and no value (the state machine refuses to re-run
+//! even a read). Reads are idempotent, so the client simply bumps the
+//! sequence number and issues a fresh one.
+
+use crate::frame::{self, kind};
+use kvstore::{KvCommand, KvOp, KvResult, KvWire, NodeId};
+use omnipaxos::wire::Wire;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+pub struct KvClient {
+    servers: Vec<(NodeId, SocketAddr)>,
+    current: usize,
+    stream: Option<TcpStream>,
+    client_id: u64,
+    seq: u64,
+    /// Per-attempt reply wait before rotating to another server.
+    pub attempt_timeout: Duration,
+    /// Overall per-operation deadline.
+    pub op_timeout: Duration,
+}
+
+impl KvClient {
+    pub fn new(client_id: u64, servers: Vec<(NodeId, SocketAddr)>) -> Self {
+        assert!(!servers.is_empty(), "need at least one server");
+        KvClient {
+            servers,
+            current: 0,
+            stream: None,
+            client_id,
+            seq: 0,
+            attempt_timeout: Duration::from_millis(500),
+            op_timeout: Duration::from_secs(20),
+        }
+    }
+
+    pub fn put(&mut self, key: &str, value: i64) -> std::io::Result<KvResult> {
+        self.op(KvOp::Put {
+            key: key.into(),
+            value,
+        })
+    }
+
+    pub fn add(&mut self, key: &str, delta: i64) -> std::io::Result<KvResult> {
+        self.op(KvOp::Add {
+            key: key.into(),
+            delta,
+        })
+    }
+
+    pub fn delete(&mut self, key: &str) -> std::io::Result<KvResult> {
+        self.op(KvOp::Delete { key: key.into() })
+    }
+
+    /// Linearizable read through the log.
+    pub fn read(&mut self, key: &str) -> std::io::Result<Option<i64>> {
+        self.op(KvOp::Read { key: key.into() }).map(|r| r.value)
+    }
+
+    /// Run one operation to completion (retrying as needed).
+    pub fn op(&mut self, op: KvOp) -> std::io::Result<KvResult> {
+        self.seq += 1;
+        let is_read = matches!(op, KvOp::Read { .. });
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("kv op not decided within {:?}", self.op_timeout),
+                ));
+            }
+            let cmd = KvCommand {
+                client: self.client_id,
+                seq: self.seq,
+                op: op.clone(),
+            };
+            match self.attempt(cmd) {
+                Ok(KvWire::Reply(res)) if res.seq == self.seq => {
+                    if is_read && !res.applied {
+                        // Deduplicated read: re-issue under a fresh seq.
+                        self.seq += 1;
+                        continue;
+                    }
+                    return Ok(res);
+                }
+                Ok(KvWire::Redirect { leader }) => {
+                    self.retarget(leader);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Ok(KvWire::Retry { .. }) => std::thread::sleep(Duration::from_millis(50)),
+                Ok(_) => {} // stale reply for an older seq: resend
+                Err(_) => {
+                    self.stream = None;
+                    self.rotate();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// The sequence number of the last issued operation.
+    pub fn last_seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn retarget(&mut self, leader: NodeId) {
+        match self.servers.iter().position(|(pid, _)| *pid == leader) {
+            Some(i) if i != self.current => {
+                self.current = i;
+                self.stream = None;
+            }
+            Some(_) => {} // already there; the leader may still be settling
+            None => self.rotate(),
+        }
+    }
+
+    fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.servers.len();
+        self.stream = None;
+    }
+
+    fn ensure_stream(&mut self) -> std::io::Result<&TcpStream> {
+        if self.stream.is_none() {
+            let addr = self.servers[self.current].1;
+            let s = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+            s.set_nodelay(true)?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_ref().unwrap())
+    }
+
+    /// One send + one reply attempt against the current server.
+    fn attempt(&mut self, cmd: KvCommand) -> std::io::Result<KvWire> {
+        let timeout = self.attempt_timeout;
+        let stream = self.ensure_stream()?;
+        stream.set_read_timeout(Some(timeout))?;
+        let payload = KvWire::Request(cmd).to_bytes();
+        let mut w = stream;
+        frame::write_frame(&mut w, kind::KV, &payload)?;
+        let mut r = stream;
+        loop {
+            let f = frame::read_frame(&mut r)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+            if f.kind != kind::KV {
+                continue;
+            }
+            match KvWire::from_bytes(&f.payload) {
+                Ok(msg) => return Ok(msg),
+                Err(_) => continue,
+            }
+        }
+    }
+}

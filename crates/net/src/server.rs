@@ -1,0 +1,328 @@
+//! The deployable kv server: a [`KvNode`] driven over any
+//! [`NetworkLink`] backend, plus the TCP gateway clients speak to.
+//!
+//! [`KvServer`] is deliberately sans-I/O-loop: [`KvServer::pump`] runs
+//! one poll→handle→reply→send cycle and [`KvServer::tick`] advances
+//! protocol timers. The binary wraps them in a thread ([`KvServer::run`]);
+//! the deterministic tests call them directly, interleaved with simulated
+//! time — which is how the sim and TCP backends are shown to agree.
+//!
+//! Session semantics are wired here: a [`LinkEvent::SessionEstablished`]
+//! calls `reconnected()` on the replica, which re-syncs state with a
+//! `PrepareReq` (paper §4.1.3) because messages from the previous session
+//! may be lost.
+
+use crate::frame::{self, kind, FrameError};
+use crate::link::{LinkEvent, NetworkLink};
+use kvstore::{KvNode, KvWire};
+use omnipaxos::wire::Wire;
+use omnipaxos::{OmniMessage, PaxosMsg, ServiceMsg};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Identifier of one client connection on the gateway.
+pub type ConnId = u64;
+
+/// Accepts client connections and shuttles [`KvWire`] frames.
+///
+/// Replies are written synchronously from the server thread (client
+/// traffic is request/reply, so there is no backpressure problem a
+/// writer thread would solve); requests arrive via per-connection reader
+/// threads.
+pub struct ClientGateway {
+    rx: Receiver<(ConnId, KvWire)>,
+    conns: Arc<Mutex<HashMap<ConnId, TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl ClientGateway {
+    /// Serve client connections on `listener`.
+    pub fn bind(listener: TcpListener) -> std::io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel();
+        let conns: Arc<Mutex<HashMap<ConnId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let conns = Arc::clone(&conns);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("kv-gateway".into())
+                .spawn(move || gateway_accept(listener, tx, conns, shutdown))
+                .expect("spawn gateway")
+        };
+        Ok(ClientGateway {
+            rx,
+            conns,
+            shutdown,
+            threads: vec![accept],
+            local_addr,
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Drain requests received since the last call.
+    pub fn poll(&mut self) -> Vec<(ConnId, KvWire)> {
+        self.rx.try_iter().collect()
+    }
+
+    /// Send `msg` to a client connection; dropped connections are ignored
+    /// (the client's retry loop owns recovery).
+    pub fn reply(&mut self, conn: ConnId, msg: &KvWire) {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(stream) = conns.get_mut(&conn) {
+            let mut w = &*stream;
+            if frame::write_frame(&mut w, kind::KV, &msg.to_bytes()).is_err() {
+                conns.remove(&conn);
+            }
+        }
+    }
+}
+
+impl Drop for ClientGateway {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, s) in self.conns.lock().unwrap().drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn gateway_accept(
+    listener: TcpListener,
+    tx: Sender<(ConnId, KvWire)>,
+    conns: Arc<Mutex<HashMap<ConnId, TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let next_id = AtomicU64::new(1);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                let reader = stream.try_clone().expect("clone client stream");
+                conns.lock().unwrap().insert(id, stream);
+                let tx = tx.clone();
+                let conns = Arc::clone(&conns);
+                // Reader threads exit on connection error; on gateway
+                // drop the sockets are shut down, which unblocks them.
+                let _ = std::thread::Builder::new()
+                    .name(format!("kv-conn-{id}"))
+                    .spawn(move || {
+                        let mut r = &reader;
+                        loop {
+                            match frame::read_frame(&mut r) {
+                                Ok(f) if f.kind == kind::KV => {
+                                    match KvWire::from_bytes(&f.payload) {
+                                        Ok(msg) => {
+                                            if tx.send((id, msg)).is_err() {
+                                                break;
+                                            }
+                                        }
+                                        Err(_) => continue, // drop, stay in sync
+                                    }
+                                }
+                                Ok(_) => continue, // unknown kind: drop
+                                Err(e) if !FrameError::is_fatal(&e) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                        conns.lock().unwrap().remove(&id);
+                    });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One kv server: replica + replication link + optional client gateway.
+pub struct KvServer<L> {
+    node: KvNode,
+    link: Option<L>,
+    gateway: Option<ClientGateway>,
+    /// Commands in flight for a client: `(client, seq) -> conn`.
+    pending: HashMap<(u64, u64), ConnId>,
+    prepare_reqs: u64,
+    reconnects: u64,
+}
+
+impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
+    pub fn new(node: KvNode, link: L) -> Self {
+        KvServer {
+            node,
+            link: Some(link),
+            gateway: None,
+            pending: HashMap::new(),
+            prepare_reqs: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Attach the client-facing gateway.
+    pub fn with_gateway(mut self, gateway: ClientGateway) -> Self {
+        self.gateway = Some(gateway);
+        self
+    }
+
+    pub fn node(&self) -> &KvNode {
+        &self.node
+    }
+
+    pub fn node_mut(&mut self) -> &mut KvNode {
+        &mut self.node
+    }
+
+    pub fn link(&self) -> Option<&L> {
+        self.link.as_ref()
+    }
+
+    /// Detach and return the transport — the "kill the leader's
+    /// transport" fault. The replica keeps running but is mute until
+    /// [`KvServer::set_transport`] installs a replacement.
+    pub fn kill_transport(&mut self) -> Option<L> {
+        self.link.take()
+    }
+
+    /// Install a (new) transport after [`KvServer::kill_transport`].
+    pub fn set_transport(&mut self, link: L) {
+        self.link = Some(link);
+    }
+
+    /// `PrepareReq` messages received so far — observable evidence of
+    /// session-driven re-sync (paper §4.1.3).
+    pub fn prepare_reqs_received(&self) -> u64 {
+        self.prepare_reqs
+    }
+
+    /// `SessionEstablished` events that triggered a `reconnected()` call.
+    pub fn reconnects_seen(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// One I/O cycle: drain the link (messages and session events), the
+    /// gateway (client requests), the replica (results), then flush
+    /// outgoing replication traffic.
+    pub fn pump(&mut self) {
+        if let Some(link) = self.link.as_mut() {
+            for ev in link.poll() {
+                match ev {
+                    LinkEvent::Message { from, msg } => {
+                        if is_prepare_req(&msg) {
+                            self.prepare_reqs += 1;
+                        }
+                        self.node.handle(from, msg);
+                    }
+                    LinkEvent::SessionEstablished { peer, .. } => {
+                        // New session ⇒ prior messages may be lost ⇒ ask
+                        // the leader (whoever it is) to re-sync us.
+                        self.reconnects += 1;
+                        self.node.server().reconnected(peer);
+                    }
+                    LinkEvent::SessionDropped { .. } => {
+                        // Liveness is the BLE's job (heartbeats); nothing
+                        // to do until the session comes back.
+                    }
+                }
+            }
+        }
+        self.serve_clients();
+        self.deliver_results();
+        self.flush();
+    }
+
+    /// Advance protocol timers (election, heartbeats, resends).
+    pub fn tick(&mut self) {
+        self.node.tick();
+        self.deliver_results();
+        self.flush();
+    }
+
+    fn serve_clients(&mut self) {
+        let Some(gateway) = self.gateway.as_mut() else {
+            return;
+        };
+        for (conn, msg) in gateway.poll() {
+            let KvWire::Request(cmd) = msg else {
+                continue; // clients only send requests
+            };
+            if !self.node.is_leader() {
+                let leader = self.node.server_ref().leader().map(|b| b.pid).unwrap_or(0);
+                gateway.reply(conn, &KvWire::Redirect { leader });
+                continue;
+            }
+            let key = (cmd.client, cmd.seq);
+            let seq = cmd.seq;
+            match self.node.submit(cmd) {
+                Ok(()) => {
+                    self.pending.insert(key, conn);
+                }
+                Err(_) => gateway.reply(conn, &KvWire::Retry { seq }),
+            }
+        }
+    }
+
+    fn deliver_results(&mut self) {
+        let results = self.node.take_results();
+        let Some(gateway) = self.gateway.as_mut() else {
+            return;
+        };
+        for res in results {
+            if let Some(conn) = self.pending.remove(&(res.client, res.seq)) {
+                gateway.reply(conn, &KvWire::Reply(res));
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        let Some(link) = self.link.as_mut() else {
+            self.node.outgoing(); // drain and drop: transport is dead
+            return;
+        };
+        for (to, msg) in self.node.outgoing() {
+            link.send(to, msg);
+        }
+    }
+
+    /// Drive the server until `stop` is set: pump continuously, tick
+    /// every `tick_every`.
+    pub fn run(mut self, tick_every: Duration, stop: Arc<AtomicBool>) -> Self {
+        let mut last_tick = Instant::now();
+        while !stop.load(Ordering::SeqCst) {
+            self.pump();
+            if last_tick.elapsed() >= tick_every {
+                last_tick = Instant::now();
+                self.tick();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self
+    }
+}
+
+fn is_prepare_req<T: omnipaxos::Entry>(msg: &ServiceMsg<T>) -> bool {
+    matches!(
+        msg,
+        ServiceMsg::Omni {
+            msg: OmniMessage::Paxos(m),
+            ..
+        } if matches!(m.msg, PaxosMsg::PrepareReq)
+    )
+}

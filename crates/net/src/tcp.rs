@@ -1,0 +1,731 @@
+//! Session-oriented TCP transport.
+//!
+//! One [`TcpTransport`] per node. Connections are deduplicated by a
+//! fixed dialing rule — **the smaller pid dials the larger** — so a pair
+//! of nodes maintains exactly one connection, re-established by the
+//! dialer with exponential backoff + jitter after any failure.
+//!
+//! ## Sessions
+//!
+//! Every established connection carries a session number agreed in the
+//! handshake: the dialer proposes `last_seen + 1`, the acceptor answers
+//! `max(proposed, its_own_last + 1)`, and both adopt the answer. As long
+//! as either side remembers the pair's history, session numbers are
+//! monotonically increasing across reconnects and transport restarts —
+//! which is what lets a replica distinguish "same session, FIFO holds"
+//! from "new session, messages may be lost, re-sync" (paper §4.1.3).
+//!
+//! ## Threads
+//!
+//! * one **acceptor** (nonblocking accept loop),
+//! * one **dialer** per peer with larger pid (connect → handshake → hand
+//!   the socket to a session; retry with backoff),
+//! * per live session, a **writer** (drains the send queue, emits
+//!   heartbeats when idle, enforces the dead-session timeout) and a
+//!   **reader** (blocking frame decode; unblocked on teardown by the
+//!   writer shutting the socket down).
+//!
+//! Dead sessions are detected by silence: any complete frame refreshes
+//! `last_rx`; if nothing arrives for `heartbeat_timeout`, the writer
+//! tears the session down and the dialer (whichever side it is) starts
+//! reconnecting. Steady message traffic doubles as heartbeat traffic —
+//! explicit HEARTBEAT frames only flow when the writer is idle.
+//!
+//! ## Forward compatibility
+//!
+//! Intact frames with an unknown version, unknown kind, or undecodable
+//! payload are dropped and counted (`frames_dropped`), never fatal. Only
+//! an unverifiable envelope (bad magic / checksum / truncation) tears the
+//! connection down — at that point framing sync is gone.
+
+use crate::frame::{self, kind};
+use crate::link::{LinkCounters, LinkEvent, NetworkLink};
+use omnipaxos::wire::{BatchCache, Wire};
+use omnipaxos::NodeId;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Transport tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Idle interval after which the writer emits a HEARTBEAT frame.
+    pub heartbeat_interval: Duration,
+    /// Silence (no complete frame received) after which a session is
+    /// declared dead. Must be a few multiples of `heartbeat_interval`.
+    pub heartbeat_timeout: Duration,
+    /// First reconnect delay; doubles per failure up to `backoff_cap`.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    /// Handshake must complete within this long.
+    pub handshake_timeout: Duration,
+    /// Per-session outbound queue depth; senders drop (and count) when
+    /// the writer cannot keep up, mirroring a full socket buffer.
+    pub send_queue: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            heartbeat_timeout: Duration::from_millis(250),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(2),
+            send_queue: 4096,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    msgs_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    send_drops: AtomicU64,
+    frames_dropped: AtomicU64,
+    sessions_established: AtomicU64,
+    sessions_dropped: AtomicU64,
+    reconnect_attempts: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> LinkCounters {
+        LinkCounters {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            send_drops: self.send_drops.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            sessions_established: self.sessions_established.load(Ordering::Relaxed),
+            sessions_dropped: self.sessions_dropped.load(Ordering::Relaxed),
+            reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A live session to one peer: the writer's queue plus the socket (kept
+/// so teardown can unblock the reader).
+struct PeerSession {
+    session: u64,
+    tx: SyncSender<Vec<u8>>,
+    stream: TcpStream,
+}
+
+struct Shared<M> {
+    pid: NodeId,
+    cfg: TcpConfig,
+    peers: Mutex<HashMap<NodeId, PeerSession>>,
+    /// Last session number seen per peer — handshake monotonicity state.
+    sessions: Mutex<HashMap<NodeId, u64>>,
+    events: Mutex<VecDeque<LinkEvent<M>>>,
+    counters: AtomicCounters,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    epoch: Instant,
+}
+
+impl<M> Shared<M> {
+    fn push_event(&self, ev: LinkEvent<M>) {
+        self.events.lock().unwrap().push_back(ev);
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// The session-oriented TCP transport. See the module docs for the
+/// design; see [`NetworkLink`] for the contract it implements.
+pub struct TcpTransport<M> {
+    shared: Arc<Shared<M>>,
+    cache: BatchCache,
+    local_addr: SocketAddr,
+}
+
+impl<M: Wire + Send + 'static> TcpTransport<M> {
+    /// Bind `addrs[pid]` and start the acceptor plus one dialer per
+    /// larger-pid peer. Retries `AddrInUse` briefly so a restarted node
+    /// can rebind its old address while the OS releases it.
+    pub fn bind(
+        pid: NodeId,
+        addrs: HashMap<NodeId, SocketAddr>,
+        cfg: TcpConfig,
+    ) -> std::io::Result<Self> {
+        let addr = *addrs
+            .get(&pid)
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "own pid not in addrs"))?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == ErrorKind::AddrInUse && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Self::with_listener(pid, listener, addrs, cfg)
+    }
+
+    /// Like [`TcpTransport::bind`] but with a pre-bound listener —
+    /// tests bind port 0 first to learn their ephemeral address.
+    pub fn with_listener(
+        pid: NodeId,
+        listener: TcpListener,
+        addrs: HashMap<NodeId, SocketAddr>,
+        cfg: TcpConfig,
+    ) -> std::io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            pid,
+            cfg,
+            peers: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            events: Mutex::new(VecDeque::new()),
+            counters: AtomicCounters::default(),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        });
+
+        let mut handles = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("net-accept-{pid}"))
+                    .spawn(move || accept_loop(shared, listener))
+                    .expect("spawn acceptor"),
+            );
+        }
+        // Dialing rule: smaller pid dials larger, so each pair has one owner.
+        for (&peer, &peer_addr) in &addrs {
+            if peer <= pid {
+                continue;
+            }
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("net-dial-{pid}-{peer}"))
+                    .spawn(move || dial_loop(shared, peer, peer_addr))
+                    .expect("spawn dialer"),
+            );
+        }
+        shared.threads.lock().unwrap().extend(handles);
+
+        Ok(TcpTransport {
+            shared,
+            cache: BatchCache::new(),
+            local_addr,
+        })
+    }
+
+    /// The bound replication address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop all threads and close all sockets. Idempotent; also runs on
+    /// drop. After this the transport sends nothing and polls nothing.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for (_, sess) in self.shared.peers.lock().unwrap().drain() {
+            let _ = sess.stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.shared.threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for (_, sess) in self.shared.peers.lock().unwrap().drain() {
+            let _ = sess.stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.shared.threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: Wire + Send + 'static> NetworkLink<M> for TcpTransport<M> {
+    fn pid(&self) -> NodeId {
+        self.shared.pid
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        let mut payload = Vec::new();
+        msg.encode(&mut payload, &mut self.cache);
+        let bytes = frame::encode_frame(kind::MSG, &payload);
+        let n = bytes.len() as u64;
+        let peers = self.shared.peers.lock().unwrap();
+        match peers.get(&to) {
+            Some(sess) => match sess.tx.try_send(bytes) {
+                Ok(()) => {
+                    self.shared
+                        .counters
+                        .msgs_sent
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .bytes_sent
+                        .fetch_add(n, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.shared
+                        .counters
+                        .send_drops
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            None => {
+                self.shared
+                    .counters
+                    .send_drops
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn poll(&mut self) -> Vec<LinkEvent<M>> {
+        // Cycle boundary for the batch-encoding cache (see BatchCache).
+        self.cache.reset();
+        self.shared.events.lock().unwrap().drain(..).collect()
+    }
+
+    fn counters(&self) -> LinkCounters {
+        self.shared.counters.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// connection establishment
+
+fn accept_loop<M: Wire + Send + 'static>(shared: Arc<Shared<M>>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared2 = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name(format!("net-hs-{}", shared.pid))
+                    .spawn(move || {
+                        if let Some((peer, session)) = handshake_accept(&shared2, &stream) {
+                            run_session(shared2, peer, session, stream);
+                        }
+                    })
+                    .expect("spawn handshake");
+                shared.threads.lock().unwrap().push(h);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn dial_loop<M: Wire + Send + 'static>(shared: Arc<Shared<M>>, peer: NodeId, addr: SocketAddr) {
+    let mut backoff = shared.cfg.backoff_base;
+    // Deterministic per-(pid, peer) jitter seed; decorrelates nodes
+    // without pulling in a RNG dependency.
+    let mut jrng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (shared.pid << 16) ^ peer;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Only dial when no session to this peer is live.
+        let connected = shared.peers.lock().unwrap().contains_key(&peer);
+        if connected {
+            std::thread::sleep(shared.cfg.heartbeat_interval);
+            backoff = shared.cfg.backoff_base;
+            continue;
+        }
+        shared
+            .counters
+            .reconnect_attempts
+            .fetch_add(1, Ordering::Relaxed);
+        if let Ok(stream) = TcpStream::connect_timeout(&addr, shared.cfg.handshake_timeout) {
+            if let Some(session) = handshake_dial(&shared, &stream, peer) {
+                backoff = shared.cfg.backoff_base;
+                run_session(Arc::clone(&shared), peer, session, stream);
+                // Session ended; fall through to reconnect.
+                continue;
+            }
+        }
+        // xorshift jitter in [0, backoff/2).
+        jrng ^= jrng << 13;
+        jrng ^= jrng >> 7;
+        jrng ^= jrng << 17;
+        let jitter = Duration::from_millis(jrng % (backoff.as_millis().max(2) as u64 / 2).max(1));
+        sleep_unless_shutdown(&shared, backoff + jitter);
+        backoff = (backoff * 2).min(shared.cfg.backoff_cap);
+    }
+}
+
+/// Dialer side: send HELLO `[pid][last_seen + 1]`, adopt the session the
+/// acceptor chooses.
+fn handshake_dial<M>(shared: &Arc<Shared<M>>, stream: &TcpStream, peer: NodeId) -> Option<u64> {
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(shared.cfg.handshake_timeout))
+        .ok()?;
+    let proposed = shared
+        .sessions
+        .lock()
+        .unwrap()
+        .get(&peer)
+        .copied()
+        .unwrap_or(0)
+        + 1;
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(&shared.pid.to_le_bytes());
+    payload.extend_from_slice(&proposed.to_le_bytes());
+    let mut w = stream;
+    frame::write_frame(&mut w, kind::HELLO, &payload).ok()?;
+    let mut r = stream;
+    let ack = frame::read_frame(&mut r).ok()?;
+    if ack.kind != kind::HELLO_ACK || ack.payload.len() != 16 {
+        return None;
+    }
+    let got_pid = u64::from_le_bytes(ack.payload[0..8].try_into().unwrap());
+    let session = u64::from_le_bytes(ack.payload[8..16].try_into().unwrap());
+    if got_pid != peer || session < proposed {
+        return None;
+    }
+    stream.set_read_timeout(None).ok()?;
+    Some(session)
+}
+
+/// Acceptor side: read HELLO, choose `max(proposed, last_seen + 1)`,
+/// answer HELLO_ACK.
+fn handshake_accept<M>(shared: &Arc<Shared<M>>, stream: &TcpStream) -> Option<(NodeId, u64)> {
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(shared.cfg.handshake_timeout))
+        .ok()?;
+    let mut r = stream;
+    let hello = frame::read_frame(&mut r).ok()?;
+    if hello.kind != kind::HELLO || hello.payload.len() != 16 {
+        return None;
+    }
+    let peer = u64::from_le_bytes(hello.payload[0..8].try_into().unwrap());
+    let proposed = u64::from_le_bytes(hello.payload[8..16].try_into().unwrap());
+    let session = {
+        let sessions = shared.sessions.lock().unwrap();
+        proposed.max(sessions.get(&peer).copied().unwrap_or(0) + 1)
+    };
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(&shared.pid.to_le_bytes());
+    payload.extend_from_slice(&session.to_le_bytes());
+    let mut w = stream;
+    frame::write_frame(&mut w, kind::HELLO_ACK, &payload).ok()?;
+    stream.set_read_timeout(None).ok()?;
+    Some((peer, session))
+}
+
+// ---------------------------------------------------------------------------
+// session lifetime
+
+/// Install the session, run reader + writer until it dies, then clean
+/// up and emit `SessionDropped`. Called on the dialer or handshake
+/// thread; the writer runs inline here, the reader on its own thread.
+fn run_session<M: Wire + Send + 'static>(
+    shared: Arc<Shared<M>>,
+    peer: NodeId,
+    session: u64,
+    stream: TcpStream,
+) {
+    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(shared.cfg.send_queue);
+    let last_rx = Arc::new(AtomicU64::new(shared.now_ms()));
+
+    {
+        let mut peers = shared.peers.lock().unwrap();
+        // A concurrent session to the same peer (possible when both ends
+        // race a reconnect) is superseded: keep the newer session number.
+        if let Some(old) = peers.get(&peer) {
+            if old.session >= session {
+                return;
+            }
+            let _ = old.stream.shutdown(std::net::Shutdown::Both);
+        }
+        peers.insert(
+            peer,
+            PeerSession {
+                session,
+                tx,
+                stream: stream.try_clone().expect("clone stream"),
+            },
+        );
+    }
+    let mut sessions = shared.sessions.lock().unwrap();
+    let e = sessions.entry(peer).or_insert(0);
+    *e = (*e).max(session);
+    drop(sessions);
+
+    shared
+        .counters
+        .sessions_established
+        .fetch_add(1, Ordering::Relaxed);
+    shared.push_event(LinkEvent::SessionEstablished { peer, session });
+
+    // Reader: blocking decode loop, unblocked by socket shutdown.
+    let reader_handle = {
+        let shared = Arc::clone(&shared);
+        let last_rx = Arc::clone(&last_rx);
+        let stream = stream.try_clone().expect("clone stream");
+        std::thread::Builder::new()
+            .name(format!("net-read-{}-{peer}", shared.pid))
+            .spawn(move || read_loop(shared, peer, stream, last_rx))
+            .expect("spawn reader")
+    };
+
+    write_loop(&shared, &stream, rx, &last_rx);
+
+    // Teardown: close the socket (unblocks the reader), drop the peer
+    // entry if it is still ours (a newer session may have replaced it).
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader_handle.join();
+    let mut peers = shared.peers.lock().unwrap();
+    if peers.get(&peer).map(|p| p.session) == Some(session) {
+        peers.remove(&peer);
+    }
+    drop(peers);
+    shared
+        .counters
+        .sessions_dropped
+        .fetch_add(1, Ordering::Relaxed);
+    if !shared.shutdown.load(Ordering::SeqCst) {
+        shared.push_event(LinkEvent::SessionDropped { peer, session });
+    }
+}
+
+fn write_loop<M>(
+    shared: &Arc<Shared<M>>,
+    stream: &TcpStream,
+    rx: Receiver<Vec<u8>>,
+    last_rx: &AtomicU64,
+) {
+    let heartbeat = frame::encode_frame(kind::HEARTBEAT, &[]);
+    let mut w = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Dead-session check: silence beyond the timeout kills the link.
+        let silent = shared
+            .now_ms()
+            .saturating_sub(last_rx.load(Ordering::Relaxed));
+        if silent > shared.cfg.heartbeat_timeout.as_millis() as u64 {
+            return;
+        }
+        match rx.recv_timeout(shared.cfg.heartbeat_interval) {
+            Ok(bytes) => {
+                if w.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if w.write_all(&heartbeat).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn read_loop<M: Wire + Send + 'static>(
+    shared: Arc<Shared<M>>,
+    peer: NodeId,
+    stream: TcpStream,
+    last_rx: Arc<AtomicU64>,
+) {
+    let mut r = &stream;
+    loop {
+        match frame::read_frame(&mut r) {
+            Ok(f) => {
+                last_rx.store(shared.now_ms(), Ordering::Relaxed);
+                match f.kind {
+                    kind::HEARTBEAT => {}
+                    kind::MSG => match M::from_bytes(&f.payload) {
+                        Ok(msg) => {
+                            shared
+                                .counters
+                                .msgs_received
+                                .fetch_add(1, Ordering::Relaxed);
+                            shared.push_event(LinkEvent::Message { from: peer, msg });
+                        }
+                        Err(_) => {
+                            // Intact envelope, unintelligible payload:
+                            // drop + count (forward-compat contract).
+                            shared
+                                .counters
+                                .frames_dropped
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    _ => {
+                        shared
+                            .counters
+                            .frames_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if !e.is_fatal() => {
+                last_rx.store(shared.now_ms(), Ordering::Relaxed);
+                shared
+                    .counters
+                    .frames_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn sleep_unless_shutdown<M>(shared: &Arc<Shared<M>>, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::KvWire;
+
+    fn ephemeral() -> (TcpListener, SocketAddr) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = l.local_addr().unwrap();
+        (l, a)
+    }
+
+    fn pair_transports() -> (TcpTransport<KvWire>, TcpTransport<KvWire>) {
+        let (l1, a1) = ephemeral();
+        let (l2, a2) = ephemeral();
+        let addrs: HashMap<NodeId, SocketAddr> = [(1, a1), (2, a2)].into();
+        let cfg = TcpConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(10),
+            ..TcpConfig::default()
+        };
+        let t1 = TcpTransport::with_listener(1, l1, addrs.clone(), cfg.clone()).unwrap();
+        let t2 = TcpTransport::with_listener(2, l2, addrs, cfg).unwrap();
+        (t1, t2)
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut f: F, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !f() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn sessions_establish_and_messages_flow() {
+        let (mut t1, mut t2) = pair_transports();
+        let mut established = None;
+        wait_for(
+            || {
+                for ev in t1.poll() {
+                    if let LinkEvent::SessionEstablished { peer: 2, session } = ev {
+                        established = Some(session);
+                    }
+                }
+                established.is_some()
+            },
+            "session 1->2",
+        );
+        t1.send(2, KvWire::Redirect { leader: 3 });
+        wait_for(
+            || {
+                t2.poll().iter().any(|e| {
+                    matches!(e, LinkEvent::Message { from: 1, msg } if *msg == KvWire::Redirect { leader: 3 })
+                })
+            },
+            "message at node 2",
+        );
+        assert_eq!(t1.counters().msgs_sent, 1);
+    }
+
+    #[test]
+    fn restart_yields_higher_session_and_drop_events() {
+        let (mut t1, t2) = pair_transports();
+        let mut first = None;
+        wait_for(
+            || {
+                for ev in t1.poll() {
+                    if let LinkEvent::SessionEstablished { peer: 2, session } = ev {
+                        first = Some(session);
+                    }
+                }
+                first.is_some()
+            },
+            "first session",
+        );
+        // Kill node 2's transport entirely (simulates a crash/restart).
+        let addr2 = t2.local_addr();
+        drop(t2);
+        let mut dropped = false;
+        wait_for(
+            || {
+                for ev in t1.poll() {
+                    if matches!(ev, LinkEvent::SessionDropped { peer: 2, .. }) {
+                        dropped = true;
+                    }
+                }
+                dropped
+            },
+            "session drop at node 1",
+        );
+        // Restart node 2 on the same address; node 1 re-dials.
+        let (_, a1) = ephemeral(); // unused addr for map completeness below
+        let addrs: HashMap<NodeId, SocketAddr> = [(1, a1), (2, addr2)].into();
+        let _t2b: TcpTransport<KvWire> =
+            TcpTransport::bind(2, addrs, TcpConfig::default()).unwrap();
+        let mut second = None;
+        wait_for(
+            || {
+                for ev in t1.poll() {
+                    if let LinkEvent::SessionEstablished { peer: 2, session } = ev {
+                        second = Some(session);
+                    }
+                }
+                second.is_some()
+            },
+            "second session",
+        );
+        assert!(
+            second.unwrap() > first.unwrap(),
+            "sessions must be monotone: {first:?} -> {second:?}"
+        );
+    }
+
+    #[test]
+    fn send_without_session_drops_and_counts() {
+        let (l1, a1) = ephemeral();
+        let addrs: HashMap<NodeId, SocketAddr> =
+            [(1, a1), (2, "127.0.0.1:9".parse().unwrap())].into();
+        let mut t1: TcpTransport<KvWire> =
+            TcpTransport::with_listener(1, l1, addrs, TcpConfig::default()).unwrap();
+        t1.send(2, KvWire::Retry { seq: 1 });
+        assert_eq!(t1.counters().send_drops, 1);
+        assert_eq!(t1.counters().msgs_sent, 0);
+    }
+}

@@ -8,7 +8,7 @@
 #   scripts/ci.sh fmt          # one stage
 #   scripts/ci.sh clippy build # several stages, in the given order
 #
-# Stages: fmt clippy build test chaos bench
+# Stages: fmt clippy build test net chaos bench
 # Each stage is timed; a summary table prints at the end.
 set -eu
 
@@ -39,6 +39,16 @@ stage_test() {
     cargo test -q -p kvstore snapshot
     echo "==> [test] BLE election property under generated partial partitions"
     cargo test -q -p omnipaxos --test ble_partitions
+}
+
+stage_net() {
+    echo "==> [net] wire codec unit + property/corpus tests"
+    cargo test -q -p net --lib
+    cargo test -q -p net --test codec_corpus
+    echo "==> [net] session re-sync semantics (sim + TCP backends agree)"
+    cargo test -q -p net --test session_semantics
+    echo "==> [net] loopback cluster smoke over real sockets (time-bounded)"
+    NET_SMOKE_OPS=1000 cargo test -q -p net --test loopback three_node_cluster_survives_leader_transport_kill
 }
 
 stage_chaos() {
@@ -72,19 +82,19 @@ run_stage() {
 
 STAGES="$*"
 if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
-    STAGES="fmt clippy build test chaos bench"
+    STAGES="fmt clippy build test net chaos bench"
 fi
 
 for s in $STAGES; do
     case "$s" in
-        fmt|clippy|build|test|chaos|bench)
+        fmt|clippy|build|test|net|chaos|bench)
             # Fail fast, but still print the summary table below.
             if ! run_stage "$s"; then
                 break
             fi
             ;;
         *)
-            echo "unknown stage: $s (stages: fmt clippy build test chaos bench)" >&2
+            echo "unknown stage: $s (stages: fmt clippy build test net chaos bench)" >&2
             exit 2
             ;;
     esac
