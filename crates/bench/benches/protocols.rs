@@ -187,9 +187,10 @@ fn storage_micro(quick: bool) {
     bench("storage_append_read_trim_10k", iters(quick, 50), || {
         let mut s: MemoryStorage<u64> = MemoryStorage::new();
         for v in 0..10_000u64 {
-            s.append_entry(omnipaxos::LogEntry::Normal(v));
+            s.append_entry(omnipaxos::LogEntry::Normal(v))
+                .expect("append");
         }
-        s.set_decided_idx(10_000);
+        s.set_decided_idx(10_000).expect("decide");
         let mid = s.get_entries(4_000, 6_000);
         s.trim(8_000).expect("trim");
         (mid.len(), s.get_suffix(9_000).len())

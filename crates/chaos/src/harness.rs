@@ -3,7 +3,7 @@
 
 use crate::buggy::BuggyOmniReplica;
 use crate::monitor::{Breach, Monitor};
-use crate::schedule::{generate, Fault, ScheduledFault};
+use crate::schedule::{generate, generate_disk, Fault, ScheduledFault};
 use crate::trace::{fingerprint, TraceEvent};
 use crate::NodeId;
 use cluster::protocol::{
@@ -11,7 +11,7 @@ use cluster::protocol::{
 };
 use cluster::scenarios::{chained_line_cuts, constrained_stage2_cuts, quorum_loss_cuts};
 use cluster::Cmd;
-use omnipaxos::{MigrationScheme, SnapshotData};
+use omnipaxos::{MigrationScheme, SnapshotData, StorageFaultKind};
 use simulator::{Network, NetworkConfig};
 use std::collections::BTreeSet;
 
@@ -55,6 +55,10 @@ pub struct ChaosConfig {
     pub propose_cap: u64,
     /// Injected bug (Omni-Paxos only), for regression tests.
     pub bug: Option<Bug>,
+    /// Use the disk-fault schedule profile: a third of the generated
+    /// events arm storage failpoints ([`Fault::DiskFault`]) instead of
+    /// attacking only the network.
+    pub disk_faults: bool,
 }
 
 impl ChaosConfig {
@@ -69,6 +73,7 @@ impl ChaosConfig {
             liveness_ticks: 6_000,
             propose_cap: 200,
             bug: None,
+            disk_faults: false,
         }
     }
 }
@@ -321,6 +326,24 @@ impl Sim {
         true
     }
 
+    /// Arm `kind` at `p`. Adapters without a fallible-storage model
+    /// report so and get crashed instead — externally the same fail-stop,
+    /// so every protocol sees an equivalent schedule shape.
+    fn disk_fault_at(&mut self, p: NodeId, kind: StorageFaultKind) -> String {
+        if !self.live(p) {
+            return format!("disk-fault {p} {kind:?} (down)");
+        }
+        if self.nodes[(p - 1) as usize]
+            .replica_mut()
+            .inject_disk_fault(kind)
+        {
+            format!("disk-fault {p} {kind:?}")
+        } else {
+            self.crash(p);
+            format!("disk-fault {p} {kind:?} (degraded to crash)")
+        }
+    }
+
     /// Fire one fault, resolving leader-relative patterns, and record the
     /// resolved form in the trace.
     fn fire(&mut self, t: u64, fault: &Fault) {
@@ -396,6 +419,12 @@ impl Sim {
                 if self.crashed.remove(p) {
                     self.nodes[(*p - 1) as usize].replica_mut().fail_recovery();
                     format!("recover {p}")
+                } else if self.nodes[(*p - 1) as usize].replica().is_halted() {
+                    // A disk-halted server never left the process table,
+                    // but recovers the same way: reopen storage (rolling
+                    // back the unsynced tail), re-sync via PrepareReq.
+                    self.nodes[(*p - 1) as usize].replica_mut().fail_recovery();
+                    format!("recover {p} (disk-halted)")
                 } else {
                     format!("recover {p} (not down)")
                 }
@@ -406,7 +435,14 @@ impl Sim {
                     self.crashed.remove(p);
                     self.nodes[(*p - 1) as usize].replica_mut().fail_recovery();
                 }
-                format!("recover-all ({} servers)", down.len())
+                let mut healed = down.len();
+                for i in 0..self.nodes.len() {
+                    if self.nodes[i].replica().is_halted() {
+                        self.nodes[i].replica_mut().fail_recovery();
+                        healed += 1;
+                    }
+                }
+                format!("recover-all ({healed} servers)")
             }
             Fault::DelaySpike(j) => {
                 self.net.set_jitter_us(*j);
@@ -433,6 +469,14 @@ impl Sim {
                     format!("reconfigure via {leader} accepted={ok}")
                 } else {
                     "reconfigure (no leader)".to_string()
+                }
+            }
+            Fault::DiskFault(p, kind) => self.disk_fault_at(*p, *kind),
+            Fault::DiskFaultLeader(kind) => {
+                if leader != 0 {
+                    self.disk_fault_at(leader, *kind)
+                } else {
+                    format!("disk-fault-leader {kind:?} (no leader)")
                 }
             }
         };
@@ -469,6 +513,26 @@ impl Sim {
             let out = self.nodes[i].replica_mut().outgoing();
             if !self.live(from) {
                 continue; // a down server sends nothing; backlog discarded
+            }
+            if self.nodes[i].replica().is_halted() {
+                // Fail-stop contract: a server that failed to persist must
+                // look crashed — any message it emits could be an ack of
+                // state its disk never took.
+                if !out.is_empty() {
+                    self.breach_at(
+                        t,
+                        Breach {
+                            invariant: "fail-stop",
+                            detail: format!(
+                                "server {from} emitted {} message(s) while halted \
+                                 on a storage error",
+                                out.len()
+                            ),
+                        },
+                    );
+                    return;
+                }
+                continue;
             }
             for (to, msg) in out {
                 if to >= 1 && to <= self.members.len() as NodeId {
@@ -559,7 +623,11 @@ impl Sim {
 
 /// Generate the schedule for `cfg` and run it.
 pub fn run(cfg: &ChaosConfig) -> ChaosReport {
-    let schedule = generate(cfg.seed, cfg.n, cfg.fault_events, cfg.horizon_ticks);
+    let schedule = if cfg.disk_faults {
+        generate_disk(cfg.seed, cfg.n, cfg.fault_events, cfg.horizon_ticks)
+    } else {
+        generate(cfg.seed, cfg.n, cfg.fault_events, cfg.horizon_ticks)
+    };
     run_schedule(cfg, &schedule)
 }
 
@@ -632,6 +700,23 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &[ScheduledFault]) -> ChaosRepo
             sim.step_rest(t);
             if sim.violation.is_some() {
                 break;
+            }
+            // A failpoint armed late in the schedule may only fire now, on
+            // the server's next storage operation. The bounded-recovery
+            // contract says faults stop at the forced heal, so a server
+            // that halts during the probe phase is restarted immediately
+            // (its unsynced tail rolls back; it re-syncs via PrepareReq).
+            for i in 0..sim.nodes.len() {
+                if sim.nodes[i].replica().is_halted() {
+                    sim.nodes[i].replica_mut().fail_recovery();
+                    sim.trace.push(TraceEvent::Fault {
+                        tick: t,
+                        desc: format!(
+                            "restart {} (disk fault fired after the heal)",
+                            sim.members[i]
+                        ),
+                    });
+                }
             }
             let done = probes.iter().all(|&id| {
                 sim.members

@@ -17,6 +17,11 @@
 //! * **crash + recover** — fail-recovery (§3) through each protocol's
 //!   persistent state, with in-flight messages to the crashed server
 //!   vanishing;
+//! * **disk faults** — seeded storage failpoints (failed fsync, short
+//!   write, ENOSPC, detected corruption, crash mid-checkpoint) armed at
+//!   arbitrary servers or the live leader; a server whose disk fails must
+//!   fail-stop (ack nothing, emit nothing) until recovered, and no entry
+//!   it acknowledged before the fault may be lost;
 //! * **delay spikes** — raised delivery jitter, reordering messages
 //!   across links while per-link FIFO stays intact;
 //! * **mid-run compaction and reconfiguration** — snapshot-based log
@@ -58,7 +63,7 @@ pub use buggy::BuggyOmniReplica;
 pub use harness::{run, run_schedule, Bug, ChaosConfig, ChaosReport, Violation};
 pub use kv_chaos::{run_kv_chaos, KvChaosStats};
 pub use minimize::minimize;
-pub use schedule::{generate, Fault, ScheduledFault};
+pub use schedule::{generate, generate_disk, Fault, ScheduledFault};
 pub use trace::{fingerprint, render_report, TraceEvent};
 
 /// Server identifier, shared with the rest of the workspace.

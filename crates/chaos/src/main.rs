@@ -6,6 +6,8 @@
 //! chaos --seed 42 --protocol raft   # replay one run (bit-identical trace)
 //! chaos --seed 42 --minimize        # shrink a failing schedule before printing
 //! chaos --out chaos-failures        # also write failing traces to files
+//! chaos --disk --seeds 500          # sweep with the disk-fault profile
+//! chaos --disk-seeds 50             # extra disk-fault sweep after the main one
 //! ```
 //!
 //! Exit status is 0 iff no run violated an invariant.
@@ -34,13 +36,20 @@ struct Opts {
     out: Option<PathBuf>,
     bug: bool,
     kv_seeds: u64,
+    /// Run the primary sweep (and any `--seed` replay) under the
+    /// disk-fault schedule profile.
+    disk: bool,
+    /// Additional disk-fault-profile sweep of this many seeds per
+    /// protocol, after the primary sweep.
+    disk_seeds: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--quick] [--seeds N] [--base-seed S] [--seed S] \
          [--protocol omni|omni-lm|raft|raft-pvcq|multipaxos|vr] [--nodes N] \
-         [--minimize] [--out DIR] [--bug] [--kv-seeds N]"
+         [--minimize] [--out DIR] [--bug] [--kv-seeds N] [--disk] \
+         [--disk-seeds N]"
     );
     std::process::exit(2);
 }
@@ -72,6 +81,8 @@ fn parse_opts() -> Opts {
         out: None,
         bug: false,
         kv_seeds: 0,
+        disk: false,
+        disk_seeds: 0,
     };
     let mut args = std::env::args().skip(1);
     let next_num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
@@ -95,6 +106,8 @@ fn parse_opts() -> Opts {
             "--out" => opts.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--bug" => opts.bug = true,
             "--kv-seeds" => opts.kv_seeds = next_num(&mut args, "--kv-seeds"),
+            "--disk" => opts.disk = true,
+            "--disk-seeds" => opts.disk_seeds = next_num(&mut args, "--disk-seeds"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -111,8 +124,11 @@ fn parse_opts() -> Opts {
         if opts.kv_seeds == 0 {
             opts.kv_seeds = 4;
         }
+        if opts.disk_seeds == 0 {
+            opts.disk_seeds = 10;
+        }
     }
-    if opts.seeds == 0 && opts.single_seed.is_none() && opts.kv_seeds == 0 {
+    if opts.seeds == 0 && opts.single_seed.is_none() && opts.kv_seeds == 0 && opts.disk_seeds == 0 {
         opts.seeds = 100;
     }
     opts
@@ -146,52 +162,75 @@ fn main() {
     let mut failures = 0u64;
     let mut total_runs = 0u64;
 
-    for &protocol in &protocols {
+    let sweep = |protocols: &[ProtocolKind],
+                 seeds: &[u64],
+                 disk: bool,
+                 failures: &mut u64,
+                 total_runs: &mut u64| {
+        for &protocol in protocols {
+            let t0 = Instant::now();
+            let mut proto_failures = 0u64;
+            let mut decided_total = 0u64;
+            for seed in seeds.iter().copied() {
+                let mut cfg = ChaosConfig::new(protocol, seed);
+                cfg.n = opts.nodes;
+                cfg.disk_faults = disk;
+                if opts.bug {
+                    cfg.bug = Some(Bug::AckBeforePersist);
+                }
+                let report = run(&cfg);
+                *total_runs += 1;
+                decided_total += report.decided_positions;
+                if report.violation.is_some() {
+                    *failures += 1;
+                    proto_failures += 1;
+                    let mut rendered = render_report(&report);
+                    if opts.minimize {
+                        let reduced = minimize(&cfg, &report.schedule);
+                        let replay = chaos::run_schedule(&cfg, &reduced);
+                        rendered.push_str("\n--- minimized schedule ---\n");
+                        rendered.push_str(&render_report(&replay));
+                    }
+                    eprintln!("{rendered}");
+                    if let Some(dir) = &opts.out {
+                        let disk_tag = if disk { "disk-" } else { "" };
+                        let path = dir.join(format!("{disk_tag}{}-seed{seed}.txt", slug(protocol)));
+                        if let Err(e) = std::fs::write(&path, &rendered) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                        } else {
+                            eprintln!("trace written to {}", path.display());
+                        }
+                    }
+                }
+            }
+            println!(
+                "{:<34} {:>5} runs  {:>3} failed  {:>8} decided positions  {:>6.1}s",
+                format!("{}{}", protocol.name(), if disk { " [disk]" } else { "" }),
+                seeds.len(),
+                proto_failures,
+                decided_total,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    };
+
+    if opts.seeds > 0 || opts.single_seed.is_some() {
         let seeds: Vec<u64> = match opts.single_seed {
             Some(s) => vec![s],
             None => (opts.base_seed..opts.base_seed + opts.seeds).collect(),
         };
-        let t0 = Instant::now();
-        let mut proto_failures = 0u64;
-        let mut decided_total = 0u64;
-        for seed in seeds.iter().copied() {
-            let mut cfg = ChaosConfig::new(protocol, seed);
-            cfg.n = opts.nodes;
-            if opts.bug {
-                cfg.bug = Some(Bug::AckBeforePersist);
-            }
-            let report = run(&cfg);
-            total_runs += 1;
-            decided_total += report.decided_positions;
-            if report.violation.is_some() {
-                failures += 1;
-                proto_failures += 1;
-                let mut rendered = render_report(&report);
-                if opts.minimize {
-                    let reduced = minimize(&cfg, &report.schedule);
-                    let replay = chaos::run_schedule(&cfg, &reduced);
-                    rendered.push_str("\n--- minimized schedule ---\n");
-                    rendered.push_str(&render_report(&replay));
-                }
-                eprintln!("{rendered}");
-                if let Some(dir) = &opts.out {
-                    let path = dir.join(format!("{}-seed{}.txt", slug(protocol), seed));
-                    if let Err(e) = std::fs::write(&path, &rendered) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                    } else {
-                        eprintln!("trace written to {}", path.display());
-                    }
-                }
-            }
-        }
-        println!(
-            "{:<34} {:>5} runs  {:>3} failed  {:>8} decided positions  {:>6.1}s",
-            protocol.name(),
-            seeds.len(),
-            proto_failures,
-            decided_total,
-            t0.elapsed().as_secs_f64()
+        sweep(
+            &protocols,
+            &seeds,
+            opts.disk,
+            &mut failures,
+            &mut total_runs,
         );
+    }
+
+    if opts.disk_seeds > 0 {
+        let seeds: Vec<u64> = (opts.base_seed..opts.base_seed + opts.disk_seeds).collect();
+        sweep(&protocols, &seeds, true, &mut failures, &mut total_runs);
     }
 
     if opts.kv_seeds > 0 {

@@ -1,6 +1,7 @@
 //! Fault schedules: the event vocabulary and their seeded generation.
 
 use crate::NodeId;
+use omnipaxos::StorageFaultKind;
 use simulator::Rng;
 
 /// One injectable fault. Leader-relative patterns (`QuorumLoss`,
@@ -50,6 +51,15 @@ pub enum Fault {
     /// (Omni-Paxos stop-sign handover / Raft joint change; no-op for
     /// Multi-Paxos and VR).
     Reconfigure,
+    /// Arm a disk fault at one server: its next matching storage
+    /// operation fails, after which the server must fail-stop — ack
+    /// nothing, emit nothing — until a `Recover` heals it. Protocol
+    /// adapters without a fallible-storage model degrade this to a plain
+    /// crash, which is the same externally visible behaviour.
+    DiskFault(NodeId, StorageFaultKind),
+    /// Arm a disk fault at whoever currently leads — the worst case: the
+    /// one server everyone waits on silently stops persisting.
+    DiskFaultLeader(StorageFaultKind),
 }
 
 /// A fault bound to the simulation tick at which it fires.
@@ -68,17 +78,52 @@ fn pair(rng: &mut Rng, n: u64) -> (NodeId, NodeId) {
     (a, b)
 }
 
+fn disk_kind(rng: &mut Rng) -> StorageFaultKind {
+    match rng.below(5) {
+        0 => StorageFaultKind::SyncFailed,
+        1 => StorageFaultKind::ShortWrite,
+        2 => StorageFaultKind::NoSpace,
+        3 => StorageFaultKind::Corruption,
+        _ => StorageFaultKind::CheckpointCrash,
+    }
+}
+
 /// Generate a schedule of `events` faults over `[warmup, horizon)` ticks
 /// for an `n`-server cluster. Same `(seed, n, events, horizon)` ⇒ same
 /// schedule.
 pub fn generate(seed: u64, n: usize, events: usize, horizon_ticks: u64) -> Vec<ScheduledFault> {
-    let mut rng = Rng::seed_from_u64(seed ^ 0xC4A0_5EED);
+    generate_profile(seed, n, events, horizon_ticks, false)
+}
+
+/// Like [`generate`], but a third of the events are disk faults
+/// ([`Fault::DiskFault`]/[`Fault::DiskFaultLeader`]) on top of the full
+/// network/crash vocabulary. A separate profile so every schedule the
+/// regression seeds pin down stays byte-identical.
+pub fn generate_disk(
+    seed: u64,
+    n: usize,
+    events: usize,
+    horizon_ticks: u64,
+) -> Vec<ScheduledFault> {
+    generate_profile(seed, n, events, horizon_ticks, true)
+}
+
+fn generate_profile(
+    seed: u64,
+    n: usize,
+    events: usize,
+    horizon_ticks: u64,
+    disk: bool,
+) -> Vec<ScheduledFault> {
+    let xor = if disk { 0xD15C_FA17 } else { 0xC4A0_5EED };
+    let mut rng = Rng::seed_from_u64(seed ^ xor);
     let n = n as u64;
     let warmup = (horizon_ticks / 10).max(1);
     let mut out: Vec<ScheduledFault> = (0..events)
         .map(|_| {
             let at_tick = rng.range_inclusive(warmup, horizon_ticks.saturating_sub(1));
-            let fault = match rng.below(18) {
+            let roll = if disk { rng.below(27) } else { rng.below(18) };
+            let fault = match roll {
                 0..=2 => {
                     let (a, b) = pair(&mut rng, n);
                     Fault::CutLink(a, b)
@@ -109,6 +154,15 @@ pub fn generate(seed: u64, n: usize, events: usize, horizon_ticks: u64) -> Vec<S
                         Fault::Reconfigure
                     }
                 }
+                // Disk-profile extension: a third of the events attack
+                // storage. Anyone may be hit; the leader is singled out
+                // often enough that "the quorum's pivot stops persisting"
+                // is a common shape, and extra Recover events keep halted
+                // servers cycling back in mid-schedule.
+                18..=21 => Fault::DiskFault(rng.range_inclusive(1, n), disk_kind(&mut rng)),
+                22 | 23 => Fault::DiskFaultLeader(disk_kind(&mut rng)),
+                24 | 25 => Fault::Recover(rng.range_inclusive(1, n)),
+                26 => Fault::RecoverAll,
                 _ => unreachable!(),
             };
             ScheduledFault { at_tick, fault }
@@ -126,6 +180,28 @@ mod tests {
     fn same_seed_same_schedule() {
         assert_eq!(generate(7, 5, 20, 1000), generate(7, 5, 20, 1000));
         assert_ne!(generate(7, 5, 20, 1000), generate(8, 5, 20, 1000));
+    }
+
+    #[test]
+    fn disk_profile_is_deterministic_and_contains_disk_faults() {
+        assert_eq!(generate_disk(7, 5, 40, 1000), generate_disk(7, 5, 40, 1000));
+        let hits = generate_disk(7, 5, 40, 1000)
+            .iter()
+            .filter(|f| matches!(f.fault, Fault::DiskFault(_, _) | Fault::DiskFaultLeader(_)))
+            .count();
+        assert!(hits > 0, "40 disk-profile events must include disk faults");
+    }
+
+    #[test]
+    fn plain_profile_is_unchanged_by_the_disk_extension() {
+        // Pinned: the regression seeds in the chaos tests replay these
+        // schedules; the disk profile must not perturb them.
+        for f in generate(7, 5, 200, 1000) {
+            assert!(
+                !matches!(f.fault, Fault::DiskFault(_, _) | Fault::DiskFaultLeader(_)),
+                "plain generate() emitted a disk fault"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use chaos::harness::{run, run_schedule, Bug, ChaosConfig};
 use chaos::minimize::minimize;
 use chaos::schedule::{Fault, ScheduledFault};
 use cluster::protocol::ProtocolKind;
+use omnipaxos::StorageFaultKind;
 
 const ALL_PROTOCOLS: [ProtocolKind; 5] = [
     ProtocolKind::OmniPaxos,
@@ -175,6 +176,124 @@ fn sweep_found_regressions_stay_fixed() {
             report.violation
         );
     }
+}
+
+/// A targeted disk-fault run: a follower's fsync fails mid-replication,
+/// the server fail-stops, and a later recovery re-syncs it — with no
+/// durability or agreement breach and full liveness afterwards.
+#[test]
+fn disk_fault_halts_then_recovery_resyncs() {
+    let cfg = ChaosConfig::new(ProtocolKind::OmniPaxos, 5);
+    let schedule = vec![
+        ScheduledFault {
+            at_tick: 300,
+            fault: Fault::DiskFault(2, StorageFaultKind::SyncFailed),
+        },
+        ScheduledFault {
+            at_tick: 700,
+            fault: Fault::Recover(2),
+        },
+    ];
+    let report = run_schedule(&cfg, &schedule);
+    assert_eq!(report.violation, None, "{:?}", report.violation);
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|e| format!("{e:?}").contains("disk-fault 2")),
+        "the fault must actually have fired"
+    );
+}
+
+/// The worst case: the leader's disk dies. The cluster must elect around
+/// it and keep deciding; the halted ex-leader recovers at the forced heal.
+#[test]
+fn leader_disk_fault_does_not_stall_the_cluster() {
+    for kind in [
+        StorageFaultKind::SyncFailed,
+        StorageFaultKind::ShortWrite,
+        StorageFaultKind::NoSpace,
+        StorageFaultKind::Corruption,
+        StorageFaultKind::CheckpointCrash,
+    ] {
+        let cfg = ChaosConfig::new(ProtocolKind::OmniPaxos, 9);
+        let schedule = vec![ScheduledFault {
+            at_tick: 300,
+            fault: Fault::DiskFaultLeader(kind),
+        }];
+        let report = run_schedule(&cfg, &schedule);
+        assert_eq!(report.violation, None, "{kind:?}: {:?}", report.violation);
+    }
+}
+
+/// Baselines have no fallible-storage model; a disk fault degrades to a
+/// crash and the run must still be clean.
+#[test]
+fn disk_faults_degrade_to_crashes_on_baselines() {
+    for protocol in [
+        ProtocolKind::Raft,
+        ProtocolKind::MultiPaxos,
+        ProtocolKind::Vr,
+    ] {
+        let cfg = ChaosConfig::new(protocol, 5);
+        let schedule = vec![
+            ScheduledFault {
+                at_tick: 300,
+                fault: Fault::DiskFault(2, StorageFaultKind::SyncFailed),
+            },
+            ScheduledFault {
+                at_tick: 700,
+                fault: Fault::Recover(2),
+            },
+        ];
+        let report = run_schedule(&cfg, &schedule);
+        assert_eq!(
+            report.violation,
+            None,
+            "{}: {:?}",
+            protocol.name(),
+            report.violation
+        );
+        assert!(
+            report
+                .trace
+                .iter()
+                .any(|e| format!("{e:?}").contains("degraded to crash")),
+            "{}: the fault must degrade to a crash",
+            protocol.name()
+        );
+    }
+}
+
+/// A small clean sweep under the disk-fault schedule profile, every
+/// protocol. (The nightly job runs the 500-seed version.)
+#[test]
+fn disk_fault_sweep_is_clean() {
+    for protocol in ALL_PROTOCOLS {
+        for seed in 301..=303 {
+            let mut cfg = ChaosConfig::new(protocol, seed);
+            cfg.disk_faults = true;
+            let report = run(&cfg);
+            assert_eq!(
+                report.violation,
+                None,
+                "{} seed {seed}: {:?}",
+                protocol.name(),
+                report.violation
+            );
+        }
+    }
+}
+
+/// Disk-profile runs replay bit-identically, like every other run.
+#[test]
+fn disk_runs_are_deterministic() {
+    let mut cfg = ChaosConfig::new(ProtocolKind::OmniPaxos, 77);
+    cfg.disk_faults = true;
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(format!("{:?}", a.trace), format!("{:?}", b.trace));
 }
 
 #[test]

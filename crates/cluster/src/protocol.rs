@@ -9,7 +9,7 @@ use crate::cmd::Cmd;
 use crate::NodeId;
 use multipaxos::{MpConfig, MpMsg, MpNode};
 use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
-use omnipaxos::MigrationScheme;
+use omnipaxos::{FaultyStorage, MemoryStorage, MigrationScheme, StorageFaultKind};
 use raft::{RaftConfig, RaftMsg, RaftNode};
 use vr::{VrConfig, VrMsg, VrNode};
 
@@ -146,15 +146,38 @@ pub trait Replica {
     fn audit_elections(&self) -> Vec<(u64, u64, u64)> {
         Vec::new()
     }
+
+    // ---- Disk-fault injection ----------------------------------------
+
+    /// Arm one storage fault: the next matching disk operation fails and
+    /// the replica must fail-stop (never ack, go silent) until
+    /// [`Replica::fail_recovery`]. Returns `false` where the protocol
+    /// adapter has no fallible-storage model — the harness then degrades
+    /// the fault to a plain crash, which is the same externally visible
+    /// behaviour.
+    fn inject_disk_fault(&mut self, _kind: StorageFaultKind) -> bool {
+        false
+    }
+
+    /// Has this replica fail-stopped on a storage error?
+    fn is_halted(&self) -> bool {
+        false
+    }
 }
 
 // ----------------------------------------------------------------------
 // Omni-Paxos
 // ----------------------------------------------------------------------
 
+/// The storage the harness adapters run on: in-memory, wrapped with
+/// armable failpoints so chaos schedules can attack the disk. Unarmed,
+/// the wrapper forwards everything at zero cost, so throughput
+/// experiments are unaffected.
+pub type ChaosStorage = FaultyStorage<Cmd, MemoryStorage<Cmd>>;
+
 /// Adapter around [`OmniPaxosServer`].
 pub struct OmniReplica {
-    server: OmniPaxosServer<Cmd>,
+    server: OmniPaxosServer<Cmd, ChaosStorage>,
     leader_changes: u64,
     last_leader: Option<omnipaxos::Ballot>,
     reconfigs_requested: u32,
@@ -177,7 +200,7 @@ impl OmniReplica {
         let mut server = if initial_log.is_empty() {
             OmniPaxosServer::new(cfg, nodes)
         } else {
-            let storage = omnipaxos::MemoryStorage::with_decided_log(initial_log);
+            let storage = FaultyStorage::new(MemoryStorage::with_decided_log(initial_log));
             OmniPaxosServer::with_storage(cfg, nodes, storage)
         };
         // Absorb the pre-loaded history so it is not reported as new.
@@ -207,12 +230,12 @@ impl OmniReplica {
     }
 
     /// Access the wrapped server (tests, invariant checks).
-    pub fn server(&mut self) -> &mut OmniPaxosServer<Cmd> {
+    pub fn server(&mut self) -> &mut OmniPaxosServer<Cmd, ChaosStorage> {
         &mut self.server
     }
 
     /// Shared access to the wrapped server (invariant observation).
-    pub fn server_ref(&self) -> &OmniPaxosServer<Cmd> {
+    pub fn server_ref(&self) -> &OmniPaxosServer<Cmd, ChaosStorage> {
         &self.server
     }
 }
@@ -328,6 +351,21 @@ impl Replica for OmniReplica {
             .iter()
             .map(|b| (b.n, b.priority, b.pid))
             .collect()
+    }
+
+    fn inject_disk_fault(&mut self, kind: StorageFaultKind) -> bool {
+        match self.server.omni() {
+            Some(omni) => {
+                omni.sequence_paxos().storage().arm(kind);
+                true
+            }
+            // Mid-handover (no active configuration): nothing to arm.
+            None => false,
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.server.is_halted()
     }
 }
 

@@ -63,6 +63,7 @@
 
 pub mod ballot;
 pub mod ble;
+pub mod faults;
 pub mod messages;
 pub mod omni;
 pub mod sequence_paxos;
@@ -75,12 +76,13 @@ pub mod wire;
 
 pub use ballot::{Ballot, NodeId};
 pub use ble::{BallotLeaderElection, BleConfig};
+pub use faults::{FaultyStorage, StorageFaultKind};
 pub use messages::{BleMessage, BleMsg, Message, PaxosMsg};
 pub use omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
 pub use sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
 pub use service::{MigrationScheme, OmniPaxosServer, ServerConfig, ServerRole, ServiceMsg};
 pub use snapshot::{CounterSm, SnapshotData, SnapshotRef, Snapshottable};
-pub use storage::{EntryBatch, MemoryStorage, Storage, TrimError};
+pub use storage::{EntryBatch, MemoryStorage, Storage, StorageError, StorageOp, TrimError};
 pub use util::{majority, Entry, LogEntry, StopSign};
-pub use wal::{WalEncode, WalStorage};
+pub use wal::{WalEncode, WalError, WalStorage};
 pub use wire::{BatchCache, Wire, WireError, WIRE_VERSION};

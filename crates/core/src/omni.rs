@@ -11,7 +11,7 @@ use crate::ble::{BallotLeaderElection, BleConfig};
 use crate::messages::{BleMessage, Message};
 use crate::sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
 use crate::snapshot::SnapshotData;
-use crate::storage::{Storage, TrimError};
+use crate::storage::{Storage, StorageError, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
 
 /// A message of either component, addressed between servers.
@@ -161,6 +161,13 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     /// Advance logical time by one tick: drives BLE rounds and periodic
     /// retransmission. Call at a fixed interval.
     pub fn tick(&mut self) {
+        // A halted replica looks crashed to the cluster: no heartbeats, no
+        // elections, no retransmissions. BLE must go quiet too — heartbeat
+        // replies from a node that can no longer persist anything would
+        // keep electing it.
+        if self.sp.halted().is_some() {
+            return;
+        }
         // A replica that is still resynchronizing after a crash should not
         // be a leader candidate: if the current leader is healthy it will
         // re-sync us shortly, and candidacy would only churn leadership.
@@ -188,22 +195,28 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
         }
     }
 
-    /// Feed one incoming message.
+    /// Feed one incoming message. Dropped entirely while halted.
     pub fn handle_message(&mut self, msg: OmniMessage<T>) {
+        if self.sp.halted().is_some() {
+            return;
+        }
         match msg {
             OmniMessage::Paxos(m) => self.sp.handle_message(m),
             OmniMessage::Ble(m) => self.ble.handle_message(m),
         }
     }
 
-    /// Drain all queued outgoing messages of both components.
+    /// Drain all queued outgoing messages of both components. The drain is
+    /// the group-commit point: if the flush inside it fails, the node halts
+    /// and *nothing* leaves — including BLE heartbeats queued earlier, which
+    /// would otherwise advertise a replica that can no longer persist.
     pub fn outgoing_messages(&mut self) -> Vec<OmniMessage<T>> {
-        let mut out: Vec<OmniMessage<T>> = self
-            .sp
-            .outgoing_messages()
-            .into_iter()
-            .map(OmniMessage::Paxos)
-            .collect();
+        let sp_out = self.sp.outgoing_messages();
+        if self.sp.halted().is_some() {
+            let _ = self.ble.outgoing_messages();
+            return Vec::new();
+        }
+        let mut out: Vec<OmniMessage<T>> = sp_out.into_iter().map(OmniMessage::Paxos).collect();
         out.extend(
             self.ble
                 .outgoing_messages()
@@ -261,10 +274,12 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
         self.sp.leader()
     }
 
-    /// Is this node the elected leader in the Accept phase?
+    /// Is this node the elected leader in the Accept phase? A halted node
+    /// never is — it cannot persist, so it cannot lead.
     pub fn is_leader(&self) -> bool {
-        self.sp.state() == (Role::Leader, Phase::Accept)
-            || self.sp.state() == (Role::Leader, Phase::Prepare)
+        self.sp.halted().is_none()
+            && (self.sp.state() == (Role::Leader, Phase::Accept)
+                || self.sp.state() == (Role::Leader, Phase::Prepare))
     }
 
     /// `(role, phase)` of the replication component.
@@ -275,6 +290,18 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     /// Was this node quorum-connected at the end of the last BLE round?
     pub fn is_quorum_connected(&self) -> bool {
         self.ble.is_quorum_connected()
+    }
+
+    /// Is this node halted on a storage failure (fail-stop)? A halted node
+    /// accepts and emits nothing until [`OmniPaxos::fail_recovery`]
+    /// succeeds.
+    pub fn is_halted(&self) -> bool {
+        self.sp.halted().is_some()
+    }
+
+    /// The storage failure this node halted on, if any.
+    pub fn storage_error(&self) -> Option<StorageError> {
+        self.sp.halted()
     }
 
     /// The decided stop-sign, if this configuration is finished.
@@ -291,6 +318,11 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     /// masquerade as the current leader nor block re-election.
     pub fn fail_recovery(&mut self) {
         self.sp.fail_recovery();
+        if self.sp.halted().is_some() {
+            // Storage could not re-establish a durable view; the node stays
+            // down (fail-stop) and BLE state is left untouched.
+            return;
+        }
         let promise = self.sp.promised();
         let mut ble_config = BleConfig::with(
             self.config.pid,
@@ -488,6 +520,57 @@ mod tests {
                 requested: 2
             })
         );
+    }
+
+    #[test]
+    fn halted_node_goes_dark_until_recovery() {
+        use crate::faults::{FaultyStorage, StorageFaultKind};
+        type FaultyNode = OmniPaxos<u64, FaultyStorage<u64, MemoryStorage<u64>>>;
+        let nodes_ids: Vec<NodeId> = vec![1, 2, 3];
+        let mut nodes: Vec<FaultyNode> = nodes_ids
+            .iter()
+            .map(|&pid| {
+                OmniPaxos::new(
+                    OmniPaxosConfig::with(1, pid, nodes_ids.clone()),
+                    FaultyStorage::new(MemoryStorage::new()),
+                )
+            })
+            .collect();
+        let settle = |nodes: &mut Vec<FaultyNode>, rounds: usize| {
+            for _ in 0..rounds {
+                for i in 0..nodes.len() {
+                    nodes[i].tick();
+                    for m in nodes[i].outgoing_messages() {
+                        let to = m.to() as usize - 1;
+                        nodes[to].handle_message(m);
+                    }
+                }
+            }
+        };
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        nodes[li].append(1).unwrap();
+        settle(&mut nodes, 40);
+        // A follower's disk starts failing fsync: it halts at its next
+        // group-commit and goes completely dark.
+        let fi = (li + 1) % 3;
+        nodes[fi]
+            .sequence_paxos()
+            .storage()
+            .arm(StorageFaultKind::SyncFailed);
+        nodes[fi].append(2).ok(); // forwarded proposal forces a flush
+        settle(&mut nodes, 10);
+        assert!(nodes[fi].is_halted());
+        assert!(nodes[fi].outgoing_messages().is_empty());
+        // The rest of the cluster keeps deciding without it.
+        nodes[li].append(3).unwrap();
+        settle(&mut nodes, 40);
+        assert!(nodes[li].decided_idx() >= 2);
+        // Recovery re-syncs the halted node through the crash path.
+        nodes[fi].fail_recovery();
+        assert!(!nodes[fi].is_halted());
+        settle(&mut nodes, 80);
+        assert_eq!(nodes[fi].read_decided(0), nodes[li].read_decided(0));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::messages::{
     SnapshotChunk, SnapshotMeta,
 };
 use crate::snapshot::SnapshotData;
-use crate::storage::{EntryBatch, Storage, TrimError};
+use crate::storage::{EntryBatch, Storage, StorageError, TrimError};
 use crate::util::{majority, Entry, LogEntry, StopSign};
 use std::collections::HashMap;
 
@@ -63,6 +63,9 @@ pub enum ProposeErr {
     /// The internal proposal buffer is full (no elected leader for too
     /// long); retry later.
     BufferFull,
+    /// The replica halted on a storage failure (fail-stop): it accepts
+    /// nothing until it recovers via the crash path.
+    Halted(StorageError),
 }
 
 impl std::fmt::Display for ProposeErr {
@@ -71,6 +74,7 @@ impl std::fmt::Display for ProposeErr {
             ProposeErr::PendingReconfig => write!(f, "configuration is being stopped"),
             ProposeErr::AlreadyReconfiguring => write!(f, "reconfiguration already in progress"),
             ProposeErr::BufferFull => write!(f, "proposal buffer full"),
+            ProposeErr::Halted(e) => write!(f, "replica halted on storage failure: {e}"),
         }
     }
 }
@@ -232,6 +236,11 @@ pub struct SequencePaxos<T: Entry, S: Storage<T>> {
     /// ([`SequencePaxos::take_installed_snapshot`]).
     installed_snapshot: Option<(u64, SnapshotData)>,
     outgoing: Vec<Message<T>>,
+    /// Set when a storage mutation failed: the replica is **halted** —
+    /// fail-stop. It sends nothing (a failed persist must never be
+    /// acked), handles nothing, and accepts no proposals until
+    /// [`SequencePaxos::fail_recovery`] re-establishes durable state.
+    halted: Option<StorageError>,
 }
 
 impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
@@ -251,6 +260,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             incoming_snap: None,
             installed_snapshot: None,
             outgoing: Vec::new(),
+            halted: None,
         }
     }
 
@@ -267,6 +277,36 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// Current `(role, phase)`.
     pub fn state(&self) -> (Role, Phase) {
         self.state
+    }
+
+    /// The storage failure this replica halted on, if any. A halted
+    /// replica behaves like a crashed one: it emits and accepts nothing
+    /// until [`SequencePaxos::fail_recovery`] succeeds.
+    pub fn halted(&self) -> Option<StorageError> {
+        self.halted
+    }
+
+    /// Enter the halted (fail-stop) state: discard every queued outgoing
+    /// message — some may acknowledge state that just failed to persist —
+    /// and refuse all further work. The first failure is kept as the cause.
+    fn halt(&mut self, e: StorageError) {
+        if self.halted.is_none() {
+            self.halted = Some(e);
+        }
+        self.outgoing.clear();
+    }
+
+    /// Run a storage mutation under the fail-stop rule: `Err` halts the
+    /// replica and yields `None`, which callers treat as "stop what you
+    /// were doing, ack nothing".
+    fn guard<V>(&mut self, res: Result<V, StorageError>) -> Option<V> {
+        match res {
+            Ok(v) => Some(v),
+            Err(e) => {
+                self.halt(e);
+                None
+            }
+        }
     }
 
     /// The ballot of the current leader as known to this server
@@ -329,8 +369,22 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// lagging followers are unaffected: they hold their own pin on the
     /// snapshot they started with.
     pub fn compact(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError> {
-        self.storage.set_snapshot(idx, data)?;
-        self.storage.checkpoint();
+        if let Some(e) = self.halted {
+            return Err(TrimError::Storage(e));
+        }
+        match self.storage.set_snapshot(idx, data) {
+            Ok(()) => {}
+            Err(TrimError::Storage(e)) => {
+                self.halt(e);
+                return Err(TrimError::Storage(e));
+            }
+            Err(e) => return Err(e),
+        }
+        let res = self.storage.checkpoint();
+        if let Err(e) = res {
+            self.halt(e);
+            return Err(TrimError::Storage(e));
+        }
         Ok(())
     }
 
@@ -362,10 +416,22 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// any message leaves, so acknowledgements (`Promise`, `Accepted`) and
     /// the entries that outgoing batches refer to are durable by the time
     /// a peer can observe them.
+    /// A halted replica drains nothing: every queued message was built on
+    /// state that may not be durable, and a failed flush must never release
+    /// the acknowledgements it was meant to make durable (the fsyncgate
+    /// rule — retrying the fsync and acking anyway is how acked data gets
+    /// lost).
     pub fn outgoing_messages(&mut self) -> Vec<Message<T>> {
+        if self.halted.is_some() {
+            self.outgoing.clear();
+            return Vec::new();
+        }
         self.flush_accepts();
         self.flush_forwards();
-        self.storage.flush();
+        if let Err(e) = self.storage.flush() {
+            self.halt(e);
+            return Vec::new();
+        }
         // Outgoing messages keep their own clones of shared batches; the
         // caches themselves must not pin large suffixes (or snapshot
         // windows) past the drain.
@@ -393,15 +459,22 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     }
 
     fn propose_entry(&mut self, entry: LogEntry<T>) -> Result<(), ProposeErr> {
+        if let Some(e) = self.halted {
+            return Err(ProposeErr::Halted(e));
+        }
         if self.stopsign_idx.is_some() {
             return Err(ProposeErr::PendingReconfig);
         }
         match self.state {
             (Role::Leader, Phase::Accept) => {
-                if entry.is_stopsign() {
-                    self.stopsign_idx = Some(self.storage.get_log_len());
+                let is_ss = entry.is_stopsign();
+                let res = self.storage.append_entry(entry);
+                let Some(len) = self.guard(res) else {
+                    return Err(ProposeErr::Halted(self.halted.expect("guard halted")));
+                };
+                if is_ss {
+                    self.stopsign_idx = Some(len - 1);
                 }
-                let len = self.storage.append_entry(entry);
                 self.leader_state.accepted.insert(self.config.pid, len);
                 self.maybe_decide();
                 Ok(())
@@ -425,6 +498,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// Notify this replica that `ballot` has been elected (BLE output,
     /// Fig. 2). If the ballot is our own, start the Prepare phase.
     pub fn handle_leader(&mut self, ballot: Ballot) {
+        if self.halted.is_some() {
+            return; // fail-stop: no role changes while halted
+        }
         if ballot <= self.leader && self.state != (Role::Follower, Phase::Recover) {
             return; // stale election
         }
@@ -441,7 +517,10 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     }
 
     fn become_leader(&mut self, n: Ballot) {
-        self.storage.set_promise(n);
+        let res = self.storage.set_promise(n);
+        if self.guard(res).is_none() {
+            return; // halted before any Prepare could be sent
+        }
         self.state = (Role::Leader, Phase::Prepare);
         self.leader_state = LeaderState::new(n);
         let acc_rnd = self.storage.get_accepted_round();
@@ -474,7 +553,19 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// Rebuild volatile state after a crash (§4.1.3). The persistent state
     /// in storage is kept; the replica asks its peers who the leader is and
     /// re-synchronizes before participating again.
+    ///
+    /// This is also the only exit from the halted (fail-stop) state: the
+    /// storage is asked to [`Storage::recover`] — re-establish a consistent
+    /// durable view, discarding whatever the failed operation left behind.
+    /// If recovery itself fails the replica stays halted.
     pub fn fail_recovery(&mut self) {
+        match self.storage.recover() {
+            Ok(()) => self.halted = None,
+            Err(e) => {
+                self.halt(e);
+                return;
+            }
+        }
         self.state = (Role::Follower, Phase::Recover);
         self.leader = Ballot::bottom();
         self.pending.clear();
@@ -492,6 +583,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// Notify that the link to `pid` was re-established after a session
     /// drop (§4.1.3): either side might have missed a leader change, so ask.
     pub fn reconnected(&mut self, pid: NodeId) {
+        if self.halted.is_some() {
+            return;
+        }
         if pid != self.config.pid {
             self.send(pid, PaxosMsg::PrepareReq);
         }
@@ -501,6 +595,9 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     /// `Prepare` to peers that have not promised (their copy may have been
     /// lost to a dead link) and `PrepareReq` while recovering.
     pub fn resend_timeout(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
         match self.state {
             (Role::Leader, _) => {
                 let n = self.leader_state.n;
@@ -557,8 +654,12 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
     // Message handling
     // ------------------------------------------------------------------
 
-    /// Feed one incoming message.
+    /// Feed one incoming message. A halted replica drops everything — to
+    /// its peers it is indistinguishable from a crashed one.
     pub fn handle_message(&mut self, m: Message<T>) {
+        if self.halted.is_some() {
+            return;
+        }
         let from = m.from;
         if self.state == (Role::Follower, Phase::Recover) {
             // While recovering only Prepare leads to resynchronization.
@@ -606,7 +707,10 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         if self.storage.get_promise() > prep.n {
             return; // stale round
         }
-        self.storage.set_promise(prep.n);
+        let res = self.storage.set_promise(prep.n);
+        if self.guard(res).is_none() {
+            return; // promise not durable: send no Promise
+        }
         self.leader = self.leader.max(prep.n);
         self.state = (Role::Follower, Phase::Prepare);
         let acc_rnd = self.storage.get_accepted_round();
@@ -711,31 +815,47 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                 // hold), then its suffix on top. The owner must restore the
                 // snapshot into the state machine before applying further.
                 debug_assert_eq!(snap_idx, start);
-                self.storage.install_snapshot(snap_idx, snap_data.clone());
+                let res = self.storage.install_snapshot(snap_idx, snap_data.clone());
+                if self.guard(res).is_none() {
+                    return;
+                }
                 self.installed_snapshot = Some((snap_idx, snap_data));
                 self.stopsign_idx = None;
                 self.update_stopsign_after_overwrite(start, &suffix);
-                self.storage.append_on_prefix(start, suffix);
+                let res = self.storage.append_on_prefix(start, suffix);
+                if self.guard(res).is_none() {
+                    return;
+                }
             } else {
                 // Clamp for the unreachable-in-practice case of a gap with
                 // no snapshot (a peer trimmed without snapshotting).
                 let start = start.min(self.storage.get_log_len());
                 self.update_stopsign_after_overwrite(start, &suffix);
-                self.storage.append_on_prefix(start, suffix);
+                let res = self.storage.append_on_prefix(start, suffix);
+                if self.guard(res).is_none() {
+                    return;
+                }
             }
         }
         let n = self.leader_state.n;
-        self.storage.set_accepted_round(n);
+        let res = self.storage.set_accepted_round(n);
+        if self.guard(res).is_none() {
+            return;
+        }
         // Append proposals buffered during the Prepare phase.
         let pending = std::mem::take(&mut self.pending);
         for entry in pending {
             if self.stopsign_idx.is_some() {
                 break; // drop proposals behind a stop-sign
             }
-            if entry.is_stopsign() {
-                self.stopsign_idx = Some(self.storage.get_log_len());
+            let is_ss = entry.is_stopsign();
+            let res = self.storage.append_entry(entry);
+            let Some(len) = self.guard(res) else {
+                return;
+            };
+            if is_ss {
+                self.stopsign_idx = Some(len - 1);
             }
-            self.storage.append_entry(entry);
         }
         let log_len = self.storage.get_log_len();
         self.leader_state.accepted.insert(self.config.pid, log_len);
@@ -845,19 +965,29 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         if self.storage.get_promise() != acc.n || self.state != (Role::Follower, Phase::Prepare) {
             return;
         }
-        self.storage.set_accepted_round(acc.n);
+        let res = self.storage.set_accepted_round(acc.n);
+        if self.guard(res).is_none() {
+            return;
+        }
         // A log sync supersedes any half-finished snapshot transfer.
         self.incoming_snap = None;
         // Everything from `sync_idx` on is replaced by `suffix`, so the
         // stop-sign scan only needs to cover the new suffix — not the
         // whole log as a full rescan would.
         self.update_stopsign_after_overwrite(acc.sync_idx, &acc.suffix);
-        self.storage
+        let res = self
+            .storage
             .append_on_prefix(acc.sync_idx, acc.suffix.to_vec());
+        if self.guard(res).is_none() {
+            return;
+        }
         let log_len = self.storage.get_log_len();
         let decided = acc.decided_idx.min(log_len);
         if decided > self.storage.get_decided_idx() {
-            self.storage.set_decided_idx(decided);
+            let res = self.storage.set_decided_idx(decided);
+            if self.guard(res).is_none() {
+                return;
+            }
         }
         self.state = (Role::Follower, Phase::Accept);
         self.send(
@@ -927,8 +1057,14 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             let data: SnapshotData = snap.buf.into();
             // The snapshot supersedes our whole log (it only travels when
             // our log ended below the leader's compaction point).
-            self.storage.install_snapshot(idx, data.clone());
-            self.storage.set_accepted_round(n);
+            let res = self.storage.install_snapshot(idx, data.clone());
+            if self.guard(res).is_none() {
+                return; // not durable: no ack
+            }
+            let res = self.storage.set_accepted_round(n);
+            if self.guard(res).is_none() {
+                return;
+            }
             self.installed_snapshot = Some((idx, data));
             self.stopsign_idx = None;
             // Remain in (Follower, Prepare): the final ack makes the
@@ -1024,8 +1160,12 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             if skip < acc.entries.len() {
                 let fresh = &acc.entries[skip..];
                 self.update_stopsign_after_overwrite(effective_start, fresh);
-                self.storage
+                let res = self
+                    .storage
                     .append_on_prefix(effective_start, fresh.to_vec());
+                if self.guard(res).is_none() {
+                    return; // entries not durable: send no Accepted
+                }
             }
             // Acknowledge unconditionally — even a batch lying entirely
             // below our decided index (skip >= entries.len()) must produce
@@ -1043,7 +1183,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         let log_len = self.storage.get_log_len();
         let decided = acc.decided_idx.min(log_len);
         if decided > self.storage.get_decided_idx() {
-            self.storage.set_decided_idx(decided);
+            let res = self.storage.set_decided_idx(decided);
+            let _ = self.guard(res);
         }
     }
 
@@ -1070,7 +1211,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         acks.sort_unstable_by(|a, b| b.cmp(a));
         let chosen = acks[maj - 1];
         if chosen > self.storage.get_decided_idx() {
-            self.storage.set_decided_idx(chosen);
+            let res = self.storage.set_decided_idx(chosen);
+            let _ = self.guard(res);
             // Propagation to followers is piggybacked by flush_accepts(), or
             // sent standalone there when no entries are pending.
         }
@@ -1082,7 +1224,8 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         }
         let decided = d.decided_idx.min(self.storage.get_log_len());
         if decided > self.storage.get_decided_idx() {
-            self.storage.set_decided_idx(decided);
+            let res = self.storage.set_decided_idx(decided);
+            let _ = self.guard(res);
         }
     }
 
@@ -1321,9 +1464,10 @@ mod tests {
         // leader (with an empty log) must adopt them (P2c).
         let mut leader = replica(1);
         let mut f2 = replica(2);
-        f2.storage().set_accepted_round(ballot(1, 3));
+        f2.storage().set_accepted_round(ballot(1, 3)).unwrap();
         f2.storage()
-            .append_entries(vec![LogEntry::Normal(7), LogEntry::Normal(8)]);
+            .append_entries(vec![LogEntry::Normal(7), LogEntry::Normal(8)])
+            .unwrap();
         leader.handle_leader(ballot(2, 1));
         deliver(&mut leader, &mut f2);
         deliver(&mut f2, &mut leader);
@@ -1342,16 +1486,19 @@ mod tests {
         let mut f2 = replica(2);
         let mut f3 = replica(3);
         // f3 has stale accepted entries from an old round.
-        f3.storage().set_accepted_round(ballot(1, 3));
-        f3.storage().append_entries(vec![
-            LogEntry::Normal(4),
-            LogEntry::Normal(5),
-            LogEntry::Normal(6),
-        ]);
+        f3.storage().set_accepted_round(ballot(1, 3)).unwrap();
+        f3.storage()
+            .append_entries(vec![
+                LogEntry::Normal(4),
+                LogEntry::Normal(5),
+                LogEntry::Normal(6),
+            ])
+            .unwrap();
         // f2 has newer chosen entries.
-        f2.storage().set_accepted_round(ballot(2, 2));
+        f2.storage().set_accepted_round(ballot(2, 2)).unwrap();
         f2.storage()
-            .append_entries(vec![LogEntry::Normal(1), LogEntry::Normal(2)]);
+            .append_entries(vec![LogEntry::Normal(1), LogEntry::Normal(2)])
+            .unwrap();
         leader.handle_leader(ballot(3, 1));
         deliver(&mut leader, &mut f2);
         deliver(&mut f2, &mut leader); // majority: adopt f2's log
@@ -1637,5 +1784,103 @@ mod tests {
             }),
         ));
         assert_eq!(f.decided_idx(), 1, "cannot decide beyond the local log");
+    }
+
+    #[test]
+    fn failed_append_halts_the_replica_and_acks_nothing() {
+        use crate::faults::{FaultyStorage, StorageFaultKind};
+        let mut f: SequencePaxos<u64, FaultyStorage<u64, MemoryStorage<u64>>> = SequencePaxos::new(
+            SequencePaxosConfig::with(1, 2, &[1, 2, 3]),
+            FaultyStorage::new(MemoryStorage::new()),
+        );
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptSync(AcceptSync {
+                n: ballot(1, 1),
+                sync_idx: 0,
+                decided_idx: 0,
+                suffix: vec![].into(),
+            }),
+        ));
+        let _ = f.outgoing_messages();
+        // The next append hits a short write: the entries are not durable,
+        // so no Accepted may ever leave this replica.
+        f.storage().arm(StorageFaultKind::ShortWrite);
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::AcceptDecide(AcceptDecide {
+                n: ballot(1, 1),
+                start_idx: 0,
+                decided_idx: 0,
+                entries: vec![LogEntry::Normal(7)].into(),
+            }),
+        ));
+        assert!(f.halted().is_some(), "failed persist must halt");
+        assert!(
+            f.outgoing_messages().is_empty(),
+            "halted replica sends nothing"
+        );
+        // Everything is dropped until recovery, like a crashed process.
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Decide(Decide {
+                n: ballot(1, 1),
+                decided_idx: 1,
+            }),
+        ));
+        assert_eq!(f.decided_idx(), 0);
+        assert_eq!(f.append(9), Err(ProposeErr::Halted(f.halted().unwrap())));
+        // fail_recovery rolls storage back to its durable state and
+        // re-enters the protocol through the crash path.
+        f.fail_recovery();
+        assert!(f.halted().is_none());
+        assert_eq!(f.state(), (Role::Follower, Phase::Recover));
+        let out: Vec<(NodeId, &'static str)> = f
+            .outgoing_messages()
+            .iter()
+            .map(|m| (m.to, m.msg.tag()))
+            .collect();
+        assert!(
+            out.contains(&(1, "PrepareReq")),
+            "re-sync via §4.1.3: {out:?}"
+        );
+    }
+
+    #[test]
+    fn failed_flush_withholds_queued_acks() {
+        use crate::faults::{FaultyStorage, StorageFaultKind};
+        let mut f: SequencePaxos<u64, FaultyStorage<u64, MemoryStorage<u64>>> = SequencePaxos::new(
+            SequencePaxosConfig::with(1, 2, &[1, 2, 3]),
+            FaultyStorage::new(MemoryStorage::new()),
+        );
+        f.handle_message(Message::with(
+            1,
+            2,
+            PaxosMsg::Prepare(Prepare {
+                n: ballot(1, 1),
+                decided_idx: 0,
+                accepted_rnd: Ballot::bottom(),
+                log_idx: 0,
+            }),
+        ));
+        // The Promise is queued but the group-commit flush fails: the
+        // promise was never made durable, so the message must not leave
+        // (fsyncgate — never ack after a failed fsync).
+        f.storage().arm(StorageFaultKind::SyncFailed);
+        assert!(f.outgoing_messages().is_empty());
+        assert!(f.halted().is_some());
     }
 }

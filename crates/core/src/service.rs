@@ -27,7 +27,7 @@ use crate::ballot::{Ballot, NodeId};
 use crate::omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
 use crate::sequence_paxos::ProposeErr;
 use crate::snapshot::SnapshotData;
-use crate::storage::{MemoryStorage, TrimError};
+use crate::storage::{MemoryStorage, Storage, StorageError, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -186,9 +186,9 @@ pub enum ServerRole {
     Retired,
 }
 
-struct ActiveConfig<T: Entry> {
+struct ActiveConfig<T: Entry, S: Storage<T>> {
     nodes: Vec<NodeId>,
-    omni: OmniPaxos<T, MemoryStorage<T>>,
+    omni: OmniPaxos<T, S>,
     /// How many entries of this instance's decided log have been applied to
     /// the service-layer log.
     applied_idx: u64,
@@ -231,7 +231,13 @@ struct MigrationState<T> {
 
 /// A complete Omni-Paxos server: the service layer plus the per-
 /// configuration protocol components (Fig. 2).
-pub struct OmniPaxosServer<T: Entry> {
+///
+/// Generic over the replication storage `S` (defaulting to
+/// [`MemoryStorage`]): the deterministic harnesses run it over
+/// [`crate::faults::FaultyStorage`] to inject disk faults, deployments can
+/// run it over [`crate::wal::WalStorage`]. New configurations start on
+/// `S::default()`.
+pub struct OmniPaxosServer<T: Entry, S: Storage<T> = MemoryStorage<T>> {
     config: ServerConfig,
     /// The replicated log across all configurations (decided entries only).
     /// `log[0]` is service entry `log_start`: the prefix below it has been
@@ -250,7 +256,7 @@ pub struct OmniPaxosServer<T: Entry> {
     polled_idx: u64,
     config_id: u32,
     role: ServerRole,
-    active: Option<ActiveConfig<T>>,
+    active: Option<ActiveConfig<T, S>>,
     migration: Option<MigrationState<T>>,
     /// New servers we must keep notifying until they ack.
     notify_pending: Vec<(NodeId, StopSign, Vec<NodeId>, u64)>,
@@ -274,20 +280,17 @@ pub struct OmniPaxosServer<T: Entry> {
 /// holds more than a few chunks' worth of memory after migration ends.
 const SEGMENT_CACHE_MAX: usize = 64;
 
-impl<T: Entry> OmniPaxosServer<T> {
+impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
     /// Start a server of the initial configuration (`config_id` 1) with
     /// membership `nodes`.
     pub fn new(config: ServerConfig, nodes: Vec<NodeId>) -> Self {
-        Self::with_storage(config, nodes, MemoryStorage::new())
+        Self::with_storage(config, nodes, S::default())
     }
 
-    /// Start an initial-configuration server whose replication log is
-    /// pre-loaded (used by experiments that begin with a long history).
-    pub fn with_storage(
-        config: ServerConfig,
-        nodes: Vec<NodeId>,
-        storage: MemoryStorage<T>,
-    ) -> Self {
+    /// Start an initial-configuration server whose replication storage is
+    /// pre-existing (experiments that begin with a long history, or a WAL
+    /// reopened after a crash).
+    pub fn with_storage(config: ServerConfig, nodes: Vec<NodeId>, storage: S) -> Self {
         assert!(nodes.contains(&config.pid));
         let mut server = OmniPaxosServer::empty(config);
         server.config_id = 1;
@@ -529,6 +532,13 @@ impl<T: Entry> OmniPaxosServer<T> {
 
     /// Feed one incoming service-layer message.
     pub fn handle(&mut self, from: NodeId, msg: ServiceMsg<T>) {
+        // Fail-stop: a server halted on a storage fault behaves like a
+        // crashed process — it ignores every message (replication *and*
+        // service-layer) until `fail_recovery` succeeds. Senders retransmit,
+        // so dropping here is safe.
+        if self.is_halted() {
+            return;
+        }
         match msg {
             ServiceMsg::Omni { config_id, msg } => {
                 if let Some(active) = &mut self.active {
@@ -577,14 +587,27 @@ impl<T: Entry> OmniPaxosServer<T> {
         self.ticks_since_retry += 1;
         if self.ticks_since_retry >= self.config.retry_ticks {
             self.ticks_since_retry = 0;
-            self.retry_migration();
-            self.retry_notifications();
+            // A storage-halted server emits nothing, so queueing migration
+            // or reconfiguration retries would only pile up messages to be
+            // discarded; `fail_recovery` restarts the migration itself.
+            if !self.is_halted() {
+                self.retry_migration();
+                self.retry_notifications();
+            }
         }
     }
 
     /// Drain queued outgoing messages.
     pub fn outgoing(&mut self) -> Vec<(NodeId, ServiceMsg<T>)> {
         self.drain_omni();
+        if self.is_halted() {
+            // Fail-stop darkness extends to the service layer: segment
+            // responses, stop-sign handover traffic, and notification
+            // retries queued before (or while) the halt are dropped, same
+            // as a crash losing its in-flight messages. Peers retransmit.
+            self.outgoing.clear();
+            return Vec::new();
+        }
         std::mem::take(&mut self.outgoing)
     }
 
@@ -609,8 +632,22 @@ impl<T: Entry> OmniPaxosServer<T> {
     }
 
     /// Direct access to the active protocol instance (tests, invariants).
-    pub fn omni(&mut self) -> Option<&mut OmniPaxos<T, MemoryStorage<T>>> {
+    pub fn omni(&mut self) -> Option<&mut OmniPaxos<T, S>> {
         self.active.as_mut().map(|a| &mut a.omni)
+    }
+
+    /// Is this server halted on a storage failure (fail-stop)? A halted
+    /// server is indistinguishable from a crashed one: it ignores every
+    /// incoming message and emits nothing — replication traffic *and*
+    /// service-layer traffic (segment serving, migration/notification
+    /// retries) — until [`OmniPaxosServer::fail_recovery`] succeeds.
+    pub fn is_halted(&self) -> bool {
+        self.active.as_ref().is_some_and(|a| a.omni.is_halted())
+    }
+
+    /// The storage failure the active instance halted on, if any.
+    pub fn storage_error(&self) -> Option<StorageError> {
+        self.active.as_ref().and_then(|a| a.omni.storage_error())
     }
 
     // ------------------------------------------------------------------
@@ -1171,7 +1208,7 @@ impl<T: Entry> OmniPaxosServer<T> {
         self.role = ServerRole::Active;
         self.migration = None;
         let omni_config = self.omni_config(ss.config_id, ss.next_nodes.clone());
-        let mut omni = OmniPaxos::new(omni_config, MemoryStorage::new());
+        let mut omni = OmniPaxos::new(omni_config, S::default());
         // Flush proposals buffered during the switch as one batch (§7.3).
         for entry in std::mem::take(&mut self.pending) {
             let _ = omni.append(entry);
@@ -1236,7 +1273,7 @@ impl<T: Entry> OmniPaxosServer<T> {
     }
 }
 
-impl<T: Entry> std::fmt::Debug for OmniPaxosServer<T> {
+impl<T: Entry, S: Storage<T>> std::fmt::Debug for OmniPaxosServer<T, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OmniPaxosServer")
             .field("pid", &self.config.pid)

@@ -6,6 +6,16 @@
 //! round, the decided index and the log itself — so that
 //! `SequencePaxos::fail_recovery` can rebuild a correct replica from it.
 //!
+//! Storage is **fallible**: disks run out of space, fsync fails, writes
+//! tear. Every mutating operation returns a [`StorageError`] on failure,
+//! and the replica reacts fail-stop (never ack what did not persist; see
+//! `SequencePaxos` and the never-ack-after-failed-flush rule). After an
+//! error the implementation must be *poisoned*: buffered-but-unsynced
+//! state is in an unknown condition on disk, so further mutations keep
+//! failing until [`Storage::recover`] re-establishes a consistent durable
+//! state — the fsyncgate lesson (retrying fsync and acking anyway loses
+//! acknowledged data).
+//!
 //! The log stores [`LogEntry`] values: either a client command or the
 //! *stop-sign* that ends a configuration (§6). Storage additionally supports
 //! **trimming** (compaction): a decided prefix that has been applied and,
@@ -24,7 +34,54 @@ use std::sync::Arc;
 /// by bumping a refcount instead of deep-copying the entries.
 pub type EntryBatch<T> = Arc<[LogEntry<T>]>;
 
-/// Error returned by [`Storage::trim`].
+/// The storage operation that failed (for diagnostics; the reaction is the
+/// same for all of them: halt, never ack, recover via the crash path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageOp {
+    Append,
+    SetPromise,
+    SetAcceptedRound,
+    SetDecidedIdx,
+    Flush,
+    Trim,
+    Snapshot,
+    Checkpoint,
+    Recover,
+}
+
+/// A storage-layer I/O failure.
+///
+/// Deliberately `Copy` and shallow: it carries the failed operation and the
+/// OS error class, which is everything the protocol layer may act on. The
+/// full `std::io::Error` (message, raw os error) stays at the storage
+/// implementation for logging; the replica only needs to know *that*
+/// persistence failed, because the only safe reaction is fail-stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageError {
+    /// Which operation failed.
+    pub op: StorageOp,
+    /// OS error class (`WriteZero` for short writes, `StorageFull` is not
+    /// stable, so ENOSPC maps to `Other`/`QuotaExceeded` per platform —
+    /// callers must not dispatch on the kind for correctness).
+    pub kind: std::io::ErrorKind,
+}
+
+impl StorageError {
+    /// Build an error for `op` from an underlying I/O error.
+    pub fn io(op: StorageOp, e: &std::io::Error) -> Self {
+        StorageError { op, kind: e.kind() }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage {:?} failed: {:?}", self.op, self.kind)
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Error returned by [`Storage::trim`] and [`Storage::set_snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrimError {
     /// Tried to trim beyond the decided index; undecided entries may still
@@ -32,6 +89,15 @@ pub enum TrimError {
     BeyondDecided { decided_idx: u64, requested: u64 },
     /// Tried to trim below the already-compacted index.
     AlreadyTrimmed { compacted_idx: u64, requested: u64 },
+    /// The trim was valid but persisting it failed; the storage is poisoned
+    /// and the replica must halt (fail-stop) and recover.
+    Storage(StorageError),
+}
+
+impl From<StorageError> for TrimError {
+    fn from(e: StorageError) -> Self {
+        TrimError::Storage(e)
+    }
 }
 
 impl std::fmt::Display for TrimError {
@@ -51,6 +117,7 @@ impl std::fmt::Display for TrimError {
                 f,
                 "cannot trim to {requested}: already compacted to {compacted_idx}"
             ),
+            TrimError::Storage(e) => write!(f, "trim failed to persist: {e}"),
         }
     }
 }
@@ -63,32 +130,47 @@ impl std::error::Error for TrimError {}
 /// and `get_suffix` panic if asked for compacted entries — callers are
 /// responsible for never needing entries below the decided index of every
 /// peer before trimming (the service layer enforces this).
+///
+/// # Failure contract
+///
+/// Mutating operations return `Err(StorageError)` when the mutation could
+/// not be made recoverable. After any error the implementation is poisoned:
+/// it must keep failing every further mutation (state on disk is unknown)
+/// until [`Storage::recover`] rebuilds a consistent durable state — at
+/// which point the *unsynced tail is gone*, exactly as if the process had
+/// crashed. The replica pairs this with fail-stop behaviour: it never
+/// acknowledges state that did not flush, and re-enters via the crash
+/// recovery path (`fail_recovery`, paper §4.1.3).
 pub trait Storage<T: Entry> {
     /// Append one entry; returns the new log length (absolute).
-    fn append_entry(&mut self, entry: LogEntry<T>) -> u64;
+    fn append_entry(&mut self, entry: LogEntry<T>) -> Result<u64, StorageError>;
 
     /// Append many entries; returns the new log length (absolute).
-    fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> u64;
+    fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> Result<u64, StorageError>;
 
     /// Truncate the log to `from_idx` (absolute) and append `entries` there.
     /// Used by log synchronization (`AcceptSync`, §4.1.1) where a follower's
     /// non-chosen suffix may be overwritten. Returns the new log length.
-    fn append_on_prefix(&mut self, from_idx: u64, entries: Vec<LogEntry<T>>) -> u64;
+    fn append_on_prefix(
+        &mut self,
+        from_idx: u64,
+        entries: Vec<LogEntry<T>>,
+    ) -> Result<u64, StorageError>;
 
     /// Persist the highest promised round.
-    fn set_promise(&mut self, b: Ballot);
+    fn set_promise(&mut self, b: Ballot) -> Result<(), StorageError>;
 
     /// The highest promised round ([`Ballot::bottom`] initially).
     fn get_promise(&self) -> Ballot;
 
     /// Persist the round in which entries were last accepted.
-    fn set_accepted_round(&mut self, b: Ballot);
+    fn set_accepted_round(&mut self, b: Ballot) -> Result<(), StorageError>;
 
     /// The round in which entries were last accepted.
     fn get_accepted_round(&self) -> Ballot;
 
     /// Persist the decided index.
-    fn set_decided_idx(&mut self, idx: u64);
+    fn set_decided_idx(&mut self, idx: u64) -> Result<(), StorageError>;
 
     /// Index up to which the log is decided (exclusive).
     fn get_decided_idx(&self) -> u64;
@@ -121,9 +203,13 @@ pub trait Storage<T: Entry> {
     /// Make every mutation issued so far durable. Called by the replica
     /// right before a batch of outgoing messages is released (group
     /// commit): acknowledgements must not leave the server ahead of the
-    /// state they acknowledge. In-memory implementations need not do
-    /// anything.
-    fn flush(&mut self) {}
+    /// state they acknowledge. On `Err` the caller MUST NOT release those
+    /// messages — the state they acknowledge may not exist after a crash —
+    /// and the storage is poisoned until [`Storage::recover`]. In-memory
+    /// implementations need not do anything.
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
 
     /// Absolute length of the log, including the compacted prefix.
     fn get_log_len(&self) -> u64;
@@ -151,7 +237,7 @@ pub trait Storage<T: Entry> {
     /// the leader that shipped the snapshot). Used by the follower side of
     /// the chunked snapshot transfer, where the local log is strictly
     /// older than the snapshot.
-    fn install_snapshot(&mut self, idx: u64, data: SnapshotData);
+    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), StorageError>;
 
     /// The most recent snapshot record, if any.
     fn get_snapshot(&self) -> Option<SnapshotRef>;
@@ -159,14 +245,28 @@ pub trait Storage<T: Entry> {
     /// Rewrite persistent state into its most compact durable form (for a
     /// WAL: one checkpoint record — embedding the latest snapshot — plus
     /// the live tail). In-memory implementations need not do anything.
-    fn checkpoint(&mut self) {}
+    fn checkpoint(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Re-establish a consistent durable state after an error (or a
+    /// simulated crash): drop whatever was buffered but never synced, clear
+    /// the poison, and reload from the last durable state — the storage
+    /// half of the crash-recovery path. In-memory implementations (where
+    /// every mutation is instantly "durable") need not do anything.
+    fn recover(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// The in-memory reference [`Storage`].
 ///
 /// "Persistence" here means surviving a *simulated* crash: the harness keeps
 /// the `MemoryStorage` alive across `fail_recovery`, mirroring how a real
-/// deployment would reload the on-disk state.
+/// deployment would reload the on-disk state. Memory never fails, so every
+/// operation returns `Ok`; fault injection lives in
+/// [`crate::faults::FaultyStorage`], which wraps any storage (this one
+/// included) with seed-driven failpoints.
 #[derive(Debug, Clone)]
 pub struct MemoryStorage<T: Entry> {
     log: Vec<LogEntry<T>>,
@@ -222,40 +322,47 @@ impl<T: Entry> MemoryStorage<T> {
 }
 
 impl<T: Entry> Storage<T> for MemoryStorage<T> {
-    fn append_entry(&mut self, entry: LogEntry<T>) -> u64 {
+    fn append_entry(&mut self, entry: LogEntry<T>) -> Result<u64, StorageError> {
         self.log.push(entry);
-        self.get_log_len()
+        Ok(self.get_log_len())
     }
 
-    fn append_entries(&mut self, mut entries: Vec<LogEntry<T>>) -> u64 {
+    fn append_entries(&mut self, mut entries: Vec<LogEntry<T>>) -> Result<u64, StorageError> {
         self.log.append(&mut entries);
-        self.get_log_len()
+        Ok(self.get_log_len())
     }
 
-    fn append_on_prefix(&mut self, from_idx: u64, entries: Vec<LogEntry<T>>) -> u64 {
+    fn append_on_prefix(
+        &mut self,
+        from_idx: u64,
+        entries: Vec<LogEntry<T>>,
+    ) -> Result<u64, StorageError> {
         let rel = self.rel(from_idx);
         self.log.truncate(rel);
         self.append_entries(entries)
     }
 
-    fn set_promise(&mut self, b: Ballot) {
+    fn set_promise(&mut self, b: Ballot) -> Result<(), StorageError> {
         self.promise = b;
+        Ok(())
     }
 
     fn get_promise(&self) -> Ballot {
         self.promise
     }
 
-    fn set_accepted_round(&mut self, b: Ballot) {
+    fn set_accepted_round(&mut self, b: Ballot) -> Result<(), StorageError> {
         self.accepted_round = b;
+        Ok(())
     }
 
     fn get_accepted_round(&self) -> Ballot {
         self.accepted_round
     }
 
-    fn set_decided_idx(&mut self, idx: u64) {
+    fn set_decided_idx(&mut self, idx: u64) -> Result<(), StorageError> {
         self.decided_idx = idx;
+        Ok(())
     }
 
     fn get_decided_idx(&self) -> u64 {
@@ -304,11 +411,12 @@ impl<T: Entry> Storage<T> for MemoryStorage<T> {
         Ok(())
     }
 
-    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) {
+    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), StorageError> {
         self.log.clear();
         self.compacted_idx = idx;
         self.decided_idx = idx;
         self.snapshot = Some(SnapshotRef { idx, data });
+        Ok(())
     }
 
     fn get_snapshot(&self) -> Option<SnapshotRef> {
@@ -327,8 +435,8 @@ mod tests {
     #[test]
     fn append_and_read_back() {
         let mut s = MemoryStorage::new();
-        assert_eq!(s.append_entry(norm(1)), 1);
-        assert_eq!(s.append_entries(vec![norm(2), norm(3)]), 3);
+        assert_eq!(s.append_entry(norm(1)), Ok(1));
+        assert_eq!(s.append_entries(vec![norm(2), norm(3)]), Ok(3));
         assert_eq!(s.get_entries(0, 3), vec![norm(1), norm(2), norm(3)]);
         assert_eq!(s.get_suffix(1), vec![norm(2), norm(3)]);
         assert_eq!(s.get_log_len(), 3);
@@ -337,9 +445,10 @@ mod tests {
     #[test]
     fn append_on_prefix_overwrites_suffix() {
         let mut s = MemoryStorage::new();
-        s.append_entries(vec![norm(1), norm(2), norm(4), norm(5)]);
+        s.append_entries(vec![norm(1), norm(2), norm(4), norm(5)])
+            .unwrap();
         // A new leader syncs [3] at index 2: [4, 5] were never chosen.
-        assert_eq!(s.append_on_prefix(2, vec![norm(3)]), 3);
+        assert_eq!(s.append_on_prefix(2, vec![norm(3)]), Ok(3));
         assert_eq!(s.get_suffix(0), vec![norm(1), norm(2), norm(3)]);
     }
 
@@ -348,9 +457,9 @@ mod tests {
         let mut s: MemoryStorage<u64> = MemoryStorage::new();
         assert_eq!(s.get_promise(), Ballot::bottom());
         let b = Ballot::new(3, 0, 2);
-        s.set_promise(b);
-        s.set_accepted_round(b);
-        s.set_decided_idx(7);
+        s.set_promise(b).unwrap();
+        s.set_accepted_round(b).unwrap();
+        s.set_decided_idx(7).unwrap();
         assert_eq!(s.get_promise(), b);
         assert_eq!(s.get_accepted_round(), b);
         assert_eq!(s.get_decided_idx(), 7);
@@ -359,7 +468,7 @@ mod tests {
     #[test]
     fn get_entries_clamps_to_log_len() {
         let mut s = MemoryStorage::new();
-        s.append_entries(vec![norm(1), norm(2)]);
+        s.append_entries(vec![norm(1), norm(2)]).unwrap();
         assert_eq!(s.get_entries(1, 100), vec![norm(2)]);
         assert_eq!(s.get_entries(2, 2), vec![]);
         assert_eq!(s.get_suffix(5), vec![]);
@@ -368,8 +477,8 @@ mod tests {
     #[test]
     fn trim_discards_prefix_but_keeps_absolute_indices() {
         let mut s = MemoryStorage::new();
-        s.append_entries((1..=10).map(norm).collect());
-        s.set_decided_idx(8);
+        s.append_entries((1..=10).map(norm).collect()).unwrap();
+        s.set_decided_idx(8).unwrap();
         s.trim(5).expect("trim decided prefix");
         assert_eq!(s.get_compacted_idx(), 5);
         assert_eq!(s.get_log_len(), 10);
@@ -380,8 +489,8 @@ mod tests {
     #[test]
     fn trim_rejects_undecided_and_double_trim() {
         let mut s = MemoryStorage::new();
-        s.append_entries((1..=10).map(norm).collect());
-        s.set_decided_idx(4);
+        s.append_entries((1..=10).map(norm).collect()).unwrap();
+        s.set_decided_idx(4).unwrap();
         assert_eq!(
             s.trim(6),
             Err(TrimError::BeyondDecided {
@@ -405,8 +514,8 @@ mod tests {
     #[should_panic(expected = "compacted prefix")]
     fn reading_compacted_entries_panics() {
         let mut s = MemoryStorage::new();
-        s.append_entries((1..=4).map(norm).collect());
-        s.set_decided_idx(4);
+        s.append_entries((1..=4).map(norm).collect()).unwrap();
+        s.set_decided_idx(4).unwrap();
         s.trim(3).unwrap();
         let _ = s.get_entries(1, 4);
     }
@@ -422,8 +531,8 @@ mod tests {
     #[test]
     fn set_snapshot_supersedes_the_trimmed_prefix() {
         let mut s = MemoryStorage::new();
-        s.append_entries((1..=10).map(norm).collect());
-        s.set_decided_idx(8);
+        s.append_entries((1..=10).map(norm).collect()).unwrap();
+        s.set_decided_idx(8).unwrap();
         let snap: crate::snapshot::SnapshotData = vec![1u8, 2, 3].into();
         // Beyond decided: rejected, nothing changes.
         assert!(matches!(
@@ -448,11 +557,11 @@ mod tests {
     #[test]
     fn install_snapshot_resets_the_log() {
         let mut s = MemoryStorage::new();
-        s.append_entries((1..=5).map(norm).collect());
-        s.set_decided_idx(3);
-        s.set_promise(Ballot::new(2, 0, 1));
+        s.append_entries((1..=5).map(norm).collect()).unwrap();
+        s.set_decided_idx(3).unwrap();
+        s.set_promise(Ballot::new(2, 0, 1)).unwrap();
         let snap: crate::snapshot::SnapshotData = vec![9u8; 4].into();
-        s.install_snapshot(100, snap);
+        s.install_snapshot(100, snap).unwrap();
         assert_eq!(s.get_log_len(), 100);
         assert_eq!(s.get_compacted_idx(), 100);
         assert_eq!(s.get_decided_idx(), 100);
@@ -460,17 +569,30 @@ mod tests {
         // Promise survives: the install is log state, not ballot state.
         assert_eq!(s.get_promise(), Ballot::new(2, 0, 1));
         // The log continues above the snapshot.
-        assert_eq!(s.append_entry(norm(7)), 101);
+        assert_eq!(s.append_entry(norm(7)), Ok(101));
         assert_eq!(s.get_suffix(100), vec![norm(7)]);
     }
 
     #[test]
     fn append_on_prefix_at_compaction_boundary() {
         let mut s = MemoryStorage::new();
-        s.append_entries((1..=6).map(norm).collect());
-        s.set_decided_idx(6);
+        s.append_entries((1..=6).map(norm).collect()).unwrap();
+        s.set_decided_idx(6).unwrap();
         s.trim(6).unwrap();
-        assert_eq!(s.append_on_prefix(6, vec![norm(7)]), 7);
+        assert_eq!(s.append_on_prefix(6, vec![norm(7)]), Ok(7));
         assert_eq!(s.get_suffix(6), vec![norm(7)]);
+    }
+
+    #[test]
+    fn trim_error_wraps_storage_error() {
+        // The Storage variant threads I/O failures through the same error
+        // type compaction callers already handle.
+        let e = StorageError {
+            op: StorageOp::Trim,
+            kind: std::io::ErrorKind::Other,
+        };
+        let t: TrimError = e.into();
+        assert_eq!(t, TrimError::Storage(e));
+        assert!(format!("{t}").contains("failed to persist"));
     }
 }

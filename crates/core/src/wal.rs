@@ -23,14 +23,94 @@
 //! nothing acknowledges state that is not yet durable). A crash between
 //! flushes loses only unacknowledged mutations, which the fail-recovery
 //! model permits.
+//!
+//! ## Durable-point markers and corruption detection
+//!
+//! After every successful `sync_data` the WAL appends a tiny `COMMIT`
+//! marker whose payload is its own file offset `p` — an assertion that
+//! `[0, p)` is durable (the fsync covering those bytes returned before
+//! the marker was written, so the assertion holds even though the marker
+//! itself is not synced; a torn marker simply fails its checksum and is
+//! ignored). Replay uses the markers to tell two failures apart:
+//!
+//! * **Torn tail** — a bad record at or after the durable point. That is
+//!   a crash mid-write of unacknowledged state, which the fail-recovery
+//!   model permits: the tail is silently discarded (and physically
+//!   truncated so new appends don't land after garbage).
+//! * **Mid-log corruption** — a bad record *before* the durable point.
+//!   That is acknowledged-durable state going bad (bit rot, a lying
+//!   disk); silently truncating would un-ack acknowledged entries, so
+//!   [`WalStorage::open`] fails loudly with [`WalError::Corrupt`] and the
+//!   offset of the bad record. Operators restore from a peer (the
+//!   protocol's snapshot/catch-up path) rather than trust the file.
+//!
+//! ## Failure semantics
+//!
+//! Every I/O failure **poisons** the WAL: buffered-but-unsynced bytes are
+//! in an unknown state on disk, so all further mutations fail until
+//! [`Storage::recover`] reopens and replays the file (the fsyncgate rule:
+//! never retry an fsync and ack as if it had succeeded). Deterministic
+//! failpoints ([`WalFault`]) let tests arm exactly one failure — a failed
+//! fsync, a short write, a full disk, a crash mid-checkpoint — and assert
+//! the recovery contract.
 
 use crate::ballot::Ballot;
 use crate::snapshot::{SnapshotData, SnapshotRef};
-use crate::storage::{Storage, TrimError};
+use crate::storage::{Storage, StorageError, StorageOp, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+/// Error opening or recovering a WAL.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A record **before the durable point** failed validation: state
+    /// that was fsynced (and therefore possibly acknowledged) is gone or
+    /// mangled. `offset` is the file offset of the bad record. This is
+    /// never silently truncated — losing acked state must be loud.
+    Corrupt { offset: u64 },
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt { offset } => write!(
+                f,
+                "wal corrupt at offset {offset}: record before the durable point failed validation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// A deterministic failpoint: the next matching operation fails exactly
+/// as the named real-world fault would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFault {
+    /// `sync_data` fails after the buffered bytes were handed to the OS
+    /// (the fsyncgate scenario: on-disk state unknown).
+    SyncFail,
+    /// The group-commit write persists only a prefix of the buffer.
+    ShortWrite,
+    /// The device is full: the write fails before any byte lands.
+    NoSpace,
+    /// The checkpoint's temp file hits ENOSPC halfway through.
+    CheckpointNoSpace,
+    /// Power loss after the temp file is written and synced but before
+    /// the rename — the old generation must still be recoverable.
+    CheckpointCrashBeforeRename,
+}
 
 /// Entries stored in a [`WalStorage`] must be byte-encodable.
 pub trait WalEncode: Entry {
@@ -63,6 +143,47 @@ const TAG_SNAPSHOT: u8 = 8;
 /// A snapshot *install* (received from a peer): same payload, but resets
 /// the whole log — after replay `compacted_idx == decided_idx == idx`.
 const TAG_SNAPSHOT_INSTALL: u8 = 9;
+/// Durable-point marker: payload is the marker's own file offset `p`,
+/// asserting `[0, p)` was covered by a completed `sync_data`. Written
+/// unsynced right after each fsync (see module docs); self-validating
+/// during replay (tag + length + embedded offset + checksum must all
+/// agree with where the record physically sits).
+const TAG_COMMIT: u8 = 10;
+
+/// On-disk size of a COMMIT marker: tag + len + u64 payload + crc.
+const MARKER_LEN: usize = 17;
+
+/// Scan raw bytes for valid COMMIT markers (and a leading checkpoint
+/// record, whose rename discipline makes it durable by construction) and
+/// return the durable point: the largest offset proven covered by a
+/// completed fsync. A byte-wise scan, not a record walk — corruption that
+/// breaks record framing must not hide markers that sit beyond it.
+fn scan_durable_point(bytes: &[u8]) -> u64 {
+    let mut durable = 0u64;
+    if bytes.len() >= 9 && bytes[0] == TAG_CHECKPOINT {
+        let len = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
+        if let (Some(payload), Some(crc)) = (bytes.get(5..5 + len), bytes.get(5 + len..9 + len)) {
+            let crc = u32::from_le_bytes(crc.try_into().expect("4 bytes"));
+            if crc == checksum(TAG_CHECKPOINT, payload) {
+                durable = (9 + len) as u64;
+            }
+        }
+    }
+    let mut q = 0usize;
+    while q + MARKER_LEN <= bytes.len() {
+        let is_marker = bytes[q] == TAG_COMMIT
+            && bytes[q + 1..q + 5] == 8u32.to_le_bytes()
+            && get_u64(bytes, q + 5) == Some(q as u64)
+            && bytes[q + 13..q + 17] == checksum(TAG_COMMIT, &bytes[q + 5..q + 13]).to_le_bytes();
+        if is_marker {
+            durable = durable.max(q as u64);
+            q += MARKER_LEN;
+        } else {
+            q += 1;
+        }
+    }
+    durable
+}
 
 /// FNV-1a over the framed bytes; cheap and sufficient to detect torn
 /// writes (we are not defending against bit rot here).
@@ -179,11 +300,24 @@ pub struct WalStorage<T: WalEncode> {
     pending_appends: usize,
     /// Framed records awaiting the next flush (group commit buffer).
     wbuf: Vec<u8>,
+    /// Current length of the backing file (tracked so durable-point
+    /// markers can embed their own offset without re-stating the file).
+    file_len: u64,
+    /// Armed deterministic failpoint, if any (tests/chaos only).
+    fault: Option<WalFault>,
+    /// Set by any I/O failure: on-disk state is unknown, so every further
+    /// mutation fails until [`Storage::recover`] reopens the file.
+    poisoned: bool,
 }
 
 impl<T: WalEncode> WalStorage<T> {
     /// Open (or create) the WAL at `path`, replaying any existing records.
-    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    ///
+    /// Fails with [`WalError::Corrupt`] if a record before the durable
+    /// point does not validate — acknowledged state must never be lost
+    /// silently. A torn tail (bad bytes at/after the durable point) is
+    /// discarded and physically truncated instead.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -206,33 +340,80 @@ impl<T: WalEncode> WalStorage<T> {
             checkpoint_every: 100_000,
             pending_appends: 0,
             wbuf: Vec::new(),
+            file_len: 0,
+            fault: None,
+            poisoned: false,
         };
-        storage.replay(&bytes);
+        storage.replay(&bytes)?;
         Ok(storage)
     }
 
-    /// Replay records; stops at the first torn/corrupt record.
-    fn replay(&mut self, bytes: &[u8]) {
+    /// Replay records. A record failing validation before the durable
+    /// point is corruption of acked state ⇒ [`WalError::Corrupt`]; at or
+    /// after it, a torn tail ⇒ discard and physically truncate.
+    fn replay(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let durable = scan_durable_point(bytes);
         let mut at = 0usize;
-        while at + 9 <= bytes.len() {
+        loop {
+            if at + 9 > bytes.len() {
+                break; // clean end or incomplete header (torn)
+            }
             let tag = bytes[at];
             let len =
                 u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
-            let Some(payload) = bytes.get(at + 5..at + 5 + len) else {
+            let (Some(payload), Some(crc_bytes)) = (
+                bytes.get(at + 5..at + 5 + len),
+                bytes.get(at + 5 + len..at + 9 + len),
+            ) else {
                 break; // torn tail
-            };
-            let Some(crc_bytes) = bytes.get(at + 5 + len..at + 9 + len) else {
-                break;
             };
             let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
             if crc != checksum(tag, payload) {
-                break; // torn or corrupt: discard the rest
+                break; // torn or corrupt: decided below by the durable point
             }
-            if !self.apply_record(tag, payload) {
-                break;
+            // COMMIT markers are replay bookkeeping, not state records.
+            if tag != TAG_COMMIT {
+                if !self.apply_record(tag, payload) {
+                    break;
+                }
+                self.records_since_checkpoint += 1;
             }
             at += 9 + len;
-            self.records_since_checkpoint += 1;
+        }
+        if (at as u64) < durable {
+            // Durable (fsynced, possibly acknowledged) state failed to
+            // replay: fail loudly instead of silently un-acking it.
+            return Err(WalError::Corrupt { offset: at as u64 });
+        }
+        if at < bytes.len() {
+            // Torn tail: physically drop it so future appends don't land
+            // after garbage (which replay would then discard as torn).
+            self.file.set_len(at as u64)?;
+        }
+        self.file_len = at as u64;
+        Ok(())
+    }
+
+    /// Arm a deterministic failpoint: the next matching I/O operation
+    /// fails (and poisons the WAL) exactly as the real fault would.
+    pub fn arm_fault(&mut self, fault: WalFault) {
+        self.fault = Some(fault);
+    }
+
+    /// Has an I/O failure poisoned this WAL? (Cleared by
+    /// [`Storage::recover`].)
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poison(&self, op: StorageOp) -> Result<(), StorageError> {
+        if self.poisoned {
+            Err(StorageError {
+                op,
+                kind: ErrorKind::Other,
+            })
+        } else {
+            Ok(())
         }
     }
 
@@ -416,18 +597,69 @@ impl<T: WalEncode> WalStorage<T> {
     }
 
     /// Group commit: everything buffered since the previous flush hits the
-    /// file in one `write` (and, if `sync`, one `sync_data`).
+    /// file in one `write` (and, if `sync`, one `sync_data` followed by a
+    /// durable-point marker). Any failure poisons the WAL.
     fn flush_buffers(&mut self, sync: bool) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "wal poisoned by an earlier i/o failure; recover() first",
+            ));
+        }
         self.materialize_appends();
         if !self.wbuf.is_empty() {
-            self.file.write_all(&self.wbuf)?;
-            self.wbuf.clear();
-            if sync {
-                self.file.sync_data()?;
+            if let Err(e) = self.write_wbuf(sync) {
+                self.poisoned = true;
+                return Err(e);
             }
         }
         if self.checkpoint_every > 0 && self.records_since_checkpoint >= self.checkpoint_every {
             self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// The fallible half of [`WalStorage::flush_buffers`]: one write, one
+    /// optional fsync, one (unsynced) durable-point marker. Failpoints
+    /// fire here so they model where real faults strike.
+    fn write_wbuf(&mut self, sync: bool) -> std::io::Result<()> {
+        match self.fault {
+            Some(WalFault::NoSpace) => {
+                self.fault = None;
+                return Err(std::io::Error::new(
+                    ErrorKind::OutOfMemory,
+                    "injected: no space left on device",
+                ));
+            }
+            Some(WalFault::ShortWrite) => {
+                self.fault = None;
+                // Half the buffer lands: a torn record for replay to find.
+                let half = self.wbuf.len() / 2;
+                self.file.write_all(&self.wbuf[..half])?;
+                self.file_len += half as u64;
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "injected: short write",
+                ));
+            }
+            _ => {}
+        }
+        self.file.write_all(&self.wbuf)?;
+        self.file_len += self.wbuf.len() as u64;
+        self.wbuf.clear();
+        if sync {
+            if self.fault == Some(WalFault::SyncFail) {
+                self.fault = None;
+                return Err(std::io::Error::other("injected: fsync failed"));
+            }
+            self.file.sync_data()?;
+            // [0, file_len) is now durable: assert it with a marker. The
+            // marker itself stays unsynced — if it tears, replay merely
+            // falls back to the previous durable point, which is exactly
+            // a crash-before-marker and loses nothing acknowledged.
+            let mut marker = Vec::with_capacity(MARKER_LEN);
+            frame_into(&mut marker, TAG_COMMIT, &self.file_len.to_le_bytes());
+            self.file.write_all(&marker)?;
+            self.file_len += MARKER_LEN as u64;
         }
         Ok(())
     }
@@ -445,9 +677,14 @@ impl<T: WalEncode> WalStorage<T> {
         // appends so the mirror and `wbuf` agree, build the full-state
         // payload from the mirror (which therefore includes every buffered
         // mutation), and only discard the buffered records once the rename
-        // has actually made the checkpoint durable. If the tmp-file write
-        // or the rename fails, `wbuf` still holds the records and the next
-        // flush appends them to the (intact) old file — nothing is lost.
+        // has actually made the checkpoint durable. A failed checkpoint
+        // leaves the old generation intact on disk (temp-file + rename
+        // discipline) but poisons the WAL: recover() reopens the old file.
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "wal poisoned by an earlier i/o failure; recover() first",
+            ));
+        }
         self.materialize_appends();
         let mut payload = Vec::new();
         payload.extend_from_slice(&self.compacted_idx.to_le_bytes());
@@ -467,27 +704,68 @@ impl<T: WalEncode> WalStorage<T> {
             }
             None => payload.push(0),
         }
-        let mut frame = Vec::with_capacity(payload.len() + 9);
+        let mut frame = Vec::with_capacity(payload.len() + 9 + MARKER_LEN);
         frame.push(TAG_CHECKPOINT);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         frame.extend_from_slice(&checksum(TAG_CHECKPOINT, &payload).to_le_bytes());
-        // Write to a sibling file, then atomically replace.
-        let tmp = self.path.with_extension("wal.tmp");
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&frame)?;
-            f.sync_data()?;
+        // The rename makes the whole temp file durable at once, so it can
+        // carry its own durable-point marker covering the checkpoint.
+        let ckpt_end = frame.len() as u64;
+        frame_into(&mut frame, TAG_COMMIT, &ckpt_end.to_le_bytes());
+        if let Err(e) = self.checkpoint_write(&frame) {
+            self.poisoned = true;
+            return Err(e);
         }
-        std::fs::rename(&tmp, &self.path)?;
         // The checkpoint now supersedes everything buffered.
         self.wbuf.clear();
         self.file = OpenOptions::new()
             .read(true)
             .append(true)
             .open(&self.path)?;
+        self.file_len = frame.len() as u64;
         self.records_since_checkpoint = 0;
         Ok(())
+    }
+
+    /// Write `frame` to a sibling temp file, sync it, and atomically
+    /// replace the WAL — with failpoints at the two spots real
+    /// checkpoints die: mid-write (ENOSPC) and pre-rename (power loss).
+    fn checkpoint_write(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        match self.fault {
+            Some(WalFault::CheckpointNoSpace) => {
+                self.fault = None;
+                // Half a checkpoint lands in the temp file; the rename
+                // never happens, so the old generation must survive.
+                let mut f = File::create(&tmp)?;
+                f.write_all(&frame[..frame.len() / 2])?;
+                return Err(std::io::Error::new(
+                    ErrorKind::OutOfMemory,
+                    "injected: no space left on device (checkpoint)",
+                ));
+            }
+            Some(WalFault::CheckpointCrashBeforeRename) => {
+                self.fault = None;
+                // The temp file is complete and synced, but the process
+                // "dies" before the rename: the old generation is still
+                // the WAL, and the stale temp file must be ignored.
+                let mut f = File::create(&tmp)?;
+                f.write_all(frame)?;
+                f.sync_data()?;
+                return Err(std::io::Error::new(
+                    ErrorKind::Interrupted,
+                    "injected: crash before checkpoint rename",
+                ));
+            }
+            _ => {}
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(frame)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)
     }
 
     /// The path of the backing file.
@@ -506,19 +784,26 @@ impl<T: WalEncode> WalStorage<T> {
 }
 
 impl<T: WalEncode> Storage<T> for WalStorage<T> {
-    fn append_entry(&mut self, entry: LogEntry<T>) -> u64 {
+    fn append_entry(&mut self, entry: LogEntry<T>) -> Result<u64, StorageError> {
+        self.check_poison(StorageOp::Append)?;
         self.log.push(entry);
         self.pending_appends += 1;
-        self.get_log_len()
+        Ok(self.get_log_len())
     }
 
-    fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> u64 {
+    fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> Result<u64, StorageError> {
+        self.check_poison(StorageOp::Append)?;
         self.pending_appends += entries.len();
         self.log.extend(entries);
-        self.get_log_len()
+        Ok(self.get_log_len())
     }
 
-    fn append_on_prefix(&mut self, from_idx: u64, entries: Vec<LogEntry<T>>) -> u64 {
+    fn append_on_prefix(
+        &mut self,
+        from_idx: u64,
+        entries: Vec<LogEntry<T>>,
+    ) -> Result<u64, StorageError> {
+        self.check_poison(StorageOp::Append)?;
         // Frame pending appends while the tail they describe still exists.
         self.materialize_appends();
         let rel = self.rel(from_idx);
@@ -527,31 +812,37 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         self.append_entries(entries)
     }
 
-    fn set_promise(&mut self, b: Ballot) {
+    fn set_promise(&mut self, b: Ballot) -> Result<(), StorageError> {
+        self.check_poison(StorageOp::SetPromise)?;
         let mut payload = Vec::new();
         put_ballot(&mut payload, b);
         self.promise = b;
         self.buffer_record(TAG_PROMISE, &payload);
+        Ok(())
     }
 
     fn get_promise(&self) -> Ballot {
         self.promise
     }
 
-    fn set_accepted_round(&mut self, b: Ballot) {
+    fn set_accepted_round(&mut self, b: Ballot) -> Result<(), StorageError> {
+        self.check_poison(StorageOp::SetAcceptedRound)?;
         let mut payload = Vec::new();
         put_ballot(&mut payload, b);
         self.accepted_round = b;
         self.buffer_record(TAG_ACCEPTED_ROUND, &payload);
+        Ok(())
     }
 
     fn get_accepted_round(&self) -> Ballot {
         self.accepted_round
     }
 
-    fn set_decided_idx(&mut self, idx: u64) {
+    fn set_decided_idx(&mut self, idx: u64) -> Result<(), StorageError> {
+        self.check_poison(StorageOp::SetDecidedIdx)?;
         self.decided_idx = idx;
         self.buffer_record(TAG_DECIDED, &idx.to_le_bytes());
+        Ok(())
     }
 
     fn get_decided_idx(&self) -> u64 {
@@ -576,6 +867,7 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
     }
 
     fn trim(&mut self, idx: u64) -> Result<(), TrimError> {
+        self.check_poison(StorageOp::Trim)?;
         if idx > self.decided_idx {
             return Err(TrimError::BeyondDecided {
                 decided_idx: self.decided_idx,
@@ -598,11 +890,15 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         Ok(())
     }
 
-    fn flush(&mut self) {
-        self.flush_buffers(true).expect("WAL flush");
+    fn flush(&mut self) -> Result<(), StorageError> {
+        // Never panic, never retry-and-ack: a failed flush poisons the
+        // WAL and the replica halts (fail-stop) until recover().
+        self.flush_buffers(true)
+            .map_err(|e| StorageError::io(StorageOp::Flush, &e))
     }
 
     fn set_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), TrimError> {
+        self.check_poison(StorageOp::Snapshot)?;
         if idx > self.decided_idx {
             return Err(TrimError::BeyondDecided {
                 decided_idx: self.decided_idx,
@@ -631,7 +927,8 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         Ok(())
     }
 
-    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) {
+    fn install_snapshot(&mut self, idx: u64, data: SnapshotData) -> Result<(), StorageError> {
+        self.check_poison(StorageOp::Snapshot)?;
         // The whole local log is superseded; drop any pending appends of it.
         self.pending_appends = 0;
         self.log.clear();
@@ -645,14 +942,35 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         payload.extend_from_slice(&idx.to_le_bytes());
         payload.extend_from_slice(&data);
         self.buffer_record(TAG_SNAPSHOT_INSTALL, &payload);
+        Ok(())
     }
 
     fn get_snapshot(&self) -> Option<SnapshotRef> {
         self.snapshot.clone()
     }
 
-    fn checkpoint(&mut self) {
-        WalStorage::checkpoint(self).expect("WAL checkpoint");
+    fn checkpoint(&mut self) -> Result<(), StorageError> {
+        WalStorage::checkpoint(self).map_err(|e| StorageError::io(StorageOp::Checkpoint, &e))
+    }
+
+    fn recover(&mut self) -> Result<(), StorageError> {
+        // The storage half of crash recovery: drop everything buffered
+        // (it never became durable — as after a real crash) and reload
+        // from the file. Corruption of durable state stays loud.
+        self.wbuf.clear();
+        self.pending_appends = 0;
+        let mut fresh = WalStorage::open(&self.path).map_err(|e| match e {
+            WalError::Io(e) => StorageError::io(StorageOp::Recover, &e),
+            WalError::Corrupt { .. } => StorageError {
+                op: StorageOp::Recover,
+                kind: ErrorKind::InvalidData,
+            },
+        })?;
+        fresh.checkpoint_every = self.checkpoint_every;
+        // Dropping the old self here runs its Drop flush, which is inert:
+        // the write buffer was cleared above (and poison blocks writes).
+        *self = fresh;
+        Ok(())
     }
 }
 
@@ -695,10 +1013,10 @@ mod tests {
         let path = tmp("reopen");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=5).map(norm).collect());
-            w.set_promise(Ballot::new(3, 0, 2));
-            w.set_accepted_round(Ballot::new(3, 0, 2));
-            w.set_decided_idx(4);
+            w.append_entries((1..=5).map(norm).collect()).unwrap();
+            w.set_promise(Ballot::new(3, 0, 2)).unwrap();
+            w.set_accepted_round(Ballot::new(3, 0, 2)).unwrap();
+            w.set_decided_idx(4).unwrap();
             w.sync().unwrap();
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
@@ -714,9 +1032,9 @@ mod tests {
         let path = tmp("trunc");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=10).map(norm).collect());
-            w.append_on_prefix(6, vec![norm(60), norm(70)]);
-            w.set_decided_idx(7);
+            w.append_entries((1..=10).map(norm).collect()).unwrap();
+            w.append_on_prefix(6, vec![norm(60), norm(70)]).unwrap();
+            w.set_decided_idx(7).unwrap();
             w.trim(3).unwrap();
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
@@ -736,8 +1054,8 @@ mod tests {
         ss.metadata = vec![1, 2, 3];
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entry(norm(1));
-            w.append_entry(LogEntry::stopsign(ss.clone()));
+            w.append_entry(norm(1)).unwrap();
+            w.append_entry(LogEntry::stopsign(ss.clone())).unwrap();
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
         assert_eq!(w.get_entries(1, 2), vec![LogEntry::stopsign(ss)]);
@@ -749,8 +1067,8 @@ mod tests {
         let path = tmp("torn");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=5).map(norm).collect());
-            w.set_decided_idx(5);
+            w.append_entries((1..=5).map(norm).collect()).unwrap();
+            w.set_decided_idx(5).unwrap();
         }
         // Simulate a crash mid-write: chop bytes off the end.
         let bytes = std::fs::read(&path).unwrap();
@@ -767,16 +1085,17 @@ mod tests {
         let path = tmp("torn-group");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=3).map(norm).collect());
+            w.append_entries((1..=3).map(norm).collect()).unwrap();
             w.sync().unwrap();
             // These five appends coalesce into ONE framed record at the
             // group-commit point; tearing it must lose all five or none.
-            w.append_entries((4..=8).map(norm).collect());
+            w.append_entries((4..=8).map(norm).collect()).unwrap();
             w.sync().unwrap();
         }
         let bytes = std::fs::read(&path).unwrap();
-        // Chop into the middle of the second (coalesced) record.
-        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        // Chop into the middle of the second (coalesced) record: past its
+        // trailing durable-point marker (MARKER_LEN bytes) and 10 more.
+        std::fs::write(&path, &bytes[..bytes.len() - MARKER_LEN - 10]).unwrap();
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
         assert_eq!(
             w.get_log_len(),
@@ -788,23 +1107,56 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_record_stops_replay() {
+    fn corrupt_unsynced_tail_record_truncates_silently() {
         let path = tmp("corrupt");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
             // Flush between appends so each lands in its own record;
-            // group commit would otherwise coalesce them into one.
-            w.append_entry(norm(1));
+            // group commit would otherwise coalesce them into one. The
+            // second record is written by the Drop flush without a sync,
+            // so it sits *after* the durable point.
+            w.append_entry(norm(1)).unwrap();
             w.sync().unwrap();
-            w.append_entry(norm(2));
+            w.append_entry(norm(2)).unwrap();
         }
         let mut bytes = std::fs::read(&path).unwrap();
-        // Flip a payload byte of the second record.
+        // Flip a payload byte of the second (unsynced) record.
         let mid = bytes.len() - 6;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
         assert_eq!(w.get_log_len(), 1, "replay stops at the corrupt record");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_before_the_durable_point_is_loud() {
+        let path = tmp("corrupt-durable");
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entry(norm(1)).unwrap();
+            w.sync().unwrap();
+            w.append_entry(norm(2)).unwrap();
+            w.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Flip a byte in the FIRST record: it lies before the durable
+        // point asserted by the later markers, so this is acked-durable
+        // state going bad — silent truncation would un-ack entry 1.
+        for flip in 0..9 {
+            let mut bytes = full.clone();
+            bytes[flip] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            match WalStorage::<u64>::open(&path) {
+                Err(WalError::Corrupt { offset }) => {
+                    assert_eq!(offset, 0, "the corrupt record starts at 0")
+                }
+                other => panic!(
+                    "flip at {flip}: expected WalError::Corrupt, got {:?}",
+                    other.map(|w| w.get_log_len())
+                ),
+            }
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -815,8 +1167,8 @@ mod tests {
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
             for v in 0..200u64 {
-                w.append_entry(norm(v));
-                w.set_decided_idx(v + 1);
+                w.append_entry(norm(v)).unwrap();
+                w.set_decided_idx(v + 1).unwrap();
             }
             w.trim(100).unwrap();
             // Push buffered records to the file before measuring its size.
@@ -844,7 +1196,7 @@ mod tests {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
             w.checkpoint_every = 50;
             for v in 0..500u64 {
-                w.append_entry(norm(v));
+                w.append_entry(norm(v)).unwrap();
             }
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
@@ -862,8 +1214,8 @@ mod tests {
         let path = tmp("ckpt-drain");
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=20).map(norm).collect());
-            w.set_decided_idx(20);
+            w.append_entries((1..=20).map(norm).collect()).unwrap();
+            w.set_decided_idx(20).unwrap();
             w.checkpoint().unwrap();
             std::mem::forget(w); // crash: no Drop, no flush
         }
@@ -880,8 +1232,8 @@ mod tests {
         let snap: SnapshotData = (0u8..100).collect::<Vec<u8>>().into();
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=10).map(norm).collect());
-            w.set_decided_idx(10);
+            w.append_entries((1..=10).map(norm).collect()).unwrap();
+            w.set_decided_idx(10).unwrap();
             w.set_snapshot(6, snap.clone()).unwrap();
             w.sync().unwrap();
         }
@@ -901,9 +1253,9 @@ mod tests {
         let snap: SnapshotData = vec![7u8; 64].into();
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=5).map(norm).collect());
-            w.install_snapshot(1000, snap.clone());
-            w.append_entry(norm(42)); // the tail continues above it
+            w.append_entries((1..=5).map(norm).collect()).unwrap();
+            w.install_snapshot(1000, snap.clone()).unwrap();
+            w.append_entry(norm(42)).unwrap(); // the tail continues above it
             w.sync().unwrap();
         }
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
@@ -921,8 +1273,8 @@ mod tests {
         let snap: SnapshotData = vec![3u8; 32].into();
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=10).map(norm).collect());
-            w.set_decided_idx(10);
+            w.append_entries((1..=10).map(norm).collect()).unwrap();
+            w.set_decided_idx(10).unwrap();
             w.set_snapshot(8, snap.clone()).unwrap();
             w.checkpoint().unwrap();
             std::mem::forget(w); // only the checkpoint record exists
@@ -947,8 +1299,8 @@ mod tests {
         let pre_len;
         {
             let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-            w.append_entries((1..=10).map(norm).collect());
-            w.set_decided_idx(10);
+            w.append_entries((1..=10).map(norm).collect()).unwrap();
+            w.set_decided_idx(10).unwrap();
             w.sync().unwrap();
             pre_len = std::fs::metadata(&path).unwrap().len();
             w.set_snapshot(7, snap).unwrap();
@@ -957,7 +1309,10 @@ mod tests {
         }
         let full = std::fs::read(&path).unwrap();
         assert!(full.len() > pre_len as usize, "snapshot record appended");
-        for cut in pre_len as usize..full.len() {
+        // The file ends with the snapshot record followed by its
+        // durable-point marker; cuts inside the record itself tear it.
+        let snap_end = full.len() - MARKER_LEN;
+        for cut in pre_len as usize..snap_end {
             std::fs::write(&path, &full[..cut]).unwrap();
             let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
             assert_eq!(
@@ -970,11 +1325,136 @@ mod tests {
             assert_eq!(w.get_decided_idx(), 10);
             assert_eq!(w.get_entries(0, 10), (1..=10).map(norm).collect::<Vec<_>>());
         }
-        // And the complete record applies.
-        std::fs::write(&path, &full).unwrap();
+        // A cut inside (or right before) the trailing marker leaves the
+        // record complete: it applies, and only the marker is torn away.
+        for cut in snap_end..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            assert_eq!(
+                w.get_snapshot().expect("complete record applies").idx,
+                7,
+                "cut at {cut}"
+            );
+            assert_eq!(w.get_compacted_idx(), 7);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_until_recover() {
+        let path = tmp("fsyncgate");
+        let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        w.append_entry(norm(1)).unwrap();
+        w.sync().unwrap();
+        w.arm_fault(WalFault::SyncFail);
+        w.append_entry(norm(2)).unwrap();
+        let err = Storage::flush(&mut w).unwrap_err();
+        assert_eq!(err.op, StorageOp::Flush);
+        assert!(w.is_poisoned());
+        // fsyncgate: no retry-and-ack. Every mutation now fails.
+        assert!(w.append_entry(norm(3)).is_err());
+        assert!(Storage::flush(&mut w).is_err());
+        assert!(w.set_decided_idx(1).is_err());
+        // recover() reloads from disk. Entry 2's bytes were written (only
+        // the fsync failed) so replay may keep it — what matters is that
+        // entry 1 (synced, ackable) survives and the WAL works again.
+        w.recover().unwrap();
+        assert!(!w.is_poisoned());
+        assert!(w.get_log_len() >= 1);
+        assert_eq!(w.get_entries(0, 1), vec![norm(1)]);
+        w.append_entry(norm(9)).unwrap();
+        Storage::flush(&mut w).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_a_recoverable_torn_tail() {
+        let path = tmp("short-write");
+        let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        w.append_entries((1..=4).map(norm).collect()).unwrap();
+        w.sync().unwrap();
+        w.arm_fault(WalFault::ShortWrite);
+        w.append_entries((5..=8).map(norm).collect()).unwrap();
+        assert!(Storage::flush(&mut w).is_err());
+        assert!(w.is_poisoned());
+        // Half a record landed on disk. Recovery must treat it as a torn
+        // tail (it sits after the durable point) and truncate it.
+        w.recover().unwrap();
+        assert_eq!(w.get_log_len(), 4, "unsynced half-written batch is gone");
+        assert_eq!(w.get_entries(0, 4), (1..=4).map(norm).collect::<Vec<_>>());
+        // The truncation is physical: new appends replay cleanly.
+        w.append_entry(norm(99)).unwrap();
+        Storage::flush(&mut w).unwrap();
+        drop(w);
         let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
-        assert_eq!(w.get_snapshot().expect("whole record applies").idx, 7);
-        assert_eq!(w.get_compacted_idx(), 7);
+        assert_eq!(w.get_suffix(4), vec![norm(99)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn enospc_mid_checkpoint_keeps_the_old_generation() {
+        let path = tmp("ckpt-enospc");
+        let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        w.append_entries((1..=10).map(norm).collect()).unwrap();
+        w.set_decided_idx(10).unwrap();
+        w.sync().unwrap();
+        w.arm_fault(WalFault::CheckpointNoSpace);
+        assert!(w.checkpoint().is_err());
+        assert!(w.is_poisoned());
+        // The temp file holds half a checkpoint; the WAL proper is
+        // untouched. There is no window where neither file is valid.
+        w.recover().unwrap();
+        assert_eq!(w.get_log_len(), 10);
+        assert_eq!(w.get_decided_idx(), 10);
+        // And a later checkpoint overwrites the stale temp file.
+        w.checkpoint().unwrap();
+        drop(w);
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(w.get_log_len(), 10);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(path.with_extension("wal.tmp"));
+    }
+
+    #[test]
+    fn crash_before_checkpoint_rename_keeps_the_old_generation() {
+        let path = tmp("ckpt-crash");
+        let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        w.append_entries((1..=10).map(norm).collect()).unwrap();
+        w.set_decided_idx(10).unwrap();
+        w.sync().unwrap();
+        w.arm_fault(WalFault::CheckpointCrashBeforeRename);
+        assert!(w.checkpoint().is_err());
+        std::mem::forget(w); // the process dies here
+        let tmp_path = path.with_extension("wal.tmp");
+        assert!(tmp_path.exists(), "complete temp file left behind");
+        // Reopen: the old generation is the WAL; the stale (complete!)
+        // temp file is ignored, not half-adopted.
+        let w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        assert_eq!(w.get_log_len(), 10);
+        assert_eq!(w.get_decided_idx(), 10);
+        assert_eq!(w.get_entries(0, 10), (1..=10).map(norm).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(tmp_path);
+    }
+
+    #[test]
+    fn nospace_flush_fails_before_any_byte_lands() {
+        let path = tmp("enospc-flush");
+        let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+        w.append_entry(norm(1)).unwrap();
+        w.sync().unwrap();
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        w.arm_fault(WalFault::NoSpace);
+        w.append_entry(norm(2)).unwrap();
+        let err = Storage::flush(&mut w).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::OutOfMemory);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before,
+            "ENOSPC write must not grow the file"
+        );
+        w.recover().unwrap();
+        assert_eq!(w.get_log_len(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -985,13 +1465,13 @@ mod tests {
         let mut wal: WalStorage<u64> = WalStorage::open(&path).unwrap();
         let mut mem: MemoryStorage<u64> = MemoryStorage::new();
         for v in 0..50u64 {
-            wal.append_entry(norm(v));
-            mem.append_entry(norm(v));
+            wal.append_entry(norm(v)).unwrap();
+            mem.append_entry(norm(v)).unwrap();
         }
-        wal.append_on_prefix(30, vec![norm(99)]);
-        mem.append_on_prefix(30, vec![norm(99)]);
-        wal.set_decided_idx(20);
-        mem.set_decided_idx(20);
+        wal.append_on_prefix(30, vec![norm(99)]).unwrap();
+        mem.append_on_prefix(30, vec![norm(99)]).unwrap();
+        wal.set_decided_idx(20).unwrap();
+        mem.set_decided_idx(20).unwrap();
         wal.trim(10).unwrap();
         mem.trim(10).unwrap();
         assert_eq!(wal.get_log_len(), mem.get_log_len());

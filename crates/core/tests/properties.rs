@@ -71,11 +71,13 @@ fn check_storage_matches_model<S: Storage<u64>>(seed: u64, mut storage: S) {
         for op in ops {
             match op {
                 StorageOp::Append(v) => {
-                    storage.append_entry(LogEntry::Normal(v));
+                    storage.append_entry(LogEntry::Normal(v)).expect("append");
                     model.push(v);
                 }
                 StorageOp::AppendMany(vs) => {
-                    storage.append_entries(vs.iter().copied().map(LogEntry::Normal).collect());
+                    storage
+                        .append_entries(vs.iter().copied().map(LogEntry::Normal).collect())
+                        .expect("append");
                     model.extend(vs);
                 }
                 StorageOp::AppendOnPrefix { from_rel, values } => {
@@ -85,17 +87,19 @@ fn check_storage_matches_model<S: Storage<u64>>(seed: u64, mut storage: S) {
                     let from =
                         model_compacted + (from_rel as u64 % (len - model_compacted + 1).max(1));
                     let from = from.max(model_decided); // never truncate decided
-                    storage.append_on_prefix(
-                        from,
-                        values.iter().copied().map(LogEntry::Normal).collect(),
-                    );
+                    storage
+                        .append_on_prefix(
+                            from,
+                            values.iter().copied().map(LogEntry::Normal).collect(),
+                        )
+                        .expect("append_on_prefix");
                     model.truncate(from as usize);
                     model.extend(values);
                 }
                 StorageOp::SetDecided { rel } => {
                     let len = model.len() as u64;
                     let idx = (model_decided + rel as u64).min(len);
-                    storage.set_decided_idx(idx);
+                    storage.set_decided_idx(idx).expect("set_decided");
                     model_decided = idx;
                 }
                 StorageOp::Trim { rel } => {

@@ -1,0 +1,344 @@
+//! WAL crash-point torture: truncate a recorded run at **every byte
+//! boundary** and flip bits at **every byte**, and demand that every
+//! single outcome is either full recovery of the flushed state or a typed
+//! [`WalError::Corrupt`] — never a panic, never silent loss of state that
+//! was covered by a completed fsync.
+//!
+//! The oracle is exact. The run syncs after every mutation, so the file
+//! is a sequence of `[record][commit-marker]` cells whose boundaries we
+//! learn by measuring the file after each sync; for any truncation point
+//! the recovered state must equal the state at a specific recorded sync
+//! point (torn cells roll back to the previous one, whole cells apply).
+//! Bit flips split at the durable point: a flip before the final commit
+//! marker mangles fsynced — and therefore possibly acknowledged — bytes
+//! and must surface as `WalError::Corrupt { offset }` pointing at (or
+//! before) the flipped byte; a flip inside the final marker only tears
+//! the unsynced assertion and recovery must still produce the full
+//! flushed state.
+
+use omnipaxos::wal::{WalError, WalStorage};
+use omnipaxos::{Ballot, LogEntry, SnapshotData, Storage};
+use std::path::PathBuf;
+
+/// On-disk size of a durable-point (COMMIT) marker:
+/// `[tag: u8][len: u32][offset: u64][crc: u32]`.
+const MARKER_LEN: u64 = 17;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("omnipaxos-torture-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn norm(v: u64) -> LogEntry<u64> {
+    LogEntry::Normal(v)
+}
+
+/// Full observable state of a WAL, for exact-equality oracles.
+#[derive(Debug, Clone, PartialEq)]
+struct WalState {
+    compacted: u64,
+    len: u64,
+    decided: u64,
+    promise: Ballot,
+    accepted: Ballot,
+    entries: Vec<LogEntry<u64>>,
+    snapshot: Option<(u64, Vec<u8>)>,
+}
+
+fn capture(w: &WalStorage<u64>) -> WalState {
+    WalState {
+        compacted: w.get_compacted_idx(),
+        len: w.get_log_len(),
+        decided: w.get_decided_idx(),
+        promise: w.get_promise(),
+        accepted: w.get_accepted_round(),
+        entries: w.get_entries(w.get_compacted_idx(), w.get_log_len()),
+        snapshot: w.get_snapshot().map(|s| (s.idx, s.data.to_vec())),
+    }
+}
+
+fn empty_state() -> WalState {
+    WalState {
+        compacted: 0,
+        len: 0,
+        decided: 0,
+        promise: Ballot::bottom(),
+        accepted: Ballot::bottom(),
+        entries: Vec::new(),
+        snapshot: None,
+    }
+}
+
+/// A recorded run: the final file image, the file length after each sync
+/// (`lens[k]`), and the expected state at that point (`states[k]`).
+/// `lens[0] == 0` / `states[0]` describe the file before any mutation.
+struct Recorded {
+    path: PathBuf,
+    full: Vec<u8>,
+    lens: Vec<u64>,
+    states: Vec<WalState>,
+}
+
+impl Recorded {
+    /// Largest sync point whose cell is complete within a `cut`-byte
+    /// prefix: cell `k`'s record ends at `lens[k] - MARKER_LEN`, and a
+    /// complete record applies even when its trailing marker is torn.
+    fn sync_point_at(&self, cut: u64) -> usize {
+        (0..self.lens.len())
+            .rev()
+            .find(|&k| self.lens[k].saturating_sub(MARKER_LEN) <= cut)
+            .expect("lens[0] = 0 always qualifies")
+    }
+}
+
+/// One recorded mutation of the torture run.
+type Mutation<'a> = &'a dyn Fn(&mut WalStorage<u64>);
+
+/// Drive one mutation per sync and record the (length, state) ladder.
+fn record_run(name: &str, muts: &[Mutation<'_>]) -> Recorded {
+    let path = tmp(name);
+    let mut w: WalStorage<u64> = WalStorage::open(&path).expect("fresh wal");
+    w.checkpoint_every = 0; // boundaries below assume no auto-rewrite
+    let mut lens = vec![0u64];
+    let mut states = vec![capture(&w)];
+    for m in muts {
+        m(&mut w);
+        w.sync().expect("sync");
+        lens.push(std::fs::metadata(&path).expect("stat").len());
+        states.push(capture(&w));
+    }
+    drop(w); // nothing buffered: every mutation was synced
+    let full = std::fs::read(&path).expect("read recorded wal");
+    assert_eq!(full.len() as u64, *lens.last().expect("non-empty run"));
+    Recorded {
+        path,
+        full,
+        lens,
+        states,
+    }
+}
+
+/// The main recorded run: every record type the replication layer emits —
+/// appends, ballot updates, decided-index moves, a truncating overwrite,
+/// a trim, a local snapshot, a snapshot install — one sync per mutation.
+fn varied_run(name: &str) -> Recorded {
+    let snap: SnapshotData = vec![9u8, 9, 9].into();
+    let snap2: SnapshotData = (0u8..32).collect::<Vec<u8>>().into();
+    record_run(
+        // Tests run on parallel threads of one process: the caller's
+        // name keeps their backing files from racing on one path.
+        name,
+        &[
+            &|w| {
+                w.append_entries((1..=3).map(norm).collect())
+                    .expect("append");
+            },
+            &|w| w.set_promise(Ballot::new(2, 0, 1)).expect("promise"),
+            &|w| {
+                w.append_entries((4..=5).map(norm).collect())
+                    .expect("append");
+            },
+            &|w| {
+                w.set_accepted_round(Ballot::new(2, 0, 1))
+                    .expect("accepted")
+            },
+            &|w| w.set_decided_idx(4).expect("decided"),
+            // Two records in one sync (TRUNCATE + APPEND) — the one
+            // multi-record cell, handled specially by the oracle.
+            &|w| {
+                w.append_on_prefix(4, vec![norm(40), norm(50)])
+                    .expect("aop");
+            },
+            &|w| w.set_decided_idx(6).expect("decided"),
+            &|w| w.trim(2).expect("trim"),
+            &move |w| w.set_snapshot(4, snap.clone()).expect("snapshot"),
+            &|w| {
+                w.append_entries(vec![norm(70)]).expect("append");
+            },
+            &move |w| w.install_snapshot(100, snap2.clone()).expect("install"),
+            &|w| {
+                w.append_entries(vec![norm(101)]).expect("append");
+            },
+            &|w| w.set_decided_idx(101).expect("decided"),
+        ],
+    )
+}
+
+/// Index (into `lens`/`states`) of the `append_on_prefix` cell above.
+const AOP_CELL: usize = 6;
+
+/// Truncate the recorded run at every byte boundary: recovery must
+/// always succeed (a shorter file is a crashed write, never corruption)
+/// and must reconstruct exactly the state of the last complete cell.
+#[test]
+fn every_byte_truncation_recovers_a_flushed_state() {
+    let run = varied_run("truncation");
+    // The append_on_prefix cell's intermediate state: the truncate
+    // record applied, its paired append still torn.
+    let mid = {
+        let mut s = run.states[AOP_CELL - 1].clone();
+        s.entries.truncate((4 - s.compacted) as usize);
+        s.len = 4;
+        s
+    };
+    let mut seen = vec![false; run.states.len()];
+    for cut in 0..=run.full.len() {
+        std::fs::write(&run.path, &run.full[..cut]).expect("write prefix");
+        let w: WalStorage<u64> = WalStorage::open(&run.path)
+            .unwrap_or_else(|e| panic!("cut at {cut}: truncation must recover, got {e}"));
+        let got = capture(&w);
+        let k = run.sync_point_at(cut as u64);
+        seen[k] = true;
+        if k == AOP_CELL - 1 && cut as u64 > run.lens[k] {
+            assert!(
+                got == run.states[k] || got == mid,
+                "cut at {cut}: expected state {k} or its truncate-only half, got {got:?}"
+            );
+        } else {
+            assert_eq!(
+                got, run.states[k],
+                "cut at {cut}: wrong recovered state (expected sync point {k})"
+            );
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "the byte sweep must visit every sync point: {seen:?}"
+    );
+    std::fs::remove_file(&run.path).expect("cleanup");
+}
+
+/// Flip every byte of the recorded run (two masks per byte). Before the
+/// final durable-point marker the flip mangles fsynced state and must be
+/// loud: `WalError::Corrupt` whose offset is at or before the flip, and
+/// never a silent rollback. At or after the final marker only the
+/// unsynced durable-point assertion tears, and recovery must still
+/// produce the complete flushed state.
+#[test]
+fn every_byte_bitflip_is_loud_or_harmless() {
+    let run = varied_run("bitflip");
+    let durable = run.full.len() as u64 - MARKER_LEN;
+    let final_state = run.states.last().expect("states");
+    let mut loud = 0u64;
+    for i in 0..run.full.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut bytes = run.full.clone();
+            bytes[i] ^= mask;
+            std::fs::write(&run.path, &bytes).expect("write flipped");
+            match WalStorage::<u64>::open(&run.path) {
+                Ok(w) => {
+                    assert!(
+                        i as u64 >= durable,
+                        "flip {mask:#04x} at {i}: corruption before the durable \
+                         point ({durable}) was silently absorbed"
+                    );
+                    assert_eq!(
+                        capture(&w),
+                        *final_state,
+                        "flip {mask:#04x} at {i}: a torn final marker must \
+                         still recover the full flushed state"
+                    );
+                }
+                Err(WalError::Corrupt { offset }) => {
+                    loud += 1;
+                    assert!(
+                        (i as u64) < durable,
+                        "flip {mask:#04x} at {i}: tail past the durable point \
+                         must be treated as torn, not corrupt"
+                    );
+                    assert!(
+                        offset <= i as u64,
+                        "flip {mask:#04x} at {i}: corrupt offset {offset} \
+                         past the flipped byte"
+                    );
+                }
+                Err(WalError::Io(e)) => {
+                    panic!("flip {mask:#04x} at {i}: unexpected i/o error {e}")
+                }
+            }
+        }
+    }
+    // Every flipped byte below the durable point must have been loud.
+    assert_eq!(
+        loud,
+        2 * durable,
+        "every pre-durable-point flip must produce WalError::Corrupt"
+    );
+    std::fs::remove_file(&run.path).expect("cleanup");
+}
+
+/// The same two tortures against a file that starts with a checkpoint
+/// record — the other on-disk layout a long-lived replica recovers from.
+/// Cuts inside the checkpoint record itself roll all the way back to the
+/// empty state (the rename discipline means a torn checkpoint can only
+/// exist for a file that held nothing acknowledged); cuts and flips past
+/// it follow the same rules as the plain log.
+#[test]
+fn checkpointed_file_survives_the_same_torture() {
+    let path = tmp("ckpt");
+    let snap: SnapshotData = vec![7u8; 16].into();
+    let mut w: WalStorage<u64> = WalStorage::open(&path).expect("fresh wal");
+    w.checkpoint_every = 0;
+    w.append_entries((1..=10).map(norm).collect())
+        .expect("append");
+    w.set_decided_idx(10).expect("decided");
+    w.set_snapshot(5, snap).expect("snapshot");
+    w.sync().expect("sync");
+    w.checkpoint().expect("checkpoint");
+    let mut lens = vec![std::fs::metadata(&path).expect("stat").len()];
+    let mut states = vec![capture(&w)];
+    let tail_muts: [Mutation<'_>; 2] = [
+        &|w| {
+            w.append_entries(vec![norm(11)]).expect("append");
+        },
+        &|w| w.set_decided_idx(11).expect("decided"),
+    ];
+    for m in tail_muts {
+        m(&mut w);
+        w.sync().expect("sync");
+        lens.push(std::fs::metadata(&path).expect("stat").len());
+        states.push(capture(&w));
+    }
+    drop(w);
+    let full = std::fs::read(&path).expect("read");
+    assert_eq!(full.len() as u64, *lens.last().expect("lens"));
+    // The checkpoint record ends where its own trailing marker begins.
+    let ckpt_end = lens[0] - MARKER_LEN;
+
+    for cut in 0..=full.len() {
+        std::fs::write(&path, &full[..cut]).expect("write prefix");
+        let w: WalStorage<u64> = WalStorage::open(&path)
+            .unwrap_or_else(|e| panic!("cut at {cut}: truncation must recover, got {e}"));
+        let got = capture(&w);
+        if (cut as u64) < ckpt_end {
+            assert_eq!(got, empty_state(), "cut at {cut}: torn checkpoint");
+        } else {
+            let k = (0..lens.len())
+                .rev()
+                .find(|&k| lens[k] - MARKER_LEN <= cut as u64)
+                .expect("cut covers the checkpoint record");
+            assert_eq!(got, states[k], "cut at {cut}: wrong recovered state");
+        }
+    }
+
+    let durable = full.len() as u64 - MARKER_LEN;
+    for i in 0..full.len() {
+        let mut bytes = full.clone();
+        bytes[i] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write flipped");
+        match WalStorage::<u64>::open(&path) {
+            Ok(w) => {
+                assert!(i as u64 >= durable, "flip at {i} silently absorbed");
+                assert_eq!(capture(&w), *states.last().expect("states"));
+            }
+            Err(WalError::Corrupt { offset }) => {
+                assert!((i as u64) < durable, "flip at {i}: torn tail turned loud");
+                assert!(offset <= i as u64);
+            }
+            Err(WalError::Io(e)) => panic!("flip at {i}: unexpected i/o error {e}"),
+        }
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}

@@ -6,16 +6,17 @@
 //! omni-kv-client --servers ... add balance -25
 //! omni-kv-client --servers ... delete balance
 //! omni-kv-client --servers ... bench 1000          # sequential puts
+//! omni-kv-client --servers ... --deadline-ms 2000 read balance
 //! ```
 
 use kvstore::NodeId;
 use net::client::KvClient;
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: omni-kv-client --servers <pid=addr,...> \
+        "usage: omni-kv-client --servers <pid=addr,...> [--deadline-ms N] \
          (put <k> <v> | read <k> | add <k> <d> | delete <k> | bench <n>)"
     );
     std::process::exit(2)
@@ -36,11 +37,19 @@ fn parse_servers(spec: &str) -> Option<Vec<(NodeId, SocketAddr)>> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut servers = None;
+    let mut deadline = None;
     let mut rest: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--servers" => servers = it.next().and_then(|v| parse_servers(v)),
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                deadline = Some(Duration::from_millis(ms.max(1)));
+            }
             other => rest.push(other),
         }
     }
@@ -53,6 +62,12 @@ fn main() {
             .map(|d| d.subsec_nanos() as u64)
             .unwrap_or(1);
     let mut client = KvClient::new(client_id, servers);
+    if let Some(d) = deadline {
+        // Overall per-op deadline: retries and redirects keep going until
+        // it lapses, then the op fails with a timeout error.
+        client.op_timeout = d;
+        client.attempt_timeout = client.attempt_timeout.min(d);
+    }
 
     let result = match rest.as_slice() {
         ["put", k, v] => {

@@ -14,6 +14,7 @@
 
 use crate::frame::{self, kind, FrameError};
 use crate::link::{LinkEvent, NetworkLink};
+use crate::tcp::lock_unpoisoned;
 use kvstore::{KvNode, KvWire};
 use omnipaxos::wire::Wire;
 use omnipaxos::{OmniMessage, PaxosMsg, ServiceMsg};
@@ -56,8 +57,7 @@ impl ClientGateway {
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("kv-gateway".into())
-                .spawn(move || gateway_accept(listener, tx, conns, shutdown))
-                .expect("spawn gateway")
+                .spawn(move || gateway_accept(listener, tx, conns, shutdown))?
         };
         Ok(ClientGateway {
             rx,
@@ -81,7 +81,7 @@ impl ClientGateway {
     /// Send `msg` to a client connection; dropped connections are ignored
     /// (the client's retry loop owns recovery).
     pub fn reply(&mut self, conn: ConnId, msg: &KvWire) {
-        let mut conns = self.conns.lock().unwrap();
+        let mut conns = lock_unpoisoned(&self.conns);
         if let Some(stream) = conns.get_mut(&conn) {
             let mut w = &*stream;
             if frame::write_frame(&mut w, kind::KV, &msg.to_bytes()).is_err() {
@@ -94,7 +94,7 @@ impl ClientGateway {
 impl Drop for ClientGateway {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for (_, s) in self.conns.lock().unwrap().drain() {
+        for (_, s) in lock_unpoisoned(&self.conns).drain() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         for h in self.threads.drain(..) {
@@ -115,8 +115,12 @@ fn gateway_accept(
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
                 let id = next_id.fetch_add(1, Ordering::Relaxed);
-                let reader = stream.try_clone().expect("clone client stream");
-                conns.lock().unwrap().insert(id, stream);
+                // fd exhaustion can fail the dup; drop the connection and
+                // let the client's retry loop come back when it clears.
+                let Ok(reader) = stream.try_clone() else {
+                    continue;
+                };
+                lock_unpoisoned(&conns).insert(id, stream);
                 let tx = tx.clone();
                 let conns = Arc::clone(&conns);
                 // Reader threads exit on connection error; on gateway
@@ -142,7 +146,7 @@ fn gateway_accept(
                                 Err(_) => break,
                             }
                         }
-                        conns.lock().unwrap().remove(&id);
+                        lock_unpoisoned(&conns).remove(&id);
                     });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -153,6 +157,10 @@ fn gateway_accept(
     }
 }
 
+/// Default bound on commands in flight per server; past it new requests
+/// are shed with [`KvWire::Retry`] instead of growing the queue.
+pub const DEFAULT_MAX_PENDING: usize = 4096;
+
 /// One kv server: replica + replication link + optional client gateway.
 pub struct KvServer<L> {
     node: KvNode,
@@ -160,6 +168,9 @@ pub struct KvServer<L> {
     gateway: Option<ClientGateway>,
     /// Commands in flight for a client: `(client, seq) -> conn`.
     pending: HashMap<(u64, u64), ConnId>,
+    /// Overload bound on `pending`: requests beyond it get `Retry`.
+    max_pending: usize,
+    shed: u64,
     prepare_reqs: u64,
     reconnects: u64,
 }
@@ -171,6 +182,8 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             link: Some(link),
             gateway: None,
             pending: HashMap::new(),
+            max_pending: DEFAULT_MAX_PENDING,
+            shed: 0,
             prepare_reqs: 0,
             reconnects: 0,
         }
@@ -180,6 +193,20 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
     pub fn with_gateway(mut self, gateway: ClientGateway) -> Self {
         self.gateway = Some(gateway);
         self
+    }
+
+    /// Cap the in-flight command queue (default
+    /// [`DEFAULT_MAX_PENDING`]). Under overload the server replies
+    /// [`KvWire::Retry`] instead of queueing without bound; the client's
+    /// backoff loop resubmits.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Requests shed with `Retry` because the pending queue was full.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed
     }
 
     pub fn node(&self) -> &KvNode {
@@ -259,6 +286,16 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
         let Some(gateway) = self.gateway.as_mut() else {
             return;
         };
+        if !self.node.is_leader() && !self.pending.is_empty() {
+            // Leadership lost with commands in flight: their fate is
+            // unknown (the new leader may or may not carry them). Tell
+            // the clients to retry — the session layer deduplicates any
+            // that decided after all — so `pending` cannot leak dead
+            // entries and eventually wedge the overload bound.
+            for ((_, seq), conn) in self.pending.drain() {
+                gateway.reply(conn, &KvWire::Retry { seq });
+            }
+        }
         for (conn, msg) in gateway.poll() {
             let KvWire::Request(cmd) = msg else {
                 continue; // clients only send requests
@@ -270,6 +307,16 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             }
             let key = (cmd.client, cmd.seq);
             let seq = cmd.seq;
+            // Overload shedding: a full pending queue means replication
+            // is behind client arrival; answer `Retry` now rather than
+            // queueing unboundedly. Duplicates of an already-queued
+            // command are exempt — re-registering them is free and the
+            // session layer deduplicates on apply.
+            if self.pending.len() >= self.max_pending && !self.pending.contains_key(&key) {
+                self.shed += 1;
+                gateway.reply(conn, &KvWire::Retry { seq });
+                continue;
+            }
             match self.node.submit(cmd) {
                 Ok(()) => {
                     self.pending.insert(key, conn);

@@ -47,9 +47,19 @@ use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Lock `m`, recovering from poison. Session threads die on connection
+/// errors by design; a panic in one (a bug, but survivable) must degrade
+/// to a dropped session, not take the whole transport down with it. The
+/// guarded state (peer table, session numbers, event queue) stays
+/// consistent under poison: every critical section completes its updates
+/// or none matter beyond a lost message.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Transport tuning knobs.
 #[derive(Debug, Clone)]
@@ -132,7 +142,7 @@ struct Shared<M> {
 
 impl<M> Shared<M> {
     fn push_event(&self, ev: LinkEvent<M>) {
-        self.events.lock().unwrap().push_back(ev);
+        lock_unpoisoned(&self.events).push_back(ev);
     }
 
     fn now_ms(&self) -> u64 {
@@ -195,30 +205,43 @@ impl<M: Wire + Send + 'static> TcpTransport<M> {
             epoch: Instant::now(),
         });
 
-        let mut handles = Vec::new();
+        // Startup spawn failures (fd/thread exhaustion) are the one place
+        // errors surface to the caller: a transport missing its acceptor
+        // or a dialer would be silently partitioned forever. Tear down
+        // whatever already started and report.
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        let abort = |shared: &Arc<Shared<M>>, handles: Vec<JoinHandle<()>>, e: std::io::Error| {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            for h in handles {
+                let _ = h.join();
+            }
+            Err(e)
+        };
         {
-            let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("net-accept-{pid}"))
-                    .spawn(move || accept_loop(shared, listener))
-                    .expect("spawn acceptor"),
-            );
+            let shared2 = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("net-accept-{pid}"))
+                .spawn(move || accept_loop(shared2, listener))
+            {
+                Ok(h) => handles.push(h),
+                Err(e) => return abort(&shared, handles, e),
+            }
         }
         // Dialing rule: smaller pid dials larger, so each pair has one owner.
         for (&peer, &peer_addr) in &addrs {
             if peer <= pid {
                 continue;
             }
-            let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("net-dial-{pid}-{peer}"))
-                    .spawn(move || dial_loop(shared, peer, peer_addr))
-                    .expect("spawn dialer"),
-            );
+            let shared2 = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("net-dial-{pid}-{peer}"))
+                .spawn(move || dial_loop(shared2, peer, peer_addr))
+            {
+                Ok(h) => handles.push(h),
+                Err(e) => return abort(&shared, handles, e),
+            }
         }
-        shared.threads.lock().unwrap().extend(handles);
+        lock_unpoisoned(&shared.threads).extend(handles);
 
         Ok(TcpTransport {
             shared,
@@ -238,10 +261,10 @@ impl<M: Wire + Send + 'static> TcpTransport<M> {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for (_, sess) in self.shared.peers.lock().unwrap().drain() {
+        for (_, sess) in lock_unpoisoned(&self.shared.peers).drain() {
             let _ = sess.stream.shutdown(std::net::Shutdown::Both);
         }
-        let handles: Vec<_> = self.shared.threads.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_unpoisoned(&self.shared.threads).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -253,10 +276,10 @@ impl<M> Drop for TcpTransport<M> {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for (_, sess) in self.shared.peers.lock().unwrap().drain() {
+        for (_, sess) in lock_unpoisoned(&self.shared.peers).drain() {
             let _ = sess.stream.shutdown(std::net::Shutdown::Both);
         }
-        let handles: Vec<_> = self.shared.threads.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_unpoisoned(&self.shared.threads).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -273,7 +296,7 @@ impl<M: Wire + Send + 'static> NetworkLink<M> for TcpTransport<M> {
         msg.encode(&mut payload, &mut self.cache);
         let bytes = frame::encode_frame(kind::MSG, &payload);
         let n = bytes.len() as u64;
-        let peers = self.shared.peers.lock().unwrap();
+        let peers = lock_unpoisoned(&self.shared.peers);
         match peers.get(&to) {
             Some(sess) => match sess.tx.try_send(bytes) {
                 Ok(()) => {
@@ -305,7 +328,7 @@ impl<M: Wire + Send + 'static> NetworkLink<M> for TcpTransport<M> {
     fn poll(&mut self) -> Vec<LinkEvent<M>> {
         // Cycle boundary for the batch-encoding cache (see BatchCache).
         self.cache.reset();
-        self.shared.events.lock().unwrap().drain(..).collect()
+        lock_unpoisoned(&self.shared.events).drain(..).collect()
     }
 
     fn counters(&self) -> LinkCounters {
@@ -321,15 +344,19 @@ fn accept_loop<M: Wire + Send + 'static>(shared: Arc<Shared<M>>, listener: TcpLi
         match listener.accept() {
             Ok((stream, _)) => {
                 let shared2 = Arc::clone(&shared);
-                let h = std::thread::Builder::new()
+                match std::thread::Builder::new()
                     .name(format!("net-hs-{}", shared.pid))
                     .spawn(move || {
                         if let Some((peer, session)) = handshake_accept(&shared2, &stream) {
                             run_session(shared2, peer, session, stream);
                         }
-                    })
-                    .expect("spawn handshake");
-                shared.threads.lock().unwrap().push(h);
+                    }) {
+                    Ok(h) => lock_unpoisoned(&shared.threads).push(h),
+                    // Thread exhaustion: drop this connection (the stream
+                    // moved into the failed spawn and closes) and breathe;
+                    // the peer's dialer will retry with backoff.
+                    Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -346,7 +373,7 @@ fn dial_loop<M: Wire + Send + 'static>(shared: Arc<Shared<M>>, peer: NodeId, add
     let mut jrng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (shared.pid << 16) ^ peer;
     while !shared.shutdown.load(Ordering::SeqCst) {
         // Only dial when no session to this peer is live.
-        let connected = shared.peers.lock().unwrap().contains_key(&peer);
+        let connected = lock_unpoisoned(&shared.peers).contains_key(&peer);
         if connected {
             std::thread::sleep(shared.cfg.heartbeat_interval);
             backoff = shared.cfg.backoff_base;
@@ -381,10 +408,7 @@ fn handshake_dial<M>(shared: &Arc<Shared<M>>, stream: &TcpStream, peer: NodeId) 
     stream
         .set_read_timeout(Some(shared.cfg.handshake_timeout))
         .ok()?;
-    let proposed = shared
-        .sessions
-        .lock()
-        .unwrap()
+    let proposed = lock_unpoisoned(&shared.sessions)
         .get(&peer)
         .copied()
         .unwrap_or(0)
@@ -423,7 +447,7 @@ fn handshake_accept<M>(shared: &Arc<Shared<M>>, stream: &TcpStream) -> Option<(N
     let peer = u64::from_le_bytes(hello.payload[0..8].try_into().unwrap());
     let proposed = u64::from_le_bytes(hello.payload[8..16].try_into().unwrap());
     let session = {
-        let sessions = shared.sessions.lock().unwrap();
+        let sessions = lock_unpoisoned(&shared.sessions);
         proposed.max(sessions.get(&peer).copied().unwrap_or(0) + 1)
     };
     let mut payload = Vec::with_capacity(16);
@@ -450,8 +474,14 @@ fn run_session<M: Wire + Send + 'static>(
     let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(shared.cfg.send_queue);
     let last_rx = Arc::new(AtomicU64::new(shared.now_ms()));
 
+    // fd exhaustion can fail the dup; the session then never starts —
+    // the dialer retries with backoff, the acceptor waits for a redial.
+    let Ok(peers_stream) = stream.try_clone() else {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    };
     {
-        let mut peers = shared.peers.lock().unwrap();
+        let mut peers = lock_unpoisoned(&shared.peers);
         // A concurrent session to the same peer (possible when both ends
         // race a reconnect) is superseded: keep the newer session number.
         if let Some(old) = peers.get(&peer) {
@@ -465,11 +495,11 @@ fn run_session<M: Wire + Send + 'static>(
             PeerSession {
                 session,
                 tx,
-                stream: stream.try_clone().expect("clone stream"),
+                stream: peers_stream,
             },
         );
     }
-    let mut sessions = shared.sessions.lock().unwrap();
+    let mut sessions = lock_unpoisoned(&shared.sessions);
     let e = sessions.entry(peer).or_insert(0);
     *e = (*e).max(session);
     drop(sessions);
@@ -480,24 +510,31 @@ fn run_session<M: Wire + Send + 'static>(
         .fetch_add(1, Ordering::Relaxed);
     shared.push_event(LinkEvent::SessionEstablished { peer, session });
 
-    // Reader: blocking decode loop, unblocked by socket shutdown.
+    // Reader: blocking decode loop, unblocked by socket shutdown. A
+    // clone/spawn failure skips straight to teardown below, which emits
+    // the `SessionDropped` pairing the event just pushed.
     let reader_handle = {
-        let shared = Arc::clone(&shared);
+        let shared2 = Arc::clone(&shared);
         let last_rx = Arc::clone(&last_rx);
-        let stream = stream.try_clone().expect("clone stream");
-        std::thread::Builder::new()
-            .name(format!("net-read-{}-{peer}", shared.pid))
-            .spawn(move || read_loop(shared, peer, stream, last_rx))
-            .expect("spawn reader")
+        stream.try_clone().ok().and_then(|s| {
+            std::thread::Builder::new()
+                .name(format!("net-read-{}-{peer}", shared2.pid))
+                .spawn(move || read_loop(shared2, peer, s, last_rx))
+                .ok()
+        })
     };
 
-    write_loop(&shared, &stream, rx, &last_rx);
+    if reader_handle.is_some() {
+        write_loop(&shared, &stream, rx, &last_rx);
+    }
 
     // Teardown: close the socket (unblocks the reader), drop the peer
     // entry if it is still ours (a newer session may have replaced it).
     let _ = stream.shutdown(std::net::Shutdown::Both);
-    let _ = reader_handle.join();
-    let mut peers = shared.peers.lock().unwrap();
+    if let Some(h) = reader_handle {
+        let _ = h.join();
+    }
+    let mut peers = lock_unpoisoned(&shared.peers);
     if peers.get(&peer).map(|p| p.session) == Some(session) {
         peers.remove(&peer);
     }

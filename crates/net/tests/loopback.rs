@@ -28,6 +28,9 @@ enum Ctl {
     KillTransport,
     SetTransport(Box<Transport>),
     Reconfigure(Vec<NodeId>),
+    /// Crash-recover the replica in place: protocol state is rebuilt
+    /// from (simulated) persistent storage, as after a process restart.
+    FailRecover,
 }
 
 /// Observable status a node publishes every loop iteration.
@@ -112,6 +115,7 @@ impl Cluster {
                                     Ctl::Reconfigure(nodes) => {
                                         let _ = server.node_mut().server().reconfigure(nodes);
                                     }
+                                    Ctl::FailRecover => server.node_mut().server().fail_recovery(),
                                 }
                             }
                             server.pump();
@@ -273,6 +277,103 @@ fn three_node_cluster_survives_leader_transport_kill() {
     assert!(
         killed.1.reconnects_seen() > 0,
         "restarted node must see SessionEstablished events"
+    );
+}
+
+/// Kill-and-restart nemesis: repeated rounds of taking down the current
+/// leader — transport torn out AND the replica crash-recovered from its
+/// persistent state, modeling a full process restart — while a client
+/// keeps writing. Every round the restarted node must re-join via fresh
+/// sessions (PrepareReq re-sync) and the cluster must converge before
+/// the nemesis strikes again.
+#[test]
+fn kill_and_restart_nemesis_keeps_the_cluster_consistent() {
+    let cluster = Cluster::boot(&[1, 2, 3], &[]);
+    let mut client = KvClient::new(0xC11E49, cluster.client_addrs());
+
+    for i in 0..40u64 {
+        client
+            .put(&format!("n{}", i % 10), i as i64)
+            .expect("warmup put");
+    }
+
+    let rounds = 3u64;
+    let mut last = [0i64; 10];
+    for round in 1..=rounds {
+        let victim = cluster.wait_for_leader();
+
+        // Process restart: the transport dies with its sessions, and the
+        // replica rebuilds volatile protocol state from storage.
+        cluster.node(victim).ctl.send(Ctl::KillTransport).unwrap();
+        cluster.node(victim).ctl.send(Ctl::FailRecover).unwrap();
+
+        // The survivors elect around the dead node.
+        wait(Duration::from_secs(10), "a new leader", || {
+            cluster
+                .nodes
+                .iter()
+                .filter(|n| n.pid != victim)
+                .find(|n| n.status.is_leader.load(Ordering::Relaxed))
+                .map(|n| n.pid)
+        });
+
+        // Traffic continues against the surviving majority.
+        for i in 0..30u64 {
+            let v = (round * 1000 + i) as i64;
+            client
+                .put(&format!("n{}", i % 10), v)
+                .expect("put during nemesis round");
+            last[(i % 10) as usize] = v;
+        }
+
+        // Restart the transport on the same address; sessions come back
+        // with higher numbers and the node re-syncs via PrepareReq.
+        let t = Transport::bind(victim, cluster.repl_addrs.clone(), tcp_cfg()).unwrap();
+        cluster
+            .node(victim)
+            .ctl
+            .send(Ctl::SetTransport(Box::new(t)))
+            .unwrap();
+
+        // Full convergence — including the restarted node — before the
+        // nemesis picks its next victim.
+        client.put("sentinel", round as i64).expect("sentinel");
+        wait(
+            Duration::from_secs(15),
+            "all replicas to apply the round sentinel",
+            || {
+                cluster
+                    .nodes
+                    .iter()
+                    .all(|n| n.status.sentinel.load(Ordering::Relaxed) == round as i64)
+                    .then_some(())
+            },
+        );
+    }
+
+    // Linearizable reads see the last round's writes.
+    for (i, &v) in last.iter().enumerate() {
+        let got = client.read(&format!("n{i}")).expect("read after nemesis");
+        assert_eq!(got, Some(v), "n{i} after {rounds} nemesis rounds");
+    }
+
+    let servers = cluster.shutdown();
+    let states: Vec<_> = servers
+        .iter()
+        .map(|(pid, s)| (*pid, s.node().state_machine().state().clone()))
+        .collect();
+    for w in states.windows(2) {
+        assert_eq!(
+            w[0].1, w[1].1,
+            "replica states diverged: {} vs {}",
+            w[0].0, w[1].0
+        );
+    }
+    // Every round produced real session churn and re-syncs somewhere.
+    let total_reconnects: u64 = servers.iter().map(|(_, s)| s.reconnects_seen()).sum();
+    assert!(
+        total_reconnects >= rounds,
+        "nemesis rounds must churn sessions (saw {total_reconnects})"
     );
 }
 

@@ -8,7 +8,7 @@
 #   scripts/ci.sh fmt          # one stage
 #   scripts/ci.sh clippy build # several stages, in the given order
 #
-# Stages: fmt clippy build test net chaos bench
+# Stages: fmt clippy build test net chaos storage-faults bench
 # Each stage is timed; a summary table prints at the end.
 set -eu
 
@@ -56,6 +56,17 @@ stage_chaos() {
     cargo run --release -q -p chaos -- --quick
 }
 
+stage_storage_faults() {
+    echo "==> [storage-faults] WAL crash-point torture (every-byte truncation + bit flips)"
+    cargo test -q -p omnipaxos --test wal_torture
+    echo "==> [storage-faults] fail-stop semantics unit + integration tests"
+    cargo test -q -p omnipaxos fault
+    cargo test -q -p omnipaxos halt
+    cargo test -q -p chaos disk
+    echo "==> [storage-faults] seeded disk-fault chaos sweep (quick)"
+    cargo run --release -q -p chaos -- --disk-seeds 25
+}
+
 stage_bench() {
     echo "==> [bench] catchup bench (quick): snapshot-first vs full-log replay"
     cargo run --release -q -p bench --bin hotpath -- --catchup --quick
@@ -75,14 +86,14 @@ run_stage() {
         status=FAIL
         FAILED=1
     fi
-    SUMMARY="${SUMMARY}$(printf '%-8s %-5s %4ss' "$name" "$status" "$((end - start))")
+    SUMMARY="${SUMMARY}$(printf '%-15s %-5s %4ss' "$name" "$status" "$((end - start))")
 "
     return "$rc"
 }
 
 STAGES="$*"
 if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
-    STAGES="fmt clippy build test net chaos bench"
+    STAGES="fmt clippy build test net chaos storage-faults bench"
 fi
 
 for s in $STAGES; do
@@ -93,18 +104,23 @@ for s in $STAGES; do
                 break
             fi
             ;;
+        storage-faults)
+            if ! run_stage storage_faults; then
+                break
+            fi
+            ;;
         *)
-            echo "unknown stage: $s (stages: fmt clippy build test net chaos bench)" >&2
+            echo "unknown stage: $s (stages: fmt clippy build test net chaos storage-faults bench)" >&2
             exit 2
             ;;
     esac
 done
 
 echo ""
-echo "stage    status  time"
-echo "---------------------"
+echo "stage           status  time"
+echo "----------------------------"
 printf '%s' "$SUMMARY"
-echo "---------------------"
+echo "----------------------------"
 if [ "$FAILED" -eq 0 ]; then
     echo "CI OK"
 else
