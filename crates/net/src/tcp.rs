@@ -343,6 +343,10 @@ fn accept_loop<M: Wire + Send + 'static>(shared: Arc<Shared<M>>, listener: TcpLi
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Every socket runs with TCP_NODELAY from the moment it
+                // exists: replication frames are latency-critical and the
+                // writer already coalesces, so Nagle only adds delay.
+                let _ = stream.set_nodelay(true);
                 let shared2 = Arc::clone(&shared);
                 match std::thread::Builder::new()
                     .name(format!("net-hs-{}", shared.pid))
@@ -384,6 +388,7 @@ fn dial_loop<M: Wire + Send + 'static>(shared: Arc<Shared<M>>, peer: NodeId, add
             .reconnect_attempts
             .fetch_add(1, Ordering::Relaxed);
         if let Ok(stream) = TcpStream::connect_timeout(&addr, shared.cfg.handshake_timeout) {
+            let _ = stream.set_nodelay(true);
             if let Some(session) = handshake_dial(&shared, &stream, peer) {
                 backoff = shared.cfg.backoff_base;
                 run_session(Arc::clone(&shared), peer, session, stream);
