@@ -42,6 +42,20 @@ pub struct LinkCounters {
     pub sessions_established: u64,
     pub sessions_dropped: u64,
     pub reconnect_attempts: u64,
+    /// Coalesced writes issued by session writers: each batch is one
+    /// `write_all` covering `writer_frames / writer_batches` frames on
+    /// average. A simulated link has no writer, so these stay zero there.
+    pub writer_batches: u64,
+    /// Frames carried by those coalesced writes.
+    pub writer_frames: u64,
+    /// Payload bytes carried by those coalesced writes (excludes
+    /// heartbeats, which have their own counters below).
+    pub writer_bytes: u64,
+    /// Idle-keepalive HEARTBEAT frames actually emitted.
+    pub heartbeats_sent: u64,
+    /// Heartbeat cadence points skipped because real traffic within the
+    /// interval already proved the link alive.
+    pub heartbeats_suppressed: u64,
 }
 
 /// Byte accounting for messages entering a link. The simulator needs a
