@@ -521,6 +521,27 @@ impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
         }
     }
 
+    /// Propose a whole batch of client commands as one contiguous append
+    /// run. Entries are appended back to back with no message processing
+    /// in between, so the next [`OmniPaxosServer::outgoing`] drain ships
+    /// them as a single `AcceptDecide` per follower (sharing one batch
+    /// allocation across the fan-out) and the storage layer group-commits
+    /// them under one flush. Stops at the first hard error, reporting how
+    /// many entries were accepted.
+    pub fn propose_batch(
+        &mut self,
+        entries: impl IntoIterator<Item = T>,
+    ) -> Result<usize, (usize, ProposeErr)> {
+        let mut accepted = 0;
+        for entry in entries {
+            match self.propose(entry) {
+                Ok(()) => accepted += 1,
+                Err(e) => return Err((accepted, e)),
+            }
+        }
+        Ok(accepted)
+    }
+
     /// Propose replacing the membership with `new_nodes` (§6). Proposing
     /// the *same* membership is allowed: a new configuration with unchanged
     /// members is how in-place software upgrades roll out (§6.1).

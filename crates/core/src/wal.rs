@@ -308,6 +308,12 @@ pub struct WalStorage<T: WalEncode> {
     /// Set by any I/O failure: on-disk state is unknown, so every further
     /// mutation fails until [`Storage::recover`] reopens the file.
     poisoned: bool,
+    /// Group-commit accounting: completed `sync_data` calls, log entries
+    /// whose durability those syncs covered, and entries appended since
+    /// the last completed sync (carried into the next one).
+    syncs: u64,
+    entries_group_committed: u64,
+    entries_since_sync: u64,
 }
 
 impl<T: WalEncode> WalStorage<T> {
@@ -343,6 +349,9 @@ impl<T: WalEncode> WalStorage<T> {
             file_len: 0,
             fault: None,
             poisoned: false,
+            syncs: 0,
+            entries_group_committed: 0,
+            entries_since_sync: 0,
         };
         storage.replay(&bytes)?;
         Ok(storage)
@@ -402,6 +411,15 @@ impl<T: WalEncode> WalStorage<T> {
 
     /// Has an I/O failure poisoned this WAL? (Cleared by
     /// [`Storage::recover`].)
+    /// Group-commit evidence: `(completed syncs, log entries whose
+    /// durability they covered)`. One flush per outgoing drain means the
+    /// second number divided by the first is the mean append run a
+    /// single fsync made durable — the "one fsync covers hundreds of
+    /// ops" property client acks ride on.
+    pub fn group_commit_stats(&self) -> (u64, u64) {
+        (self.syncs, self.entries_group_committed)
+    }
+
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
@@ -652,6 +670,9 @@ impl<T: WalEncode> WalStorage<T> {
                 return Err(std::io::Error::other("injected: fsync failed"));
             }
             self.file.sync_data()?;
+            self.syncs += 1;
+            self.entries_group_committed += self.entries_since_sync;
+            self.entries_since_sync = 0;
             // [0, file_len) is now durable: assert it with a marker. The
             // marker itself stays unsynced — if it tears, replay merely
             // falls back to the previous durable point, which is exactly
@@ -788,12 +809,14 @@ impl<T: WalEncode> Storage<T> for WalStorage<T> {
         self.check_poison(StorageOp::Append)?;
         self.log.push(entry);
         self.pending_appends += 1;
+        self.entries_since_sync += 1;
         Ok(self.get_log_len())
     }
 
     fn append_entries(&mut self, entries: Vec<LogEntry<T>>) -> Result<u64, StorageError> {
         self.check_poison(StorageOp::Append)?;
         self.pending_appends += entries.len();
+        self.entries_since_sync += entries.len() as u64;
         self.log.extend(entries);
         Ok(self.get_log_len())
     }
@@ -1024,6 +1047,29 @@ mod tests {
         assert_eq!(w.get_decided_idx(), 4);
         assert_eq!(w.get_promise(), Ballot::new(3, 0, 2));
         assert_eq!(w.get_entries(0, 5), (1..=5).map(norm).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_covers_whole_append_run_with_one_sync() {
+        let path = tmp("groupcommit");
+        {
+            let mut w: WalStorage<u64> = WalStorage::open(&path).unwrap();
+            w.append_entries((1..=500).map(norm).collect()).unwrap();
+            for v in 501..=800 {
+                w.append_entry(norm(v)).unwrap();
+            }
+            assert_eq!(w.group_commit_stats(), (0, 0), "nothing durable yet");
+            w.sync().unwrap();
+            // One fsync made the entire 800-entry run durable.
+            assert_eq!(w.group_commit_stats(), (1, 800));
+            w.append_entry(norm(801)).unwrap();
+            w.sync().unwrap();
+            assert_eq!(w.group_commit_stats(), (2, 801));
+            // Syncing with nothing buffered must not spend an fsync.
+            w.sync().unwrap();
+            assert_eq!(w.group_commit_stats(), (2, 801));
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

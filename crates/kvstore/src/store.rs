@@ -242,6 +242,17 @@ impl KvNode {
         self.server.propose(cmd)
     }
 
+    /// Submit a batch of commands as one contiguous append run: the next
+    /// outgoing drain replicates all of them in a single `AcceptDecide`
+    /// per follower and one storage flush. Returns how many were
+    /// accepted; on error the remainder were not proposed.
+    pub fn submit_batch(
+        &mut self,
+        cmds: impl IntoIterator<Item = KvCommand>,
+    ) -> Result<usize, (usize, ProposeErr)> {
+        self.server.propose_batch(cmds)
+    }
+
     /// Eventually-consistent local read (no log round-trip).
     pub fn read_local(&self, key: &str) -> Option<i64> {
         self.sm.state.get(key).copied()

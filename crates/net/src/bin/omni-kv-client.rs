@@ -5,19 +5,21 @@
 //! omni-kv-client --servers ... read balance        # linearizable
 //! omni-kv-client --servers ... add balance -25
 //! omni-kv-client --servers ... delete balance
-//! omni-kv-client --servers ... bench 1000          # sequential puts
+//! omni-kv-client --servers ... bench 1000          # closed loop: sequential puts
+//! omni-kv-client --servers ... pbench 100000 512   # open loop: 512 puts in flight
 //! omni-kv-client --servers ... --deadline-ms 2000 read balance
 //! ```
 
-use kvstore::NodeId;
-use net::client::KvClient;
+use kvstore::{KvOp, NodeId};
+use net::client::{KvClient, PipelinedKvClient};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: omni-kv-client --servers <pid=addr,...> [--deadline-ms N] \
-         (put <k> <v> | read <k> | add <k> <d> | delete <k> | bench <n>)"
+         (put <k> <v> | read <k> | add <k> <d> | delete <k> | bench <n> | \
+         pbench <n> [window])"
     );
     std::process::exit(2)
 }
@@ -61,7 +63,7 @@ fn main() {
             .elapsed()
             .map(|d| d.subsec_nanos() as u64)
             .unwrap_or(1);
-    let mut client = KvClient::new(client_id, servers);
+    let mut client = KvClient::new(client_id, servers.clone());
     if let Some(d) = deadline {
         // Overall per-op deadline: retries and redirects keep going until
         // it lapses, then the op fails with a timeout error.
@@ -104,6 +106,42 @@ fn main() {
                 done as f64 / secs.max(1e-9)
             );
             Ok(())
+        }
+        ["pbench", n] | ["pbench", n, _] => {
+            let n: u64 = n.parse().unwrap_or_else(|_| usage());
+            let window: usize = match rest.as_slice() {
+                [_, _, w] => w.parse().unwrap_or_else(|_| usage()),
+                _ => 512,
+            };
+            let mut pipe = PipelinedKvClient::new(client_id, servers);
+            let start = Instant::now();
+            let mut submitted = 0u64;
+            let mut done = 0u64;
+            let mut retries_snapshot = 0u64;
+            let res = loop {
+                while submitted < n && pipe.in_flight() < window {
+                    pipe.submit(KvOp::Put {
+                        key: format!("bench-key-{}", submitted % 64),
+                        value: submitted as i64,
+                    });
+                    submitted += 1;
+                }
+                match pipe.wait(Duration::from_millis(50)) {
+                    Ok(rs) => done += rs.len() as u64,
+                    Err(e) => break Err(e),
+                }
+                if done == n {
+                    retries_snapshot = pipe.retries_seen();
+                    break Ok(());
+                }
+            };
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "{done}/{n} ops in {secs:.3}s  ({:.0} ops/s, window {window}, \
+                 {retries_snapshot} retries)",
+                done as f64 / secs.max(1e-9)
+            );
+            res
         }
         _ => usage(),
     };

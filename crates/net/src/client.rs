@@ -15,8 +15,11 @@
 use crate::frame::{self, kind};
 use kvstore::{KvCommand, KvOp, KvResult, KvWire, NodeId};
 use omnipaxos::wire::Wire;
-use std::io::ErrorKind;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{self, Receiver, TryRecvError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 pub struct KvClient {
@@ -160,5 +163,377 @@ impl KvClient {
                 Err(_) => continue,
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined (open-loop) client
+
+/// One live connection of the pipelined client: the writing socket plus
+/// a reader thread that decodes reply frames into a channel, so the
+/// submit path never blocks on the wire.
+struct PipeConn {
+    stream: TcpStream,
+    rx: Receiver<KvWire>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Drop for PipeConn {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An open-loop kv client: many requests in flight at once, windowed by
+/// sequence number, with out-of-order completion.
+///
+/// Where [`KvClient`] runs send→wait→send lockstep (one consensus round
+/// trip per op), this client queues ops with [`PipelinedKvClient::submit`]
+/// and collects completions with [`PipelinedKvClient::pump`] /
+/// [`PipelinedKvClient::wait`]. Queued requests are transmitted as one
+/// coalesced `write_all` in strictly increasing seq order; the server
+/// keeps admission contiguous per client, so retries after shedding,
+/// redirects, or reconnects can never let a later write overtake an
+/// earlier one into the log (which the highest-seq-wins session table
+/// would otherwise drop as a duplicate).
+///
+/// Recovery reuses the closed-loop rules: `Redirect` re-targets the named
+/// leader, `Retry` backs off and retransmits the same `(client, seq)`,
+/// socket trouble rotates servers and retransmits the whole outstanding
+/// window — dedup on the server keeps all of it exactly-once. A
+/// deduplicated `Read` (`applied: false`) is reissued under a fresh seq
+/// and reported to the caller under the seq it originally got.
+pub struct PipelinedKvClient {
+    servers: Vec<(NodeId, SocketAddr)>,
+    current: usize,
+    client_id: u64,
+    next_seq: u64,
+    conn: Option<PipeConn>,
+    /// Every outstanding op, keyed by seq (BTreeMap ⇒ seq-order walks).
+    inflight: BTreeMap<u64, KvOp>,
+    /// Outstanding seqs awaiting (re)transmission, flushed in seq order.
+    unsent: BTreeSet<u64>,
+    /// Reissued reads: transmitted seq → the seq the caller knows.
+    alias: HashMap<u64, u64>,
+    /// Retransmission backoff gate (set after `Retry` and reconnects).
+    gate: Option<Instant>,
+    /// `KvWire::Retry` replies observed (overload/gap shedding).
+    retries: u64,
+    last_progress: Instant,
+    next_rotate: Instant,
+    /// Backoff before retransmitting a shed (`Retry`) command.
+    pub retry_delay: Duration,
+    /// Stall length after which the client rotates servers and
+    /// retransmits its window.
+    pub rotate_after: Duration,
+    /// Overall progress deadline: if nothing completes for this long
+    /// while ops are outstanding, `pump`/`wait` return `TimedOut`.
+    pub op_timeout: Duration,
+}
+
+impl PipelinedKvClient {
+    pub fn new(client_id: u64, servers: Vec<(NodeId, SocketAddr)>) -> Self {
+        assert!(!servers.is_empty(), "need at least one server");
+        PipelinedKvClient {
+            servers,
+            current: 0,
+            client_id,
+            next_seq: 0,
+            conn: None,
+            inflight: BTreeMap::new(),
+            unsent: BTreeSet::new(),
+            alias: HashMap::new(),
+            gate: None,
+            retries: 0,
+            last_progress: Instant::now(),
+            next_rotate: Instant::now() + Duration::from_secs(1),
+            retry_delay: Duration::from_millis(10),
+            rotate_after: Duration::from_secs(1),
+            op_timeout: Duration::from_secs(20),
+        }
+    }
+
+    /// Queue `op` under the next seq; nothing is written until the next
+    /// [`PipelinedKvClient::pump`]. Returns the seq completions will
+    /// carry.
+    pub fn submit(&mut self, op: KvOp) -> u64 {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.inflight.insert(seq, op);
+        self.unsent.insert(seq);
+        if self.inflight.len() == 1 {
+            // An empty window has no progress to stall on; start the
+            // clock when it becomes non-empty.
+            self.last_progress = Instant::now();
+            self.next_rotate = Instant::now() + self.rotate_after;
+        }
+        seq
+    }
+
+    /// Ops submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The sequence number of the last submitted operation.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// How many `Retry` replies (shed requests) this client has seen.
+    pub fn retries_seen(&self) -> u64 {
+        self.retries
+    }
+
+    /// One non-blocking cycle: transmit queued requests (one coalesced
+    /// write), drain ready replies, run recovery timers. Returns the ops
+    /// that completed. `Err` only on the overall progress timeout —
+    /// transient socket trouble is retried internally.
+    pub fn pump(&mut self) -> std::io::Result<Vec<KvResult>> {
+        let mut done = Vec::new();
+        self.transmit();
+        while let Some(c) = self.conn.as_ref() {
+            match c.rx.try_recv() {
+                Ok(m) => self.on_msg(m, &mut done),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.fail_conn();
+                    break;
+                }
+            }
+        }
+        self.check_stall(&done)?;
+        Ok(done)
+    }
+
+    /// Like [`PipelinedKvClient::pump`], but blocks up to `timeout` for
+    /// at least one completion (returns early with everything ready).
+    pub fn wait(&mut self, timeout: Duration) -> std::io::Result<Vec<KvResult>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let done = self.pump()?;
+            if !done.is_empty() || self.inflight.is_empty() {
+                return Ok(done);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            let slice = deadline
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(5));
+            match self.conn.as_ref() {
+                Some(c) => match c.rx.recv_timeout(slice) {
+                    Ok(m) => {
+                        let mut done = Vec::new();
+                        self.on_msg(m, &mut done);
+                        if !done.is_empty() {
+                            return Ok(done);
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => self.fail_conn(),
+                },
+                None => std::thread::sleep(slice.min(Duration::from_millis(2))),
+            }
+        }
+    }
+
+    /// Run until every outstanding op has completed (or `timeout`
+    /// lapses, which is an error). Returns completions in arrival order.
+    pub fn drain(&mut self, timeout: Duration) -> std::io::Result<Vec<KvResult>> {
+        let deadline = Instant::now() + timeout;
+        let mut all = Vec::new();
+        while !self.inflight.is_empty() {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!(
+                        "{} ops still in flight at drain deadline",
+                        self.inflight.len()
+                    ),
+                ));
+            }
+            all.extend(self.wait(Duration::from_millis(50))?);
+        }
+        Ok(all)
+    }
+
+    fn on_msg(&mut self, msg: KvWire, done: &mut Vec<KvResult>) {
+        match msg {
+            KvWire::Reply(mut res) => {
+                let seq = res.seq;
+                let Some(op) = self.inflight.remove(&seq) else {
+                    return; // duplicate reply from a retransmission
+                };
+                self.unsent.remove(&seq);
+                self.last_progress = Instant::now();
+                self.next_rotate = Instant::now() + self.rotate_after;
+                let orig = self.alias.remove(&seq).unwrap_or(seq);
+                if matches!(op, KvOp::Read { .. }) && !res.applied {
+                    // Deduplicated read: reissue under a fresh seq, still
+                    // reported to the caller under the original one.
+                    self.next_seq += 1;
+                    let fresh = self.next_seq;
+                    self.inflight.insert(fresh, op);
+                    self.unsent.insert(fresh);
+                    self.alias.insert(fresh, orig);
+                    return;
+                }
+                res.seq = orig;
+                done.push(res);
+            }
+            KvWire::Redirect { leader } => {
+                self.retarget(leader);
+                let gate = Instant::now() + Duration::from_millis(20);
+                self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
+            }
+            KvWire::Retry { seq } => {
+                if self.inflight.contains_key(&seq) {
+                    self.retries += 1;
+                    self.unsent.insert(seq);
+                    let gate = Instant::now() + self.retry_delay;
+                    self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
+                }
+            }
+            KvWire::Request(_) => {} // servers never send requests
+        }
+    }
+
+    /// Write every due outstanding request as one coalesced frame batch,
+    /// in strictly increasing seq order.
+    fn transmit(&mut self) {
+        // Reconnection is driven by *outstanding* ops, not unsent ones: a
+        // dropped connection clears nothing from `inflight`, and
+        // `connect` re-marks the whole window for retransmission.
+        if self.inflight.is_empty() || (self.conn.is_some() && self.unsent.is_empty()) {
+            return;
+        }
+        if let Some(g) = self.gate {
+            if Instant::now() < g {
+                return;
+            }
+        }
+        if self.conn.is_none() && !self.connect() {
+            return;
+        }
+        if self.unsent.is_empty() {
+            return;
+        }
+        let mut buf = Vec::new();
+        for (&seq, op) in self.inflight.iter() {
+            if !self.unsent.contains(&seq) {
+                continue;
+            }
+            let cmd = KvCommand {
+                client: self.client_id,
+                seq,
+                op: op.clone(),
+            };
+            let payload = KvWire::Request(cmd).to_bytes();
+            buf.extend_from_slice(&frame::encode_frame(kind::KV, &payload));
+        }
+        let conn = self.conn.as_ref().expect("connected above");
+        let mut w = &conn.stream;
+        if w.write_all(&buf).is_ok() {
+            self.unsent.clear();
+            self.gate = None;
+        } else {
+            self.fail_conn();
+        }
+    }
+
+    /// Open a connection to the current server and spawn its reader.
+    /// Marks the whole outstanding window for retransmission: anything
+    /// sent on a previous connection may be lost, and resending from the
+    /// lowest seq keeps per-client admission contiguous on the server.
+    fn connect(&mut self) -> bool {
+        let addr = self.servers[self.current].1;
+        let stream = match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(s) => s,
+            Err(_) => {
+                self.rotate();
+                let gate = Instant::now() + Duration::from_millis(20);
+                self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
+                return false;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let Ok(r) = stream.try_clone() else {
+            return false;
+        };
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name("kv-pipe-reader".into())
+            .spawn(move || {
+                let mut r = &r;
+                loop {
+                    match frame::read_frame(&mut r) {
+                        Ok(f) if f.kind == kind::KV => {
+                            if let Ok(msg) = KvWire::from_bytes(&f.payload) {
+                                if tx.send(msg).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(_) => continue,
+                        Err(e) if !e.is_fatal() => continue,
+                        Err(_) => return,
+                    }
+                }
+            })
+            .ok();
+        self.unsent = self.inflight.keys().copied().collect();
+        self.conn = Some(PipeConn { stream, rx, reader });
+        true
+    }
+
+    fn fail_conn(&mut self) {
+        self.conn = None; // Drop shuts the socket down and joins the reader
+        self.rotate();
+        let gate = Instant::now() + Duration::from_millis(20);
+        self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
+    }
+
+    fn check_stall(&mut self, done: &[KvResult]) -> std::io::Result<()> {
+        if self.inflight.is_empty() || !done.is_empty() {
+            return Ok(());
+        }
+        if self.last_progress.elapsed() > self.op_timeout {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                format!(
+                    "no completion within {:?} ({} ops in flight)",
+                    self.op_timeout,
+                    self.inflight.len()
+                ),
+            ));
+        }
+        if Instant::now() >= self.next_rotate {
+            // Stalled: the server may be gone or mute. Try the next one
+            // and retransmit the window there.
+            self.next_rotate = Instant::now() + self.rotate_after;
+            self.fail_conn();
+        }
+        Ok(())
+    }
+
+    fn retarget(&mut self, leader: NodeId) {
+        match self.servers.iter().position(|(pid, _)| *pid == leader) {
+            Some(i) if i != self.current => {
+                self.current = i;
+                self.conn = None;
+            }
+            Some(_) => {} // already there; the leader may still be settling
+            None => self.fail_conn(),
+        }
+    }
+
+    fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.servers.len();
+        self.conn = None;
     }
 }

@@ -19,7 +19,7 @@ use kvstore::{KvNode, KvWire};
 use omnipaxos::wire::Wire;
 use omnipaxos::{OmniMessage, PaxosMsg, ServiceMsg};
 use std::collections::HashMap;
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -30,18 +30,31 @@ use std::time::{Duration, Instant};
 /// Identifier of one client connection on the gateway.
 pub type ConnId = u64;
 
+/// One gateway connection: the socket plus a reply buffer. Replies are
+/// appended here and written with one `write_all` per
+/// [`ClientGateway::flush_replies`] call, so all replies a pump cycle
+/// produces — typically one per command in the decided batch — ride a
+/// single syscall per connection.
+struct GatewayConn {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+}
+
 /// Accepts client connections and shuttles [`KvWire`] frames.
 ///
-/// Replies are written synchronously from the server thread (client
-/// traffic is request/reply, so there is no backpressure problem a
-/// writer thread would solve); requests arrive via per-connection reader
-/// threads.
+/// Replies are buffered per connection and written from the server
+/// thread at pump boundaries (client traffic is request/reply, so there
+/// is no backpressure problem a writer thread would solve); requests
+/// arrive via per-connection reader threads.
 pub struct ClientGateway {
     rx: Receiver<(ConnId, KvWire)>,
-    conns: Arc<Mutex<HashMap<ConnId, TcpStream>>>,
+    conns: Arc<Mutex<HashMap<ConnId, GatewayConn>>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
+    /// Coalesced reply writes issued / reply frames carried by them.
+    reply_batches: u64,
+    reply_frames: u64,
 }
 
 impl ClientGateway {
@@ -50,7 +63,7 @@ impl ClientGateway {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel();
-        let conns: Arc<Mutex<HashMap<ConnId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let conns: Arc<Mutex<HashMap<ConnId, GatewayConn>>> = Arc::new(Mutex::new(HashMap::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept = {
             let conns = Arc::clone(&conns);
@@ -65,6 +78,8 @@ impl ClientGateway {
             shutdown,
             threads: vec![accept],
             local_addr,
+            reply_batches: 0,
+            reply_frames: 0,
         })
     }
 
@@ -78,24 +93,54 @@ impl ClientGateway {
         self.rx.try_iter().collect()
     }
 
-    /// Send `msg` to a client connection; dropped connections are ignored
-    /// (the client's retry loop owns recovery).
+    /// Queue `msg` for a client connection. Nothing hits the socket until
+    /// [`ClientGateway::flush_replies`]; replies to dropped connections
+    /// are silently discarded there (the client's retry loop owns
+    /// recovery).
     pub fn reply(&mut self, conn: ConnId, msg: &KvWire) {
         let mut conns = lock_unpoisoned(&self.conns);
-        if let Some(stream) = conns.get_mut(&conn) {
-            let mut w = &*stream;
-            if frame::write_frame(&mut w, kind::KV, &msg.to_bytes()).is_err() {
-                conns.remove(&conn);
+        if let Some(c) = conns.get_mut(&conn) {
+            c.wbuf
+                .extend_from_slice(&frame::encode_frame(kind::KV, &msg.to_bytes()));
+            self.reply_frames += 1;
+        }
+    }
+
+    /// Write every buffered reply: one `write_all` per connection with
+    /// pending replies, so a decided batch of N commands costs one reply
+    /// syscall per client instead of N.
+    pub fn flush_replies(&mut self) {
+        let mut conns = lock_unpoisoned(&self.conns);
+        let mut dead = Vec::new();
+        for (&id, c) in conns.iter_mut() {
+            if c.wbuf.is_empty() {
+                continue;
+            }
+            let mut w = &c.stream;
+            let ok = w.write_all(&c.wbuf).is_ok();
+            c.wbuf.clear();
+            if ok {
+                self.reply_batches += 1;
+            } else {
+                dead.push(id);
             }
         }
+        for id in dead {
+            conns.remove(&id);
+        }
+    }
+
+    /// `(coalesced reply writes, reply frames carried)` since boot.
+    pub fn reply_stats(&self) -> (u64, u64) {
+        (self.reply_batches, self.reply_frames)
     }
 }
 
 impl Drop for ClientGateway {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for (_, s) in lock_unpoisoned(&self.conns).drain() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        for (_, c) in lock_unpoisoned(&self.conns).drain() {
+            let _ = c.stream.shutdown(std::net::Shutdown::Both);
         }
         for h in self.threads.drain(..) {
             let _ = h.join();
@@ -106,7 +151,7 @@ impl Drop for ClientGateway {
 fn gateway_accept(
     listener: TcpListener,
     tx: Sender<(ConnId, KvWire)>,
-    conns: Arc<Mutex<HashMap<ConnId, TcpStream>>>,
+    conns: Arc<Mutex<HashMap<ConnId, GatewayConn>>>,
     shutdown: Arc<AtomicBool>,
 ) {
     let next_id = AtomicU64::new(1);
@@ -120,7 +165,13 @@ fn gateway_accept(
                 let Ok(reader) = stream.try_clone() else {
                     continue;
                 };
-                lock_unpoisoned(&conns).insert(id, stream);
+                lock_unpoisoned(&conns).insert(
+                    id,
+                    GatewayConn {
+                        stream,
+                        wbuf: Vec::new(),
+                    },
+                );
                 let tx = tx.clone();
                 let conns = Arc::clone(&conns);
                 // Reader threads exit on connection error; on gateway
@@ -170,9 +221,22 @@ pub struct KvServer<L> {
     pending: HashMap<(u64, u64), ConnId>,
     /// Overload bound on `pending`: requests beyond it get `Retry`.
     max_pending: usize,
+    /// Highest admitted seq per client. Pipelined clients keep a window
+    /// of seqs in flight; admission is kept contiguous per client (a
+    /// fresh seq is admitted only if it extends `admitted + 1`), so a
+    /// shed command can never be overtaken by a later one from the same
+    /// client. Without this, the session table (which stores only the
+    /// highest applied seq) would swallow the shed command's retry as a
+    /// duplicate and the write would be silently lost.
+    admitted: HashMap<u64, u64>,
     shed: u64,
     prepare_reqs: u64,
     reconnects: u64,
+    /// Proposal batching: pump cycles that proposed ≥1 command, and
+    /// commands proposed — `proposed_ops / proposal_batches` is the mean
+    /// contiguous append run handed to one consensus round.
+    proposal_batches: u64,
+    proposed_ops: u64,
 }
 
 impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
@@ -183,9 +247,12 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             gateway: None,
             pending: HashMap::new(),
             max_pending: DEFAULT_MAX_PENDING,
+            admitted: HashMap::new(),
             shed: 0,
             prepare_reqs: 0,
             reconnects: 0,
+            proposal_batches: 0,
+            proposed_ops: 0,
         }
     }
 
@@ -204,9 +271,28 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
         self
     }
 
-    /// Requests shed with `Retry` because the pending queue was full.
+    /// Requests shed with `Retry` because the pending queue was full or
+    /// because an earlier seq from the same client was shed (admission
+    /// stays contiguous per client).
     pub fn shed_requests(&self) -> u64 {
         self.shed
+    }
+
+    /// `(pump cycles that proposed, commands proposed)` — the proposal
+    /// batching evidence: one cycle's worth of client commands becomes
+    /// one contiguous append run, replicated as a single `AcceptDecide`
+    /// per follower at the next drain.
+    pub fn proposal_stats(&self) -> (u64, u64) {
+        (self.proposal_batches, self.proposed_ops)
+    }
+
+    /// `(coalesced reply writes, reply frames carried)` from the gateway
+    /// — the write-coalescing evidence on the client-facing side.
+    pub fn gateway_reply_stats(&self) -> (u64, u64) {
+        self.gateway
+            .as_ref()
+            .map(|g| g.reply_stats())
+            .unwrap_or((0, 0))
     }
 
     pub fn node(&self) -> &KvNode {
@@ -246,10 +332,16 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
 
     /// One I/O cycle: drain the link (messages and session events), the
     /// gateway (client requests), the replica (results), then flush
-    /// outgoing replication traffic.
-    pub fn pump(&mut self) {
+    /// outgoing replication traffic and buffered client replies.
+    ///
+    /// Returns the number of units of work done (messages handled,
+    /// requests served, results delivered); drivers use it to spin while
+    /// busy and sleep only when idle.
+    pub fn pump(&mut self) -> usize {
+        let mut work = 0;
         if let Some(link) = self.link.as_mut() {
             for ev in link.poll() {
+                work += 1;
                 match ev {
                     LinkEvent::Message { from, msg } => {
                         if is_prepare_req(&msg) {
@@ -270,9 +362,13 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
                 }
             }
         }
-        self.serve_clients();
-        self.deliver_results();
+        work += self.serve_clients();
+        work += self.deliver_results();
         self.flush();
+        if let Some(g) = self.gateway.as_mut() {
+            g.flush_replies();
+        }
+        work
     }
 
     /// Advance protocol timers (election, heartbeats, resends).
@@ -280,23 +376,43 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
         self.node.tick();
         self.deliver_results();
         self.flush();
+        if let Some(g) = self.gateway.as_mut() {
+            g.flush_replies();
+        }
     }
 
-    fn serve_clients(&mut self) {
+    fn serve_clients(&mut self) -> usize {
         let Some(gateway) = self.gateway.as_mut() else {
-            return;
+            return 0;
         };
-        if !self.node.is_leader() && !self.pending.is_empty() {
-            // Leadership lost with commands in flight: their fate is
-            // unknown (the new leader may or may not carry them). Tell
-            // the clients to retry — the session layer deduplicates any
-            // that decided after all — so `pending` cannot leak dead
-            // entries and eventually wedge the overload bound.
-            for ((_, seq), conn) in self.pending.drain() {
-                gateway.reply(conn, &KvWire::Retry { seq });
+        if !self.node.is_leader() {
+            if !self.pending.is_empty() {
+                // Leadership lost with commands in flight: their fate is
+                // unknown (the new leader may or may not carry them). Tell
+                // the clients to retry — the session layer deduplicates any
+                // that decided after all — so `pending` cannot leak dead
+                // entries and eventually wedge the overload bound.
+                for ((_, seq), conn) in self.pending.drain() {
+                    gateway.reply(conn, &KvWire::Retry { seq });
+                }
             }
+            // Admission watermarks only describe what *this* leadership
+            // stint admitted. While another leader serves the clients
+            // their seqs advance elsewhere; keeping the old watermarks
+            // would make every fresh seq look like a gap once leadership
+            // returns here — an unbreakable Retry loop. Drop them; first
+            // contact re-initializes from the client's in-order window.
+            self.admitted.clear();
         }
+        // Drain every queued request before flushing: all commands
+        // admitted in this cycle form one contiguous append run, which
+        // the replication layer batches into a single `AcceptDecide` per
+        // follower at the next drain (proposal batching).
+        let mut served = 0;
+        let mut meta: Vec<((u64, u64), ConnId)> = Vec::new();
+        let mut batch: Vec<kvstore::KvCommand> = Vec::new();
         for (conn, msg) in gateway.poll() {
+            served += 1;
             let KvWire::Request(cmd) = msg else {
                 continue; // clients only send requests
             };
@@ -307,35 +423,72 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             }
             let key = (cmd.client, cmd.seq);
             let seq = cmd.seq;
-            // Overload shedding: a full pending queue means replication
-            // is behind client arrival; answer `Retry` now rather than
-            // queueing unboundedly. Duplicates of an already-queued
-            // command are exempt — re-registering them is free and the
-            // session layer deduplicates on apply.
-            if self.pending.len() >= self.max_pending && !self.pending.contains_key(&key) {
+            // First contact with a client admits whatever seq it leads
+            // with (a client always transmits its outstanding window in
+            // seq order, so the lowest outstanding seq arrives first).
+            let admitted = *self
+                .admitted
+                .entry(cmd.client)
+                .or_insert_with(|| seq.saturating_sub(1));
+            if seq > admitted + 1 {
+                // Gap: an earlier seq from this client was shed. Shed
+                // this one too — admitting it would let it overtake the
+                // earlier command in the log, and the session table
+                // (highest applied seq) would then drop the earlier
+                // command's retry as a duplicate: a silently lost write.
                 self.shed += 1;
                 gateway.reply(conn, &KvWire::Retry { seq });
                 continue;
             }
-            match self.node.submit(cmd) {
-                Ok(()) => {
+            // Overload shedding: a full pending queue means replication
+            // is behind client arrival; answer `Retry` now rather than
+            // queueing unboundedly. Duplicates (seq ≤ admitted) are
+            // exempt — re-registering them is free and the session layer
+            // deduplicates on apply.
+            if seq > admitted
+                && self.pending.len() + batch.len() >= self.max_pending
+                && !self.pending.contains_key(&key)
+            {
+                self.shed += 1;
+                gateway.reply(conn, &KvWire::Retry { seq });
+                continue;
+            }
+            self.admitted.insert(cmd.client, admitted.max(seq));
+            meta.push((key, conn));
+            batch.push(cmd);
+        }
+        if !batch.is_empty() {
+            let accepted = match self.node.submit_batch(batch) {
+                Ok(n) => n,
+                Err((n, _)) => n,
+            };
+            for (i, (key, conn)) in meta.into_iter().enumerate() {
+                if i < accepted {
                     self.pending.insert(key, conn);
+                } else {
+                    gateway.reply(conn, &KvWire::Retry { seq: key.1 });
                 }
-                Err(_) => gateway.reply(conn, &KvWire::Retry { seq }),
+            }
+            if accepted > 0 {
+                self.proposal_batches += 1;
+                self.proposed_ops += accepted as u64;
             }
         }
+        served
     }
 
-    fn deliver_results(&mut self) {
+    fn deliver_results(&mut self) -> usize {
         let results = self.node.take_results();
         let Some(gateway) = self.gateway.as_mut() else {
-            return;
+            return 0;
         };
+        let n = results.len();
         for res in results {
             if let Some(conn) = self.pending.remove(&(res.client, res.seq)) {
                 gateway.reply(conn, &KvWire::Reply(res));
             }
         }
+        n
     }
 
     fn flush(&mut self) {
@@ -349,16 +502,20 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
     }
 
     /// Drive the server until `stop` is set: pump continuously, tick
-    /// every `tick_every`.
+    /// every `tick_every`. Busy cycles run back to back (open-loop load
+    /// turns around in microseconds, not scheduler quanta); only an idle
+    /// cycle sleeps.
     pub fn run(mut self, tick_every: Duration, stop: Arc<AtomicBool>) -> Self {
         let mut last_tick = Instant::now();
         while !stop.load(Ordering::SeqCst) {
-            self.pump();
+            let work = self.pump();
             if last_tick.elapsed() >= tick_every {
                 last_tick = Instant::now();
                 self.tick();
             }
-            std::thread::sleep(Duration::from_millis(1));
+            if work == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
         self
     }
