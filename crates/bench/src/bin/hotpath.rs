@@ -18,8 +18,11 @@
 //!   replaying the whole log. Writes `BENCH_PR2.json`.
 //! * **net-loopback** (`-- --net-loopback`) — a real 3-replica kv
 //!   cluster over the `crates/net` TCP transport on 127.0.0.1, measured
-//!   from a closed-loop client: put/read throughput and p50/p99 latency
-//!   over actual sockets. Writes `BENCH_PR4.json`.
+//!   open loop: a pipelined client sweeps its in-flight window from 1 to
+//!   10,000 (throughput + p50/p99 per point), against a closed-loop
+//!   comparison point, with every completion audited exactly-once and
+//!   final values checked by linearizable reads. Also measures WAL group
+//!   commit directly (entries per fsync). Writes `BENCH_PR6.json`.
 //!
 //! Run with `cargo run --release --bin hotpath` (add `-- --quick` for a
 //! fast smoke run). Results are printed and written to `BENCH_PR1.json`;
@@ -295,17 +298,54 @@ fn percentile(sorted_us: &[f64], q: f64) -> f64 {
     sorted_us[idx]
 }
 
+/// Direct WAL group-commit measurement: batched appends between fsyncs,
+/// reported as entries made durable per `sync_data` call. Returns
+/// `(appends, syncs, entries_per_sync, elapsed_s)`.
+fn bench_wal_group_commit(quick: bool) -> (u64, u64, f64, f64) {
+    use omnipaxos::{LogEntry, Storage, WalStorage};
+    let dir = std::env::temp_dir().join(format!("omni-wal-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("wal bench dir");
+    let path = dir.join("group-commit.wal");
+    let _ = std::fs::remove_file(&path);
+    let rounds: u64 = if quick { 20 } else { 200 };
+    let batch: u64 = 512;
+    let mut wal: WalStorage<u64> = WalStorage::open(&path).expect("open wal");
+    let start = Instant::now();
+    for r in 0..rounds {
+        let entries: Vec<LogEntry<u64>> = (0..batch)
+            .map(|v| LogEntry::Normal(r * batch + v))
+            .collect();
+        wal.append_entries(entries).expect("append batch");
+        wal.sync().expect("sync");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let (syncs, committed) = wal.group_commit_stats();
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        committed,
+        rounds * batch,
+        "every appended entry group-committed"
+    );
+    let per_sync = committed as f64 / syncs.max(1) as f64;
+    (committed, syncs, per_sync, elapsed)
+}
+
 /// `--net-loopback`: a real 3-replica kv cluster over TCP on 127.0.0.1
-/// (the `crates/net` transport, not the simulator), measured from a
-/// closed-loop client: put and linearizable-read throughput plus p50/p99
-/// latency over actual sockets. Written to `BENCH_PR4.json`.
+/// (the `crates/net` transport, not the simulator), measured *open loop*:
+/// a pipelined client sweeps its in-flight window from 1 to 10,000 and
+/// each point reports throughput and p50/p99 submit→completion latency.
+/// A closed-loop client provides the lockstep comparison point. Under
+/// load, every seq must complete exactly once, final values must read
+/// back linearizably, and the three replicas (session tables included)
+/// must converge to identical states. Written to `BENCH_PR6.json`.
 fn run_net_loopback(quick: bool) {
-    use kvstore::{KvCommand, KvNode};
+    use kvstore::{KvCommand, KvNode, KvOp};
     use net::server::{ClientGateway, KvServer};
     use net::tcp::{TcpConfig, TcpTransport};
-    use net::{KvClient, NetworkLink};
+    use net::{KvClient, NetworkLink, PipelinedKvClient};
     use omnipaxos::ServiceMsg;
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
     use std::net::TcpListener;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -313,9 +353,7 @@ fn run_net_loopback(quick: bool) {
 
     type Transport = TcpTransport<ServiceMsg<KvCommand>>;
 
-    let puts: u64 = if quick { 300 } else { 2_000 };
-    let reads: u64 = puts / 4;
-    println!("hotpath: net-loopback (3 replicas over TCP, {puts} puts + {reads} reads)");
+    println!("hotpath: net-loopback open-loop sweep (3 replicas over TCP)");
 
     // Boot: ephemeral replication + gateway ports, one drive thread per node.
     let mut listeners = HashMap::new();
@@ -347,76 +385,206 @@ fn run_net_loopback(quick: bool) {
         }));
     }
 
-    let mut client = KvClient::new(0xBE9C4, client_addrs);
+    let mut client = KvClient::new(0xBE9C4, client_addrs.clone());
     // Warmup: rides out leader election and fills the session caches.
     for i in 0..50u64 {
         client.put("warm", i as i64).expect("warmup put");
     }
 
-    let mut put_lat: Vec<f64> = Vec::with_capacity(puts as usize);
+    // Closed-loop comparison point: one put at a time, lockstep.
+    let closed_ops: u64 = if quick { 200 } else { 1_000 };
+    let mut closed_lat: Vec<f64> = Vec::with_capacity(closed_ops as usize);
     let start = Instant::now();
-    for i in 0..puts {
+    for i in 0..closed_ops {
         let t = Instant::now();
         let r = client.put(&format!("k{}", i % 64), i as i64).expect("put");
         assert!(r.applied, "fresh put must apply");
-        put_lat.push(t.elapsed().as_secs_f64() * 1e6);
+        closed_lat.push(t.elapsed().as_secs_f64() * 1e6);
     }
-    let put_elapsed = start.elapsed().as_secs_f64();
+    let closed_elapsed = start.elapsed().as_secs_f64();
+    closed_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let closed_mean = closed_lat.iter().sum::<f64>() / closed_lat.len() as f64;
+    let closed_ops_sec = closed_ops as f64 / closed_elapsed;
+    println!(
+        "  closed loop: {closed_ops_sec:.0} ops/sec  p50 {:.0}us  p99 {:.0}us",
+        percentile(&closed_lat, 0.50),
+        percentile(&closed_lat, 0.99)
+    );
 
-    let mut read_lat: Vec<f64> = Vec::with_capacity(reads as usize);
-    let start = Instant::now();
-    for i in 0..reads {
-        let t = Instant::now();
-        let v = client.read(&format!("k{}", i % 64)).expect("read");
-        assert!(v.is_some(), "read must see a written key");
-        read_lat.push(t.elapsed().as_secs_f64() * 1e6);
+    // Open-loop sweep: in-flight window 1 → 10,000. The client-side
+    // model tracks the last submitted value per key; per-key order is
+    // guaranteed by contiguous admission, so the linearizable audit
+    // below must see exactly these values.
+    struct Point {
+        window: usize,
+        ops: u64,
+        elapsed: f64,
+        ops_sec: f64,
+        p50: f64,
+        p99: f64,
+        mean: f64,
+        retries: u64,
     }
-    let read_elapsed = start.elapsed().as_secs_f64();
+    let windows: &[usize] = &[1, 16, 128, 1_024, 4_096, 10_000];
+    let mut pipe = PipelinedKvClient::new(0xBE9C5, client_addrs.clone());
+    let mut model: HashMap<String, i64> = HashMap::new();
+    let mut points: Vec<Point> = Vec::new();
+    let mut value_counter = 0i64;
+    for &window in windows {
+        let ops: u64 = if quick {
+            (window as u64 * 4).clamp(300, 8_000)
+        } else {
+            (window as u64 * 20).clamp(2_000, 100_000)
+        };
+        let retries_before = pipe.retries_seen();
+        let mut lat: Vec<f64> = Vec::with_capacity(ops as usize);
+        let mut starts: HashMap<u64, Instant> = HashMap::new();
+        let mut seen: HashSet<u64> = HashSet::with_capacity(ops as usize);
+        let mut submitted = 0u64;
+        let start = Instant::now();
+        while (seen.len() as u64) < ops {
+            while submitted < ops && pipe.in_flight() < window {
+                let key = format!("k{}", submitted % 64);
+                value_counter += 1;
+                model.insert(key.clone(), value_counter);
+                let seq = pipe.submit(KvOp::Put {
+                    key,
+                    value: value_counter,
+                });
+                starts.insert(seq, Instant::now());
+                submitted += 1;
+            }
+            for r in pipe
+                .wait(Duration::from_millis(50))
+                .expect("pipelined put under sweep")
+            {
+                assert!(seen.insert(r.seq), "seq {} completed twice", r.seq);
+                if let Some(t0) = starts.remove(&r.seq) {
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let point = Point {
+            window,
+            ops,
+            elapsed,
+            ops_sec: ops as f64 / elapsed,
+            p50: percentile(&lat, 0.50),
+            p99: percentile(&lat, 0.99),
+            mean: lat.iter().sum::<f64>() / lat.len().max(1) as f64,
+            retries: pipe.retries_seen() - retries_before,
+        };
+        println!(
+            "  open loop w={:<6} {:>8.0} ops/sec  p50 {:>7.0}us  p99 {:>8.0}us  ({} retries)",
+            point.window, point.ops_sec, point.p50, point.p99, point.retries
+        );
+        points.push(point);
+    }
+
+    // Linearizable audit: every key must read back as the last value the
+    // open-loop client submitted for it (per-key order survived
+    // shedding, redirects, and retransmission).
+    for (k, v) in &model {
+        assert_eq!(
+            client.read(k).expect("audit read"),
+            Some(*v),
+            "linearizable audit of {k}"
+        );
+    }
+    // Give followers a moment to apply the tail, then snapshot states.
+    client.put("sentinel", 1).expect("sentinel");
+    std::thread::sleep(Duration::from_millis(500));
 
     stop.store(true, Ordering::SeqCst);
     let servers: Vec<_> = handles
         .into_iter()
         .map(|h| h.join().expect("node"))
         .collect();
+    let sm0 = servers[0].node().state_machine();
+    assert!(
+        servers[1..].iter().all(|s| s.node().state_machine() == sm0),
+        "replicas (session tables included) must converge"
+    );
+
     let (mut msgs_sent, mut bytes_sent, mut sessions) = (0u64, 0u64, 0u64);
+    let (mut wbatches, mut wframes, mut wbytes) = (0u64, 0u64, 0u64);
+    let (mut hb_sent, mut hb_supp) = (0u64, 0u64);
+    let (mut pbatches, mut pops) = (0u64, 0u64);
+    let (mut rbatches, mut rframes) = (0u64, 0u64);
+    let mut shed = 0u64;
     for s in &servers {
         if let Some(link) = s.link() {
             let c = link.counters();
             msgs_sent += c.msgs_sent;
             bytes_sent += c.bytes_sent;
             sessions += c.sessions_established;
+            wbatches += c.writer_batches;
+            wframes += c.writer_frames;
+            wbytes += c.writer_bytes;
+            hb_sent += c.heartbeats_sent;
+            hb_supp += c.heartbeats_suppressed;
         }
+        let (pb, po) = s.proposal_stats();
+        pbatches += pb;
+        pops += po;
+        let (rb, rf) = s.gateway_reply_stats();
+        rbatches += rb;
+        rframes += rf;
+        shed += s.shed_requests();
     }
 
-    put_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    read_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let put_mean = put_lat.iter().sum::<f64>() / put_lat.len() as f64;
-    let read_mean = read_lat.iter().sum::<f64>() / read_lat.len() as f64;
-    let put_ops = puts as f64 / put_elapsed;
-    let read_ops = reads as f64 / read_elapsed;
+    println!("hotpath: wal group commit (direct WalStorage measurement)");
+    let (wal_entries, wal_syncs, wal_per_sync, wal_elapsed) = bench_wal_group_commit(quick);
     println!(
-        "  put:  {put_ops:.0} ops/sec  p50 {:.0}us  p99 {:.0}us",
-        percentile(&put_lat, 0.50),
-        percentile(&put_lat, 0.99)
-    );
-    println!(
-        "  read: {read_ops:.0} ops/sec  p50 {:.0}us  p99 {:.0}us",
-        percentile(&read_lat, 0.50),
-        percentile(&read_lat, 0.99)
+        "  {wal_entries} entries in {wal_syncs} fsyncs ({wal_per_sync:.0} entries/fsync, {:.0} entries/sec)",
+        wal_entries as f64 / wal_elapsed.max(1e-9)
     );
 
-    let out = format!(
-        "{{\n  \"bench\": \"net-loopback\",\n  \"quick\": {quick},\n  \"replicas\": 3,\n  \"put_closed_loop\": {{\n    \"ops\": {puts},\n    \"elapsed_s\": {put_elapsed:.3},\n    \"ops_per_sec\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {}\n  }},\n  \"read_linearizable\": {{\n    \"ops\": {reads},\n    \"elapsed_s\": {read_elapsed:.3},\n    \"ops_per_sec\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {}\n  }},\n  \"transport\": {{\n    \"replication_msgs_sent\": {msgs_sent},\n    \"replication_bytes_sent\": {bytes_sent},\n    \"sessions_established\": {sessions}\n  }}\n}}\n",
-        json_num(put_ops),
-        json_num(percentile(&put_lat, 0.50)),
-        json_num(percentile(&put_lat, 0.99)),
-        json_num(put_mean),
-        json_num(read_ops),
-        json_num(percentile(&read_lat, 0.50)),
-        json_num(percentile(&read_lat, 0.99)),
-        json_num(read_mean),
+    let best = points
+        .iter()
+        .max_by(|a, b| a.ops_sec.partial_cmp(&b.ops_sec).unwrap())
+        .expect("sweep points");
+    let speedup = best.ops_sec / closed_ops_sec;
+    println!(
+        "  best: {:.0} ops/sec at w={} ({speedup:.1}x the closed loop)",
+        best.ops_sec, best.window
     );
-    std::fs::write("BENCH_PR4.json", &out).expect("write BENCH_PR4.json");
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"in_flight\": {},\n      \"ops\": {},\n      \"elapsed_s\": {:.3},\n      \"ops_per_sec\": {},\n      \"p50_us\": {},\n      \"p99_us\": {},\n      \"mean_us\": {},\n      \"retries\": {}\n    }}",
+                p.window,
+                p.ops,
+                p.elapsed,
+                json_num(p.ops_sec),
+                json_num(p.p50),
+                json_num(p.p99),
+                json_num(p.mean),
+                p.retries
+            )
+        })
+        .collect();
+    let out = format!(
+        "{{\n  \"bench\": \"net-open-loop\",\n  \"quick\": {quick},\n  \"replicas\": 3,\n  \"closed_loop\": {{\n    \"ops\": {closed_ops},\n    \"elapsed_s\": {closed_elapsed:.3},\n    \"ops_per_sec\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {}\n  }},\n  \"open_loop_sweep\": [\n{}\n  ],\n  \"best\": {{\n    \"in_flight\": {},\n    \"ops_per_sec\": {},\n    \"speedup_vs_closed_loop\": {}\n  }},\n  \"transport\": {{\n    \"replication_msgs_sent\": {msgs_sent},\n    \"replication_bytes_sent\": {bytes_sent},\n    \"sessions_established\": {sessions},\n    \"writer_batches\": {wbatches},\n    \"writer_frames\": {wframes},\n    \"writer_bytes\": {wbytes},\n    \"heartbeats_sent\": {hb_sent},\n    \"heartbeats_suppressed\": {hb_supp}\n  }},\n  \"server\": {{\n    \"proposal_batches\": {pbatches},\n    \"proposed_ops\": {pops},\n    \"reply_batches\": {rbatches},\n    \"reply_frames\": {rframes},\n    \"shed_requests\": {shed}\n  }},\n  \"wal_group_commit\": {{\n    \"entries\": {wal_entries},\n    \"syncs\": {wal_syncs},\n    \"entries_per_sync\": {},\n    \"elapsed_s\": {wal_elapsed:.3}\n  }},\n  \"checks\": {{\n    \"completions_exactly_once\": 1,\n    \"final_reads_linearizable\": 1,\n    \"replicas_converged\": 1\n  }}\n}}\n",
+        json_num(closed_ops_sec),
+        json_num(percentile(&closed_lat, 0.50)),
+        json_num(percentile(&closed_lat, 0.99)),
+        json_num(closed_mean),
+        sweep_json.join(",\n"),
+        best.window,
+        json_num(best.ops_sec),
+        if speedup.is_finite() {
+            format!("{speedup:.2}")
+        } else {
+            "null".into()
+        },
+        json_num(wal_per_sync),
+    );
+    std::fs::write("BENCH_PR6.json", &out).expect("write BENCH_PR6.json");
     print!("{out}");
 }
 

@@ -1,12 +1,15 @@
 //! Chaos over the replicated key-value store: session dedup under faults.
 //!
 //! The cluster-level harness checks log safety; this module checks the
-//! *application* contract on top of it. Clients submit commands with
-//! per-client sequence numbers and deliberately retry some of them —
-//! exactly once per `(client, seq)` must take effect, across link cuts,
-//! crash + recovery, and snapshot compaction (the session table is part of
-//! the snapshot; a snapshot that forgot it would re-apply retries after a
-//! transfer, which is the bug this run would catch).
+//! *application* contract on top of it. Clients submit windowed bursts of
+//! commands with per-client sequence numbers — many seqs outstanding at
+//! once, like a pipelined socket client — and deliberately retry seqs
+//! anywhere in the window, including ones older than later seqs already
+//! applied. Exactly once per `(client, seq)` must take effect, across
+//! link cuts, crash + recovery, and snapshot compaction (the session
+//! table is part of the snapshot; a snapshot that forgot it would
+//! re-apply retries after a transfer, which is the bug this run would
+//! catch).
 
 use kvstore::{KvCommand, KvNode, KvOp, NodeId};
 use omnipaxos::service::ServiceMsg;
@@ -44,10 +47,13 @@ pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
     let mut rng = Rng::seed_from_u64(seed ^ 0x5E55_10D5);
     let mut crashed: HashSet<NodeId> = HashSet::new();
     let mut cut: Vec<(NodeId, NodeId)> = Vec::new();
-    // Per-client next sequence number, and the last command per client for
-    // retries.
+    // Per-client next sequence number, and a sliding window of recent
+    // commands per client: retries resend a random command still in the
+    // window — including seqs *older* than ones already applied, which is
+    // exactly the hazard a pipelined (windowed-seq) client creates when
+    // it retransmits its whole outstanding window after a reconnect.
     let mut next_seq: HashMap<u64, u64> = HashMap::new();
-    let mut last_cmd: HashMap<u64, KvCommand> = HashMap::new();
+    let mut recent: HashMap<u64, Vec<KvCommand>> = HashMap::new();
     // Per node: (client, seq) pairs reported applied — each at most once.
     let mut applied_seen: Vec<HashSet<(u64, u64)>> = vec![HashSet::new(); N];
     let mut stats = KvChaosStats {
@@ -130,38 +136,48 @@ pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
                 }
             }
         }
-        // Workload: fresh commands, with deliberate retries.
+        // Workload: windowed bursts of fresh commands, with deliberate
+        // retries of commands anywhere in the recent window (a pipelined
+        // client resends its whole outstanding window, oldest first).
         if t % 5 == 0 {
             let client = rng.range_inclusive(1, 2);
             let leader =
                 (0..N).find(|&i| !crashed.contains(&((i + 1) as NodeId)) && nodes[i].is_leader());
             if let Some(li) = leader {
-                let retry = rng.chance(0.3) && last_cmd.contains_key(&client);
-                let cmd = if retry {
-                    last_cmd.get(&client).cloned()
-                } else {
-                    None
-                };
-                let cmd = cmd.unwrap_or_else(|| {
-                    let seq = next_seq.entry(client).or_insert(1);
-                    let s = *seq;
-                    *seq += 1;
-                    let c = KvCommand {
-                        client,
-                        seq: s,
-                        op: KvOp::Add {
-                            key: format!("k{}", rng.below(4)),
-                            delta: rng.range_inclusive(1, 9) as i64,
-                        },
-                    };
-                    last_cmd.insert(client, c.clone());
-                    c
-                });
-                if retry {
+                let window = recent.entry(client).or_default();
+                if rng.chance(0.3) && !window.is_empty() {
+                    // Retry: a random in-window seq — often one older
+                    // than later seqs already applied. Dedup must still
+                    // apply each (client, seq) exactly once.
+                    let idx = rng.below(window.len() as u64) as usize;
                     stats.duplicates += 1;
-                }
-                if nodes[li].submit(cmd).is_ok() {
-                    stats.submitted += 1;
+                    if nodes[li].submit(window[idx].clone()).is_ok() {
+                        stats.submitted += 1;
+                    }
+                } else {
+                    // Fresh burst: several new seqs back to back, in seq
+                    // order — the open-loop window filling up.
+                    let burst = rng.range_inclusive(1, 4);
+                    for _ in 0..burst {
+                        let seq = next_seq.entry(client).or_insert(1);
+                        let s = *seq;
+                        *seq += 1;
+                        let c = KvCommand {
+                            client,
+                            seq: s,
+                            op: KvOp::Add {
+                                key: format!("k{}", rng.below(4)),
+                                delta: rng.range_inclusive(1, 9) as i64,
+                            },
+                        };
+                        window.push(c.clone());
+                        if window.len() > 16 {
+                            window.remove(0);
+                        }
+                        if nodes[li].submit(c).is_ok() {
+                            stats.submitted += 1;
+                        }
+                    }
                 }
             }
         }

@@ -7,12 +7,12 @@
 //! by live reconfiguration. Everything binds ephemeral ports, so the
 //! tests are safe to run in parallel with anything.
 
-use kvstore::{KvCommand, KvNode, NodeId};
+use kvstore::{KvCommand, KvNode, KvOp, NodeId};
 use net::server::{ClientGateway, KvServer};
 use net::tcp::{TcpConfig, TcpTransport};
-use net::KvClient;
+use net::{KvClient, PipelinedKvClient};
 use omnipaxos::ServiceMsg;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{self, Sender};
@@ -71,6 +71,13 @@ impl Cluster {
     /// Boot `members` as the initial configuration and `joiners` as
     /// idle servers; all replication and client ports are ephemeral.
     fn boot(members: &[NodeId], joiners: &[NodeId]) -> Cluster {
+        Cluster::boot_with(members, joiners, None)
+    }
+
+    /// Like [`Cluster::boot`], with an optional per-server `max_pending`
+    /// override (small values force overload shedding under pipelined
+    /// load).
+    fn boot_with(members: &[NodeId], joiners: &[NodeId], max_pending: Option<usize>) -> Cluster {
         let all: Vec<NodeId> = members.iter().chain(joiners).copied().collect();
         let mut listeners = HashMap::new();
         let mut repl_addrs = HashMap::new();
@@ -96,7 +103,10 @@ impl Cluster {
             .unwrap();
             let gateway = ClientGateway::bind(TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
             let client_addr = gateway.local_addr();
-            let server = KvServer::new(node, transport).with_gateway(gateway);
+            let mut server = KvServer::new(node, transport).with_gateway(gateway);
+            if let Some(mp) = max_pending {
+                server = server.with_max_pending(mp);
+            }
             let (ctl_tx, ctl_rx) = mpsc::channel();
             let status = Arc::new(Status::default());
             let handle = {
@@ -118,7 +128,7 @@ impl Cluster {
                                     Ctl::FailRecover => server.node_mut().server().fail_recovery(),
                                 }
                             }
-                            server.pump();
+                            let work = server.pump();
                             if last_tick.elapsed() >= Duration::from_millis(3) {
                                 last_tick = Instant::now();
                                 server.tick();
@@ -134,7 +144,12 @@ impl Cluster {
                                 server.node().server_ref().config_id() as i64,
                                 Ordering::Relaxed,
                             );
-                            std::thread::sleep(Duration::from_millis(1));
+                            // Open-loop load turns around in microseconds;
+                            // only an idle cycle may yield the scheduler
+                            // quantum.
+                            if work == 0 {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
                         }
                         server
                     })
@@ -181,6 +196,43 @@ impl Cluster {
     }
 }
 
+/// Push `ops` puts through a pipelined client, keeping up to `window` in
+/// flight, and assert every seq completes exactly once. Out-of-order
+/// completion is fine; per-key order is still submission order because
+/// the server admits each client's seqs contiguously.
+fn pipelined_puts(
+    pipe: &mut PipelinedKvClient,
+    ops: u64,
+    window: usize,
+    mut key_of: impl FnMut(u64) -> String,
+    mut val_of: impl FnMut(u64) -> i64,
+) {
+    let mut seqs = HashSet::new();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while completed < ops {
+        assert!(
+            Instant::now() < deadline,
+            "pipelined workload stalled at {completed}/{ops}"
+        );
+        while submitted < ops && pipe.in_flight() < window {
+            pipe.submit(KvOp::Put {
+                key: key_of(submitted),
+                value: val_of(submitted),
+            });
+            submitted += 1;
+        }
+        for r in pipe
+            .wait(Duration::from_millis(100))
+            .expect("pipelined put")
+        {
+            assert!(seqs.insert(r.seq), "seq {} completed twice", r.seq);
+            completed += 1;
+        }
+    }
+}
+
 fn wait<T>(timeout: Duration, what: &str, mut probe: impl FnMut() -> Option<T>) -> T {
     let deadline = Instant::now() + timeout;
     loop {
@@ -195,18 +247,22 @@ fn wait<T>(timeout: Duration, what: &str, mut probe: impl FnMut() -> Option<T>) 
 #[test]
 fn three_node_cluster_survives_leader_transport_kill() {
     let cluster = Cluster::boot(&[1, 2, 3], &[]);
-    let mut client = KvClient::new(0xC11E47, cluster.client_addrs());
+    let mut pipe = PipelinedKvClient::new(0xC11E47, cluster.client_addrs());
+    let mut client = KvClient::new(0xC11E4A, cluster.client_addrs());
 
-    // Phase 1: normal traffic.
+    // Phase 1: normal traffic, open loop — many puts in flight at once.
     let ops: u64 = if std::env::var("NET_SMOKE_OPS").is_ok() {
         std::env::var("NET_SMOKE_OPS").unwrap().parse().unwrap()
     } else {
         200
     };
-    for i in 0..ops {
-        let r = client.put(&format!("k{}", i % 50), i as i64).expect("put");
-        assert!(r.applied, "first write of a fresh seq must apply");
-    }
+    pipelined_puts(
+        &mut pipe,
+        ops,
+        128,
+        |i| format!("k{}", i % 50),
+        |i| i as i64,
+    );
     let leader = cluster.wait_for_leader();
 
     // Phase 2: kill the leader's transport. The replica stays up but
@@ -222,12 +278,9 @@ fn three_node_cluster_survives_leader_transport_kill() {
     });
     assert_ne!(new_leader, leader);
 
-    // Traffic continues against the surviving majority.
-    for i in 0..50u64 {
-        client
-            .put(&format!("k{}", i % 50), (ops + i) as i64)
-            .expect("put during fault");
-    }
+    // Traffic continues against the surviving majority — still
+    // pipelined, so redirects and reconnects hit a full window.
+    pipelined_puts(&mut pipe, 50, 32, |i| format!("k{i}"), |i| (ops + i) as i64);
 
     // Phase 3: restart the killed transport (same pid, same address —
     // AddrInUse is retried inside bind). Sessions come back with higher
@@ -289,13 +342,10 @@ fn three_node_cluster_survives_leader_transport_kill() {
 #[test]
 fn kill_and_restart_nemesis_keeps_the_cluster_consistent() {
     let cluster = Cluster::boot(&[1, 2, 3], &[]);
-    let mut client = KvClient::new(0xC11E49, cluster.client_addrs());
+    let mut pipe = PipelinedKvClient::new(0xC11E49, cluster.client_addrs());
+    let mut client = KvClient::new(0xC11E4B, cluster.client_addrs());
 
-    for i in 0..40u64 {
-        client
-            .put(&format!("n{}", i % 10), i as i64)
-            .expect("warmup put");
-    }
+    pipelined_puts(&mut pipe, 40, 16, |i| format!("n{}", i % 10), |i| i as i64);
 
     let rounds = 3u64;
     let mut last = [0i64; 10];
@@ -317,13 +367,17 @@ fn kill_and_restart_nemesis_keeps_the_cluster_consistent() {
                 .map(|n| n.pid)
         });
 
-        // Traffic continues against the surviving majority.
+        // Traffic continues against the surviving majority, with a full
+        // pipeline window in flight across the leader change.
+        pipelined_puts(
+            &mut pipe,
+            30,
+            16,
+            |i| format!("n{}", i % 10),
+            |i| (round * 1000 + i) as i64,
+        );
         for i in 0..30u64 {
-            let v = (round * 1000 + i) as i64;
-            client
-                .put(&format!("n{}", i % 10), v)
-                .expect("put during nemesis round");
-            last[(i % 10) as usize] = v;
+            last[(i % 10) as usize] = (round * 1000 + i) as i64;
         }
 
         // Restart the transport on the same address; sessions come back
@@ -375,6 +429,96 @@ fn kill_and_restart_nemesis_keeps_the_cluster_consistent() {
         total_reconnects >= rounds,
         "nemesis rounds must churn sessions (saw {total_reconnects})"
     );
+}
+
+/// Overload: a pipelined client whose in-flight window dwarfs the
+/// server's `max_pending` bound. Excess ops are shed with `Retry` (never
+/// silently dropped, never reordered past an admitted sibling — the
+/// contiguous-admission rule), every op eventually completes exactly
+/// once, and per-key final values match submission order.
+#[test]
+fn pipelined_overload_sheds_excess_but_completes_everything() {
+    let cluster = Cluster::boot_with(&[1, 2, 3], &[], Some(64));
+    cluster.wait_for_leader();
+
+    let mut pipe = PipelinedKvClient::new(0xC11E51, cluster.client_addrs());
+    let total = 1500u64;
+    let keys = 16u64;
+    let mut expected: HashMap<String, i64> = HashMap::new();
+    for i in 0..total {
+        let key = format!("o{}", i % keys);
+        pipe.submit(KvOp::Put {
+            key: key.clone(),
+            value: i as i64,
+        });
+        expected.insert(key, i as i64);
+    }
+    assert_eq!(pipe.in_flight() as u64, total);
+
+    let mut seqs = HashSet::new();
+    for r in pipe
+        .drain(Duration::from_secs(60))
+        .expect("drain under overload")
+    {
+        assert!(seqs.insert(r.seq), "seq {} completed twice", r.seq);
+    }
+    assert_eq!(seqs.len() as u64, total, "every op must complete");
+    assert!(
+        pipe.retries_seen() > 0,
+        "a {total}-deep window over max_pending=64 must be shed with Retry"
+    );
+
+    // Per-key order held: the final value of each key is its last
+    // submitted write, despite shedding and retransmission.
+    let mut reader = KvClient::new(0xC11E52, cluster.client_addrs());
+    for (k, v) in &expected {
+        assert_eq!(
+            reader.read(k).expect("read"),
+            Some(*v),
+            "final value of {k}"
+        );
+    }
+
+    // Convergence barrier: once every replica applied the sentinel, the
+    // whole log prefix (all ops and reads above) is applied everywhere,
+    // so the state snapshots below are race-free.
+    reader.put("sentinel", 7).expect("sentinel");
+    wait(Duration::from_secs(10), "sentinel on all replicas", || {
+        cluster
+            .nodes
+            .iter()
+            .all(|n| n.status.sentinel.load(Ordering::Relaxed) == 7)
+            .then_some(())
+    });
+
+    let servers = cluster.shutdown();
+    let sheds: u64 = servers.iter().map(|(_, s)| s.shed_requests()).sum();
+    assert!(sheds > 0, "servers must have shed requests");
+    // Replicas agree on both the kv state and the session tables (the
+    // dedup invariant under windowed seqs).
+    let states: Vec<_> = servers
+        .iter()
+        .map(|(pid, s)| {
+            (
+                *pid,
+                s.node().state_machine().state().clone(),
+                s.node().state_machine().sessions().clone(),
+            )
+        })
+        .collect();
+    for w in states.windows(2) {
+        assert_eq!(
+            (&w[0].1, &w[0].2),
+            (&w[1].1, &w[1].2),
+            "replica state/sessions diverged: {} vs {}",
+            w[0].0,
+            w[1].0
+        );
+    }
+    // The session table records exactly the client's highest seq.
+    for (_, _, sessions) in &states {
+        assert_eq!(sessions.get(&0xC11E51).copied(), Some(pipe.last_seq()));
+    }
 }
 
 #[test]

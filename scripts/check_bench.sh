@@ -25,6 +25,17 @@ def check_numbers(path, prefix, obj):
         where = f"{path}: {prefix}{key}"
         if isinstance(value, dict):
             check_numbers(path, f"{prefix}{key}.", value)
+        elif isinstance(value, list):
+            for i, item in enumerate(value):
+                if isinstance(item, dict):
+                    check_numbers(path, f"{prefix}{key}[{i}].", item)
+                elif isinstance(item, (int, float)) and not isinstance(item, bool):
+                    if not math.isfinite(item):
+                        errors.append(f"{where}[{i}] is not finite: {item}")
+                    elif item < 0:
+                        errors.append(f"{where}[{i}] is negative: {item}")
+                else:
+                    errors.append(f"{where}[{i}] has unexpected type {type(item).__name__}")
         elif isinstance(value, bool):
             continue
         elif isinstance(value, (int, float)):
@@ -36,6 +47,43 @@ def check_numbers(path, prefix, obj):
             continue
         else:
             errors.append(f"{where} has unexpected type {type(value).__name__}")
+
+
+def check_open_loop_sweep(path, data):
+    """BENCH_PR6 schema: the open-loop sweep must cover the 1→10k
+    in-flight range with at least five points, each carrying throughput
+    and latency percentiles; the peak must clear the floor (35k ops/s on
+    a full run, 3.5k on --quick), and the under-load correctness checks
+    must all have passed."""
+    sweep = data.get("open_loop_sweep")
+    if not isinstance(sweep, list) or len(sweep) < 5:
+        errors.append(f"{path}: open_loop_sweep must be a list of >=5 points")
+        return
+    need = ("in_flight", "ops", "elapsed_s", "ops_per_sec", "p50_us", "p99_us")
+    for i, pt in enumerate(sweep):
+        if not isinstance(pt, dict):
+            errors.append(f"{path}: open_loop_sweep[{i}] is not an object")
+            return
+        missing = [k for k in need if not isinstance(pt.get(k), (int, float))]
+        if missing:
+            errors.append(f"{path}: open_loop_sweep[{i}] missing numeric {missing}")
+    windows = [pt["in_flight"] for pt in sweep if isinstance(pt.get("in_flight"), (int, float))]
+    if not windows or min(windows) > 1 or max(windows) < 10_000:
+        errors.append(f"{path}: sweep must span in_flight 1 -> 10000 (got {windows})")
+    rates = [pt["ops_per_sec"] for pt in sweep if isinstance(pt.get("ops_per_sec"), (int, float))]
+    floor = 3_500 if data.get("quick") else 35_000
+    if not rates or max(rates) < floor:
+        errors.append(
+            f"{path}: peak open-loop throughput {max(rates or [0]):.0f} ops/s "
+            f"below the {floor} floor"
+        )
+    checks = data.get("checks")
+    if not isinstance(checks, dict):
+        errors.append(f"{path}: missing under-load correctness checks")
+        return
+    for k in ("completions_exactly_once", "final_reads_linearizable", "replicas_converged"):
+        if not checks.get(k):
+            errors.append(f"{path}: correctness check {k!r} did not pass")
 
 
 for path in files:
@@ -59,6 +107,8 @@ for path in files:
         if not numeric:
             errors.append(f"{path}: section {name!r} has no numeric fields")
     check_numbers(path, "", data)
+    if data.get("bench") == "net-open-loop":
+        check_open_loop_sweep(path, data)
     if len(errors) == errors_before:
         print(f"check_bench: {path} ok ({data.get('bench')}, {len(sections)} sections)")
 

@@ -8,7 +8,7 @@
 #   scripts/ci.sh fmt          # one stage
 #   scripts/ci.sh clippy build # several stages, in the given order
 #
-# Stages: fmt clippy build test net chaos storage-faults bench
+# Stages: fmt clippy build test net chaos storage-faults bench perf-smoke
 # Each stage is timed; a summary table prints at the end.
 set -eu
 
@@ -74,6 +74,24 @@ stage_bench() {
     sh scripts/check_bench.sh
 }
 
+stage_perf_smoke() {
+    echo "==> [perf-smoke] open-loop socket burst (quick sweep over TCP loopback)"
+    cargo run --release -q -p bench --bin hotpath -- --net-loopback --quick
+    echo "==> [perf-smoke] peak throughput floor (10x the closed-loop baseline)"
+    python3 - <<'PY'
+import json, sys
+data = json.load(open("BENCH_PR6.json"))
+rates = [p["ops_per_sec"] for p in data["open_loop_sweep"]]
+best = max(rates)
+FLOOR = 3_500  # ~10x the PR 4 closed-loop 348.5 ops/s
+if best < FLOOR:
+    print(f"perf-smoke: peak open-loop throughput {best:.0f} ops/s is below "
+          f"the {FLOOR} ops/s floor -- the socket hot path regressed", file=sys.stderr)
+    sys.exit(1)
+print(f"perf-smoke: peak open-loop throughput {best:.0f} ops/s (floor {FLOOR})")
+PY
+}
+
 run_stage() {
     name="$1"
     start=$(date +%s)
@@ -93,7 +111,7 @@ run_stage() {
 
 STAGES="$*"
 if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
-    STAGES="fmt clippy build test net chaos storage-faults bench"
+    STAGES="fmt clippy build test net chaos storage-faults bench perf-smoke"
 fi
 
 for s in $STAGES; do
@@ -109,8 +127,13 @@ for s in $STAGES; do
                 break
             fi
             ;;
+        perf-smoke)
+            if ! run_stage perf_smoke; then
+                break
+            fi
+            ;;
         *)
-            echo "unknown stage: $s (stages: fmt clippy build test net chaos storage-faults bench)" >&2
+            echo "unknown stage: $s (stages: fmt clippy build test net chaos storage-faults bench perf-smoke)" >&2
             exit 2
             ;;
     esac
