@@ -502,9 +502,11 @@ fn run_net_loopback(quick: bool) {
         .into_iter()
         .map(|h| h.join().expect("node"))
         .collect();
-    let sm0 = servers[0].node().state_machine();
+    let sm0 = servers[0].node().shard(0).state_machine();
     assert!(
-        servers[1..].iter().all(|s| s.node().state_machine() == sm0),
+        servers[1..]
+            .iter()
+            .all(|s| s.node().shard(0).state_machine() == sm0),
         "replicas (session tables included) must converge"
     );
 
@@ -588,6 +590,306 @@ fn run_net_loopback(quick: bool) {
     print!("{out}");
 }
 
+/// `--net-loopback --shards`: the sharded open-loop sweep. Boots the same
+/// 3-replica TCP loopback cluster once per shard count in {1, 2, 4} —
+/// per-shard Omni-Paxos groups multiplexed over shared sessions, leaders
+/// spread round-robin — and drives a [`net::ShardedKvClient`] open loop.
+/// Peak throughput per shard count is found by sweeping the per-shard
+/// in-flight window (up to the gateway's per-shard admission bound,
+/// which replies Busy beyond `DEFAULT_MAX_PENDING` pending commands per
+/// group) and keeping the best point. Groups scale across cores, so the
+/// sweep also measures the host's *effective* parallelism (cgroup quotas
+/// make `nproc` a lie) and each point's CPU saturation, and records both:
+/// on a single-core host every shard count converges to the same
+/// CPU-saturated ceiling and `scaling_1_to_4 ≈ 1`, which is the honest
+/// result there — the gate in `check_bench.sh` reads
+/// `host_effective_cores` to decide what scaling to demand. Each point
+/// self-audits: exactly-once per `(shard, seq)`, linearizable final
+/// reads through a routing-oblivious client, and per-shard replica
+/// convergence (session tables included). Writes `BENCH_PR7.json` with
+/// the 1→4 scaling factor.
+fn run_net_sharded(quick: bool) {
+    use kvstore::{KvCommand, KvOp, ShardedKvNode};
+    use net::server::{ClientGateway, KvServer};
+    use net::tcp::{TcpConfig, TcpTransport};
+    use net::{fetch_shards, KvClient, ShardedKvClient};
+    use omnipaxos::ServiceMsg;
+    use std::collections::{HashMap, HashSet};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    type Transport = TcpTransport<ServiceMsg<KvCommand>>;
+
+    println!("hotpath: sharded net-loopback sweep (3 replicas over TCP, shards 1/2/4)");
+
+    struct ShardPoint {
+        shards: usize,
+        ops: u64,
+        elapsed: f64,
+        ops_sec: f64,
+        p50: f64,
+        p99: f64,
+        retries: u64,
+        per_shard_ops: Vec<u64>,
+        distinct_leaders: usize,
+        cpu_cores_busy: f64,
+        window: usize,
+    }
+    let shard_counts: &[usize] = &[1, 2, 4];
+    // Peak = max over offered load: each shard count is swept over
+    // per-shard in-flight windows (capped by the gateway's per-shard
+    // admission bound) and reports its best point. A saturated host
+    // peaks at a small aggregate window; a host with spare cores keeps
+    // gaining from deeper per-group pipelines.
+    let windows: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
+    assert!(windows
+        .iter()
+        .all(|&w| w <= net::server::DEFAULT_MAX_PENDING));
+    let mut points: Vec<ShardPoint> = Vec::new();
+
+    // Whether shard-count scaling is physically possible on this host:
+    // groups parallelize across cores, so a host whose scheduler grants
+    // one core total (cgroup quota, single-cpu VM) runs every shard count
+    // at the same CPU-saturated ceiling. Measured, not assumed — the
+    // number and the per-point saturation evidence go into the JSON so
+    // the gate in check_bench.sh can judge the sweep honestly.
+    let effective_cores = measure_effective_cores();
+    println!("  host effective cores: {effective_cores:.2}");
+
+    for &shards in shard_counts {
+        // Boot a fresh cluster for this shard count (shard count is part
+        // of the routing contract; it cannot change on a live cluster).
+        let mut listeners = HashMap::new();
+        let mut repl_addrs = HashMap::new();
+        for pid in 1..=3u64 {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind replication port");
+            repl_addrs.insert(pid, l.local_addr().unwrap());
+            listeners.insert(pid, l);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        let mut client_addrs = Vec::new();
+        for pid in 1..=3u64 {
+            let transport = Transport::with_listener(
+                pid,
+                listeners.remove(&pid).unwrap(),
+                repl_addrs.clone(),
+                TcpConfig::default(),
+            )
+            .expect("transport");
+            let gateway =
+                ClientGateway::bind(TcpListener::bind("127.0.0.1:0").unwrap()).expect("gateway");
+            client_addrs.push((pid, gateway.local_addr()));
+            let node = ShardedKvNode::new(pid, vec![1, 2, 3], shards);
+            let server = KvServer::new_sharded(node, transport).with_gateway(gateway);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                server.run(Duration::from_millis(3), stop)
+            }));
+        }
+
+        // Wait for routing to converge: every shard has a leader.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let leaders = loop {
+            if let Ok(l) = fetch_shards(&client_addrs, Duration::from_millis(500)) {
+                if l.len() == shards && l.iter().all(|&p| p != 0) {
+                    break l;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "routing never converged for {shards} shards"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        let distinct_leaders = leaders.iter().collect::<HashSet<_>>().len();
+
+        let mut pipe = ShardedKvClient::bootstrap(
+            0xBE9C6 + shards as u64,
+            client_addrs.clone(),
+            Duration::from_secs(5),
+        )
+        .expect("sharded client bootstrap");
+
+        // Open loop with one admission window in flight per shard (keys
+        // hash-spread over the shards); per-(shard, seq) exactly-once
+        // audited as results drain. The submit gate is head-of-line: keys
+        // cycle uniformly over the shards, so one full window means they
+        // are all within a batch of full.
+        let mut model: HashMap<String, i64> = HashMap::new();
+        let mut value_counter = 0i64;
+        let mut best: Option<ShardPoint> = None;
+        for &per_shard_window in windows {
+            // Size each segment to its aggregate window so the pipeline
+            // spends most of the run full rather than ramping.
+            let aggregate = per_shard_window * shards;
+            let ops = (6 * aggregate).max(if quick { 12_000 } else { 48_000 }) as u64;
+            let mut starts: HashMap<(u32, u64), Instant> = HashMap::new();
+            let mut seen: HashSet<(u32, u64)> = HashSet::with_capacity(ops as usize);
+            let mut per_shard_ops = vec![0u64; shards];
+            let mut in_flight = vec![0usize; shards];
+            let mut lat: Vec<f64> = Vec::with_capacity(ops as usize);
+            let mut submitted = 0u64;
+            let retries_before = pipe.retries_seen();
+            let cpu0 = process_cpu_seconds();
+            let start = Instant::now();
+            // Each segment fully drains (seen == submitted == ops) before
+            // the next starts, so completions never leak across segments.
+            while (seen.len() as u64) < ops {
+                let mut blocked = false;
+                while submitted < ops {
+                    let key = format!("k{}", submitted % 64);
+                    if in_flight[kvstore::shard_of_key(&key, shards) as usize] >= per_shard_window {
+                        blocked = true;
+                        break;
+                    }
+                    value_counter += 1;
+                    model.insert(key.clone(), value_counter);
+                    let (shard, seq) = pipe.submit(KvOp::Put {
+                        key,
+                        value: value_counter,
+                    });
+                    in_flight[shard as usize] += 1;
+                    starts.insert((shard, seq), Instant::now());
+                    submitted += 1;
+                }
+                for (shard, r) in pipe.pump().expect("sharded pump") {
+                    assert!(
+                        seen.insert((shard, r.seq)),
+                        "seq {} on shard {shard} completed twice",
+                        r.seq
+                    );
+                    per_shard_ops[shard as usize] += 1;
+                    in_flight[shard as usize] -= 1;
+                    if let Some(t0) = starts.remove(&(shard, r.seq)) {
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+                if blocked || submitted >= ops {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let cpu_cores_busy = (process_cpu_seconds() - cpu0) / elapsed;
+            lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let retries = pipe.retries_seen() - retries_before;
+            let point = ShardPoint {
+                shards,
+                ops,
+                elapsed,
+                ops_sec: ops as f64 / elapsed,
+                p50: percentile(&lat, 0.50),
+                p99: percentile(&lat, 0.99),
+                retries,
+                per_shard_ops,
+                distinct_leaders,
+                cpu_cores_busy,
+                window: per_shard_window,
+            };
+            println!(
+                "  shards={:<2} window={:<5} {:>8.0} ops/sec  p50 {:>7.0}us  p99 {:>8.0}us  leaders={}  per-shard {:?}  ({} retries, {:.2} cores busy)",
+                point.shards,
+                point.window,
+                point.ops_sec,
+                point.p50,
+                point.p99,
+                point.distinct_leaders,
+                point.per_shard_ops,
+                point.retries,
+                point.cpu_cores_busy
+            );
+            if best.as_ref().is_none_or(|b| point.ops_sec > b.ops_sec) {
+                best = Some(point);
+            }
+        }
+
+        // Linearizable audit through a routing-oblivious client (it
+        // discovers per-shard leaders by chasing ShardRedirect).
+        let mut audit = KvClient::new(0xAD17 + shards as u64, client_addrs.clone());
+        for (k, v) in &model {
+            assert_eq!(
+                audit.read(k).expect("audit read"),
+                Some(*v),
+                "linearizable audit of {k} at {shards} shards"
+            );
+        }
+        audit.put("sentinel", 1).expect("sentinel");
+        std::thread::sleep(Duration::from_millis(500));
+
+        stop.store(true, Ordering::SeqCst);
+        let servers: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node"))
+            .collect();
+        // Per-shard convergence, session tables included.
+        for s in 0..shards as u32 {
+            let sm0 = servers[0].node().shard(s).state_machine();
+            assert!(
+                servers[1..]
+                    .iter()
+                    .all(|sv| sv.node().shard(s).state_machine() == sm0),
+                "shard {s} replicas must converge at {shards} shards"
+            );
+        }
+
+        let best = best.expect("at least one window per shard count");
+        println!(
+            "  shards={:<2} peak {:>8.0} ops/sec at window {}/shard",
+            best.shards, best.ops_sec, best.window
+        );
+        points.push(best);
+    }
+
+    let one = points
+        .iter()
+        .find(|p| p.shards == 1)
+        .expect("1-shard point");
+    let four = points
+        .iter()
+        .find(|p| p.shards == 4)
+        .expect("4-shard point");
+    let scaling = four.ops_sec / one.ops_sec;
+    println!("  scaling 1 -> 4 shards: {scaling:.2}x");
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let per_shard: Vec<String> = p.per_shard_ops.iter().map(|n| n.to_string()).collect();
+            format!(
+                "    {{\n      \"shards\": {},\n      \"per_shard_window\": {},\n      \"ops\": {},\n      \"elapsed_s\": {:.3},\n      \"ops_per_sec\": {},\n      \"p50_us\": {},\n      \"p99_us\": {},\n      \"retries\": {},\n      \"distinct_leaders\": {},\n      \"cpu_cores_busy\": {:.2},\n      \"per_shard_ops\": [{}]\n    }}",
+                p.shards,
+                p.window,
+                p.ops,
+                p.elapsed,
+                json_num(p.ops_sec),
+                json_num(p.p50),
+                json_num(p.p99),
+                p.retries,
+                p.distinct_leaders,
+                p.cpu_cores_busy,
+                per_shard.join(", ")
+            )
+        })
+        .collect();
+    let out = format!(
+        "{{\n  \"bench\": \"net-sharded-open-loop\",\n  \"quick\": {quick},\n  \"replicas\": 3,\n  \"windows_swept\": [{}],\n  \"host_effective_cores\": {effective_cores:.2},\n  \"shard_sweep\": [\n{}\n  ],\n  \"scaling_1_to_4\": {scaling:.2},\n  \"checks\": {{\n    \"completions_exactly_once_per_shard\": 1,\n    \"final_reads_linearizable\": 1,\n    \"per_shard_replicas_converged\": 1,\n    \"routing_converged\": 1\n  }}\n}}\n",
+        windows
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        sweep_json.join(",\n"),
+    );
+    std::fs::write("BENCH_PR7.json", &out).expect("write BENCH_PR7.json");
+    print!("{out}");
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -637,7 +939,11 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--net-loopback") {
-        run_net_loopback(quick);
+        if args.iter().any(|a| a == "--shards") {
+            run_net_sharded(quick);
+        } else {
+            run_net_loopback(quick);
+        }
         return;
     }
     let baseline: Option<(f64, f64)> = args
@@ -695,4 +1001,45 @@ fn main() {
     );
     std::fs::write("BENCH_PR1.json", &out).expect("write BENCH_PR1.json");
     print!("{out}");
+}
+
+/// Whole-process CPU seconds (utime + stime) from `/proc/self/stat`, for
+/// the per-point saturation evidence in the sharded sweep. Returns 0 on
+/// non-Linux hosts, which simply records `cpu_cores_busy: 0.00`.
+fn process_cpu_seconds() -> f64 {
+    let st = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // utime/stime are the 2nd and 3rd fields after the parenthesized comm
+    // (which may itself contain spaces), counting from state.
+    let rest = &st[st.rfind(')').map(|i| i + 2).unwrap_or(0)..];
+    let f: Vec<&str> = rest.split_whitespace().collect();
+    let ticks = f.get(11).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0)
+        + f.get(12).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
+    ticks / 100.0 // USER_HZ
+}
+
+/// How many cores of fixed CPU work this process can actually run in
+/// parallel — `nproc` lies under cgroup quotas, so measure: the same
+/// spin-work once on one thread and once on four, compared by wall time.
+/// A host pinned to one core returns ~1.0 no matter what `nproc` says.
+fn measure_effective_cores() -> f64 {
+    const WORK: u64 = 200_000_000;
+    fn burn() -> u64 {
+        let mut x = 1u64;
+        for _ in 0..WORK {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        x
+    }
+    let t0 = Instant::now();
+    std::hint::black_box(burn());
+    let serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let hs: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(|| std::hint::black_box(burn())))
+        .collect();
+    for h in hs {
+        let _ = h.join();
+    }
+    let parallel = t0.elapsed().as_secs_f64();
+    (4.0 * serial / parallel.max(1e-9)).clamp(0.0, 4.0)
 }

@@ -57,6 +57,7 @@ pub mod kv_chaos;
 pub mod minimize;
 pub mod monitor;
 pub mod schedule;
+pub mod shard_chaos;
 pub mod trace;
 
 pub use buggy::BuggyOmniReplica;
@@ -64,6 +65,7 @@ pub use harness::{run, run_schedule, Bug, ChaosConfig, ChaosReport, Violation};
 pub use kv_chaos::{run_kv_chaos, KvChaosStats};
 pub use minimize::minimize;
 pub use schedule::{generate, generate_disk, Fault, ScheduledFault};
+pub use shard_chaos::{run_shard_chaos, ShardChaosStats};
 pub use trace::{fingerprint, render_report, TraceEvent};
 
 /// Server identifier, shared with the rest of the workspace.

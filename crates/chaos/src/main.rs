@@ -12,7 +12,7 @@
 //!
 //! Exit status is 0 iff no run violated an invariant.
 
-use chaos::{minimize, render_report, run, run_kv_chaos, Bug, ChaosConfig};
+use chaos::{minimize, render_report, run, run_kv_chaos, run_shard_chaos, Bug, ChaosConfig};
 use cluster::ProtocolKind;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -36,6 +36,7 @@ struct Opts {
     out: Option<PathBuf>,
     bug: bool,
     kv_seeds: u64,
+    shard_seeds: u64,
     /// Run the primary sweep (and any `--seed` replay) under the
     /// disk-fault schedule profile.
     disk: bool,
@@ -48,8 +49,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: chaos [--quick] [--seeds N] [--base-seed S] [--seed S] \
          [--protocol omni|omni-lm|raft|raft-pvcq|multipaxos|vr] [--nodes N] \
-         [--minimize] [--out DIR] [--bug] [--kv-seeds N] [--disk] \
-         [--disk-seeds N]"
+         [--minimize] [--out DIR] [--bug] [--kv-seeds N] [--shard-seeds N] \
+         [--disk] [--disk-seeds N]"
     );
     std::process::exit(2);
 }
@@ -81,6 +82,7 @@ fn parse_opts() -> Opts {
         out: None,
         bug: false,
         kv_seeds: 0,
+        shard_seeds: 0,
         disk: false,
         disk_seeds: 0,
     };
@@ -106,6 +108,7 @@ fn parse_opts() -> Opts {
             "--out" => opts.out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--bug" => opts.bug = true,
             "--kv-seeds" => opts.kv_seeds = next_num(&mut args, "--kv-seeds"),
+            "--shard-seeds" => opts.shard_seeds = next_num(&mut args, "--shard-seeds"),
             "--disk" => opts.disk = true,
             "--disk-seeds" => opts.disk_seeds = next_num(&mut args, "--disk-seeds"),
             "--help" | "-h" => usage(),
@@ -124,11 +127,19 @@ fn parse_opts() -> Opts {
         if opts.kv_seeds == 0 {
             opts.kv_seeds = 4;
         }
+        if opts.shard_seeds == 0 {
+            opts.shard_seeds = 4;
+        }
         if opts.disk_seeds == 0 {
             opts.disk_seeds = 10;
         }
     }
-    if opts.seeds == 0 && opts.single_seed.is_none() && opts.kv_seeds == 0 && opts.disk_seeds == 0 {
+    if opts.seeds == 0
+        && opts.single_seed.is_none()
+        && opts.kv_seeds == 0
+        && opts.shard_seeds == 0
+        && opts.disk_seeds == 0
+    {
         opts.seeds = 100;
     }
     opts
@@ -264,6 +275,51 @@ fn main() {
             opts.kv_seeds,
             kv_failures,
             "",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    if opts.shard_seeds > 0 {
+        let t0 = Instant::now();
+        let mut shard_failures = 0u64;
+        let mut moves = 0u64;
+        for seed in opts.base_seed..opts.base_seed + opts.shard_seeds {
+            total_runs += 1;
+            match run_shard_chaos(seed) {
+                Ok(stats) => {
+                    if let Some(s) = stats.migrated_shard {
+                        moves += 1;
+                        println!(
+                            "shard chaos seed {seed}: ok ({} submitted, {} retries, {} \
+                             applied, shard {s} migrated, converged in {} ticks)",
+                            stats.submitted, stats.duplicates, stats.applied, stats.converge_ticks
+                        );
+                    } else {
+                        println!(
+                            "shard chaos seed {seed}: ok ({} submitted, {} retries, {} \
+                             applied, converged in {} ticks)",
+                            stats.submitted, stats.duplicates, stats.applied, stats.converge_ticks
+                        );
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    shard_failures += 1;
+                    let rendered = format!("shard chaos seed {seed} FAILED: {e}");
+                    eprintln!("{rendered}");
+                    if let Some(dir) = &opts.out {
+                        let path = dir.join(format!("shard-seed{seed}.txt"));
+                        let _ = std::fs::write(&path, &rendered);
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<34} {:>5} runs  {:>3} failed  {:>15} shard moves  {:>6.1}s",
+            "sharded kv (multi-group)",
+            opts.shard_seeds,
+            shard_failures,
+            moves,
             t0.elapsed().as_secs_f64()
         );
     }

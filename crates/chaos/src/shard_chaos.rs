@@ -1,0 +1,449 @@
+//! Chaos over the *sharded* key-value store: many Omni-Paxos groups on
+//! shared sessions, under per-shard fault schedules.
+//!
+//! [`kv_chaos`](crate::kv_chaos) checks the session contract of one
+//! group; this module checks what sharding adds on top:
+//!
+//! * **per-shard exactly-once** — `(shard, client, seq)` applies at most
+//!   once per node, even though all shards ride the same links and the
+//!   same crashes;
+//! * **no shard lost** — after heal, every shard still has a leader and
+//!   decides a fresh probe write;
+//! * **routing converges** — after heal, all live nodes agree on every
+//!   shard's leader;
+//! * **per-shard convergence** — each shard's replicas (its *own*
+//!   membership, which may have changed mid-run) reach identical state
+//!   machines and session tables, and no session table runs ahead of
+//!   what clients actually issued on that shard;
+//! * **mid-traffic shard moves** — on half the seeds, one shard is
+//!   snapshot-first migrated onto a standby joiner (donors compact, then
+//!   the leader proposes the new membership) while faults and traffic
+//!   continue on every other shard.
+
+use kvstore::{shard_of_key, KvCommand, KvOp, NodeId, ShardedKvNode};
+use omnipaxos::service::ServiceMsg;
+use simulator::{Network, NetworkConfig, Rng};
+use std::collections::{HashMap, HashSet};
+
+const TICK_US: u64 = 1_000;
+/// Voting members; node `JOINER` idles until a shard is moved onto it.
+const N: usize = 3;
+const JOINER: NodeId = 4;
+const SHARDS: usize = 4;
+
+/// Statistics of a passing sharded chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardChaosStats {
+    pub submitted: u64,
+    pub duplicates: u64,
+    pub applied: u64,
+    /// Which shard was snapshot-migrated onto the joiner (if this seed
+    /// scheduled a move and the cluster actually executed it).
+    pub migrated_shard: Option<u32>,
+    pub converge_ticks: u64,
+}
+
+/// Run one seeded sharded chaos schedule; `Err` describes the violated
+/// invariant.
+pub fn run_shard_chaos(seed: u64) -> Result<ShardChaosStats, String> {
+    let members: Vec<NodeId> = (1..=N as NodeId).collect();
+    let all_ids: Vec<NodeId> = (1..=JOINER).collect();
+    let mut nodes: Vec<ShardedKvNode> = members
+        .iter()
+        .map(|&p| ShardedKvNode::new(p, members.clone(), SHARDS))
+        .collect();
+    nodes.push(ShardedKvNode::joiner(JOINER, SHARDS));
+    let mut net: Network<ServiceMsg<KvCommand>> = Network::new(NetworkConfig {
+        nodes: all_ids.clone(),
+        default_latency_us: 100,
+        jitter_us: 0,
+        nic_bytes_per_sec: None,
+        priority_bytes: 256,
+        seed,
+    });
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5AAD_C4A0);
+    let mut crashed: HashSet<NodeId> = HashSet::new();
+    let mut cut: Vec<(NodeId, NodeId)> = Vec::new();
+    // Per (client, shard) sequence spaces — shards have independent
+    // session tables, so seqs restart per shard like the sharded client's.
+    let mut next_seq: HashMap<(u64, u32), u64> = HashMap::new();
+    let mut recent: HashMap<(u64, u32), Vec<KvCommand>> = HashMap::new();
+    // Per node: (shard, client, seq) triples reported applied.
+    let mut applied_seen: Vec<HashSet<(u32, u64, u64)>> = vec![HashSet::new(); N + 1];
+    let mut stats = ShardChaosStats {
+        submitted: 0,
+        duplicates: 0,
+        applied: 0,
+        migrated_shard: None,
+        converge_ticks: 0,
+    };
+    // Half the seeds schedule a mid-traffic snapshot-first shard move.
+    let move_plan: Option<(u32, NodeId)> = if seed.is_multiple_of(2) {
+        let shard = (seed / 2 % SHARDS as u64) as u32;
+        let donor = 1 + (seed / 8 % N as u64) as NodeId;
+        Some((shard, donor))
+    } else {
+        None
+    };
+
+    let step = |t: u64,
+                nodes: &mut Vec<ShardedKvNode>,
+                net: &mut Network<ServiceMsg<KvCommand>>,
+                crashed: &HashSet<NodeId>,
+                applied_seen: &mut Vec<HashSet<(u32, u64, u64)>>,
+                stats: &mut ShardChaosStats|
+     -> Result<(), String> {
+        let deadline = t * TICK_US;
+        while let Some(d) = net.pop_next_before(deadline) {
+            if !crashed.contains(&d.dst) {
+                nodes[(d.dst - 1) as usize].handle(d.src, d.msg);
+            }
+        }
+        net.advance_to(deadline);
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let pid = (i + 1) as NodeId;
+            let out = node.outgoing();
+            if crashed.contains(&pid) {
+                continue;
+            }
+            node.tick();
+            for (to, msg) in out {
+                let bytes = msg.size_bytes();
+                net.send(pid, to, bytes, msg);
+            }
+            for (shard, r) in node.take_results() {
+                if r.applied {
+                    stats.applied += 1;
+                    if !applied_seen[i].insert((shard, r.client, r.seq)) {
+                        return Err(format!(
+                            "per-shard dedup broken: node {pid} applied shard {shard} \
+                             ({}, {}) twice",
+                            r.client, r.seq
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+
+    // Keys owned by each shard, so the workload can target one.
+    let mut shard_keys: Vec<Vec<String>> = vec![Vec::new(); SHARDS];
+    for i in 0..64 {
+        let k = format!("k{i}");
+        shard_keys[shard_of_key(&k, SHARDS) as usize].push(k);
+    }
+
+    // Fault + workload phase.
+    for t in 1..=1_500u64 {
+        // Faults, low-rate. Link cuts and crashes hit the whole node
+        // (shards share the process and its sessions); compaction is a
+        // per-shard fault.
+        if rng.chance(0.01) {
+            let a = rng.range_inclusive(1, N as u64);
+            let b = 1 + (a % N as u64);
+            match rng.below(4) {
+                0 => {
+                    net.links_mut().set_link(a, b, false);
+                    cut.push((a, b));
+                }
+                1 => {
+                    if let Some((x, y)) = cut.pop() {
+                        if net.links_mut().set_link(x, y, true) {
+                            nodes[(x - 1) as usize].reconnected(y);
+                            nodes[(y - 1) as usize].reconnected(x);
+                        }
+                    }
+                }
+                2 => {
+                    if crashed.insert(a) {
+                        net.drop_in_flight_for(a);
+                    }
+                }
+                _ => {
+                    if crashed.remove(&a) {
+                        nodes[(a - 1) as usize].fail_recovery();
+                    } else {
+                        let s = rng.below(SHARDS as u64) as u32;
+                        let _ = nodes[(a - 1) as usize].compact(s);
+                    }
+                }
+            }
+        }
+        // Mid-traffic snapshot-first shard move: donors compact the
+        // shard, then its leader proposes membership with the joiner
+        // replacing the donor. Every other shard keeps its faults and
+        // traffic; nothing here pauses them.
+        if t == 750 {
+            if let Some((shard, donor)) = move_plan {
+                let mut new_nodes: Vec<NodeId> =
+                    members.iter().copied().filter(|&p| p != donor).collect();
+                new_nodes.push(JOINER);
+                new_nodes.sort_unstable();
+                for (i, node) in nodes.iter_mut().enumerate().take(N) {
+                    if !crashed.contains(&((i + 1) as NodeId)) {
+                        let _ = node.compact(shard);
+                    }
+                }
+                // Propose the move; whether it lands is the cluster's
+                // call (a crashed leader may legally lose the proposal),
+                // so `migrated_shard` is read back from the final
+                // membership below, not assumed here.
+                if let Some(li) = (0..N)
+                    .find(|&i| !crashed.contains(&((i + 1) as NodeId)) && nodes[i].is_leader(shard))
+                {
+                    let _ = nodes[li].reconfigure(shard, new_nodes);
+                }
+            }
+        }
+        // Workload: windowed bursts + deliberate retries, spread over all
+        // shards (each command routed to its shard's live leader).
+        if t % 5 == 0 {
+            let client = rng.range_inclusive(1, 2);
+            let shard = rng.below(SHARDS as u64) as u32;
+            let leader = (0..nodes.len())
+                .find(|&i| !crashed.contains(&((i + 1) as NodeId)) && nodes[i].is_leader(shard));
+            if let Some(li) = leader {
+                let window = recent.entry((client, shard)).or_default();
+                if rng.chance(0.3) && !window.is_empty() {
+                    let idx = rng.below(window.len() as u64) as usize;
+                    stats.duplicates += 1;
+                    if nodes[li].submit_batch(shard, [window[idx].clone()]).is_ok() {
+                        stats.submitted += 1;
+                    }
+                } else {
+                    let burst = rng.range_inclusive(1, 4);
+                    for _ in 0..burst {
+                        let seq = next_seq.entry((client, shard)).or_insert(1);
+                        let s = *seq;
+                        *seq += 1;
+                        let keys = &shard_keys[shard as usize];
+                        let c = KvCommand {
+                            client,
+                            seq: s,
+                            op: KvOp::Add {
+                                key: keys[rng.below(keys.len() as u64) as usize].clone(),
+                                delta: rng.range_inclusive(1, 9) as i64,
+                            },
+                        };
+                        window.push(c.clone());
+                        if window.len() > 16 {
+                            window.remove(0);
+                        }
+                        if nodes[li].submit_batch(shard, [c]).is_ok() {
+                            stats.submitted += 1;
+                        }
+                    }
+                }
+            }
+        }
+        step(
+            t,
+            &mut nodes,
+            &mut net,
+            &crashed,
+            &mut applied_seen,
+            &mut stats,
+        )?;
+    }
+
+    // Heal everything and require every cross-shard invariant.
+    for (x, y) in cut.drain(..) {
+        if net.links_mut().set_link(x, y, true) {
+            nodes[(x - 1) as usize].reconnected(y);
+            nodes[(y - 1) as usize].reconnected(x);
+        }
+    }
+    let down: Vec<NodeId> = crashed.drain().collect();
+    for p in down {
+        nodes[(p - 1) as usize].fail_recovery();
+    }
+
+    // Membership per shard is whatever the cluster actually decided (a
+    // scheduled move may have been cut short by a crash): read it from
+    // each shard's leader once one exists.
+    let mut converged_at = None;
+    for t in 1_501..=8_000u64 {
+        step(
+            t,
+            &mut nodes,
+            &mut net,
+            &crashed,
+            &mut applied_seen,
+            &mut stats,
+        )?;
+        if t % 16 == 0 && all_shards_converged(&nodes) {
+            converged_at = Some(t - 1_500);
+            break;
+        }
+    }
+    let Some(converge_ticks) = converged_at else {
+        return Err(format!(
+            "sharded replicas did not converge after heal: {}",
+            diagnose(&nodes)
+        ));
+    };
+    stats.converge_ticks = converge_ticks;
+
+    // A scheduled move counts as migrated only if the cluster actually
+    // decided it: the joiner serves the shard now.
+    if let Some((shard, _)) = move_plan {
+        if membership_of(&nodes, shard).contains(&JOINER) {
+            stats.migrated_shard = Some(shard);
+        }
+    }
+
+    // Session tables never run ahead of what clients issued on that shard.
+    for s in 0..SHARDS as u32 {
+        for n in &nodes {
+            for (client, &max_seq) in n.shard(s).state_machine().sessions() {
+                let issued = next_seq.get(&(*client, s)).map(|q| q - 1).unwrap_or(0);
+                if max_seq > issued {
+                    return Err(format!(
+                        "shard {s} session table ahead of reality on node {}: client \
+                         {client} at seq {max_seq}, only {issued} issued",
+                        n.pid()
+                    ));
+                }
+            }
+        }
+    }
+
+    // No shard lost: a fresh probe write per shard must decide at every
+    // member of that shard's (possibly migrated) membership. Memberships
+    // are pinned here — routing already converged, so they are final.
+    let mut probe_pending: Vec<(u32, String, Vec<NodeId>, KvCommand)> = Vec::new();
+    for s in 0..SHARDS as u32 {
+        if !nodes.iter().any(|n| n.is_leader(s)) {
+            return Err(format!("shard {s} lost: no leader after heal"));
+        }
+        let members = membership_of(&nodes, s);
+        if members.is_empty() {
+            return Err(format!("shard {s} lost: empty membership after heal"));
+        }
+        let key = shard_keys[s as usize][0].clone();
+        let seq = next_seq.entry((9, s)).or_insert(1);
+        let cmd = KvCommand {
+            client: 9,
+            seq: *seq,
+            op: KvOp::Put {
+                key: key.clone(),
+                value: 777_000 + s as i64,
+            },
+        };
+        *seq += 1;
+        probe_pending.push((s, key, members, cmd));
+    }
+    for t in 8_001..=9_500u64 {
+        // (Re)submit outstanding probes to the current leader, like a
+        // retrying client would: a leader may accept a proposal and then
+        // lose leadership before replicating it, which legally drops the
+        // proposal — session dedup makes the retry exactly-once.
+        if t % 100 == 1 {
+            for (s, _, _, cmd) in &probe_pending {
+                if let Some(li) = nodes.iter().position(|n| n.is_leader(*s)) {
+                    let _ = nodes[li].submit_batch(*s, [cmd.clone()]);
+                }
+            }
+        }
+        step(
+            t,
+            &mut nodes,
+            &mut net,
+            &crashed,
+            &mut applied_seen,
+            &mut stats,
+        )?;
+        probe_pending.retain(|(s, key, members, _)| {
+            !members
+                .iter()
+                .all(|&p| nodes[(p - 1) as usize].read_local(key) == Some(777_000 + *s as i64))
+        });
+        if probe_pending.is_empty() {
+            break;
+        }
+    }
+    if !probe_pending.is_empty() {
+        let lost: Vec<u32> = probe_pending.iter().map(|(s, _, _, _)| *s).collect();
+        let detail: Vec<String> = probe_pending
+            .iter()
+            .map(|(s, key, members, _)| {
+                let reads: Vec<_> = members
+                    .iter()
+                    .map(|&p| {
+                        let n = &nodes[(p - 1) as usize];
+                        (
+                            p,
+                            n.read_local(key),
+                            n.shard(*s).server_ref().decided_len(),
+                            n.shard(*s).state_machine().sessions().get(&9).copied(),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "shard {s} key {key} members {members:?} (pid, read, decided, c9) {reads:?}"
+                )
+            })
+            .collect();
+        return Err(format!(
+            "shards {lost:?} lost: probe writes never decided ({}; {})",
+            detail.join("; "),
+            diagnose(&nodes)
+        ));
+    }
+    Ok(stats)
+}
+
+/// The membership of shard `s` as the cluster itself reports it (via the
+/// shard's current leader).
+fn membership_of(nodes: &[ShardedKvNode], s: u32) -> Vec<NodeId> {
+    nodes
+        .iter()
+        .find(|n| n.is_leader(s))
+        .map(|n| n.shard(s).server_ref().nodes().to_vec())
+        .unwrap_or_default()
+}
+
+/// Every shard has a leader, all members of its membership hold
+/// identical state machines (map *and* session table), and routing has
+/// converged: every member's view of the shard's leader is the same
+/// non-zero node. Non-members (a donor after a move, an unused joiner)
+/// are out of the shard's routing domain and are not consulted.
+fn all_shards_converged(nodes: &[ShardedKvNode]) -> bool {
+    for s in 0..SHARDS as u32 {
+        let members = membership_of(nodes, s);
+        if members.is_empty() {
+            return false;
+        }
+        let views: HashSet<NodeId> = members
+            .iter()
+            .map(|&p| nodes[(p - 1) as usize].leader_of(s))
+            .collect();
+        if views.len() != 1 || views.contains(&0) {
+            return false;
+        }
+        let first = nodes[(members[0] - 1) as usize].shard(s).state_machine();
+        if !members[1..]
+            .iter()
+            .all(|&p| nodes[(p - 1) as usize].shard(s).state_machine() == first)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// One line per shard for the did-not-converge error.
+fn diagnose(nodes: &[ShardedKvNode]) -> String {
+    (0..SHARDS as u32)
+        .map(|s| {
+            let members = membership_of(nodes, s);
+            let views: Vec<NodeId> = members
+                .iter()
+                .map(|&p| nodes[(p - 1) as usize].leader_of(s))
+                .collect();
+            format!("shard {s}: members {members:?} leader views {views:?}")
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}

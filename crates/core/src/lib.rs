@@ -65,6 +65,7 @@ pub mod ballot;
 pub mod ble;
 pub mod faults;
 pub mod messages;
+pub mod multigroup;
 pub mod omni;
 pub mod sequence_paxos;
 pub mod service;

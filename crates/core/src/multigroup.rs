@@ -1,0 +1,264 @@
+//! Multi-group multiplexing: many independent Omni-Paxos groups over one
+//! session and one amortized BLE stream.
+//!
+//! A *group* is a full consensus instance — its own log, ballots,
+//! snapshots and reconfiguration — identified by a `u32` group id. All
+//! groups of a node share its transport sessions: every consensus frame
+//! carries a wire-level [`ServiceMsg::Group`] envelope naming its group,
+//! and all groups' ballot-leader-election heartbeats to one peer are
+//! coalesced into a single [`ServiceMsg::GroupBle`] frame per flush, so
+//! the failure-detector cost stays per-*peer*, not per-group.
+//!
+//! Backward compatibility is by convention: a bare, un-enveloped message
+//! is group 0. A single-group deployment therefore emits exactly the
+//! pre-envelope wire format ([`mux`] with one group passes messages
+//! through bare), and an enveloped `Group { group: 0, .. }` frame is
+//! accepted by single-group servers.
+
+use crate::ballot::NodeId;
+use crate::messages::BleMessage;
+use crate::omni::OmniMessage;
+use crate::service::ServiceMsg;
+use std::collections::BTreeMap;
+
+/// Wrap one group's outgoing message for the shared session.
+///
+/// Group 0 stays bare (the backward-compatible encoding); other groups
+/// get the [`ServiceMsg::Group`] envelope. BLE traffic is better routed
+/// through a [`BleCoalescer`] — this helper envelopes whatever it is
+/// given.
+pub fn envelope<T>(group: u32, msg: ServiceMsg<T>) -> ServiceMsg<T> {
+    if group == 0 {
+        msg
+    } else {
+        ServiceMsg::Group {
+            group,
+            msg: Box::new(msg),
+        }
+    }
+}
+
+/// Open one incoming frame into `(group, message)` deliveries.
+///
+/// Bare messages are group 0; a `Group` envelope names its group; a
+/// `GroupBle` carrier fans out into one `Omni`/BLE delivery per beat.
+pub fn demux<T>(msg: ServiceMsg<T>) -> Vec<(u32, ServiceMsg<T>)> {
+    match msg {
+        ServiceMsg::Group { group, msg } => vec![(group, *msg)],
+        ServiceMsg::GroupBle { beats } => beats
+            .into_iter()
+            .map(|(group, config_id, ble)| {
+                (
+                    group,
+                    ServiceMsg::Omni {
+                        config_id,
+                        msg: OmniMessage::Ble(ble),
+                    },
+                )
+            })
+            .collect(),
+        bare => vec![(0, bare)],
+    }
+}
+
+/// Per-flush collector that merges every group's BLE traffic into one
+/// [`ServiceMsg::GroupBle`] frame per destination peer.
+///
+/// The heartbeat pattern of BLE is periodic and per-peer; with G groups a
+/// naive multiplexer would send G heartbeat frames per peer per round.
+/// The coalescer keeps that at one frame carrying G small beats — the
+/// "single shared BLE stream with per-group ballots".
+#[derive(Debug, Default)]
+pub struct BleCoalescer {
+    // BTreeMap so flush order is deterministic (simulator replays).
+    beats: BTreeMap<NodeId, Vec<(u32, u32, BleMessage)>>,
+}
+
+impl BleCoalescer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue one group's BLE message for its destination.
+    pub fn push(&mut self, group: u32, config_id: u32, msg: BleMessage) {
+        self.beats
+            .entry(msg.to)
+            .or_default()
+            .push((group, config_id, msg));
+    }
+
+    /// Drain everything queued: one `GroupBle` frame per peer.
+    pub fn flush<T>(&mut self) -> Vec<(NodeId, ServiceMsg<T>)> {
+        std::mem::take(&mut self.beats)
+            .into_iter()
+            .map(|(to, beats)| (to, ServiceMsg::GroupBle { beats }))
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.beats.is_empty()
+    }
+}
+
+/// Multiplex one group's drained outgoing queue onto the shared session.
+///
+/// BLE messages are diverted into `ble` (coalesced later, once per peer);
+/// everything else is enveloped per [`envelope`]. With `n_groups == 1`
+/// the output is bit-identical to the un-multiplexed protocol: bare
+/// messages, BLE included, nothing coalesced.
+pub fn mux<T>(
+    group: u32,
+    n_groups: usize,
+    outgoing: Vec<(NodeId, ServiceMsg<T>)>,
+    ble: &mut BleCoalescer,
+    out: &mut Vec<(NodeId, ServiceMsg<T>)>,
+) {
+    for (to, msg) in outgoing {
+        if n_groups == 1 {
+            out.push((to, msg));
+            continue;
+        }
+        match msg {
+            ServiceMsg::Omni {
+                config_id,
+                msg: OmniMessage::Ble(b),
+            } => ble.push(group, config_id, b),
+            other => out.push((to, envelope(group, other))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ballot::Ballot;
+    use crate::messages::BleMsg;
+
+    fn hb_req(from: NodeId, to: NodeId, round: u64) -> BleMessage {
+        BleMessage {
+            from,
+            to,
+            msg: BleMsg::HeartbeatRequest { round },
+        }
+    }
+
+    fn omni_ble(config_id: u32, b: BleMessage) -> ServiceMsg<u64> {
+        ServiceMsg::Omni {
+            config_id,
+            msg: OmniMessage::Ble(b),
+        }
+    }
+
+    #[test]
+    fn group_zero_stays_bare_and_demuxes_to_zero() {
+        let m: ServiceMsg<u64> = ServiceMsg::SnapReq { offset: 9 };
+        let wrapped = envelope(0, m.clone());
+        assert_eq!(wrapped, m, "group 0 is the bare wire format");
+        assert_eq!(demux(wrapped), vec![(0, m)]);
+    }
+
+    #[test]
+    fn nonzero_groups_envelope_and_roundtrip() {
+        let m: ServiceMsg<u64> = ServiceMsg::SegmentReq { from: 2, to: 5 };
+        let wrapped = envelope(3, m.clone());
+        assert!(matches!(wrapped, ServiceMsg::Group { group: 3, .. }));
+        assert_eq!(demux(wrapped), vec![(3, m)]);
+    }
+
+    #[test]
+    fn ble_coalesces_one_frame_per_peer() {
+        let mut ble = BleCoalescer::new();
+        ble.push(0, 1, hb_req(1, 2, 7));
+        ble.push(1, 1, hb_req(1, 2, 7));
+        ble.push(2, 1, hb_req(1, 3, 7));
+        let frames: Vec<(NodeId, ServiceMsg<u64>)> = ble.flush();
+        assert_eq!(frames.len(), 2, "one GroupBle per destination peer");
+        let to2 = frames.iter().find(|(to, _)| *to == 2).unwrap();
+        match &to2.1 {
+            ServiceMsg::GroupBle { beats } => {
+                assert_eq!(beats.len(), 2);
+                assert_eq!(beats[0].0, 0);
+                assert_eq!(beats[1].0, 1);
+            }
+            other => panic!("expected GroupBle, got {other:?}"),
+        }
+        assert!(ble.is_empty());
+    }
+
+    #[test]
+    fn groupble_demuxes_to_per_group_omni() {
+        let beats = vec![(0, 1, hb_req(1, 2, 4)), (2, 3, hb_req(1, 2, 4))];
+        let deliveries = demux::<u64>(ServiceMsg::GroupBle { beats });
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].0, 0);
+        assert_eq!(deliveries[1].0, 2);
+        assert!(matches!(
+            &deliveries[1].1,
+            ServiceMsg::Omni {
+                config_id: 3,
+                msg: OmniMessage::Ble(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn single_group_mux_is_passthrough() {
+        let out_msgs = vec![
+            (2 as NodeId, omni_ble(1, hb_req(1, 2, 5))),
+            (3 as NodeId, ServiceMsg::SnapReq { offset: 0 }),
+        ];
+        let mut ble = BleCoalescer::new();
+        let mut out = Vec::new();
+        mux(0, 1, out_msgs.clone(), &mut ble, &mut out);
+        assert_eq!(out, out_msgs, "single-group wire format is unchanged");
+        assert!(ble.is_empty(), "nothing coalesced in single-group mode");
+    }
+
+    #[test]
+    fn multi_group_mux_envelopes_and_diverts_ble() {
+        let out_msgs = vec![
+            (2 as NodeId, omni_ble(1, hb_req(1, 2, 5))),
+            (3 as NodeId, ServiceMsg::SnapReq { offset: 0 }),
+        ];
+        let mut ble = BleCoalescer::new();
+        let mut out = Vec::new();
+        mux(1, 4, out_msgs, &mut ble, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0].1, ServiceMsg::Group { group: 1, .. }));
+        assert!(!ble.is_empty());
+        let frames: Vec<(NodeId, ServiceMsg<u64>)> = ble.flush();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].0, 2);
+    }
+
+    #[test]
+    fn enveloped_frames_roundtrip_on_the_wire() {
+        use crate::wire::Wire;
+        let b = Ballot::new(4, 0, 2);
+        let msgs: Vec<ServiceMsg<u64>> = vec![
+            envelope(7, ServiceMsg::SnapReq { offset: 11 }),
+            ServiceMsg::GroupBle {
+                beats: vec![
+                    (0, 1, hb_req(1, 2, 9)),
+                    (
+                        5,
+                        2,
+                        BleMessage {
+                            from: 1,
+                            to: 2,
+                            msg: BleMsg::HeartbeatReply {
+                                round: 9,
+                                ballot: b,
+                                quorum_connected: true,
+                            },
+                        },
+                    ),
+                ],
+            },
+        ];
+        for m in &msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(&ServiceMsg::<u64>::from_bytes(&bytes).unwrap(), m);
+        }
+    }
+}

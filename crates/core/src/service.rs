@@ -89,6 +89,19 @@ pub enum ServiceMsg<T> {
         chunk: Arc<[u8]>,
         total: u64,
     },
+    /// Multi-group envelope (§ multigroup): `msg` belongs to consensus
+    /// group `group`. Groups multiplex many independent Omni-Paxos
+    /// instances (e.g. keyspace shards) over one session; a bare
+    /// un-enveloped message is, by convention, group 0, so single-group
+    /// deployments keep their pre-envelope wire format.
+    Group { group: u32, msg: Box<ServiceMsg<T>> },
+    /// Shared-BLE heartbeat carrier: all groups' ballot-leader-election
+    /// traffic to one peer, coalesced into a single frame per flush.
+    /// Each beat is `(group, config_id, ble message)` — per-group ballots
+    /// over one amortized failure-detector stream.
+    GroupBle {
+        beats: Vec<(u32, u32, crate::messages::BleMessage)>,
+    },
 }
 
 impl<T> ServiceMsg<T> {
@@ -103,6 +116,8 @@ impl<T> ServiceMsg<T> {
             ServiceMsg::SegmentResp { .. } => 4,
             ServiceMsg::SnapReq { .. } => 5,
             ServiceMsg::SnapResp { .. } => 6,
+            ServiceMsg::Group { .. } => 7,
+            ServiceMsg::GroupBle { .. } => 8,
         }
     }
 }
@@ -123,6 +138,15 @@ impl<T: Entry> ServiceMsg<T> {
             }
             ServiceMsg::SnapReq { .. } => HEADER_BYTES,
             ServiceMsg::SnapResp { chunk, .. } => HEADER_BYTES + chunk.len(),
+            // Envelope adds the 4-byte group id to the inner message.
+            ServiceMsg::Group { msg, .. } => 4 + msg.size_bytes(),
+            ServiceMsg::GroupBle { beats } => {
+                HEADER_BYTES
+                    + beats
+                        .iter()
+                        .map(|(_, _, b)| 8 + b.msg.size_bytes())
+                        .sum::<usize>()
+            }
         }
     }
 }
@@ -236,7 +260,9 @@ struct MigrationState<T> {
 /// [`MemoryStorage`]): the deterministic harnesses run it over
 /// [`crate::faults::FaultyStorage`] to inject disk faults, deployments can
 /// run it over [`crate::wal::WalStorage`]. New configurations start on
-/// `S::default()`.
+/// `S::default()` unless a storage factory is installed
+/// ([`OmniPaxosServer::with_storage_factory`]), which is how durable or
+/// multi-group deployments namespace each configuration's storage.
 pub struct OmniPaxosServer<T: Entry, S: Storage<T> = MemoryStorage<T>> {
     config: ServerConfig,
     /// The replicated log across all configurations (decided entries only).
@@ -273,6 +299,11 @@ pub struct OmniPaxosServer<T: Entry, S: Storage<T> = MemoryStorage<T>> {
     /// with several joiners each chunk is materialized once and every
     /// further response to the same range is a refcount bump.
     segment_cache: HashMap<u64, (u64, Arc<[T]>)>,
+    /// Builds the replication storage for a newly started configuration
+    /// (argument: its `config_id`). Defaults to `S::default()`; durable
+    /// deployments install a factory that opens a namespaced WAL, so each
+    /// group/configuration keeps its own on-disk log.
+    make_storage: Box<dyn Fn(u32) -> S + Send>,
 }
 
 /// Bound on [`OmniPaxosServer::segment_cache`]: enough for the in-flight
@@ -291,8 +322,31 @@ impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
     /// pre-existing (experiments that begin with a long history, or a WAL
     /// reopened after a crash).
     pub fn with_storage(config: ServerConfig, nodes: Vec<NodeId>, storage: S) -> Self {
+        Self::with_storage_factory(config, nodes, storage, |_| S::default())
+    }
+
+    /// Create a fresh joiner: it stays [`ServerRole::Idle`] until an
+    /// existing server announces a configuration that includes it.
+    pub fn new_joiner(config: ServerConfig) -> Self {
+        Self::new_joiner_with_factory(config, |_| S::default())
+    }
+}
+
+impl<T: Entry, S: Storage<T>> OmniPaxosServer<T, S> {
+    /// Like [`OmniPaxosServer::with_storage`], but with an explicit
+    /// factory producing the storage of each *later* configuration
+    /// (keyed by its `config_id`). This is how storage without a
+    /// meaningful `Default` — a [`crate::wal::WalStorage`] that must open
+    /// a file — survives reconfigurations: the factory opens a fresh,
+    /// namespaced log per configuration.
+    pub fn with_storage_factory(
+        config: ServerConfig,
+        nodes: Vec<NodeId>,
+        storage: S,
+        make_storage: impl Fn(u32) -> S + Send + 'static,
+    ) -> Self {
         assert!(nodes.contains(&config.pid));
-        let mut server = OmniPaxosServer::empty(config);
+        let mut server = OmniPaxosServer::empty(config, Box::new(make_storage));
         server.config_id = 1;
         server.role = ServerRole::Active;
         let omni_config = server.omni_config(1, nodes.clone());
@@ -307,13 +361,16 @@ impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
         server
     }
 
-    /// Create a fresh joiner: it stays [`ServerRole::Idle`] until an
-    /// existing server announces a configuration that includes it.
-    pub fn new_joiner(config: ServerConfig) -> Self {
-        OmniPaxosServer::empty(config)
+    /// A joiner whose eventual configurations build their storage through
+    /// `make_storage` (see [`OmniPaxosServer::with_storage_factory`]).
+    pub fn new_joiner_with_factory(
+        config: ServerConfig,
+        make_storage: impl Fn(u32) -> S + Send + 'static,
+    ) -> Self {
+        OmniPaxosServer::empty(config, Box::new(make_storage))
     }
 
-    fn empty(config: ServerConfig) -> Self {
+    fn empty(config: ServerConfig, make_storage: Box<dyn Fn(u32) -> S + Send>) -> Self {
         OmniPaxosServer {
             config,
             log: Vec::new(),
@@ -331,6 +388,7 @@ impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
             outgoing: Vec::new(),
             reconfigurations: 0,
             segment_cache: HashMap::new(),
+            make_storage,
         }
     }
 
@@ -596,6 +654,27 @@ impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
                 chunk,
                 total,
             } => self.handle_snap_resp(from, idx, offset, chunk, total),
+            // A single-group server is group 0: accept envelopes addressed
+            // to it (a multi-group peer may envelope everything), drop the
+            // rest — senders retransmit, exactly like the cross-config case.
+            ServiceMsg::Group { group, msg } => {
+                if group == 0 {
+                    self.handle(from, *msg);
+                }
+            }
+            ServiceMsg::GroupBle { beats } => {
+                for (group, config_id, ble) in beats {
+                    if group == 0 {
+                        self.handle(
+                            from,
+                            ServiceMsg::Omni {
+                                config_id,
+                                msg: OmniMessage::Ble(ble),
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -1229,7 +1308,7 @@ impl<T: Entry, S: Storage<T> + Default> OmniPaxosServer<T, S> {
         self.role = ServerRole::Active;
         self.migration = None;
         let omni_config = self.omni_config(ss.config_id, ss.next_nodes.clone());
-        let mut omni = OmniPaxos::new(omni_config, S::default());
+        let mut omni = OmniPaxos::new(omni_config, (self.make_storage)(ss.config_id));
         // Flush proposals buffered during the switch as one batch (§7.3).
         for entry in std::mem::take(&mut self.pending) {
             let _ = omni.append(entry);

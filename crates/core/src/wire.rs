@@ -752,6 +752,18 @@ impl<T: WalEncode> Wire for ServiceMsg<T> {
                 put_bytes(buf, chunk);
                 buf.extend_from_slice(&total.to_le_bytes());
             }
+            ServiceMsg::Group { group, msg } => {
+                buf.extend_from_slice(&group.to_le_bytes());
+                msg.encode(buf, cache);
+            }
+            ServiceMsg::GroupBle { beats } => {
+                buf.extend_from_slice(&(beats.len() as u32).to_le_bytes());
+                for (group, config_id, ble) in beats {
+                    buf.extend_from_slice(&group.to_le_bytes());
+                    buf.extend_from_slice(&config_id.to_le_bytes());
+                    ble.encode(buf, cache);
+                }
+            }
         }
     }
 
@@ -810,6 +822,34 @@ impl<T: WalEncode> Wire for ServiceMsg<T> {
                 chunk: r.bytes("SnapResp.chunk")?.into(),
                 total: r.u64("SnapResp.total")?,
             },
+            7 => {
+                let group = r.u32("Group.group")?;
+                let msg = ServiceMsg::decode(r)?;
+                // Envelopes never nest: the inner message is a plain
+                // protocol message. Rejecting nesting here also bounds
+                // decode recursion on hostile input.
+                if matches!(msg, ServiceMsg::Group { .. } | ServiceMsg::GroupBle { .. }) {
+                    return Err(WireError::InvalidPayload {
+                        what: "Group.msg (nested envelope)",
+                    });
+                }
+                ServiceMsg::Group {
+                    group,
+                    msg: Box::new(msg),
+                }
+            }
+            8 => {
+                // One beat is at least group + config_id + a minimal
+                // BleMessage (from + to + HeartbeatRequest round).
+                let n = r.count(33, "GroupBle.beats")?;
+                let mut beats = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let group = r.u32("GroupBle.group")?;
+                    let config_id = r.u32("GroupBle.config_id")?;
+                    beats.push((group, config_id, BleMessage::decode(r)?));
+                }
+                ServiceMsg::GroupBle { beats }
+            }
             v => {
                 return Err(WireError::UnknownDiscriminant {
                     what: "ServiceMsg",

@@ -15,9 +15,11 @@
 //! partitions — see the paper's §7.2) are deduplicated: the state machine
 //! applies each `(client, seq)` at most once.
 
+pub mod shard;
 pub mod store;
 pub mod wire;
 
+pub use shard::{shard_of_key, shard_of_op, ShardedKvNode};
 pub use store::{KvCommand, KvNode, KvOp, KvResult, KvStateMachine};
 pub use wire::KvWire;
 

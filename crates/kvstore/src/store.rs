@@ -3,7 +3,7 @@
 use omnipaxos::sequence_paxos::ProposeErr;
 use omnipaxos::service::{OmniPaxosServer, ServerConfig, ServiceMsg};
 use omnipaxos::snapshot::{SnapshotData, Snapshottable};
-use omnipaxos::storage::TrimError;
+use omnipaxos::storage::{MemoryStorage, Storage, TrimError};
 use omnipaxos::{Entry, NodeId};
 use std::collections::HashMap;
 
@@ -200,8 +200,11 @@ impl Snapshottable for KvStateMachine {
 }
 
 /// One key-value server: an Omni-Paxos replica plus the applied state.
-pub struct KvNode {
-    server: OmniPaxosServer<KvCommand>,
+/// Generic over the replication storage (default: in-memory); a sharded
+/// deployment gives each shard its own `KvNode` with its own storage
+/// namespace (see `crate::shard`).
+pub struct KvNode<S: Storage<KvCommand> = MemoryStorage<KvCommand>> {
+    server: OmniPaxosServer<KvCommand, S>,
     sm: KvStateMachine,
     results: Vec<KvResult>,
 }
@@ -209,8 +212,15 @@ pub struct KvNode {
 impl KvNode {
     /// A server of the initial configuration `nodes`.
     pub fn new(pid: NodeId, nodes: Vec<NodeId>) -> Self {
+        Self::with_config(ServerConfig::with(pid), nodes)
+    }
+
+    /// A server of the initial configuration with an explicit service
+    /// config (ballot priority, timeouts — the sharding layer uses the
+    /// priority knob to spread per-shard leaders across the cluster).
+    pub fn with_config(config: ServerConfig, nodes: Vec<NodeId>) -> Self {
         KvNode {
-            server: OmniPaxosServer::new(ServerConfig::with(pid), nodes),
+            server: OmniPaxosServer::new(config, nodes),
             sm: KvStateMachine::default(),
             results: Vec::new(),
         }
@@ -220,8 +230,25 @@ impl KvNode {
     /// reconfiguration (it activates when a `StartConfig` notification
     /// arrives; see the service layer).
     pub fn joiner(pid: NodeId) -> Self {
+        Self::joiner_with_config(ServerConfig::with(pid))
+    }
+
+    /// A joiner with an explicit service config.
+    pub fn joiner_with_config(config: ServerConfig) -> Self {
         KvNode {
-            server: OmniPaxosServer::new_joiner(ServerConfig::with(pid)),
+            server: OmniPaxosServer::new_joiner(config),
+            sm: KvStateMachine::default(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl<S: Storage<KvCommand>> KvNode<S> {
+    /// Wrap a pre-built replication server (durable or fault-injected
+    /// storage) into a kv node.
+    pub fn from_server(server: OmniPaxosServer<KvCommand, S>) -> Self {
+        KvNode {
+            server,
             sm: KvStateMachine::default(),
             results: Vec::new(),
         }
@@ -330,17 +357,17 @@ impl KvNode {
     }
 
     /// Access the underlying replication server (partitions, recovery).
-    pub fn server(&mut self) -> &mut OmniPaxosServer<KvCommand> {
+    pub fn server(&mut self) -> &mut OmniPaxosServer<KvCommand, S> {
         &mut self.server
     }
 
     /// Shared access to the replication server (invariant observation).
-    pub fn server_ref(&self) -> &OmniPaxosServer<KvCommand> {
+    pub fn server_ref(&self) -> &OmniPaxosServer<KvCommand, S> {
         &self.server
     }
 }
 
-impl std::fmt::Debug for KvNode {
+impl<S: Storage<KvCommand>> std::fmt::Debug for KvNode<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvNode")
             .field("server", &self.server)

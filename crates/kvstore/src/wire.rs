@@ -105,6 +105,16 @@ pub enum KvWire {
     /// Server → client: the leader could not take the proposal right now
     /// (e.g. mid-reconfiguration); retry the same command shortly.
     Retry { seq: u64 },
+    /// Server → client (sharded gateway): the request's key belongs to
+    /// `shard`, whose leader is `leader` (0 = currently unknown). The
+    /// client refreshes its cached routing table entry and re-sends there.
+    ShardRedirect { shard: u32, leader: NodeId },
+    /// Client → server: send me the routing table.
+    ShardsReq,
+    /// Server → client: the routing table — the known leader pid per
+    /// shard, indexed by shard id (0 = unknown). `leaders.len()` is the
+    /// cluster's shard count.
+    Shards { leaders: Vec<NodeId> },
 }
 
 impl KvWire {
@@ -115,6 +125,9 @@ impl KvWire {
             KvWire::Reply(_) => 1,
             KvWire::Redirect { .. } => 2,
             KvWire::Retry { .. } => 3,
+            KvWire::ShardRedirect { .. } => 4,
+            KvWire::ShardsReq => 5,
+            KvWire::Shards { .. } => 6,
         }
     }
 }
@@ -138,6 +151,17 @@ impl Wire for KvWire {
             }
             KvWire::Redirect { leader } => buf.extend_from_slice(&leader.to_le_bytes()),
             KvWire::Retry { seq } => buf.extend_from_slice(&seq.to_le_bytes()),
+            KvWire::ShardRedirect { shard, leader } => {
+                buf.extend_from_slice(&shard.to_le_bytes());
+                buf.extend_from_slice(&leader.to_le_bytes());
+            }
+            KvWire::ShardsReq => {}
+            KvWire::Shards { leaders } => {
+                buf.extend_from_slice(&(leaders.len() as u32).to_le_bytes());
+                for &l in leaders {
+                    buf.extend_from_slice(&l.to_le_bytes());
+                }
+            }
         }
     }
 
@@ -170,6 +194,19 @@ impl Wire for KvWire {
             3 => KvWire::Retry {
                 seq: r.u64("Retry.seq")?,
             },
+            4 => KvWire::ShardRedirect {
+                shard: r.u32("ShardRedirect.shard")?,
+                leader: r.u64("ShardRedirect.leader")?,
+            },
+            5 => KvWire::ShardsReq,
+            6 => {
+                let n = r.count(8, "Shards.leaders")?;
+                let mut leaders = Vec::with_capacity(n);
+                for _ in 0..n {
+                    leaders.push(r.u64("Shards.leader")?);
+                }
+                KvWire::Shards { leaders }
+            }
             v => {
                 return Err(WireError::UnknownDiscriminant {
                     what: "KvWire",

@@ -11,7 +11,7 @@
 //! per pid in `--peers` and the cluster elects a leader and serves
 //! traffic; kill any minority and it keeps going.
 
-use kvstore::{KvCommand, KvNode, NodeId};
+use kvstore::{KvCommand, NodeId, ShardedKvNode};
 use net::server::{ClientGateway, KvServer};
 use net::tcp::{TcpConfig, TcpTransport};
 use omnipaxos::ServiceMsg;
@@ -24,7 +24,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: omni-kv-server --pid <n> --peers <pid=addr,...> --client-addr <addr> \
-         [--tick-ms <ms>] [--joiner]"
+         [--tick-ms <ms>] [--joiner] [--shards <n>]"
     );
     std::process::exit(2)
 }
@@ -45,6 +45,7 @@ fn main() {
     let mut client_addr: Option<SocketAddr> = None;
     let mut tick_ms: u64 = 10;
     let mut joiner = false;
+    let mut shards: usize = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -53,8 +54,13 @@ fn main() {
             "--client-addr" => client_addr = it.next().and_then(|v| v.parse().ok()),
             "--tick-ms" => tick_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
             "--joiner" => joiner = true,
+            "--shards" => shards = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             _ => usage(),
         }
+    }
+    if shards == 0 {
+        eprintln!("error: --shards must be at least 1");
+        std::process::exit(2);
     }
     let (Some(pid), Some(peers), Some(client_addr)) = (pid, peers, client_addr) else {
         usage()
@@ -66,10 +72,12 @@ fn main() {
 
     let mut nodes: Vec<NodeId> = peers.keys().copied().collect();
     nodes.sort_unstable();
+    // Every pid in the cluster must be launched with the same --shards
+    // value: shard count is part of the routing contract.
     let node = if joiner {
-        KvNode::joiner(pid)
+        ShardedKvNode::joiner(pid, shards)
     } else {
-        KvNode::new(pid, nodes)
+        ShardedKvNode::new(pid, nodes, shards)
     };
 
     let transport: TcpTransport<ServiceMsg<KvCommand>> =
@@ -85,7 +93,7 @@ fn main() {
         });
 
     eprintln!(
-        "omni-kv-server pid={pid} replication={} clients={}",
+        "omni-kv-server pid={pid} shards={shards} replication={} clients={}",
         transport.local_addr(),
         gateway.local_addr()
     );
@@ -93,7 +101,7 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     // Run until killed; a SIGINT handler would need a dependency, so the
     // process relies on the OS to tear sockets down.
-    let server = KvServer::new(node, transport).with_gateway(gateway);
+    let server = KvServer::new_sharded(node, transport).with_gateway(gateway);
     let _ = stop.load(Ordering::SeqCst);
     server.run(Duration::from_millis(tick_ms), stop);
 }

@@ -97,7 +97,7 @@ impl KvClient {
                     }
                     return Ok(res);
                 }
-                Ok(KvWire::Redirect { leader }) => {
+                Ok(KvWire::Redirect { leader }) | Ok(KvWire::ShardRedirect { leader, .. }) => {
                     self.retarget(leader);
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -222,6 +222,8 @@ pub struct PipelinedKvClient {
     gate: Option<Instant>,
     /// `KvWire::Retry` replies observed (overload/gap shedding).
     retries: u64,
+    /// Server rotations performed (connect failures, drops, stalls).
+    rotations: u64,
     last_progress: Instant,
     next_rotate: Instant,
     /// Backoff before retransmitting a shed (`Retry`) command.
@@ -248,6 +250,7 @@ impl PipelinedKvClient {
             alias: HashMap::new(),
             gate: None,
             retries: 0,
+            rotations: 0,
             last_progress: Instant::now(),
             next_rotate: Instant::now() + Duration::from_secs(1),
             retry_delay: Duration::from_millis(10),
@@ -286,6 +289,14 @@ impl PipelinedKvClient {
     /// How many `Retry` replies (shed requests) this client has seen.
     pub fn retries_seen(&self) -> u64 {
         self.retries
+    }
+
+    /// How many times this client rotated away from a server (connect
+    /// failure, dropped connection, or stall). A live gateway that keeps
+    /// answering — even with only `Retry`/`Redirect` — must not inflate
+    /// this.
+    pub fn rotations_seen(&self) -> u64 {
+        self.rotations
     }
 
     /// One non-blocking cycle: transmit queued requests (one coalesced
@@ -363,6 +374,15 @@ impl PipelinedKvClient {
     }
 
     fn on_msg(&mut self, msg: KvWire, done: &mut Vec<KvResult>) {
+        // Any inbound frame proves the gateway is alive and talking to
+        // us; push the rotation deadline back. Without this, a gateway
+        // that answers only `Retry`/`Redirect` for a while (overload
+        // shed, mid-election) looks identical to a dead one, and the
+        // stall timer abandons a live connection mid-window — rotating
+        // costs a reconnect plus a full-window retransmission, which
+        // under load makes the stall *worse*. Rotation is for servers
+        // that have gone mute, not slow ones.
+        self.next_rotate = Instant::now() + self.rotate_after;
         match msg {
             KvWire::Reply(mut res) => {
                 let seq = res.seq;
@@ -371,7 +391,6 @@ impl PipelinedKvClient {
                 };
                 self.unsent.remove(&seq);
                 self.last_progress = Instant::now();
-                self.next_rotate = Instant::now() + self.rotate_after;
                 let orig = self.alias.remove(&seq).unwrap_or(seq);
                 if matches!(op, KvOp::Read { .. }) && !res.applied {
                     // Deduplicated read: reissue under a fresh seq, still
@@ -386,7 +405,10 @@ impl PipelinedKvClient {
                 res.seq = orig;
                 done.push(res);
             }
-            KvWire::Redirect { leader } => {
+            KvWire::Redirect { leader } | KvWire::ShardRedirect { leader, .. } => {
+                // A pipelined client targets one shard (or an unsharded
+                // store), so a shard redirect is just a leader hint for
+                // that shard.
                 self.retarget(leader);
                 let gate = Instant::now() + Duration::from_millis(20);
                 self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
@@ -399,7 +421,9 @@ impl PipelinedKvClient {
                     self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
                 }
             }
-            KvWire::Request(_) => {} // servers never send requests
+            // Servers never send requests; routing-table frames are the
+            // sharded wrapper's business (it refreshes via bootstrap).
+            KvWire::Request(_) | KvWire::ShardsReq | KvWire::Shards { .. } => {}
         }
     }
 
@@ -533,7 +557,162 @@ impl PipelinedKvClient {
     }
 
     fn rotate(&mut self) {
+        self.rotations += 1;
         self.current = (self.current + 1) % self.servers.len();
         self.conn = None;
+    }
+
+    /// Point this client at the server with pid `leader` (0 or unknown
+    /// pids leave the target unchanged — the next stall rotates anyway).
+    fn target_leader(&mut self, leader: NodeId) {
+        if let Some(i) = self.servers.iter().position(|(pid, _)| *pid == leader) {
+            if i != self.current {
+                self.current = i;
+                self.conn = None;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (routing) client
+
+/// Fetch the routing table from any reachable server: connect, send
+/// [`KvWire::ShardsReq`], return the per-shard leader pids. `leaders.len()`
+/// is the cluster's shard count (1 for an unsharded store).
+pub fn fetch_shards(
+    servers: &[(NodeId, SocketAddr)],
+    timeout: Duration,
+) -> std::io::Result<Vec<NodeId>> {
+    let mut last_err = std::io::Error::new(ErrorKind::NotConnected, "no servers");
+    for &(_, addr) in servers {
+        let attempt = (|| -> std::io::Result<Vec<NodeId>> {
+            let stream = TcpStream::connect_timeout(&addr, timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(timeout))?;
+            let mut w = &stream;
+            frame::write_frame(&mut w, kind::KV, &KvWire::ShardsReq.to_bytes())?;
+            let mut r = &stream;
+            loop {
+                let f = frame::read_frame(&mut r)
+                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                if f.kind != kind::KV {
+                    continue;
+                }
+                match KvWire::from_bytes(&f.payload) {
+                    Ok(KvWire::Shards { leaders }) => return Ok(leaders),
+                    Ok(_) | Err(_) => continue,
+                }
+            }
+        })();
+        match attempt {
+            Ok(leaders) if !leaders.is_empty() => return Ok(leaders),
+            Ok(_) => last_err = std::io::Error::new(ErrorKind::InvalidData, "empty routing table"),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// An open-loop client for a sharded store: one [`PipelinedKvClient`]
+/// session per shard (sessions — and their seq spaces — are per shard on
+/// the server), each pointed at its shard's cached leader. Ops route by
+/// [`kvstore::shard_of_op`]; the cache self-heals because a mis-routed
+/// request earns a [`KvWire::ShardRedirect`] that re-targets that shard's
+/// session, and a stalled shard rotates servers on its own.
+pub struct ShardedKvClient {
+    shards: Vec<PipelinedKvClient>,
+}
+
+impl ShardedKvClient {
+    /// Build a client for `n_shards` shards without asking the cluster
+    /// (every shard starts at the first server and discovers its leader
+    /// via redirects).
+    pub fn new(client_id: u64, servers: Vec<(NodeId, SocketAddr)>, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "at least one shard");
+        let shards = (0..n_shards)
+            .map(|_| PipelinedKvClient::new(client_id, servers.clone()))
+            .collect();
+        ShardedKvClient { shards }
+    }
+
+    /// Bootstrap from the cluster: fetch the routing table (shard count +
+    /// per-shard leaders) and point each shard's session at its leader.
+    pub fn bootstrap(
+        client_id: u64,
+        servers: Vec<(NodeId, SocketAddr)>,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let leaders = fetch_shards(&servers, timeout)?;
+        let mut c = ShardedKvClient::new(client_id, servers, leaders.len());
+        c.apply_routes(&leaders);
+        Ok(c)
+    }
+
+    /// Re-point each shard's session at the given leader pids (0 entries
+    /// leave that shard's current target alone).
+    pub fn apply_routes(&mut self, leaders: &[NodeId]) {
+        for (s, &l) in leaders.iter().enumerate().take(self.shards.len()) {
+            if l != 0 {
+                self.shards[s].target_leader(l);
+            }
+        }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's underlying session (for timeouts, counters, tests).
+    pub fn shard(&mut self, shard: u32) -> &mut PipelinedKvClient {
+        &mut self.shards[shard as usize]
+    }
+
+    /// Queue `op` on its owning shard; completions carry `(shard, seq)`.
+    pub fn submit(&mut self, op: KvOp) -> (u32, u64) {
+        let s = kvstore::shard_of_op(&op, self.shards.len());
+        (s, self.shards[s as usize].submit(op))
+    }
+
+    /// Total ops submitted but not yet completed, across shards.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|c| c.in_flight()).sum()
+    }
+
+    /// `Retry` replies seen across all shard sessions.
+    pub fn retries_seen(&self) -> u64 {
+        self.shards.iter().map(|c| c.retries_seen()).sum()
+    }
+
+    /// One non-blocking cycle over every shard session; completed ops are
+    /// tagged with their shard.
+    pub fn pump(&mut self) -> std::io::Result<Vec<(u32, KvResult)>> {
+        let mut done = Vec::new();
+        for (s, c) in self.shards.iter_mut().enumerate() {
+            for res in c.pump()? {
+                done.push((s as u32, res));
+            }
+        }
+        Ok(done)
+    }
+
+    /// Run until every shard's window is empty (or `timeout` lapses,
+    /// which is an error).
+    pub fn drain(&mut self, timeout: Duration) -> std::io::Result<Vec<(u32, KvResult)>> {
+        let deadline = Instant::now() + timeout;
+        let mut all = Vec::new();
+        while self.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("{} ops still in flight at drain deadline", self.in_flight()),
+                ));
+            }
+            all.extend(self.pump()?);
+            if self.in_flight() > 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        Ok(all)
     }
 }

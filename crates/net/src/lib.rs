@@ -27,7 +27,7 @@ pub mod link;
 pub mod server;
 pub mod tcp;
 
-pub use client::{KvClient, PipelinedKvClient};
+pub use client::{fetch_shards, KvClient, PipelinedKvClient, ShardedKvClient};
 pub use frame::{Frame, FrameError};
 pub use link::{LinkCounters, LinkEvent, MsgSize, NetworkLink, SimHub, SimLink};
 pub use server::{ClientGateway, KvServer};

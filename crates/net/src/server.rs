@@ -15,7 +15,7 @@
 use crate::frame::{self, kind, FrameError};
 use crate::link::{LinkEvent, NetworkLink};
 use crate::tcp::lock_unpoisoned;
-use kvstore::{KvNode, KvWire};
+use kvstore::{KvNode, KvWire, ShardedKvNode};
 use omnipaxos::wire::Wire;
 use omnipaxos::{OmniMessage, PaxosMsg, ServiceMsg};
 use std::collections::HashMap;
@@ -208,46 +208,78 @@ fn gateway_accept(
     }
 }
 
-/// Default bound on commands in flight per server; past it new requests
+/// Default bound on commands in flight per shard; past it new requests
 /// are shed with [`KvWire::Retry`] instead of growing the queue.
 pub const DEFAULT_MAX_PENDING: usize = 4096;
 
-/// One kv server: replica + replication link + optional client gateway.
+/// One kv server: per-shard replicas + shared replication link + optional
+/// client gateway. Every shard's consensus traffic rides the same link
+/// sessions (group envelopes, coalesced BLE — see `kvstore::shard`); the
+/// gateway routes each request to the shard owning its key and keeps the
+/// PR 6 contiguous-admission/proposal-batching pipeline *per shard*, so
+/// one pump still turns one admission window into one `AcceptDecide` and
+/// one group-commit flush per shard.
 pub struct KvServer<L> {
-    node: KvNode,
+    node: ShardedKvNode,
     link: Option<L>,
     gateway: Option<ClientGateway>,
-    /// Commands in flight for a client: `(client, seq) -> conn`.
-    pending: HashMap<(u64, u64), ConnId>,
-    /// Overload bound on `pending`: requests beyond it get `Retry`.
+    /// Commands in flight, per shard: `(client, seq) -> conn`.
+    pending: Vec<HashMap<(u64, u64), ConnId>>,
+    /// Overload bound on each shard's `pending`: requests beyond it get
+    /// `Retry`.
     max_pending: usize,
-    /// Highest admitted seq per client. Pipelined clients keep a window
-    /// of seqs in flight; admission is kept contiguous per client (a
-    /// fresh seq is admitted only if it extends `admitted + 1`), so a
-    /// shed command can never be overtaken by a later one from the same
-    /// client. Without this, the session table (which stores only the
-    /// highest applied seq) would swallow the shed command's retry as a
-    /// duplicate and the write would be silently lost.
-    admitted: HashMap<u64, u64>,
+    /// Highest admitted seq per client, per shard. Pipelined clients keep
+    /// a window of seqs in flight; admission is kept contiguous per
+    /// client (a fresh seq is admitted only if it extends `admitted +
+    /// 1`), so a shed command can never be overtaken by a later one from
+    /// the same client. Without this, the session table (which stores
+    /// only the highest applied seq) would swallow the shed command's
+    /// retry as a duplicate and the write would be silently lost.
+    /// Sharded clients use one session (client id + seq space) per shard,
+    /// so the watermark map is per shard too.
+    admitted: Vec<HashMap<u64, u64>>,
+    /// Last gap-shed `(conn, seq)` per client, per shard. A client that
+    /// spreads ONE seq space over several shards (the routing-oblivious
+    /// closed-loop client) leaves permanent holes in each shard's seq
+    /// stream; the gap rule alone would `Retry` such a client forever.
+    /// Clients transmit their unsent window in seq order over a FIFO
+    /// connection, so if the *same* connection presents the same seq
+    /// twice with no intervening request from that client, every seq in
+    /// the gap is provably not coming here — the watermark may re-init
+    /// to `seq - 1`. Any intervening arrival (admitted, duplicate, or
+    /// even overload-shed) clears the record, because it proves lower
+    /// seqs are still in flight to this shard.
+    gap_shed: Vec<HashMap<u64, (ConnId, u64)>>,
     shed: u64,
     prepare_reqs: u64,
     reconnects: u64,
-    /// Proposal batching: pump cycles that proposed ≥1 command, and
-    /// commands proposed — `proposed_ops / proposal_batches` is the mean
-    /// contiguous append run handed to one consensus round.
+    /// Proposal batching: shard-batches proposed (one per shard per pump
+    /// cycle with traffic), and commands proposed — `proposed_ops /
+    /// proposal_batches` is the mean contiguous append run handed to one
+    /// consensus round.
     proposal_batches: u64,
     proposed_ops: u64,
 }
 
 impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
+    /// A single-shard server (the pre-sharding deployment shape; its wire
+    /// format is bit-identical to the unsharded protocol).
     pub fn new(node: KvNode, link: L) -> Self {
+        Self::new_sharded(ShardedKvNode::from_single(node), link)
+    }
+
+    /// A server over a sharded node: one consensus group per shard,
+    /// multiplexed over this server's single link.
+    pub fn new_sharded(node: ShardedKvNode, link: L) -> Self {
+        let n = node.n_shards();
         KvServer {
             node,
             link: Some(link),
             gateway: None,
-            pending: HashMap::new(),
+            pending: vec![HashMap::new(); n],
             max_pending: DEFAULT_MAX_PENDING,
-            admitted: HashMap::new(),
+            admitted: vec![HashMap::new(); n],
+            gap_shed: vec![HashMap::new(); n],
             shed: 0,
             prepare_reqs: 0,
             reconnects: 0,
@@ -295,11 +327,11 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             .unwrap_or((0, 0))
     }
 
-    pub fn node(&self) -> &KvNode {
+    pub fn node(&self) -> &ShardedKvNode {
         &self.node
     }
 
-    pub fn node_mut(&mut self) -> &mut KvNode {
+    pub fn node_mut(&mut self) -> &mut ShardedKvNode {
         &mut self.node
     }
 
@@ -350,10 +382,10 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
                         self.node.handle(from, msg);
                     }
                     LinkEvent::SessionEstablished { peer, .. } => {
-                        // New session ⇒ prior messages may be lost ⇒ ask
-                        // the leader (whoever it is) to re-sync us.
+                        // New session ⇒ prior messages may be lost ⇒ every
+                        // shard asks the leader (whoever it is) to re-sync.
                         self.reconnects += 1;
-                        self.node.server().reconnected(peer);
+                        self.node.reconnected(peer);
                     }
                     LinkEvent::SessionDropped { .. } => {
                         // Liveness is the BLE's job (heartbeats); nothing
@@ -385,14 +417,19 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
         let Some(gateway) = self.gateway.as_mut() else {
             return 0;
         };
-        if !self.node.is_leader() {
-            if !self.pending.is_empty() {
-                // Leadership lost with commands in flight: their fate is
-                // unknown (the new leader may or may not carry them). Tell
-                // the clients to retry — the session layer deduplicates any
-                // that decided after all — so `pending` cannot leak dead
-                // entries and eventually wedge the overload bound.
-                for ((_, seq), conn) in self.pending.drain() {
+        let n_shards = self.node.n_shards();
+        for s in 0..n_shards {
+            if self.node.is_leader(s as u32) {
+                continue;
+            }
+            if !self.pending[s].is_empty() {
+                // Leadership of this shard lost with commands in flight:
+                // their fate is unknown (the new leader may or may not
+                // carry them). Tell the clients to retry — the session
+                // layer deduplicates any that decided after all — so
+                // `pending` cannot leak dead entries and eventually wedge
+                // the overload bound.
+                for ((_, seq), conn) in self.pending[s].drain() {
                     gateway.reply(conn, &KvWire::Retry { seq });
                 }
             }
@@ -402,69 +439,111 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             // would make every fresh seq look like a gap once leadership
             // returns here — an unbreakable Retry loop. Drop them; first
             // contact re-initializes from the client's in-order window.
-            self.admitted.clear();
+            self.admitted[s].clear();
+            self.gap_shed[s].clear();
         }
         // Drain every queued request before flushing: all commands
-        // admitted in this cycle form one contiguous append run, which
-        // the replication layer batches into a single `AcceptDecide` per
-        // follower at the next drain (proposal batching).
+        // admitted in this cycle form one contiguous append run *per
+        // shard*, which the replication layer batches into a single
+        // `AcceptDecide` per follower per shard at the next drain
+        // (proposal batching).
         let mut served = 0;
-        let mut meta: Vec<((u64, u64), ConnId)> = Vec::new();
-        let mut batch: Vec<kvstore::KvCommand> = Vec::new();
+        let mut meta: Vec<Vec<((u64, u64), ConnId)>> = vec![Vec::new(); n_shards];
+        let mut batch: Vec<Vec<kvstore::KvCommand>> = vec![Vec::new(); n_shards];
         for (conn, msg) in gateway.poll() {
             served += 1;
-            let KvWire::Request(cmd) = msg else {
-                continue; // clients only send requests
+            let cmd = match msg {
+                KvWire::Request(cmd) => cmd,
+                KvWire::ShardsReq => {
+                    gateway.reply(
+                        conn,
+                        &KvWire::Shards {
+                            leaders: self.node.leaders(),
+                        },
+                    );
+                    continue;
+                }
+                _ => continue, // clients only send requests
             };
-            if !self.node.is_leader() {
-                let leader = self.node.server_ref().leader().map(|b| b.pid).unwrap_or(0);
-                gateway.reply(conn, &KvWire::Redirect { leader });
+            let shard = self.node.shard_of(&cmd.op);
+            let s = shard as usize;
+            if !self.node.is_leader(shard) {
+                let leader = self.node.leader_of(shard);
+                // Single-shard servers speak the pre-sharding protocol;
+                // sharded ones tell the client *which* shard to re-route.
+                if n_shards == 1 {
+                    gateway.reply(conn, &KvWire::Redirect { leader });
+                } else {
+                    gateway.reply(conn, &KvWire::ShardRedirect { shard, leader });
+                }
                 continue;
             }
             let key = (cmd.client, cmd.seq);
             let seq = cmd.seq;
+            // Any arrival from this client clears its gap record: a lower
+            // seq showing up proves the gap is still being retransmitted.
+            let gap_prev = self.gap_shed[s].remove(&cmd.client);
             // First contact with a client admits whatever seq it leads
             // with (a client always transmits its outstanding window in
             // seq order, so the lowest outstanding seq arrives first).
-            let admitted = *self
-                .admitted
+            // Sharded clients run one session per shard, so the watermark
+            // lives in the shard's own map.
+            let mut admitted = *self.admitted[s]
                 .entry(cmd.client)
                 .or_insert_with(|| seq.saturating_sub(1));
             if seq > admitted + 1 {
-                // Gap: an earlier seq from this client was shed. Shed
-                // this one too — admitting it would let it overtake the
-                // earlier command in the log, and the session table
-                // (highest applied seq) would then drop the earlier
-                // command's retry as a duplicate: a silently lost write.
-                self.shed += 1;
-                gateway.reply(conn, &KvWire::Retry { seq });
-                continue;
+                if gap_prev != Some((conn, seq)) {
+                    // Gap: an earlier seq from this client was shed — or
+                    // never routed to this shard at all. Shed this one
+                    // too: admitting it would let it overtake a shed
+                    // earlier command in the log, and the session table
+                    // (highest applied seq) would then drop that
+                    // command's retry as a duplicate — a silently lost
+                    // write. Record the shed so a repeat can tell the
+                    // two cases apart.
+                    self.gap_shed[s].insert(cmd.client, (conn, seq));
+                    self.shed += 1;
+                    gateway.reply(conn, &KvWire::Retry { seq });
+                    continue;
+                }
+                // The same connection re-sent the same seq with nothing
+                // from this client in between. The client transmits its
+                // unsent window in seq order over a FIFO connection, so
+                // every seq inside the gap is provably not coming here
+                // (it belongs to other shards). Re-initialize the
+                // watermark, exactly like first contact.
+                admitted = seq.saturating_sub(1);
+                self.admitted[s].insert(cmd.client, admitted);
             }
-            // Overload shedding: a full pending queue means replication
-            // is behind client arrival; answer `Retry` now rather than
-            // queueing unboundedly. Duplicates (seq ≤ admitted) are
-            // exempt — re-registering them is free and the session layer
-            // deduplicates on apply.
+            // Overload shedding: a full pending queue means this shard's
+            // replication is behind client arrival; answer `Retry` now
+            // rather than queueing unboundedly. Duplicates (seq ≤
+            // admitted) are exempt — re-registering them is free and the
+            // session layer deduplicates on apply.
             if seq > admitted
-                && self.pending.len() + batch.len() >= self.max_pending
-                && !self.pending.contains_key(&key)
+                && self.pending[s].len() + batch[s].len() >= self.max_pending
+                && !self.pending[s].contains_key(&key)
             {
                 self.shed += 1;
                 gateway.reply(conn, &KvWire::Retry { seq });
                 continue;
             }
-            self.admitted.insert(cmd.client, admitted.max(seq));
-            meta.push((key, conn));
-            batch.push(cmd);
+            self.admitted[s].insert(cmd.client, admitted.max(seq));
+            meta[s].push((key, conn));
+            batch[s].push(cmd);
         }
-        if !batch.is_empty() {
-            let accepted = match self.node.submit_batch(batch) {
+        for s in 0..n_shards {
+            let b = std::mem::take(&mut batch[s]);
+            if b.is_empty() {
+                continue;
+            }
+            let accepted = match self.node.submit_batch(s as u32, b) {
                 Ok(n) => n,
                 Err((n, _)) => n,
             };
-            for (i, (key, conn)) in meta.into_iter().enumerate() {
+            for (i, (key, conn)) in meta[s].drain(..).enumerate() {
                 if i < accepted {
-                    self.pending.insert(key, conn);
+                    self.pending[s].insert(key, conn);
                 } else {
                     gateway.reply(conn, &KvWire::Retry { seq: key.1 });
                 }
@@ -483,8 +562,8 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             return 0;
         };
         let n = results.len();
-        for res in results {
-            if let Some(conn) = self.pending.remove(&(res.client, res.seq)) {
+        for (shard, res) in results {
+            if let Some(conn) = self.pending[shard as usize].remove(&(res.client, res.seq)) {
                 gateway.reply(conn, &KvWire::Reply(res));
             }
         }
@@ -522,11 +601,13 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
 }
 
 fn is_prepare_req<T: omnipaxos::Entry>(msg: &ServiceMsg<T>) -> bool {
-    matches!(
-        msg,
+    match msg {
+        // Sharded peers wrap per-group traffic in the group envelope.
+        ServiceMsg::Group { msg, .. } => is_prepare_req(msg),
         ServiceMsg::Omni {
             msg: OmniMessage::Paxos(m),
             ..
-        } if matches!(m.msg, PaxosMsg::PrepareReq)
-    )
+        } => matches!(m.msg, PaxosMsg::PrepareReq),
+        _ => false,
+    }
 }

@@ -213,6 +213,83 @@ fn service_samples() -> Vec<(String, ServiceMsg<KvCommand>)> {
                 total: 4096,
             },
         ),
+        // Multi-group envelope: a non-zero group wrapping replication
+        // traffic. Bare messages above double as group 0, so the
+        // pre-envelope corpus files pin backward compatibility.
+        (
+            "svc_group_omni".into(),
+            ServiceMsg::Group {
+                group: 3,
+                msg: Box::new(ServiceMsg::Omni {
+                    config_id: 2,
+                    msg: OmniMessage::Paxos(Message::with(
+                        1,
+                        2,
+                        PaxosMsg::AcceptDecide(AcceptDecide {
+                            n: b,
+                            start_idx: 12,
+                            decided_idx: 11,
+                            entries: vec![entry(12)].into(),
+                        }),
+                    )),
+                }),
+            },
+        ),
+        (
+            "svc_group_segment_req".into(),
+            ServiceMsg::Group {
+                group: 1,
+                msg: Box::new(ServiceMsg::SegmentReq { from: 5, to: 25 }),
+            },
+        ),
+        // Shared-BLE carrier: several groups' heartbeats to one peer in a
+        // single frame, including an empty carrier (a legal flush).
+        (
+            "svc_group_ble".into(),
+            ServiceMsg::GroupBle {
+                beats: vec![
+                    (
+                        0,
+                        1,
+                        BleMessage {
+                            from: 1,
+                            to: 2,
+                            msg: BleMsg::HeartbeatRequest { round: 9 },
+                        },
+                    ),
+                    (
+                        2,
+                        1,
+                        BleMessage {
+                            from: 1,
+                            to: 2,
+                            msg: BleMsg::HeartbeatReply {
+                                round: 9,
+                                ballot: b,
+                                quorum_connected: true,
+                            },
+                        },
+                    ),
+                    (
+                        3,
+                        4,
+                        BleMessage {
+                            from: 1,
+                            to: 2,
+                            msg: BleMsg::HeartbeatReply {
+                                round: 9,
+                                ballot: Ballot::bottom(),
+                                quorum_connected: false,
+                            },
+                        },
+                    ),
+                ],
+            },
+        ),
+        (
+            "svc_group_ble_empty".into(),
+            ServiceMsg::GroupBle { beats: vec![] },
+        ),
     ];
     out.extend(paxos_samples());
     out
@@ -242,6 +319,20 @@ fn kv_samples() -> Vec<(String, KvWire)> {
         ),
         ("kv_redirect".into(), KvWire::Redirect { leader: 2 }),
         ("kv_retry".into(), KvWire::Retry { seq: 1 }),
+        (
+            "kv_shard_redirect".into(),
+            KvWire::ShardRedirect {
+                shard: 3,
+                leader: 2,
+            },
+        ),
+        ("kv_shards_req".into(), KvWire::ShardsReq),
+        (
+            "kv_shards".into(),
+            KvWire::Shards {
+                leaders: vec![1, 2, 0, 3],
+            },
+        ),
     ]
 }
 
@@ -315,6 +406,24 @@ fn bit_flips_never_decode_and_never_panic() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn nested_group_envelope_is_a_typed_error() {
+    // Group-in-Group is not a legal wire shape (one level of multiplexing
+    // only); the codec must reject it on decode rather than recurse.
+    let nested: ServiceMsg<KvCommand> = ServiceMsg::Group {
+        group: 1,
+        msg: Box::new(ServiceMsg::Group {
+            group: 2,
+            msg: Box::new(ServiceMsg::SegmentReq { from: 0, to: 1 }),
+        }),
+    };
+    let bytes = nested.to_bytes();
+    match ServiceMsg::<KvCommand>::from_bytes(&bytes) {
+        Err(e) => assert!(!FrameError::from(e).is_fatal()),
+        Ok(m) => panic!("nested envelope decoded as {:?}", m.discriminant()),
     }
 }
 

@@ -7,10 +7,10 @@
 //! by live reconfiguration. Everything binds ephemeral ports, so the
 //! tests are safe to run in parallel with anything.
 
-use kvstore::{KvCommand, KvNode, KvOp, NodeId};
+use kvstore::{KvCommand, KvOp, NodeId, ShardedKvNode};
 use net::server::{ClientGateway, KvServer};
 use net::tcp::{TcpConfig, TcpTransport};
-use net::{KvClient, PipelinedKvClient};
+use net::{fetch_shards, KvClient, PipelinedKvClient, ShardedKvClient};
 use omnipaxos::ServiceMsg;
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
@@ -78,6 +78,21 @@ impl Cluster {
     /// override (small values force overload shedding under pipelined
     /// load).
     fn boot_with(members: &[NodeId], joiners: &[NodeId], max_pending: Option<usize>) -> Cluster {
+        Cluster::boot_opts(members, joiners, max_pending, 1)
+    }
+
+    /// Boot a sharded cluster: every server runs `shards` Omni-Paxos
+    /// groups over its one replication transport.
+    fn boot_sharded(members: &[NodeId], shards: usize) -> Cluster {
+        Cluster::boot_opts(members, &[], None, shards)
+    }
+
+    fn boot_opts(
+        members: &[NodeId],
+        joiners: &[NodeId],
+        max_pending: Option<usize>,
+        shards: usize,
+    ) -> Cluster {
         let all: Vec<NodeId> = members.iter().chain(joiners).copied().collect();
         let mut listeners = HashMap::new();
         let mut repl_addrs = HashMap::new();
@@ -90,9 +105,9 @@ impl Cluster {
         let mut nodes = Vec::new();
         for &pid in &all {
             let node = if members.contains(&pid) {
-                KvNode::new(pid, members.to_vec())
+                ShardedKvNode::new(pid, members.to_vec(), shards)
             } else {
-                KvNode::joiner(pid)
+                ShardedKvNode::joiner(pid, shards)
             };
             let transport = Transport::with_listener(
                 pid,
@@ -103,7 +118,7 @@ impl Cluster {
             .unwrap();
             let gateway = ClientGateway::bind(TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
             let client_addr = gateway.local_addr();
-            let mut server = KvServer::new(node, transport).with_gateway(gateway);
+            let mut server = KvServer::new_sharded(node, transport).with_gateway(gateway);
             if let Some(mp) = max_pending {
                 server = server.with_max_pending(mp);
             }
@@ -123,9 +138,9 @@ impl Cluster {
                                     Ctl::KillTransport => drop(server.kill_transport()),
                                     Ctl::SetTransport(t) => server.set_transport(*t),
                                     Ctl::Reconfigure(nodes) => {
-                                        let _ = server.node_mut().server().reconfigure(nodes);
+                                        let _ = server.node_mut().reconfigure(0, nodes);
                                     }
-                                    Ctl::FailRecover => server.node_mut().server().fail_recovery(),
+                                    Ctl::FailRecover => server.node_mut().fail_recovery(),
                                 }
                             }
                             let work = server.pump();
@@ -135,13 +150,13 @@ impl Cluster {
                             }
                             status
                                 .is_leader
-                                .store(server.node().is_leader(), Ordering::Relaxed);
+                                .store(server.node().is_leader(0), Ordering::Relaxed);
                             status.sentinel.store(
                                 server.node().read_local("sentinel").unwrap_or(-1),
                                 Ordering::Relaxed,
                             );
                             status.config_id.store(
-                                server.node().server_ref().config_id() as i64,
+                                server.node().shard(0).server_ref().config_id() as i64,
                                 Ordering::Relaxed,
                             );
                             // Open-loop load turns around in microseconds;
@@ -316,7 +331,7 @@ fn three_node_cluster_survives_leader_transport_kill() {
     let servers = cluster.shutdown();
     let states: Vec<_> = servers
         .iter()
-        .map(|(pid, s)| (*pid, s.node().state_machine().state().clone()))
+        .map(|(pid, s)| (*pid, s.node().shard(0).state_machine().state().clone()))
         .collect();
     for w in states.windows(2) {
         assert_eq!(
@@ -414,7 +429,7 @@ fn kill_and_restart_nemesis_keeps_the_cluster_consistent() {
     let servers = cluster.shutdown();
     let states: Vec<_> = servers
         .iter()
-        .map(|(pid, s)| (*pid, s.node().state_machine().state().clone()))
+        .map(|(pid, s)| (*pid, s.node().shard(0).state_machine().state().clone()))
         .collect();
     for w in states.windows(2) {
         assert_eq!(
@@ -501,8 +516,8 @@ fn pipelined_overload_sheds_excess_but_completes_everything() {
         .map(|(pid, s)| {
             (
                 *pid,
-                s.node().state_machine().state().clone(),
-                s.node().state_machine().sessions().clone(),
+                s.node().shard(0).state_machine().state().clone(),
+                s.node().shard(0).state_machine().sessions().clone(),
             )
         })
         .collect();
@@ -518,6 +533,199 @@ fn pipelined_overload_sheds_excess_but_completes_everything() {
     // The session table records exactly the client's highest seq.
     for (_, _, sessions) in &states {
         assert_eq!(sessions.get(&0xC11E51).copied(), Some(pipe.last_seq()));
+    }
+}
+
+/// Regression (stall handling): a gateway that keeps *answering* — even
+/// if every answer is `Retry` for a while — must not be abandoned by the
+/// rotation timer. Rotating away from a live-but-shedding server drops
+/// the connection and retransmits the whole window elsewhere, turning an
+/// overload blip into a stampede. The stall timer must reset on any
+/// inbound frame, not only on completions.
+#[test]
+fn slow_but_live_gateway_is_not_abandoned() {
+    use net::frame::{self, kind};
+    use omnipaxos::wire::Wire;
+
+    // A fake gateway: decodes requests, answers `Retry` for the first
+    // `shed_for`, then applies everything (echo replies). A second
+    // listener that accepts but never answers plays the "mute server"
+    // a rotation would land on.
+    let live = TcpListener::bind("127.0.0.1:0").unwrap();
+    let mute = TcpListener::bind("127.0.0.1:0").unwrap();
+    let live_addr = live.local_addr().unwrap();
+    let mute_addr = mute.local_addr().unwrap();
+    let shed_for = Duration::from_millis(900);
+    let t0 = Instant::now();
+    std::thread::spawn(move || {
+        for stream in live.incoming().flatten() {
+            let t0 = t0;
+            std::thread::spawn(move || {
+                let mut r = &stream;
+                while let Ok(f) = frame::read_frame(&mut r) {
+                    if f.kind != kind::KV {
+                        continue;
+                    }
+                    let Ok(kvstore::KvWire::Request(cmd)) = kvstore::KvWire::from_bytes(&f.payload)
+                    else {
+                        continue;
+                    };
+                    let reply = if t0.elapsed() < shed_for {
+                        kvstore::KvWire::Retry { seq: cmd.seq }
+                    } else {
+                        kvstore::KvWire::Reply(kvstore::KvResult {
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            value: Some(1),
+                            applied: true,
+                        })
+                    };
+                    let mut w = &stream;
+                    if frame::write_frame(&mut w, kind::KV, &reply.to_bytes()).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for stream in mute.incoming().flatten() {
+            held.push(stream); // accept and go mute
+        }
+    });
+
+    let mut pipe = PipelinedKvClient::new(0xC11E53, vec![(1, live_addr), (2, mute_addr)]);
+    // Rotation threshold well inside the shed window: without the fix,
+    // 300ms of Retry-only answers trip the stall timer and the client
+    // rotates to the mute server mid-window.
+    pipe.rotate_after = Duration::from_millis(300);
+    pipe.retry_delay = Duration::from_millis(20);
+    for i in 0..32u64 {
+        pipe.submit(KvOp::Put {
+            key: format!("s{i}"),
+            value: i as i64,
+        });
+    }
+    let done = pipe.drain(Duration::from_secs(20)).expect("drain");
+    assert_eq!(done.len(), 32, "every op completes once shedding ends");
+    assert!(
+        pipe.retries_seen() > 0,
+        "the shed window must actually have shed"
+    );
+    assert_eq!(
+        pipe.rotations_seen(),
+        0,
+        "a live gateway answering Retry must not be abandoned"
+    );
+}
+
+/// End-to-end sharded cluster: 4 Omni-Paxos groups over 3 replicas and
+/// one transport each. The routing table converges (every shard gets a
+/// leader), a sharded open-loop client completes everything exactly once
+/// across shards, wrong-shard requests earn `ShardRedirect`, and every
+/// replica converges per shard — session tables included, proving the
+/// per-shard session isolation.
+#[test]
+fn sharded_cluster_routes_and_converges() {
+    let shards = 4usize;
+    let cluster = Cluster::boot_sharded(&[1, 2, 3], shards);
+
+    // Routing converges: every shard elects and publishes a leader, and
+    // leadership spreads over the replicas rather than funneling through
+    // one node (priorities place shard s on node (s % 3) + 1; transient
+    // single-owner tables right after boot are allowed to settle).
+    wait(Duration::from_secs(20), "spread leaders per shard", || {
+        let l = fetch_shards(&cluster.client_addrs(), Duration::from_millis(500)).ok()?;
+        let distinct: HashSet<NodeId> = l.iter().copied().collect();
+        (l.len() == shards && l.iter().all(|&p| p != 0) && distinct.len() >= 2).then_some(())
+    });
+
+    let mut sharded =
+        ShardedKvClient::bootstrap(0xC11E54, cluster.client_addrs(), Duration::from_millis(500))
+            .expect("bootstrap routing table");
+    assert_eq!(sharded.n_shards(), shards);
+
+    let total = 400u64;
+    let mut expected: HashMap<String, i64> = HashMap::new();
+    for i in 0..total {
+        let key = format!("sk{}", i % 40);
+        sharded.submit(KvOp::Put {
+            key: key.clone(),
+            value: i as i64,
+        });
+        expected.insert(key, i as i64);
+    }
+    let done = sharded
+        .drain(Duration::from_secs(60))
+        .expect("sharded drain");
+    // Exactly-once per shard session: (shard, seq) never repeats.
+    let mut seen: HashSet<(u32, u64)> = HashSet::new();
+    for (s, r) in &done {
+        assert!(seen.insert((*s, r.seq)), "shard {s} seq {} twice", r.seq);
+    }
+    assert_eq!(done.len() as u64, total, "every op completes");
+    // The workload actually spanned several shards.
+    let shards_hit: HashSet<u32> = done.iter().map(|(s, _)| *s).collect();
+    assert!(
+        shards_hit.len() >= 2,
+        "40 keys over 4 shards must hit several shards"
+    );
+
+    // A routing-oblivious closed-loop client still works: wrong-shard
+    // requests bounce via ShardRedirect until they land.
+    let mut reader = KvClient::new(0xC11E55, cluster.client_addrs());
+    for (k, v) in &expected {
+        assert_eq!(
+            reader.read(k).expect("read"),
+            Some(*v),
+            "final value of {k} via redirect-routing"
+        );
+    }
+
+    // Convergence barrier, then per-shard replica agreement.
+    reader.put("sentinel", 9).expect("sentinel");
+    wait(Duration::from_secs(10), "sentinel on all replicas", || {
+        cluster
+            .nodes
+            .iter()
+            .all(|n| n.status.sentinel.load(Ordering::Relaxed) == 9)
+            .then_some(())
+    });
+    let servers = cluster.shutdown();
+    for s in 0..shards as u32 {
+        let states: Vec<_> = servers
+            .iter()
+            .map(|(pid, srv)| {
+                (
+                    *pid,
+                    srv.node().shard(s).state_machine().state().clone(),
+                    srv.node().shard(s).state_machine().sessions().clone(),
+                )
+            })
+            .collect();
+        for w in states.windows(2) {
+            assert_eq!(
+                (&w[0].1, &w[0].2),
+                (&w[1].1, &w[1].2),
+                "shard {s} diverged between {} and {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        // Per-shard sessions: the sharded client's session appears only
+        // on shards it wrote to, with that shard's own last seq.
+        let wrote: u64 = done.iter().filter(|(sh, _)| *sh == s).count() as u64;
+        let session = states[0].2.get(&0xC11E54).copied();
+        if wrote > 0 {
+            assert_eq!(
+                session,
+                Some(wrote),
+                "shard {s} session table carries its own seq space"
+            );
+        } else {
+            assert_eq!(session, None, "shard {s} never saw this client");
+        }
     }
 }
 
@@ -568,7 +776,7 @@ fn reconfiguration_brings_a_fourth_node_in_over_tcp() {
     let servers = cluster.shutdown();
     let states: Vec<_> = servers
         .iter()
-        .map(|(pid, s)| (*pid, s.node().state_machine().state().clone()))
+        .map(|(pid, s)| (*pid, s.node().shard(0).state_machine().state().clone()))
         .collect();
     for w in states.windows(2) {
         assert_eq!(

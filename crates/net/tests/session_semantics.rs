@@ -66,7 +66,7 @@ fn sim_session_reestablish_triggers_prepare_req_resync() {
     step(&mut servers, &mut now, 50);
     let leader = servers
         .iter()
-        .position(|s| s.node().is_leader())
+        .position(|s| s.node().is_leader(0))
         .expect("a leader after 50 ticks");
     let leader_pid = (leader + 1) as NodeId;
     // Pick a follower to disconnect.
@@ -76,6 +76,7 @@ fn sim_session_reestablish_triggers_prepare_req_resync() {
     // Baseline writes reach everyone.
     servers[leader]
         .node_mut()
+        .shard_mut(0)
         .submit(put(1, 1, "a", 1))
         .unwrap();
     step(&mut servers, &mut now, 20);
@@ -96,10 +97,12 @@ fn sim_session_reestablish_triggers_prepare_req_resync() {
     // Writes decided by the remaining majority while the session is down.
     servers[leader]
         .node_mut()
+        .shard_mut(0)
         .submit(put(1, 2, "b", 2))
         .unwrap();
     servers[leader]
         .node_mut()
+        .shard_mut(0)
         .submit(put(1, 3, "c", 3))
         .unwrap();
     step(&mut servers, &mut now, 50);
@@ -124,8 +127,18 @@ fn sim_session_reestablish_triggers_prepare_req_resync() {
     assert!(servers[follower].reconnects_seen() > 0);
     assert_eq!(servers[follower].node().read_local("b"), Some(2));
     assert_eq!(servers[follower].node().read_local("c"), Some(3));
-    let leader_state = servers[leader].node().state_machine().state().clone();
-    let follower_state = servers[follower].node().state_machine().state().clone();
+    let leader_state = servers[leader]
+        .node()
+        .shard(0)
+        .state_machine()
+        .state()
+        .clone();
+    let follower_state = servers[follower]
+        .node()
+        .shard(0)
+        .state_machine()
+        .state()
+        .clone();
     assert_eq!(leader_state, follower_state, "states must converge");
 }
 
@@ -198,14 +211,15 @@ fn tcp_session_reestablish_triggers_prepare_req_resync() {
         .collect();
 
     drive_until(&mut servers, Duration::from_secs(10), "a leader", |s| {
-        s.iter().any(|s| s.node().is_leader())
+        s.iter().any(|s| s.node().is_leader(0))
     });
-    let leader = servers.iter().position(|s| s.node().is_leader()).unwrap();
+    let leader = servers.iter().position(|s| s.node().is_leader(0)).unwrap();
     let follower = (0..3).find(|&i| i != leader).unwrap();
     let follower_pid = (follower + 1) as NodeId;
 
     servers[leader]
         .node_mut()
+        .shard_mut(0)
         .submit(put(1, 1, "a", 1))
         .unwrap();
     drive_until(
@@ -219,10 +233,12 @@ fn tcp_session_reestablish_triggers_prepare_req_resync() {
     drop(servers[follower].kill_transport());
     servers[leader]
         .node_mut()
+        .shard_mut(0)
         .submit(put(1, 2, "b", 2))
         .unwrap();
     servers[leader]
         .node_mut()
+        .shard_mut(0)
         .submit(put(1, 3, "c", 3))
         .unwrap();
     drive_until(
@@ -257,7 +273,17 @@ fn tcp_session_reestablish_triggers_prepare_req_resync() {
         "leader must receive a PrepareReq after the session reforms"
     );
     assert!(servers[follower].reconnects_seen() > 0);
-    let leader_state = servers[leader].node().state_machine().state().clone();
-    let follower_state = servers[follower].node().state_machine().state().clone();
+    let leader_state = servers[leader]
+        .node()
+        .shard(0)
+        .state_machine()
+        .state()
+        .clone();
+    let follower_state = servers[follower]
+        .node()
+        .shard(0)
+        .state_machine()
+        .state()
+        .clone();
     assert_eq!(leader_state, follower_state, "states must converge");
 }

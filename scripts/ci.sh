@@ -8,7 +8,7 @@
 #   scripts/ci.sh fmt          # one stage
 #   scripts/ci.sh clippy build # several stages, in the given order
 #
-# Stages: fmt clippy build test net chaos storage-faults bench perf-smoke
+# Stages: fmt clippy build test net chaos shard storage-faults bench perf-smoke
 # Each stage is timed; a summary table prints at the end.
 set -eu
 
@@ -54,6 +54,18 @@ stage_net() {
 stage_chaos() {
     echo "==> [chaos] quick deterministic chaos gate (all protocols + kv store)"
     cargo run --release -q -p chaos -- --quick
+}
+
+stage_shard() {
+    echo "==> [shard] sharded loopback cluster: routing + per-shard convergence"
+    cargo test -q -p net --test loopback sharded
+    echo "==> [shard] per-shard WAL isolation across kill-and-restart"
+    cargo test -q -p kvstore --test shard_wal_isolation
+    echo "==> [shard] quick multi-group chaos sweep (cross-shard invariants + shard moves)"
+    cargo run --release -q -p chaos -- --shard-seeds 25
+    echo "==> [shard] sharded open-loop sweep (quick) + schema/scaling gate"
+    cargo run --release -q -p bench --bin hotpath -- --net-loopback --shards --quick
+    sh scripts/check_bench.sh BENCH_PR7.json
 }
 
 stage_storage_faults() {
@@ -111,12 +123,12 @@ run_stage() {
 
 STAGES="$*"
 if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
-    STAGES="fmt clippy build test net chaos storage-faults bench perf-smoke"
+    STAGES="fmt clippy build test net chaos shard storage-faults bench perf-smoke"
 fi
 
 for s in $STAGES; do
     case "$s" in
-        fmt|clippy|build|test|net|chaos|bench)
+        fmt|clippy|build|test|net|chaos|shard|bench)
             # Fail fast, but still print the summary table below.
             if ! run_stage "$s"; then
                 break
@@ -133,7 +145,7 @@ for s in $STAGES; do
             fi
             ;;
         *)
-            echo "unknown stage: $s (stages: fmt clippy build test net chaos storage-faults bench perf-smoke)" >&2
+            echo "unknown stage: $s (stages: fmt clippy build test net chaos shard storage-faults bench perf-smoke)" >&2
             exit 2
             ;;
     esac
