@@ -23,6 +23,11 @@
 //!   comparison point, with every completion audited exactly-once and
 //!   final values checked by linearizable reads. Also measures WAL group
 //!   commit directly (entries per fsync). Writes `BENCH_PR6.json`.
+//! * **read modes** (`-- --reads`) — the same loopback cluster with
+//!   leader leases enabled, driven with a 95/5 read/write open-loop mix
+//!   once per read mode (log / lease / read-index): lease reads skip
+//!   the log entirely, and the decided-log length after each run proves
+//!   it. Writes `BENCH_PR8.json`.
 //!
 //! Run with `cargo run --release --bin hotpath` (add `-- --quick` for a
 //! fast smoke run). Results are printed and written to `BENCH_PR1.json`;
@@ -890,6 +895,318 @@ fn run_net_sharded(quick: bool) {
     print!("{out}");
 }
 
+/// `--reads`: the read-mode comparison. Boots the same 3-replica TCP
+/// loopback cluster once per [`kvstore::ReadMode`] — leases enabled
+/// cluster-wide — and drives a 95/5 read/write open-loop mix through a
+/// pipelined client in that mode, sweeping the in-flight window and
+/// keeping each mode's best point. `Log` reads ride the replicated log
+/// (every read is a decided entry); `Lease` reads are answered from the
+/// leader's local state machine while its lease holds; `ReadIndex` reads
+/// capture the commit index and wait for local apply. The decided-log
+/// length after each run is the log-free evidence: in the log-free modes
+/// it grows with the writes only. Each mode self-audits exactly-once
+/// completions, a final linearizable read-back of the client's model,
+/// and replica convergence. Writes `BENCH_PR8.json` with the
+/// lease-over-log throughput ratio that `check_bench.sh` gates on
+/// (cores-conditional: a single-core host serializes the read path with
+/// the replication threads, so the multiplier is only demanded when the
+/// host can actually run them in parallel).
+fn run_net_read_modes(quick: bool) {
+    use kvstore::{shard_config, KvCommand, KvNode, KvOp, ReadMode, ShardedKvNode};
+    use net::server::{ClientGateway, KvServer};
+    use net::tcp::{TcpConfig, TcpTransport};
+    use net::{KvClient, PipelinedKvClient};
+    use omnipaxos::ServiceMsg;
+    use std::collections::{HashMap, HashSet};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    type Transport = TcpTransport<ServiceMsg<KvCommand>>;
+
+    println!("hotpath: read-mode sweep (3 replicas over TCP, 95/5 read/write)");
+
+    struct ModePoint {
+        mode: &'static str,
+        window: usize,
+        ops: u64,
+        reads: u64,
+        writes: u64,
+        /// Writes across ALL windows of this mode's run — the decided log
+        /// is measured once per mode, so the log-free check must compare
+        /// against the whole run's writes, not the best point's.
+        total_writes: u64,
+        elapsed: f64,
+        ops_sec: f64,
+        read_p50: f64,
+        read_p99: f64,
+        write_p50: f64,
+        write_p99: f64,
+        retries: u64,
+        decided_len: u64,
+        cpu_cores_busy: f64,
+    }
+
+    let effective_cores = measure_effective_cores();
+    println!("  host effective cores: {effective_cores:.2}");
+
+    let modes: &[(ReadMode, &'static str)] = &[
+        (ReadMode::Log, "log"),
+        (ReadMode::Lease, "lease"),
+        (ReadMode::ReadIndex, "read-index"),
+    ];
+    let windows: &[usize] = if quick {
+        &[128, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let members: Vec<u64> = vec![1, 2, 3];
+    // Lease window in 3ms drive-loop ticks: 40 ticks ≈ 120ms, renewed
+    // every TCP heartbeat — the same contract the loopback tests use.
+    let lease_ticks = 40u64;
+    let mut points: Vec<ModePoint> = Vec::new();
+    let mut converged = true;
+
+    for &(mode, mode_name) in modes {
+        // Fresh cluster per mode so each run's decided-log length is
+        // attributable to that mode alone.
+        let mut listeners = HashMap::new();
+        let mut repl_addrs = HashMap::new();
+        for pid in 1..=3u64 {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind replication port");
+            repl_addrs.insert(pid, l.local_addr().unwrap());
+            listeners.insert(pid, l);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        let mut client_addrs = Vec::new();
+        for pid in 1..=3u64 {
+            let mut base = omnipaxos::ServerConfig::with(pid);
+            base.lease_ticks = lease_ticks;
+            base.lease_epsilon_ticks = (lease_ticks / 10).max(1);
+            let node = ShardedKvNode::from_shards(vec![KvNode::with_config(
+                shard_config(&base, 0, &members),
+                members.clone(),
+            )]);
+            let transport = Transport::with_listener(
+                pid,
+                listeners.remove(&pid).unwrap(),
+                repl_addrs.clone(),
+                TcpConfig::default(),
+            )
+            .expect("transport");
+            let gateway =
+                ClientGateway::bind(TcpListener::bind("127.0.0.1:0").unwrap()).expect("gateway");
+            client_addrs.push((pid, gateway.local_addr()));
+            let server = KvServer::new_sharded(node, transport).with_gateway(gateway);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                server.run(Duration::from_millis(3), stop)
+            }));
+        }
+
+        // Warmup: ride out the election, fill session caches, seed every
+        // key the mix will read, then give the lease a window to form.
+        let mut client = KvClient::new(0xBE9C7, client_addrs.clone());
+        let mut model: HashMap<String, i64> = HashMap::new();
+        for k in 0..64u64 {
+            let key = format!("k{k}");
+            client.put(&key, -1).expect("warmup put");
+            model.insert(key, -1);
+        }
+        std::thread::sleep(Duration::from_millis(400));
+
+        let mut pipe =
+            PipelinedKvClient::new(0xBE9C8 + mode.discriminant() as u64, client_addrs.clone());
+        pipe.read_mode = mode;
+        let mut value_counter = 0i64;
+        let mut best: Option<ModePoint> = None;
+        let mut mode_writes = 0u64;
+        for &window in windows {
+            let ops: u64 = if quick {
+                (window as u64 * 4).clamp(1_000, 8_000)
+            } else {
+                (window as u64 * 20).clamp(4_000, 60_000)
+            };
+            let retries_before = pipe.retries_seen();
+            let mut read_lat: Vec<f64> = Vec::new();
+            let mut write_lat: Vec<f64> = Vec::new();
+            let mut starts: HashMap<u64, Instant> = HashMap::new();
+            let mut read_tokens: HashSet<u64> = HashSet::new();
+            let mut seen: HashSet<u64> = HashSet::with_capacity(ops as usize);
+            let (mut reads, mut writes) = (0u64, 0u64);
+            let mut submitted = 0u64;
+            let cpu0 = process_cpu_seconds();
+            let start = Instant::now();
+            while (seen.len() as u64) < ops {
+                while submitted < ops && pipe.in_flight() < window {
+                    let key = format!("k{}", submitted % 64);
+                    // 5% writes keep the log (and the lease's write path)
+                    // warm while reads dominate the offered load.
+                    let token = if submitted.is_multiple_of(20) {
+                        value_counter += 1;
+                        model.insert(key.clone(), value_counter);
+                        writes += 1;
+                        pipe.submit(KvOp::Put {
+                            key,
+                            value: value_counter,
+                        })
+                    } else {
+                        reads += 1;
+                        let t = pipe.submit_read(&key);
+                        read_tokens.insert(t);
+                        t
+                    };
+                    starts.insert(token, Instant::now());
+                    submitted += 1;
+                }
+                for r in pipe
+                    .wait(Duration::from_millis(50))
+                    .expect("pipelined mix under sweep")
+                {
+                    assert!(seen.insert(r.seq), "token {} completed twice", r.seq);
+                    assert!(r.applied, "op {} must apply in a healthy cluster", r.seq);
+                    if let Some(t0) = starts.remove(&r.seq) {
+                        let us = t0.elapsed().as_secs_f64() * 1e6;
+                        if read_tokens.contains(&r.seq) {
+                            read_lat.push(us);
+                        } else {
+                            write_lat.push(us);
+                        }
+                    }
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let cpu_cores_busy = (process_cpu_seconds() - cpu0) / elapsed;
+            mode_writes += writes;
+            read_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            write_lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let point = ModePoint {
+                mode: mode_name,
+                window,
+                ops,
+                reads,
+                writes,
+                total_writes: 0,
+                elapsed,
+                ops_sec: ops as f64 / elapsed,
+                read_p50: percentile(&read_lat, 0.50),
+                read_p99: percentile(&read_lat, 0.99),
+                write_p50: percentile(&write_lat, 0.50),
+                write_p99: percentile(&write_lat, 0.99),
+                retries: pipe.retries_seen() - retries_before,
+                decided_len: 0,
+                cpu_cores_busy,
+            };
+            println!(
+                "  mode={:<10} w={:<5} {:>8.0} ops/sec  read p50 {:>6.0}us p99 {:>7.0}us  write p50 {:>6.0}us p99 {:>7.0}us  ({} retries, {:.2} cores busy)",
+                point.mode,
+                point.window,
+                point.ops_sec,
+                point.read_p50,
+                point.read_p99,
+                point.write_p50,
+                point.write_p99,
+                point.retries,
+                point.cpu_cores_busy
+            );
+            if best.as_ref().is_none_or(|b| point.ops_sec > b.ops_sec) {
+                best = Some(point);
+            }
+        }
+
+        // Linearizable audit of the final model through the closed-loop
+        // client, in the mode under test (lease/read-index audits take
+        // the log-free path they are auditing).
+        for (k, v) in &model {
+            assert_eq!(
+                client.read_with_mode(k, mode).expect("audit read"),
+                Some(*v),
+                "linearizable audit of {k} in mode {mode_name}"
+            );
+        }
+        client.put("sentinel", 1).expect("sentinel");
+        std::thread::sleep(Duration::from_millis(400));
+
+        stop.store(true, Ordering::SeqCst);
+        let servers: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node"))
+            .collect();
+        let sm0 = servers[0].node().shard(0).state_machine();
+        converged &= servers[1..]
+            .iter()
+            .all(|s| s.node().shard(0).state_machine() == sm0);
+        assert!(converged, "replicas must converge after {mode_name} run");
+        let mut best = best.expect("at least one window per mode");
+        best.total_writes = mode_writes;
+        best.decided_len = servers[0].node().shard(0).server_ref().decided_len();
+        println!(
+            "  mode={:<10} peak {:>8.0} ops/sec at w={} (decided log {} entries)",
+            best.mode, best.ops_sec, best.window, best.decided_len
+        );
+        points.push(best);
+    }
+
+    let by = |name: &str| points.iter().find(|p| p.mode == name).expect("mode point");
+    let (log, lease, ri) = (by("log"), by("lease"), by("read-index"));
+    let lease_over_log = lease.ops_sec / log.ops_sec;
+    let read_index_over_log = ri.ops_sec / log.ops_sec;
+    println!("  lease/log: {lease_over_log:.2}x   read-index/log: {read_index_over_log:.2}x");
+    // Log-free evidence: in lease / read-index mode the decided log
+    // grows with the run's writes (plus warmup, sessions, sentinel),
+    // never with the reads. The decided log is cumulative over every
+    // swept window, so the bound uses the mode's total writes. A lease
+    // implementation quietly falling through to the log path on every
+    // read fails this, whatever its throughput.
+    let slack = 300u64;
+    let lease_log_free = lease.decided_len < lease.total_writes + slack;
+    let read_index_log_free = ri.decided_len < ri.total_writes + slack;
+    assert!(
+        log.decided_len > log.total_writes + slack,
+        "log-mode reads must ride the replicated log"
+    );
+
+    let mode_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"mode\": \"{}\",\n      \"in_flight\": {},\n      \"ops\": {},\n      \"reads\": {},\n      \"writes\": {},\n      \"total_writes\": {},\n      \"elapsed_s\": {:.3},\n      \"ops_per_sec\": {},\n      \"read_p50_us\": {},\n      \"read_p99_us\": {},\n      \"write_p50_us\": {},\n      \"write_p99_us\": {},\n      \"retries\": {},\n      \"decided_log_entries\": {},\n      \"cpu_cores_busy\": {:.2}\n    }}",
+                p.mode,
+                p.window,
+                p.ops,
+                p.reads,
+                p.writes,
+                p.total_writes,
+                p.elapsed,
+                json_num(p.ops_sec),
+                json_num(p.read_p50),
+                json_num(p.read_p99),
+                json_num(p.write_p50),
+                json_num(p.write_p99),
+                p.retries,
+                p.decided_len,
+                p.cpu_cores_busy
+            )
+        })
+        .collect();
+    let out = format!(
+        "{{\n  \"bench\": \"net-read-modes\",\n  \"quick\": {quick},\n  \"replicas\": 3,\n  \"read_fraction\": 0.95,\n  \"lease_ticks\": {lease_ticks},\n  \"windows_swept\": [{}],\n  \"host_effective_cores\": {effective_cores:.2},\n  \"mode_sweep\": [\n{}\n  ],\n  \"lease_over_log\": {lease_over_log:.2},\n  \"read_index_over_log\": {read_index_over_log:.2},\n  \"checks\": {{\n    \"completions_exactly_once\": 1,\n    \"final_reads_linearizable\": 1,\n    \"replicas_converged\": {},\n    \"lease_reads_log_free\": {},\n    \"read_index_reads_log_free\": {}\n  }}\n}}\n",
+        windows
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        mode_json.join(",\n"),
+        converged as u8,
+        lease_log_free as u8,
+        read_index_log_free as u8,
+    );
+    std::fs::write("BENCH_PR8.json", &out).expect("write BENCH_PR8.json");
+    print!("{out}");
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -936,6 +1253,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--catchup") {
         run_catchup(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "--reads") {
+        run_net_read_modes(quick);
         return;
     }
     if args.iter().any(|a| a == "--net-loopback") {

@@ -56,6 +56,7 @@ pub mod harness;
 pub mod kv_chaos;
 pub mod minimize;
 pub mod monitor;
+pub mod read_chaos;
 pub mod schedule;
 pub mod shard_chaos;
 pub mod trace;
@@ -64,6 +65,7 @@ pub use buggy::BuggyOmniReplica;
 pub use harness::{run, run_schedule, Bug, ChaosConfig, ChaosReport, Violation};
 pub use kv_chaos::{run_kv_chaos, KvChaosStats};
 pub use minimize::minimize;
+pub use read_chaos::{run_read_chaos, ReadChaosStats};
 pub use schedule::{generate, generate_disk, Fault, ScheduledFault};
 pub use shard_chaos::{run_shard_chaos, ShardChaosStats};
 pub use trace::{fingerprint, render_report, TraceEvent};

@@ -12,8 +12,11 @@
 //!
 //! Exit status is 0 iff no run violated an invariant.
 
-use chaos::{minimize, render_report, run, run_kv_chaos, run_shard_chaos, Bug, ChaosConfig};
+use chaos::{
+    minimize, render_report, run, run_kv_chaos, run_read_chaos, run_shard_chaos, Bug, ChaosConfig,
+};
 use cluster::ProtocolKind;
+use kvstore::ReadMode;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -37,6 +40,9 @@ struct Opts {
     bug: bool,
     kv_seeds: u64,
     shard_seeds: u64,
+    /// Read-mode staleness sweep: each seed runs once per read mode
+    /// (log, lease, read-index) under clock skew + partitions.
+    read_seeds: u64,
     /// Run the primary sweep (and any `--seed` replay) under the
     /// disk-fault schedule profile.
     disk: bool,
@@ -50,7 +56,7 @@ fn usage() -> ! {
         "usage: chaos [--quick] [--seeds N] [--base-seed S] [--seed S] \
          [--protocol omni|omni-lm|raft|raft-pvcq|multipaxos|vr] [--nodes N] \
          [--minimize] [--out DIR] [--bug] [--kv-seeds N] [--shard-seeds N] \
-         [--disk] [--disk-seeds N]"
+         [--read-seeds N] [--disk] [--disk-seeds N]"
     );
     std::process::exit(2);
 }
@@ -83,6 +89,7 @@ fn parse_opts() -> Opts {
         bug: false,
         kv_seeds: 0,
         shard_seeds: 0,
+        read_seeds: 0,
         disk: false,
         disk_seeds: 0,
     };
@@ -109,6 +116,7 @@ fn parse_opts() -> Opts {
             "--bug" => opts.bug = true,
             "--kv-seeds" => opts.kv_seeds = next_num(&mut args, "--kv-seeds"),
             "--shard-seeds" => opts.shard_seeds = next_num(&mut args, "--shard-seeds"),
+            "--read-seeds" => opts.read_seeds = next_num(&mut args, "--read-seeds"),
             "--disk" => opts.disk = true,
             "--disk-seeds" => opts.disk_seeds = next_num(&mut args, "--disk-seeds"),
             "--help" | "-h" => usage(),
@@ -130,6 +138,9 @@ fn parse_opts() -> Opts {
         if opts.shard_seeds == 0 {
             opts.shard_seeds = 4;
         }
+        if opts.read_seeds == 0 {
+            opts.read_seeds = 4;
+        }
         if opts.disk_seeds == 0 {
             opts.disk_seeds = 10;
         }
@@ -138,6 +149,7 @@ fn parse_opts() -> Opts {
         && opts.single_seed.is_none()
         && opts.kv_seeds == 0
         && opts.shard_seeds == 0
+        && opts.read_seeds == 0
         && opts.disk_seeds == 0
     {
         opts.seeds = 100;
@@ -277,6 +289,56 @@ fn main() {
             "",
             t0.elapsed().as_secs_f64()
         );
+    }
+
+    if opts.read_seeds > 0 {
+        const MODES: [(ReadMode, &str); 3] = [
+            (ReadMode::Log, "log"),
+            (ReadMode::Lease, "lease"),
+            (ReadMode::ReadIndex, "read-index"),
+        ];
+        for (mode, name) in MODES {
+            let t0 = Instant::now();
+            let mut read_failures = 0u64;
+            let mut served = 0u64;
+            for seed in opts.base_seed..opts.base_seed + opts.read_seeds {
+                total_runs += 1;
+                match run_read_chaos(seed, mode) {
+                    Ok(stats) => {
+                        served += stats.reads_served;
+                        if opts.read_seeds <= 8 {
+                            println!(
+                                "read chaos [{name}] seed {seed}: ok ({} writes, {} reads, \
+                                 {} served, {} expired, converged in {} ticks)",
+                                stats.writes,
+                                stats.reads_issued,
+                                stats.reads_served,
+                                stats.reads_expired,
+                                stats.converge_ticks
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        read_failures += 1;
+                        let rendered = format!("read chaos [{name}] seed {seed} FAILED: {e}");
+                        eprintln!("{rendered}");
+                        if let Some(dir) = &opts.out {
+                            let path = dir.join(format!("read-{name}-seed{seed}.txt"));
+                            let _ = std::fs::write(&path, &rendered);
+                        }
+                    }
+                }
+            }
+            println!(
+                "{:<34} {:>5} runs  {:>3} failed  {:>15} reads served  {:>6.1}s",
+                format!("read modes [{name}]"),
+                opts.read_seeds,
+                read_failures,
+                served,
+                t0.elapsed().as_secs_f64()
+            );
+        }
     }
 
     if opts.shard_seeds > 0 {

@@ -32,6 +32,7 @@
 use crate::ballot::{Ballot, NodeId};
 use crate::messages::{BleMessage, BleMsg};
 use crate::util::majority;
+use std::collections::HashMap;
 
 /// Static configuration for BLE.
 #[derive(Debug, Clone)]
@@ -61,6 +62,28 @@ pub struct BleConfig {
     /// only accepts elections above the promise). The normal takeover
     /// increments then raise candidate ballots past the floor.
     pub initial_leader: Ballot,
+    /// Leader-lease duration in ticks; `0` disables leases. When enabled,
+    /// every heartbeat reply a follower sends to its elected leader doubles
+    /// as a lease grant: the follower promises not to help elect — or
+    /// promise to — any *other* ballot for `lease_ticks` of its own clock.
+    /// The leader holds the lease while a majority of grants (anchored at
+    /// the tick each grant's heartbeat round was *started*, i.e. strictly
+    /// before the follower's own window began) are younger than
+    /// `lease_ticks - lease_epsilon_ticks`.
+    pub lease_ticks: u64,
+    /// Maximum tolerated clock drift between any two servers over one lease
+    /// window, in ticks. The leader's lease window is shortened by this
+    /// amount, so a follower's clock may run fast by up to epsilon ticks
+    /// per window before a follower-side early expiry could race the
+    /// leader's view.
+    pub lease_epsilon_ticks: u64,
+    /// Grant suppression carried over from a previous incarnation of this
+    /// server (crash recovery): the previous instance may have had an
+    /// outstanding, unexpired grant whose identity was lost with the
+    /// volatile state, so the fresh instance conservatively honors a
+    /// full-length phantom grant to `initial_leader` for this many ticks.
+    /// Zero for a genuinely fresh server.
+    pub initial_grant_holdoff_ticks: u64,
 }
 
 impl BleConfig {
@@ -76,6 +99,9 @@ impl BleConfig {
             connectivity_priority: false,
             initial_n: 0,
             initial_leader: Ballot::bottom(),
+            lease_ticks: 0,
+            lease_epsilon_ticks: 0,
+            initial_grant_holdoff_ticks: 0,
         }
     }
 }
@@ -105,6 +131,30 @@ pub struct BallotLeaderElection {
     /// `quorum_connected = false` until it has resynchronized.
     viable: bool,
     ticks_elapsed: u64,
+    /// Monotone local clock: total ticks since this instance was created.
+    /// All lease bookkeeping is anchored to it; per-node tick *rates* may
+    /// drift in a real deployment, which is what `lease_epsilon_ticks`
+    /// bounds.
+    now: u64,
+    /// Tick at which the current heartbeat round's requests were sent.
+    /// Lease grants arriving in this round are anchored here: the request
+    /// left strictly before the follower produced its reply, so the
+    /// leader's window is contained in the follower's (up to clock drift).
+    round_started_at: u64,
+    /// Leader side: peer → anchor tick of its freshest lease grant.
+    grants: HashMap<NodeId, u64>,
+    /// Follower side: the ballot our outstanding grant (if any) was given
+    /// to. While the grant is live we neither elect nor help promote any
+    /// other ballot.
+    granted_to: Ballot,
+    /// Follower side: local tick at which our outstanding grant expires.
+    grant_expiry: u64,
+    /// Highest ballot observed in the last completed round (own included).
+    /// Grant renewal requires our leader to still be this maximum: once a
+    /// higher ballot is circulating, extending the grant would pin us to a
+    /// leader the rest of the cluster has moved past — we let the existing
+    /// promise run out instead (never breaking it early).
+    last_top: Ballot,
     outgoing: Vec<BleMessage>,
 }
 
@@ -114,6 +164,7 @@ impl BallotLeaderElection {
     pub fn new(config: BleConfig) -> Self {
         let current_ballot = Ballot::new(config.initial_n, config.priority, config.pid);
         let initial_leader = config.initial_leader;
+        let holdoff = config.initial_grant_holdoff_ticks;
         let mut ble = BallotLeaderElection {
             config,
             current_ballot,
@@ -124,6 +175,15 @@ impl BallotLeaderElection {
             last_connectivity: 1,
             viable: true,
             ticks_elapsed: 0,
+            now: 0,
+            round_started_at: 0,
+            grants: HashMap::new(),
+            // The phantom post-recovery grant points at the election floor:
+            // re-learning (or re-promising) that leader stays possible,
+            // while anything above it waits the holdoff out.
+            granted_to: initial_leader,
+            grant_expiry: holdoff,
+            last_top: Ballot::bottom(),
             outgoing: Vec::new(),
         };
         ble.new_round();
@@ -162,6 +222,7 @@ impl BallotLeaderElection {
     /// this round elected a (new) leader; the owner forwards it to
     /// `SequencePaxos::handle_leader`.
     pub fn tick(&mut self) -> Option<Ballot> {
+        self.now += 1;
         self.ticks_elapsed += 1;
         if self.ticks_elapsed >= self.config.hb_timeout_ticks {
             self.ticks_elapsed = 0;
@@ -175,13 +236,43 @@ impl BallotLeaderElection {
     pub fn handle_message(&mut self, m: BleMessage) {
         match m.msg {
             BleMsg::HeartbeatRequest { round } => {
+                if self.config.lease_ticks == 0 {
+                    self.outgoing.push(BleMessage {
+                        from: self.config.pid,
+                        to: m.from,
+                        msg: BleMsg::HeartbeatReply {
+                            round,
+                            ballot: self.current_ballot,
+                            quorum_connected: self.quorum_connected,
+                        },
+                    });
+                    return;
+                }
+                // Leases enabled: the reply doubles as a grant when the
+                // requester is our elected leader. (Re-)granting only ever
+                // extends the window of the ballot we already follow, so it
+                // is always safe for the granter — but we stop *renewing*
+                // once a ballot above our leader's is circulating. A deposed
+                // leader keeps heartbeating as a follower; renewing off
+                // those beats would pin us to it forever and block us from
+                // ever promising its successor. Declining to extend lets the
+                // existing promise lapse within one lease window without
+                // ever being broken early.
+                let lease = self.leader != Ballot::bottom()
+                    && self.leader.pid == m.from
+                    && self.leader >= self.last_top;
+                if lease {
+                    self.granted_to = self.leader;
+                    self.grant_expiry = self.now + self.config.lease_ticks;
+                }
                 self.outgoing.push(BleMessage {
                     from: self.config.pid,
                     to: m.from,
-                    msg: BleMsg::HeartbeatReply {
+                    msg: BleMsg::HeartbeatReplyLease {
                         round,
                         ballot: self.current_ballot,
                         quorum_connected: self.quorum_connected,
+                        lease,
                     },
                 });
             }
@@ -194,6 +285,23 @@ impl BallotLeaderElection {
                 // correctness): they carry stale connectivity information.
                 if round == self.hb_round {
                     self.ballots.push((ballot, quorum_connected));
+                }
+            }
+            BleMsg::HeartbeatReplyLease {
+                round,
+                ballot,
+                quorum_connected,
+                lease,
+            } => {
+                if round == self.hb_round {
+                    self.ballots.push((ballot, quorum_connected));
+                    if lease {
+                        // Anchor at the round's start: the request left
+                        // before the follower's own lease window opened, so
+                        // our (epsilon-shortened) window is strictly inside
+                        // the follower's promise.
+                        self.grants.insert(m.from, self.round_started_at);
+                    }
                 }
             }
         }
@@ -216,6 +324,12 @@ impl BallotLeaderElection {
         // recovering server still *elects* (it must learn the leader), it
         // just cannot be a candidate itself.
         let elected = if connected { self.check_leader() } else { None };
+        self.last_top = self
+            .ballots
+            .iter()
+            .map(|(b, _)| *b)
+            .max()
+            .unwrap_or_default();
         self.ballots.clear();
         self.new_round();
         elected
@@ -235,6 +349,12 @@ impl BallotLeaderElection {
             // The elected leader has lost quorum-connectivity (its replies
             // say so, or it is unreachable). Raise our ballot above it and
             // compete next round; LE3 keeps elected ballots monotonic.
+            // An outstanding lease grant postpones the takeover: the
+            // grantee may still be serving local reads on the strength of
+            // our promise, so we sit the grant out first.
+            if self.grant_active() {
+                return None;
+            }
             self.current_ballot.n = self.current_ballot.n.max(self.leader.n) + 1;
             if self.config.connectivity_priority {
                 // §8: stamp the fresh ballot with our current connectivity
@@ -244,15 +364,134 @@ impl BallotLeaderElection {
             self.leader = Ballot::bottom();
             None
         } else if top > self.leader {
+            // Electing a ballot owned by a server other than our grantee
+            // would let a new leader commit writes inside the grantee's
+            // lease window; wait for the grant to lapse first. A higher
+            // ballot of the *same* server is the grantee outbidding a
+            // straggler's promise — safe to follow immediately.
+            if self.grant_active() && top.pid != self.granted_to.pid {
+                return None;
+            }
+            // If we are the elected leader holding a live majority of
+            // grants, a higher foreign ballot (a rejoined straggler whose
+            // clock ran ahead) cannot win: our followers' grants suppress
+            // it. Defecting to it would split the cluster instead — so
+            // outbid it and recompete under our own pid. At most one
+            // server can hold a grant majority, so two leaders can never
+            // outbid-duel.
+            if self.leader == self.current_ballot
+                && top.pid != self.config.pid
+                && self.majority_grants_live()
+            {
+                self.outbid(top);
+                return None;
+            }
             self.leader = top;
             Some(top)
         } else {
-            None // stable leader
+            // Stable leader — but if we ARE that leader and a rejoined
+            // server's non-candidate ballot has outrun ours, its durable
+            // promise bars our Prepare while our followers' lease grants
+            // bar electing it: a livelock unless we outbid. Grants follow
+            // our pid, so our own re-election is not suppressed.
+            if self.config.lease_ticks > 0 && self.leader == self.current_ballot {
+                let max_seen = self
+                    .ballots
+                    .iter()
+                    .map(|(b, _)| *b)
+                    .max()
+                    .unwrap_or_default();
+                if max_seen > self.current_ballot {
+                    self.outbid(max_seen);
+                }
+            }
+            None
         }
+    }
+
+    /// Raise our ballot above `above` and recompete for leadership from
+    /// scratch next round (lease-mode only: the same-pid grant exemption
+    /// lets the re-election through where a foreign ballot would stall).
+    fn outbid(&mut self, above: Ballot) {
+        self.current_ballot.n = self.current_ballot.n.max(above.n) + 1;
+        if self.config.connectivity_priority {
+            self.current_ballot.priority = self.last_connectivity;
+        }
+        self.leader = Ballot::bottom();
+    }
+
+    /// Does a majority (counting ourselves) hold fresh lease grants from
+    /// us? This is [`Self::lease_valid`] minus the round-agreement checks:
+    /// the raw "my followers are still suppressed" predicate.
+    fn majority_grants_live(&self) -> bool {
+        if self.config.lease_ticks == 0 {
+            return false;
+        }
+        let window = self
+            .config
+            .lease_ticks
+            .saturating_sub(self.config.lease_epsilon_ticks);
+        let live = self
+            .config
+            .peers
+            .iter()
+            .filter(|p| {
+                self.grants
+                    .get(p)
+                    .is_some_and(|&anchor| anchor + window > self.now)
+            })
+            .count();
+        live + 1 >= majority(self.config.peers.len() + 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Leader leases
+    // ------------------------------------------------------------------
+
+    /// Is this server's outstanding lease grant (to another server) still
+    /// live on its local clock? Includes the conservative post-recovery
+    /// phantom grant.
+    pub fn grant_active(&self) -> bool {
+        self.config.lease_ticks > 0 && self.now < self.grant_expiry
+    }
+
+    /// Would accepting a `Prepare` for `n` break our outstanding grant?
+    /// The owner consults this before feeding a `Prepare` into Sequence
+    /// Paxos: a promise to a *new* ballot is exactly the capability a new
+    /// leader needs to commit writes the lease holder cannot see, so it
+    /// must wait the grant out. Re-promising at or below our durable
+    /// `promised` ballot grants nothing new, and any ballot owned by the
+    /// lease holder's own server is the lease holder itself outbidding a
+    /// rejoined straggler's promise — writes committed under it are the
+    /// reader's own, so both always pass.
+    pub fn grant_blocks(&self, n: Ballot, promised: Ballot) -> bool {
+        self.grant_active() && n > promised && n.pid != self.granted_to.pid
+    }
+
+    /// Leader side: do we currently hold the read lease for `sp_leader`
+    /// (the ballot Sequence Paxos is leading under)? Requires leases to be
+    /// enabled, our own ballot to be the elected one, agreement with the
+    /// replication layer's round, and fresh grants (within the
+    /// epsilon-shortened window) from a majority including ourselves.
+    pub fn lease_valid(&self, sp_leader: Ballot) -> bool {
+        if self.config.lease_ticks == 0
+            || self.leader != self.current_ballot
+            || sp_leader != self.current_ballot
+        {
+            return false;
+        }
+        self.majority_grants_live()
+    }
+
+    /// The ballot our outstanding grant was given to ([`Ballot::bottom`]
+    /// when none was ever granted).
+    pub fn granted_to(&self) -> Ballot {
+        self.granted_to
     }
 
     fn new_round(&mut self) {
         self.hb_round += 1;
+        self.round_started_at = self.now;
         for &peer in &self.config.peers {
             self.outgoing.push(BleMessage {
                 from: self.config.pid,

@@ -169,6 +169,55 @@ pub struct Decide {
     pub decided_idx: u64,
 }
 
+/// `⟨ReadIndexReq⟩` — a replica asks the leader for a linearizable read
+/// barrier: the index its local apply must reach before it may serve a
+/// read from its own state machine. `token` is an opaque requester-chosen
+/// correlation id echoed in the response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadIndexReq {
+    /// Requester-chosen correlation id.
+    pub token: u64,
+}
+
+/// `⟨ReadIndexResp⟩` — the leader's confirmed read barrier: once the
+/// requester has applied its log up to `idx`, its state machine reflects
+/// every write that completed before the request was made. Only sent after
+/// the leader has re-confirmed its round with a majority (`ReadCheck` /
+/// `ReadCheckAck`), so a deposed leader can never hand out a stale barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadIndexResp {
+    /// Echoed correlation id.
+    pub token: u64,
+    /// Absolute log index (within this configuration) the requester must
+    /// apply through before serving.
+    pub idx: u64,
+}
+
+/// `⟨ReadCheck⟩` — the leader's lightweight round confirmation for a batch
+/// of pending read barriers: "is round `n` still the one you promised?".
+/// One check covers every barrier captured before it was broadcast, so the
+/// per-read cost amortizes to one message pair per drain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadCheck {
+    /// The leader's round.
+    pub n: Ballot,
+    /// Monotone check sequence number within this leadership term.
+    pub seq: u64,
+}
+
+/// `⟨ReadCheckAck⟩` — a follower's confirmation that `n` is still exactly
+/// its promised round. A majority of acks for `seq` proves no higher ballot
+/// had completed a Prepare phase at a majority when the acks were sent —
+/// hence no write can have been committed that the leader at `n` does not
+/// hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadCheckAck {
+    /// The acked round.
+    pub n: Ballot,
+    /// The acked check sequence number.
+    pub seq: u64,
+}
+
 /// The Sequence Paxos message alphabet.
 ///
 /// ## Stable wire discriminants and forward compatibility
@@ -210,6 +259,11 @@ pub enum PaxosMsg<T> {
     SnapshotAck(SnapshotAck),
     /// Client proposals forwarded from a follower to the leader.
     ProposalForward(Vec<LogEntry<T>>),
+    /// Log-free linearizable read support (read-index protocol).
+    ReadIndexReq(ReadIndexReq),
+    ReadIndexResp(ReadIndexResp),
+    ReadCheck(ReadCheck),
+    ReadCheckAck(ReadCheckAck),
 }
 
 impl<T: Entry> PaxosMsg<T> {
@@ -230,6 +284,10 @@ impl<T: Entry> PaxosMsg<T> {
             PaxosMsg::SnapshotChunk(c) => c.data.len(),
             PaxosMsg::SnapshotAck(_) => 0,
             PaxosMsg::ProposalForward(es) => es.iter().map(LogEntry::size_bytes).sum(),
+            PaxosMsg::ReadIndexReq(_) => 0,
+            PaxosMsg::ReadIndexResp(_) => 0,
+            PaxosMsg::ReadCheck(_) => 0,
+            PaxosMsg::ReadCheckAck(_) => 0,
         };
         HEADER_BYTES + payload
     }
@@ -248,6 +306,10 @@ impl<T: Entry> PaxosMsg<T> {
             PaxosMsg::SnapshotChunk(_) => "SnapshotChunk",
             PaxosMsg::SnapshotAck(_) => "SnapshotAck",
             PaxosMsg::ProposalForward(_) => "ProposalForward",
+            PaxosMsg::ReadIndexReq(_) => "ReadIndexReq",
+            PaxosMsg::ReadIndexResp(_) => "ReadIndexResp",
+            PaxosMsg::ReadCheck(_) => "ReadCheck",
+            PaxosMsg::ReadCheckAck(_) => "ReadCheckAck",
         }
     }
 }
@@ -267,6 +329,10 @@ impl<T> PaxosMsg<T> {
             PaxosMsg::SnapshotChunk(_) => 8,
             PaxosMsg::SnapshotAck(_) => 9,
             PaxosMsg::ProposalForward(_) => 10,
+            PaxosMsg::ReadIndexReq(_) => 11,
+            PaxosMsg::ReadIndexResp(_) => 12,
+            PaxosMsg::ReadCheck(_) => 13,
+            PaxosMsg::ReadCheckAck(_) => 14,
         }
     }
 }
@@ -309,6 +375,24 @@ pub enum BleMsg {
         /// Whether the responder was quorum-connected in its last round.
         quorum_connected: bool,
     },
+    /// Reply used when leader leases are enabled: a `HeartbeatReply` with a
+    /// piggybacked lease grant, so leases ride the existing heartbeat rounds
+    /// without any extra message exchange. `lease = true` means the
+    /// responder promises not to help elect (or promise to) any ballot
+    /// other than its currently elected leader for the configured lease
+    /// duration, measured on the responder's own clock from the moment this
+    /// reply was produced.
+    HeartbeatReplyLease {
+        /// Echoes the request's round; late replies are ignored.
+        round: u64,
+        /// The responder's current ballot.
+        ballot: Ballot,
+        /// Whether the responder was quorum-connected in its last round.
+        quorum_connected: bool,
+        /// Whether this reply (re-)grants a lease to the requester, i.e.
+        /// the requester is the responder's currently elected leader.
+        lease: bool,
+    },
 }
 
 impl BleMsg {
@@ -322,6 +406,7 @@ impl BleMsg {
         match self {
             BleMsg::HeartbeatRequest { .. } => 0,
             BleMsg::HeartbeatReply { .. } => 1,
+            BleMsg::HeartbeatReplyLease { .. } => 2,
         }
     }
 }

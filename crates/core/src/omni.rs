@@ -8,8 +8,10 @@
 
 use crate::ballot::{Ballot, NodeId};
 use crate::ble::{BallotLeaderElection, BleConfig};
-use crate::messages::{BleMessage, Message};
-use crate::sequence_paxos::{Phase, ProposeErr, Role, SequencePaxos, SequencePaxosConfig};
+use crate::messages::{BleMessage, Message, PaxosMsg};
+use crate::sequence_paxos::{
+    Phase, ProposeErr, ReadIndexErr, Role, SequencePaxos, SequencePaxosConfig,
+};
 use crate::snapshot::SnapshotData;
 use crate::storage::{Storage, StorageError, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
@@ -82,6 +84,17 @@ pub struct OmniPaxosConfig {
     pub buffer_size: usize,
     /// Max bytes per chunk of a snapshot transfer to a lagging follower.
     pub snapshot_chunk_bytes: usize,
+    /// Leader-lease duration in ticks; `0` disables leases entirely (the
+    /// default). When enabled, followers piggyback lease grants on BLE
+    /// heartbeat replies and the leader may serve linearizable reads
+    /// locally while a majority of grants is live (see DESIGN.md §14).
+    pub lease_ticks: u64,
+    /// Clock-skew safety margin subtracted from the leader's view of each
+    /// grant: the leader stops serving lease reads `lease_epsilon_ticks`
+    /// before the follower's suppression window can possibly end. Must
+    /// cover the worst-case tick-rate drift between any two servers over
+    /// one lease duration.
+    pub lease_epsilon_ticks: u64,
 }
 
 impl OmniPaxosConfig {
@@ -97,6 +110,8 @@ impl OmniPaxosConfig {
             connectivity_priority: false,
             buffer_size: 1_000_000,
             snapshot_chunk_bytes: 256 * 1024,
+            lease_ticks: 0,
+            lease_epsilon_ticks: 0,
         }
     }
 }
@@ -128,6 +143,8 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
         let mut ble_config = BleConfig::with(config.pid, &config.nodes, config.hb_timeout_ticks);
         ble_config.priority = config.priority;
         ble_config.connectivity_priority = config.connectivity_priority;
+        ble_config.lease_ticks = config.lease_ticks;
+        ble_config.lease_epsilon_ticks = config.lease_epsilon_ticks;
         OmniPaxos {
             sp: SequencePaxos::new(sp_config, storage),
             ble: BallotLeaderElection::new(ble_config),
@@ -196,12 +213,29 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     }
 
     /// Feed one incoming message. Dropped entirely while halted.
+    ///
+    /// When leases are enabled, this is also the *prepare gate*: BLE elects
+    /// by quorum connectivity alone (no votes), so a partitioned candidate
+    /// can be elected while some follower's lease grant to the old leader
+    /// is still live. Election suppression in BLE is not enough — the
+    /// candidate only becomes dangerous once a majority *promises* its
+    /// ballot. So a follower holding an active grant refuses to promise any
+    /// higher ballot other than the grantee's own: the `Prepare` is dropped
+    /// here, indistinguishable from message loss, and the candidate's
+    /// `resend_timeout` re-delivers it once the grant has expired.
     pub fn handle_message(&mut self, msg: OmniMessage<T>) {
         if self.sp.halted().is_some() {
             return;
         }
         match msg {
-            OmniMessage::Paxos(m) => self.sp.handle_message(m),
+            OmniMessage::Paxos(m) => {
+                if let PaxosMsg::Prepare(ref p) = m.msg {
+                    if self.ble.grant_blocks(p.n, self.sp.promised()) {
+                        return;
+                    }
+                }
+                self.sp.handle_message(m)
+            }
             OmniMessage::Ble(m) => self.ble.handle_message(m),
         }
     }
@@ -332,6 +366,30 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
         ble_config.priority = self.config.priority;
         ble_config.connectivity_priority = self.config.connectivity_priority;
         ble_config.initial_leader = promise;
+        ble_config.lease_ticks = self.config.lease_ticks;
+        ble_config.lease_epsilon_ticks = self.config.lease_epsilon_ticks;
+        if self.config.lease_ticks > 0 && promise.pid == self.config.pid {
+            // We crashed while we were the promised leader. A crash brief
+            // enough to fit inside our followers' lease grants is invisible
+            // to them — their grants keep renewing off our heartbeats, the
+            // grant-postponed takeover never fires, and no other server
+            // will ever Prepare us out of the Recover phase (we ARE the
+            // leader they follow). Recovery must therefore be a
+            // self-takeover: compete above our own promise. The holdoff
+            // below still silences promises to anyone else, and a promise
+            // pid of our own proves any pre-crash grant we issued was to
+            // ourselves, so outbidding it betrays no other grantee.
+            ble_config.initial_n = promise.n + 1;
+            ble_config.initial_leader = Ballot::bottom();
+        }
+        // Grant memory is volatile, but an outstanding grant is a *promise
+        // of silence* to its grantee: after a crash the node must assume it
+        // had granted a lease moments before and sit out one full lease
+        // window (promising only the persisted-promise ballot, which a live
+        // grant would have permitted anyway) before promising anything
+        // higher. Without this holdoff, crash + instant restart would let a
+        // candidate steal a majority while the old leader still reads.
+        ble_config.initial_grant_holdoff_ticks = self.config.lease_ticks;
         self.ble = BallotLeaderElection::new(ble_config);
         self.ticks_since_resend = 0;
         self.recover_ticks = 0;
@@ -344,6 +402,48 @@ impl<T: Entry, S: Storage<T>> OmniPaxos<T, S> {
     /// Notify that the session to `pid` was re-established (§4.1.3).
     pub fn reconnected(&mut self, pid: NodeId) {
         self.sp.reconnected(pid);
+    }
+
+    // ------------------------------------------------------------------
+    // Linearizable local reads (leases + read index) — DESIGN.md §14
+    // ------------------------------------------------------------------
+
+    /// May this node serve a linearizable read from its local state machine
+    /// *right now*, without any message round? True only when it is the
+    /// leader in the Accept phase AND holds live lease grants from a
+    /// majority — which guarantees (via the prepare gate) that no higher
+    /// ballot can have completed a Prepare phase at a majority, so no write
+    /// this node has not seen can have committed. The caller must still
+    /// wait for its applied index to reach [`OmniPaxos::read_barrier`].
+    ///
+    /// The answer is instantaneous and non-sticky: re-check per read (or
+    /// per admission batch), never cache across ticks.
+    pub fn lease_valid(&self) -> bool {
+        self.sp.halted().is_none()
+            && self.sp.state() == (Role::Leader, Phase::Accept)
+            && self.ble.lease_valid(self.sp.leader())
+    }
+
+    /// The log index a lease-protected local read must wait for before
+    /// serving (see [`SequencePaxos::read_barrier`]). `None` when this node
+    /// is not an Accept-phase leader.
+    pub fn read_barrier(&self) -> Option<u64> {
+        self.sp.read_barrier()
+    }
+
+    /// Request a linearizable read index via the read-index protocol
+    /// (works on any replica, no lease required). The confirmed
+    /// `(token, idx)` grant arrives via [`OmniPaxos::take_read_grants`];
+    /// the owner then waits for local apply to reach `idx` and serves from
+    /// its own state machine. Fire-and-forget across leader changes — the
+    /// owner retries on a deadline.
+    pub fn request_read_index(&mut self, token: u64) -> Result<(), ReadIndexErr> {
+        self.sp.request_read_index(token)
+    }
+
+    /// Drain confirmed read-index grants for reads this node requested.
+    pub fn take_read_grants(&mut self) -> Vec<(u64, u64)> {
+        self.sp.take_read_grants()
     }
 
     /// Access the replication component (for tests and invariants).
@@ -571,6 +671,218 @@ mod tests {
         assert!(!nodes[fi].is_halted());
         settle(&mut nodes, 80);
         assert_eq!(nodes[fi].read_decided(0), nodes[li].read_decided(0));
+    }
+
+    fn lease_cluster(n: usize) -> Vec<Node> {
+        let nodes: Vec<NodeId> = (1..=n as NodeId).collect();
+        nodes
+            .iter()
+            .map(|&pid| {
+                let mut config = OmniPaxosConfig::with(1, pid, nodes.clone());
+                config.lease_ticks = 20;
+                config.lease_epsilon_ticks = 2;
+                OmniPaxos::new(config, MemoryStorage::new())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lease_holder_serves_local_reads_and_followers_do_not() {
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        assert!(nodes[li].lease_valid(), "heartbeat acks grant the lease");
+        assert!(nodes[li].read_barrier().is_some());
+        for (i, n) in nodes.iter().enumerate() {
+            if i != li {
+                assert!(!n.lease_valid(), "only the leader holds the lease");
+                assert!(n.read_barrier().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_leader_lease_expires() {
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        assert!(nodes[li].lease_valid());
+        // The leader is cut off: it keeps ticking but no heartbeat replies
+        // arrive, so its grants age out within one lease duration even
+        // though it still believes it is the leader.
+        for _ in 0..40 {
+            nodes[li].tick();
+            let _ = nodes[li].outgoing_messages();
+        }
+        assert!(nodes[li].is_leader(), "still leader in its own view");
+        assert!(
+            !nodes[li].lease_valid(),
+            "an isolated leader must stop serving local reads"
+        );
+    }
+
+    #[test]
+    fn lease_dies_on_fail_recovery() {
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        assert!(nodes[li].lease_valid());
+        nodes[li].fail_recovery();
+        assert!(!nodes[li].lease_valid(), "grants are volatile");
+        assert!(nodes[li].read_barrier().is_none());
+    }
+
+    #[test]
+    fn read_index_grants_follow_the_commit_index() {
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        nodes[li].append(7).unwrap();
+        nodes[li].append(8).unwrap();
+        settle(&mut nodes, 40);
+        let decided = nodes[li].decided_idx();
+        assert_eq!(decided, 2);
+        // A follower asks for a read index: one round later it holds a
+        // grant at (at least) the leader's commit index.
+        let fi = (li + 1) % 3;
+        nodes[fi].request_read_index(42).unwrap();
+        settle(&mut nodes, 10);
+        let grants = nodes[fi].take_read_grants();
+        assert_eq!(grants, vec![(42, decided)]);
+        // The leader-local path works too, without any message round
+        // needed to confirm (its own ack counts toward the majority, but a
+        // 3-node majority still needs one follower ack).
+        nodes[li].request_read_index(43).unwrap();
+        settle(&mut nodes, 10);
+        assert_eq!(nodes[li].take_read_grants(), vec![(43, decided)]);
+    }
+
+    #[test]
+    fn live_grant_blocks_higher_prepare_until_expiry() {
+        use crate::messages::{PaxosMsg, Prepare};
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        let fi = (li + 1) % 3;
+        let promised_before = nodes[fi].sequence_paxos().promised();
+        // BLE elects with no votes, so a quorum-connected candidate can
+        // start a higher round while this follower's grant to the current
+        // leader is live. The prepare gate must drop its Prepare.
+        let high = Ballot::new(promised_before.n + 10, 0, (fi as u64 + 1) % 3 + 1);
+        let prep = Prepare {
+            n: high,
+            decided_idx: 0,
+            accepted_rnd: Ballot::bottom(),
+            log_idx: 0,
+        };
+        nodes[fi].handle_message(OmniMessage::Paxos(Message::with(
+            high.pid,
+            fi as NodeId + 1,
+            PaxosMsg::Prepare(prep.clone()),
+        )));
+        assert_eq!(
+            nodes[fi].sequence_paxos().promised(),
+            promised_before,
+            "an active grant refuses to promise a higher ballot"
+        );
+        // Once the grant expires (no refresh for a full lease window), the
+        // same Prepare goes through.
+        for _ in 0..40 {
+            nodes[fi].tick();
+            let _ = nodes[fi].outgoing_messages();
+        }
+        nodes[fi].handle_message(OmniMessage::Paxos(Message::with(
+            high.pid,
+            fi as NodeId + 1,
+            PaxosMsg::Prepare(prep),
+        )));
+        assert_eq!(
+            nodes[fi].sequence_paxos().promised(),
+            high,
+            "an expired grant no longer blocks"
+        );
+    }
+
+    #[test]
+    fn deposed_but_connected_leader_refuses_local_lease_reads() {
+        use crate::messages::{PaxosMsg, Prepare};
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        assert!(nodes[li].lease_valid());
+        // A higher ballot's Prepare reaches the leader itself. The old
+        // leader stays quorum-connected and its leader-side grant
+        // bookkeeping still holds unexpired anchors from the last
+        // heartbeat round — but the instant it promises the successor it
+        // is deposed, and serving a local read off those anchors could
+        // miss the successor's commits.
+        let promised = nodes[li].sequence_paxos().promised();
+        let high = Ballot::new(promised.n + 10, 0, (li as u64 + 1) % 3 + 1);
+        let prep = Prepare {
+            n: high,
+            decided_idx: 0,
+            accepted_rnd: Ballot::bottom(),
+            log_idx: 0,
+        };
+        nodes[li].handle_message(OmniMessage::Paxos(Message::with(
+            high.pid,
+            li as NodeId + 1,
+            PaxosMsg::Prepare(prep),
+        )));
+        assert!(!nodes[li].is_leader(), "a promised higher ballot deposes");
+        assert!(
+            !nodes[li].lease_valid(),
+            "a deposed leader must refuse local lease reads"
+        );
+        assert!(nodes[li].read_barrier().is_none());
+    }
+
+    #[test]
+    fn recovered_node_holds_off_promising_above_its_promise() {
+        use crate::messages::{PaxosMsg, Prepare};
+        let mut nodes = lease_cluster(3);
+        settle(&mut nodes, 40);
+        let li = nodes.iter().position(|n| n.is_leader()).unwrap();
+        let fi = (li + 1) % 3;
+        // Crash + instant restart: grant memory is gone, but the follower
+        // may have granted a lease moments before the crash — it must sit
+        // out one full lease window before promising anything higher.
+        nodes[fi].fail_recovery();
+        let promised = nodes[fi].sequence_paxos().promised();
+        let high = Ballot::new(promised.n + 10, 0, (fi as u64 + 1) % 3 + 1);
+        let prep = Prepare {
+            n: high,
+            decided_idx: 0,
+            accepted_rnd: Ballot::bottom(),
+            log_idx: 0,
+        };
+        nodes[fi].handle_message(OmniMessage::Paxos(Message::with(
+            high.pid,
+            fi as NodeId + 1,
+            PaxosMsg::Prepare(prep.clone()),
+        )));
+        assert_eq!(
+            nodes[fi].sequence_paxos().promised(),
+            promised,
+            "the recovery holdoff blocks higher ballots"
+        );
+        // Re-promising the persisted-promise ballot itself stays allowed
+        // (a live grant to that leader would have permitted it anyway), so
+        // a healthy leader re-syncs the recovering follower immediately.
+        for _ in 0..40 {
+            nodes[fi].tick();
+            let _ = nodes[fi].outgoing_messages();
+        }
+        nodes[fi].handle_message(OmniMessage::Paxos(Message::with(
+            high.pid,
+            fi as NodeId + 1,
+            PaxosMsg::Prepare(prep),
+        )));
+        assert_eq!(
+            nodes[fi].sequence_paxos().promised(),
+            high,
+            "the holdoff expires after one lease window"
+        );
     }
 
     #[test]

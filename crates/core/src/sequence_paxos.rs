@@ -24,8 +24,8 @@
 
 use crate::ballot::{Ballot, NodeId};
 use crate::messages::{
-    AcceptDecide, AcceptSync, Accepted, Decide, Message, PaxosMsg, Prepare, Promise, SnapshotAck,
-    SnapshotChunk, SnapshotMeta,
+    AcceptDecide, AcceptSync, Accepted, Decide, Message, PaxosMsg, Prepare, Promise, ReadCheck,
+    ReadCheckAck, ReadIndexReq, ReadIndexResp, SnapshotAck, SnapshotChunk, SnapshotMeta,
 };
 use crate::snapshot::SnapshotData;
 use crate::storage::{EntryBatch, Storage, StorageError, TrimError};
@@ -80,6 +80,28 @@ impl std::fmt::Display for ProposeErr {
 }
 
 impl std::error::Error for ProposeErr {}
+
+/// Why a read-index request could not be issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadIndexErr {
+    /// The replica halted on a storage failure (fail-stop).
+    Halted,
+    /// No elected leader is known to forward the request to; retry after
+    /// the next election settles.
+    NoLeader,
+}
+
+/// One read barrier awaiting round confirmation on the leader: `from`
+/// asked for a linearizable read index, `idx` was captured when the
+/// request arrived, and the barrier is released once a majority has acked
+/// a [`ReadCheck`] with sequence number `>= seq`.
+#[derive(Debug, Clone, Copy)]
+struct ReadBarrier {
+    from: NodeId,
+    token: u64,
+    idx: u64,
+    seq: u64,
+}
 
 /// Static configuration of a replica.
 #[derive(Debug, Clone)]
@@ -190,6 +212,19 @@ struct LeaderState<T> {
     /// Chunk windows cut this drain, keyed by `(snapshot_idx, offset)`:
     /// several followers at the same offset share one allocation.
     chunk_cache: HashMap<(u64, u64), SnapshotData>,
+    /// Log length when this leader entered the Accept phase. Every write
+    /// that *completed* in an earlier round is below it (it was accepted
+    /// by a majority, which intersects our Prepare majority), so a
+    /// linearizable read barrier is `max(accept_base, decided_idx)`; the
+    /// decided index alone could still lag behind adopted-but-not-yet-
+    /// re-decided entries from the previous round.
+    accept_base: u64,
+    /// Last broadcast [`ReadCheck`] sequence number of this term.
+    read_seq: u64,
+    /// Read barriers awaiting round confirmation, in arrival order.
+    read_pending: Vec<ReadBarrier>,
+    /// Highest [`ReadCheckAck`] sequence received per follower this term.
+    read_acks: HashMap<NodeId, u64>,
 }
 
 impl<T> LeaderState<T> {
@@ -209,6 +244,10 @@ impl<T> LeaderState<T> {
             batch_cache_len: 0,
             snap_xfers: HashMap::new(),
             chunk_cache: HashMap::new(),
+            accept_base: 0,
+            read_seq: 0,
+            read_pending: Vec::new(),
+            read_acks: HashMap::new(),
         }
     }
 }
@@ -236,6 +275,11 @@ pub struct SequencePaxos<T: Entry, S: Storage<T>> {
     /// ([`SequencePaxos::take_installed_snapshot`]).
     installed_snapshot: Option<(u64, SnapshotData)>,
     outgoing: Vec<Message<T>>,
+    /// Confirmed read barriers for reads *this* replica requested:
+    /// `(token, idx)` pairs ready for the owner to collect with
+    /// [`SequencePaxos::take_read_grants`] — apply the log through `idx`,
+    /// then serve from the local state machine.
+    read_grants: Vec<(u64, u64)>,
     /// Set when a storage mutation failed: the replica is **halted** —
     /// fail-stop. It sends nothing (a failed persist must never be
     /// acked), handles nothing, and accepts no proposals until
@@ -260,6 +304,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             incoming_snap: None,
             installed_snapshot: None,
             outgoing: Vec::new(),
+            read_grants: Vec::new(),
             halted: None,
         }
     }
@@ -428,6 +473,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         }
         self.flush_accepts();
         self.flush_forwards();
+        self.flush_read_checks();
         if let Err(e) = self.storage.flush() {
             self.halt(e);
             return Vec::new();
@@ -489,6 +535,171 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                 Ok(())
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Log-free linearizable reads (read barriers)
+    // ------------------------------------------------------------------
+
+    /// The index a *leader-local* linearizable read must wait for: once the
+    /// owner has applied the log through it, the local state machine
+    /// reflects every write that completed before this call. Only valid on
+    /// the leader in the Accept phase — and only *safe* to act on while an
+    /// external leadership guarantee (the BLE leader lease) holds;
+    /// otherwise use [`SequencePaxos::request_read_index`], which confirms
+    /// the round with a majority instead.
+    pub fn read_barrier(&self) -> Option<u64> {
+        if self.halted.is_some() || self.state != (Role::Leader, Phase::Accept) {
+            return None;
+        }
+        Some(
+            self.leader_state
+                .accept_base
+                .max(self.storage.get_decided_idx()),
+        )
+    }
+
+    /// Request a linearizable read index (the read-index protocol): the
+    /// leader captures its read barrier, re-confirms its round with one
+    /// lightweight majority exchange, and answers with the index; the
+    /// grant arrives via [`SequencePaxos::take_read_grants`]. Works from
+    /// any replica — this is the follower-read path. Fire-and-forget: a
+    /// leader change in flight drops the request, so the owner should
+    /// retry on a deadline.
+    pub fn request_read_index(&mut self, token: u64) -> Result<(), ReadIndexErr> {
+        if self.halted.is_some() {
+            return Err(ReadIndexErr::Halted);
+        }
+        if self.state == (Role::Leader, Phase::Accept) {
+            self.push_read_barrier(self.config.pid, token);
+            return Ok(());
+        }
+        let leader_pid = self.leader.pid;
+        if leader_pid == 0 || leader_pid == self.config.pid {
+            // No usable leader (an own stale ballot cannot serve either).
+            return Err(ReadIndexErr::NoLeader);
+        }
+        self.send(leader_pid, PaxosMsg::ReadIndexReq(ReadIndexReq { token }));
+        Ok(())
+    }
+
+    /// Drain confirmed read grants: `(token, idx)` pairs for reads this
+    /// replica requested via [`SequencePaxos::request_read_index`].
+    pub fn take_read_grants(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.read_grants)
+    }
+
+    /// Leader: capture a barrier for `from`'s read and queue it behind the
+    /// next round confirmation.
+    fn push_read_barrier(&mut self, from: NodeId, token: u64) {
+        let idx = self
+            .leader_state
+            .accept_base
+            .max(self.storage.get_decided_idx());
+        let barrier = ReadBarrier {
+            from,
+            token,
+            idx,
+            // Confirmed by the next check broadcast; everything queued
+            // between two drains shares one sequence number.
+            seq: self.leader_state.read_seq + 1,
+        };
+        self.leader_state.read_pending.push(barrier);
+        // A single-server cluster confirms immediately (majority = self).
+        self.confirm_read_barriers();
+    }
+
+    /// Leader: release every pending barrier whose check sequence a
+    /// majority (counting ourselves) has acked.
+    fn confirm_read_barriers(&mut self) {
+        if self.leader_state.read_pending.is_empty() {
+            return;
+        }
+        let maj = majority(self.config.cluster_size());
+        let acks = &self.leader_state.read_acks;
+        let confirmed: Vec<ReadBarrier> = {
+            let pending = &mut self.leader_state.read_pending;
+            let mut out = Vec::new();
+            pending.retain(|b| {
+                let votes = 1 + acks.values().filter(|&&s| s >= b.seq).count();
+                if votes >= maj {
+                    out.push(*b);
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        };
+        for b in confirmed {
+            if b.from == self.config.pid {
+                self.read_grants.push((b.token, b.idx));
+            } else {
+                self.send(
+                    b.from,
+                    PaxosMsg::ReadIndexResp(ReadIndexResp {
+                        token: b.token,
+                        idx: b.idx,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Leader: broadcast one `ReadCheck` covering every barrier queued
+    /// since the last broadcast. Called at drain time, so an admission
+    /// window's worth of reads costs a single message pair per follower.
+    fn flush_read_checks(&mut self) {
+        if self.state != (Role::Leader, Phase::Accept) {
+            return;
+        }
+        let next = self.leader_state.read_seq + 1;
+        if !self.leader_state.read_pending.iter().any(|b| b.seq == next) {
+            return;
+        }
+        self.leader_state.read_seq = next;
+        let n = self.leader_state.n;
+        let peers = self.config.peers.clone();
+        for peer in peers {
+            self.send(peer, PaxosMsg::ReadCheck(ReadCheck { n, seq: next }));
+        }
+    }
+
+    fn handle_read_index_req(&mut self, req: ReadIndexReq, from: NodeId) {
+        if self.state != (Role::Leader, Phase::Accept) {
+            return; // requester's deadline will retry after the election
+        }
+        self.push_read_barrier(from, req.token);
+    }
+
+    fn handle_read_index_resp(&mut self, resp: ReadIndexResp) {
+        self.read_grants.push((resp.token, resp.idx));
+    }
+
+    /// Follower: ack a round confirmation iff `n` is *exactly* our
+    /// promised round. A majority of such acks proves no higher ballot had
+    /// completed a Prepare phase at a majority — so no write the leader
+    /// does not hold can have been committed.
+    fn handle_read_check(&mut self, check: ReadCheck, from: NodeId) {
+        if self.storage.get_promise() != check.n {
+            return;
+        }
+        self.send(
+            from,
+            PaxosMsg::ReadCheckAck(ReadCheckAck {
+                n: check.n,
+                seq: check.seq,
+            }),
+        );
+    }
+
+    fn handle_read_check_ack(&mut self, ack: ReadCheckAck, from: NodeId) {
+        if self.state != (Role::Leader, Phase::Accept) || ack.n != self.leader_state.n {
+            return;
+        }
+        let e = self.leader_state.read_acks.entry(from).or_insert(0);
+        *e = (*e).max(ack.seq);
+        self.confirm_read_barriers();
     }
 
     // ------------------------------------------------------------------
@@ -572,6 +783,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         self.leader_state = LeaderState::new(Ballot::bottom());
         self.incoming_snap = None;
         self.installed_snapshot = None;
+        self.read_grants.clear();
         self.outgoing.clear();
         self.rescan_stopsign();
         let peers = self.config.peers.clone();
@@ -639,6 +851,15 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
                         }),
                     );
                 }
+                // Re-broadcast the latest round check: a lost ReadCheck or
+                // ack would otherwise stall pending read barriers forever.
+                if !self.leader_state.read_pending.is_empty() {
+                    let seq = self.leader_state.read_seq;
+                    let peers = self.config.peers.clone();
+                    for peer in peers {
+                        self.send(peer, PaxosMsg::ReadCheck(ReadCheck { n, seq }));
+                    }
+                }
             }
             (Role::Follower, Phase::Recover) => {
                 let peers = self.config.peers.clone();
@@ -680,6 +901,10 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
             PaxosMsg::SnapshotChunk(c) => self.handle_snapshot_chunk(c, from),
             PaxosMsg::SnapshotAck(a) => self.handle_snapshot_ack(a, from),
             PaxosMsg::ProposalForward(entries) => self.handle_forwarded(entries),
+            PaxosMsg::ReadIndexReq(r) => self.handle_read_index_req(r, from),
+            PaxosMsg::ReadIndexResp(r) => self.handle_read_index_resp(r),
+            PaxosMsg::ReadCheck(c) => self.handle_read_check(c, from),
+            PaxosMsg::ReadCheckAck(a) => self.handle_read_check_ack(a, from),
         }
     }
 
@@ -860,6 +1085,7 @@ impl<T: Entry, S: Storage<T>> SequencePaxos<T, S> {
         let log_len = self.storage.get_log_len();
         self.leader_state.accepted.insert(self.config.pid, log_len);
         self.leader_state.synced = true;
+        self.leader_state.accept_base = log_len;
         self.state = (Role::Leader, Phase::Accept);
         // Synchronize every promised follower.
         let followers: Vec<(NodeId, PromiseMeta)> = self

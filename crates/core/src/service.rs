@@ -25,7 +25,7 @@
 
 use crate::ballot::{Ballot, NodeId};
 use crate::omni::{OmniMessage, OmniPaxos, OmniPaxosConfig};
-use crate::sequence_paxos::ProposeErr;
+use crate::sequence_paxos::{ProposeErr, ReadIndexErr};
 use crate::snapshot::SnapshotData;
 use crate::storage::{MemoryStorage, Storage, StorageError, TrimError};
 use crate::util::{Entry, LogEntry, StopSign};
@@ -176,6 +176,12 @@ pub struct ServerConfig {
     pub priority: u64,
     /// Stamp takeover ballots with connectivity (§8's optimization).
     pub connectivity_priority: bool,
+    /// Leader-lease duration in ticks; `0` disables lease reads (see
+    /// [`OmniPaxosConfig::lease_ticks`] and DESIGN.md §14).
+    pub lease_ticks: u64,
+    /// Clock-skew safety margin for leases (see
+    /// [`OmniPaxosConfig::lease_epsilon_ticks`]).
+    pub lease_epsilon_ticks: u64,
 }
 
 impl ServerConfig {
@@ -192,6 +198,8 @@ impl ServerConfig {
             retry_ticks: 100,
             priority: 0,
             connectivity_priority: false,
+            lease_ticks: 0,
+            lease_epsilon_ticks: 0,
         }
     }
 }
@@ -405,6 +413,8 @@ impl<T: Entry, S: Storage<T>> OmniPaxosServer<T, S> {
             // One knob sizes both bulk transfers: migration segments and
             // replication-layer snapshot chunks.
             snapshot_chunk_bytes: self.config.chunk_bytes,
+            lease_ticks: self.config.lease_ticks,
+            lease_epsilon_ticks: self.config.lease_epsilon_ticks,
         }
     }
 
@@ -729,6 +739,69 @@ impl<T: Entry, S: Storage<T>> OmniPaxosServer<T, S> {
         if let Some(active) = &mut self.active {
             active.omni.reconnected(pid);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Linearizable local reads (leases + read index) — DESIGN.md §14
+    // ------------------------------------------------------------------
+
+    /// May this server serve a lease-protected local read right now? True
+    /// only when it is the Accept-phase leader holding live lease grants
+    /// from a majority AND its configuration is not ending: once the
+    /// stop-sign is decided the next configuration may already be running
+    /// elsewhere, so a lease must never span a reconfiguration boundary.
+    /// (While the lease is valid, only its holder can have decided the
+    /// stop-sign — no higher ballot can complete a Prepare phase at a
+    /// majority — so checking our own decided stop-sign suffices.)
+    ///
+    /// Non-sticky: re-check per read or per admission batch, never cache.
+    pub fn lease_valid(&self) -> bool {
+        self.active.as_ref().is_some_and(|a| {
+            !a.stopped && a.omni.decided_stopsign().is_none() && a.omni.lease_valid()
+        })
+    }
+
+    /// The absolute service-log index a lease read must wait for: serve
+    /// only once [`OmniPaxosServer::applied_cursor`] has reached it (and
+    /// the owner has applied everything polled). `None` when this server
+    /// is not an Accept-phase leader or its configuration is ending.
+    pub fn read_barrier(&self) -> Option<u64> {
+        let a = self.active.as_ref()?;
+        if a.stopped || a.omni.decided_stopsign().is_some() {
+            return None;
+        }
+        Some(a.base + a.omni.read_barrier()?)
+    }
+
+    /// Request a linearizable read index from any replica (the read-index
+    /// protocol; no lease required). The confirmed grant arrives via
+    /// [`OmniPaxosServer::take_read_grants`] as an absolute service-log
+    /// index. Fire-and-forget: a leader change or reconfiguration in
+    /// flight drops the request — the owner retries on a deadline (in the
+    /// next configuration, if one started meanwhile).
+    pub fn request_read_index(&mut self, token: u64) -> Result<(), ReadIndexErr> {
+        let Some(a) = &mut self.active else {
+            return Err(ReadIndexErr::NoLeader);
+        };
+        if a.stopped || a.omni.decided_stopsign().is_some() {
+            return Err(ReadIndexErr::NoLeader);
+        }
+        a.omni.request_read_index(token)
+    }
+
+    /// Drain confirmed read-index grants: `(token, absolute_idx)` pairs.
+    /// Grants die with their configuration's instance, so nothing here can
+    /// refer to a superseded configuration's log positions.
+    pub fn take_read_grants(&mut self) -> Vec<(u64, u64)> {
+        let Some(a) = &mut self.active else {
+            return Vec::new();
+        };
+        let base = a.base;
+        a.omni
+            .take_read_grants()
+            .into_iter()
+            .map(|(token, idx)| (token, base + idx))
+            .collect()
     }
 
     /// Direct access to the active protocol instance (tests, invariants).

@@ -30,7 +30,8 @@
 use crate::ballot::Ballot;
 use crate::messages::{
     AcceptDecide, AcceptSync, Accepted, BleMessage, BleMsg, Decide, Message, PaxosMsg, Prepare,
-    Promise, SnapshotAck, SnapshotChunk, SnapshotMeta,
+    Promise, ReadCheck, ReadCheckAck, ReadIndexReq, ReadIndexResp, SnapshotAck, SnapshotChunk,
+    SnapshotMeta,
 };
 use crate::omni::OmniMessage;
 use crate::service::ServiceMsg;
@@ -511,6 +512,21 @@ impl<T: WalEncode> Wire for PaxosMsg<T> {
                     put_log_entry(buf, e);
                 }
             }
+            PaxosMsg::ReadIndexReq(r) => {
+                buf.extend_from_slice(&r.token.to_le_bytes());
+            }
+            PaxosMsg::ReadIndexResp(r) => {
+                buf.extend_from_slice(&r.token.to_le_bytes());
+                buf.extend_from_slice(&r.idx.to_le_bytes());
+            }
+            PaxosMsg::ReadCheck(c) => {
+                put_ballot(buf, c.n);
+                buf.extend_from_slice(&c.seq.to_le_bytes());
+            }
+            PaxosMsg::ReadCheckAck(a) => {
+                put_ballot(buf, a.n);
+                buf.extend_from_slice(&a.seq.to_le_bytes());
+            }
         }
     }
 
@@ -592,6 +608,21 @@ impl<T: WalEncode> Wire for PaxosMsg<T> {
                 received: r.u64("SnapshotAck.received")?,
             }),
             10 => PaxosMsg::ProposalForward(get_entries(r)?),
+            11 => PaxosMsg::ReadIndexReq(ReadIndexReq {
+                token: r.u64("ReadIndexReq.token")?,
+            }),
+            12 => PaxosMsg::ReadIndexResp(ReadIndexResp {
+                token: r.u64("ReadIndexResp.token")?,
+                idx: r.u64("ReadIndexResp.idx")?,
+            }),
+            13 => PaxosMsg::ReadCheck(ReadCheck {
+                n: r.ballot("ReadCheck.n")?,
+                seq: r.u64("ReadCheck.seq")?,
+            }),
+            14 => PaxosMsg::ReadCheckAck(ReadCheckAck {
+                n: r.ballot("ReadCheckAck.n")?,
+                seq: r.u64("ReadCheckAck.seq")?,
+            }),
             v => {
                 return Err(WireError::UnknownDiscriminant {
                     what: "PaxosMsg",
@@ -634,6 +665,17 @@ impl Wire for BleMsg {
                 put_ballot(buf, *ballot);
                 buf.push(*quorum_connected as u8);
             }
+            BleMsg::HeartbeatReplyLease {
+                round,
+                ballot,
+                quorum_connected,
+                lease,
+            } => {
+                buf.extend_from_slice(&round.to_le_bytes());
+                put_ballot(buf, *ballot);
+                buf.push(*quorum_connected as u8);
+                buf.push(*lease as u8);
+            }
         }
     }
 
@@ -647,6 +689,12 @@ impl Wire for BleMsg {
                 round: r.u64("HeartbeatReply.round")?,
                 ballot: r.ballot("HeartbeatReply.ballot")?,
                 quorum_connected: r.bool("HeartbeatReply.quorum_connected")?,
+            },
+            2 => BleMsg::HeartbeatReplyLease {
+                round: r.u64("HeartbeatReplyLease.round")?,
+                ballot: r.ballot("HeartbeatReplyLease.ballot")?,
+                quorum_connected: r.bool("HeartbeatReplyLease.quorum_connected")?,
+                lease: r.bool("HeartbeatReplyLease.lease")?,
             },
             v => {
                 return Err(WireError::UnknownDiscriminant {
@@ -928,6 +976,10 @@ mod tests {
                 received: 576,
             }),
             PaxosMsg::ProposalForward(vec![LogEntry::Normal(1), LogEntry::Normal(2)]),
+            PaxosMsg::ReadIndexReq(ReadIndexReq { token: 77 }),
+            PaxosMsg::ReadIndexResp(ReadIndexResp { token: 77, idx: 41 }),
+            PaxosMsg::ReadCheck(ReadCheck { n: b, seq: 6 }),
+            PaxosMsg::ReadCheckAck(ReadCheckAck { n: b, seq: 6 }),
         ];
         for m in &msgs {
             roundtrip(m);
@@ -947,6 +999,17 @@ mod tests {
             },
         });
         roundtrip(&omni);
+        let lease: OmniMessage<u64> = OmniMessage::Ble(BleMessage {
+            from: 2,
+            to: 1,
+            msg: BleMsg::HeartbeatReplyLease {
+                round: 9,
+                ballot: b,
+                quorum_connected: true,
+                lease: true,
+            },
+        });
+        roundtrip(&lease);
         let svc: Vec<ServiceMsg<u64>> = vec![
             ServiceMsg::Omni {
                 config_id: 2,

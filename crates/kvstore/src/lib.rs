@@ -19,8 +19,8 @@ pub mod shard;
 pub mod store;
 pub mod wire;
 
-pub use shard::{shard_of_key, shard_of_op, ShardedKvNode};
-pub use store::{KvCommand, KvNode, KvOp, KvResult, KvStateMachine};
+pub use shard::{shard_config, shard_of_key, shard_of_op, ShardedKvNode};
+pub use store::{KvCommand, KvNode, KvOp, KvResult, KvStateMachine, ReadMode};
 pub use wire::KvWire;
 
 /// Server identifier, shared with the `omnipaxos` crate.

@@ -21,7 +21,7 @@
 //! some of them and proposal work (and its fsyncs) is distributed instead
 //! of funneling through one leader.
 
-use crate::store::{KvCommand, KvNode, KvOp, KvResult};
+use crate::store::{KvCommand, KvNode, KvOp, KvResult, ReadMode};
 use omnipaxos::multigroup::{demux, mux, BleCoalescer};
 use omnipaxos::sequence_paxos::ProposeErr;
 use omnipaxos::service::{ServerConfig, ServiceMsg};
@@ -271,6 +271,27 @@ impl<S: Storage<KvCommand>> ShardedKvNode<S> {
         let s = shard_of_key(key, self.shards.len());
         self.shards[s as usize].read_local(key)
     }
+
+    /// Does this node hold a valid leader lease for `shard`?
+    pub fn lease_valid(&self, shard: u32) -> bool {
+        self.shards[shard as usize].lease_valid()
+    }
+
+    /// Linearizable read routed to the owning shard, served per `mode`
+    /// (see [`ReadMode`]); the result arrives shard-tagged via
+    /// [`ShardedKvNode::take_results`].
+    pub fn read(
+        &mut self,
+        mode: ReadMode,
+        client: u64,
+        seq: u64,
+        key: impl Into<String>,
+    ) -> Result<u32, ProposeErr> {
+        let key = key.into();
+        let s = shard_of_key(&key, self.shards.len());
+        self.shards[s as usize].read(mode, client, seq, key)?;
+        Ok(s)
+    }
 }
 
 impl<S: Storage<KvCommand>> std::fmt::Debug for ShardedKvNode<S> {
@@ -494,6 +515,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn leases_are_per_shard_and_reads_route_to_the_owner() {
+        use crate::store::ReadMode;
+        // Lease-enabled cluster with spread leadership: different nodes
+        // hold different shards' leases at the same time.
+        let ids: Vec<NodeId> = vec![1, 2, 3];
+        let mut nodes: Vec<ShardedKvNode> = ids
+            .iter()
+            .map(|&p| {
+                let mut base = ServerConfig::with(p);
+                base.lease_ticks = 20;
+                base.lease_epsilon_ticks = 2;
+                let shards = (0..6u32)
+                    .map(|s| KvNode::with_config(shard_config(&base, s, &ids), ids.clone()))
+                    .collect();
+                ShardedKvNode::from_shards(shards)
+            })
+            .collect();
+        run(&mut nodes, 200);
+        // Each shard's lease is held exactly by that shard's leader.
+        for s in 0..6u32 {
+            let holders: Vec<NodeId> = nodes
+                .iter()
+                .filter(|n| n.lease_valid(s))
+                .map(|n| n.pid())
+                .collect();
+            let leader = nodes.iter().find(|n| n.is_leader(s)).unwrap().pid();
+            assert_eq!(holders, vec![leader], "shard {s} lease at its leader");
+        }
+        // A write then a lease read through the owning shard's leader.
+        let key = "route-me";
+        let s = shard_of_key(key, 6);
+        let li = nodes.iter().position(|n| n.is_leader(s)).unwrap();
+        nodes[li].submit_batch(s, [put(key, 31, 1)]).unwrap();
+        run(&mut nodes, 100);
+        nodes[li].take_results();
+        let routed = nodes[li].read(ReadMode::Lease, 2, 1, key).unwrap();
+        assert_eq!(routed, s, "read routed to the owning shard");
+        let results = nodes[li].take_results();
+        let read = results
+            .iter()
+            .find(|(sh, r)| *sh == s && r.client == 2)
+            .expect("lease read served locally");
+        assert_eq!(read.1.value, Some(31));
     }
 
     #[test]

@@ -54,6 +54,44 @@ impl Entry for KvCommand {
     }
 }
 
+/// How a linearizable read is served (per request; see DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Replicate a read marker through the log — the always-correct
+    /// baseline: a full consensus round and a log slot per read.
+    #[default]
+    Log,
+    /// Leader lease: served from the leader's local state machine with no
+    /// message round while the BLE lease holds; falls through to the log
+    /// path when it does not.
+    Lease,
+    /// Read index: any replica captures the leader's commit index in one
+    /// lightweight round, waits for local apply, and serves from its own
+    /// state machine (the follower-read path).
+    ReadIndex,
+}
+
+impl ReadMode {
+    /// Stable wire discriminant (append-only).
+    pub const fn discriminant(self) -> u8 {
+        match self {
+            ReadMode::Log => 0,
+            ReadMode::Lease => 1,
+            ReadMode::ReadIndex => 2,
+        }
+    }
+
+    /// Inverse of [`ReadMode::discriminant`].
+    pub const fn from_discriminant(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(ReadMode::Log),
+            1 => Some(ReadMode::Lease),
+            2 => Some(ReadMode::ReadIndex),
+            _ => None,
+        }
+    }
+}
+
 /// Result of an applied command, delivered to the issuing client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KvResult {
@@ -199,6 +237,45 @@ impl Snapshottable for KvStateMachine {
     }
 }
 
+/// Ticks between re-issuing an unanswered read-index request (the request
+/// and its response are best-effort messages; a leader change or drop is
+/// repaired by retrying under the same token).
+const READ_RETRY_TICKS: u64 = 50;
+/// Ticks before an unanswered read-index request gives up and reports
+/// `applied: false` to the client (who retries end to end).
+const READ_DEADLINE_TICKS: u64 = 400;
+
+/// What a pending log-free read is waiting for.
+#[derive(Debug)]
+enum ReadWait {
+    /// Barrier captured; waiting for the local apply cursor to reach it.
+    Apply { wait_idx: u64 },
+    /// Waiting for the leader to grant a read index for `token`.
+    Grant {
+        token: u64,
+        next_retry: u64,
+        deadline: u64,
+    },
+}
+
+/// One in-flight log-free read (lease or read-index mode).
+#[derive(Debug)]
+struct PendingRead {
+    client: u64,
+    seq: u64,
+    key: String,
+    wait: ReadWait,
+}
+
+/// Bookkeeping for log-free reads: a local tick counter (deadlines), the
+/// token allocator, and the pending queue.
+#[derive(Debug, Default)]
+struct ReadTracker {
+    ticks: u64,
+    next_token: u64,
+    pending: Vec<PendingRead>,
+}
+
 /// One key-value server: an Omni-Paxos replica plus the applied state.
 /// Generic over the replication storage (default: in-memory); a sharded
 /// deployment gives each shard its own `KvNode` with its own storage
@@ -207,6 +284,7 @@ pub struct KvNode<S: Storage<KvCommand> = MemoryStorage<KvCommand>> {
     server: OmniPaxosServer<KvCommand, S>,
     sm: KvStateMachine,
     results: Vec<KvResult>,
+    reads: ReadTracker,
 }
 
 impl KvNode {
@@ -223,6 +301,7 @@ impl KvNode {
             server: OmniPaxosServer::new(config, nodes),
             sm: KvStateMachine::default(),
             results: Vec::new(),
+            reads: ReadTracker::default(),
         }
     }
 
@@ -239,6 +318,7 @@ impl KvNode {
             server: OmniPaxosServer::new_joiner(config),
             sm: KvStateMachine::default(),
             results: Vec::new(),
+            reads: ReadTracker::default(),
         }
     }
 }
@@ -251,6 +331,7 @@ impl<S: Storage<KvCommand>> KvNode<S> {
             server,
             sm: KvStateMachine::default(),
             results: Vec::new(),
+            reads: ReadTracker::default(),
         }
     }
 
@@ -300,10 +381,80 @@ impl<S: Storage<KvCommand>> KvNode<S> {
         })
     }
 
+    /// Linearizable read served per `mode` (see [`ReadMode`]). The result
+    /// arrives via [`KvNode::take_results`]: log-free reads report
+    /// `applied: true` with the value once served, or `applied: false` if
+    /// the read-index deadline expires (the client retries end to end).
+    /// Log-free reads do not consume a log slot and bypass the session
+    /// table — they are idempotent, so dedup is unnecessary.
+    pub fn read(
+        &mut self,
+        mode: ReadMode,
+        client: u64,
+        seq: u64,
+        key: impl Into<String>,
+    ) -> Result<(), ProposeErr> {
+        let key = key.into();
+        match mode {
+            ReadMode::Log => self.read_linearizable(client, seq, key),
+            ReadMode::Lease => {
+                if self.server.lease_valid() {
+                    if let Some(wait_idx) = self.server.read_barrier() {
+                        // Capture-time lease validity linearizes the read;
+                        // it serves as soon as the local apply cursor
+                        // reaches the barrier (often immediately).
+                        self.reads.pending.push(PendingRead {
+                            client,
+                            seq,
+                            key,
+                            wait: ReadWait::Apply { wait_idx },
+                        });
+                        self.serve_ready_reads();
+                        return Ok(());
+                    }
+                }
+                // No valid lease here: fall through to the always-correct
+                // log path rather than fail the read.
+                self.read_linearizable(client, seq, key)
+            }
+            ReadMode::ReadIndex => {
+                let token = self.reads.next_token;
+                self.reads.next_token += 1;
+                // A lost or refused request (no leader yet, reconfiguring)
+                // is repaired by the retry/deadline machinery below.
+                let _ = self.server.request_read_index(token);
+                self.reads.pending.push(PendingRead {
+                    client,
+                    seq,
+                    key,
+                    wait: ReadWait::Grant {
+                        token,
+                        next_retry: self.reads.ticks + READ_RETRY_TICKS,
+                        deadline: self.reads.ticks + READ_DEADLINE_TICKS,
+                    },
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Can this server currently serve lease reads locally? (Leader with a
+    /// quorum of unexpired lease grants, not reconfiguring.)
+    pub fn lease_valid(&self) -> bool {
+        self.server.lease_valid()
+    }
+
+    /// Number of log-free reads still waiting to be served.
+    pub fn pending_reads(&self) -> usize {
+        self.reads.pending.len()
+    }
+
     /// Advance timers, apply newly decided commands.
     pub fn tick(&mut self) {
+        self.reads.ticks += 1;
         self.server.tick();
         self.pump();
+        self.tick_reads();
     }
 
     /// Feed one incoming message.
@@ -321,6 +472,79 @@ impl<S: Storage<KvCommand>> KvNode<S> {
         for cmd in self.server.poll_applied() {
             let result = self.sm.apply(cmd);
             self.results.push(result);
+        }
+        // Resolve read-index grants into apply barriers, then serve every
+        // log-free read whose barrier the apply cursor has reached.
+        for (token, idx) in self.server.take_read_grants() {
+            for p in self.reads.pending.iter_mut() {
+                match p.wait {
+                    ReadWait::Grant { token: t, .. } if t == token => {
+                        p.wait = ReadWait::Apply { wait_idx: idx };
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.serve_ready_reads();
+    }
+
+    /// Serve pending log-free reads whose barrier is applied locally.
+    fn serve_ready_reads(&mut self) {
+        let cursor = self.server.applied_cursor();
+        let mut i = 0;
+        while i < self.reads.pending.len() {
+            let ready = matches!(
+                self.reads.pending[i].wait,
+                ReadWait::Apply { wait_idx } if wait_idx <= cursor
+            );
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let p = self.reads.pending.remove(i);
+            self.results.push(KvResult {
+                client: p.client,
+                seq: p.seq,
+                value: self.sm.state.get(&p.key).copied(),
+                applied: true,
+            });
+        }
+    }
+
+    /// Expire and re-issue stalled read-index requests.
+    fn tick_reads(&mut self) {
+        let now = self.reads.ticks;
+        let mut expired = Vec::new();
+        let mut retries = Vec::new();
+        self.reads.pending.retain_mut(|p| {
+            if let ReadWait::Grant {
+                token,
+                next_retry,
+                deadline,
+            } = &mut p.wait
+            {
+                if *deadline <= now {
+                    expired.push((p.client, p.seq));
+                    return false;
+                }
+                if *next_retry <= now {
+                    *next_retry = now + READ_RETRY_TICKS;
+                    retries.push(*token);
+                }
+            }
+            true
+        });
+        for (client, seq) in expired {
+            self.results.push(KvResult {
+                client,
+                seq,
+                value: None,
+                applied: false,
+            });
+        }
+        for token in retries {
+            let _ = self.server.request_read_index(token);
         }
     }
 
@@ -413,6 +637,20 @@ mod tests {
     fn cluster(n: usize) -> Vec<KvNode> {
         let ids: Vec<NodeId> = (1..=n as NodeId).collect();
         ids.iter().map(|&p| KvNode::new(p, ids.clone())).collect()
+    }
+
+    /// A cluster with leader leases enabled (20-tick lease, 2-tick skew
+    /// bound — the same parameters as the core lease tests).
+    fn lease_cluster(n: usize) -> Vec<KvNode> {
+        let ids: Vec<NodeId> = (1..=n as NodeId).collect();
+        ids.iter()
+            .map(|&p| {
+                let mut cfg = ServerConfig::with(p);
+                cfg.lease_ticks = 20;
+                cfg.lease_epsilon_ticks = 2;
+                KvNode::with_config(cfg, ids.clone())
+            })
+            .collect()
     }
 
     fn leader_idx(nodes: &[KvNode]) -> usize {
@@ -646,6 +884,153 @@ mod tests {
             },
         });
         assert!(!dup.applied, "retry after restore must not re-apply");
+    }
+
+    #[test]
+    fn lease_read_serves_locally_without_log_growth() {
+        let mut nodes = cluster(3); // leases off: never valid
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        assert!(!nodes[li].lease_valid(), "leases disabled by default");
+
+        let mut nodes = lease_cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        assert!(nodes[li].lease_valid(), "steady-state leader holds a lease");
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "x".into(),
+                    value: 7,
+                },
+            })
+            .unwrap();
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        nodes[li].take_results();
+        let log_before = nodes[li].server_ref().decided_len();
+        nodes[li].read(ReadMode::Lease, 1, 2, "x").unwrap();
+        // Served immediately from local state: no round, no log slot.
+        let results = nodes[li].take_results();
+        let read = results.iter().find(|r| r.seq == 2).expect("served");
+        assert_eq!(read.value, Some(7));
+        assert!(read.applied);
+        run(&mut nodes, 50);
+        let li = leader_idx(&nodes);
+        assert_eq!(
+            nodes[li].server_ref().decided_len(),
+            log_before,
+            "lease reads must not consume log slots"
+        );
+    }
+
+    #[test]
+    fn lease_read_falls_through_to_log_at_followers() {
+        let mut nodes = lease_cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "x".into(),
+                    value: 9,
+                },
+            })
+            .unwrap();
+        run(&mut nodes, 100);
+        let fi = (leader_idx(&nodes) + 1) % 3;
+        assert!(!nodes[fi].lease_valid());
+        nodes[fi].take_results();
+        nodes[fi].read(ReadMode::Lease, 1, 2, "x").unwrap();
+        // Not served locally — forwarded as a log marker.
+        assert!(nodes[fi].take_results().is_empty());
+        run(&mut nodes, 200);
+        let results = nodes[fi].take_results();
+        let read = results.iter().find(|r| r.seq == 2).expect("via log");
+        assert_eq!(read.value, Some(9));
+    }
+
+    #[test]
+    fn read_index_serves_at_follower_without_log_growth() {
+        let mut nodes = lease_cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        nodes[li]
+            .submit(KvCommand {
+                client: 1,
+                seq: 1,
+                op: KvOp::Put {
+                    key: "x".into(),
+                    value: 42,
+                },
+            })
+            .unwrap();
+        run(&mut nodes, 100);
+        let fi = (leader_idx(&nodes) + 1) % 3;
+        let log_before = nodes[fi].server_ref().decided_len();
+        nodes[fi].take_results();
+        nodes[fi].read(ReadMode::ReadIndex, 1, 2, "x").unwrap();
+        run(&mut nodes, 100);
+        let results = nodes[fi].take_results();
+        let read = results.iter().find(|r| r.seq == 2).expect("granted");
+        assert_eq!(read.value, Some(42));
+        assert!(read.applied);
+        assert_eq!(nodes[fi].pending_reads(), 0);
+        assert_eq!(
+            nodes[fi].server_ref().decided_len(),
+            log_before,
+            "read-index reads must not consume log slots"
+        );
+    }
+
+    #[test]
+    fn read_index_expires_when_cut_off_from_the_leader() {
+        let mut nodes = lease_cluster(3);
+        run(&mut nodes, 100);
+        let fi = (leader_idx(&nodes) + 1) % 3;
+        let cut_pid = nodes[fi].pid();
+        run_cut(&mut nodes, 30, &[cut_pid]); // lease grant from fi lapses
+        nodes[fi].take_results();
+        nodes[fi].read(ReadMode::ReadIndex, 1, 1, "x").unwrap();
+        run_cut(&mut nodes, READ_DEADLINE_TICKS as usize + 50, &[cut_pid]);
+        let results = nodes[fi].take_results();
+        let read = results.iter().find(|r| r.seq == 1).expect("expired");
+        assert!(!read.applied, "unreachable leader must expire, not hang");
+        assert_eq!(nodes[fi].pending_reads(), 0);
+    }
+
+    /// Satellite (e): a lease never spans a reconfiguration. Once the
+    /// stop-sign is decided the old configuration's leader must refuse
+    /// local reads and fall through to the (refused) log path.
+    #[test]
+    fn lease_reads_refused_once_stopsign_decides() {
+        let mut nodes = lease_cluster(3);
+        run(&mut nodes, 100);
+        let li = leader_idx(&nodes);
+        assert!(nodes[li].lease_valid());
+        nodes[li].server().reconfigure(vec![1, 2, 3, 4]).unwrap();
+        // Enough steps to decide the stop-sign and hand over, but far too
+        // few for the successor configuration to assemble lease grants
+        // (which takes election rounds plus a heartbeat round).
+        run(&mut nodes, 10);
+        assert!(
+            !nodes[li].lease_valid(),
+            "lease must die with the configuration"
+        );
+        nodes[li].take_results();
+        let _ = nodes[li].read(ReadMode::Lease, 8, 1, "x");
+        assert!(
+            nodes[li].take_results().is_empty(),
+            "must not serve locally across a config change"
+        );
+        // The successor configuration (majority 3 of 4; node 4 is absent)
+        // eventually earns its own lease — a fresh one, not a carry-over.
+        run(&mut nodes, 400);
+        assert!(nodes.iter().any(|n| n.lease_valid()));
     }
 
     /// The satellite scenario: a follower is partitioned long enough for

@@ -13,7 +13,7 @@
 //! Discriminants are stable and append-only, like every enum on the wire
 //! (see `omnipaxos::messages` for the forward-compatibility rules).
 
-use crate::store::{KvCommand, KvOp, KvResult};
+use crate::store::{KvCommand, KvOp, KvResult, ReadMode};
 use omnipaxos::wire::{put_str, BatchCache, Reader, Wire, WireError};
 use omnipaxos::{NodeId, WalEncode};
 
@@ -115,6 +115,17 @@ pub enum KvWire {
     /// shard, indexed by shard id (0 = unknown). `leaders.len()` is the
     /// cluster's shard count.
     Shards { leaders: Vec<NodeId> },
+    /// Client → server: a linearizable read of `key`, served per `mode`
+    /// (see [`ReadMode`]): log marker, leader lease, or read index. The
+    /// `(client, seq)` identity ties the eventual [`KvWire::Reply`] back
+    /// to the request; log-free modes never enter the session table, so
+    /// any replica can answer a `ReadIndex` read.
+    ReadRequest {
+        mode: ReadMode,
+        client: u64,
+        seq: u64,
+        key: String,
+    },
 }
 
 impl KvWire {
@@ -128,6 +139,7 @@ impl KvWire {
             KvWire::ShardRedirect { .. } => 4,
             KvWire::ShardsReq => 5,
             KvWire::Shards { .. } => 6,
+            KvWire::ReadRequest { .. } => 7,
         }
     }
 }
@@ -161,6 +173,17 @@ impl Wire for KvWire {
                 for &l in leaders {
                     buf.extend_from_slice(&l.to_le_bytes());
                 }
+            }
+            KvWire::ReadRequest {
+                mode,
+                client,
+                seq,
+                key,
+            } => {
+                buf.push(mode.discriminant());
+                buf.extend_from_slice(&client.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                put_str(buf, key);
             }
         }
     }
@@ -206,6 +229,20 @@ impl Wire for KvWire {
                     leaders.push(r.u64("Shards.leader")?);
                 }
                 KvWire::Shards { leaders }
+            }
+            7 => {
+                let mode = r.u8("ReadRequest.mode")?;
+                let mode =
+                    ReadMode::from_discriminant(mode).ok_or(WireError::UnknownDiscriminant {
+                        what: "ReadMode",
+                        value: mode,
+                    })?;
+                KvWire::ReadRequest {
+                    mode,
+                    client: r.u64("ReadRequest.client")?,
+                    seq: r.u64("ReadRequest.seq")?,
+                    key: r.str("ReadRequest.key")?,
+                }
             }
             v => {
                 return Err(WireError::UnknownDiscriminant {
@@ -297,6 +334,32 @@ mod tests {
             }),
             KvWire::Redirect { leader: 3 },
             KvWire::Retry { seq: 9 },
+            KvWire::ShardRedirect {
+                shard: 2,
+                leader: 1,
+            },
+            KvWire::ShardsReq,
+            KvWire::Shards {
+                leaders: vec![1, 0, 3],
+            },
+            KvWire::ReadRequest {
+                mode: ReadMode::Lease,
+                client: 7,
+                seq: 11,
+                key: "x".into(),
+            },
+            KvWire::ReadRequest {
+                mode: ReadMode::ReadIndex,
+                client: 7,
+                seq: 12,
+                key: "".into(),
+            },
+            KvWire::ReadRequest {
+                mode: ReadMode::Log,
+                client: 8,
+                seq: 1,
+                key: "deep/key".into(),
+            },
         ];
         for m in &msgs {
             let bytes = m.to_bytes();

@@ -10,7 +10,7 @@
 //! omni-kv-client --servers ... --deadline-ms 2000 read balance
 //! ```
 
-use kvstore::{KvOp, NodeId};
+use kvstore::{KvOp, NodeId, ReadMode};
 use net::client::{KvClient, PipelinedKvClient};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: omni-kv-client --servers <pid=addr,...> [--deadline-ms N] \
+         [--read-mode log|lease|read-index] \
          (put <k> <v> | read <k> | add <k> <d> | delete <k> | bench <n> | \
          pbench <n> [window])"
     );
@@ -40,11 +41,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut servers = None;
     let mut deadline = None;
+    let mut read_mode = ReadMode::Log;
     let mut rest: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--servers" => servers = it.next().and_then(|v| parse_servers(v)),
+            "--read-mode" => {
+                read_mode = match it.next().map(String::as_str) {
+                    Some("log") => ReadMode::Log,
+                    Some("lease") => ReadMode::Lease,
+                    Some("read-index") => ReadMode::ReadIndex,
+                    _ => usage(),
+                };
+            }
             "--deadline-ms" => {
                 let ms: u64 = it
                     .next()
@@ -78,7 +88,7 @@ fn main() {
                 .put(k, v)
                 .map(|r| println!("ok applied={}", r.applied))
         }
-        ["read", k] => client.read(k).map(|v| match v {
+        ["read", k] => client.read_with_mode(k, read_mode).map(|v| match v {
             Some(v) => println!("{v}"),
             None => println!("(nil)"),
         }),

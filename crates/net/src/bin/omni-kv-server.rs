@@ -11,9 +11,10 @@
 //! per pid in `--peers` and the cluster elects a leader and serves
 //! traffic; kill any minority and it keeps going.
 
-use kvstore::{KvCommand, NodeId, ShardedKvNode};
+use kvstore::{shard_config, KvCommand, KvNode, NodeId, ShardedKvNode};
 use net::server::{ClientGateway, KvServer};
 use net::tcp::{TcpConfig, TcpTransport};
+use omnipaxos::service::ServerConfig;
 use omnipaxos::ServiceMsg;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -24,7 +25,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: omni-kv-server --pid <n> --peers <pid=addr,...> --client-addr <addr> \
-         [--tick-ms <ms>] [--joiner] [--shards <n>]"
+         [--tick-ms <ms>] [--joiner] [--shards <n>] \
+         [--lease-ticks <n>] [--lease-epsilon <n>]"
     );
     std::process::exit(2)
 }
@@ -46,6 +48,11 @@ fn main() {
     let mut tick_ms: u64 = 10;
     let mut joiner = false;
     let mut shards: usize = 1;
+    // Leader leases for local reads, in ticks of `--tick-ms` (0 = off).
+    // Every replica must run the same lease settings: the epsilon bound
+    // is a cluster-wide clock-skew contract, not a local knob.
+    let mut lease_ticks: u64 = 0;
+    let mut lease_epsilon: u64 = 2;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +62,10 @@ fn main() {
             "--tick-ms" => tick_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
             "--joiner" => joiner = true,
             "--shards" => shards = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--lease-ticks" => lease_ticks = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--lease-epsilon" => {
+                lease_epsilon = it.next().and_then(|v| v.parse().ok()).unwrap_or(2)
+            }
             _ => usage(),
         }
     }
@@ -74,10 +85,21 @@ fn main() {
     nodes.sort_unstable();
     // Every pid in the cluster must be launched with the same --shards
     // value: shard count is part of the routing contract.
+    let mut base = ServerConfig::with(pid);
+    base.lease_ticks = lease_ticks;
+    base.lease_epsilon_ticks = lease_epsilon;
     let node = if joiner {
-        ShardedKvNode::joiner(pid, shards)
+        ShardedKvNode::from_shards(
+            (0..shards)
+                .map(|_| KvNode::joiner_with_config(base.clone()))
+                .collect(),
+        )
     } else {
-        ShardedKvNode::new(pid, nodes, shards)
+        ShardedKvNode::from_shards(
+            (0..shards as u32)
+                .map(|s| KvNode::with_config(shard_config(&base, s, &nodes), nodes.clone()))
+                .collect(),
+        )
     };
 
     let transport: TcpTransport<ServiceMsg<KvCommand>> =

@@ -13,7 +13,7 @@
 //! sequence number and issues a fresh one.
 
 use crate::frame::{self, kind};
-use kvstore::{KvCommand, KvOp, KvResult, KvWire, NodeId};
+use kvstore::{KvCommand, KvOp, KvResult, KvWire, NodeId, ReadMode};
 use omnipaxos::wire::Wire;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{ErrorKind, Write};
@@ -22,12 +22,20 @@ use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Log-free reads live in their own identity space: the client id and the
+/// sequence number both carry this flag, so they can never collide with —
+/// or poison the admission watermark of — the write session. (A log-path
+/// fall-through read marker under a flagged id gets its own session row;
+/// flagged seqs keep `Retry` frames unambiguous client-side.)
+pub const READ_FLAG: u64 = 1 << 63;
+
 pub struct KvClient {
     servers: Vec<(NodeId, SocketAddr)>,
     current: usize,
     stream: Option<TcpStream>,
     client_id: u64,
     seq: u64,
+    read_seq: u64,
     /// Per-attempt reply wait before rotating to another server.
     pub attempt_timeout: Duration,
     /// Overall per-operation deadline.
@@ -43,6 +51,7 @@ impl KvClient {
             stream: None,
             client_id,
             seq: 0,
+            read_seq: 0,
             attempt_timeout: Duration::from_millis(500),
             op_timeout: Duration::from_secs(20),
         }
@@ -69,6 +78,52 @@ impl KvClient {
     /// Linearizable read through the log.
     pub fn read(&mut self, key: &str) -> std::io::Result<Option<i64>> {
         self.op(KvOp::Read { key: key.into() }).map(|r| r.value)
+    }
+
+    /// Linearizable read served per `mode`. `Log` is [`KvClient::read`];
+    /// `Lease` serves at the leaseholder (falling through to the log path
+    /// if no lease is held); `ReadIndex` serves at whichever replica this
+    /// client is connected to — including followers.
+    pub fn read_with_mode(&mut self, key: &str, mode: ReadMode) -> std::io::Result<Option<i64>> {
+        if mode == ReadMode::Log {
+            return self.read(key);
+        }
+        self.read_seq += 1;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("kv read not served within {:?}", self.op_timeout),
+                ));
+            }
+            let token = READ_FLAG | self.read_seq;
+            match self.attempt_read(mode, token, key) {
+                Ok(KvWire::Reply(res)) if res.seq == token => {
+                    if !res.applied {
+                        // Deadline-expired on the server: fresh token.
+                        self.read_seq += 1;
+                        continue;
+                    }
+                    return Ok(res.value);
+                }
+                Ok(KvWire::Redirect { leader }) | Ok(KvWire::ShardRedirect { leader, .. }) => {
+                    self.retarget(leader);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Ok(KvWire::Retry { seq }) if seq == token => {
+                    // The leader holds no lease (still assembling grants,
+                    // or leases disabled): fall through to the log path.
+                    return self.read(key);
+                }
+                Ok(_) => {} // stale frame: resend
+                Err(_) => {
+                    self.stream = None;
+                    self.rotate();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
     }
 
     /// Run one operation to completion (retrying as needed).
@@ -145,10 +200,26 @@ impl KvClient {
 
     /// One send + one reply attempt against the current server.
     fn attempt(&mut self, cmd: KvCommand) -> std::io::Result<KvWire> {
+        let msg = KvWire::Request(cmd);
+        self.attempt_msg(&msg)
+    }
+
+    /// One log-free read attempt against the current server.
+    fn attempt_read(&mut self, mode: ReadMode, token: u64, key: &str) -> std::io::Result<KvWire> {
+        let msg = KvWire::ReadRequest {
+            mode,
+            client: READ_FLAG | self.client_id,
+            seq: token,
+            key: key.into(),
+        };
+        self.attempt_msg(&msg)
+    }
+
+    fn attempt_msg(&mut self, msg: &KvWire) -> std::io::Result<KvWire> {
         let timeout = self.attempt_timeout;
         let stream = self.ensure_stream()?;
         stream.set_read_timeout(Some(timeout))?;
-        let payload = KvWire::Request(cmd).to_bytes();
+        let payload = msg.to_bytes();
         let mut w = stream;
         frame::write_frame(&mut w, kind::KV, &payload)?;
         let mut r = stream;
@@ -216,6 +287,16 @@ pub struct PipelinedKvClient {
     inflight: BTreeMap<u64, KvOp>,
     /// Outstanding seqs awaiting (re)transmission, flushed in seq order.
     unsent: BTreeSet<u64>,
+    /// Read mode for [`PipelinedKvClient::submit_read`]. Log-free modes
+    /// ride their own [`READ_FLAG`]-tagged identity space so they never
+    /// perturb the write session's admission contiguity; `Log` routes
+    /// through the ordinary write session.
+    pub read_mode: ReadMode,
+    /// Log-free reads in flight: flagged token → key.
+    read_keys: BTreeMap<u64, String>,
+    /// Log-free reads awaiting (re)transmission.
+    read_unsent: BTreeSet<u64>,
+    next_read: u64,
     /// Reissued reads: transmitted seq → the seq the caller knows.
     alias: HashMap<u64, u64>,
     /// Retransmission backoff gate (set after `Retry` and reconnects).
@@ -247,6 +328,10 @@ impl PipelinedKvClient {
             conn: None,
             inflight: BTreeMap::new(),
             unsent: BTreeSet::new(),
+            read_mode: ReadMode::Log,
+            read_keys: BTreeMap::new(),
+            read_unsent: BTreeSet::new(),
+            next_read: 0,
             alias: HashMap::new(),
             gate: None,
             retries: 0,
@@ -267,7 +352,7 @@ impl PipelinedKvClient {
         let seq = self.next_seq;
         self.inflight.insert(seq, op);
         self.unsent.insert(seq);
-        if self.inflight.len() == 1 {
+        if self.in_flight() == 1 {
             // An empty window has no progress to stall on; start the
             // clock when it becomes non-empty.
             self.last_progress = Instant::now();
@@ -276,9 +361,34 @@ impl PipelinedKvClient {
         seq
     }
 
+    /// Queue a linearizable read of `key` under this client's
+    /// [`PipelinedKvClient::read_mode`]. Returns the token completions
+    /// will carry in `KvResult::seq` — a [`READ_FLAG`]-tagged token for
+    /// log-free modes, an ordinary session seq for `Log`. A lease read
+    /// that finds no leaseholder downgrades to the log path internally
+    /// and still completes under its original token.
+    pub fn submit_read(&mut self, key: &str) -> u64 {
+        if self.read_mode == ReadMode::Log {
+            return self.submit(KvOp::Read { key: key.into() });
+        }
+        self.next_read += 1;
+        let token = READ_FLAG | self.next_read;
+        self.read_keys.insert(token, key.into());
+        self.read_unsent.insert(token);
+        if self.in_flight() == 1 {
+            self.last_progress = Instant::now();
+            self.next_rotate = Instant::now() + self.rotate_after;
+        }
+        token
+    }
+
     /// Ops submitted but not yet completed.
     pub fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.inflight.len() + self.read_keys.len()
+    }
+
+    fn window_empty(&self) -> bool {
+        self.inflight.is_empty() && self.read_keys.is_empty()
     }
 
     /// The sequence number of the last submitted operation.
@@ -326,7 +436,7 @@ impl PipelinedKvClient {
         let deadline = Instant::now() + timeout;
         loop {
             let done = self.pump()?;
-            if !done.is_empty() || self.inflight.is_empty() {
+            if !done.is_empty() || self.window_empty() {
                 return Ok(done);
             }
             let now = Instant::now();
@@ -358,14 +468,11 @@ impl PipelinedKvClient {
     pub fn drain(&mut self, timeout: Duration) -> std::io::Result<Vec<KvResult>> {
         let deadline = Instant::now() + timeout;
         let mut all = Vec::new();
-        while !self.inflight.is_empty() {
+        while !self.window_empty() {
             if Instant::now() >= deadline {
                 return Err(std::io::Error::new(
                     ErrorKind::TimedOut,
-                    format!(
-                        "{} ops still in flight at drain deadline",
-                        self.inflight.len()
-                    ),
+                    format!("{} ops still in flight at drain deadline", self.in_flight()),
                 ));
             }
             all.extend(self.wait(Duration::from_millis(50))?);
@@ -384,6 +491,42 @@ impl PipelinedKvClient {
         // that have gone mute, not slow ones.
         self.next_rotate = Instant::now() + self.rotate_after;
         match msg {
+            KvWire::Reply(mut res) if res.seq & READ_FLAG != 0 => {
+                // A log-free read completed (or expired server-side).
+                let token = res.seq;
+                let Some(key) = self.read_keys.remove(&token) else {
+                    return; // duplicate reply from a retransmission
+                };
+                self.read_unsent.remove(&token);
+                self.last_progress = Instant::now();
+                let orig = self.alias.remove(&token).unwrap_or(token);
+                if !res.applied {
+                    // The server's read-index deadline expired (leader
+                    // unreachable): reissue under a fresh token, still
+                    // reported to the caller under the original one.
+                    self.next_read += 1;
+                    let fresh = READ_FLAG | self.next_read;
+                    self.read_keys.insert(fresh, key);
+                    self.read_unsent.insert(fresh);
+                    self.alias.insert(fresh, orig);
+                    return;
+                }
+                res.seq = orig;
+                done.push(res);
+            }
+            KvWire::Retry { seq } if seq & READ_FLAG != 0 => {
+                // A lease read reached the leader but no lease is held
+                // (still assembling grants, or leases disabled): fall
+                // through to the log path under the write session. The
+                // completion still carries the original read token.
+                if let Some(key) = self.read_keys.remove(&seq) {
+                    self.read_unsent.remove(&seq);
+                    self.retries += 1;
+                    let orig = self.alias.remove(&seq).unwrap_or(seq);
+                    let fresh = self.submit(KvOp::Read { key });
+                    self.alias.insert(fresh, orig);
+                }
+            }
             KvWire::Reply(mut res) => {
                 let seq = res.seq;
                 let Some(op) = self.inflight.remove(&seq) else {
@@ -423,7 +566,10 @@ impl PipelinedKvClient {
             }
             // Servers never send requests; routing-table frames are the
             // sharded wrapper's business (it refreshes via bootstrap).
-            KvWire::Request(_) | KvWire::ShardsReq | KvWire::Shards { .. } => {}
+            KvWire::Request(_)
+            | KvWire::ReadRequest { .. }
+            | KvWire::ShardsReq
+            | KvWire::Shards { .. } => {}
         }
     }
 
@@ -433,7 +579,9 @@ impl PipelinedKvClient {
         // Reconnection is driven by *outstanding* ops, not unsent ones: a
         // dropped connection clears nothing from `inflight`, and
         // `connect` re-marks the whole window for retransmission.
-        if self.inflight.is_empty() || (self.conn.is_some() && self.unsent.is_empty()) {
+        if self.window_empty()
+            || (self.conn.is_some() && self.unsent.is_empty() && self.read_unsent.is_empty())
+        {
             return;
         }
         if let Some(g) = self.gate {
@@ -444,7 +592,7 @@ impl PipelinedKvClient {
         if self.conn.is_none() && !self.connect() {
             return;
         }
-        if self.unsent.is_empty() {
+        if self.unsent.is_empty() && self.read_unsent.is_empty() {
             return;
         }
         let mut buf = Vec::new();
@@ -460,10 +608,24 @@ impl PipelinedKvClient {
             let payload = KvWire::Request(cmd).to_bytes();
             buf.extend_from_slice(&frame::encode_frame(kind::KV, &payload));
         }
+        for (&token, key) in self.read_keys.iter() {
+            if !self.read_unsent.contains(&token) {
+                continue;
+            }
+            let payload = KvWire::ReadRequest {
+                mode: self.read_mode,
+                client: READ_FLAG | self.client_id,
+                seq: token,
+                key: key.clone(),
+            }
+            .to_bytes();
+            buf.extend_from_slice(&frame::encode_frame(kind::KV, &payload));
+        }
         let conn = self.conn.as_ref().expect("connected above");
         let mut w = &conn.stream;
         if w.write_all(&buf).is_ok() {
             self.unsent.clear();
+            self.read_unsent.clear();
             self.gate = None;
         } else {
             self.fail_conn();
@@ -511,6 +673,7 @@ impl PipelinedKvClient {
             })
             .ok();
         self.unsent = self.inflight.keys().copied().collect();
+        self.read_unsent = self.read_keys.keys().copied().collect();
         self.conn = Some(PipeConn { stream, rx, reader });
         true
     }
@@ -523,7 +686,7 @@ impl PipelinedKvClient {
     }
 
     fn check_stall(&mut self, done: &[KvResult]) -> std::io::Result<()> {
-        if self.inflight.is_empty() || !done.is_empty() {
+        if self.window_empty() || !done.is_empty() {
             return Ok(());
         }
         if self.last_progress.elapsed() > self.op_timeout {
@@ -532,7 +695,7 @@ impl PipelinedKvClient {
                 format!(
                     "no completion within {:?} ({} ops in flight)",
                     self.op_timeout,
-                    self.inflight.len()
+                    self.in_flight()
                 ),
             ));
         }
@@ -672,6 +835,21 @@ impl ShardedKvClient {
     pub fn submit(&mut self, op: KvOp) -> (u32, u64) {
         let s = kvstore::shard_of_op(&op, self.shards.len());
         (s, self.shards[s as usize].submit(op))
+    }
+
+    /// Set every shard session's read mode (see
+    /// [`PipelinedKvClient::read_mode`]).
+    pub fn set_read_mode(&mut self, mode: ReadMode) {
+        for c in &mut self.shards {
+            c.read_mode = mode;
+        }
+    }
+
+    /// Queue a linearizable read of `key` on its owning shard; the
+    /// completion carries `(shard, token)`.
+    pub fn submit_read(&mut self, key: &str) -> (u32, u64) {
+        let s = kvstore::shard_of_key(key, self.shards.len());
+        (s, self.shards[s as usize].submit_read(key))
     }
 
     /// Total ops submitted but not yet completed, across shards.

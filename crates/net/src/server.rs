@@ -15,7 +15,7 @@
 use crate::frame::{self, kind, FrameError};
 use crate::link::{LinkEvent, NetworkLink};
 use crate::tcp::lock_unpoisoned;
-use kvstore::{KvNode, KvWire, ShardedKvNode};
+use kvstore::{shard_of_key, KvCommand, KvNode, KvWire, ReadMode, ShardedKvNode};
 use omnipaxos::wire::Wire;
 use omnipaxos::{OmniMessage, PaxosMsg, ServiceMsg};
 use std::collections::HashMap;
@@ -250,6 +250,12 @@ pub struct KvServer<L> {
     /// even overload-shed) clears the record, because it proves lower
     /// seqs are still in flight to this shard.
     gap_shed: Vec<HashMap<u64, (ConnId, u64)>>,
+    /// Log-free reads in flight, per shard: `(client, seq) -> conn`.
+    /// Separate from `pending` because these never ride the log: they are
+    /// not invalidated by leadership changes (lease reads serve in the
+    /// same cycle; read-index reads carry their own deadline) and must
+    /// not be drained with `Retry` when this node stops leading a shard.
+    pending_reads: Vec<HashMap<(u64, u64), ConnId>>,
     shed: u64,
     prepare_reqs: u64,
     reconnects: u64,
@@ -280,6 +286,7 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             max_pending: DEFAULT_MAX_PENDING,
             admitted: vec![HashMap::new(); n],
             gap_shed: vec![HashMap::new(); n],
+            pending_reads: vec![HashMap::new(); n],
             shed: 0,
             prepare_reqs: 0,
             reconnects: 0,
@@ -463,6 +470,70 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
                     );
                     continue;
                 }
+                KvWire::ReadRequest {
+                    mode,
+                    client,
+                    seq,
+                    key,
+                } => {
+                    let shard = shard_of_key(&key, n_shards);
+                    let s = shard as usize;
+                    match mode {
+                        // Read-index reads serve at ANY replica — this is
+                        // the follower-read path, so no leader redirect.
+                        // The result (or a deadline `applied: false`)
+                        // comes back through `deliver_results`.
+                        ReadMode::ReadIndex => {
+                            let _ = self.node.shard_mut(shard).read(
+                                ReadMode::ReadIndex,
+                                client,
+                                seq,
+                                key,
+                            );
+                            self.pending_reads[s].insert((client, seq), conn);
+                            continue;
+                        }
+                        // Lease reads serve locally only while this node
+                        // holds the shard's lease; they complete in this
+                        // same pump cycle with no log round. Without the
+                        // lease: a non-leader redirects, the leader
+                        // answers `Retry` and the CLIENT falls through to
+                        // the log path under its write session — a
+                        // server-side conversion would inject the read's
+                        // out-of-band seq into the admission watermark and
+                        // wedge pipelined writers.
+                        ReadMode::Lease => {
+                            if self.node.lease_valid(shard) {
+                                let _ = self.node.shard_mut(shard).read(
+                                    ReadMode::Lease,
+                                    client,
+                                    seq,
+                                    key,
+                                );
+                                self.pending_reads[s].insert((client, seq), conn);
+                            } else if self.node.is_leader(shard) {
+                                gateway.reply(conn, &KvWire::Retry { seq });
+                            } else {
+                                let leader = self.node.leader_of(shard);
+                                if n_shards == 1 {
+                                    gateway.reply(conn, &KvWire::Redirect { leader });
+                                } else {
+                                    gateway.reply(conn, &KvWire::ShardRedirect { shard, leader });
+                                }
+                            }
+                            continue;
+                        }
+                        // Log mode rides the replicated read-marker path
+                        // below, through the same admission machinery as
+                        // writes (the marker consumes a session seq, so it
+                        // must respect the contiguity watermark).
+                        ReadMode::Log => KvCommand {
+                            client,
+                            seq,
+                            op: kvstore::KvOp::Read { key },
+                        },
+                    }
+                }
                 _ => continue, // clients only send requests
             };
             let shard = self.node.shard_of(&cmd.op);
@@ -563,7 +634,10 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
         };
         let n = results.len();
         for (shard, res) in results {
-            if let Some(conn) = self.pending[shard as usize].remove(&(res.client, res.seq)) {
+            let s = shard as usize;
+            if let Some(conn) = self.pending[s].remove(&(res.client, res.seq)) {
+                gateway.reply(conn, &KvWire::Reply(res));
+            } else if let Some(conn) = self.pending_reads[s].remove(&(res.client, res.seq)) {
                 gateway.reply(conn, &KvWire::Reply(res));
             }
         }

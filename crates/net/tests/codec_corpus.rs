@@ -15,7 +15,8 @@
 //!    clusters. Regenerate deliberately with:
 //!    `CORPUS_WRITE=1 cargo test -p net --test codec_corpus`.
 
-use kvstore::{KvCommand, KvOp, KvResult, KvWire};
+use kvstore::{KvCommand, KvOp, KvResult, KvWire, ReadMode};
+use net::client::READ_FLAG;
 use net::frame::{self, kind, FrameError};
 use omnipaxos::messages::*;
 use omnipaxos::wire::{checksum_parts, Wire, WireError};
@@ -122,6 +123,22 @@ fn paxos_samples() -> Vec<(String, ServiceMsg<KvCommand>)> {
             "proposal_forward",
             PaxosMsg::ProposalForward(vec![entry(1), entry(2)]),
         ),
+        (
+            "read_index_req",
+            PaxosMsg::ReadIndexReq(ReadIndexReq { token: 77 }),
+        ),
+        (
+            "read_index_resp",
+            PaxosMsg::ReadIndexResp(ReadIndexResp { token: 77, idx: 41 }),
+        ),
+        (
+            "read_check",
+            PaxosMsg::ReadCheck(ReadCheck { n: b, seq: 6 }),
+        ),
+        (
+            "read_check_ack",
+            PaxosMsg::ReadCheckAck(ReadCheckAck { n: b, seq: 6 }),
+        ),
     ];
     msgs.into_iter()
         .map(|(name, m)| {
@@ -161,6 +178,22 @@ fn service_samples() -> Vec<(String, ServiceMsg<KvCommand>)> {
                         round: 4,
                         ballot: b,
                         quorum_connected: true,
+                    },
+                }),
+            },
+        ),
+        (
+            "ble_heartbeat_reply_lease".into(),
+            ServiceMsg::Omni {
+                config_id: 1,
+                msg: OmniMessage::Ble(BleMessage {
+                    from: 2,
+                    to: 1,
+                    msg: BleMsg::HeartbeatReplyLease {
+                        round: 4,
+                        ballot: b,
+                        quorum_connected: true,
+                        lease: true,
                     },
                 }),
             },
@@ -290,6 +323,26 @@ fn service_samples() -> Vec<(String, ServiceMsg<KvCommand>)> {
             "svc_group_ble_empty".into(),
             ServiceMsg::GroupBle { beats: vec![] },
         ),
+        // Lease grants ride the shared-BLE carrier like any other reply.
+        (
+            "svc_group_ble_lease".into(),
+            ServiceMsg::GroupBle {
+                beats: vec![(
+                    1,
+                    2,
+                    BleMessage {
+                        from: 2,
+                        to: 1,
+                        msg: BleMsg::HeartbeatReplyLease {
+                            round: 11,
+                            ballot: b,
+                            quorum_connected: true,
+                            lease: false,
+                        },
+                    },
+                )],
+            },
+        ),
     ];
     out.extend(paxos_samples());
     out
@@ -331,6 +384,33 @@ fn kv_samples() -> Vec<(String, KvWire)> {
             "kv_shards".into(),
             KvWire::Shards {
                 leaders: vec![1, 2, 0, 3],
+            },
+        ),
+        (
+            "kv_read_lease".into(),
+            KvWire::ReadRequest {
+                mode: ReadMode::Lease,
+                client: READ_FLAG | 9,
+                seq: READ_FLAG | 4,
+                key: "ctr".into(),
+            },
+        ),
+        (
+            "kv_read_index".into(),
+            KvWire::ReadRequest {
+                mode: ReadMode::ReadIndex,
+                client: READ_FLAG | 9,
+                seq: READ_FLAG | 5,
+                key: String::new(),
+            },
+        ),
+        (
+            "kv_read_log".into(),
+            KvWire::ReadRequest {
+                mode: ReadMode::Log,
+                client: 9,
+                seq: 6,
+                key: "deep/nested key".into(),
             },
         ),
     ]

@@ -7,10 +7,12 @@
 //! by live reconfiguration. Everything binds ephemeral ports, so the
 //! tests are safe to run in parallel with anything.
 
-use kvstore::{KvCommand, KvOp, NodeId, ShardedKvNode};
+use kvstore::{shard_config, KvCommand, KvNode, KvOp, NodeId, ReadMode, ShardedKvNode};
+use net::client::READ_FLAG;
 use net::server::{ClientGateway, KvServer};
 use net::tcp::{TcpConfig, TcpTransport};
 use net::{fetch_shards, KvClient, PipelinedKvClient, ShardedKvClient};
+use omnipaxos::service::ServerConfig;
 use omnipaxos::ServiceMsg;
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
@@ -41,6 +43,10 @@ struct Status {
     /// absent) — the convergence probe.
     sentinel: AtomicI64,
     config_id: AtomicI64,
+    /// Whether shard 0's leader lease is currently valid at this node.
+    lease: AtomicBool,
+    /// Shard 0's decided log length — lets read tests assert log-free.
+    decided: AtomicI64,
 }
 
 struct Node {
@@ -78,13 +84,20 @@ impl Cluster {
     /// override (small values force overload shedding under pipelined
     /// load).
     fn boot_with(members: &[NodeId], joiners: &[NodeId], max_pending: Option<usize>) -> Cluster {
-        Cluster::boot_opts(members, joiners, max_pending, 1)
+        Cluster::boot_opts(members, joiners, max_pending, 1, 0)
     }
 
     /// Boot a sharded cluster: every server runs `shards` Omni-Paxos
     /// groups over its one replication transport.
     fn boot_sharded(members: &[NodeId], shards: usize) -> Cluster {
-        Cluster::boot_opts(members, &[], None, shards)
+        Cluster::boot_opts(members, &[], None, shards, 0)
+    }
+
+    /// Boot with leader leases enabled: `lease_ticks` is in units of the
+    /// 3ms drive-loop tick, so 40 ticks ≈ 120ms of lease per heartbeat
+    /// round — comfortably renewable at the 25ms heartbeat interval.
+    fn boot_leased(members: &[NodeId], shards: usize, lease_ticks: u64) -> Cluster {
+        Cluster::boot_opts(members, &[], None, shards, lease_ticks)
     }
 
     fn boot_opts(
@@ -92,6 +105,7 @@ impl Cluster {
         joiners: &[NodeId],
         max_pending: Option<usize>,
         shards: usize,
+        lease_ticks: u64,
     ) -> Cluster {
         let all: Vec<NodeId> = members.iter().chain(joiners).copied().collect();
         let mut listeners = HashMap::new();
@@ -104,7 +118,32 @@ impl Cluster {
         let stop = Arc::new(AtomicBool::new(false));
         let mut nodes = Vec::new();
         for &pid in &all {
-            let node = if members.contains(&pid) {
+            let node = if lease_ticks > 0 {
+                // Lease-enabled boot mirrors the server binary: one base
+                // config carries the cluster-wide lease contract, shard
+                // configs spread leadership preferences across pids.
+                let mut base = ServerConfig::with(pid);
+                base.lease_ticks = lease_ticks;
+                base.lease_epsilon_ticks = (lease_ticks / 10).max(1);
+                if members.contains(&pid) {
+                    ShardedKvNode::from_shards(
+                        (0..shards as u32)
+                            .map(|s| {
+                                KvNode::with_config(
+                                    shard_config(&base, s, members),
+                                    members.to_vec(),
+                                )
+                            })
+                            .collect(),
+                    )
+                } else {
+                    ShardedKvNode::from_shards(
+                        (0..shards)
+                            .map(|_| KvNode::joiner_with_config(base.clone()))
+                            .collect(),
+                    )
+                }
+            } else if members.contains(&pid) {
                 ShardedKvNode::new(pid, members.to_vec(), shards)
             } else {
                 ShardedKvNode::joiner(pid, shards)
@@ -157,6 +196,13 @@ impl Cluster {
                             );
                             status.config_id.store(
                                 server.node().shard(0).server_ref().config_id() as i64,
+                                Ordering::Relaxed,
+                            );
+                            status
+                                .lease
+                                .store(server.node().lease_valid(0), Ordering::Relaxed);
+                            status.decided.store(
+                                server.node().shard(0).server_ref().decided_len() as i64,
                                 Ordering::Relaxed,
                             );
                             // Open-loop load turns around in microseconds;
@@ -785,4 +831,120 @@ fn reconfiguration_brings_a_fourth_node_in_over_tcp() {
             w[0].0, w[1].0
         );
     }
+}
+
+/// All three read modes answer correctly over real sockets: log reads
+/// go through the log, leader-lease reads serve locally without log
+/// growth, and read-index reads are answered by a follower out of its
+/// own state machine (the pinned client is never given the leader's
+/// address). Mixed open-loop traffic then interleaves pipelined lease
+/// reads with puts and every submission completes exactly once.
+#[test]
+fn read_modes_answer_over_tcp() {
+    let cluster = Cluster::boot_leased(&[1, 2, 3], 1, 40);
+    let leader = cluster.wait_for_leader();
+    let mut client = KvClient::new(901, cluster.client_addrs());
+    client.put("sentinel", 7).expect("seed write");
+    wait(
+        Duration::from_secs(10),
+        "replication of the seed write",
+        || {
+            cluster
+                .nodes
+                .iter()
+                .all(|n| n.status.sentinel.load(Ordering::Relaxed) == 7)
+                .then_some(())
+        },
+    );
+
+    // Baseline: the read-through-log path.
+    assert_eq!(
+        client
+            .read_with_mode("sentinel", ReadMode::Log)
+            .expect("log read"),
+        Some(7)
+    );
+
+    // Once the leader's lease assembles, lease reads serve locally. A
+    // renewal race may downgrade the odd read to the log path, so allow
+    // slack, but 16 reads must not have appended 16 read markers.
+    wait(Duration::from_secs(10), "the leader's lease", || {
+        cluster
+            .node(leader)
+            .status
+            .lease
+            .load(Ordering::Relaxed)
+            .then_some(())
+    });
+    let log_before = cluster.node(leader).status.decided.load(Ordering::Relaxed);
+    for _ in 0..16 {
+        assert_eq!(
+            client
+                .read_with_mode("sentinel", ReadMode::Lease)
+                .expect("lease read"),
+            Some(7)
+        );
+    }
+    let log_after = cluster.node(leader).status.decided.load(Ordering::Relaxed);
+    assert!(
+        log_after - log_before < 16,
+        "lease reads grew the log: {log_before} -> {log_after}"
+    );
+
+    // Read-index serves at the follower itself — no redirect exists in
+    // that path, so a client that only knows one follower still reads.
+    let follower = cluster
+        .nodes
+        .iter()
+        .map(|n| n.pid)
+        .find(|&p| p != leader)
+        .unwrap();
+    let mut pinned = KvClient::new(902, vec![(follower, cluster.node(follower).client_addr)]);
+    assert_eq!(
+        pinned
+            .read_with_mode("sentinel", ReadMode::ReadIndex)
+            .expect("follower read-index"),
+        Some(7)
+    );
+
+    // Pipelined lease reads interleaved with puts: reads live in their
+    // own (READ_FLAG-tagged) identity space, so they must not disturb
+    // the write session's contiguous admission. Seed the key through
+    // the closed-loop client first — open-loop reads are concurrent
+    // with the in-flight puts and may serve before any of them commit,
+    // but a read must never run before a write that COMPLETED earlier.
+    client.put("mixed", -1).expect("seed mixed key");
+    let mut pipe = PipelinedKvClient::new(903, cluster.client_addrs());
+    pipe.read_mode = ReadMode::Lease;
+    let mut reads = HashSet::new();
+    for i in 0..40i64 {
+        pipe.submit(KvOp::Put {
+            key: "mixed".into(),
+            value: i,
+        });
+        reads.insert(pipe.submit_read("mixed"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut writes_done = 0u64;
+    while (!reads.is_empty() || writes_done < 40) && Instant::now() < deadline {
+        for r in pipe
+            .wait(Duration::from_millis(50))
+            .expect("pipelined wait")
+        {
+            if r.seq & READ_FLAG != 0 {
+                assert!(reads.remove(&r.seq), "duplicate or unknown read completion");
+                assert!(r.applied, "read completions are always applied");
+                assert!(r.value.is_some(), "mixed key was written before the read");
+            } else {
+                writes_done += 1;
+            }
+        }
+    }
+    assert!(
+        reads.is_empty() && writes_done == 40,
+        "mixed traffic incomplete: {} reads pending, {writes_done}/40 writes",
+        reads.len()
+    );
+
+    cluster.shutdown();
 }

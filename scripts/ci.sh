@@ -8,11 +8,14 @@
 #   scripts/ci.sh fmt          # one stage
 #   scripts/ci.sh clippy build # several stages, in the given order
 #
-# Stages: fmt clippy build test net chaos shard storage-faults bench perf-smoke
-# Each stage is timed; a summary table prints at the end.
+# Stages: fmt clippy build test net chaos shard reads storage-faults bench perf-smoke
+# Each stage is timed; a summary table prints at the end and is also
+# written to ci-summary.json (stage, status, seconds) for the workflow
+# to publish as a step summary.
 set -eu
 
 SUMMARY=""
+JSON_STAGES=""
 FAILED=0
 
 stage_fmt() {
@@ -68,6 +71,19 @@ stage_shard() {
     sh scripts/check_bench.sh BENCH_PR7.json
 }
 
+stage_reads() {
+    echo "==> [reads] read-mode loopback e2e (log / lease / read-index over TCP)"
+    cargo test -q -p net --test loopback read_modes
+    echo "==> [reads] lease safety unit tests (recovery, reconfig, deposed leader)"
+    cargo test -q -p omnipaxos lease
+    cargo test -q -p kvstore read
+    echo "==> [reads] quick read-chaos sweep (clock skew + partitions, all three modes)"
+    cargo run --release -q -p chaos -- --read-seeds 25
+    echo "==> [reads] 95/5 read-mode sweep (quick) + schema/ratio gate"
+    cargo run --release -q -p bench --bin hotpath -- --reads --quick
+    sh scripts/check_bench.sh BENCH_PR8.json
+}
+
 stage_storage_faults() {
     echo "==> [storage-faults] WAL crash-point torture (every-byte truncation + bit flips)"
     cargo test -q -p omnipaxos --test wal_torture
@@ -118,17 +134,24 @@ run_stage() {
     fi
     SUMMARY="${SUMMARY}$(printf '%-15s %-5s %4ss' "$name" "$status" "$((end - start))")
 "
+    JSON_STAGES="${JSON_STAGES}${JSON_STAGES:+,
+}    {\"stage\": \"$name\", \"status\": \"$status\", \"seconds\": $((end - start))}"
     return "$rc"
+}
+
+write_summary_json() {
+    printf '{\n  "stages": [\n%s\n  ],\n  "failed": %s\n}\n' \
+        "$JSON_STAGES" "$FAILED" > ci-summary.json
 }
 
 STAGES="$*"
 if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
-    STAGES="fmt clippy build test net chaos shard storage-faults bench perf-smoke"
+    STAGES="fmt clippy build test net chaos shard reads storage-faults bench perf-smoke"
 fi
 
 for s in $STAGES; do
     case "$s" in
-        fmt|clippy|build|test|net|chaos|shard|bench)
+        fmt|clippy|build|test|net|chaos|shard|reads|bench)
             # Fail fast, but still print the summary table below.
             if ! run_stage "$s"; then
                 break
@@ -145,12 +168,13 @@ for s in $STAGES; do
             fi
             ;;
         *)
-            echo "unknown stage: $s (stages: fmt clippy build test net chaos shard storage-faults bench perf-smoke)" >&2
+            echo "unknown stage: $s (stages: fmt clippy build test net chaos shard reads storage-faults bench perf-smoke)" >&2
             exit 2
             ;;
     esac
 done
 
+write_summary_json
 echo ""
 echo "stage           status  time"
 echo "----------------------------"
