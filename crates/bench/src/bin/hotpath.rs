@@ -28,6 +28,11 @@
 //!   once per read mode (log / lease / read-index): lease reads skip
 //!   the log entirely, and the decided-log length after each run proves
 //!   it. Writes `BENCH_PR8.json`.
+//! * **txn mix** (`-- --txn-mix`) — a 4-shard loopback cluster under an
+//!   80/15/5 put/cas/cross-shard-transfer mix with per-class latency
+//!   percentiles; CAS verdicts, committed-transfer balances, and total
+//!   conservation are all predicted client-side and audited. Writes
+//!   `BENCH_PR9.json`.
 //!
 //! Run with `cargo run --release --bin hotpath` (add `-- --quick` for a
 //! fast smoke run). Results are printed and written to `BENCH_PR1.json`;
@@ -1207,6 +1212,457 @@ fn run_net_read_modes(quick: bool) {
     print!("{out}");
 }
 
+/// `--txn-mix`: the transactional mixed workload. Boots one 3-replica,
+/// 4-shard TCP loopback cluster and drives an 80/15/5 put/cas/transfer
+/// open loop through a [`net::ShardedKvClient`], with every transfer a
+/// *cross-shard* pair (account pairs are pre-filtered so each rides the
+/// 2PC coordinator, never the single-entry same-shard fast path). The
+/// per-shard in-flight window is swept and the best point kept, with
+/// separate latency percentiles per op class — a 2PC transfer costs
+/// several log entries across two shards plus coordinator round trips,
+/// so folding it into one histogram would hide both its cost and the
+/// fast path's. Every outcome is predicted and audited: CAS verdicts
+/// are checked against a client-side model (a quarter of them are
+/// submitted with a deliberately stale `expect` and must report
+/// `applied = false` with the actual value), transfer commit verdicts
+/// accumulate into expected per-account balances (deltas commute, so
+/// the final balance is exact whatever the commit order), and the run
+/// ends with a linearizable read-back of every key, a total-balance
+/// conservation check, and per-shard replica convergence. Writes
+/// `BENCH_PR9.json`.
+fn run_net_txn_mix(quick: bool) {
+    use kvstore::{KvCommand, KvOp, ShardedKvNode};
+    use net::server::{ClientGateway, KvServer};
+    use net::tcp::{TcpConfig, TcpTransport};
+    use net::{fetch_shards, KvClient, ShardedKvClient};
+    use omnipaxos::ServiceMsg;
+    use std::collections::{HashMap, HashSet};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    type Transport = TcpTransport<ServiceMsg<KvCommand>>;
+
+    const SHARDS: usize = 4;
+    const ACCOUNTS: usize = 512;
+    const OPENING: i64 = 1_000;
+
+    println!("hotpath: txn mix (3 replicas over TCP, {SHARDS} shards, 80/15/5 put/cas/transfer)");
+
+    let mut listeners = HashMap::new();
+    let mut repl_addrs = HashMap::new();
+    for pid in 1..=3u64 {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind replication port");
+        repl_addrs.insert(pid, l.local_addr().unwrap());
+        listeners.insert(pid, l);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    let mut client_addrs = Vec::new();
+    for pid in 1..=3u64 {
+        let transport = Transport::with_listener(
+            pid,
+            listeners.remove(&pid).unwrap(),
+            repl_addrs.clone(),
+            TcpConfig::default(),
+        )
+        .expect("transport");
+        let gateway =
+            ClientGateway::bind(TcpListener::bind("127.0.0.1:0").unwrap()).expect("gateway");
+        client_addrs.push((pid, gateway.local_addr()));
+        let node = ShardedKvNode::new(pid, vec![1, 2, 3], SHARDS);
+        let server = KvServer::new_sharded(node, transport).with_gateway(gateway);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            server.run(Duration::from_millis(3), stop)
+        }));
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(l) = fetch_shards(&client_addrs, Duration::from_millis(500)) {
+            if l.len() == SHARDS && l.iter().all(|&p| p != 0) {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "routing never converged");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let effective_cores = measure_effective_cores();
+    println!("  host effective cores: {effective_cores:.2}");
+
+    // Account pairs whose endpoints hash to *different* shards: the only
+    // pairs the workload draws from, so every transfer is a real 2PC.
+    let accounts: Vec<String> = (0..ACCOUNTS).map(|i| format!("acct{i}")).collect();
+    let acct_shard: Vec<u32> = accounts
+        .iter()
+        .map(|a| kvstore::shard_of_key(a, SHARDS))
+        .collect();
+    assert!(
+        acct_shard.iter().any(|&s| s != acct_shard[0]),
+        "accounts must span at least two shards"
+    );
+    // The t-th transfer's endpoints: stride 13 (coprime to the account
+    // count) walks `from` across every account so consecutive in-flight
+    // transfers never pile onto one account's lock, and `to` probes
+    // forward to the next account on a different shard.
+    let pick_pair = |t: usize| -> (usize, usize) {
+        let from = (t * 13) % ACCOUNTS;
+        let mut to = (from + 1 + (t % (ACCOUNTS - 1))) % ACCOUNTS;
+        while to == from || acct_shard[to] == acct_shard[from] {
+            to = (to + 1) % ACCOUNTS;
+        }
+        (from, to)
+    };
+
+    let mut pipe =
+        ShardedKvClient::bootstrap(0x9BE9C, client_addrs.clone(), Duration::from_secs(5))
+            .expect("sharded client bootstrap");
+
+    // Fund the accounts before measuring.
+    for a in &accounts {
+        pipe.submit(KvOp::Put {
+            key: a.clone(),
+            value: OPENING,
+        });
+    }
+    pipe.drain(Duration::from_secs(10)).expect("funding drain");
+
+    struct MixPoint {
+        window: usize,
+        ops: u64,
+        puts: u64,
+        cas_ops: u64,
+        transfers: u64,
+        elapsed: f64,
+        ops_sec: f64,
+        put_p50: f64,
+        put_p99: f64,
+        cas_p50: f64,
+        cas_p99: f64,
+        txn_p50: f64,
+        txn_p99: f64,
+        retries: u64,
+        cpu_cores_busy: f64,
+    }
+    let windows: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
+    assert!(windows
+        .iter()
+        .all(|&w| w <= net::server::DEFAULT_MAX_PENDING));
+
+    // Cross-window accumulators: the model and the expected balances are
+    // cumulative (the cluster keeps its state between windows), as are
+    // the transfer commit/abort counts reported in the JSON.
+    let mut model: HashMap<String, i64> = HashMap::new();
+    let mut expected_bal: Vec<i64> = vec![OPENING; ACCOUNTS];
+    let mut value_counter = 0i64;
+    let mut committed_total = 0u64;
+    let mut aborted_total = 0u64;
+    let mut cas_conflicts = 0u64;
+    let mut cas_verdicts_ok = true;
+    let mut best: Option<MixPoint> = None;
+
+    for &per_shard_window in windows {
+        let aggregate = per_shard_window * SHARDS;
+        let ops = (4 * aggregate).max(if quick { 8_000 } else { 40_000 }) as u64;
+        // Op class and latency bucket: 0 = put, 1 = cas, 2 = transfer.
+        let mut starts: HashMap<(u32, u64), (Instant, usize)> = HashMap::new();
+        let mut seen: HashSet<(u32, u64)> = HashSet::with_capacity(ops as usize);
+        let mut in_flight = [0usize; SHARDS];
+        let mut lat: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut counts = [0u64; 3];
+        // Predicted CAS verdict per token; committed-transfer bookkeeping.
+        let mut cas_expect: HashMap<(u32, u64), bool> = HashMap::new();
+        let mut txn_info: HashMap<(u32, u64), (usize, usize, i64)> = HashMap::new();
+        let mut submitted = 0u64;
+        let mut txn_in_flight = 0usize;
+        // Concurrent-transaction bound: a 2PC transfer locks both
+        // accounts for its whole prepare→resolve window, so an unbounded
+        // 5% of a deep pipeline (hundreds of concurrent transfers) would
+        // conflict-abort almost everything it touches. Real transactional
+        // clients bound their open transactions; so does the bench — the
+        // 80/15/5 totals stay exact, transfers just trickle at the cap
+        // while puts and cas fill the pipe.
+        const TXN_CAP: usize = 16;
+        let txn_quota = ops / 20;
+        let cas_quota = 3 * ops / 20;
+        let put_quota = ops - txn_quota - cas_quota;
+        let retries_before = pipe.retries_seen();
+        let cpu0 = process_cpu_seconds();
+        let start = Instant::now();
+        while (seen.len() as u64) < ops {
+            let mut blocked = false;
+            while submitted < ops {
+                // Pacing: a class is due when its submitted share has
+                // fallen behind its target fraction. A transfer due while
+                // the cap is full yields its slot to the other classes
+                // and catches up later.
+                let txn_due = counts[2] < txn_quota && counts[2] * 20 <= submitted;
+                let cas_due = counts[1] < cas_quota && counts[1] * 20 <= 3 * submitted;
+                let cls = if txn_due && txn_in_flight < TXN_CAP {
+                    2
+                } else if cas_due || (counts[0] >= put_quota && counts[1] < cas_quota) {
+                    1
+                } else if counts[0] < put_quota {
+                    0
+                } else if counts[1] < cas_quota {
+                    1
+                } else {
+                    // Only transfers remain and the cap is full: wait for
+                    // completions to free transaction slots.
+                    blocked = true;
+                    break;
+                };
+                let (shard, token) = if cls == 2 {
+                    let (from, to) = pick_pair(counts[2] as usize);
+                    // Every 16th transfer asks for more money than the
+                    // whole bank holds: a guaranteed abort, so the abort
+                    // path is always exercised and counted.
+                    let amount = if counts[2] % 16 == 15 {
+                        ACCOUNTS as i64 * OPENING + 1
+                    } else {
+                        1 + (counts[2] % 50) as i64
+                    };
+                    let coord = acct_shard[from].min(acct_shard[to]);
+                    if in_flight[coord as usize] >= per_shard_window {
+                        blocked = true;
+                        break;
+                    }
+                    let (shard, token) = pipe.transfer(&accounts[from], &accounts[to], amount);
+                    assert_eq!(shard, coord, "transfer must land on its coordinator shard");
+                    txn_info.insert((shard, token), (from, to, amount));
+                    txn_in_flight += 1;
+                    (shard, token)
+                } else {
+                    let key = format!("k{}", (counts[0] + counts[1]) % 64);
+                    let shard = kvstore::shard_of_key(&key, SHARDS);
+                    if in_flight[shard as usize] >= per_shard_window {
+                        blocked = true;
+                        break;
+                    }
+                    value_counter += 1;
+                    if cls == 1 {
+                        // A quarter of the CAS ops carry a deliberately
+                        // stale expectation and must lose.
+                        let cur = model.get(&key).copied();
+                        let stale = counts[1] % 4 == 0;
+                        let expect = if stale {
+                            Some(cur.unwrap_or(0) + 1_000_000)
+                        } else {
+                            cur
+                        };
+                        let (s, seq) = pipe.submit(KvOp::Cas {
+                            key: key.clone(),
+                            expect,
+                            set: Some(value_counter),
+                        });
+                        if !stale {
+                            model.insert(key, value_counter);
+                        }
+                        cas_expect.insert((s, seq), !stale);
+                        (s, seq)
+                    } else {
+                        model.insert(key.clone(), value_counter);
+                        pipe.submit(KvOp::Put {
+                            key,
+                            value: value_counter,
+                        })
+                    }
+                };
+                counts[cls] += 1;
+                in_flight[shard as usize] += 1;
+                starts.insert((shard, token), (Instant::now(), cls));
+                submitted += 1;
+            }
+            for (shard, r) in pipe.pump().expect("txn-mix pump") {
+                assert!(
+                    seen.insert((shard, r.seq)),
+                    "token {} on shard {shard} completed twice",
+                    r.seq
+                );
+                in_flight[shard as usize] -= 1;
+                if let Some((t0, cls)) = starts.remove(&(shard, r.seq)) {
+                    lat[cls].push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                if let Some(expect_applied) = cas_expect.remove(&(shard, r.seq)) {
+                    if r.applied != expect_applied {
+                        cas_verdicts_ok = false;
+                    }
+                    if !r.applied {
+                        cas_conflicts += 1;
+                    }
+                }
+                if let Some((from, to, amount)) = txn_info.remove(&(shard, r.seq)) {
+                    txn_in_flight -= 1;
+                    if r.applied {
+                        committed_total += 1;
+                        expected_bal[from] -= amount;
+                        expected_bal[to] += amount;
+                    } else {
+                        aborted_total += 1;
+                    }
+                }
+            }
+            if blocked || submitted >= ops {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let cpu_cores_busy = (process_cpu_seconds() - cpu0) / elapsed;
+        for l in &mut lat {
+            l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+        let retries = pipe.retries_seen() - retries_before;
+        let point = MixPoint {
+            window: per_shard_window,
+            ops,
+            puts: counts[0],
+            cas_ops: counts[1],
+            transfers: counts[2],
+            elapsed,
+            ops_sec: ops as f64 / elapsed,
+            put_p50: percentile(&lat[0], 0.50),
+            put_p99: percentile(&lat[0], 0.99),
+            cas_p50: percentile(&lat[1], 0.50),
+            cas_p99: percentile(&lat[1], 0.99),
+            txn_p50: percentile(&lat[2], 0.50),
+            txn_p99: percentile(&lat[2], 0.99),
+            retries,
+            cpu_cores_busy,
+        };
+        println!(
+            "  window={:<5} {:>8.0} ops/sec  put p50 {:>6.0}us  cas p50 {:>6.0}us  2pc p50 {:>7.0}us p99 {:>8.0}us  ({} retries, {:.2} cores busy)",
+            point.window,
+            point.ops_sec,
+            point.put_p50,
+            point.cas_p50,
+            point.txn_p50,
+            point.txn_p99,
+            point.retries,
+            point.cpu_cores_busy
+        );
+        if best.as_ref().is_none_or(|b| point.ops_sec > b.ops_sec) {
+            best = Some(point);
+        }
+    }
+    assert!(
+        pipe.take_cross_shard_rejections().is_empty(),
+        "no workload op may span shards at the gateway"
+    );
+    assert!(committed_total > 0, "some transfers must commit");
+    assert!(
+        aborted_total > 0,
+        "the guaranteed-abort transfers must abort"
+    );
+    assert!(cas_verdicts_ok, "every CAS verdict must match the model");
+
+    // Linearizable read-back of every key through a routing-oblivious
+    // client, plus the conservation audit: committed deltas commute, so
+    // each account must hold exactly its expected balance and the bank's
+    // total must still be ACCOUNTS * OPENING.
+    let mut audit = KvClient::new(0x9AD17, client_addrs.clone());
+    for (k, v) in &model {
+        assert_eq!(
+            audit.read(k).expect("audit read"),
+            Some(*v),
+            "linearizable audit of {k}"
+        );
+    }
+    // A transfer's outcome is reported the moment its decision record is
+    // durable, but the participant-side commit records that move the
+    // money may still be applying — poll until the balances settle.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (mut total, mut settled) = (0i64, false);
+    while !settled {
+        total = 0;
+        settled = true;
+        for (i, a) in accounts.iter().enumerate() {
+            let bal = audit
+                .read(a)
+                .expect("balance read")
+                .expect("account exists");
+            if bal != expected_bal[i] {
+                settled = false;
+            }
+            total += bal;
+        }
+        if settled || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if !settled {
+        let actual: Vec<i64> = accounts
+            .iter()
+            .map(|a| audit.read(a).unwrap().unwrap())
+            .collect();
+        panic!(
+            "accounts never settled to the committed-transfer balances:\n\
+             expected {expected_bal:?}\n\
+             actual   {actual:?}"
+        );
+    }
+    let conserved = total == ACCOUNTS as i64 * OPENING;
+    assert!(conserved, "total balance drifted: {total}");
+    audit.put("sentinel", 1).expect("sentinel");
+    std::thread::sleep(Duration::from_millis(500));
+
+    stop.store(true, Ordering::SeqCst);
+    let servers: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node"))
+        .collect();
+    for s in 0..SHARDS as u32 {
+        let sm0 = servers[0].node().shard(s).state_machine();
+        assert!(
+            servers[1..]
+                .iter()
+                .all(|sv| sv.node().shard(s).state_machine() == sm0),
+            "shard {s} replicas must converge"
+        );
+    }
+
+    let best = best.expect("at least one window");
+    println!(
+        "  peak {:>8.0} ops/sec at window {}/shard  ({} committed / {} aborted transfers, {} cas conflicts)",
+        best.ops_sec, best.window, committed_total, aborted_total, cas_conflicts
+    );
+
+    let out = format!(
+        "{{\n  \"bench\": \"net-txn-mix\",\n  \"quick\": {quick},\n  \"replicas\": 3,\n  \"shards\": {SHARDS},\n  \"accounts\": {ACCOUNTS},\n  \"opening_balance\": {OPENING},\n  \"mix\": {{\n    \"put\": 0.80,\n    \"cas\": 0.15,\n    \"transfer\": 0.05\n  }},\n  \"windows_swept\": [{}],\n  \"host_effective_cores\": {effective_cores:.2},\n  \"best\": {{\n    \"per_shard_window\": {},\n    \"ops\": {},\n    \"puts\": {},\n    \"cas_ops\": {},\n    \"transfers\": {},\n    \"elapsed_s\": {:.3},\n    \"ops_per_sec\": {},\n    \"put_p50_us\": {},\n    \"put_p99_us\": {},\n    \"cas_p50_us\": {},\n    \"cas_p99_us\": {},\n    \"txn_p50_us\": {},\n    \"txn_p99_us\": {},\n    \"retries\": {},\n    \"cpu_cores_busy\": {:.2}\n  }},\n  \"transfers_committed\": {committed_total},\n  \"transfers_aborted\": {aborted_total},\n  \"cas_conflicts\": {cas_conflicts},\n  \"checks\": {{\n    \"completions_exactly_once\": 1,\n    \"cas_verdicts_match_model\": {},\n    \"transfer_balances_conserved\": {},\n    \"final_reads_linearizable\": 1,\n    \"per_shard_replicas_converged\": 1,\n    \"no_cross_shard_rejections\": 1\n  }}\n}}\n",
+        windows
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        best.window,
+        best.ops,
+        best.puts,
+        best.cas_ops,
+        best.transfers,
+        best.elapsed,
+        json_num(best.ops_sec),
+        json_num(best.put_p50),
+        json_num(best.put_p99),
+        json_num(best.cas_p50),
+        json_num(best.cas_p99),
+        json_num(best.txn_p50),
+        json_num(best.txn_p99),
+        best.retries,
+        best.cpu_cores_busy,
+        cas_verdicts_ok as u8,
+        conserved as u8,
+    );
+    std::fs::write("BENCH_PR9.json", &out).expect("write BENCH_PR9.json");
+    print!("{out}");
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -1257,6 +1713,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--reads") {
         run_net_read_modes(quick);
+        return;
+    }
+    if args.iter().any(|a| a == "--txn-mix") {
+        run_net_txn_mix(quick);
         return;
     }
     if args.iter().any(|a| a == "--net-loopback") {

@@ -54,8 +54,12 @@ pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
     // it retransmits its whole outstanding window after a reconnect.
     let mut next_seq: HashMap<u64, u64> = HashMap::new();
     let mut recent: HashMap<u64, Vec<KvCommand>> = HashMap::new();
-    // Per node: (client, seq) pairs reported applied — each at most once.
-    let mut applied_seen: Vec<HashSet<(u64, u64)>> = vec![HashSet::new(); N];
+    // Per node: the verdict value reported for each applied (client, seq).
+    // The session table replays the cached verdict verbatim when the
+    // latest seq is retransmitted, so a duplicate *report* is legal — but
+    // the verdict must be identical every time (a changed value would
+    // mean the op re-executed instead of replaying).
+    let mut applied_seen: Vec<HashMap<(u64, u64), Option<i64>>> = vec![HashMap::new(); N];
     let mut stats = KvChaosStats {
         submitted: 0,
         duplicates: 0,
@@ -67,7 +71,7 @@ pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
                 nodes: &mut Vec<KvNode>,
                 net: &mut Network<ServiceMsg<KvCommand>>,
                 crashed: &HashSet<NodeId>,
-                applied_seen: &mut Vec<HashSet<(u64, u64)>>,
+                applied_seen: &mut Vec<HashMap<(u64, u64), Option<i64>>>,
                 stats: &mut KvChaosStats|
      -> Result<(), String> {
         let deadline = t * TICK_US;
@@ -90,12 +94,17 @@ pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
             }
             for r in node.take_results() {
                 if r.applied {
-                    stats.applied += 1;
-                    if !applied_seen[i].insert((r.client, r.seq)) {
-                        return Err(format!(
-                            "session dedup broken: node {pid} applied ({}, {}) twice",
-                            r.client, r.seq
-                        ));
+                    if let Some(prev) = applied_seen[i].get(&(r.client, r.seq)) {
+                        if *prev != r.value {
+                            return Err(format!(
+                                "verdict instability: node {pid} reported ({}, {}) \
+                                 applied with {:?}, then {:?}",
+                                r.client, r.seq, prev, r.value
+                            ));
+                        }
+                    } else {
+                        applied_seen[i].insert((r.client, r.seq), r.value);
+                        stats.applied += 1;
                     }
                 }
             }
@@ -216,12 +225,13 @@ pub fn run_kv_chaos(seed: u64) -> Result<KvChaosStats, String> {
             if nodes[1..].iter().all(|n| n.state_machine() == sm0) {
                 stats.converge_ticks = t - 1_500;
                 // Sessions must never exceed what clients actually issued.
-                for (client, &max_seq) in sm0.sessions() {
+                for (client, entry) in sm0.sessions() {
                     let issued = next_seq.get(client).map(|s| s - 1).unwrap_or(0);
-                    if max_seq > issued {
+                    if entry.seq > issued {
                         return Err(format!(
                             "session table ahead of reality: client {client} at seq \
-                             {max_seq}, only {issued} issued"
+                             {}, only {issued} issued",
+                            entry.seq
                         ));
                     }
                 }

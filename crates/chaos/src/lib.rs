@@ -60,6 +60,7 @@ pub mod read_chaos;
 pub mod schedule;
 pub mod shard_chaos;
 pub mod trace;
+pub mod txn_chaos;
 
 pub use buggy::BuggyOmniReplica;
 pub use harness::{run, run_schedule, Bug, ChaosConfig, ChaosReport, Violation};
@@ -69,6 +70,7 @@ pub use read_chaos::{run_read_chaos, ReadChaosStats};
 pub use schedule::{generate, generate_disk, Fault, ScheduledFault};
 pub use shard_chaos::{run_shard_chaos, ShardChaosStats};
 pub use trace::{fingerprint, render_report, TraceEvent};
+pub use txn_chaos::{run_txn_chaos, TxnChaosStats};
 
 /// Server identifier, shared with the rest of the workspace.
 pub type NodeId = cluster::NodeId;

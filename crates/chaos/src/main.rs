@@ -8,12 +8,14 @@
 //! chaos --out chaos-failures        # also write failing traces to files
 //! chaos --disk --seeds 500          # sweep with the disk-fault profile
 //! chaos --disk-seeds 50             # extra disk-fault sweep after the main one
+//! chaos --txn-seeds 300             # cross-shard 2PC sweep (nightly depth)
 //! ```
 //!
 //! Exit status is 0 iff no run violated an invariant.
 
 use chaos::{
-    minimize, render_report, run, run_kv_chaos, run_read_chaos, run_shard_chaos, Bug, ChaosConfig,
+    minimize, render_report, run, run_kv_chaos, run_read_chaos, run_shard_chaos, run_txn_chaos,
+    Bug, ChaosConfig,
 };
 use cluster::ProtocolKind;
 use kvstore::ReadMode;
@@ -40,6 +42,9 @@ struct Opts {
     bug: bool,
     kv_seeds: u64,
     shard_seeds: u64,
+    /// Cross-shard transaction sweep: bank transfers over 2PC under
+    /// partitions, crashes, disk faults, and a mid-traffic shard move.
+    txn_seeds: u64,
     /// Read-mode staleness sweep: each seed runs once per read mode
     /// (log, lease, read-index) under clock skew + partitions.
     read_seeds: u64,
@@ -56,7 +61,7 @@ fn usage() -> ! {
         "usage: chaos [--quick] [--seeds N] [--base-seed S] [--seed S] \
          [--protocol omni|omni-lm|raft|raft-pvcq|multipaxos|vr] [--nodes N] \
          [--minimize] [--out DIR] [--bug] [--kv-seeds N] [--shard-seeds N] \
-         [--read-seeds N] [--disk] [--disk-seeds N]"
+         [--txn-seeds N] [--read-seeds N] [--disk] [--disk-seeds N]"
     );
     std::process::exit(2);
 }
@@ -89,6 +94,7 @@ fn parse_opts() -> Opts {
         bug: false,
         kv_seeds: 0,
         shard_seeds: 0,
+        txn_seeds: 0,
         read_seeds: 0,
         disk: false,
         disk_seeds: 0,
@@ -116,6 +122,7 @@ fn parse_opts() -> Opts {
             "--bug" => opts.bug = true,
             "--kv-seeds" => opts.kv_seeds = next_num(&mut args, "--kv-seeds"),
             "--shard-seeds" => opts.shard_seeds = next_num(&mut args, "--shard-seeds"),
+            "--txn-seeds" => opts.txn_seeds = next_num(&mut args, "--txn-seeds"),
             "--read-seeds" => opts.read_seeds = next_num(&mut args, "--read-seeds"),
             "--disk" => opts.disk = true,
             "--disk-seeds" => opts.disk_seeds = next_num(&mut args, "--disk-seeds"),
@@ -138,6 +145,9 @@ fn parse_opts() -> Opts {
         if opts.shard_seeds == 0 {
             opts.shard_seeds = 4;
         }
+        if opts.txn_seeds == 0 {
+            opts.txn_seeds = 4;
+        }
         if opts.read_seeds == 0 {
             opts.read_seeds = 4;
         }
@@ -149,6 +159,7 @@ fn parse_opts() -> Opts {
         && opts.single_seed.is_none()
         && opts.kv_seeds == 0
         && opts.shard_seeds == 0
+        && opts.txn_seeds == 0
         && opts.read_seeds == 0
         && opts.disk_seeds == 0
     {
@@ -382,6 +393,57 @@ fn main() {
             opts.shard_seeds,
             shard_failures,
             moves,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    if opts.txn_seeds > 0 {
+        let t0 = Instant::now();
+        let mut txn_failures = 0u64;
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        for seed in opts.base_seed..opts.base_seed + opts.txn_seeds {
+            total_runs += 1;
+            match run_txn_chaos(seed) {
+                Ok(stats) => {
+                    committed += stats.committed;
+                    aborted += stats.aborted;
+                    if opts.txn_seeds <= 8 {
+                        println!(
+                            "txn chaos seed {seed}: ok ({} txns, {} cross-shard, {} \
+                             committed, {} aborted, {} disk faults{}, converged in {} ticks)",
+                            stats.submitted,
+                            stats.cross_shard,
+                            stats.committed,
+                            stats.aborted,
+                            stats.disk_faults,
+                            match stats.migrated_shard {
+                                Some(s) => format!(", shard {s} migrated"),
+                                None => String::new(),
+                            },
+                            stats.converge_ticks
+                        );
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    txn_failures += 1;
+                    let rendered = format!("txn chaos seed {seed} FAILED: {e}");
+                    eprintln!("{rendered}");
+                    if let Some(dir) = &opts.out {
+                        let path = dir.join(format!("txn-seed{seed}.txt"));
+                        let _ = std::fs::write(&path, &rendered);
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<34} {:>5} runs  {:>3} failed  {:>10} committed / {} aborted  {:>6.1}s",
+            "cross-shard txns (2pc)",
+            opts.txn_seeds,
+            txn_failures,
+            committed,
+            aborted,
             t0.elapsed().as_secs_f64()
         );
     }

@@ -26,6 +26,12 @@ use simulator::{Network, NetworkConfig, Rng};
 use std::collections::{HashMap, HashSet};
 
 const TICK_US: u64 = 1_000;
+
+/// Per-node verdict history: (shard, client, seq) -> the value the first
+/// applied report carried. A duplicate applied report is legal only if
+/// its value is identical (verdict consistency, not strict exactly-once:
+/// txn records legitimately re-report their recorded outcome).
+type VerdictMap = HashMap<(u32, u64, u64), Option<i64>>;
 /// Voting members; node `JOINER` idles until a shard is moved onto it.
 const N: usize = 3;
 const JOINER: NodeId = 4;
@@ -68,8 +74,11 @@ pub fn run_shard_chaos(seed: u64) -> Result<ShardChaosStats, String> {
     // session tables, so seqs restart per shard like the sharded client's.
     let mut next_seq: HashMap<(u64, u32), u64> = HashMap::new();
     let mut recent: HashMap<(u64, u32), Vec<KvCommand>> = HashMap::new();
-    // Per node: (shard, client, seq) triples reported applied.
-    let mut applied_seen: Vec<HashSet<(u32, u64, u64)>> = vec![HashSet::new(); N + 1];
+    // Per node: the verdict value reported for each applied (shard,
+    // client, seq). A duplicate report of the latest seq replays the
+    // cached verdict and is legal; a *different* verdict means the op
+    // re-executed instead of replaying.
+    let mut applied_seen: Vec<VerdictMap> = vec![HashMap::new(); N + 1];
     let mut stats = ShardChaosStats {
         submitted: 0,
         duplicates: 0,
@@ -90,7 +99,7 @@ pub fn run_shard_chaos(seed: u64) -> Result<ShardChaosStats, String> {
                 nodes: &mut Vec<ShardedKvNode>,
                 net: &mut Network<ServiceMsg<KvCommand>>,
                 crashed: &HashSet<NodeId>,
-                applied_seen: &mut Vec<HashSet<(u32, u64, u64)>>,
+                applied_seen: &mut Vec<VerdictMap>,
                 stats: &mut ShardChaosStats|
      -> Result<(), String> {
         let deadline = t * TICK_US;
@@ -113,13 +122,17 @@ pub fn run_shard_chaos(seed: u64) -> Result<ShardChaosStats, String> {
             }
             for (shard, r) in node.take_results() {
                 if r.applied {
-                    stats.applied += 1;
-                    if !applied_seen[i].insert((shard, r.client, r.seq)) {
-                        return Err(format!(
-                            "per-shard dedup broken: node {pid} applied shard {shard} \
-                             ({}, {}) twice",
-                            r.client, r.seq
-                        ));
+                    if let Some(prev) = applied_seen[i].get(&(shard, r.client, r.seq)) {
+                        if *prev != r.value {
+                            return Err(format!(
+                                "verdict instability: node {pid} shard {shard} reported \
+                                 ({}, {}) applied with {:?}, then {:?}",
+                                r.client, r.seq, prev, r.value
+                            ));
+                        }
+                    } else {
+                        applied_seen[i].insert((shard, r.client, r.seq), r.value);
+                        stats.applied += 1;
                     }
                 }
             }
@@ -296,13 +309,14 @@ pub fn run_shard_chaos(seed: u64) -> Result<ShardChaosStats, String> {
     // Session tables never run ahead of what clients issued on that shard.
     for s in 0..SHARDS as u32 {
         for n in &nodes {
-            for (client, &max_seq) in n.shard(s).state_machine().sessions() {
+            for (client, entry) in n.shard(s).state_machine().sessions() {
                 let issued = next_seq.get(&(*client, s)).map(|q| q - 1).unwrap_or(0);
-                if max_seq > issued {
+                if entry.seq > issued {
                     return Err(format!(
                         "shard {s} session table ahead of reality on node {}: client \
-                         {client} at seq {max_seq}, only {issued} issued",
-                        n.pid()
+                         {client} at seq {}, only {issued} issued",
+                        n.pid(),
+                        entry.seq
                     ));
                 }
             }
@@ -376,7 +390,11 @@ pub fn run_shard_chaos(seed: u64) -> Result<ShardChaosStats, String> {
                             p,
                             n.read_local(key),
                             n.shard(*s).server_ref().decided_len(),
-                            n.shard(*s).state_machine().sessions().get(&9).copied(),
+                            n.shard(*s)
+                                .state_machine()
+                                .sessions()
+                                .get(&9)
+                                .map(|e| e.seq),
                         )
                     })
                     .collect();

@@ -302,3 +302,28 @@ fn kv_store_sessions_survive_chaos() {
     assert!(stats.applied > 0, "the run must actually apply commands");
     assert!(stats.duplicates > 0, "the run must actually inject retries");
 }
+
+/// Cross-shard 2PC bank transfers survive chaos: balances match the
+/// replicated decision log, money is conserved, and no prepare lock
+/// outlives the heal. (The nightly job runs the 300-seed version; seed
+/// 2 also migrates a shard mid-traffic.)
+#[test]
+fn cross_shard_txns_survive_chaos() {
+    for seed in [1, 2] {
+        let stats = chaos::run_txn_chaos(seed).expect("txn chaos must pass");
+        assert!(stats.committed > 0, "seed {seed}: some transfers commit");
+        assert!(stats.aborted > 0, "seed {seed}: some transfers abort");
+        assert!(
+            stats.cross_shard > 0,
+            "seed {seed}: workload must span shards"
+        );
+    }
+}
+
+/// Txn chaos runs are deterministic: same seed, same statistics.
+#[test]
+fn txn_chaos_is_deterministic() {
+    let a = chaos::run_txn_chaos(5).expect("seed 5 passes");
+    let b = chaos::run_txn_chaos(5).expect("seed 5 passes");
+    assert_eq!(a, b);
+}

@@ -17,11 +17,15 @@
 
 pub mod shard;
 pub mod store;
+pub mod txn;
 pub mod wire;
 
-pub use shard::{shard_config, shard_of_key, shard_of_op, ShardedKvNode};
-pub use store::{KvCommand, KvNode, KvOp, KvResult, KvStateMachine, ReadMode};
-pub use wire::KvWire;
+pub use shard::{op_spans_shards, shard_config, shard_of_key, shard_of_op, ShardedKvNode};
+pub use store::{
+    KvCommand, KvNode, KvOp, KvResult, KvStateMachine, ReadMode, TxnGuard, TxnId, TxnSpec, WriteOp,
+};
+pub use txn::{TxnCoordinator, TxnOutcome, TXN_CLIENT_FLAG};
+pub use wire::{KvWire, TxnState};
 
 /// Server identifier, shared with the `omnipaxos` crate.
 pub type NodeId = omnipaxos::NodeId;

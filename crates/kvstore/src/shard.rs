@@ -12,9 +12,12 @@
 //!
 //! Routing is deterministic: [`shard_of_key`] is FNV-1a over the key
 //! modulo the shard count, computed identically by clients and gateways.
-//! Multi-key operations ([`KvOp::Transfer`]) route by their first key and
-//! are atomic only within a shard — cross-shard transactions are out of
-//! scope, matching the usual sharded-store contract.
+//! Multi-key operations ([`KvOp::Transfer`], [`KvOp::WriteBatch`]) are
+//! atomic only within a shard: the gateway checks [`op_spans_shards`] and
+//! rejects spanning ops with a typed error instead of silently routing by
+//! first key — the client reissues them as cross-shard transactions
+//! (`crate::txn`), whose prepare/commit/abort records are addressed to
+//! explicit participant shards by the coordinator.
 //!
 //! Leadership is *spread*: shard `s` raises the ballot priority of node
 //! `nodes[s % nodes.len()]`, so with enough shards every replica leads
@@ -40,16 +43,59 @@ pub fn shard_of_key(key: &str, n_shards: usize) -> u32 {
     (h % n_shards as u64) as u32
 }
 
-/// Which shard executes `op`. Multi-key ops route by their first key.
+/// Which shard executes `op`. Multi-key ops route by their first key —
+/// valid only when [`op_spans_shards`] is false (the gateway enforces
+/// this). Transaction records are addressed to explicit shards by the
+/// coordinator and never key-routed; their fallback here (by transaction
+/// id) only keeps the function total.
 pub fn shard_of_op(op: &KvOp, n_shards: usize) -> u32 {
     let key = match op {
         KvOp::Put { key, .. }
         | KvOp::Delete { key }
         | KvOp::Add { key, .. }
-        | KvOp::Read { key } => key,
+        | KvOp::Read { key }
+        | KvOp::Cas { key, .. } => key,
         KvOp::Transfer { from, .. } => from,
+        KvOp::WriteBatch { writes } => match writes.first() {
+            Some(w) => w.key(),
+            None => return 0,
+        },
+        KvOp::TxnPrepare { txn, .. }
+        | KvOp::TxnDecide { txn, .. }
+        | KvOp::TxnCommit { txn }
+        | KvOp::TxnAbort { txn } => return (txn.0.wrapping_add(txn.1) % n_shards as u64) as u32,
     };
     shard_of_key(key, n_shards)
+}
+
+/// Does `op` touch keys owned by more than one shard? Such an op cannot
+/// be one shard's log entry: the gateway answers it with the typed
+/// `KvWire::CrossShard` rejection (never silent first-key routing — the
+/// pre-transaction hazard where a spanning `Transfer` mutated only the
+/// `from` shard), and the client reissues it through the transaction
+/// path.
+pub fn op_spans_shards(op: &KvOp, n_shards: usize) -> bool {
+    let mut owner: Option<u32> = None;
+    let mut spans = false;
+    let mut check = |key: &str| {
+        let s = shard_of_key(key, n_shards);
+        if *owner.get_or_insert(s) != s {
+            spans = true;
+        }
+    };
+    match op {
+        KvOp::Transfer { from, to, .. } => {
+            check(from);
+            check(to);
+        }
+        KvOp::WriteBatch { writes } => {
+            for w in writes {
+                check(w.key());
+            }
+        }
+        _ => {}
+    }
+    spans
 }
 
 /// The per-shard service config: `base` plus leader spreading — shard
@@ -154,6 +200,12 @@ impl<S: Storage<KvCommand>> ShardedKvNode<S> {
     /// Which shard owns `op`.
     pub fn shard_of(&self, op: &KvOp) -> u32 {
         shard_of_op(op, self.shards.len())
+    }
+
+    /// Does `op` touch keys on more than one shard? (See
+    /// [`op_spans_shards`] — such ops must be rejected, not routed.)
+    pub fn spans_shards(&self, op: &KvOp) -> bool {
+        op_spans_shards(op, self.shards.len())
     }
 
     /// Is this node the leader of `shard`?
@@ -366,6 +418,60 @@ mod tests {
         }
     }
 
+    /// Two keys guaranteed to live on different shards (of `n`).
+    fn spanning_keys(n: usize) -> (String, String) {
+        let a = "k0".to_string();
+        let sa = shard_of_key(&a, n);
+        for i in 1.. {
+            let b = format!("k{i}");
+            if shard_of_key(&b, n) != sa {
+                return (a, b);
+            }
+        }
+        unreachable!()
+    }
+
+    #[test]
+    fn spanning_multi_key_ops_are_detected_not_first_key_routed() {
+        use crate::store::WriteOp;
+        let (a, b) = spanning_keys(4);
+        let spanning = KvOp::Transfer {
+            from: a.clone(),
+            to: b.clone(),
+            amount: 1,
+        };
+        assert!(op_spans_shards(&spanning, 4));
+        // Same-shard ops (and every single-key op) never span.
+        assert!(!op_spans_shards(&spanning, 1), "one shard: nothing spans");
+        let local = KvOp::Transfer {
+            from: a.clone(),
+            to: a.clone(),
+            amount: 1,
+        };
+        assert!(!op_spans_shards(&local, 4));
+        assert!(!op_spans_shards(
+            &KvOp::Cas {
+                key: a.clone(),
+                expect: None,
+                set: Some(1)
+            },
+            4
+        ));
+        // Batches span iff their write set does.
+        let batch = |keys: &[&String]| KvOp::WriteBatch {
+            writes: keys
+                .iter()
+                .map(|k| WriteOp::Add {
+                    key: (*k).clone(),
+                    delta: 1,
+                })
+                .collect(),
+        };
+        assert!(op_spans_shards(&batch(&[&a, &b]), 4));
+        assert!(!op_spans_shards(&batch(&[&a, &a]), 4));
+        assert!(!op_spans_shards(&batch(&[]), 4));
+    }
+
     #[test]
     fn each_shard_elects_and_replicates_independently() {
         let mut nodes = cluster(3, 4);
@@ -509,8 +615,12 @@ mod tests {
             for n in &nodes {
                 assert_eq!(n.read_local(key), Some(s as i64 + 10));
                 assert_eq!(
-                    n.shard(s as u32).state_machine().sessions().get(&1),
-                    Some(&5),
+                    n.shard(s as u32)
+                        .state_machine()
+                        .sessions()
+                        .get(&1)
+                        .map(|e| e.seq),
+                    Some(5),
                     "shard {s} has its own session table"
                 );
             }

@@ -5,12 +5,21 @@
 //! omni-kv-client --servers ... read balance        # linearizable
 //! omni-kv-client --servers ... add balance -25
 //! omni-kv-client --servers ... delete balance
+//! omni-kv-client --servers ... cas balance 100 75  # set 75 iff currently 100
+//! omni-kv-client --servers ... transfer a b 25     # atomic, cross-shard if needed
+//! omni-kv-client --servers ... txn-status <client> <seq>
 //! omni-kv-client --servers ... bench 1000          # closed loop: sequential puts
 //! omni-kv-client --servers ... pbench 100000 512   # open loop: 512 puts in flight
 //! omni-kv-client --servers ... --deadline-ms 2000 read balance
 //! ```
+//!
+//! `cas` takes `nil` for either value: `cas k nil 5` inserts iff absent,
+//! `cas k 5 nil` deletes iff currently 5. `transfer` routes same-shard
+//! pairs through the atomic single-entry op and cross-shard pairs through
+//! the 2PC transaction path; either way it prints the commit verdict and
+//! the transaction id usable with `txn-status`.
 
-use kvstore::{KvOp, NodeId, ReadMode};
+use kvstore::{KvOp, NodeId, ReadMode, TxnSpec};
 use net::client::{KvClient, PipelinedKvClient};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -19,8 +28,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: omni-kv-client --servers <pid=addr,...> [--deadline-ms N] \
          [--read-mode log|lease|read-index] \
-         (put <k> <v> | read <k> | add <k> <d> | delete <k> | bench <n> | \
-         pbench <n> [window])"
+         (put <k> <v> | read <k> | add <k> <d> | delete <k> | \
+         cas <k> <expect|nil> <set|nil> | transfer <from> <to> <amount> | \
+         txn-status <client> <seq> | bench <n> | pbench <n> [window])"
     );
     std::process::exit(2)
 }
@@ -101,6 +111,57 @@ fn main() {
         ["delete", k] => client
             .delete(k)
             .map(|r| println!("ok applied={}", r.applied)),
+        ["cas", k, expect, set] => {
+            let parse_opt = |s: &str| -> Option<i64> {
+                if s == "nil" {
+                    None
+                } else {
+                    Some(s.parse().unwrap_or_else(|_| usage()))
+                }
+            };
+            client.cas(k, parse_opt(expect), parse_opt(set)).map(|r| {
+                if r.applied {
+                    println!("ok applied=true");
+                } else {
+                    println!(
+                        "conflict applied=false actual={}",
+                        r.value.map_or("(nil)".into(), |v| v.to_string())
+                    );
+                }
+            })
+        }
+        ["transfer", from, to, amount] => {
+            let amount: i64 = amount.parse().unwrap_or_else(|_| usage());
+            // Learn the shard count from the cluster so same-shard pairs
+            // ride the cheap single-entry path.
+            let n_shards = net::fetch_shards(&servers, Duration::from_secs(2))
+                .map(|l| l.len())
+                .unwrap_or(1);
+            if kvstore::shard_of_key(from, n_shards) == kvstore::shard_of_key(to, n_shards) {
+                client
+                    .op(KvOp::Transfer {
+                        from: (*from).into(),
+                        to: (*to).into(),
+                        amount,
+                    })
+                    .map(|r| println!("ok applied={}", r.applied))
+            } else {
+                client.txn(TxnSpec::transfer(*from, *to, amount)).map(|r| {
+                    println!(
+                        "{} applied={} txn={}:{}",
+                        if r.applied { "committed" } else { "aborted" },
+                        r.applied,
+                        r.client,
+                        r.seq
+                    )
+                })
+            }
+        }
+        ["txn-status", c, s] => {
+            let c: u64 = c.parse().unwrap_or_else(|_| usage());
+            let s: u64 = s.parse().unwrap_or_else(|_| usage());
+            client.txn_status(c, s).map(|state| println!("{state:?}"))
+        }
         ["bench", n] => {
             let n: u64 = n.parse().unwrap_or_else(|_| usage());
             let start = Instant::now();

@@ -13,7 +13,7 @@
 //! sequence number and issues a fresh one.
 
 use crate::frame::{self, kind};
-use kvstore::{KvCommand, KvOp, KvResult, KvWire, NodeId, ReadMode};
+use kvstore::{KvCommand, KvOp, KvResult, KvWire, NodeId, ReadMode, TxnSpec, TxnState};
 use omnipaxos::wire::Wire;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{ErrorKind, Write};
@@ -28,6 +28,13 @@ use std::time::{Duration, Instant};
 /// fall-through read marker under a flagged id gets its own session row;
 /// flagged seqs keep `Retry` frames unambiguous client-side.)
 pub const READ_FLAG: u64 = 1 << 63;
+
+/// Cross-shard transactions likewise ride their own identity space (bit 62
+/// of the seq): a `TxnRequest` bypasses the gateway's per-client admission
+/// watermark — it is deduplicated by the coordinator shard's decision
+/// record, not the session table — so its seq must never be mistaken for,
+/// or leave a gap in, the contiguous write session.
+pub const TXN_FLAG: u64 = 1 << 62;
 
 pub struct KvClient {
     servers: Vec<(NodeId, SocketAddr)>,
@@ -73,6 +80,90 @@ impl KvClient {
 
     pub fn delete(&mut self, key: &str) -> std::io::Result<KvResult> {
         self.op(KvOp::Delete { key: key.into() })
+    }
+
+    /// Compare-and-set: if `key` currently holds `expect` (`None` =
+    /// absent), apply `set` (`Some(v)` writes, `None` deletes). The
+    /// reply's `applied` is the verdict; on failure `value` carries the
+    /// actual current value.
+    pub fn cas(
+        &mut self,
+        key: &str,
+        expect: Option<i64>,
+        set: Option<i64>,
+    ) -> std::io::Result<KvResult> {
+        self.op(KvOp::Cas {
+            key: key.into(),
+            expect,
+            set,
+        })
+    }
+
+    /// Run a (possibly cross-shard) transaction to completion. The
+    /// reply's `applied` is the commit verdict; `value` mirrors it as
+    /// 1/0. Retries retransmit the same `(client, seq)` — the
+    /// coordinator shard's decision record makes the outcome stick no
+    /// matter how many times (or at which gateway) the request lands.
+    /// The reply's `seq` is the [`TXN_FLAG`]-tagged token — pass it to
+    /// [`KvClient::txn_status`] to query the transaction later.
+    pub fn txn(&mut self, spec: kvstore::TxnSpec) -> std::io::Result<KvResult> {
+        self.seq += 1;
+        let token = TXN_FLAG | self.seq;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("txn not decided within {:?}", self.op_timeout),
+                ));
+            }
+            let msg = KvWire::TxnRequest {
+                client: self.client_id,
+                seq: token,
+                spec: spec.clone(),
+            };
+            match self.attempt_msg(&msg) {
+                Ok(KvWire::Reply(res)) if res.seq == token => return Ok(res),
+                Ok(KvWire::Redirect { leader }) | Ok(KvWire::ShardRedirect { leader, .. }) => {
+                    self.retarget(leader);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Ok(_) => {} // stale frame: resend
+                Err(_) => {
+                    self.stream = None;
+                    self.rotate();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Ask the connected server for its view of transaction
+    /// `(client, seq)` — `Unknown` on a server that hosts none of the
+    /// participant shards.
+    pub fn txn_status(&mut self, client: u64, seq: u64) -> std::io::Result<TxnState> {
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("txn status not answered within {:?}", self.op_timeout),
+                ));
+            }
+            match self.attempt_msg(&KvWire::TxnStatusReq { client, seq }) {
+                Ok(KvWire::TxnStatus {
+                    client: c,
+                    seq: s,
+                    state,
+                }) if c == client && s == seq => return Ok(state),
+                Ok(_) => {}
+                Err(_) => {
+                    self.stream = None;
+                    self.rotate();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
     }
 
     /// Linearizable read through the log.
@@ -157,6 +248,15 @@ impl KvClient {
                     std::thread::sleep(Duration::from_millis(20));
                 }
                 Ok(KvWire::Retry { .. }) => std::thread::sleep(Duration::from_millis(50)),
+                Ok(KvWire::CrossShard { seq }) if seq == self.seq => {
+                    // Terminal: a multi-key op whose keys live on
+                    // different shards can never succeed as a plain
+                    // request — reissue it as a transaction instead.
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidInput,
+                        "operation spans shards; use a transaction",
+                    ));
+                }
                 Ok(_) => {} // stale reply for an older seq: resend
                 Err(_) => {
                     self.stream = None;
@@ -297,6 +397,23 @@ pub struct PipelinedKvClient {
     /// Log-free reads awaiting (re)transmission.
     read_unsent: BTreeSet<u64>,
     next_read: u64,
+    /// Transactions in flight: flagged token → spec.
+    txn_specs: BTreeMap<u64, kvstore::TxnSpec>,
+    /// Transactions awaiting (re)transmission.
+    txn_unsent: BTreeSet<u64>,
+    next_txn: u64,
+    /// OR-ed into every txn token. The transaction id `(client, token)`
+    /// must be globally unique, but a [`ShardedKvClient`] runs one
+    /// session per shard under ONE client id, each numbering its txns
+    /// from 1 — colliding ids on different coordinator shards would
+    /// cross-wire 2PC state (a participant shard shared by both treats
+    /// the second prepare as a duplicate and commits the wrong staged
+    /// writes). The sharded client sets this to `shard << 32` so the
+    /// token spaces are disjoint.
+    txn_tag: u64,
+    /// Tokens of ops the gateway rejected as spanning shards (terminal:
+    /// such an op can never succeed as a plain request).
+    rejected: Vec<u64>,
     /// Reissued reads: transmitted seq → the seq the caller knows.
     alias: HashMap<u64, u64>,
     /// Retransmission backoff gate (set after `Retry` and reconnects).
@@ -332,6 +449,11 @@ impl PipelinedKvClient {
             read_keys: BTreeMap::new(),
             read_unsent: BTreeSet::new(),
             next_read: 0,
+            txn_specs: BTreeMap::new(),
+            txn_unsent: BTreeSet::new(),
+            next_txn: 0,
+            txn_tag: 0,
+            rejected: Vec::new(),
             alias: HashMap::new(),
             gate: None,
             retries: 0,
@@ -382,13 +504,38 @@ impl PipelinedKvClient {
         token
     }
 
+    /// Queue a (possibly cross-shard) transaction. Returns the
+    /// [`TXN_FLAG`]-tagged token the completion will carry; the
+    /// completion's `applied` is the commit verdict (`value` mirrors it
+    /// as 1/0). Retransmissions are safe: the coordinator shard's
+    /// decision record pins the outcome across retries and gateways.
+    pub fn submit_txn(&mut self, spec: kvstore::TxnSpec) -> u64 {
+        self.next_txn += 1;
+        let token = TXN_FLAG | self.txn_tag | self.next_txn;
+        self.txn_specs.insert(token, spec);
+        self.txn_unsent.insert(token);
+        if self.in_flight() == 1 {
+            self.last_progress = Instant::now();
+            self.next_rotate = Instant::now() + self.rotate_after;
+        }
+        token
+    }
+
     /// Ops submitted but not yet completed.
     pub fn in_flight(&self) -> usize {
-        self.inflight.len() + self.read_keys.len()
+        self.inflight.len() + self.read_keys.len() + self.txn_specs.len()
     }
 
     fn window_empty(&self) -> bool {
-        self.inflight.is_empty() && self.read_keys.is_empty()
+        self.inflight.is_empty() && self.read_keys.is_empty() && self.txn_specs.is_empty()
+    }
+
+    /// Tokens of submitted ops the gateway refused with
+    /// [`KvWire::CrossShard`] — multi-key ops whose keys span shards.
+    /// Each rejected op is removed from the window when the rejection
+    /// arrives; this drains the tokens seen since the last call.
+    pub fn take_cross_shard_rejections(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.rejected)
     }
 
     /// The sequence number of the last submitted operation.
@@ -527,6 +674,15 @@ impl PipelinedKvClient {
                     self.alias.insert(fresh, orig);
                 }
             }
+            KvWire::Reply(res) if res.seq & TXN_FLAG != 0 => {
+                // A transaction resolved; `applied` is the commit verdict.
+                if self.txn_specs.remove(&res.seq).is_none() {
+                    return; // duplicate reply from a retransmission
+                }
+                self.txn_unsent.remove(&res.seq);
+                self.last_progress = Instant::now();
+                done.push(res);
+            }
             KvWire::Reply(mut res) => {
                 let seq = res.seq;
                 let Some(op) = self.inflight.remove(&seq) else {
@@ -564,12 +720,28 @@ impl PipelinedKvClient {
                     self.gate = Some(self.gate.map_or(gate, |g| g.max(gate)));
                 }
             }
+            KvWire::CrossShard { seq } => {
+                // The gateway refused a multi-key op whose keys span
+                // shards. Terminal: retrying can never succeed, so pull
+                // the op from the window and surface the token instead
+                // of retransmitting forever.
+                if self.inflight.remove(&seq).is_some() {
+                    self.unsent.remove(&seq);
+                    self.last_progress = Instant::now();
+                    let orig = self.alias.remove(&seq).unwrap_or(seq);
+                    self.rejected.push(orig);
+                }
+            }
             // Servers never send requests; routing-table frames are the
-            // sharded wrapper's business (it refreshes via bootstrap).
+            // sharded wrapper's business (it refreshes via bootstrap);
+            // status queries are the synchronous client's.
             KvWire::Request(_)
             | KvWire::ReadRequest { .. }
             | KvWire::ShardsReq
-            | KvWire::Shards { .. } => {}
+            | KvWire::Shards { .. }
+            | KvWire::TxnRequest { .. }
+            | KvWire::TxnStatusReq { .. }
+            | KvWire::TxnStatus { .. } => {}
         }
     }
 
@@ -580,7 +752,10 @@ impl PipelinedKvClient {
         // dropped connection clears nothing from `inflight`, and
         // `connect` re-marks the whole window for retransmission.
         if self.window_empty()
-            || (self.conn.is_some() && self.unsent.is_empty() && self.read_unsent.is_empty())
+            || (self.conn.is_some()
+                && self.unsent.is_empty()
+                && self.read_unsent.is_empty()
+                && self.txn_unsent.is_empty())
         {
             return;
         }
@@ -592,7 +767,7 @@ impl PipelinedKvClient {
         if self.conn.is_none() && !self.connect() {
             return;
         }
-        if self.unsent.is_empty() && self.read_unsent.is_empty() {
+        if self.unsent.is_empty() && self.read_unsent.is_empty() && self.txn_unsent.is_empty() {
             return;
         }
         let mut buf = Vec::new();
@@ -621,11 +796,24 @@ impl PipelinedKvClient {
             .to_bytes();
             buf.extend_from_slice(&frame::encode_frame(kind::KV, &payload));
         }
+        for (&token, spec) in self.txn_specs.iter() {
+            if !self.txn_unsent.contains(&token) {
+                continue;
+            }
+            let payload = KvWire::TxnRequest {
+                client: self.client_id,
+                seq: token,
+                spec: spec.clone(),
+            }
+            .to_bytes();
+            buf.extend_from_slice(&frame::encode_frame(kind::KV, &payload));
+        }
         let conn = self.conn.as_ref().expect("connected above");
         let mut w = &conn.stream;
         if w.write_all(&buf).is_ok() {
             self.unsent.clear();
             self.read_unsent.clear();
+            self.txn_unsent.clear();
             self.gate = None;
         } else {
             self.fail_conn();
@@ -674,6 +862,7 @@ impl PipelinedKvClient {
             .ok();
         self.unsent = self.inflight.keys().copied().collect();
         self.read_unsent = self.read_keys.keys().copied().collect();
+        self.txn_unsent = self.txn_specs.keys().copied().collect();
         self.conn = Some(PipeConn { stream, rx, reader });
         true
     }
@@ -794,7 +983,15 @@ impl ShardedKvClient {
     pub fn new(client_id: u64, servers: Vec<(NodeId, SocketAddr)>, n_shards: usize) -> Self {
         assert!(n_shards > 0, "at least one shard");
         let shards = (0..n_shards)
-            .map(|_| PipelinedKvClient::new(client_id, servers.clone()))
+            .map(|s| {
+                let mut c = PipelinedKvClient::new(client_id, servers.clone());
+                // Disjoint txn-token spaces per shard session: all
+                // sessions share one client id, and the transaction id
+                // (client, token) must never collide across coordinator
+                // shards (see `PipelinedKvClient::txn_tag`).
+                c.txn_tag = (s as u64) << 32;
+                c
+            })
             .collect();
         ShardedKvClient { shards }
     }
@@ -852,6 +1049,52 @@ impl ShardedKvClient {
         (s, self.shards[s as usize].submit_read(key))
     }
 
+    /// Queue a transaction on the session of its coordinator shard (the
+    /// lowest participant shard — the same deterministic choice every
+    /// server makes), so the request lands on the coordinating leader
+    /// directly. The completion carries `(shard, TXN_FLAG-tagged token)`
+    /// with `applied` = commit verdict.
+    pub fn submit_txn(&mut self, spec: TxnSpec) -> (u32, u64) {
+        let n = self.shards.len();
+        let s = spec
+            .keys()
+            .map(|k| kvstore::shard_of_key(k, n))
+            .min()
+            .unwrap_or(0);
+        (s, self.shards[s as usize].submit_txn(spec))
+    }
+
+    /// Queue a balance transfer: move `amount` from `from` to `to` iff
+    /// `from` holds at least `amount`. Same-shard pairs ride the atomic
+    /// single-entry [`KvOp::Transfer`]; cross-shard pairs become a 2PC
+    /// transaction (the returned token then carries [`TXN_FLAG`]).
+    /// Either way the completion's `applied` says whether money moved.
+    pub fn transfer(&mut self, from: &str, to: &str, amount: i64) -> (u32, u64) {
+        let n = self.shards.len();
+        if kvstore::shard_of_key(from, n) == kvstore::shard_of_key(to, n) {
+            self.submit(KvOp::Transfer {
+                from: from.into(),
+                to: to.into(),
+                amount,
+            })
+        } else {
+            self.submit_txn(TxnSpec::transfer(from, to, amount))
+        }
+    }
+
+    /// Drain `(shard, token)` pairs the gateways refused with
+    /// [`KvWire::CrossShard`] (see
+    /// [`PipelinedKvClient::take_cross_shard_rejections`]).
+    pub fn take_cross_shard_rejections(&mut self) -> Vec<(u32, u64)> {
+        let mut all = Vec::new();
+        for (s, c) in self.shards.iter_mut().enumerate() {
+            for token in c.take_cross_shard_rejections() {
+                all.push((s as u32, token));
+            }
+        }
+        all
+    }
+
     /// Total ops submitted but not yet completed, across shards.
     pub fn in_flight(&self) -> usize {
         self.shards.iter().map(|c| c.in_flight()).sum()
@@ -892,5 +1135,35 @@ impl ShardedKvClient {
             }
         }
         Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::TxnSpec;
+
+    /// Two transfers queued on different coordinator shards must carry
+    /// distinct transaction ids: all shard sessions share one client id,
+    /// so colliding tokens would cross-wire 2PC state on any participant
+    /// shard the transactions have in common (the second prepare reads
+    /// as a duplicate of the first and the wrong staged writes commit).
+    #[test]
+    fn txn_tokens_are_disjoint_across_shard_sessions() {
+        let servers = vec![(1, "127.0.0.1:1".parse().unwrap())];
+        let mut c = ShardedKvClient::new(7, servers, 4);
+        let mut seen = std::collections::HashSet::new();
+        // Synthetic single-shard specs pinned to each session in turn:
+        // submit_txn only queues, so no connection is ever attempted.
+        for s in 0..4u32 {
+            for _ in 0..3 {
+                let token = c.shard(s).submit_txn(TxnSpec::transfer("a", "b", 1));
+                assert!(token & TXN_FLAG != 0, "txn tokens carry the flag");
+                assert!(
+                    seen.insert(token),
+                    "token {token:#x} issued by two shard sessions"
+                );
+            }
+        }
     }
 }

@@ -15,7 +15,10 @@
 use crate::frame::{self, kind, FrameError};
 use crate::link::{LinkEvent, NetworkLink};
 use crate::tcp::lock_unpoisoned;
-use kvstore::{shard_of_key, KvCommand, KvNode, KvWire, ReadMode, ShardedKvNode};
+use kvstore::{
+    shard_of_key, KvCommand, KvNode, KvWire, ReadMode, ShardedKvNode, TxnCoordinator, TxnId,
+    TxnState,
+};
 use omnipaxos::wire::Wire;
 use omnipaxos::{OmniMessage, PaxosMsg, ServiceMsg};
 use std::collections::HashMap;
@@ -265,6 +268,16 @@ pub struct KvServer<L> {
     /// consensus round.
     proposal_batches: u64,
     proposed_ops: u64,
+    /// The cross-shard transaction coordinator (2PC over the shard logs;
+    /// see `kvstore::txn`). Every gateway has one: any node can
+    /// coordinate, and its scanner finishes transactions whose
+    /// coordinator died.
+    txn: TxnCoordinator,
+    /// Transactions this gateway is driving for a connected client:
+    /// `txn id -> conn` (the reply target once the outcome is known).
+    pending_txns: HashMap<TxnId, ConnId>,
+    /// Multi-key requests rejected because their keys span shards.
+    cross_shard_rejects: u64,
 }
 
 impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
@@ -278,6 +291,14 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
     /// multiplexed over this server's single link.
     pub fn new_sharded(node: ShardedKvNode, link: L) -> Self {
         let n = node.n_shards();
+        // The boot-time nonce keeps this incarnation's coordinator
+        // identity distinct from any predecessor whose proposals may
+        // still be in flight in the shards' logs.
+        let nonce = std::time::UNIX_EPOCH
+            .elapsed()
+            .map(|d| (d.as_millis() as u32) ^ d.subsec_nanos())
+            .unwrap_or(1);
+        let txn = TxnCoordinator::with_nonce(node.pid(), nonce);
         KvServer {
             node,
             link: Some(link),
@@ -292,6 +313,9 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
             reconnects: 0,
             proposal_batches: 0,
             proposed_ops: 0,
+            txn,
+            pending_txns: HashMap::new(),
+            cross_shard_rejects: 0,
         }
     }
 
@@ -315,6 +339,18 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
     /// stays contiguous per client).
     pub fn shed_requests(&self) -> u64 {
         self.shed
+    }
+
+    /// Multi-key requests rejected with [`KvWire::CrossShard`] because
+    /// their keys span shards — the PR 7 first-key routing hazard, now a
+    /// typed error instead of a silent wrong-shard mutation.
+    pub fn cross_shard_rejects(&self) -> u64 {
+        self.cross_shard_rejects
+    }
+
+    /// Cross-shard transactions this gateway is currently driving.
+    pub fn txns_in_flight(&self) -> usize {
+        self.txn.in_flight()
     }
 
     /// `(pump cycles that proposed, commands proposed)` — the proposal
@@ -413,6 +449,7 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
     /// Advance protocol timers (election, heartbeats, resends).
     pub fn tick(&mut self) {
         self.node.tick();
+        self.txn.tick(&mut self.node);
         self.deliver_results();
         self.flush();
         if let Some(g) = self.gateway.as_mut() {
@@ -534,8 +571,79 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
                         },
                     }
                 }
+                KvWire::TxnRequest { client, seq, spec } => {
+                    // Cross-shard transactions bypass admission: the txn
+                    // id (client, seq) deduplicates across retries and
+                    // gateways via the coordinator shard's decision
+                    // record, not the session table.
+                    let txn = (client, seq);
+                    match self.txn.begin(&mut self.node, txn, &spec) {
+                        Some(committed) => {
+                            // Retransmit fast path: the decision is
+                            // already recorded locally — replay it.
+                            gateway.reply(
+                                conn,
+                                &KvWire::Reply(kvstore::KvResult {
+                                    client,
+                                    seq,
+                                    value: Some(committed as i64),
+                                    applied: committed,
+                                }),
+                            );
+                        }
+                        None => {
+                            self.pending_txns.insert(txn, conn);
+                        }
+                    }
+                    continue;
+                }
+                KvWire::TxnStatusReq { client, seq } => {
+                    let txn = (client, seq);
+                    let mut state = TxnState::Unknown;
+                    for s in 0..n_shards as u32 {
+                        let sm = self.node.shard(s).state_machine();
+                        if let Some(&c) =
+                            sm.decisions().get(&txn).or_else(|| sm.resolved().get(&txn))
+                        {
+                            state = if c {
+                                TxnState::Committed
+                            } else {
+                                TxnState::Aborted
+                            };
+                            break;
+                        }
+                        if sm.prepared().contains_key(&txn) {
+                            state = TxnState::Pending;
+                        }
+                    }
+                    gateway.reply(conn, &KvWire::TxnStatus { client, seq, state });
+                    continue;
+                }
                 _ => continue, // clients only send requests
             };
+            if matches!(
+                cmd.op,
+                kvstore::KvOp::TxnPrepare { .. }
+                    | kvstore::KvOp::TxnDecide { .. }
+                    | kvstore::KvOp::TxnCommit { .. }
+                    | kvstore::KvOp::TxnAbort { .. }
+            ) {
+                // Raw 2PC records are coordinator-internal; a client must
+                // use the TxnRequest path. Answer with the same typed
+                // error as a spanning op so it cannot silently corrupt
+                // the lock table.
+                self.cross_shard_rejects += 1;
+                gateway.reply(conn, &KvWire::CrossShard { seq: cmd.seq });
+                continue;
+            }
+            if self.node.spans_shards(&cmd.op) {
+                // The PR 7 hazard, closed: a multi-key op whose keys live
+                // on different shards is rejected loudly (the client
+                // reissues it as a transaction), never first-key routed.
+                self.cross_shard_rejects += 1;
+                gateway.reply(conn, &KvWire::CrossShard { seq: cmd.seq });
+                continue;
+            }
             let shard = self.node.shard_of(&cmd.op);
             let s = shard as usize;
             if !self.node.is_leader(shard) {
@@ -629,7 +737,9 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
 
     fn deliver_results(&mut self) -> usize {
         let results = self.node.take_results();
+        self.txn.observe(&mut self.node, &results);
         let Some(gateway) = self.gateway.as_mut() else {
+            self.txn.take_outcomes();
             return 0;
         };
         let n = results.len();
@@ -639,6 +749,19 @@ impl<L: NetworkLink<ServiceMsg<kvstore::KvCommand>>> KvServer<L> {
                 gateway.reply(conn, &KvWire::Reply(res));
             } else if let Some(conn) = self.pending_reads[s].remove(&(res.client, res.seq)) {
                 gateway.reply(conn, &KvWire::Reply(res));
+            }
+        }
+        for outcome in self.txn.take_outcomes() {
+            if let Some(conn) = self.pending_txns.remove(&outcome.txn) {
+                gateway.reply(
+                    conn,
+                    &KvWire::Reply(kvstore::KvResult {
+                        client: outcome.txn.0,
+                        seq: outcome.txn.1,
+                        value: Some(outcome.committed as i64),
+                        applied: outcome.committed,
+                    }),
+                );
             }
         }
         n

@@ -15,8 +15,8 @@
 //!    clusters. Regenerate deliberately with:
 //!    `CORPUS_WRITE=1 cargo test -p net --test codec_corpus`.
 
-use kvstore::{KvCommand, KvOp, KvResult, KvWire, ReadMode};
-use net::client::READ_FLAG;
+use kvstore::{KvCommand, KvOp, KvResult, KvWire, ReadMode, TxnGuard, TxnSpec, TxnState, WriteOp};
+use net::client::{READ_FLAG, TXN_FLAG};
 use net::frame::{self, kind, FrameError};
 use omnipaxos::messages::*;
 use omnipaxos::wire::{checksum_parts, Wire, WireError};
@@ -413,6 +413,173 @@ fn kv_samples() -> Vec<(String, KvWire)> {
                 key: "deep/nested key".into(),
             },
         ),
+        // Transaction subsystem ops, each as a plain Request frame: the
+        // log-entry encodings are what replicas and WALs persist.
+        (
+            "kv_cas".into(),
+            KvWire::Request(cmd(
+                9,
+                7,
+                KvOp::Cas {
+                    key: "ctr".into(),
+                    expect: Some(-3),
+                    set: None,
+                },
+            )),
+        ),
+        (
+            "kv_cas_insert".into(),
+            KvWire::Request(cmd(
+                9,
+                8,
+                KvOp::Cas {
+                    key: "fresh".into(),
+                    expect: None,
+                    set: Some(1),
+                },
+            )),
+        ),
+        (
+            "kv_write_batch".into(),
+            KvWire::Request(cmd(
+                9,
+                9,
+                KvOp::WriteBatch {
+                    writes: vec![
+                        WriteOp::Put {
+                            key: "a".into(),
+                            value: 1,
+                        },
+                        WriteOp::Add {
+                            key: "b".into(),
+                            delta: -2,
+                        },
+                        WriteOp::Delete { key: "c".into() },
+                    ],
+                },
+            )),
+        ),
+        (
+            "kv_txn_prepare".into(),
+            KvWire::Request(cmd(
+                (1 << 62) | 1, // coordinator identity: TXN_CLIENT_FLAG | pid
+                1,
+                KvOp::TxnPrepare {
+                    txn: (9, TXN_FLAG | 1),
+                    coord_shard: 0,
+                    participants: vec![0, 2],
+                    guards: vec![TxnGuard::MinValue {
+                        key: "acct0".into(),
+                        min: 30,
+                    }],
+                    writes: vec![
+                        WriteOp::Add {
+                            key: "acct0".into(),
+                            delta: -30,
+                        },
+                        WriteOp::Add {
+                            key: "acct1".into(),
+                            delta: 30,
+                        },
+                    ],
+                },
+            )),
+        ),
+        (
+            "kv_txn_prepare_equals".into(),
+            KvWire::Request(cmd(
+                (1 << 62) | 2,
+                2,
+                KvOp::TxnPrepare {
+                    txn: (9, TXN_FLAG | 2),
+                    coord_shard: 1,
+                    participants: vec![1],
+                    guards: vec![TxnGuard::Equals {
+                        key: "ver".into(),
+                        expect: Some(4),
+                    }],
+                    writes: vec![WriteOp::Put {
+                        key: "ver".into(),
+                        value: 5,
+                    }],
+                },
+            )),
+        ),
+        (
+            "kv_txn_decide".into(),
+            KvWire::Request(cmd(
+                (1 << 62) | 1,
+                3,
+                KvOp::TxnDecide {
+                    txn: (9, TXN_FLAG | 1),
+                    commit: true,
+                },
+            )),
+        ),
+        (
+            "kv_txn_commit".into(),
+            KvWire::Request(cmd(
+                (1 << 62) | 1,
+                4,
+                KvOp::TxnCommit {
+                    txn: (9, TXN_FLAG | 1),
+                },
+            )),
+        ),
+        (
+            "kv_txn_abort".into(),
+            KvWire::Request(cmd(
+                (1 << 62) | 1,
+                5,
+                KvOp::TxnAbort {
+                    txn: (9, TXN_FLAG | 2),
+                },
+            )),
+        ),
+        // Client-facing transaction frames.
+        (
+            "kv_txn_request".into(),
+            KvWire::TxnRequest {
+                client: 9,
+                seq: TXN_FLAG | 1,
+                spec: TxnSpec::transfer("acct0", "acct1", 30),
+            },
+        ),
+        (
+            "kv_txn_request_empty".into(),
+            KvWire::TxnRequest {
+                client: 9,
+                seq: TXN_FLAG | 3,
+                spec: TxnSpec {
+                    guards: vec![],
+                    writes: vec![],
+                },
+            },
+        ),
+        (
+            "kv_txn_status_req".into(),
+            KvWire::TxnStatusReq {
+                client: 9,
+                seq: TXN_FLAG | 1,
+            },
+        ),
+        (
+            "kv_txn_status_committed".into(),
+            KvWire::TxnStatus {
+                client: 9,
+                seq: TXN_FLAG | 1,
+                state: TxnState::Committed,
+            },
+        ),
+        (
+            "kv_txn_status_unknown".into(),
+            KvWire::TxnStatus {
+                client: 9,
+                seq: TXN_FLAG | 9,
+                state: TxnState::Unknown,
+            },
+        ),
+        ("kv_cross_shard".into(), KvWire::CrossShard { seq: 11 }),
     ]
 }
 

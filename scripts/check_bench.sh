@@ -271,6 +271,70 @@ def check_read_modes(path, data):
             errors.append(f"{path}: correctness check {k!r} did not pass")
 
 
+def check_txn_mix(path, data):
+    """BENCH_PR9 schema: one best point from the 80/15/5 put/cas/transfer
+    window sweep over the 4-shard cluster, with per-class latency
+    percentiles (a 2PC transfer costs several log entries across two
+    shards — folding it into one histogram would hide that) and the
+    self-audited correctness checks: exactly-once completions, CAS
+    verdicts matching the client-side model, and the committed-transfer
+    balance audit (every account holds exactly its expected balance and
+    the bank total is conserved). Both transfer outcomes must have been
+    exercised: the workload plants guaranteed-abort transfers, so zero
+    aborts — like zero commits — means a path went untested."""
+    best = data.get("best")
+    if not isinstance(best, dict):
+        errors.append(f"{path}: missing best point")
+        return
+    need = (
+        "per_shard_window", "ops", "puts", "cas_ops", "transfers",
+        "elapsed_s", "ops_per_sec", "put_p50_us", "put_p99_us",
+        "cas_p50_us", "cas_p99_us", "txn_p50_us", "txn_p99_us",
+        "cpu_cores_busy",
+    )
+    missing = [k for k in need if not isinstance(best.get(k), (int, float))]
+    if missing:
+        errors.append(f"{path}: best point missing numeric {missing}")
+        return
+    if best["puts"] + best["cas_ops"] + best["transfers"] != best["ops"]:
+        errors.append(
+            f"{path}: puts + cas_ops + transfers must sum to ops "
+            f"(completions lost or double-counted)"
+        )
+    # The 80/15/5 mix, within 2% of each target fraction.
+    for name, frac in (("puts", 0.80), ("cas_ops", 0.15), ("transfers", 0.05)):
+        share = best[name] / best["ops"] if best["ops"] else 0.0
+        if abs(share - frac) > 0.02:
+            errors.append(
+                f"{path}: {name} are {share:.3f} of the mix, wanted {frac:.2f}"
+            )
+    floor = 2_000 if data.get("quick") else 8_000
+    if best["ops_per_sec"] < floor:
+        errors.append(
+            f"{path}: mixed-workload throughput {best['ops_per_sec']:.0f} ops/s "
+            f"below the {floor} floor"
+        )
+    for k in ("transfers_committed", "transfers_aborted", "cas_conflicts"):
+        if not isinstance(data.get(k), (int, float)) or data[k] <= 0:
+            errors.append(
+                f"{path}: {k} must be positive (that path went unexercised)"
+            )
+    checks = data.get("checks")
+    if not isinstance(checks, dict):
+        errors.append(f"{path}: missing txn-mix correctness checks")
+        return
+    for k in (
+        "completions_exactly_once",
+        "cas_verdicts_match_model",
+        "transfer_balances_conserved",
+        "final_reads_linearizable",
+        "per_shard_replicas_converged",
+        "no_cross_shard_rejections",
+    ):
+        if not checks.get(k):
+            errors.append(f"{path}: correctness check {k!r} did not pass")
+
+
 for path in files:
     errors_before = len(errors)
     try:
@@ -298,6 +362,8 @@ for path in files:
         check_sharded_sweep(path, data)
     if data.get("bench") == "net-read-modes":
         check_read_modes(path, data)
+    if data.get("bench") == "net-txn-mix":
+        check_txn_mix(path, data)
     if len(errors) == errors_before:
         print(f"check_bench: {path} ok ({data.get('bench')}, {len(sections)} sections)")
 

@@ -8,7 +8,7 @@
 #   scripts/ci.sh fmt          # one stage
 #   scripts/ci.sh clippy build # several stages, in the given order
 #
-# Stages: fmt clippy build test net chaos shard reads storage-faults bench perf-smoke
+# Stages: fmt clippy build test net chaos shard reads storage-faults txn bench perf-smoke
 # Each stage is timed; a summary table prints at the end and is also
 # written to ci-summary.json (stage, status, seconds) for the workflow
 # to publish as a step summary.
@@ -95,6 +95,19 @@ stage_storage_faults() {
     cargo run --release -q -p chaos -- --disk-seeds 25
 }
 
+stage_txn() {
+    echo "==> [txn] transaction e2e over TCP (cas exactly-once, spanning rejection, 2PC)"
+    cargo test -q -p net --test loopback -- retried_cas spanning_transfer cross_shard_transactions
+    echo "==> [txn] coordinator + transactional state-machine unit tests"
+    cargo test -q -p kvstore txn
+    cargo test -q -p kvstore cas
+    echo "==> [txn] quick 2PC chaos sweep (partitions, crashes, disk faults, shard moves)"
+    cargo run --release -q -p chaos -- --txn-seeds 25
+    echo "==> [txn] mixed put/cas/transfer workload (quick) + schema/conservation gate"
+    cargo run --release -q -p bench --bin hotpath -- --txn-mix --quick
+    sh scripts/check_bench.sh BENCH_PR9.json
+}
+
 stage_bench() {
     echo "==> [bench] catchup bench (quick): snapshot-first vs full-log replay"
     cargo run --release -q -p bench --bin hotpath -- --catchup --quick
@@ -146,12 +159,12 @@ write_summary_json() {
 
 STAGES="$*"
 if [ -z "$STAGES" ] || [ "$STAGES" = "all" ]; then
-    STAGES="fmt clippy build test net chaos shard reads storage-faults bench perf-smoke"
+    STAGES="fmt clippy build test net chaos shard reads storage-faults txn bench perf-smoke"
 fi
 
 for s in $STAGES; do
     case "$s" in
-        fmt|clippy|build|test|net|chaos|shard|reads|bench)
+        fmt|clippy|build|test|net|chaos|shard|reads|txn|bench)
             # Fail fast, but still print the summary table below.
             if ! run_stage "$s"; then
                 break
@@ -168,7 +181,7 @@ for s in $STAGES; do
             fi
             ;;
         *)
-            echo "unknown stage: $s (stages: fmt clippy build test net chaos shard reads storage-faults bench perf-smoke)" >&2
+            echo "unknown stage: $s (stages: fmt clippy build test net chaos shard reads storage-faults txn bench perf-smoke)" >&2
             exit 2
             ;;
     esac
